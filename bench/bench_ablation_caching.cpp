@@ -1,0 +1,92 @@
+// Ablation (extension) — why PP-GNN loaders don't cache.
+//
+// Section 4.1 rejects GPU-side feature caching for PP-GNNs because "the
+// training data lacks both temporal and spatial locality, being accessed
+// only once in a random order every epoch", while the MP-GNN systems of
+// Section 2.4 (PaGraph, GNNLab) are built around exactly that caching.
+// This bench measures both claims on the same cache policies: hit rate of
+// a 2-20% capacity cache against (a) a PP-GNN epoch stream (SGD-RR row
+// order) and (b) an MP-GNN sampler stream over a heavy-tailed graph.
+//
+// Expected shape: PP hit rate == capacity fraction exactly (no policy can
+// beat it: every row appears once per epoch); MP static-pinned hit rate is
+// a multiple of the capacity fraction (hub recurrence), while LRU drowns
+// under frontier scans — why the MP systems pin statically.
+#include "common.h"
+#include "loader/cache.h"
+#include "loader/shuffler.h"
+
+using namespace ppgnn;
+using namespace ppgnn::bench;
+
+namespace {
+
+std::vector<std::int64_t> pp_stream(std::size_t rows, std::size_t epochs) {
+  const auto shuffler = loader::make_shuffler(1);
+  Rng rng(3);
+  std::vector<std::int64_t> stream;
+  stream.reserve(rows * epochs);
+  for (std::size_t e = 0; e < epochs; ++e) {
+    const auto order = shuffler->epoch_order(rows, rng);
+    stream.insert(stream.end(), order.begin(), order.end());
+  }
+  return stream;
+}
+
+std::vector<std::int64_t> mp_stream(std::size_t epochs) {
+  graph::SbmConfig sc;
+  sc.num_nodes = 5000;
+  sc.num_classes = 8;
+  sc.avg_degree = 15.0;
+  sc.homophily = 0.6;
+  sc.degree_power = 1.3;  // heavy tail, like real web graphs
+  sc.max_propensity_ratio = 300.0;
+  sc.seed = 9;
+  const auto sbm = graph::generate_sbm(sc);
+  sampling::LaborSampler sampler({10, 10});
+  Rng rng(4);
+  std::vector<std::int64_t> stream;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    for (std::size_t lo = 0; lo < 400; lo += 64) {
+      std::vector<sampling::NodeId> seeds;
+      for (std::size_t i = lo; i < std::min(lo + 64, std::size_t{400}); ++i) {
+        seeds.push_back(static_cast<sampling::NodeId>(i * 7 % 5000));
+      }
+      const auto batch = sampler.sample(sbm.graph, seeds, rng);
+      for (const auto v : batch.input_nodes()) {
+        stream.push_back(static_cast<std::int64_t>(v));
+      }
+    }
+  }
+  return stream;
+}
+
+}  // namespace
+
+int main() {
+  header("Ablation: feature-cache hit rates, PP vs MP access streams");
+  const std::size_t pp_rows = 5000;
+  const auto pp = pp_stream(pp_rows, 5);
+  const auto mp = mp_stream(3);
+
+  std::printf("%-10s %14s %12s %14s %12s\n", "capacity", "PP static",
+              "PP LRU", "MP static", "MP LRU");
+  for (const double frac : {0.02, 0.05, 0.10, 0.20}) {
+    const auto cap = static_cast<std::size_t>(5000 * frac);
+    loader::StaticCache pp_static(loader::hottest_rows(pp, cap));
+    loader::LruCache pp_lru(cap);
+    loader::StaticCache mp_static(loader::hottest_rows(mp, cap));
+    loader::LruCache mp_lru(cap);
+    std::printf("%8.0f%% %13.1f%% %11.1f%% %13.1f%% %11.1f%%\n", frac * 100,
+                100 * loader::replay(pp_static, pp).hit_rate(),
+                100 * loader::replay(pp_lru, pp).hit_rate(),
+                100 * loader::replay(mp_static, mp).hit_rate(),
+                100 * loader::replay(mp_lru, mp).hit_rate());
+  }
+  std::printf("\nExpected shape: PP columns pinned to the capacity fraction "
+              "(caching buys nothing — Section 4.1's argument for double "
+              "buffering instead); MP static exceeds its capacity fraction "
+              "severalfold via hub recurrence while MP LRU drowns under "
+              "frontier scans (why GNNLab pins statically).\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Ablation (extension) — propagation operator choice and K > 1 kernels.
+//
+// Section 2.5: SIGN's operator "can be the normalized adjacency matrix or
+// those derived from Personalized PageRank (PPR) or Heat kernel"; the
+// paper's main experiments fix K = 1 (sym-normalized adjacency) for all
+// PP-GNNs (Appendix A).  This bench measures what that choice costs or
+// buys on the medium analogues: SIGN accuracy per single operator, the
+// K = 3 multi-kernel variant (sym + PPR + heat), and the input-expansion
+// price K(R+1) each option pays (Section 3.4).
+#include "common.h"
+
+using namespace ppgnn;
+using namespace ppgnn::bench;
+
+namespace {
+
+core::Sign make_sign(const graph::Dataset& ds, std::size_t matrices,
+                     Rng& rng) {
+  // SIGN over an arbitrary number of input matrices: hops = matrices - 1.
+  core::SignConfig cfg;
+  cfg.feat_dim = ds.feature_dim();
+  cfg.hops = matrices - 1;
+  cfg.hidden = 64;
+  cfg.classes = ds.num_classes;
+  cfg.dropout = 0.3f;
+  return core::Sign(cfg, rng);
+}
+
+double train_on(const core::Preprocessed& pre, const graph::Dataset& ds) {
+  Rng rng(3);
+  core::Sign model = make_sign(ds, pre.hop_features.size(), rng);
+  core::PpTrainConfig tc;
+  tc.epochs = 20;
+  tc.batch_size = 256;
+  tc.lr = 1e-2f;
+  tc.eval_every = 2;
+  const auto r = core::train_pp(model, pre, ds, tc);
+  return r.history.test_at_best_val();
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t hops = 3;
+  header("Ablation: propagation operator for SIGN (3 hops)");
+  std::printf("%-14s %10s %10s %10s %14s\n", "dataset", "sym", "ppr", "heat",
+              "multi (K=3)");
+
+  for (const auto name : graph::medium_datasets()) {
+    const auto ds = graph::make_dataset(name, 0.4);
+
+    const auto run_op = [&](core::OperatorKind op) {
+      core::PrecomputeConfig pc;
+      pc.op = op;
+      pc.hops = hops;
+      return train_on(core::precompute(ds.graph, ds.features, pc), ds);
+    };
+    const double sym = run_op(core::OperatorKind::kSymNorm);
+    const double ppr = run_op(core::OperatorKind::kPpr);
+    const double heat = run_op(core::OperatorKind::kHeat);
+
+    // K = 3: all operators at once — Eq. (2) with K kernels; the expanded
+    // input grows to K(R+1)-ish matrices (shared hop-0 appears once).
+    std::vector<core::PrecomputeConfig> multi(3);
+    multi[0].op = core::OperatorKind::kSymNorm;
+    multi[1].op = core::OperatorKind::kPpr;
+    multi[2].op = core::OperatorKind::kHeat;
+    for (auto& m : multi) m.hops = hops;
+    const auto pre = core::precompute_multi(ds.graph, ds.features, multi);
+    const double k3 = train_on(pre, ds);
+
+    std::printf("%-14s %10.3f %10.3f %10.3f %14.3f\n", ds.name.c_str(), sym,
+                ppr, heat, k3);
+    std::fflush(stdout);
+  }
+
+  header("Input-expansion price (paper-scale igb-large bytes, R=3)");
+  const auto scale = graph::paper_scale(graph::DatasetName::kIgbLargeSim);
+  for (const std::size_t k : {1ul, 2ul, 3ul}) {
+    std::printf("K=%zu: %.2f TB\n", k,
+                static_cast<double>(scale.preprocessed_bytes(3, k)) / 1e12);
+  }
+  std::printf("\nExpected shape: sym and heat land within a few points of "
+              "each other (both are pure low-pass filters); PPR trails on "
+              "these low-SNR analogues because its teleport term keeps "
+              "re-injecting the noisy raw features; K=3 matches the best "
+              "single kernel at 3x the input-expansion cost — why the "
+              "paper's evaluation keeps K=1.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 14 (+ Appendix H) — influence of data placement and training
+// method on epoch time: GPU w/ RR, Host w/ CR, Host w/ RR, SSD w/ CR.
+//
+// Paper findings: GPU fastest; Host+CR ~ GPU; Host+RR moderately slower for
+// HOGA but much slower for SIGN/SGC; SSD+CR ~ Host+RR (36% of GPU, 41% of
+// Host+CR, 2% faster than Host+RR on average).
+#include "common.h"
+
+using namespace ppgnn;
+using namespace ppgnn::bench;
+using namespace ppgnn::sim;
+
+namespace {
+
+struct Config {
+  const char* label;
+  DataPlacement placement;
+  LoaderKind loader;
+};
+
+}  // namespace
+
+int main() {
+  header("Figure 14: normalized epoch time by placement and method (modeled)");
+  const Config configs[] = {
+      {"GPU w/ RR", DataPlacement::kGpu, LoaderKind::kDoubleBuffer},
+      {"Host w/ CR", DataPlacement::kHost, LoaderKind::kChunkPipeline},
+      {"Host w/ RR", DataPlacement::kHost, LoaderKind::kDoubleBuffer},
+      {"SSD w/ CR", DataPlacement::kStorage, LoaderKind::kChunkPipeline},
+  };
+  struct ModelRow {
+    const char* label;
+    PpModelKind kind;
+    std::size_t hidden;
+  };
+  const std::vector<ModelRow> models{{"HOGA", PpModelKind::kHoga, 256},
+                                     {"SIGN", PpModelKind::kSign, 512},
+                                     {"SGC", PpModelKind::kSgc, 512}};
+  const auto datasets = graph::medium_datasets();
+  const char* ds_tag[] = {"O", "P", "W"};
+
+  std::printf("%-10s %12s %12s %12s %12s\n", "config", configs[0].label,
+              configs[1].label, configs[2].label, configs[3].label);
+  std::vector<double> ssd_vs_gpu, ssd_vs_hostcr, ssd_vs_hostrr;
+  for (std::size_t d = 0; d < datasets.size(); ++d) {
+    for (const auto& m : models) {
+      double t[4] = {0, 0, 0, 0};
+      for (const std::size_t hops : {2, 3, 4, 5, 6}) {
+        for (int c = 0; c < 4; ++c) {
+          auto cfg = paper_pp_config(datasets[d], m.kind, hops, m.hidden);
+          cfg.placement = configs[c].placement;
+          cfg.loader = configs[c].loader;
+          t[c] += simulate_pp_epoch(cfg).epoch_seconds;
+        }
+      }
+      std::printf("%s-%-8s %12.2f %12.2f %12.2f %12.2f\n", ds_tag[d], m.label,
+                  t[0] / t[0], t[1] / t[0], t[2] / t[0], t[3] / t[0]);
+      ssd_vs_gpu.push_back(t[0] / t[3]);
+      ssd_vs_hostcr.push_back(t[1] / t[3]);
+      ssd_vs_hostrr.push_back(t[2] / t[3]);
+    }
+  }
+  std::printf("\nSSD+CR achieves %.0f%% of GPU-placement efficiency, %.0f%% "
+              "of Host+CR, and is %.2fx vs Host+RR\n",
+              100 * geomean(ssd_vs_gpu), 100 * geomean(ssd_vs_hostcr),
+              geomean(ssd_vs_hostrr));
+  std::printf("(paper: 36%%, 41%%, and ~2%% faster than Host+RR)\n");
+
+  header("Real measured placements on the products analogue (CPU + disk)");
+  const auto ds = graph::make_dataset(graph::DatasetName::kProductsSim, 0.4);
+  struct RealRow {
+    const char* label;
+    core::LoadingMode mode;
+  };
+  for (const RealRow row :
+       {RealRow{"RAM w/ RR (prefetch)", core::LoadingMode::kPrefetch},
+        RealRow{"RAM w/ CR (chunks)", core::LoadingMode::kChunkPrefetch},
+        RealRow{"Disk w/ CR (store)", core::LoadingMode::kStorageChunk}}) {
+    const auto r = run_pp(ds, "SIGN", 3, 12, 64, row.mode);
+    std::printf("%-24s %10.4f s/epoch (test acc %.3f)\n", row.label,
+                r.history.mean_epoch_seconds(), r.test_acc);
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 8 (+ Appendix E Figure 12) — influence of chunk reshuffling on the
+// validation-accuracy trajectory of HOGA (4 hops) across chunk sizes.
+// Chunk sizes are scaled to the analogue's training-set size the way the
+// paper's {1, 1000..8000} relate to its 8000 batch.
+//
+// Expected shape (paper): curves for all chunk sizes overlap; final test
+// accuracy varies by < 0.5% (chunk size 1 == SGD-RR).
+#include "common.h"
+
+using namespace ppgnn;
+using namespace ppgnn::bench;
+
+int main() {
+  const std::size_t chunk_sizes[] = {1, 128, 256, 512};
+  for (const auto name : graph::medium_datasets()) {
+    const auto ds = graph::make_dataset(name, 0.5);
+    header("Figure 8: " + ds.name + " — HOGA 4 hops, validation accuracy");
+    std::printf("%-10s", "epoch");
+    const std::size_t epochs = 24;
+    for (std::size_t e = 4; e <= epochs; e += 4) std::printf("   e=%-4zu", e);
+    std::printf("%10s\n", "test acc");
+
+    double rr_test = 0;
+    for (const auto cs : chunk_sizes) {
+      const auto mode = cs == 1 ? core::LoadingMode::kPrefetch
+                                : core::LoadingMode::kChunkPrefetch;
+      const auto r = run_pp(ds, "HOGA", 4, epochs, 64, mode, cs);
+      std::printf("chunk=%-4zu", cs);
+      for (std::size_t e = 4; e <= epochs; e += 4) {
+        std::printf("   %.3f ", r.history.epochs[e - 1].val_acc);
+      }
+      std::printf("%10.3f\n", r.test_acc);
+      std::fflush(stdout);
+      if (cs == 1) rr_test = r.test_acc;
+      else if (std::abs(r.test_acc - rr_test) > 0.02) {
+        std::printf("  (deviation from SGD-RR: %.3f)\n",
+                    r.test_acc - rr_test);
+      }
+    }
+  }
+  std::printf("\nExpected shape: trajectories overlap; final accuracy gap to "
+              "SGD-RR stays within noise (paper: < 0.5%%).\n");
+  return 0;
+}

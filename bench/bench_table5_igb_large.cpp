@@ -1,0 +1,73 @@
+// Table 5 — IGB-large: the storage-resident case (preprocessed input
+// ~1.6 TB > 380 GB host memory).  Accuracy from the analogue trained with
+// the *real* on-disk feature store (kStorageChunk exercises the GDS-
+// analogue code path); throughput from the paper-scale model for SAGE
+// (DGL-mmap, Ginex) vs SIGN/HOGA with chunked direct-storage access.
+//
+// Expected shape (paper): PP-GNNs reach up to ~42x higher throughput with
+// better accuracy; MP-GNN epochs take hours, making tuning impractical.
+#include "common.h"
+
+using namespace ppgnn;
+using namespace ppgnn::bench;
+using namespace ppgnn::sim;
+
+int main() {
+  const auto name = graph::DatasetName::kIgbLargeSim;
+  const auto ds = graph::make_dataset(name, 0.4);
+
+  header("Table 5 (accuracy): igb-large analogue, PP trained from real "
+         "on-disk store");
+  std::printf("%-6s %-8s %10s\n", "hops", "model", "test acc");
+  for (const std::size_t hops : {2, 3}) {
+    const auto sage = run_sage(ds, "LABOR", hops, 8, 64);
+    std::printf("%-6zu %-8s %10.3f\n", hops, "SAGE", sage.test_acc);
+    std::fflush(stdout);
+    const auto sign = run_pp(ds, "SIGN", hops, 12, 64,
+                             core::LoadingMode::kStorageChunk);
+    std::printf("%-6zu %-8s %10.3f\n", hops, "SIGN", sign.test_acc);
+    std::fflush(stdout);
+    const auto hoga = run_pp(ds, "HOGA", hops, 12, 64,
+                             core::LoadingMode::kStorageChunk);
+    std::printf("%-6zu %-8s %10.3f\n", hops, "HOGA", hoga.test_acc);
+    std::fflush(stdout);
+  }
+
+  header("Table 5 (throughput): epochs/hour at paper scale, modeled");
+  std::printf("%-6s %-10s %14s\n", "hops", "system", "epochs/hour");
+  for (const std::size_t hops : {2, 3}) {
+    struct MpRow {
+      const char* label;
+      MpSystem system;
+      double cache_hit;
+    };
+    for (const MpRow row : {MpRow{"SAGE-DGL(mmap)", MpSystem::kGinex, 0.3},
+                            MpRow{"Ginex", MpSystem::kGinex, 0.6}}) {
+      auto cfg = paper_mp_config(name, hops, 256);
+      cfg.system = row.system;
+      cfg.cache_hit = row.cache_hit;
+      std::printf("%-6zu %-14s %10.2f\n", hops, row.label,
+                  3600.0 * simulate_mp_epoch(cfg).throughput_epochs_per_sec());
+    }
+    struct PpRow {
+      const char* label;
+      PpModelKind kind;
+      std::size_t hidden;
+    };
+    for (const PpRow row : {PpRow{"SIGN", PpModelKind::kSign, 512},
+                            PpRow{"HOGA", PpModelKind::kHoga, 256}}) {
+      auto cfg = paper_pp_config(name, row.kind, hops, row.hidden);
+      cfg.placement = DataPlacement::kStorage;
+      cfg.loader = LoaderKind::kChunkPipeline;
+      std::printf("%-6zu %-14s %10.2f\n", hops, row.label,
+                  3600.0 * simulate_pp_epoch(cfg).throughput_epochs_per_sec());
+    }
+  }
+  const auto scale = graph::paper_scale(name);
+  std::printf("\npreprocessed input at R=3: %.2f TB (host memory: 380 GB) — "
+              "the input expansion problem that forces storage residency\n",
+              static_cast<double>(scale.preprocessed_bytes(3)) / 1e12);
+  std::printf("Expected shape: PP-GNNs an order of magnitude faster "
+              "(paper: up to 42x), with higher accuracy.\n");
+  return 0;
+}

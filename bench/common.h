@@ -1,0 +1,232 @@
+// Shared helpers for the table/figure reproduction harnesses.
+//
+// Each bench binary regenerates one artifact of the paper's evaluation.
+// Accuracy numbers come from *real training* on the scaled-down analogues;
+// throughput numbers for paper-scale graphs come from the calibrated
+// hardware cost model (see DESIGN.md §1 for the substitution argument).
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/complexity.h"
+#include "core/gamlp.h"
+#include "core/hoga.h"
+#include "core/precompute.h"
+#include "core/sgc.h"
+#include "core/sign.h"
+#include "core/ssgc.h"
+#include "core/trainer.h"
+#include "graph/dataset.h"
+#include "mpgnn/mp_trainer.h"
+#include "sampling/labor.h"
+#include "sampling/ladies.h"
+#include "sampling/neighbor.h"
+#include "sampling/saint.h"
+#include "sim/pipeline.h"
+
+namespace ppgnn::bench {
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline double geomean(const std::vector<double>& v) {
+  if (v.empty()) return 0;
+  double s = 0;
+  for (const double x : v) s += std::log(x);
+  return std::exp(s / static_cast<double>(v.size()));
+}
+
+// Builds a PP-GNN model by kind on a dataset's dimensions.
+inline std::unique_ptr<core::PpModel> make_pp_model(
+    const std::string& kind, const graph::Dataset& ds, std::size_t hops,
+    std::size_t hidden, Rng& rng) {
+  if (kind == "SGC") {
+    return std::make_unique<core::Sgc>(ds.feature_dim(), hops,
+                                       ds.num_classes, rng);
+  }
+  if (kind == "SSGC") {
+    return std::make_unique<core::Ssgc>(ds.feature_dim(), hops,
+                                        ds.num_classes, rng);
+  }
+  if (kind == "GAMLP") {
+    core::GamlpConfig cfg;
+    cfg.feat_dim = ds.feature_dim();
+    cfg.hops = hops;
+    cfg.hidden = hidden;
+    cfg.classes = ds.num_classes;
+    cfg.dropout = 0.3f;
+    return std::make_unique<core::Gamlp>(cfg, rng);
+  }
+  if (kind == "SIGN") {
+    core::SignConfig cfg;
+    cfg.feat_dim = ds.feature_dim();
+    cfg.hops = hops;
+    cfg.hidden = hidden;
+    cfg.classes = ds.num_classes;
+    cfg.dropout = 0.3f;
+    return std::make_unique<core::Sign>(cfg, rng);
+  }
+  if (kind == "HOGA") {
+    core::HogaConfig cfg;
+    cfg.feat_dim = ds.feature_dim();
+    cfg.hops = hops;
+    cfg.hidden = hidden;
+    cfg.heads = 2;
+    cfg.classes = ds.num_classes;
+    cfg.dropout = 0.3f;
+    return std::make_unique<core::Hoga>(cfg, rng);
+  }
+  throw std::invalid_argument("unknown PP model kind: " + kind);
+}
+
+struct PpRunResult {
+  TrainHistory history;
+  double test_acc = 0;
+  std::size_t convergence = 0;
+};
+
+// One full PP-GNN training run with preprocessing.
+inline PpRunResult run_pp(const graph::Dataset& ds, const std::string& kind,
+                          std::size_t hops, std::size_t epochs,
+                          std::size_t hidden = 64,
+                          core::LoadingMode mode = core::LoadingMode::kPrefetch,
+                          std::size_t chunk_size = 0,
+                          std::uint64_t seed = 1) {
+  core::PrecomputeConfig pc;
+  pc.hops = hops;
+  const auto pre = core::precompute(ds.graph, ds.features, pc);
+  Rng rng(seed);
+  auto model = make_pp_model(kind, ds, hops, hidden, rng);
+  core::PpTrainConfig tc;
+  tc.epochs = epochs;
+  tc.batch_size = 256;
+  tc.eval_every = 2;
+  tc.mode = mode;
+  tc.chunk_size = chunk_size == 0 ? tc.batch_size : chunk_size;
+  tc.seed = seed + 1;
+  const auto r = core::train_pp(*model, pre, ds, tc);
+  return {r.history, r.history.test_at_best_val(),
+          r.history.convergence_epoch()};
+}
+
+struct MpRunResult {
+  TrainHistory history;
+  double test_acc = 0;
+  std::size_t convergence = 0;
+  sampling::SamplerStats stats;
+};
+
+inline std::vector<int> fanouts_for(std::size_t layers) {
+  // Paper Appendix A: [15 10 5] extended with fanout-3 tail, trimmed for
+  // 2-layer models.
+  const std::vector<int> base{15, 10, 5, 3, 3, 3};
+  std::vector<int> f(base.begin(), base.begin() + layers);
+  return f;
+}
+
+inline std::unique_ptr<sampling::Sampler> make_sampler(
+    const std::string& kind, std::size_t layers, std::size_t batch) {
+  if (kind == "Neighbor") {
+    return std::make_unique<sampling::NeighborSampler>(fanouts_for(layers));
+  }
+  if (kind == "LABOR") {
+    return std::make_unique<sampling::LaborSampler>(fanouts_for(layers));
+  }
+  if (kind == "LADIES") {
+    return std::make_unique<sampling::LadiesSampler>(layers, 512);
+  }
+  if (kind == "SAINT") {
+    return std::make_unique<sampling::SaintNodeSampler>(layers, batch);
+  }
+  throw std::invalid_argument("unknown sampler: " + kind);
+}
+
+// One GraphSAGE training run with the given sampler.
+inline MpRunResult run_sage(const graph::Dataset& ds,
+                            const std::string& sampler_kind,
+                            std::size_t layers, std::size_t epochs,
+                            std::size_t hidden = 64, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  mpgnn::SageConfig cfg;
+  cfg.in_dim = ds.feature_dim();
+  cfg.hidden_dim = hidden;
+  cfg.out_dim = ds.num_classes;
+  cfg.num_layers = layers;
+  cfg.dropout = 0.3f;
+  mpgnn::GraphSage model(cfg, rng);
+  const auto sampler = make_sampler(sampler_kind, layers, 256);
+  mpgnn::MpTrainConfig tc;
+  tc.epochs = epochs;
+  tc.batch_size = 256;
+  tc.lr = 1e-2f;
+  tc.eval_every = 2;
+  tc.seed = seed + 1;
+  const auto r = mpgnn::train_mp(model, ds, *sampler, tc);
+  return {r.history, r.history.test_at_best_val(),
+          r.history.convergence_epoch(), r.sampler_stats};
+}
+
+inline MpRunResult run_gat(const graph::Dataset& ds,
+                           const std::string& sampler_kind,
+                           std::size_t layers, std::size_t epochs,
+                           std::size_t head_dim = 16, std::size_t heads = 4,
+                           std::uint64_t seed = 1) {
+  Rng rng(seed);
+  mpgnn::GatConfig cfg;
+  cfg.in_dim = ds.feature_dim();
+  cfg.head_dim = head_dim;
+  cfg.heads = heads;
+  cfg.out_dim = ds.num_classes;
+  cfg.num_layers = layers;
+  cfg.dropout = 0.3f;
+  mpgnn::Gat model(cfg, rng);
+  const auto sampler = make_sampler(sampler_kind, layers, 256);
+  mpgnn::MpTrainConfig tc;
+  tc.epochs = epochs;
+  tc.batch_size = 256;
+  tc.eval_every = 2;
+  tc.seed = seed + 1;
+  const auto r = mpgnn::train_mp(model, ds, *sampler, tc);
+  return {r.history, r.history.test_at_best_val(),
+          r.history.convergence_epoch(), r.sampler_stats};
+}
+
+// Paper-scale PP pipeline config for a dataset (cost-model side).
+inline sim::PpPipelineConfig paper_pp_config(graph::DatasetName name,
+                                             sim::PpModelKind kind,
+                                             std::size_t hops,
+                                             std::size_t hidden) {
+  const auto scale = graph::paper_scale(name);
+  sim::PpPipelineConfig cfg;
+  cfg.model.kind = kind;
+  cfg.model.hops = hops;
+  cfg.model.feat_dim = scale.feature_dim;
+  cfg.model.hidden = hidden;
+  cfg.model.classes = scale.classes;
+  cfg.train_rows = scale.train_nodes();
+  return cfg;
+}
+
+inline sim::MpPipelineConfig paper_mp_config(graph::DatasetName name,
+                                             std::size_t layers,
+                                             std::size_t hidden,
+                                             bool labor = true) {
+  const auto scale = graph::paper_scale(name);
+  sim::MpPipelineConfig cfg;
+  cfg.model.feat_dim = scale.feature_dim;
+  cfg.model.hidden = hidden;
+  cfg.model.classes = scale.classes;
+  cfg.model.layers = layers;
+  cfg.batch_shape =
+      labor ? sim::expected_labor_batch(fanouts_for(layers), 8000, scale.nodes)
+            : sim::expected_neighbor_batch(fanouts_for(layers), 8000,
+                                           scale.nodes);
+  cfg.train_rows = scale.train_nodes();
+  return cfg;
+}
+
+}  // namespace ppgnn::bench

@@ -1,0 +1,41 @@
+// Automated training configuration (Section 5) across every benchmark.
+//
+// For each dataset x PP-GNN model, the configurator probes the model's peak
+// GPU working set, sizes the expanded input, picks data placement + training
+// method, and predicts the epoch time with the pipeline simulator —
+// reproducing the paper's placement outcomes: medium graphs and papers100M
+// preload to GPU, igb-medium lands in host memory with chunk reshuffling,
+// igb-large goes to storage.
+#include <cstdio>
+
+#include "core/autoconfig.h"
+#include "graph/dataset.h"
+
+int main() {
+  using namespace ppgnn;
+
+  for (const int gpus : {1, 4}) {
+    std::printf("====== %d GPU(s) ======\n", gpus);
+    const core::AutoConfigurator ac(sim::MachineSpec::paper_server(), gpus);
+    for (const auto name : graph::all_datasets()) {
+      const auto scale = graph::paper_scale(name);
+      std::printf("\n%s (%zu nodes, %zu-dim features):\n",
+                  graph::to_string(name), scale.nodes, scale.feature_dim);
+      for (const auto kind :
+           {sim::PpModelKind::kSgc, sim::PpModelKind::kSign,
+            sim::PpModelKind::kHoga}) {
+        sim::PpModelShape shape;
+        shape.kind = kind;
+        shape.hops = 3;
+        shape.feat_dim = scale.feature_dim;
+        shape.hidden = kind == sim::PpModelKind::kHoga ? 256 : 512;
+        shape.classes = scale.classes;
+        const auto plan = ac.plan(shape, scale);
+        std::printf("  %-5s -> %s\n", sim::to_string(kind),
+                    plan.summary().c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

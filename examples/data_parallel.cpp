@@ -1,0 +1,63 @@
+// Data-parallel PP-GNN training across worker threads — the executable
+// analogue of the paper's 1/2/4-GPU scaling experiments (Tables 3/4) and
+// of Section 5's locality-aware multi-GPU data placement.
+//
+// Trains SIGN on the igb-medium analogue with 1, 2 and 4 workers under
+// both epoch-order policies and reports accuracy, epoch time and the
+// remote-row fraction (the traffic that makes naive multi-GPU loading
+// egress-bound at scale).
+#include <cstdio>
+
+#include "core/parallel_trainer.h"
+#include "core/precompute.h"
+#include "core/sign.h"
+#include "graph/dataset.h"
+
+int main() {
+  using namespace ppgnn;
+
+  const auto ds = graph::make_dataset(graph::DatasetName::kIgbMediumSim, 0.15);
+  core::PrecomputeConfig pc;
+  pc.hops = 2;
+  const auto pre = core::precompute(ds.graph, ds.features, pc);
+  std::printf("dataset %s: %zu nodes, %zu train rows, %zu-hop features\n\n",
+              ds.name.c_str(), ds.num_nodes(), ds.split.train.size(),
+              pre.num_hops());
+
+  const core::ModelFactory factory =
+      [&](Rng& rng) -> std::unique_ptr<core::PpModel> {
+    core::SignConfig cfg;
+    cfg.feat_dim = ds.feature_dim();
+    cfg.hops = pc.hops;
+    cfg.hidden = 64;
+    cfg.classes = ds.num_classes;
+    cfg.dropout = 0.f;
+    return std::make_unique<core::Sign>(cfg, rng);
+  };
+
+  std::printf("%-24s %8s %10s %12s %14s\n", "policy", "workers", "test acc",
+              "epoch (s)", "remote rows");
+  for (const auto policy : {core::EpochOrderPolicy::kGlobalShuffle,
+                            core::EpochOrderPolicy::kLocalityAware}) {
+    for (const int workers : {1, 2, 4}) {
+      core::DataParallelConfig cfg;
+      cfg.num_workers = workers;
+      cfg.epochs = 6;
+      cfg.batch_size = 256;
+      cfg.eval_every = 2;
+      cfg.seed = 5;
+      cfg.policy = policy;
+      const auto r = core::train_pp_data_parallel(factory, pre, ds, cfg);
+      std::printf("%-24s %8d %10.4f %12.4f %13.1f%%\n",
+                  core::to_string(policy), workers,
+                  r.history.test_at_best_val(),
+                  r.history.mean_epoch_seconds(),
+                  100.0 * r.remote_row_fraction);
+    }
+  }
+  std::printf("\nGlobal shuffling fetches ~(W-1)/W of every batch from other "
+              "workers' partitions; locality-aware ordering eliminates that "
+              "traffic at no accuracy cost (the multi-GPU variant of the "
+              "chunk-reshuffling argument).\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: train a PP-GNN (SIGN) end to end on a synthetic analogue of
+// ogbn-products.
+//
+//   1. generate the dataset (seeded SBM + class-conditional features)
+//   2. preprocess: 3-hop feature propagation with the normalized adjacency
+//   3. train with the optimized loader (double-buffered prefetching)
+//   4. report accuracy, convergence epoch and the time breakdown
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/example_quickstart
+#include <cstdio>
+
+#include "core/precompute.h"
+#include "core/sign.h"
+#include "core/trainer.h"
+#include "graph/dataset.h"
+
+int main() {
+  using namespace ppgnn;
+
+  // 1. Dataset (scale 0.5 keeps this under a few seconds on a laptop).
+  const auto ds = graph::make_dataset(graph::DatasetName::kProductsSim, 0.5);
+  std::printf("dataset %s: %zu nodes, %zu edges, %zu feats, %zu classes, "
+              "homophily %.2f\n",
+              ds.name.c_str(), ds.num_nodes(), ds.graph.num_edges(),
+              ds.feature_dim(), ds.num_classes, ds.homophily);
+
+  // 2. One-time preprocessing (Eq. 2): S = {X, BX, B^2X, B^3X}.
+  core::PrecomputeConfig pc;
+  pc.hops = 3;
+  const auto pre = core::precompute(ds.graph, ds.features, pc);
+  std::printf("preprocessing: %zu hops in %.3f s (expanded row = %zu B)\n",
+              pre.num_hops(), pre.preprocess_seconds, pre.row_bytes());
+
+  // 3. Train SIGN with the optimized data loader.
+  Rng rng(1);
+  core::SignConfig sc;
+  sc.feat_dim = ds.feature_dim();
+  sc.hops = pc.hops;
+  sc.hidden = 128;
+  sc.classes = ds.num_classes;
+  sc.dropout = 0.3f;
+  core::Sign model(sc, rng);
+
+  core::PpTrainConfig tc;
+  tc.epochs = 30;
+  tc.batch_size = 256;
+  tc.lr = 1e-2f;
+  tc.mode = core::LoadingMode::kPrefetch;
+  const auto result = core::train_pp(model, pre, ds, tc);
+
+  // 4. Report.
+  const auto& h = result.history;
+  std::printf("\nfinal: val %.4f  test@best-val %.4f  convergence epoch %zu\n",
+              h.peak_val_acc(), h.test_at_best_val(), h.convergence_epoch());
+  std::printf("mean epoch time %.4f s over %zu epochs\n",
+              h.mean_epoch_seconds(), h.epochs.size());
+  const auto& last = h.epochs.back();
+  std::printf("last epoch breakdown: load-stall %.4f fwd %.4f bwd %.4f "
+              "opt %.4f s\n",
+              last.data_loading_seconds, last.forward_seconds,
+              last.backward_seconds, last.optimizer_seconds);
+  return 0;
+}

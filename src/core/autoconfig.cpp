@@ -1,0 +1,70 @@
+#include "core/autoconfig.h"
+
+#include <sstream>
+
+namespace ppgnn::core {
+
+std::size_t AutoConfigurator::probe_model_peak_bytes(
+    const sim::PpModelShape& model) const {
+  // Parameters + gradients + Adam moments (4x params), plus the live
+  // activations of one batch: input rows, per-layer hidden activations
+  // (forward caches retained for backward), double-buffered input staging.
+  const std::size_t params = model.param_bytes();
+  const std::size_t input = batch_size_ * model.row_bytes();
+  const std::size_t r1 = model.hops + 1;
+  std::size_t act = 0;
+  switch (model.kind) {
+    case sim::PpModelKind::kSgc:
+      act = batch_size_ * model.classes * sizeof(float);
+      break;
+    case sim::PpModelKind::kSign:
+      act = batch_size_ * (r1 * model.hidden + model.hidden + model.classes) *
+            sizeof(float) * 2;  // fwd cache + grads
+      break;
+    case sim::PpModelKind::kHoga:
+      act = batch_size_ * r1 *
+            (4 * model.hidden + r1) * sizeof(float) * 2;
+      break;
+  }
+  return 4 * params + 2 * input /*double buffer*/ + act;
+}
+
+TrainingPlan AutoConfigurator::plan(const sim::PpModelShape& model,
+                                    const graph::PaperScale& dataset,
+                                    bool force_sgd_rr) const {
+  TrainingPlan plan;
+  plan.model_peak_bytes = probe_model_peak_bytes(model);
+  plan.input_bytes = dataset.preprocessed_bytes(model.hops, model.kernels);
+
+  loader::PlacementRequest req;
+  req.input_bytes = plan.input_bytes;
+  req.model_peak_bytes = plan.model_peak_bytes;
+  req.num_gpus = num_gpus_;
+  req.force_sgd_rr = force_sgd_rr;
+  plan.placement = loader::decide_placement(req, machine_);
+
+  plan.pipeline.machine = machine_;
+  plan.pipeline.model = model;
+  plan.pipeline.train_rows = dataset.train_nodes();
+  plan.pipeline.batch_size = batch_size_;
+  plan.pipeline.chunk_size = chunk_size_;
+  plan.pipeline.loader = plan.placement.loader;
+  plan.pipeline.placement = plan.placement.placement;
+  plan.pipeline.num_gpus = num_gpus_;
+  plan.predicted = sim::simulate_pp_epoch(plan.pipeline);
+  return plan;
+}
+
+std::string TrainingPlan::summary() const {
+  std::ostringstream os;
+  os << "placement=" << sim::to_string(placement.placement)
+     << " method=" << (placement.chunk_reshuffle ? "SGD-CR" : "SGD-RR")
+     << " loader=" << sim::to_string(placement.loader)
+     << " input=" << static_cast<double>(input_bytes) / sim::kGiB << " GiB"
+     << " peak=" << static_cast<double>(model_peak_bytes) / sim::kGiB
+     << " GiB -> " << predicted.epoch_seconds << " s/epoch ("
+     << placement.rationale << ")";
+  return os.str();
+}
+
+}  // namespace ppgnn::core

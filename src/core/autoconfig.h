@@ -1,0 +1,56 @@
+// Automated training configuration (Section 5).
+//
+// Given the hardware, the PP-GNN model shape and the dataset's paper-scale
+// statistics, the configurator (1) estimates the model's peak GPU working
+// set via a probe (the paper runs one storage-backed training step and
+// measures; we evaluate the same quantity analytically from the shapes),
+// (2) decides data placement and training method through the placement
+// policy, and (3) predicts the resulting epoch time with the pipeline
+// simulator so callers can see what the decision buys.
+#pragma once
+
+#include <string>
+
+#include "graph/dataset.h"
+#include "loader/placement.h"
+#include "sim/cost_model.h"
+#include "sim/pipeline.h"
+
+namespace ppgnn::core {
+
+struct TrainingPlan {
+  loader::PlacementDecision placement;
+  sim::PpPipelineConfig pipeline;   // fully configured pipeline
+  sim::EpochSim predicted;          // simulated epoch under the plan
+  std::size_t input_bytes = 0;      // expanded training input
+  std::size_t model_peak_bytes = 0; // probe estimate
+  std::string summary() const;
+};
+
+class AutoConfigurator {
+ public:
+  AutoConfigurator(const sim::MachineSpec& machine, int num_gpus,
+                   std::size_t batch_size = 8000,
+                   std::size_t chunk_size = 8000)
+      : machine_(machine),
+        num_gpus_(num_gpus),
+        batch_size_(batch_size),
+        chunk_size_(chunk_size) {}
+
+  // Peak GPU bytes for one training step: parameters + optimizer state +
+  // activations of one double-buffered batch.  Mirrors the PaGraph-style
+  // probe the paper describes.
+  std::size_t probe_model_peak_bytes(const sim::PpModelShape& model) const;
+
+  TrainingPlan plan(const sim::PpModelShape& model,
+                    const graph::PaperScale& dataset,
+                    bool force_sgd_rr = false) const;
+
+ private:
+  sim::MachineSpec machine_;
+  int num_gpus_;
+  std::size_t batch_size_;
+  std::size_t chunk_size_;
+};
+
+}  // namespace ppgnn::core

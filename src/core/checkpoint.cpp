@@ -1,0 +1,114 @@
+#include "core/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace ppgnn::core {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x5050434Bu;  // 'PPCK'
+constexpr std::uint32_t kVersion = 1;
+
+void write_u64(std::ofstream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::ifstream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("checkpoint: truncated file");
+  return v;
+}
+
+void write_tensor(std::ofstream& out, const Tensor& t) {
+  write_u64(out, t.shape().size());
+  for (const auto d : t.shape()) write_u64(out, d);
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.bytes()));
+}
+
+void read_tensor_into(std::ifstream& in, Tensor& t) {
+  const auto rank = read_u64(in);
+  if (rank != t.shape().size()) {
+    throw std::runtime_error("checkpoint: tensor rank mismatch");
+  }
+  for (const auto expect : t.shape()) {
+    if (read_u64(in) != expect) {
+      throw std::runtime_error("checkpoint: tensor shape mismatch");
+    }
+  }
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.bytes()));
+  if (!in) throw std::runtime_error("checkpoint: truncated tensor data");
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path, PpModel& model,
+                     nn::Optimizer& opt, const CheckpointMeta& meta) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("checkpoint: cannot open " + tmp);
+    write_u64(out, kMagic);
+    write_u64(out, kVersion);
+    write_u64(out, meta.next_epoch);
+    write_u64(out, static_cast<std::uint64_t>(meta.step_count));
+
+    std::vector<nn::ParamSlot> params;
+    model.collect_params(params);
+    write_u64(out, params.size());
+    for (const auto& p : params) write_tensor(out, *p.value);
+
+    const auto state = opt.state_tensors();
+    write_u64(out, state.size());
+    for (const auto* t : state) write_tensor(out, *t);
+    if (!out) throw std::runtime_error("checkpoint: write failed");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw std::runtime_error("checkpoint: rename failed: " + ec.message());
+  }
+}
+
+CheckpointMeta load_checkpoint(const std::string& path, PpModel& model,
+                               nn::Optimizer& opt) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  if (read_u64(in) != kMagic) {
+    throw std::runtime_error("checkpoint: bad magic in " + path);
+  }
+  if (read_u64(in) != kVersion) {
+    throw std::runtime_error("checkpoint: unsupported version");
+  }
+  CheckpointMeta meta;
+  meta.next_epoch = static_cast<std::size_t>(read_u64(in));
+  meta.step_count = static_cast<long>(read_u64(in));
+
+  std::vector<nn::ParamSlot> params;
+  model.collect_params(params);
+  if (read_u64(in) != params.size()) {
+    throw std::runtime_error("checkpoint: parameter count mismatch");
+  }
+  for (auto& p : params) read_tensor_into(in, *p.value);
+
+  const auto state = opt.state_tensors();
+  if (read_u64(in) != state.size()) {
+    throw std::runtime_error("checkpoint: optimizer state count mismatch");
+  }
+  for (auto* t : state) read_tensor_into(in, *t);
+  opt.set_step_count(meta.step_count);
+  return meta;
+}
+
+bool checkpoint_exists(const std::string& path) {
+  return std::filesystem::exists(path);
+}
+
+}  // namespace ppgnn::core

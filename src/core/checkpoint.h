@@ -1,0 +1,41 @@
+// Full training-state checkpointing: parameters + optimizer state + the
+// epoch cursor, in one file.
+//
+// The paper's cost story leans on amortization — one preprocessing pass
+// feeding "tens or even hundreds" of training runs (Section 3.5).  Long
+// runs in that regime need restartability; nn::save_parameters alone loses
+// the Adam moments and the position in the epoch schedule, which changes
+// the optimization trajectory on resume.  This module captures all three,
+// and core::train_pp consumes it through PpTrainConfig::checkpoint_path.
+//
+// Binary layout (little-endian): magic 'PPCK', version, next_epoch,
+// adam step count, parameter-tensor block, optimizer-state block (both in
+// collect_params / state_tensors order, each tensor as rank, dims, data).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/pp_model.h"
+#include "nn/optimizer.h"
+
+namespace ppgnn::core {
+
+struct CheckpointMeta {
+  std::size_t next_epoch = 1;  // first epoch that has NOT run yet
+  long step_count = 0;         // optimizer steps taken
+};
+
+// Writes model + optimizer state; overwrites atomically (write to
+// path.tmp, then rename) so a crash mid-save never corrupts the previous
+// checkpoint.  Throws std::system_error / std::runtime_error on failure.
+void save_checkpoint(const std::string& path, PpModel& model,
+                     nn::Optimizer& opt, const CheckpointMeta& meta);
+
+// Restores model + optimizer state; shapes must match exactly.
+CheckpointMeta load_checkpoint(const std::string& path, PpModel& model,
+                               nn::Optimizer& opt);
+
+bool checkpoint_exists(const std::string& path);
+
+}  // namespace ppgnn::core

@@ -1,0 +1,33 @@
+// Table 1: asymptotic training memory and computational cost of the seven
+// GNN configurations, both as the paper's symbolic expressions and as
+// numeric evaluators (used by the Table-1 bench to check the empirical
+// scaling of the real implementations against the formulas).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ppgnn::core {
+
+struct ComplexityParams {
+  double b = 8000;   // mini-batch size
+  double C = 10;     // sampled neighborhood size per node (SAGE/LABOR)
+  double L = 3;      // layers / hops
+  double F = 128;    // feature & hidden dimension (paper's simplification)
+  double n = 1e6;    // total nodes
+  double r = 3;      // hops (HOGA attention tokens = r + 1)
+};
+
+struct ComplexityEntry {
+  std::string model;
+  std::string memory_expr;   // as printed in Table 1
+  std::string compute_expr;
+  double memory = 0;         // numeric evaluation
+  double compute = 0;
+  double propagation = 0;    // red term (sparse feature propagation)
+  double transformation = 0; // blue term (dense transformation)
+};
+
+std::vector<ComplexityEntry> complexity_table(const ComplexityParams& p);
+
+}  // namespace ppgnn::core

@@ -1,0 +1,104 @@
+#include "core/eval_metrics.h"
+
+#include <stdexcept>
+
+namespace ppgnn::core {
+
+std::size_t ConfusionMatrix::total() const {
+  std::size_t t = 0;
+  for (const auto c : counts) t += c;
+  return t;
+}
+
+std::size_t ConfusionMatrix::correct() const {
+  std::size_t t = 0;
+  for (std::size_t c = 0; c < num_classes; ++c) t += at(c, c);
+  return t;
+}
+
+double ConfusionMatrix::accuracy() const {
+  const std::size_t n = total();
+  return n == 0 ? 0.0 : static_cast<double>(correct()) / static_cast<double>(n);
+}
+
+double ConfusionMatrix::recall(std::size_t c) const {
+  std::size_t support = 0;
+  for (std::size_t p = 0; p < num_classes; ++p) support += at(c, p);
+  return support == 0 ? 0.0
+                      : static_cast<double>(at(c, c)) /
+                            static_cast<double>(support);
+}
+
+double ConfusionMatrix::precision(std::size_t c) const {
+  std::size_t predicted = 0;
+  for (std::size_t t = 0; t < num_classes; ++t) predicted += at(t, c);
+  return predicted == 0 ? 0.0
+                        : static_cast<double>(at(c, c)) /
+                              static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::f1(std::size_t c) const {
+  const double p = precision(c);
+  const double r = recall(c);
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double sum = 0;
+  std::size_t used = 0;
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    std::size_t support = 0, predicted = 0;
+    for (std::size_t k = 0; k < num_classes; ++k) {
+      support += at(c, k);
+      predicted += at(k, c);
+    }
+    if (support == 0 && predicted == 0) continue;  // class absent entirely
+    sum += f1(c);
+    ++used;
+  }
+  return used == 0 ? 0.0 : sum / static_cast<double>(used);
+}
+
+double ConfusionMatrix::micro_f1() const {
+  // Single-label multi-class: pooled TP == trace, pooled FP == pooled FN,
+  // so micro-F1 reduces to accuracy.
+  return accuracy();
+}
+
+std::vector<std::int32_t> argmax_rows(const Tensor& logits) {
+  const std::size_t n = logits.rows();
+  const std::size_t c = logits.cols();
+  std::vector<std::int32_t> pred(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = logits.row(i);
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < c; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    pred[i] = static_cast<std::int32_t>(best);
+  }
+  return pred;
+}
+
+ConfusionMatrix confusion_matrix(const Tensor& logits,
+                                 const std::vector<std::int32_t>& labels) {
+  if (logits.rows() != labels.size()) {
+    throw std::invalid_argument("confusion_matrix: rows != labels");
+  }
+  ConfusionMatrix cm;
+  cm.num_classes = logits.cols();
+  cm.counts.assign(cm.num_classes * cm.num_classes, 0);
+  const auto pred = argmax_rows(logits);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const auto y = labels[i];
+    if (y < 0) continue;
+    if (static_cast<std::size_t>(y) >= cm.num_classes) {
+      throw std::out_of_range("confusion_matrix: label out of range");
+    }
+    cm.counts[static_cast<std::size_t>(y) * cm.num_classes +
+              static_cast<std::size_t>(pred[i])]++;
+  }
+  return cm;
+}
+
+}  // namespace ppgnn::core

@@ -1,0 +1,48 @@
+// Classification metrics beyond plain accuracy.
+//
+// The paper reports test accuracy everywhere, but its datasets are heavily
+// class-imbalanced (ogbn-products: 47 classes with a long tail; pokec:
+// binary) — per-class recall and macro-F1 make the accuracy numbers
+// interpretable, and the confusion matrix is what the example applications
+// print.  Implemented on logits + int labels, matching the trainers'
+// evaluation path; labels < 0 (unlabeled) are skipped like everywhere else.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ppgnn::core {
+
+struct ConfusionMatrix {
+  std::size_t num_classes = 0;
+  std::vector<std::size_t> counts;  // [true * num_classes + predicted]
+
+  std::size_t at(std::size_t truth, std::size_t pred) const {
+    return counts[truth * num_classes + pred];
+  }
+  std::size_t total() const;
+  std::size_t correct() const;  // trace
+  double accuracy() const;
+  // Recall / precision / F1 for one class; 0 when undefined (no support).
+  double recall(std::size_t c) const;
+  double precision(std::size_t c) const;
+  double f1(std::size_t c) const;
+  // Unweighted mean of per-class F1 (classes with no support and no
+  // predictions are skipped, matching scikit-learn's zero_division=0
+  // macro-F1 up to the skip rule).
+  double macro_f1() const;
+  // Global F1 over pooled counts == accuracy for single-label tasks.
+  double micro_f1() const;
+};
+
+// Builds the matrix from row-argmax predictions.  logits: [n, C];
+// labels: n entries, negatives skipped.
+ConfusionMatrix confusion_matrix(const Tensor& logits,
+                                 const std::vector<std::int32_t>& labels);
+
+// Argmax per row (exposed for tests and examples).
+std::vector<std::int32_t> argmax_rows(const Tensor& logits);
+
+}  // namespace ppgnn::core

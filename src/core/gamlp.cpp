@@ -1,0 +1,132 @@
+#include "core/gamlp.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace ppgnn::core {
+
+Gamlp::Gamlp(const GamlpConfig& cfg, Rng& rng) : cfg_(cfg) {
+  if (cfg.feat_dim == 0 || cfg.classes == 0) {
+    throw std::invalid_argument("Gamlp: feat_dim and classes required");
+  }
+  if (cfg.mlp_layers == 0) {
+    throw std::invalid_argument("Gamlp: mlp_layers must be >= 1");
+  }
+  const std::size_t tokens = cfg.hops + 1;
+  gates_ = Tensor({tokens, cfg.feat_dim});
+  grad_gates_ = Tensor({tokens, cfg.feat_dim});
+  // Small-scale init: gates start near uniform attention so early training
+  // matches SIGN-style equal hop weighting.
+  const float s = 0.1f / std::sqrt(static_cast<float>(cfg.feat_dim));
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    gates_.data()[i] = static_cast<float>(rng.normal(0.0, s));
+  }
+  std::vector<std::size_t> dims{cfg.feat_dim};
+  for (std::size_t l = 0; l + 1 < cfg.mlp_layers; ++l) dims.push_back(cfg.hidden);
+  dims.push_back(cfg.classes);
+  mlp_ = std::make_unique<nn::Mlp>(dims, cfg.dropout, rng);
+}
+
+Tensor Gamlp::forward(const Tensor& batch, bool train) {
+  const std::size_t f = cfg_.feat_dim;
+  const std::size_t tokens = cfg_.hops + 1;
+  if (batch.cols() != tokens * f) {
+    throw std::invalid_argument("Gamlp: batch width mismatch");
+  }
+  const std::size_t b = batch.rows();
+
+  cached_hops_.clear();
+  cached_hops_.reserve(tokens);
+  for (std::size_t r = 0; r < tokens; ++r) {
+    cached_hops_.push_back(slice_hop(batch, r, f));
+  }
+
+  // Scores s[i][r] = x_{i,r} . w_r, then per-row softmax over hops.
+  Tensor scores({b, tokens});
+  for (std::size_t r = 0; r < tokens; ++r) {
+    const Tensor& xr = cached_hops_[r];
+    const float* w = gates_.row(r);
+    for (std::size_t i = 0; i < b; ++i) {
+      const float* x = xr.row(i);
+      float s = 0.f;
+      for (std::size_t d = 0; d < f; ++d) s += x[d] * w[d];
+      scores.row(i)[r] = s;
+    }
+  }
+  cached_attn_ = Tensor({b, tokens});
+  softmax_rows(scores, cached_attn_);
+
+  Tensor h({b, f});
+  h.zero();
+  for (std::size_t r = 0; r < tokens; ++r) {
+    const Tensor& xr = cached_hops_[r];
+    for (std::size_t i = 0; i < b; ++i) {
+      const float a = cached_attn_.row(i)[r];
+      const float* x = xr.row(i);
+      float* out = h.row(i);
+      for (std::size_t d = 0; d < f; ++d) out[d] += a * x[d];
+    }
+  }
+  if (!train) {
+    cached_hops_.clear();  // inference keeps no caches
+  }
+  return mlp_->forward(h, train);
+}
+
+void Gamlp::backward(const Tensor& grad_logits) {
+  if (cached_hops_.empty()) {
+    throw std::logic_error("Gamlp::backward without cached forward");
+  }
+  const std::size_t f = cfg_.feat_dim;
+  const std::size_t tokens = cfg_.hops + 1;
+  const Tensor grad_h = mlp_->backward(grad_logits);  // [b, F]
+  const std::size_t b = grad_h.rows();
+
+  // d a_{i,r} = grad_h_i . x_{i,r}; softmax backward to scores; gate grads
+  // accumulate sum_i ds_{i,r} * x_{i,r}.
+  Tensor grad_attn({b, tokens});
+  for (std::size_t r = 0; r < tokens; ++r) {
+    const Tensor& xr = cached_hops_[r];
+    for (std::size_t i = 0; i < b; ++i) {
+      const float* g = grad_h.row(i);
+      const float* x = xr.row(i);
+      float s = 0.f;
+      for (std::size_t d = 0; d < f; ++d) s += g[d] * x[d];
+      grad_attn.row(i)[r] = s;
+    }
+  }
+  for (std::size_t i = 0; i < b; ++i) {
+    const float* a = cached_attn_.row(i);
+    const float* da = grad_attn.row(i);
+    float dot = 0.f;
+    for (std::size_t r = 0; r < tokens; ++r) dot += a[r] * da[r];
+    for (std::size_t r = 0; r < tokens; ++r) {
+      const float ds = a[r] * (da[r] - dot);
+      const float* x = cached_hops_[r].row(i);
+      float* gw = grad_gates_.row(r);
+      for (std::size_t d = 0; d < f; ++d) gw[d] += ds * x[d];
+    }
+  }
+  cached_hops_.clear();
+}
+
+void Gamlp::collect_params(std::vector<nn::ParamSlot>& out) {
+  out.push_back({&gates_, &grad_gates_, "gamlp.gates"});
+  mlp_->collect_params(out);
+}
+
+std::vector<float> Gamlp::mean_hop_attention() const {
+  const std::size_t tokens = cfg_.hops + 1;
+  std::vector<float> mean(tokens, 0.f);
+  if (cached_attn_.size() == 0) return mean;
+  const std::size_t b = cached_attn_.rows();
+  for (std::size_t i = 0; i < b; ++i) {
+    for (std::size_t r = 0; r < tokens; ++r) mean[r] += cached_attn_.row(i)[r];
+  }
+  for (auto& m : mean) m /= static_cast<float>(b);
+  return mean;
+}
+
+}  // namespace ppgnn::core

@@ -1,0 +1,62 @@
+// GAMLP — Graph Attention Multi-Layer Perceptron (Zhang et al., KDD 2022),
+// in its JK-attention form.
+//
+// A PP-GNN the paper lists alongside SIGN/HOGA (Section 1).  Each node
+// attends over its own R+1 hop features with a learned per-hop reference
+// vector, then feeds the attention-combined feature to an MLP:
+//
+//   s_{i,r} = x_{i,r} . w_r              (per-hop gate score)
+//   a_i     = softmax_r(s_i)             (hop attention, per node)
+//   h_i     = sum_r a_{i,r} * x_{i,r}
+//   y_i     = MLP(h_i)
+//
+// Expressivity sits between SIGN (fixed per-hop branches) and HOGA (full
+// token attention): GAMLP learns *which hops matter per node* at the cost
+// of R+1 extra gate vectors, while its training step remains dense and
+// neighbor-free — the defining PP-GNN property the paper's loaders exploit.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/pp_model.h"
+#include "nn/mlp.h"
+
+namespace ppgnn::core {
+
+struct GamlpConfig {
+  std::size_t feat_dim = 0;
+  std::size_t hops = 3;       // R; the model consumes R+1 hop matrices
+  std::size_t hidden = 256;
+  std::size_t mlp_layers = 2;  // layers of the output MLP (>= 1)
+  std::size_t classes = 0;
+  float dropout = 0.3f;
+};
+
+class Gamlp : public PpModel {
+ public:
+  Gamlp(const GamlpConfig& cfg, Rng& rng);
+
+  Tensor forward(const Tensor& batch, bool train) override;
+  void backward(const Tensor& grad_logits) override;
+  void collect_params(std::vector<nn::ParamSlot>& out) override;
+  std::string name() const override { return "GAMLP"; }
+  std::size_t hops() const override { return cfg_.hops; }
+
+  // Mean attention weight per hop over the last forward batch — used by
+  // tests and the operator-ablation bench to inspect which hops the model
+  // relies on.
+  std::vector<float> mean_hop_attention() const;
+
+ private:
+  GamlpConfig cfg_;
+  Tensor gates_;       // [R+1, F] reference vectors, one per hop
+  Tensor grad_gates_;  // same shape
+  std::unique_ptr<nn::Mlp> mlp_;
+
+  // forward caches (training mode only)
+  std::vector<Tensor> cached_hops_;  // R+1 tensors of [b, F]
+  Tensor cached_attn_;               // [b, R+1]
+};
+
+}  // namespace ppgnn::core

@@ -1,0 +1,70 @@
+// Training history and convergence bookkeeping (header-only, no deps).
+//
+// The paper measures convergence as the first epoch reaching 99% of the
+// peak validation accuracy (Figure 3); TrainHistory implements exactly that
+// so every trainer (PP and MP) reports comparable numbers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ppgnn {
+
+struct EpochRecord {
+  std::size_t epoch = 0;
+  double train_loss = 0.0;
+  double val_acc = 0.0;
+  double test_acc = 0.0;
+  double epoch_seconds = 0.0;      // wall-clock training time (excl. eval)
+  double data_loading_seconds = 0.0;
+  double forward_seconds = 0.0;
+  double backward_seconds = 0.0;
+  double optimizer_seconds = 0.0;
+};
+
+struct TrainHistory {
+  std::vector<EpochRecord> epochs;
+
+  double peak_val_acc() const {
+    double best = 0.0;
+    for (const auto& e : epochs) best = std::max(best, e.val_acc);
+    return best;
+  }
+
+  // Test accuracy at the epoch with the best validation accuracy (the
+  // model-selection rule used throughout the paper).
+  double test_at_best_val() const {
+    double best_val = -1.0, test = 0.0;
+    for (const auto& e : epochs) {
+      if (e.val_acc > best_val) {
+        best_val = e.val_acc;
+        test = e.test_acc;
+      }
+    }
+    return test;
+  }
+
+  // First epoch (1-based) reaching `frac` of the peak validation accuracy.
+  std::size_t convergence_epoch(double frac = 0.99) const {
+    const double target = frac * peak_val_acc();
+    for (const auto& e : epochs) {
+      if (e.val_acc >= target) return e.epoch;
+    }
+    return epochs.empty() ? 0 : epochs.back().epoch;
+  }
+
+  double mean_epoch_seconds() const {
+    if (epochs.empty()) return 0.0;
+    double s = 0.0;
+    for (const auto& e : epochs) s += e.epoch_seconds;
+    return s / static_cast<double>(epochs.size());
+  }
+
+  double total_train_seconds() const {
+    double s = 0.0;
+    for (const auto& e : epochs) s += e.epoch_seconds;
+    return s;
+  }
+};
+
+}  // namespace ppgnn

@@ -1,0 +1,231 @@
+#include "core/parallel_trainer.h"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/trainer.h"
+#include "loader/shuffler.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace ppgnn::core {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+}  // namespace
+
+const char* to_string(EpochOrderPolicy p) {
+  switch (p) {
+    case EpochOrderPolicy::kGlobalShuffle: return "global-shuffle (SGD-RR)";
+    case EpochOrderPolicy::kLocalityAware: return "locality-aware";
+  }
+  return "?";
+}
+
+DataParallelResult train_pp_data_parallel(const ModelFactory& factory,
+                                          const Preprocessed& pre,
+                                          const graph::Dataset& ds,
+                                          const DataParallelConfig& cfg) {
+  if (cfg.num_workers < 1) {
+    throw std::invalid_argument("train_pp_data_parallel: num_workers < 1");
+  }
+  if (cfg.epochs == 0 || cfg.batch_size == 0) {
+    throw std::invalid_argument("train_pp_data_parallel: zero epochs/batch");
+  }
+  const auto& train_idx = ds.split.train;
+  if (train_idx.empty()) {
+    throw std::invalid_argument("train_pp_data_parallel: empty train split");
+  }
+  const auto W = static_cast<std::size_t>(cfg.num_workers);
+  const std::size_t n = train_idx.size();
+
+  // Materialized expanded training rows (position i <-> train_idx[i]) and
+  // the ownership partition: row i lives on worker i / ceil(n/W) — the
+  // contiguous layout a per-GPU preload would use.
+  const Tensor train_x = pre.expanded_rows(train_idx);
+  std::vector<std::int32_t> train_y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    train_y[i] = ds.labels[static_cast<std::size_t>(train_idx[i])];
+  }
+  const std::size_t part = (n + W - 1) / W;
+  const auto owner_of = [&](std::size_t row) { return row / part; };
+
+  // Identically-initialized replicas with their own Adam state.
+  std::vector<std::unique_ptr<PpModel>> replicas;
+  std::vector<std::vector<nn::ParamSlot>> slots(W);
+  std::vector<std::unique_ptr<nn::Adam>> opts;
+  for (std::size_t w = 0; w < W; ++w) {
+    Rng replica_rng(cfg.seed);  // same seed -> identical weights
+    replicas.push_back(factory(replica_rng));
+    replicas[w]->collect_params(slots[w]);
+    opts.push_back(std::make_unique<nn::Adam>(slots[w], cfg.lr, 0.9f, 0.999f,
+                                              1e-8f, cfg.weight_decay));
+  }
+
+  Rng order_rng(cfg.seed + 1);
+  const auto rr = loader::make_shuffler(1);
+
+  DataParallelResult result;
+  result.rows_per_epoch = n;
+  std::size_t remote_rows = 0, total_rows = 0;
+
+  for (std::size_t epoch = 1; epoch <= cfg.epochs; ++epoch) {
+    const auto t_epoch = Clock::now();
+
+    // Epoch order: one global permutation, or per-partition permutations
+    // interleaved so each global batch takes an equal slice per worker.
+    std::vector<std::int64_t> order;
+    if (cfg.policy == EpochOrderPolicy::kGlobalShuffle) {
+      order = rr->epoch_order(n, order_rng);
+    } else {
+      order.resize(n);
+      std::size_t cursor = 0;
+      std::vector<std::vector<std::int64_t>> local(W);
+      for (std::size_t w = 0; w < W; ++w) {
+        const std::size_t lo = w * part;
+        const std::size_t hi = std::min(lo + part, n);
+        if (lo >= hi) continue;
+        local[w].resize(hi - lo);
+        for (std::size_t i = lo; i < hi; ++i) {
+          local[w][i - lo] = static_cast<std::int64_t>(i);
+        }
+        for (std::size_t i = hi - lo; i > 1; --i) {
+          std::swap(local[w][i - 1], local[w][order_rng.uniform_int(i)]);
+        }
+      }
+      // Lay rows out so each batch's per-worker slice (the consumption
+      // pattern below: worker w takes [lo + w*shard, lo + (w+1)*shard))
+      // draws from that worker's own partition.  Workers that run dry are
+      // backfilled from the fullest remaining queue (only possible with
+      // very skewed partitions).
+      std::vector<std::size_t> pos(W, 0);
+      while (cursor < n) {
+        const std::size_t b = std::min(cfg.batch_size, n - cursor);
+        const std::size_t shard = (b + W - 1) / W;
+        for (std::size_t w = 0; w < W && cursor < n; ++w) {
+          const std::size_t want =
+              std::min(shard, b > w * shard ? b - w * shard : 0);
+          for (std::size_t k = 0; k < want && cursor < n; ++k) {
+            std::size_t src = w;
+            if (pos[src] >= local[src].size()) {
+              std::size_t best = 0, best_left = 0;
+              for (std::size_t u = 0; u < W; ++u) {
+                const std::size_t left = local[u].size() - pos[u];
+                if (left > best_left) {
+                  best_left = left;
+                  best = u;
+                }
+              }
+              src = best;
+            }
+            order[cursor++] = local[src][pos[src]++];
+          }
+        }
+      }
+    }
+
+    EpochRecord rec;
+    rec.epoch = epoch;
+    double loss_sum = 0;
+    std::size_t batches = 0;
+
+    for (std::size_t lo = 0; lo < n; lo += cfg.batch_size) {
+      const std::size_t hi = std::min(lo + cfg.batch_size, n);
+      const std::size_t b = hi - lo;
+      // Shard the global batch: worker w takes an equal contiguous slice.
+      const std::size_t shard = (b + W - 1) / W;
+
+      std::vector<double> shard_loss(W, 0);
+      std::vector<std::size_t> shard_rows(W, 0);
+      const auto t_fwd = Clock::now();
+      const auto worker_fn = [&](std::size_t w) {
+        const std::size_t s_lo = lo + w * shard;
+        const std::size_t s_hi = std::min(s_lo + shard, hi);
+        if (s_lo >= s_hi) return;
+        std::vector<std::int64_t> rows(order.begin() + s_lo,
+                                       order.begin() + s_hi);
+        Tensor x = gather_rows(train_x, rows);
+        std::vector<std::int32_t> y(rows.size());
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+          y[i] = train_y[static_cast<std::size_t>(rows[i])];
+        }
+        opts[w]->zero_grad();
+        Tensor logits = replicas[w]->forward(x, /*train=*/true);
+        Tensor grad(logits.shape());
+        shard_loss[w] = cross_entropy(logits, y, grad);
+        shard_rows[w] = rows.size();
+        replicas[w]->backward(grad);
+      };
+      std::vector<std::thread> threads;
+      threads.reserve(W > 0 ? W - 1 : 0);
+      for (std::size_t w = 1; w < W; ++w) threads.emplace_back(worker_fn, w);
+      worker_fn(0);
+      for (auto& t : threads) t.join();
+      rec.forward_seconds += seconds_since(t_fwd);
+
+      // Remote-fetch accounting: a row is remote for the worker that
+      // consumed it if another worker's partition owns it.
+      for (std::size_t w = 0; w < W; ++w) {
+        const std::size_t s_lo = lo + w * shard;
+        const std::size_t s_hi = std::min(s_lo + shard, hi);
+        for (std::size_t i = s_lo; i < s_hi; ++i) {
+          ++total_rows;
+          if (owner_of(static_cast<std::size_t>(order[i])) != w) {
+            ++remote_rows;
+          }
+        }
+      }
+
+      // All-reduce: weighted-average the gradients so the result equals
+      // the gradient of the whole batch, then step every replica.
+      const auto t_opt = Clock::now();
+      for (std::size_t p = 0; p < slots[0].size(); ++p) {
+        Tensor& acc = *slots[0][p].grad;
+        scale_inplace(acc, static_cast<float>(shard_rows[0]) /
+                               static_cast<float>(b));
+        for (std::size_t w = 1; w < W; ++w) {
+          axpy(static_cast<float>(shard_rows[w]) / static_cast<float>(b),
+               *slots[w][p].grad, acc);
+        }
+        for (std::size_t w = 1; w < W; ++w) {
+          *slots[w][p].grad = acc;  // broadcast the reduced gradient
+        }
+      }
+      for (std::size_t w = 0; w < W; ++w) opts[w]->step();
+      rec.optimizer_seconds += seconds_since(t_opt);
+
+      double batch_loss = 0;
+      for (std::size_t w = 0; w < W; ++w) {
+        batch_loss += shard_loss[w] * static_cast<double>(shard_rows[w]) /
+                      static_cast<double>(b);
+      }
+      loss_sum += batch_loss;
+      ++batches;
+    }
+
+    rec.epoch_seconds = seconds_since(t_epoch);
+    rec.train_loss = batches ? loss_sum / static_cast<double>(batches) : 0;
+    if (epoch % cfg.eval_every == 0 || epoch == cfg.epochs) {
+      rec.val_acc = evaluate_pp(*replicas[0], pre, ds, ds.split.valid);
+      rec.test_acc = evaluate_pp(*replicas[0], pre, ds, ds.split.test);
+    } else if (!result.history.epochs.empty()) {
+      rec.val_acc = result.history.epochs.back().val_acc;
+      rec.test_acc = result.history.epochs.back().test_acc;
+    }
+    result.history.epochs.push_back(rec);
+  }
+
+  result.remote_row_fraction =
+      total_rows ? static_cast<double>(remote_rows) /
+                       static_cast<double>(total_rows)
+                 : 0.0;
+  return result;
+}
+
+}  // namespace ppgnn::core

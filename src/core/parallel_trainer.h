@@ -1,0 +1,66 @@
+// Data-parallel PP-GNN training with real worker threads — the executable
+// counterpart of the paper's multi-GPU experiments (Tables 3/4).
+//
+// Each worker owns a full model replica (identically initialized); every
+// global batch is split into per-worker shards; workers run forward/
+// backward concurrently on their shards; gradients are averaged (weighted
+// by shard size, i.e. an all-reduce) and every replica applies the same
+// averaged gradient through its own Adam instance — so replicas stay
+// bit-identical across the run, exactly like synchronous data-parallel
+// SGD across GPUs.
+//
+// Two epoch-order policies mirror Section 5's GPU-memory placement:
+//   - kGlobalShuffle: one global SGD-RR permutation; a worker's shard rows
+//     mostly live on *other* workers' partitions (remote fetches — what
+//     makes naive multi-GPU loading egress-bound);
+//   - kLocalityAware: rows are partitioned per worker up front and each
+//     worker shuffles only its own partition (Yang & Cong-style
+//     locality-aware loading) — zero remote fetches by construction.
+// The result reports the measured remote-row fraction so the trade-off is
+// visible, and tests assert the sync + equivalence invariants.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/metrics.h"
+#include "core/pp_model.h"
+#include "core/precompute.h"
+#include "graph/dataset.h"
+
+namespace ppgnn::core {
+
+enum class EpochOrderPolicy { kGlobalShuffle, kLocalityAware };
+const char* to_string(EpochOrderPolicy p);
+
+struct DataParallelConfig {
+  int num_workers = 2;
+  std::size_t epochs = 10;
+  std::size_t batch_size = 512;  // global batch, split across workers
+  float lr = 1e-2f;
+  float weight_decay = 0.f;
+  std::size_t eval_every = 2;
+  std::uint64_t seed = 7;
+  EpochOrderPolicy policy = EpochOrderPolicy::kGlobalShuffle;
+};
+
+struct DataParallelResult {
+  TrainHistory history;
+  // Fraction of consumed rows that came from a different worker's
+  // partition (0 under kLocalityAware; ~ (W-1)/W under global shuffle).
+  double remote_row_fraction = 0;
+  std::size_t rows_per_epoch = 0;
+};
+
+// factory(worker_rng) must build identically-initialized replicas — it is
+// called once per worker with an identically-seeded Rng.
+using ModelFactory = std::function<std::unique_ptr<PpModel>(Rng&)>;
+
+// Trains with num_workers concurrent replicas; evaluation runs on replica
+// 0 (all replicas hold the same weights throughout).
+DataParallelResult train_pp_data_parallel(const ModelFactory& factory,
+                                          const Preprocessed& pre,
+                                          const graph::Dataset& ds,
+                                          const DataParallelConfig& cfg);
+
+}  // namespace ppgnn::core

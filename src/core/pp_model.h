@@ -1,0 +1,50 @@
+// PP-GNN model interface.
+//
+// All three models consume the same expanded mini-batch layout produced by
+// Preprocessed::expanded_rows / the data loaders: each row is the hop-major
+// concatenation [hop0 | hop1 | ... | hopR] of one node's propagated
+// features.  Models slice the hops they need — which is why one loader
+// implementation serves SGC, SIGN and HOGA alike (and why the paper's
+// loading optimizations are model-agnostic).
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace ppgnn::core {
+
+class PpModel {
+ public:
+  virtual ~PpModel() = default;
+
+  // batch: [b, (R+1)*F] -> logits [b, classes].
+  virtual Tensor forward(const Tensor& batch, bool train) = 0;
+  // Gradients flow only into parameters; the input is data.
+  virtual void backward(const Tensor& grad_logits) = 0;
+  virtual void collect_params(std::vector<nn::ParamSlot>& out) = 0;
+  virtual std::string name() const = 0;
+  virtual std::size_t hops() const = 0;
+
+  std::size_t num_params() {
+    std::vector<nn::ParamSlot> slots;
+    collect_params(slots);
+    std::size_t n = 0;
+    for (const auto& s : slots) n += s.value->size();
+    return n;
+  }
+};
+
+// Copies hop `h` (feature width f) out of an expanded batch.
+inline Tensor slice_hop(const Tensor& batch, std::size_t h, std::size_t f) {
+  Tensor out({batch.rows(), f});
+  for (std::size_t i = 0; i < batch.rows(); ++i) {
+    std::memcpy(out.row(i), batch.row(i) + h * f, f * sizeof(float));
+  }
+  return out;
+}
+
+}  // namespace ppgnn::core

@@ -1,0 +1,468 @@
+#include "core/run_config.h"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/gamlp.h"
+#include "core/hoga.h"
+#include "core/sgc.h"
+#include "core/sign.h"
+#include "core/ssgc.h"
+
+namespace ppgnn::core {
+
+// ----------------------------------------------------------- JsonValue ----
+
+bool JsonValue::as_bool() const {
+  if (type_ != Type::kBool) throw std::runtime_error("json: not a bool");
+  return bool_;
+}
+double JsonValue::as_number() const {
+  if (type_ != Type::kNumber) throw std::runtime_error("json: not a number");
+  return number_;
+}
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::kString) throw std::runtime_error("json: not a string");
+  return string_;
+}
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  if (type_ != Type::kArray) throw std::runtime_error("json: not an array");
+  return array_;
+}
+const std::map<std::string, JsonValue>& JsonValue::as_object() const {
+  if (type_ != Type::kObject) throw std::runtime_error("json: not an object");
+  return object_;
+}
+
+bool JsonValue::has(const std::string& key) const {
+  return as_object().count(key) > 0;
+}
+const JsonValue& JsonValue::get(const std::string& key) const {
+  const auto& obj = as_object();
+  const auto it = obj.find(key);
+  if (it == obj.end()) throw std::runtime_error("json: missing key '" + key + "'");
+  return it->second;
+}
+double JsonValue::get_or(const std::string& key, double fallback) const {
+  return has(key) ? get(key).as_number() : fallback;
+}
+std::string JsonValue::get_or(const std::string& key,
+                              const std::string& fallback) const {
+  return has(key) ? get(key).as_string() : fallback;
+}
+bool JsonValue::get_or(const std::string& key, bool fallback) const {
+  return has(key) ? get(key).as_bool() : fallback;
+}
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+JsonValue JsonValue::make_number(double d) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = d;
+  return v;
+}
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+JsonValue JsonValue::make_array(std::vector<JsonValue> a) {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  v.array_ = std::move(a);
+  return v;
+}
+JsonValue JsonValue::make_object(std::map<std::string, JsonValue> o) {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  v.object_ = std::move(o);
+  return v;
+}
+
+// -------------------------------------------------------------- parser ----
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    skip_ws();
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage after document");
+    return v;
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) {
+      throw std::runtime_error("json parse error: unexpected end of input");
+    }
+    return text_[pos_];
+  }
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+  void expect(char c) {
+    if (take() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue::make_string(parse_string());
+      case 't': parse_literal("true"); return JsonValue::make_bool(true);
+      case 'f': parse_literal("false"); return JsonValue::make_bool(false);
+      case 'n': parse_literal("null"); return JsonValue::make_null();
+      default: return JsonValue::make_number(parse_number());
+    }
+  }
+
+  void parse_literal(const char* lit) {
+    for (const char* p = lit; *p; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) fail("bad literal");
+      ++pos_;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char esc = take();
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            // \uXXXX: decode BMP codepoints to UTF-8 (no surrogate pairs —
+            // config files have no business containing them).
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = take();
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape");
+            }
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string tok = text_.substr(start, pos_ - start);
+    std::size_t used = 0;
+    double d = 0;
+    try {
+      d = std::stod(tok, &used);
+    } catch (const std::exception&) {
+      fail("bad number '" + tok + "'");
+    }
+    if (used != tok.size()) fail("bad number '" + tok + "'");
+    return d;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue::make_array(std::move(items));
+    }
+    while (true) {
+      skip_ws();
+      items.push_back(parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') return JsonValue::make_array(std::move(items));
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']'");
+      }
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    std::map<std::string, JsonValue> fields;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue::make_object(std::move(fields));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      if (!fields.emplace(std::move(key), parse_value()).second) {
+        fail("duplicate key");
+      }
+      skip_ws();
+      const char c = take();
+      if (c == '}') return JsonValue::make_object(std::move(fields));
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}'");
+      }
+    }
+  }
+};
+
+std::size_t to_size(double d, const char* what) {
+  if (d < 0 || d != std::floor(d)) {
+    throw std::runtime_error(std::string("RunConfig: ") + what +
+                             " must be a non-negative integer");
+  }
+  return static_cast<std::size_t>(d);
+}
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text) {
+  return JsonParser(text).parse_document();
+}
+
+// ------------------------------------------------------------ RunConfig ----
+
+graph::DatasetName RunConfig::dataset_name() const {
+  if (dataset == "products") return graph::DatasetName::kProductsSim;
+  if (dataset == "pokec") return graph::DatasetName::kPokecSim;
+  if (dataset == "wiki") return graph::DatasetName::kWikiSim;
+  if (dataset == "papers100m") return graph::DatasetName::kPapers100MSim;
+  if (dataset == "igb-medium") return graph::DatasetName::kIgbMediumSim;
+  if (dataset == "igb-large") return graph::DatasetName::kIgbLargeSim;
+  throw std::runtime_error("RunConfig: unknown dataset '" + dataset + "'");
+}
+
+OperatorKind RunConfig::operator_kind() const {
+  if (op == "sym") return OperatorKind::kSymNorm;
+  if (op == "rw") return OperatorKind::kRowNorm;
+  if (op == "ppr") return OperatorKind::kPpr;
+  if (op == "heat") return OperatorKind::kHeat;
+  throw std::runtime_error("RunConfig: unknown operator '" + op + "'");
+}
+
+LoadingMode RunConfig::loading_mode() const {
+  if (loading == "baseline") return LoadingMode::kBaselinePerRow;
+  if (loading == "fused") return LoadingMode::kFusedAssembly;
+  if (loading == "prefetch") return LoadingMode::kPrefetch;
+  if (loading == "chunk") return LoadingMode::kChunkPrefetch;
+  if (loading == "storage") return LoadingMode::kStorageChunk;
+  throw std::runtime_error("RunConfig: unknown loading mode '" + loading + "'");
+}
+
+PpTrainConfig RunConfig::train_config() const {
+  PpTrainConfig tc;
+  tc.epochs = epochs;
+  tc.batch_size = batch_size;
+  tc.lr = lr;
+  tc.chunk_size = chunk_size;
+  tc.seed = seed;
+  tc.mode = loading_mode();
+  tc.eval_every = 2;
+  tc.checkpoint_path = checkpoint;
+  tc.checkpoint_every = checkpoint_every;
+  return tc;
+}
+
+PrecomputeConfig RunConfig::precompute_config() const {
+  PrecomputeConfig pc;
+  pc.op = operator_kind();
+  pc.hops = hops;
+  return pc;
+}
+
+std::unique_ptr<PpModel> RunConfig::make_model(const graph::Dataset& ds,
+                                               Rng& rng) const {
+  if (method == "SGC") {
+    return std::make_unique<Sgc>(ds.feature_dim(), hops, ds.num_classes, rng);
+  }
+  if (method == "SSGC") {
+    return std::make_unique<Ssgc>(ds.feature_dim(), hops, ds.num_classes, rng);
+  }
+  if (method == "SIGN") {
+    SignConfig cfg;
+    cfg.feat_dim = ds.feature_dim();
+    cfg.hops = hops;
+    cfg.hidden = hidden;
+    cfg.classes = ds.num_classes;
+    cfg.dropout = dropout;
+    return std::make_unique<Sign>(cfg, rng);
+  }
+  if (method == "HOGA") {
+    HogaConfig cfg;
+    cfg.feat_dim = ds.feature_dim();
+    cfg.hops = hops;
+    cfg.hidden = hidden;
+    cfg.heads = 2;
+    cfg.classes = ds.num_classes;
+    cfg.dropout = dropout;
+    return std::make_unique<Hoga>(cfg, rng);
+  }
+  if (method == "GAMLP") {
+    GamlpConfig cfg;
+    cfg.feat_dim = ds.feature_dim();
+    cfg.hops = hops;
+    cfg.hidden = hidden;
+    cfg.classes = ds.num_classes;
+    cfg.dropout = dropout;
+    return std::make_unique<Gamlp>(cfg, rng);
+  }
+  throw std::runtime_error("RunConfig: unknown method '" + method + "'");
+}
+
+std::string RunConfig::summary() const {
+  std::ostringstream os;
+  os << method << " on " << dataset << " (scale " << scale << "): hops="
+     << hops << " hidden=" << hidden << " op=" << op << " epochs=" << epochs
+     << " batch=" << batch_size << " lr=" << lr << " loading=" << loading;
+  if (loading == "chunk" || loading == "storage") {
+    os << " chunk_size=" << chunk_size;
+  }
+  return os.str();
+}
+
+RunConfig run_config_from_json(const JsonValue& root) {
+  static const std::map<std::string, int> known{
+      {"dataset", 0},  {"scale", 0},   {"method", 0},     {"hops", 0},
+      {"hidden", 0},   {"op", 0},      {"epochs", 0},     {"batch_size", 0},
+      {"lr", 0},       {"dropout", 0}, {"loading", 0},    {"chunk_size", 0},
+      {"seed", 0},     {"checkpoint", 0}, {"checkpoint_every", 0}};
+  for (const auto& [key, value] : root.as_object()) {
+    if (!known.count(key)) {
+      throw std::runtime_error("RunConfig: unknown key '" + key + "'");
+    }
+  }
+  RunConfig cfg;
+  cfg.dataset = root.get_or("dataset", cfg.dataset);
+  cfg.scale = root.get_or("scale", cfg.scale);
+  cfg.method = root.get_or("method", cfg.method);
+  cfg.hops = to_size(root.get_or("hops", static_cast<double>(cfg.hops)), "hops");
+  cfg.hidden =
+      to_size(root.get_or("hidden", static_cast<double>(cfg.hidden)), "hidden");
+  cfg.op = root.get_or("op", cfg.op);
+  cfg.epochs =
+      to_size(root.get_or("epochs", static_cast<double>(cfg.epochs)), "epochs");
+  cfg.batch_size = to_size(
+      root.get_or("batch_size", static_cast<double>(cfg.batch_size)),
+      "batch_size");
+  cfg.lr = static_cast<float>(root.get_or("lr", static_cast<double>(cfg.lr)));
+  cfg.dropout = static_cast<float>(
+      root.get_or("dropout", static_cast<double>(cfg.dropout)));
+  cfg.loading = root.get_or("loading", cfg.loading);
+  cfg.chunk_size = to_size(
+      root.get_or("chunk_size", static_cast<double>(cfg.chunk_size)),
+      "chunk_size");
+  cfg.seed = static_cast<std::uint64_t>(
+      to_size(root.get_or("seed", static_cast<double>(cfg.seed)), "seed"));
+  cfg.checkpoint = root.get_or("checkpoint", cfg.checkpoint);
+  cfg.checkpoint_every = to_size(
+      root.get_or("checkpoint_every",
+                  static_cast<double>(cfg.checkpoint_every)),
+      "checkpoint_every");
+
+  if (cfg.scale <= 0 || cfg.scale > 1.0) {
+    throw std::runtime_error("RunConfig: scale must be in (0, 1]");
+  }
+  if (cfg.hops == 0) throw std::runtime_error("RunConfig: hops must be >= 1");
+  if (cfg.epochs == 0 || cfg.batch_size == 0) {
+    throw std::runtime_error("RunConfig: epochs and batch_size must be >= 1");
+  }
+  if (cfg.lr <= 0.f) throw std::runtime_error("RunConfig: lr must be > 0");
+  if (cfg.dropout < 0.f || cfg.dropout >= 1.f) {
+    throw std::runtime_error("RunConfig: dropout must be in [0, 1)");
+  }
+  // Validate the enum-like strings eagerly so errors surface at load time.
+  (void)cfg.dataset_name();
+  (void)cfg.operator_kind();
+  (void)cfg.loading_mode();
+  if (cfg.method != "SGC" && cfg.method != "SSGC" && cfg.method != "SIGN" &&
+      cfg.method != "HOGA" && cfg.method != "GAMLP") {
+    throw std::runtime_error("RunConfig: unknown method '" + cfg.method + "'");
+  }
+  return cfg;
+}
+
+RunConfig run_config_from_string(const std::string& json_text) {
+  return run_config_from_json(parse_json(json_text));
+}
+
+RunConfig run_config_from_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("RunConfig: cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return run_config_from_string(buf.str());
+}
+
+}  // namespace ppgnn::core

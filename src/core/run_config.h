@@ -1,0 +1,105 @@
+// Config-file-driven training runs.
+//
+// The paper's artifact (Appendix J) drives experiments through a
+// model_cfg.json — "change method to SIGN or SGC ... change training hops".
+// This module gives the C++ port the same workflow: a dependency-free JSON
+// subset parser (objects / arrays / strings / numbers / bools / null) and a
+// RunConfig that validates and materializes every knob the trainers expose.
+// examples/train_cli.cpp is the consumer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/precompute.h"
+#include "core/trainer.h"
+#include "graph/dataset.h"
+
+namespace ppgnn::core {
+
+// ------------------------------------------------------------- JSON ----
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+
+  // Typed accessors throw std::runtime_error on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+  const std::map<std::string, JsonValue>& as_object() const;
+
+  // Object helpers: has/`get` (throws if missing) / `get_or` defaults.
+  bool has(const std::string& key) const;
+  const JsonValue& get(const std::string& key) const;
+  double get_or(const std::string& key, double fallback) const;
+  std::string get_or(const std::string& key, const std::string& fallback) const;
+  bool get_or(const std::string& key, bool fallback) const;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double d);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> a);
+  static JsonValue make_object(std::map<std::string, JsonValue> o);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+// Parses a complete JSON document; throws std::runtime_error with a
+// character-offset diagnostic on malformed input or trailing garbage.
+JsonValue parse_json(const std::string& text);
+
+// -------------------------------------------------------- RunConfig ----
+
+struct RunConfig {
+  std::string dataset = "products";  // products|pokec|wiki|papers100m|igb-medium|igb-large
+  double scale = 0.25;               // analogue scale factor
+  std::string method = "HOGA";       // SGC|SSGC|SIGN|HOGA|GAMLP
+  std::size_t hops = 3;
+  std::size_t hidden = 64;
+  std::string op = "sym";            // sym|rw|ppr|heat
+  std::size_t epochs = 30;
+  std::size_t batch_size = 512;
+  float lr = 1e-2f;
+  float dropout = 0.3f;
+  std::string loading = "prefetch";  // baseline|fused|prefetch|chunk|storage
+  std::size_t chunk_size = 512;
+  std::uint64_t seed = 1;
+  // Optional training-state checkpoint file; resumes if it exists.
+  std::string checkpoint;
+  std::size_t checkpoint_every = 1;
+
+  graph::DatasetName dataset_name() const;     // throws on unknown name
+  OperatorKind operator_kind() const;          // throws on unknown op
+  LoadingMode loading_mode() const;            // throws on unknown mode
+  PpTrainConfig train_config() const;
+  PrecomputeConfig precompute_config() const;
+
+  // Builds the model this config names (throws on unknown method).
+  std::unique_ptr<PpModel> make_model(const graph::Dataset& ds,
+                                      Rng& rng) const;
+
+  std::string summary() const;
+};
+
+// Parses a RunConfig from a JSON object; unknown keys are rejected so typos
+// fail loudly instead of silently training the default model.
+RunConfig run_config_from_json(const JsonValue& root);
+RunConfig run_config_from_string(const std::string& json_text);
+RunConfig run_config_from_file(const std::string& path);
+
+}  // namespace ppgnn::core

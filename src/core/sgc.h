@@ -1,0 +1,29 @@
+// SGC (Wu et al., 2019): the simplest PP-GNN.
+//
+// Training is a single linear layer on the final-hop features — l(.) is the
+// hop selector delta_{i,R} and o(.) a linear transform (Section 2.5).
+#pragma once
+
+#include <memory>
+
+#include "core/pp_model.h"
+#include "nn/linear.h"
+
+namespace ppgnn::core {
+
+class Sgc : public PpModel {
+ public:
+  Sgc(std::size_t feat_dim, std::size_t hops, std::size_t classes, Rng& rng);
+
+  Tensor forward(const Tensor& batch, bool train) override;
+  void backward(const Tensor& grad_logits) override;
+  void collect_params(std::vector<nn::ParamSlot>& out) override;
+  std::string name() const override { return "SGC"; }
+  std::size_t hops() const override { return hops_; }
+
+ private:
+  std::size_t feat_dim_, hops_;
+  nn::Linear linear_;
+};
+
+}  // namespace ppgnn::core

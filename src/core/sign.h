@@ -1,0 +1,46 @@
+// SIGN (Frasca et al., 2020): inception-style PP-GNN.
+//
+// Each hop gets its own linear branch F -> H (with ReLU + dropout); the
+// branch outputs are concatenated and fed to an MLP head — l(.) learns one
+// weight matrix per hop, o(.) is an MLP (Section 2.5).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/pp_model.h"
+#include "nn/activations.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+
+namespace ppgnn::core {
+
+struct SignConfig {
+  std::size_t feat_dim = 0;
+  std::size_t hops = 3;
+  std::size_t hidden = 512;
+  std::size_t classes = 0;
+  std::size_t mlp_layers = 3;  // paper: 3 layers, hidden 512
+  float dropout = 0.5f;
+};
+
+class Sign : public PpModel {
+ public:
+  Sign(const SignConfig& cfg, Rng& rng);
+
+  Tensor forward(const Tensor& batch, bool train) override;
+  void backward(const Tensor& grad_logits) override;
+  void collect_params(std::vector<nn::ParamSlot>& out) override;
+  std::string name() const override { return "SIGN"; }
+  std::size_t hops() const override { return cfg_.hops; }
+
+ private:
+  SignConfig cfg_;
+  std::vector<std::unique_ptr<nn::Linear>> branches_;   // one per hop
+  std::vector<std::unique_ptr<nn::ReLU>> branch_relus_;
+  std::vector<std::unique_ptr<nn::Dropout>> branch_drops_;
+  nn::Mlp head_;
+  std::vector<Tensor> branch_outputs_;  // cached for backward split
+};
+
+}  // namespace ppgnn::core

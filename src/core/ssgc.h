@@ -1,0 +1,42 @@
+// SSGC — Simple Spectral Graph Convolution (Zhu & Koniusz, ICLR 2021).
+//
+// One of the PP-GNN family members the paper cites (Section 1).  Where SGC
+// keeps only the final hop B^R X, SSGC averages all propagation depths and
+// mixes the raw features back in at every term:
+//
+//   H = (1/R) * sum_{r=1..R} [ (1-alpha) * B^r X + alpha * X ],
+//   Y = H W + b.
+//
+// The average acts as a band-stop spectral filter: it keeps multi-scale
+// neighborhood information without the over-smoothing SGC suffers at large
+// R, while staying a single linear model — so its training cost matches
+// SGC's row in Table 1 (bF + F^2 memory, nF^2 compute) and it consumes the
+// same expanded mini-batch layout as every other PP-GNN here.
+#pragma once
+
+#include "core/pp_model.h"
+#include "nn/linear.h"
+
+namespace ppgnn::core {
+
+class Ssgc : public PpModel {
+ public:
+  // alpha is the residual (teleport) weight on the raw features; the SSGC
+  // paper uses 0.05.
+  Ssgc(std::size_t feat_dim, std::size_t hops, std::size_t classes, Rng& rng,
+       float alpha = 0.05f);
+
+  Tensor forward(const Tensor& batch, bool train) override;
+  void backward(const Tensor& grad_logits) override;
+  void collect_params(std::vector<nn::ParamSlot>& out) override;
+  std::string name() const override { return "SSGC"; }
+  std::size_t hops() const override { return hops_; }
+  float alpha() const { return alpha_; }
+
+ private:
+  std::size_t feat_dim_, hops_;
+  float alpha_;
+  nn::Linear linear_;
+};
+
+}  // namespace ppgnn::core

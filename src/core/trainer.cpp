@@ -1,0 +1,228 @@
+#include "core/trainer.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "core/checkpoint.h"
+#include "loader/host_loader.h"
+#include "loader/prefetch.h"
+#include "loader/shuffler.h"
+#include "loader/storage.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace ppgnn::core {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+}  // namespace
+
+const char* to_string(LoadingMode m) {
+  switch (m) {
+    case LoadingMode::kBaselinePerRow: return "baseline-per-row";
+    case LoadingMode::kFusedAssembly: return "fused-assembly";
+    case LoadingMode::kPrefetch: return "prefetch (SGD-RR)";
+    case LoadingMode::kChunkPrefetch: return "chunk-prefetch (SGD-CR)";
+    case LoadingMode::kStorageChunk: return "storage-chunk (SGD-CR)";
+  }
+  return "?";
+}
+
+double evaluate_pp(PpModel& model, const Preprocessed& pre,
+                   const graph::Dataset& ds,
+                   const std::vector<std::int64_t>& idx,
+                   std::size_t batch_size) {
+  std::size_t correct = 0, total = 0;
+  for (std::size_t lo = 0; lo < idx.size(); lo += batch_size) {
+    const std::size_t hi = std::min(lo + batch_size, idx.size());
+    const std::vector<std::int64_t> rows(idx.begin() + lo, idx.begin() + hi);
+    const Tensor logits =
+        model.forward(pre.expanded_rows(rows), /*train=*/false);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto y = ds.labels[static_cast<std::size_t>(rows[i])];
+      if (y < 0) continue;
+      ++total;
+      if (argmax_row(logits, i) == static_cast<std::size_t>(y)) ++correct;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) / total;
+}
+
+PpTrainResult train_pp(PpModel& model, const Preprocessed& pre,
+                       const graph::Dataset& ds, const PpTrainConfig& cfg) {
+  const auto& train_idx = ds.split.train;
+  if (train_idx.empty()) throw std::invalid_argument("train_pp: empty split");
+  if (cfg.epochs == 0) throw std::invalid_argument("train_pp: epochs == 0");
+  if (cfg.batch_size == 0) {
+    throw std::invalid_argument("train_pp: batch_size == 0");
+  }
+  if ((cfg.mode == LoadingMode::kChunkPrefetch ||
+       cfg.mode == LoadingMode::kStorageChunk) &&
+      cfg.chunk_size == 0) {
+    throw std::invalid_argument("train_pp: chunk_size == 0 in chunked mode");
+  }
+
+  // Materialize the expanded training set once (hop-major rows); this is
+  // the array the loaders index into — position i corresponds to node
+  // train_idx[i].
+  const Tensor train_x = pre.expanded_rows(train_idx);
+  std::vector<std::int32_t> train_y(train_idx.size());
+  for (std::size_t i = 0; i < train_idx.size(); ++i) {
+    train_y[i] = ds.labels[static_cast<std::size_t>(train_idx[i])];
+  }
+
+  const bool chunked = cfg.mode == LoadingMode::kChunkPrefetch ||
+                       cfg.mode == LoadingMode::kStorageChunk;
+  const auto shuffler =
+      loader::make_shuffler(chunked ? cfg.chunk_size : std::size_t{1});
+
+  // Storage mode: write per-hop training features to the file store.
+  std::unique_ptr<loader::FeatureFileStore> store;
+  if (cfg.mode == LoadingMode::kStorageChunk) {
+    std::vector<Tensor> hop_train;
+    hop_train.reserve(pre.hop_features.size());
+    for (const auto& hop : pre.hop_features) {
+      hop_train.push_back(gather_rows(hop, train_idx));
+    }
+    store = std::make_unique<loader::FeatureFileStore>(
+        loader::FeatureFileStore::create(cfg.storage_dir, hop_train));
+  }
+
+  loader::BatchSource source(&train_x, train_y.data(), cfg.batch_size);
+  Rng rng(cfg.seed);
+  std::vector<nn::ParamSlot> params;
+  model.collect_params(params);
+  nn::Adam opt(params, cfg.lr, 0.9f, 0.999f, 1e-8f, cfg.weight_decay);
+
+  // Checkpoint resume: restore state and burn the already-consumed epoch
+  // shuffles so the schedule continues exactly where the saved run left
+  // off (epoch orders are a pure function of (seed, epoch index)).
+  std::size_t start_epoch = 1;
+  if (!cfg.checkpoint_path.empty() &&
+      checkpoint_exists(cfg.checkpoint_path)) {
+    const auto meta = load_checkpoint(cfg.checkpoint_path, model, opt);
+    start_epoch = meta.next_epoch;
+    for (std::size_t e = 1; e < start_epoch; ++e) {
+      (void)shuffler->epoch_order(train_idx.size(), rng);
+    }
+  }
+
+  PpTrainResult result;
+  result.train_rows = train_idx.size();
+  result.row_bytes = pre.row_bytes();
+  result.bytes_loaded_per_epoch = result.train_rows * result.row_bytes;
+
+  // Assembles batch `k` according to the active mode; used directly for
+  // synchronous modes and through the prefetcher for pipelined ones.
+  const auto assemble = [&](std::size_t k) -> loader::MiniBatch {
+    switch (cfg.mode) {
+      case LoadingMode::kBaselinePerRow:
+        return source.assemble_baseline(k);
+      case LoadingMode::kStorageChunk: {
+        // Read the batch as contiguous runs from the file store (chunk
+        // reshuffling makes batches mostly contiguous on disk).
+        loader::MiniBatch mb;
+        const auto& order = source.epoch_order();
+        const std::size_t lo = k * cfg.batch_size;
+        const std::size_t hi =
+            std::min(lo + cfg.batch_size, order.size());
+        mb.indices.assign(order.begin() + lo, order.begin() + hi);
+        mb.features = Tensor({mb.indices.size(), store->row_bytes() / 4});
+        std::size_t i = 0;
+        while (i < mb.indices.size()) {
+          std::size_t run = 1;
+          while (i + run < mb.indices.size() &&
+                 mb.indices[i + run] == mb.indices[i + run - 1] + 1) {
+            ++run;
+          }
+          Tensor piece({run, store->row_bytes() / 4});
+          store->read_chunk(static_cast<std::size_t>(mb.indices[i]), run,
+                            piece);
+          std::memcpy(mb.features.row(i), piece.data(), piece.bytes());
+          i += run;
+        }
+        mb.labels.resize(mb.indices.size());
+        for (std::size_t j = 0; j < mb.indices.size(); ++j) {
+          mb.labels[j] = train_y[static_cast<std::size_t>(mb.indices[j])];
+        }
+        return mb;
+      }
+      default:
+        return source.assemble_fused(k);
+    }
+  };
+
+  const bool pipelined = cfg.mode == LoadingMode::kPrefetch ||
+                         cfg.mode == LoadingMode::kChunkPrefetch ||
+                         cfg.mode == LoadingMode::kStorageChunk;
+
+  for (std::size_t epoch = start_epoch; epoch <= cfg.epochs; ++epoch) {
+    const auto t_epoch = Clock::now();
+    source.set_epoch_order(
+        shuffler->epoch_order(train_idx.size(), rng));
+    EpochRecord rec;
+    rec.epoch = epoch;
+    double loss_sum = 0;
+    std::size_t batches = 0;
+
+    const auto process = [&](loader::MiniBatch& mb) {
+      const auto t_fwd = Clock::now();
+      Tensor logits = model.forward(mb.features, /*train=*/true);
+      Tensor grad(logits.shape());
+      loss_sum += cross_entropy(logits, mb.labels, grad);
+      rec.forward_seconds += seconds_since(t_fwd);
+      const auto t_bwd = Clock::now();
+      opt.zero_grad();
+      model.backward(grad);
+      rec.backward_seconds += seconds_since(t_bwd);
+      const auto t_opt = Clock::now();
+      opt.step();
+      rec.optimizer_seconds += seconds_since(t_opt);
+      ++batches;
+    };
+
+    if (pipelined) {
+      loader::PrefetchingLoader prefetcher(assemble, source.num_batches());
+      loader::MiniBatch mb;
+      while (true) {
+        const auto t_load = Clock::now();
+        if (!prefetcher.next(mb)) break;
+        rec.data_loading_seconds += seconds_since(t_load);  // stall time only
+        process(mb);
+      }
+    } else {
+      for (std::size_t k = 0; k < source.num_batches(); ++k) {
+        const auto t_load = Clock::now();
+        loader::MiniBatch mb = assemble(k);
+        rec.data_loading_seconds += seconds_since(t_load);
+        process(mb);
+      }
+    }
+
+    rec.epoch_seconds = seconds_since(t_epoch);
+    rec.train_loss = batches ? loss_sum / static_cast<double>(batches) : 0;
+
+    if (epoch % cfg.eval_every == 0 || epoch == cfg.epochs) {
+      rec.val_acc = evaluate_pp(model, pre, ds, ds.split.valid);
+      rec.test_acc = evaluate_pp(model, pre, ds, ds.split.test);
+    } else if (!result.history.epochs.empty()) {
+      rec.val_acc = result.history.epochs.back().val_acc;
+      rec.test_acc = result.history.epochs.back().test_acc;
+    }
+    result.history.epochs.push_back(rec);
+
+    if (!cfg.checkpoint_path.empty() && cfg.checkpoint_every > 0 &&
+        (epoch % cfg.checkpoint_every == 0 || epoch == cfg.epochs)) {
+      CheckpointMeta meta;
+      meta.next_epoch = epoch + 1;
+      meta.step_count = opt.step_count();
+      save_checkpoint(cfg.checkpoint_path, model, opt, meta);
+    }
+  }
+  return result;
+}
+
+}  // namespace ppgnn::core

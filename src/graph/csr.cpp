@@ -1,0 +1,136 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppgnn::graph {
+
+CsrGraph::CsrGraph(std::size_t n, std::vector<EdgeIdx> offsets,
+                   std::vector<NodeId> indices, std::vector<float> values)
+    : n_(n),
+      offsets_(std::move(offsets)),
+      indices_(std::move(indices)),
+      values_(std::move(values)) {
+  if (offsets_.size() != n_ + 1) {
+    throw std::invalid_argument("CsrGraph: offsets must have n+1 entries");
+  }
+  if (!values_.empty() && values_.size() != indices_.size()) {
+    throw std::invalid_argument("CsrGraph: values/indices size mismatch");
+  }
+  if (offsets_.front() != 0 ||
+      offsets_.back() != static_cast<EdgeIdx>(indices_.size())) {
+    throw std::invalid_argument("CsrGraph: malformed offsets");
+  }
+}
+
+bool CsrGraph::has_edge(NodeId v, NodeId u) const {
+  const auto nbrs = neighbors(v);
+  return std::binary_search(nbrs.begin(), nbrs.end(), u);
+}
+
+EdgeIdx CsrGraph::max_degree() const {
+  EdgeIdx mx = 0;
+  for (std::size_t v = 0; v < n_; ++v) {
+    mx = std::max(mx, degree(static_cast<NodeId>(v)));
+  }
+  return mx;
+}
+
+std::size_t CsrGraph::topology_bytes() const {
+  return offsets_.size() * sizeof(EdgeIdx) + indices_.size() * sizeof(NodeId) +
+         values_.size() * sizeof(float);
+}
+
+CsrGraph build_csr(std::size_t n, std::vector<Edge> edges, bool symmetrize) {
+  if (symmetrize) {
+    const std::size_t orig = edges.size();
+    edges.reserve(orig * 2);
+    for (std::size_t i = 0; i < orig; ++i) {
+      if (edges[i].src != edges[i].dst) {
+        edges.push_back({edges[i].dst, edges[i].src});
+      }
+    }
+  }
+  for (const Edge& e : edges) {
+    if (e.src < 0 || e.dst < 0 || static_cast<std::size_t>(e.src) >= n ||
+        static_cast<std::size_t>(e.dst) >= n) {
+      throw std::invalid_argument("build_csr: edge endpoint out of range");
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const Edge& a, const Edge& b) {
+                            return a.src == b.src && a.dst == b.dst;
+                          }),
+              edges.end());
+
+  std::vector<EdgeIdx> offsets(n + 1, 0);
+  std::vector<NodeId> indices(edges.size());
+  for (const Edge& e : edges) ++offsets[e.src + 1];
+  for (std::size_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  for (std::size_t i = 0; i < edges.size(); ++i) indices[i] = edges[i].dst;
+  return CsrGraph(n, std::move(offsets), std::move(indices));
+}
+
+CsrGraph with_self_loops(const CsrGraph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<EdgeIdx> offsets(n + 1, 0);
+  std::vector<NodeId> indices;
+  std::vector<float> values;
+  const bool weighted = g.weighted();
+  indices.reserve(g.num_edges() + n);
+  if (weighted) values.reserve(g.num_edges() + n);
+
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto vid = static_cast<NodeId>(v);
+    const auto nbrs = g.neighbors(vid);
+    const auto vals = g.edge_values(vid);
+    bool inserted = false;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (!inserted && nbrs[i] >= vid) {
+        if (nbrs[i] != vid) {
+          indices.push_back(vid);
+          if (weighted) values.push_back(1.f);
+        }
+        inserted = true;
+      }
+      indices.push_back(nbrs[i]);
+      if (weighted) values.push_back(vals[i]);
+    }
+    if (!inserted) {
+      indices.push_back(vid);
+      if (weighted) values.push_back(1.f);
+    }
+    offsets[v + 1] = static_cast<EdgeIdx>(indices.size());
+  }
+  return CsrGraph(n, std::move(offsets), std::move(indices), std::move(values));
+}
+
+CsrGraph transpose(const CsrGraph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<EdgeIdx> offsets(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (const NodeId u : g.neighbors(static_cast<NodeId>(v))) {
+      ++offsets[u + 1];
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  std::vector<EdgeIdx> cursor(offsets.begin(), offsets.end() - 1);
+  std::vector<NodeId> indices(g.num_edges());
+  std::vector<float> values(g.weighted() ? g.num_edges() : 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto vid = static_cast<NodeId>(v);
+    const auto nbrs = g.neighbors(vid);
+    const auto vals = g.edge_values(vid);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const EdgeIdx pos = cursor[nbrs[i]]++;
+      indices[pos] = vid;
+      if (g.weighted()) values[pos] = vals[i];
+    }
+  }
+  return CsrGraph(n, std::move(offsets), std::move(indices), std::move(values));
+}
+
+}  // namespace ppgnn::graph

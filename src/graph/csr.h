@@ -1,0 +1,77 @@
+// Compressed-sparse-row graph representation and construction utilities.
+//
+// CsrGraph is the single topology structure used everywhere: preprocessing
+// (SpMM feature propagation), the samplers, and the MP-GNN blocks.  Values
+// are optional; an empty values vector means every edge has weight 1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ppgnn::graph {
+
+using NodeId = std::int32_t;
+using EdgeIdx = std::int64_t;
+
+struct Edge {
+  NodeId src;
+  NodeId dst;
+};
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+  CsrGraph(std::size_t n, std::vector<EdgeIdx> offsets,
+           std::vector<NodeId> indices, std::vector<float> values = {});
+
+  std::size_t num_nodes() const { return n_; }
+  std::size_t num_edges() const { return indices_.size(); }
+  bool weighted() const { return !values_.empty(); }
+
+  EdgeIdx degree(NodeId v) const { return offsets_[v + 1] - offsets_[v]; }
+  std::span<const NodeId> neighbors(NodeId v) const {
+    return {indices_.data() + offsets_[v],
+            static_cast<std::size_t>(degree(v))};
+  }
+  std::span<const float> edge_values(NodeId v) const {
+    if (values_.empty()) return {};
+    return {values_.data() + offsets_[v], static_cast<std::size_t>(degree(v))};
+  }
+
+  const std::vector<EdgeIdx>& offsets() const { return offsets_; }
+  const std::vector<NodeId>& indices() const { return indices_; }
+  const std::vector<float>& values() const { return values_; }
+  std::vector<float>& mutable_values() { return values_; }
+
+  // True if v has an edge to u (binary search; requires sorted indices).
+  bool has_edge(NodeId v, NodeId u) const;
+
+  double avg_degree() const {
+    return n_ == 0 ? 0.0 : static_cast<double>(num_edges()) / n_;
+  }
+  EdgeIdx max_degree() const;
+
+  // Bytes of the topology (offsets + indices + values).
+  std::size_t topology_bytes() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<EdgeIdx> offsets_;  // length n_ + 1
+  std::vector<NodeId> indices_;   // length m, sorted within each row
+  std::vector<float> values_;     // length m or 0
+};
+
+// Builds a CSR graph from an edge list.  Duplicate edges are removed and
+// neighbor lists sorted.  If symmetrize is set, the reverse of every edge is
+// added (making the graph undirected).  Self loops in the input are kept.
+CsrGraph build_csr(std::size_t n, std::vector<Edge> edges,
+                   bool symmetrize = true);
+
+// Returns g with self loops added to every node (weight 1 if unweighted).
+CsrGraph with_self_loops(const CsrGraph& g);
+
+// Returns the reverse (transpose) graph; weights follow their edges.
+CsrGraph transpose(const CsrGraph& g);
+
+}  // namespace ppgnn::graph

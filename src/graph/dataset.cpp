@@ -1,0 +1,185 @@
+#include "graph/dataset.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/normalize.h"
+
+namespace ppgnn::graph {
+
+namespace {
+
+// Knobs for one analogue: scaled-down generation parameters chosen so the
+// paper's accuracy *trends* reproduce (see DESIGN.md §1), plus the
+// paper-scale statistics from Table 2.
+struct AnalogueSpec {
+  const char* name;
+  std::size_t nodes;
+  double avg_degree;
+  std::size_t classes;
+  std::size_t feature_dim;
+  double homophily;
+  double signal;
+  // Fraction of observed labels replaced with a random class — the
+  // irreducible-error knob that sets each analogue's accuracy ceiling
+  // (products ~82%, pokec ~82%, wiki ~60%, papers100M ~67%, IGB ~76%).
+  double label_noise;
+  SplitConfig split;
+  PaperScale paper;
+  // Classes grouped per SBM block (> 1 makes class info hop-heterogeneous:
+  // connectivity identifies the block, only *raw* features distinguish
+  // classes within a block — neighborhoods mix the grouped classes
+  // uniformly, so propagated hops provably collapse the within-group
+  // signal).  Used by the wiki analogue to reproduce "SGC sacrifices
+  // substantial accuracy due to not fully utilizing all the hops"
+  // (Section 6.1) and wiki's non-homophilous label structure.
+  std::size_t classes_per_block = 1;
+  // Strong per-node-decodable feature dims carrying the within-group bit.
+  double local_dims_fraction = 0.0;
+  double local_signal = 0.0;
+};
+
+AnalogueSpec spec_for(DatasetName name) {
+  switch (name) {
+    case DatasetName::kProductsSim:
+      // ogbn-products: strongly homophilous co-purchase graph, tiny train
+      // split (8%), many classes.
+      return {"products-sim", 16000, 20.0, 12, 100, 0.70, 0.15, 0.17,
+              {0.08, 0.02, 0.90, 1.0, 3},
+              {2449029, 61859140, 100, 47, 1.0, 0.08}};
+    case DatasetName::kPokecSim:
+      // pokec: social network, binary task, moderate homophily.
+      return {"pokec-sim", 14000, 19.0, 2, 65, 0.62, 0.05, 0.33,
+              {0.50, 0.25, 0.25, 1.0, 3},
+              {1632803, 30622564, 65, 2, 1.0, 0.50}};
+    case DatasetName::kWikiSim:
+      // wiki: non-homophilous (classes pair up within SBM blocks, so label
+      // homophily measures ~0.33) and much denser than the others; accuracy
+      // is low in the paper (~50-60%) and rises with hops for the models
+      // that use all hops.  The block structure splits class information
+      // across hops: connectivity resolves the block, raw features resolve
+      // the class within the block — which is what caps SGC well below the
+      // MLP-based PP-GNNs (Figure 7).
+      return {"wiki-sim", 12000, 18.0, 5, 192, 0.60, 0.05, 0.32,
+              {0.50, 0.25, 0.25, 1.0, 3},
+              {1925342, 303434860, 600, 5, 1.0, 0.50},
+              /*classes_per_block=*/2, /*local_dims_fraction=*/0.12,
+              /*local_signal=*/0.35};
+    case DatasetName::kPapers100MSim:
+      // ogbn-papers100M: only 1.4% of nodes labeled — the preprocessing
+      // output covers labeled nodes only, which is why PP-GNN inputs fit in
+      // GPU memory at paper scale (Section 6.4).  The analogue keeps a small
+      // labeled fraction so the same code path (propagate over all nodes,
+      // train on few) is exercised.
+      return {"papers100m-sim", 40000, 14.0, 20, 128, 0.68, 0.09, 0.32,
+              {0.78, 0.08, 0.14, 0.10, 3},
+              {111059956, 1615685872, 128, 172, 0.014, 0.78}};
+    case DatasetName::kIgbMediumSim:
+      // IGB-medium: fully labeled, very wide features (1024) — the data
+      // volume per node, not the node count, is the stressor.
+      return {"igb-medium-sim", 16000, 12.0, 19, 384, 0.68, 0.06, 0.26,
+              {0.60, 0.20, 0.20, 1.0, 3},
+              {10000000, 120077694, 1024, 19, 1.0, 0.60}};
+    case DatasetName::kIgbLargeSim:
+      // IGB-large: paper-scale preprocessed input is ~1.6 TB with R=3 —
+      // the storage-resident case.
+      return {"igb-large-sim", 24000, 12.0, 19, 384, 0.68, 0.06, 0.26,
+              {0.60, 0.20, 0.20, 1.0, 3},
+              {100000000, 1223571364, 1024, 19, 1.0, 0.60}};
+  }
+  throw std::invalid_argument("spec_for: unknown dataset");
+}
+
+}  // namespace
+
+const char* to_string(DatasetName name) { return spec_for(name).name; }
+
+std::vector<DatasetName> all_datasets() {
+  return {DatasetName::kProductsSim,    DatasetName::kPokecSim,
+          DatasetName::kWikiSim,        DatasetName::kPapers100MSim,
+          DatasetName::kIgbMediumSim,   DatasetName::kIgbLargeSim};
+}
+
+std::vector<DatasetName> medium_datasets() {
+  return {DatasetName::kProductsSim, DatasetName::kPokecSim,
+          DatasetName::kWikiSim};
+}
+
+PaperScale paper_scale(DatasetName name) { return spec_for(name).paper; }
+
+Dataset make_dataset(DatasetName name, double scale, std::uint64_t seed) {
+  if (scale <= 0.0 || scale > 1.0) {
+    throw std::invalid_argument("make_dataset: scale must be in (0, 1]");
+  }
+  const AnalogueSpec spec = spec_for(name);
+  const auto n = static_cast<std::size_t>(std::lround(spec.nodes * scale));
+
+  // With class grouping, the SBM is generated over blocks and each node
+  // then draws its class uniformly within its block; edges depend only on
+  // the block, so any propagated hop mixes the grouped classes uniformly.
+  const std::size_t cpb = std::max<std::size_t>(spec.classes_per_block, 1);
+  const std::size_t blocks = (spec.classes + cpb - 1) / cpb;
+
+  SbmConfig sbm;
+  sbm.num_nodes = n;
+  sbm.num_classes = blocks;
+  sbm.avg_degree = spec.avg_degree;
+  sbm.homophily = spec.homophily;
+  sbm.seed = seed;
+  SbmGraph g = generate_sbm(sbm);
+
+  if (cpb > 1) {
+    Rng sub_rng(seed + 5);
+    for (auto& y : g.labels) {
+      const auto b = static_cast<std::size_t>(y);
+      const std::size_t width = std::min(cpb, spec.classes - b * cpb);
+      y = static_cast<std::int32_t>(b * cpb + sub_rng.uniform_int(width));
+    }
+  }
+
+  FeatureConfig fc;
+  fc.dim = spec.feature_dim;
+  fc.signal = spec.signal;
+  fc.local_dims_fraction = spec.local_dims_fraction;
+  fc.local_signal = spec.local_signal;
+  fc.seed = seed + 1;
+
+  Dataset ds;
+  ds.name = spec.name;
+  ds.features = generate_features(g.labels, spec.classes, fc);
+  ds.num_classes = spec.classes;
+  ds.paper = spec.paper;
+
+  SplitConfig sc = spec.split;
+  sc.seed = seed + 2;
+  ds.split = make_split(n, sc);
+
+  // Mask labels outside the splits when the dataset is partially labeled:
+  // unlabeled nodes still participate in propagation but never in a loss.
+  if (sc.labeled_fraction < 1.0) {
+    std::vector<std::int32_t> masked(n, -1);
+    for (const auto idx : ds.split.train) masked[idx] = g.labels[idx];
+    for (const auto idx : ds.split.valid) masked[idx] = g.labels[idx];
+    for (const auto idx : ds.split.test) masked[idx] = g.labels[idx];
+    ds.labels = std::move(masked);
+  } else {
+    ds.labels = g.labels;
+  }
+  ds.homophily = edge_homophily(g.graph, g.labels);
+  // Observed labels carry irreducible noise; topology/features above follow
+  // the true communities (homophily is measured on true labels).
+  apply_label_noise(ds.labels, spec.classes, spec.label_noise, seed + 9);
+  ds.graph = std::move(g.graph);
+  return ds;
+}
+
+std::vector<std::int32_t> Dataset::labels_at(
+    const std::vector<std::int64_t>& idx) const {
+  std::vector<std::int32_t> out(idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    out[i] = labels[static_cast<std::size_t>(idx[i])];
+  }
+  return out;
+}
+
+}  // namespace ppgnn::graph

@@ -1,0 +1,80 @@
+// The six benchmark datasets of the paper (Table 2) as seeded synthetic
+// analogues, plus their *paper-scale* statistics for the cost-model benches.
+//
+// Real training (accuracy / convergence experiments) uses the scaled-down
+// in-memory analogue; throughput tables (3/4/5, Figures 4/9/14) feed the
+// paper-scale statistics into the hardware cost model, because modeled
+// epoch time depends only on sizes, not on feature values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/generator.h"
+#include "tensor/tensor.h"
+
+namespace ppgnn::graph {
+
+enum class DatasetName {
+  kProductsSim,    // ogbn-products analogue: homophilous, 47 classes
+  kPokecSim,       // pokec analogue: 2 classes, moderate homophily
+  kWikiSim,        // wiki analogue: non-homophilous, dense, 5 classes
+  kPapers100MSim,  // ogbn-papers100M analogue: 1.4% labeled
+  kIgbMediumSim,   // IGB-medium analogue: wide features (1024)
+  kIgbLargeSim,    // IGB-large analogue: wide features, huge at paper scale
+};
+
+const char* to_string(DatasetName name);
+std::vector<DatasetName> all_datasets();
+std::vector<DatasetName> medium_datasets();  // products / pokec / wiki
+
+// Statistics at the *paper's* scale (Table 2) — used by the cost model.
+struct PaperScale {
+  std::size_t nodes = 0;
+  std::size_t edges = 0;  // directed edge slots (as reported in Table 2)
+  std::size_t feature_dim = 0;
+  std::size_t classes = 0;
+  double labeled_fraction = 1.0;
+  double train_fraction = 0.5;  // of labeled nodes
+  std::size_t train_nodes() const {
+    return static_cast<std::size_t>(nodes * labeled_fraction * train_fraction);
+  }
+  std::size_t feature_bytes() const {
+    return nodes * feature_dim * sizeof(float);
+  }
+  // Bytes of the training-relevant preprocessed features for R hops and K
+  // kernels: PP-GNN inputs cover labeled nodes only (Section 6.4), expanded
+  // K*(R+1) times — the "input expansion problem" (Section 3.4).
+  std::size_t preprocessed_bytes(std::size_t hops, std::size_t kernels = 1) const {
+    const auto labeled = static_cast<std::size_t>(nodes * labeled_fraction);
+    return labeled * feature_dim * sizeof(float) * kernels * (hops + 1);
+  }
+};
+
+struct Dataset {
+  std::string name;
+  CsrGraph graph;                      // undirected, scaled-down analogue
+  Tensor features;                     // [n, f]
+  std::vector<std::int32_t> labels;    // -1 for unlabeled nodes
+  std::size_t num_classes = 0;
+  Split split;
+  PaperScale paper;                    // Table 2 statistics
+  double homophily = 0.0;              // measured on the analogue
+
+  std::size_t num_nodes() const { return graph.num_nodes(); }
+  std::size_t feature_dim() const { return features.cols(); }
+  std::vector<std::int32_t> labels_at(const std::vector<std::int64_t>& idx) const;
+};
+
+// Generates the analogue deterministically; `scale` in (0, 1] multiplies the
+// default analogue node count (use < 1 in unit tests for speed).
+Dataset make_dataset(DatasetName name, double scale = 1.0,
+                     std::uint64_t seed = 42);
+
+// Paper-scale statistics only (no generation) — cheap, for cost-model-only
+// benches that never touch real features.
+PaperScale paper_scale(DatasetName name);
+
+}  // namespace ppgnn::graph

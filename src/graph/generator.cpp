@@ -1,0 +1,224 @@
+#include "graph/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ppgnn::graph {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument("AliasTable: empty weights");
+  double total = 0;
+  for (double w : weights) {
+    if (w < 0) throw std::invalid_argument("AliasTable: negative weight");
+    total += w;
+  }
+  if (total <= 0) throw std::invalid_argument("AliasTable: zero total weight");
+  prob_.resize(n);
+  alias_.resize(n);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+  std::vector<std::uint32_t> small, large;
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = scaled[l] + scaled[s] - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (const std::uint32_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (const std::uint32_t i : small) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+std::size_t AliasTable::sample(Rng& rng) const {
+  const std::size_t i = static_cast<std::size_t>(rng.uniform_int(prob_.size()));
+  return rng.uniform() < prob_[i] ? i : alias_[i];
+}
+
+SbmGraph generate_sbm(const SbmConfig& cfg) {
+  if (cfg.num_nodes == 0 || cfg.num_classes == 0) {
+    throw std::invalid_argument("generate_sbm: empty configuration");
+  }
+  if (cfg.homophily < 0 || cfg.homophily > 1) {
+    throw std::invalid_argument("generate_sbm: homophily must be in [0,1]");
+  }
+  Rng rng(cfg.seed);
+  const std::size_t n = cfg.num_nodes;
+  const std::size_t k = cfg.num_classes;
+
+  // Class per node, iid — decorrelates node id from class.
+  std::vector<std::int32_t> labels(n);
+  for (auto& y : labels) y = static_cast<std::int32_t>(rng.uniform_int(k));
+
+  // Pareto degree propensities, clipped and normalized to mean 1.
+  std::vector<double> theta(n);
+  const double shape = cfg.degree_power;
+  double mean_theta = 0;
+  for (auto& t : theta) {
+    double u = rng.uniform();
+    while (u <= 1e-12) u = rng.uniform();
+    t = std::pow(u, -1.0 / shape);  // Pareto(shape), min 1
+    mean_theta += t;
+  }
+  mean_theta /= static_cast<double>(n);
+  for (auto& t : theta) {
+    t = std::min(t / mean_theta, cfg.max_propensity_ratio);
+  }
+
+  // Per-class alias tables over propensities for target selection.
+  std::vector<std::vector<std::uint32_t>> class_members(k);
+  for (std::size_t v = 0; v < n; ++v) {
+    class_members[labels[v]].push_back(static_cast<std::uint32_t>(v));
+  }
+  std::vector<AliasTable> class_tables;
+  class_tables.reserve(k);
+  std::vector<double> w;
+  for (std::size_t c = 0; c < k; ++c) {
+    if (class_members[c].empty()) {
+      throw std::invalid_argument("generate_sbm: a class received no nodes");
+    }
+    w.clear();
+    w.reserve(class_members[c].size());
+    for (const auto v : class_members[c]) w.push_back(theta[v]);
+    class_tables.emplace_back(w);
+  }
+  std::vector<double> all_w(theta.begin(), theta.end());
+  const AliasTable all_table(all_w);
+
+  // Each node emits ~ avg_degree/2 * theta_v half-edges (symmetrization
+  // doubles them back up to avg_degree on expectation).
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n * cfg.avg_degree / 2 * 1.1));
+  for (std::size_t v = 0; v < n; ++v) {
+    const double expect = cfg.avg_degree / 2.0 * theta[v];
+    auto d = static_cast<std::size_t>(expect);
+    if (rng.uniform() < expect - static_cast<double>(d)) ++d;
+    for (std::size_t e = 0; e < d; ++e) {
+      NodeId u;
+      if (rng.uniform() < cfg.homophily) {
+        const auto c = static_cast<std::size_t>(labels[v]);
+        u = static_cast<NodeId>(class_members[c][class_tables[c].sample(rng)]);
+      } else {
+        u = static_cast<NodeId>(all_table.sample(rng));
+      }
+      if (static_cast<std::size_t>(u) != v) {
+        edges.push_back({static_cast<NodeId>(v), u});
+      }
+    }
+  }
+  return {build_csr(n, std::move(edges), /*symmetrize=*/true),
+          std::move(labels)};
+}
+
+Tensor generate_features(const std::vector<std::int32_t>& labels,
+                         std::size_t num_classes, const FeatureConfig& cfg) {
+  Rng rng(cfg.seed);
+  const std::size_t n = labels.size();
+  const std::size_t f = cfg.dim;
+  const auto signal_dims =
+      static_cast<std::size_t>(std::lround(f * (1.0 - cfg.noise_dims_fraction)));
+
+  // Class means on the signal-carrying dimensions.
+  Tensor means({num_classes, f});
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    for (std::size_t j = 0; j < signal_dims; ++j) {
+      means.at(c, j) = static_cast<float>(rng.normal());
+    }
+  }
+
+  Tensor x({n, f});
+  Rng noise = rng.split(0x5eed);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto c = static_cast<std::size_t>(labels[v]);
+    float* row = x.row(v);
+    const float* mu = means.row(c);
+    for (std::size_t j = 0; j < f; ++j) {
+      row[j] = static_cast<float>(cfg.signal) * mu[j] +
+               static_cast<float>(noise.normal());
+    }
+  }
+
+  // Local (strong-signal) dims overwrite the tail of the feature vector —
+  // the dims past signal_dims, which carry no weak signal anyway.
+  if (cfg.local_dims_fraction > 0.0) {
+    const auto local_dims = static_cast<std::size_t>(
+        std::lround(f * cfg.local_dims_fraction));
+    if (local_dims > f) {
+      throw std::invalid_argument("generate_features: local fraction > 1");
+    }
+    const std::size_t first = f - local_dims;
+    Rng mean_rng = rng.split(0x9a1);
+    Tensor local_means({num_classes, local_dims});
+    for (std::size_t i = 0; i < local_means.size(); ++i) {
+      local_means.data()[i] = static_cast<float>(mean_rng.normal());
+    }
+    Rng draw_rng = rng.split(0x51c);
+    const auto amp = static_cast<float>(cfg.local_signal);
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto c = static_cast<std::size_t>(labels[v]);
+      float* row = x.row(v);
+      const float* mu = local_means.row(c);
+      for (std::size_t d = 0; d < local_dims; ++d) {
+        row[first + d] = amp * mu[d] + static_cast<float>(draw_rng.normal());
+      }
+    }
+  }
+  return x;
+}
+
+void apply_label_noise(std::vector<std::int32_t>& labels,
+                       std::size_t num_classes, double fraction,
+                       std::uint64_t seed) {
+  if (fraction <= 0.0) return;
+  if (fraction > 1.0) {
+    throw std::invalid_argument("apply_label_noise: fraction > 1");
+  }
+  Rng rng(seed);
+  for (auto& y : labels) {
+    if (y >= 0 && rng.uniform() < fraction) {
+      y = static_cast<std::int32_t>(rng.uniform_int(num_classes));
+    }
+  }
+}
+
+Split make_split(std::size_t num_nodes, const SplitConfig& cfg) {
+  if (cfg.train + cfg.valid + cfg.test > 1.0 + 1e-9) {
+    throw std::invalid_argument("make_split: fractions exceed 1");
+  }
+  Rng rng(cfg.seed);
+  std::vector<std::int64_t> perm(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    perm[i] = static_cast<std::int64_t>(i);
+  }
+  rng.shuffle(perm);
+  const auto labeled =
+      static_cast<std::size_t>(std::lround(num_nodes * cfg.labeled_fraction));
+  const auto n_train = static_cast<std::size_t>(std::lround(labeled * cfg.train));
+  const auto n_valid = static_cast<std::size_t>(std::lround(labeled * cfg.valid));
+  const auto n_test = std::min(
+      labeled - std::min(labeled, n_train + n_valid),
+      static_cast<std::size_t>(std::lround(labeled * cfg.test)));
+  Split s;
+  s.train.assign(perm.begin(), perm.begin() + n_train);
+  s.valid.assign(perm.begin() + n_train, perm.begin() + n_train + n_valid);
+  s.test.assign(perm.begin() + n_train + n_valid,
+                perm.begin() + n_train + n_valid + n_test);
+  return s;
+}
+
+}  // namespace ppgnn::graph

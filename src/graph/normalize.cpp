@@ -1,0 +1,64 @@
+#include "graph/normalize.h"
+
+#include <cmath>
+
+namespace ppgnn::graph {
+
+namespace {
+
+std::vector<float> inv_sqrt_degrees(const CsrGraph& g) {
+  std::vector<float> inv(g.num_nodes());
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    const auto d = g.degree(static_cast<NodeId>(v));
+    inv[v] = d > 0 ? 1.f / std::sqrt(static_cast<float>(d)) : 0.f;
+  }
+  return inv;
+}
+
+}  // namespace
+
+CsrGraph sym_normalized(const CsrGraph& g, bool add_self_loops) {
+  CsrGraph a = add_self_loops ? with_self_loops(g) : g;
+  const auto inv_sqrt = inv_sqrt_degrees(a);
+  std::vector<float> values(a.num_edges());
+  for (std::size_t v = 0; v < a.num_nodes(); ++v) {
+    const auto vid = static_cast<NodeId>(v);
+    const auto nbrs = a.neighbors(vid);
+    const EdgeIdx base = a.offsets()[v];
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      values[base + i] = inv_sqrt[v] * inv_sqrt[nbrs[i]];
+    }
+  }
+  return CsrGraph(a.num_nodes(), a.offsets(), a.indices(), std::move(values));
+}
+
+CsrGraph row_normalized(const CsrGraph& g, bool add_self_loops) {
+  CsrGraph a = add_self_loops ? with_self_loops(g) : g;
+  std::vector<float> values(a.num_edges());
+  for (std::size_t v = 0; v < a.num_nodes(); ++v) {
+    const auto vid = static_cast<NodeId>(v);
+    const auto d = a.degree(vid);
+    const float inv = d > 0 ? 1.f / static_cast<float>(d) : 0.f;
+    const EdgeIdx base = a.offsets()[v];
+    for (EdgeIdx i = 0; i < d; ++i) values[base + i] = inv;
+  }
+  return CsrGraph(a.num_nodes(), a.offsets(), a.indices(), std::move(values));
+}
+
+double edge_homophily(const CsrGraph& g,
+                      const std::vector<std::int32_t>& labels) {
+  std::size_t same = 0, total = 0;
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    const auto lv = labels[v];
+    if (lv < 0) continue;
+    for (const NodeId u : g.neighbors(static_cast<NodeId>(v))) {
+      const auto lu = labels[u];
+      if (lu < 0) continue;
+      ++total;
+      if (lu == lv) ++same;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(same) / total;
+}
+
+}  // namespace ppgnn::graph

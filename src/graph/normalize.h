@@ -1,0 +1,29 @@
+// Graph-filter operator construction.
+//
+// PP-GNN preprocessing multiplies node features by operators derived from
+// the adjacency matrix (Section 2.5 of the paper).  This module materializes
+// the operators as weighted CSR graphs so the same SpMM kernel drives every
+// propagation scheme (symmetric normalization, random-walk normalization,
+// and the PPR / heat-kernel diffusion recurrences built on top of them).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace ppgnn::graph {
+
+// B = D~^{-1/2} (A + I) D~^{-1/2} — the SGC/SIGN/HOGA default operator.
+// When add_self_loops is false, normalizes the raw adjacency (isolated nodes
+// get zero rows).
+CsrGraph sym_normalized(const CsrGraph& g, bool add_self_loops = true);
+
+// B = D~^{-1} (A + I) — random-walk (row) normalization.
+CsrGraph row_normalized(const CsrGraph& g, bool add_self_loops = true);
+
+// Edge homophily: fraction of edges whose endpoints share a label.
+// Labels < 0 (unlabeled) are skipped.
+double edge_homophily(const CsrGraph& g, const std::vector<std::int32_t>& labels);
+
+}  // namespace ppgnn::graph

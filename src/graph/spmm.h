@@ -1,0 +1,28 @@
+// Sparse-dense products over CSR graphs.
+//
+// These kernels implement feature propagation: Y[v] = sum_{u in N(v)}
+// w(v,u) * X[u].  They are the compute core of PP-GNN preprocessing
+// (src/core/precompute.*) and of the MP-GNN aggregation layers.
+#pragma once
+
+#include "graph/csr.h"
+#include "tensor/tensor.h"
+
+namespace ppgnn::graph {
+
+// Y = A @ X, parallel over destination rows.  X is [n, f]; Y is [n, f].
+// Unweighted graphs use weight 1 per edge.
+void spmm(const CsrGraph& a, const Tensor& x, Tensor& y);
+Tensor spmm(const CsrGraph& a, const Tensor& x);
+
+// Y = A @ X restricted to a set of destination rows: for each i,
+// Y.row(i) = sum over neighbors of rows[i] in A of w * X[u].
+// Used by MP-GNN blocks where only sampled destinations are materialized.
+void spmm_rows(const CsrGraph& a, const std::vector<NodeId>& rows,
+               const Tensor& x, Tensor& y);
+
+// Mean variant: divides each output row by max(degree, 1).
+void spmm_mean_rows(const CsrGraph& a, const std::vector<NodeId>& rows,
+                    const Tensor& x, Tensor& y);
+
+}  // namespace ppgnn::graph

@@ -1,0 +1,66 @@
+#include "loader/cache.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppgnn::loader {
+
+StaticCache::StaticCache(const std::vector<std::int64_t>& pinned_rows) {
+  pinned_.reserve(pinned_rows.size() * 2);
+  for (const auto r : pinned_rows) pinned_.emplace(r, true);
+}
+
+bool StaticCache::access(std::int64_t row) {
+  return pinned_.count(row) > 0;
+}
+
+LruCache::LruCache(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("LruCache: capacity must be > 0");
+  }
+  map_.reserve(capacity * 2);
+}
+
+bool LruCache::access(std::int64_t row) {
+  const auto it = map_.find(row);
+  if (it != map_.end()) {
+    order_.splice(order_.begin(), order_, it->second);  // refresh
+    return true;
+  }
+  if (map_.size() == capacity_) {
+    map_.erase(order_.back());
+    order_.pop_back();
+  }
+  order_.push_front(row);
+  map_.emplace(row, order_.begin());
+  return false;
+}
+
+HitRateReport replay(RowCache& cache,
+                     const std::vector<std::int64_t>& stream) {
+  HitRateReport r;
+  r.accesses = stream.size();
+  for (const auto row : stream) {
+    if (cache.access(row)) ++r.hits;
+  }
+  return r;
+}
+
+std::vector<std::int64_t> hottest_rows(const std::vector<std::int64_t>& stream,
+                                       std::size_t k) {
+  std::unordered_map<std::int64_t, std::size_t> freq;
+  freq.reserve(stream.size());
+  for (const auto r : stream) ++freq[r];
+  std::vector<std::pair<std::size_t, std::int64_t>> by_freq;
+  by_freq.reserve(freq.size());
+  for (const auto& [row, count] : freq) by_freq.emplace_back(count, row);
+  const std::size_t take = std::min(k, by_freq.size());
+  std::partial_sort(by_freq.begin(), by_freq.begin() + take, by_freq.end(),
+                    [](const auto& a, const auto& b) { return a > b; });
+  std::vector<std::int64_t> out;
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) out.push_back(by_freq[i].second);
+  return out;
+}
+
+}  // namespace ppgnn::loader

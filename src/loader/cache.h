@@ -1,0 +1,79 @@
+// Feature caches and access-stream hit-rate analysis.
+//
+// MP-GNN systems lean on GPU-side feature caching (PaGraph, GNNLab —
+// Section 2.4) because sampled subgraphs re-visit hub nodes constantly:
+// the access stream is heavy-tailed and a small degree-ordered cache
+// absorbs most fetches.  Section 4.1 argues the same trick is *unsuitable
+// for PP-GNNs*: every training row is accessed exactly once per epoch in
+// a random order, so any cache's hit rate collapses to its capacity
+// fraction.  This module provides the two standard policies and a replay
+// harness so that claim is measured, not asserted (see
+// bench_ablation_caching and test_cache).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+namespace ppgnn::loader {
+
+// Cache policy interface over row ids (payload-free: we only study hit
+// rates; the bytes saved are hit_rate * row_bytes by construction).
+class RowCache {
+ public:
+  virtual ~RowCache() = default;
+  // Records an access; returns true on hit.
+  virtual bool access(std::int64_t row) = 0;
+  virtual std::size_t capacity() const = 0;
+  virtual const char* policy() const = 0;
+};
+
+// Static cache preloaded with a fixed row set (GNNLab-style: hottest rows
+// by degree or by profiled frequency, pinned for the whole run).
+class StaticCache : public RowCache {
+ public:
+  explicit StaticCache(const std::vector<std::int64_t>& pinned_rows);
+  bool access(std::int64_t row) override;
+  std::size_t capacity() const override { return pinned_.size(); }
+  const char* policy() const override { return "static"; }
+
+ private:
+  std::unordered_map<std::int64_t, bool> pinned_;
+};
+
+// LRU cache (PaGraph-style dynamic caching).
+class LruCache : public RowCache {
+ public:
+  explicit LruCache(std::size_t capacity);
+  bool access(std::int64_t row) override;
+  std::size_t capacity() const override { return capacity_; }
+  const char* policy() const override { return "lru"; }
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::int64_t> order_;  // front = most recent
+  std::unordered_map<std::int64_t, std::list<std::int64_t>::iterator> map_;
+};
+
+struct HitRateReport {
+  std::size_t accesses = 0;
+  std::size_t hits = 0;
+  double hit_rate() const {
+    return accesses ? static_cast<double>(hits) /
+                          static_cast<double>(accesses)
+                    : 0.0;
+  }
+};
+
+// Replays an access stream through a cache.
+HitRateReport replay(RowCache& cache,
+                     const std::vector<std::int64_t>& stream);
+
+// The hottest `k` rows of a stream by frequency — the oracle pin set for
+// a StaticCache.
+std::vector<std::int64_t> hottest_rows(const std::vector<std::int64_t>& stream,
+                                       std::size_t k);
+
+}  // namespace ppgnn::loader

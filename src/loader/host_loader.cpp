@@ -1,0 +1,75 @@
+#include "loader/host_loader.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace ppgnn::loader {
+
+BatchSource::BatchSource(const Tensor* features, const std::int32_t* labels,
+                         std::size_t batch_size)
+    : features_(features), labels_(labels), batch_size_(batch_size) {
+  if (features_ == nullptr || batch_size_ == 0) {
+    throw std::invalid_argument("BatchSource: bad arguments");
+  }
+  // Default order: identity (callers normally install a shuffled order).
+  order_.resize(features_->rows());
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    order_[i] = static_cast<std::int64_t>(i);
+  }
+}
+
+void BatchSource::set_epoch_order(std::vector<std::int64_t> order) {
+  if (order.size() != features_->rows()) {
+    throw std::invalid_argument("set_epoch_order: order size mismatch");
+  }
+  order_ = std::move(order);
+}
+
+std::vector<std::int64_t> BatchSource::batch_indices(
+    std::size_t batch_idx) const {
+  const std::size_t lo = batch_idx * batch_size_;
+  if (lo >= order_.size()) {
+    throw std::out_of_range("batch_indices: batch index out of range");
+  }
+  const std::size_t hi = std::min(lo + batch_size_, order_.size());
+  return {order_.begin() + static_cast<std::ptrdiff_t>(lo),
+          order_.begin() + static_cast<std::ptrdiff_t>(hi)};
+}
+
+MiniBatch BatchSource::assemble_baseline(std::size_t batch_idx) const {
+  MiniBatch mb;
+  mb.indices = batch_indices(batch_idx);
+  const std::size_t row = features_->row_size();
+  mb.features = Tensor({mb.indices.size(), row});
+  mb.labels.resize(mb.indices.size());
+  // Deliberately row-at-a-time, one "call" per item — the per-item
+  // bookkeeping (bounds check, row pointer computation, separate copy) is
+  // the behaviour being modelled, so do not batch these copies.
+  for (std::size_t i = 0; i < mb.indices.size(); ++i) {
+    const auto src = static_cast<std::size_t>(mb.indices[i]);
+    if (src >= features_->rows()) {
+      throw std::out_of_range("assemble_baseline: row out of range");
+    }
+    std::memcpy(mb.features.row(i), features_->row(src), row * sizeof(float));
+    mb.labels[i] = labels_ != nullptr ? labels_[src] : -1;
+  }
+  return mb;
+}
+
+MiniBatch BatchSource::assemble_fused(std::size_t batch_idx) const {
+  MiniBatch mb;
+  mb.indices = batch_indices(batch_idx);
+  mb.features = Tensor({mb.indices.size(), features_->row_size()});
+  gather_rows(*features_, mb.indices, mb.features);
+  mb.labels.resize(mb.indices.size());
+  for (std::size_t i = 0; i < mb.indices.size(); ++i) {
+    mb.labels[i] =
+        labels_ != nullptr ? labels_[static_cast<std::size_t>(mb.indices[i])]
+                           : -1;
+  }
+  return mb;
+}
+
+}  // namespace ppgnn::loader

@@ -1,0 +1,55 @@
+#include "loader/placement.h"
+
+namespace ppgnn::loader {
+
+PlacementDecision decide_placement(const PlacementRequest& req,
+                                   const sim::MachineSpec& machine) {
+  PlacementDecision d;
+  const int g = std::max(1, req.num_gpus);
+  // Leave ~10% GPU headroom for allocator fragmentation and activations
+  // beyond the measured peak; data may be sharded across GPUs.
+  const auto gpu_budget = static_cast<std::size_t>(
+      0.9 * static_cast<double>(machine.gpu.memory_bytes) * g);
+  const std::size_t gpu_needed = req.input_bytes + req.model_peak_bytes * g;
+
+  if (gpu_needed <= gpu_budget) {
+    d.placement = sim::DataPlacement::kGpu;
+    d.chunk_reshuffle = false;  // HBM makes assembly free; RR preferred
+    d.loader = sim::LoaderKind::kDoubleBuffer;
+    d.rationale = "input + model peak fits GPU memory; preload and use "
+                  "SGD-RR with double-buffered gathers";
+    return d;
+  }
+
+  if (req.input_bytes <= machine.host.memory_bytes) {
+    d.placement = sim::DataPlacement::kHost;
+    const auto pin_budget = static_cast<std::size_t>(
+        req.max_pinned_fraction *
+        static_cast<double>(machine.host.memory_bytes));
+    if (!req.force_sgd_rr && req.input_bytes <= pin_budget) {
+      d.chunk_reshuffle = true;
+      d.loader = sim::LoaderKind::kChunkPipeline;
+      d.rationale = "input fits host memory and within the pinning budget; "
+                    "chunk reshuffling with GPU-side assembly";
+    } else {
+      d.chunk_reshuffle = false;
+      d.loader = sim::LoaderKind::kDoubleBuffer;
+      d.rationale = req.force_sgd_rr
+                        ? "user forced SGD-RR; host-side fused assembly with "
+                          "double-buffered prefetching"
+                        : "input exceeds the pinning budget; default to "
+                          "SGD-RR to avoid pinning the whole input";
+    }
+    return d;
+  }
+
+  d.placement = sim::DataPlacement::kStorage;
+  d.chunk_reshuffle = true;  // SGD-RR on storage is IOPS-bound
+  d.loader = sim::LoaderKind::kChunkPipeline;
+  d.rationale = "input exceeds host memory; direct storage access with "
+                "chunk reshuffling (row-granular SGD-RR would be "
+                "random-read bound)";
+  return d;
+}
+
+}  // namespace ppgnn::loader

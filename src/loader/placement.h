@@ -1,0 +1,42 @@
+// Data-placement policy (Section 5).
+//
+// Given the expanded input size and the model's peak GPU working set, pick
+// where the training data lives and which training method to use:
+//   fits in GPU memory   -> GPU + SGD-RR (chunking buys nothing at HBM bw)
+//   fits in host memory  -> host; chunk reshuffling unless pinning the whole
+//                           input would consume too much host memory
+//   otherwise            -> storage + chunk reshuffling (SGD-RR would be
+//                           IOPS-bound on row-granular reads)
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "sim/hardware.h"
+#include "sim/pipeline.h"
+
+namespace ppgnn::loader {
+
+struct PlacementRequest {
+  std::size_t input_bytes = 0;       // expanded training input (all hops)
+  std::size_t model_peak_bytes = 0;  // measured peak GPU working set
+  int num_gpus = 1;
+  // User override: force SGD-RR even where chunk reshuffling is preferred
+  // (the paper exposes this because CR pins the entire input).
+  bool force_sgd_rr = false;
+  // Fraction of host memory the system is willing to pin (Section 5
+  // "avoid excessive host memory pinning").
+  double max_pinned_fraction = 0.5;
+};
+
+struct PlacementDecision {
+  sim::DataPlacement placement = sim::DataPlacement::kHost;
+  bool chunk_reshuffle = false;
+  sim::LoaderKind loader = sim::LoaderKind::kDoubleBuffer;
+  std::string rationale;
+};
+
+PlacementDecision decide_placement(const PlacementRequest& req,
+                                   const sim::MachineSpec& machine);
+
+}  // namespace ppgnn::loader

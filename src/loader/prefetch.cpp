@@ -1,0 +1,69 @@
+#include "loader/prefetch.h"
+
+#include <stdexcept>
+
+namespace ppgnn::loader {
+
+PrefetchingLoader::PrefetchingLoader(AssembleFn assemble,
+                                     std::size_t num_batches,
+                                     std::size_t num_buffers)
+    : assemble_(std::move(assemble)),
+      num_batches_(num_batches),
+      capacity_(num_buffers) {
+  if (!assemble_ || capacity_ == 0) {
+    throw std::invalid_argument("PrefetchingLoader: bad arguments");
+  }
+  producer_ = std::thread([this] { producer_loop(); });
+}
+
+PrefetchingLoader::~PrefetchingLoader() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_not_full_.notify_all();
+  cv_not_empty_.notify_all();
+  if (producer_.joinable()) producer_.join();
+}
+
+void PrefetchingLoader::producer_loop() {
+  for (std::size_t i = 0; i < num_batches_; ++i) {
+    MiniBatch mb;
+    try {
+      mb = assemble_(i);
+    } catch (...) {
+      // Park the exception for the consumer and shut down; letting it
+      // escape a std::thread would terminate the process.
+      std::lock_guard<std::mutex> lk(mu_);
+      producer_error_ = std::current_exception();
+      stop_ = true;
+      cv_not_empty_.notify_all();
+      return;
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_not_full_.wait(lk, [&] { return stop_ || queue_.size() < capacity_; });
+    if (stop_) return;
+    queue_.push_back(std::move(mb));
+    ++produced_;
+    lk.unlock();
+    cv_not_empty_.notify_one();
+  }
+}
+
+bool PrefetchingLoader::next(MiniBatch& out) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (consumed_ == num_batches_) return false;
+  cv_not_empty_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+  if (queue_.empty()) {
+    if (producer_error_) std::rethrow_exception(producer_error_);
+    return false;  // stopped
+  }
+  out = std::move(queue_.front());
+  queue_.pop_front();
+  ++consumed_;
+  lk.unlock();
+  cv_not_full_.notify_one();
+  return true;
+}
+
+}  // namespace ppgnn::loader

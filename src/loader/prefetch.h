@@ -1,0 +1,63 @@
+// Double-buffered prefetching (Section 4.1, Figure 6c).
+//
+// A dedicated loader thread assembles upcoming mini-batches into a bounded
+// two-slot queue while the consumer (the trainer) processes the current
+// one — the software analogue of the paper's prefetch-stream + GPU double
+// buffer.  Capacity 2 gives exactly the double-buffer semantics: the
+// producer may run at most two batches ahead.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "loader/host_loader.h"
+
+namespace ppgnn::loader {
+
+class PrefetchingLoader {
+ public:
+  using AssembleFn = std::function<MiniBatch(std::size_t)>;
+
+  // assemble(batch_idx) produces batch `batch_idx` in [0, num_batches);
+  // it runs on the loader thread and must be thread-safe w.r.t. the
+  // consumer (BatchSource::assemble_* is: it only reads shared state).
+  PrefetchingLoader(AssembleFn assemble, std::size_t num_batches,
+                    std::size_t num_buffers = 2);
+  ~PrefetchingLoader();
+
+  PrefetchingLoader(const PrefetchingLoader&) = delete;
+  PrefetchingLoader& operator=(const PrefetchingLoader&) = delete;
+
+  // Blocks for the next batch; returns false when the epoch is exhausted.
+  // If the assemble function threw on the loader thread, rethrows that
+  // exception here (on the consumer thread) instead of terminating the
+  // process — a storage read error surfaces as a normal exception from
+  // the training loop.
+  bool next(MiniBatch& out);
+
+  std::size_t num_batches() const { return num_batches_; }
+
+ private:
+  void producer_loop();
+
+  AssembleFn assemble_;
+  std::size_t num_batches_;
+  std::size_t capacity_;
+
+  std::mutex mu_;
+  std::condition_variable cv_not_full_;
+  std::condition_variable cv_not_empty_;
+  std::deque<MiniBatch> queue_;
+  std::size_t produced_ = 0;
+  std::size_t consumed_ = 0;
+  bool stop_ = false;
+  std::exception_ptr producer_error_;
+  std::thread producer_;
+};
+
+}  // namespace ppgnn::loader

@@ -1,0 +1,49 @@
+#include "loader/shuffler.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace ppgnn::loader {
+
+std::vector<std::int64_t> RandomReshuffler::epoch_order(std::size_t n,
+                                                        Rng& rng) const {
+  std::vector<std::int64_t> order(n);
+  std::iota(order.begin(), order.end(), std::int64_t{0});
+  rng.shuffle(order);
+  return order;
+}
+
+ChunkReshuffler::ChunkReshuffler(std::size_t chunk_size) : chunk_(chunk_size) {
+  if (chunk_size == 0) {
+    throw std::invalid_argument("ChunkReshuffler: chunk size must be > 0");
+  }
+}
+
+std::string ChunkReshuffler::name() const {
+  return "SGD-CR(" + std::to_string(chunk_) + ")";
+}
+
+std::vector<std::int64_t> ChunkReshuffler::epoch_order(std::size_t n,
+                                                       Rng& rng) const {
+  const std::size_t num_chunks = (n + chunk_ - 1) / chunk_;
+  std::vector<std::int64_t> chunk_order(num_chunks);
+  std::iota(chunk_order.begin(), chunk_order.end(), std::int64_t{0});
+  rng.shuffle(chunk_order);
+  std::vector<std::int64_t> order;
+  order.reserve(n);
+  for (const auto c : chunk_order) {
+    const auto lo = static_cast<std::size_t>(c) * chunk_;
+    const auto hi = std::min(lo + chunk_, n);
+    for (std::size_t i = lo; i < hi; ++i) {
+      order.push_back(static_cast<std::int64_t>(i));
+    }
+  }
+  return order;
+}
+
+std::unique_ptr<Shuffler> make_shuffler(std::size_t chunk_size) {
+  if (chunk_size <= 1) return std::make_unique<RandomReshuffler>();
+  return std::make_unique<ChunkReshuffler>(chunk_size);
+}
+
+}  // namespace ppgnn::loader

@@ -1,0 +1,52 @@
+// Epoch-order generation: SGD with random reshuffling vs chunk reshuffling.
+//
+// Both the real trainer and the pipeline simulator consume these orders, so
+// accuracy experiments (Figure 8 / Table 6) and throughput experiments
+// (Figure 9 / Table 4) share identical shuffling semantics.
+//
+// Chunk reshuffling (Section 4.2) permutes fixed-size chunks of contiguous
+// sample indices and keeps intra-chunk order.  With chunk_size == 1 it
+// degenerates to SGD-RR exactly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace ppgnn::loader {
+
+class Shuffler {
+ public:
+  virtual ~Shuffler() = default;
+  // Order in which sample indices [0, n) are visited this epoch.
+  virtual std::vector<std::int64_t> epoch_order(std::size_t n,
+                                                Rng& rng) const = 0;
+  virtual std::string name() const = 0;
+  // Granularity of contiguous runs in the order (1 for RR).
+  virtual std::size_t chunk_size() const = 0;
+};
+
+class RandomReshuffler : public Shuffler {
+ public:
+  std::vector<std::int64_t> epoch_order(std::size_t n, Rng& rng) const override;
+  std::string name() const override { return "SGD-RR"; }
+  std::size_t chunk_size() const override { return 1; }
+};
+
+class ChunkReshuffler : public Shuffler {
+ public:
+  explicit ChunkReshuffler(std::size_t chunk_size);
+  std::vector<std::int64_t> epoch_order(std::size_t n, Rng& rng) const override;
+  std::string name() const override;
+  std::size_t chunk_size() const override { return chunk_; }
+
+ private:
+  std::size_t chunk_;
+};
+
+std::unique_ptr<Shuffler> make_shuffler(std::size_t chunk_size);
+
+}  // namespace ppgnn::loader

@@ -1,0 +1,153 @@
+#include "loader/storage.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace ppgnn::loader {
+
+namespace {
+
+std::string hop_path(const std::string& dir, std::size_t hop) {
+  return dir + "/hop_" + std::to_string(hop) + ".bin";
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+void pread_exact(int fd, void* buf, std::size_t count, off_t offset) {
+  auto* p = static_cast<char*>(buf);
+  while (count > 0) {
+    const ssize_t r = ::pread(fd, p, count, offset);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("pread");
+    }
+    if (r == 0) throw std::runtime_error("pread: unexpected EOF");
+    p += r;
+    count -= static_cast<std::size_t>(r);
+    offset += r;
+  }
+}
+
+}  // namespace
+
+FeatureFileStore FeatureFileStore::create(
+    const std::string& dir, const std::vector<Tensor>& hop_features) {
+  if (hop_features.empty()) {
+    throw std::invalid_argument("FeatureFileStore: no hop features");
+  }
+  ::mkdir(dir.c_str(), 0755);  // ok if it already exists
+  const std::size_t rows = hop_features[0].rows();
+  const std::size_t dim = hop_features[0].cols();
+  for (const auto& t : hop_features) {
+    if (t.rows() != rows || t.cols() != dim) {
+      throw std::invalid_argument("FeatureFileStore: hop shape mismatch");
+    }
+  }
+  for (std::size_t h = 0; h < hop_features.size(); ++h) {
+    const int fd = ::open(hop_path(dir, h).c_str(),
+                          O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    if (fd < 0) throw_errno("open for write: " + hop_path(dir, h));
+    const char* p = reinterpret_cast<const char*>(hop_features[h].data());
+    std::size_t left = hop_features[h].bytes();
+    while (left > 0) {
+      const ssize_t w = ::write(fd, p, left);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        throw_errno("write");
+      }
+      p += w;
+      left -= static_cast<std::size_t>(w);
+    }
+    ::close(fd);
+  }
+  return open(dir, rows, hop_features.size(), dim);
+}
+
+FeatureFileStore FeatureFileStore::open(const std::string& dir,
+                                        std::size_t num_rows,
+                                        std::size_t num_hops,
+                                        std::size_t dim) {
+  FeatureFileStore s;
+  s.dir_ = dir;
+  s.rows_ = num_rows;
+  s.hops_ = num_hops;
+  s.dim_ = dim;
+  s.fds_.reserve(num_hops);
+  for (std::size_t h = 0; h < num_hops; ++h) {
+    const int fd = ::open(hop_path(dir, h).c_str(), O_RDONLY);
+    if (fd < 0) throw_errno("open for read: " + hop_path(dir, h));
+    s.fds_.push_back(fd);
+  }
+  return s;
+}
+
+FeatureFileStore::FeatureFileStore(FeatureFileStore&& other) noexcept {
+  *this = std::move(other);
+}
+
+FeatureFileStore& FeatureFileStore::operator=(
+    FeatureFileStore&& other) noexcept {
+  if (this != &other) {
+    for (const int fd : fds_) ::close(fd);
+    dir_ = std::move(other.dir_);
+    rows_ = other.rows_;
+    hops_ = other.hops_;
+    dim_ = other.dim_;
+    fds_ = std::move(other.fds_);
+    other.fds_.clear();
+  }
+  return *this;
+}
+
+FeatureFileStore::~FeatureFileStore() {
+  for (const int fd : fds_) ::close(fd);
+}
+
+void FeatureFileStore::read_chunk(std::size_t row0, std::size_t count,
+                                  Tensor& out) const {
+  if (row0 + count > rows_) {
+    throw std::out_of_range("read_chunk: range out of bounds");
+  }
+  if (out.rows() != count || out.cols() != hops_ * dim_) {
+    throw std::invalid_argument("read_chunk: bad output shape");
+  }
+  // One contiguous pread per hop file, then interleave into the per-row
+  // hop-major layout.
+  std::vector<float> buf(count * dim_);
+  for (std::size_t h = 0; h < hops_; ++h) {
+    pread_exact(fds_[h], buf.data(), count * dim_ * sizeof(float),
+                static_cast<off_t>(row0 * dim_ * sizeof(float)));
+    for (std::size_t i = 0; i < count; ++i) {
+      std::memcpy(out.row(i) + h * dim_, buf.data() + i * dim_,
+                  dim_ * sizeof(float));
+    }
+  }
+}
+
+void FeatureFileStore::read_rows(const std::vector<std::int64_t>& rows,
+                                 Tensor& out) const {
+  if (out.rows() != rows.size() || out.cols() != hops_ * dim_) {
+    throw std::invalid_argument("read_rows: bad output shape");
+  }
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto r = static_cast<std::size_t>(rows[i]);
+    if (rows[i] < 0 || r >= rows_) {
+      throw std::out_of_range("read_rows: row out of bounds");
+    }
+    for (std::size_t h = 0; h < hops_; ++h) {
+      pread_exact(fds_[h], out.row(i) + h * dim_, dim_ * sizeof(float),
+                  static_cast<off_t>(r * dim_ * sizeof(float)));
+    }
+  }
+}
+
+}  // namespace ppgnn::loader

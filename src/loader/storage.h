@@ -1,0 +1,54 @@
+// File-backed preprocessed-feature store (the GDS analogue, Section 4.3).
+//
+// Preprocessed hop features are written to one binary file per hop — the
+// paper splits hops into separate files to expose parallel storage streams.
+// Reading supports two access patterns whose performance gap is the whole
+// point of chunk reshuffling on storage:
+//   - read_chunk: contiguous row ranges, one pread per hop file;
+//   - read_rows: row-granular random access, one pread per row per hop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ppgnn::loader {
+
+class FeatureFileStore {
+ public:
+  // Writes hop_features[h] ([n, dim] each, identical shapes) to
+  // dir/hop_<h>.bin and returns an open store.  Overwrites existing files.
+  static FeatureFileStore create(const std::string& dir,
+                                 const std::vector<Tensor>& hop_features);
+  // Opens existing files written by create().
+  static FeatureFileStore open(const std::string& dir, std::size_t num_rows,
+                               std::size_t num_hops, std::size_t dim);
+
+  FeatureFileStore(FeatureFileStore&&) noexcept;
+  FeatureFileStore& operator=(FeatureFileStore&&) noexcept;
+  ~FeatureFileStore();
+
+  std::size_t num_rows() const { return rows_; }
+  std::size_t num_hops() const { return hops_; }
+  std::size_t hop_dim() const { return dim_; }
+  std::size_t row_bytes() const { return hops_ * dim_ * sizeof(float); }
+  std::size_t total_bytes() const { return rows_ * row_bytes(); }
+
+  // out: [count, hops*dim]; reads rows [row0, row0+count) of every hop file
+  // and lays them out hop-major within each output row (hop 0 first) —
+  // matching the in-memory expanded layout of core::Preprocessed.
+  void read_chunk(std::size_t row0, std::size_t count, Tensor& out) const;
+
+  // Random row-granular access: out[i] = concatenated hops of rows[i].
+  void read_rows(const std::vector<std::int64_t>& rows, Tensor& out) const;
+
+ private:
+  FeatureFileStore() = default;
+  std::string dir_;
+  std::size_t rows_ = 0, hops_ = 0, dim_ = 0;
+  std::vector<int> fds_;  // one per hop file
+};
+
+}  // namespace ppgnn::loader

@@ -1,0 +1,262 @@
+#include "mpgnn/gat.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sampling/subgraph.h"
+#include "tensor/ops.h"
+#include "tensor/parallel.h"
+
+namespace ppgnn::mpgnn {
+
+namespace {
+inline float leaky(float x, float s) { return x > 0.f ? x : s * x; }
+inline float leaky_grad(float x, float s) { return x > 0.f ? 1.f : s; }
+}  // namespace
+
+GatLayer::GatLayer(std::size_t in_dim, std::size_t head_dim, std::size_t heads,
+                   bool concat, Rng& rng, float negative_slope)
+    : head_dim_(head_dim), heads_(heads), concat_(concat),
+      slope_(negative_slope) {
+  const std::size_t out = heads * head_dim;
+  const float bound = std::sqrt(6.f / static_cast<float>(in_dim + out));
+  w_ = Tensor::uniform({in_dim, out}, rng, -bound, bound);
+  const float abound = std::sqrt(6.f / static_cast<float>(head_dim + 1));
+  a_l_ = Tensor::uniform({heads, head_dim}, rng, -abound, abound);
+  a_r_ = Tensor::uniform({heads, head_dim}, rng, -abound, abound);
+  gw_ = Tensor({in_dim, out});
+  ga_l_ = Tensor({heads, head_dim});
+  ga_r_ = Tensor({heads, head_dim});
+}
+
+Tensor GatLayer::forward(const Block& block, const Tensor& h_src, bool train) {
+  if (h_src.rows() != block.src_size()) {
+    throw std::invalid_argument("GatLayer: h_src rows != block src size");
+  }
+  const std::size_t src = block.src_size();
+  const std::size_t dst = block.dst_size();
+  Tensor z = matmul(h_src, w_);  // [src, heads*head_dim]
+
+  // Attention halves: sl[j,h] = a_l[h] . z_j[h], sr likewise.
+  Tensor sl({src, heads_});
+  Tensor sr({src, heads_});
+  parallel_for(src, [&](std::size_t j0, std::size_t j1) {
+    for (std::size_t j = j0; j < j1; ++j) {
+      const float* zj = z.row(j);
+      for (std::size_t h = 0; h < heads_; ++h) {
+        const float* al = a_l_.row(h);
+        const float* ar = a_r_.row(h);
+        float accl = 0.f, accr = 0.f;
+        const float* zh = zj + h * head_dim_;
+        for (std::size_t d = 0; d < head_dim_; ++d) {
+          accl += al[d] * zh[d];
+          accr += ar[d] * zh[d];
+        }
+        sl.at(j, h) = accl;
+        sr.at(j, h) = accr;
+      }
+    }
+  }, 256);
+
+  // Scores over (self + sampled neighbors) per dst; slot layout:
+  // for dst i, slots [soff(i), soff(i+1)) where slot 0 is the self edge.
+  std::vector<float> alpha((block.num_edges() + dst) * heads_);
+  std::vector<float> pre(alpha.size());
+  Tensor out({dst, concat_ ? heads_ * head_dim_ : head_dim_});
+
+  parallel_for(dst, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const auto lo = block.offsets[i], hi = block.offsets[i + 1];
+      const std::size_t nslots = static_cast<std::size_t>(hi - lo) + 1;
+      const std::size_t base = (static_cast<std::size_t>(lo) + i) * heads_;
+      for (std::size_t h = 0; h < heads_; ++h) {
+        // self edge first (dst prefix invariant: local dst i == local src i)
+        float mx = -1e30f;
+        for (std::size_t s = 0; s < nslots; ++s) {
+          const std::size_t j =
+              s == 0 ? i : static_cast<std::size_t>(block.indices[lo + s - 1]);
+          const float p = sl.at(i, h) + sr.at(j, h);
+          const float v = leaky(p, slope_);
+          pre[base + s * heads_ + h] = p;
+          alpha[base + s * heads_ + h] = v;
+          mx = std::max(mx, v);
+        }
+        float zsum = 0.f;
+        for (std::size_t s = 0; s < nslots; ++s) {
+          float& a = alpha[base + s * heads_ + h];
+          a = std::exp(a - mx);
+          zsum += a;
+        }
+        const float inv = 1.f / zsum;
+        float* orow = out.row(i) + (concat_ ? h * head_dim_ : 0);
+        if (concat_ || h == 0) std::fill(orow, orow + head_dim_, 0.f);
+        for (std::size_t s = 0; s < nslots; ++s) {
+          float& a = alpha[base + s * heads_ + h];
+          a *= inv;
+          const std::size_t j =
+              s == 0 ? i : static_cast<std::size_t>(block.indices[lo + s - 1]);
+          const float* zh = z.row(j) + h * head_dim_;
+          const float scale = concat_ ? a : a / static_cast<float>(heads_);
+          for (std::size_t d = 0; d < head_dim_; ++d) orow[d] += scale * zh[d];
+        }
+      }
+    }
+  }, 64);
+
+  if (train) {
+    block_ = &block;
+    h_src_ = h_src;
+    z_ = std::move(z);
+    sl_ = std::move(sl);
+    sr_ = std::move(sr);
+    alpha_ = std::move(alpha);
+    pre_ = std::move(pre);
+  }
+  return out;
+}
+
+Tensor GatLayer::backward(const Tensor& grad_out) {
+  const Block& b = *block_;
+  const std::size_t src = b.src_size();
+  const std::size_t dst = b.dst_size();
+  Tensor dz({src, heads_ * head_dim_});
+  Tensor dsl({src, heads_});
+  Tensor dsr({src, heads_});
+
+  // Serial over dst: dz/dsl/dsr writes hit shared src rows.
+  std::vector<float> dalpha_buf;
+  for (std::size_t i = 0; i < dst; ++i) {
+    const auto lo = b.offsets[i], hi = b.offsets[i + 1];
+    const std::size_t nslots = static_cast<std::size_t>(hi - lo) + 1;
+    const std::size_t base = (static_cast<std::size_t>(lo) + i) * heads_;
+    dalpha_buf.resize(nslots);
+    for (std::size_t h = 0; h < heads_; ++h) {
+      const float* gy = grad_out.row(i) + (concat_ ? h * head_dim_ : 0);
+      const float head_scale = concat_ ? 1.f : 1.f / static_cast<float>(heads_);
+      // dalpha and dz from the weighted sum.
+      float dot = 0.f;
+      for (std::size_t s = 0; s < nslots; ++s) {
+        const std::size_t j =
+            s == 0 ? i : static_cast<std::size_t>(b.indices[lo + s - 1]);
+        const float a = alpha_[base + s * heads_ + h];
+        const float* zh = z_.row(j) + h * head_dim_;
+        float da = 0.f;
+        float* dzh = dz.row(j) + h * head_dim_;
+        for (std::size_t d = 0; d < head_dim_; ++d) {
+          da += gy[d] * zh[d];
+          dzh[d] += head_scale * a * gy[d];
+        }
+        da *= head_scale;
+        dalpha_buf[s] = da;
+        dot += da * a;
+      }
+      // Softmax + LeakyReLU backward into the score halves.
+      for (std::size_t s = 0; s < nslots; ++s) {
+        const std::size_t j =
+            s == 0 ? i : static_cast<std::size_t>(b.indices[lo + s - 1]);
+        const float a = alpha_[base + s * heads_ + h];
+        const float de = a * (dalpha_buf[s] - dot);
+        const float dp = de * leaky_grad(pre_[base + s * heads_ + h], slope_);
+        dsl.at(i, h) += dp;
+        dsr.at(j, h) += dp;
+      }
+    }
+  }
+
+  // dz += dsl * a_l + dsr * a_r; da_l += sum_j dsl[j] z_j; da_r likewise.
+  for (std::size_t j = 0; j < src; ++j) {
+    float* dzj = dz.row(j);
+    const float* zj = z_.row(j);
+    for (std::size_t h = 0; h < heads_; ++h) {
+      const float dl = dsl.at(j, h);
+      const float dr = dsr.at(j, h);
+      const float* al = a_l_.row(h);
+      const float* ar = a_r_.row(h);
+      float* gal = ga_l_.row(h);
+      float* gar = ga_r_.row(h);
+      float* dzh = dzj + h * head_dim_;
+      const float* zh = zj + h * head_dim_;
+      for (std::size_t d = 0; d < head_dim_; ++d) {
+        dzh[d] += dl * al[d] + dr * ar[d];
+        gal[d] += dl * zh[d];
+        gar[d] += dr * zh[d];
+      }
+    }
+  }
+
+  gemm(h_src_, true, dz, false, gw_, 1.f, 1.f);
+  return matmul_nt(dz, w_);
+}
+
+void GatLayer::collect_params(std::vector<nn::ParamSlot>& out) {
+  out.push_back({&w_, &gw_, "gat.w"});
+  out.push_back({&a_l_, &ga_l_, "gat.a_l"});
+  out.push_back({&a_r_, &ga_r_, "gat.a_r"});
+}
+
+Gat::Gat(const GatConfig& cfg, Rng& rng) {
+  if (cfg.num_layers == 0) throw std::invalid_argument("Gat: 0 layers");
+  for (std::size_t l = 0; l < cfg.num_layers; ++l) {
+    const bool last = l + 1 == cfg.num_layers;
+    const std::size_t in = l == 0 ? cfg.in_dim : cfg.head_dim * cfg.heads;
+    const std::size_t hd = last ? cfg.out_dim : cfg.head_dim;
+    layers_.push_back(
+        std::make_unique<GatLayer>(in, hd, cfg.heads, /*concat=*/!last, rng));
+    if (!last) {
+      relus_.push_back(std::make_unique<nn::ReLU>());
+      dropouts_.push_back(std::make_unique<nn::Dropout>(cfg.dropout, rng));
+    }
+  }
+}
+
+Tensor Gat::forward(const SampledBatch& batch, const Tensor& input_feats,
+                    bool train) {
+  if (batch.blocks.size() != layers_.size()) {
+    throw std::invalid_argument("Gat: block/layer count mismatch");
+  }
+  Tensor h = input_feats;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    h = layers_[l]->forward(batch.blocks[l], h, train);
+    if (l < relus_.size()) {
+      h = relus_[l]->forward(h, train);
+      h = dropouts_[l]->forward(h, train);
+    }
+  }
+  return h;
+}
+
+void Gat::backward(const Tensor& grad_logits) {
+  Tensor g = grad_logits;
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    if (l < relus_.size()) {
+      g = dropouts_[l]->backward(g);
+      g = relus_[l]->backward(g);
+    }
+    g = layers_[l]->backward(g);
+  }
+}
+
+void Gat::collect_params(std::vector<nn::ParamSlot>& out) {
+  for (auto& l : layers_) l->collect_params(out);
+}
+
+Tensor Gat::full_forward(const graph::CsrGraph& g, const Tensor& x) {
+  // Full graph as a single self-block: exact attention over every edge.
+  std::vector<graph::NodeId> all(g.num_nodes());
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    all[v] = static_cast<graph::NodeId>(v);
+  }
+  const Block full = sampling::induced_block(g, all);
+  Tensor h = x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    h = layers_[l]->forward(full, h, /*train=*/false);
+    if (l + 1 < layers_.size()) {
+      Tensor act(h.shape());
+      relu(h, act);
+      h = std::move(act);
+    }
+  }
+  return h;
+}
+
+}  // namespace ppgnn::mpgnn

@@ -1,0 +1,76 @@
+// Graph Attention Network (Velickovic et al., 2018) over sampled blocks.
+//
+// Per head: e_ij = LeakyReLU(a_l . z_i + a_r . z_j), alpha = softmax over
+// j in N_sampled(i) + {i} (an implicit self edge is always included),
+// h'_i = sum_j alpha_ij z_j.  Hidden layers concatenate heads; the output
+// layer averages them (standard GAT head treatment).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/activations.h"
+#include "nn/module.h"
+#include "sampling/subgraph.h"
+#include "tensor/rng.h"
+
+namespace ppgnn::mpgnn {
+
+using sampling::Block;
+using sampling::SampledBatch;
+
+class GatLayer {
+ public:
+  // Output dim is head_dim * heads when concat, head_dim otherwise.
+  GatLayer(std::size_t in_dim, std::size_t head_dim, std::size_t heads,
+           bool concat, Rng& rng, float negative_slope = 0.2f);
+
+  Tensor forward(const Block& block, const Tensor& h_src, bool train);
+  Tensor backward(const Tensor& grad_out);
+  void collect_params(std::vector<nn::ParamSlot>& out);
+  std::size_t out_dim() const { return concat_ ? head_dim_ * heads_ : head_dim_; }
+
+ private:
+  std::size_t head_dim_, heads_;
+  bool concat_;
+  float slope_;
+  Tensor w_;             // [in, heads*head_dim]
+  Tensor a_l_, a_r_;     // [heads, head_dim]
+  Tensor gw_, ga_l_, ga_r_;
+  // caches (train)
+  const Block* block_ = nullptr;
+  Tensor h_src_, z_;             // z: [src, heads*head_dim]
+  Tensor sl_, sr_;               // [src, heads] attention halves
+  std::vector<float> alpha_;     // per (dst-edge incl. self) per head
+  std::vector<float> pre_;       // pre-LeakyReLU scores, same layout
+};
+
+struct GatConfig {
+  std::size_t in_dim = 0;
+  std::size_t head_dim = 128;   // paper: hidden 128 per channel
+  std::size_t heads = 4;
+  std::size_t out_dim = 0;      // classes
+  std::size_t num_layers = 3;
+  float dropout = 0.5f;
+};
+
+class Gat {
+ public:
+  Gat(const GatConfig& cfg, Rng& rng);
+
+  Tensor forward(const SampledBatch& batch, const Tensor& input_feats,
+                 bool train);
+  void backward(const Tensor& grad_logits);
+  void collect_params(std::vector<nn::ParamSlot>& out);
+  std::size_t num_layers() const { return layers_.size(); }
+
+  // Exact full-graph logits (runs attention over the whole graph).
+  Tensor full_forward(const graph::CsrGraph& g, const Tensor& x);
+
+ private:
+  std::vector<std::unique_ptr<GatLayer>> layers_;
+  std::vector<std::unique_ptr<nn::ReLU>> relus_;
+  std::vector<std::unique_ptr<nn::Dropout>> dropouts_;
+};
+
+}  // namespace ppgnn::mpgnn

@@ -1,0 +1,118 @@
+#include "mpgnn/gcn.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/spmm.h"
+#include "tensor/ops.h"
+
+namespace ppgnn::mpgnn {
+
+Gcn::Gcn(const GcnConfig& cfg, Rng& rng) : cfg_(cfg) {
+  if (cfg.in_dim == 0 || cfg.out_dim == 0 || cfg.num_layers == 0) {
+    throw std::invalid_argument("Gcn: in_dim/out_dim/num_layers required");
+  }
+  weights_.reserve(cfg.num_layers);
+  grad_weights_.reserve(cfg.num_layers);
+  for (std::size_t l = 0; l < cfg.num_layers; ++l) {
+    const std::size_t in = l == 0 ? cfg.in_dim : cfg.hidden_dim;
+    const std::size_t out =
+        l + 1 == cfg.num_layers ? cfg.out_dim : cfg.hidden_dim;
+    // Glorot-uniform, as in the original GCN.
+    Tensor w({in, out});
+    const float bound = std::sqrt(6.f / static_cast<float>(in + out));
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      w.data()[i] = static_cast<float>(rng.uniform(-bound, bound));
+    }
+    weights_.push_back(std::move(w));
+    grad_weights_.emplace_back(Tensor({in, out}));
+    grad_weights_.back().zero();
+  }
+  dropout_rng_ = rng.split(0xd70);
+}
+
+Tensor Gcn::forward(const graph::CsrGraph& op, const Tensor& x, bool train) {
+  if (x.rows() != op.num_nodes() || x.cols() != cfg_.in_dim) {
+    throw std::invalid_argument("Gcn::forward: input shape mismatch");
+  }
+  cached_bh_.clear();
+  cached_out_.clear();
+  dropout_masks_.clear();
+
+  Tensor h = x;
+  for (std::size_t l = 0; l < cfg_.num_layers; ++l) {
+    if (train && cfg_.dropout > 0.f && l > 0) {
+      Tensor dropped(h.shape());
+      dropout_masks_.emplace_back();
+      dropout(h, dropped, dropout_masks_.back(), cfg_.dropout, dropout_rng_);
+      h = std::move(dropped);
+    } else if (train) {
+      dropout_masks_.emplace_back();  // keep indices aligned
+    }
+    Tensor bh = graph::spmm(op, h);        // B @ H
+    Tensor z = matmul(bh, weights_[l]);    // (B H) W
+    if (train) cached_bh_.push_back(bh);
+    if (l + 1 < cfg_.num_layers) {
+      Tensor activated(z.shape());
+      relu(z, activated);
+      if (train) cached_out_.push_back(activated);
+      h = std::move(activated);
+    } else {
+      h = std::move(z);
+    }
+  }
+  return h;
+}
+
+void Gcn::backward(const graph::CsrGraph& op, const Tensor& grad_logits) {
+  if (cached_bh_.size() != cfg_.num_layers) {
+    throw std::logic_error("Gcn::backward without cached train forward");
+  }
+  Tensor grad = grad_logits;
+  for (std::size_t l = cfg_.num_layers; l-- > 0;) {
+    if (l + 1 < cfg_.num_layers) {
+      // ReLU backward through the cached activation.
+      Tensor masked(grad.shape());
+      relu_backward(cached_out_[l], grad, masked);
+      grad = std::move(masked);
+    }
+    // z = (B h) W:  dW += (B h)^T grad;  dh = B (grad W^T)  (B symmetric).
+    gemm(cached_bh_[l], true, grad, false, grad_weights_[l], 1.f, 1.f);
+    if (l > 0) {
+      Tensor gw = matmul_nt(grad, weights_[l]);
+      grad = graph::spmm(op, gw);
+      if (cfg_.dropout > 0.f && !dropout_masks_[l].empty()) {
+        Tensor g(grad.shape());
+        dropout_backward(grad, dropout_masks_[l], g, cfg_.dropout);
+        grad = std::move(g);
+      }
+    }
+  }
+  cached_bh_.clear();
+  cached_out_.clear();
+}
+
+void Gcn::collect_params(std::vector<nn::ParamSlot>& out) {
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    out.push_back({&weights_[l], &grad_weights_[l],
+                   "gcn.w" + std::to_string(l)});
+  }
+}
+
+std::size_t Gcn::num_params() {
+  std::size_t n = 0;
+  for (const auto& w : weights_) n += w.size();
+  return n;
+}
+
+std::size_t Gcn::training_bytes(std::size_t nodes, std::size_t in_dim,
+                                std::size_t hidden, std::size_t layers) {
+  // Input + per-layer propagated activations kept for backward, fp32.
+  const std::size_t acts = nodes * (in_dim + layers * hidden) * sizeof(float);
+  const std::size_t params =
+      (in_dim * hidden + (layers > 1 ? (layers - 1) * hidden * hidden : 0)) *
+      sizeof(float) * 3;  // weights + grads + Adam moments (~)
+  return acts + params;
+}
+
+}  // namespace ppgnn::mpgnn

@@ -1,0 +1,65 @@
+// Full-batch GCN (Kipf & Welling, ICLR 2017).
+//
+// The model whose scaling limits motivate this entire literature: every
+// layer propagates over the *whole* graph (H' = ReLU(B H W) with
+// B = D~^-1/2 (A+I) D~^-1/2), so one training step touches all n nodes and
+// all m edges, and activation memory is O(L·n·F) — the baseline against
+// which both graph sampling (Section 2.3) and pre-propagation (Section
+// 2.5) are escape routes.  On the scaled-down analogues it trains fine and
+// gives the no-sampling reference accuracy; `training_bytes()` makes the
+// paper-scale infeasibility concrete.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/csr.h"
+#include "nn/module.h"
+#include "tensor/rng.h"
+
+namespace ppgnn::mpgnn {
+
+struct GcnConfig {
+  std::size_t in_dim = 0;
+  std::size_t hidden_dim = 64;
+  std::size_t out_dim = 0;
+  std::size_t num_layers = 2;
+  float dropout = 0.f;  // applied between layers during training
+};
+
+class Gcn {
+ public:
+  // `op` must outlive the model: the normalized operator is shared with
+  // preprocessing (graph::sym_normalized) rather than rebuilt per model.
+  Gcn(const GcnConfig& cfg, Rng& rng);
+
+  // Full-graph forward: x is [n, in_dim], returns [n, out_dim] logits.
+  // train=true caches activations for backward and applies dropout.
+  Tensor forward(const graph::CsrGraph& op, const Tensor& x, bool train);
+
+  // Full-graph backward from d(loss)/d(logits).  Relies on the operator
+  // being symmetric (B^T = B), which sym_normalized guarantees.
+  void backward(const graph::CsrGraph& op, const Tensor& grad_logits);
+
+  void collect_params(std::vector<nn::ParamSlot>& out);
+  std::size_t num_params();
+
+  // Activation + parameter bytes for one training step on an n-node,
+  // f-feature graph — the quantity that exceeds device memory at paper
+  // scale (O(L n F)).
+  static std::size_t training_bytes(std::size_t nodes, std::size_t in_dim,
+                                    std::size_t hidden, std::size_t layers);
+
+ private:
+  GcnConfig cfg_;
+  std::vector<Tensor> weights_;       // [layers] of [in, out]
+  std::vector<Tensor> grad_weights_;
+  // forward caches (train mode): per layer, the propagated input B·H and
+  // the pre-activation output.
+  std::vector<Tensor> cached_bh_;
+  std::vector<Tensor> cached_out_;
+  std::vector<std::vector<std::uint8_t>> dropout_masks_;
+  Rng dropout_rng_{0x6cf};
+};
+
+}  // namespace ppgnn::mpgnn

@@ -1,0 +1,100 @@
+#include "mpgnn/mp_trainer.h"
+
+#include <chrono>
+
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace ppgnn::mpgnn {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+}  // namespace
+
+template <typename Model>
+MpTrainResult train_mp(Model& model, const graph::Dataset& ds,
+                       const sampling::Sampler& sampler,
+                       const MpTrainConfig& cfg) {
+  Rng rng(cfg.seed);
+  std::vector<nn::ParamSlot> params;
+  model.collect_params(params);
+  nn::Adam opt(params, cfg.lr, 0.9f, 0.999f, 1e-8f, cfg.weight_decay);
+
+  std::vector<std::int64_t> train_idx = ds.split.train;
+  MpTrainResult result;
+
+  for (std::size_t epoch = 1; epoch <= cfg.epochs; ++epoch) {
+    const auto t_epoch = Clock::now();
+    rng.shuffle(train_idx);
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+    EpochRecord rec;
+    rec.epoch = epoch;
+
+    for (std::size_t pos = 0; pos < train_idx.size();
+         pos += cfg.batch_size) {
+      const std::size_t end = std::min(pos + cfg.batch_size, train_idx.size());
+      std::vector<graph::NodeId> seeds;
+      seeds.reserve(end - pos);
+      for (std::size_t i = pos; i < end; ++i) {
+        seeds.push_back(static_cast<graph::NodeId>(train_idx[i]));
+      }
+
+      // Sampling + feature gathering = the MP-GNN "data loading" phase.
+      const auto t_load = Clock::now();
+      const auto batch = sampler.sample(ds.graph, seeds, rng);
+      result.sampler_stats.observe(batch);
+      std::vector<std::int64_t> input_ids(batch.input_nodes().begin(),
+                                          batch.input_nodes().end());
+      const Tensor feats = gather_rows(ds.features, input_ids);
+      rec.data_loading_seconds += seconds_since(t_load);
+
+      const auto t_fwd = Clock::now();
+      Tensor logits = model.forward(batch, feats, /*train=*/true);
+      std::vector<std::int32_t> labels(batch.seeds().size());
+      for (std::size_t i = 0; i < labels.size(); ++i) {
+        labels[i] = ds.labels[static_cast<std::size_t>(batch.seeds()[i])];
+      }
+      Tensor grad(logits.shape());
+      loss_sum += cross_entropy(logits, labels, grad);
+      rec.forward_seconds += seconds_since(t_fwd);
+
+      const auto t_bwd = Clock::now();
+      opt.zero_grad();
+      model.backward(grad);
+      rec.backward_seconds += seconds_since(t_bwd);
+
+      const auto t_opt = Clock::now();
+      opt.step();
+      rec.optimizer_seconds += seconds_since(t_opt);
+      ++batches;
+    }
+    rec.epoch_seconds = seconds_since(t_epoch);
+    rec.train_loss = batches ? loss_sum / static_cast<double>(batches) : 0.0;
+
+    if (epoch % cfg.eval_every == 0 || epoch == cfg.epochs) {
+      const Tensor logits = model.full_forward(ds.graph, ds.features);
+      rec.val_acc = accuracy(gather_rows(logits, ds.split.valid),
+                             ds.labels_at(ds.split.valid));
+      rec.test_acc = accuracy(gather_rows(logits, ds.split.test),
+                              ds.labels_at(ds.split.test));
+    } else if (!result.history.epochs.empty()) {
+      rec.val_acc = result.history.epochs.back().val_acc;
+      rec.test_acc = result.history.epochs.back().test_acc;
+    }
+    result.history.epochs.push_back(rec);
+  }
+  return result;
+}
+
+template MpTrainResult train_mp<GraphSage>(GraphSage&, const graph::Dataset&,
+                                           const sampling::Sampler&,
+                                           const MpTrainConfig&);
+template MpTrainResult train_mp<Gat>(Gat&, const graph::Dataset&,
+                                     const sampling::Sampler&,
+                                     const MpTrainConfig&);
+
+}  // namespace ppgnn::mpgnn

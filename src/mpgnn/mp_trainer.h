@@ -1,0 +1,47 @@
+// Mini-batch training loop for sampling-based MP-GNNs.
+//
+// Mirrors the DGL reference loop the paper benchmarks: shuffle train ids
+// (SGD-RR), sample blocks per batch, gather input features, forward /
+// backward / Adam step, then exact full-graph evaluation.  Also accounts
+// per-phase wall time and total feature rows fetched (Appendix I's data
+// transfer metric).
+#pragma once
+
+#include "core/metrics.h"
+#include "graph/dataset.h"
+#include "mpgnn/gat.h"
+#include "mpgnn/sage.h"
+#include "sampling/sampler.h"
+
+namespace ppgnn::mpgnn {
+
+struct MpTrainConfig {
+  std::size_t epochs = 50;
+  std::size_t batch_size = 1024;
+  float lr = 3e-3f;
+  float weight_decay = 0.f;
+  std::size_t eval_every = 1;   // full-graph eval cadence
+  std::uint64_t seed = 7;
+};
+
+struct MpTrainResult {
+  TrainHistory history;
+  sampling::SamplerStats sampler_stats;
+};
+
+// Model must provide forward(batch, feats, train), backward(grad),
+// collect_params(out) and full_forward(graph, x) — GraphSage and Gat do.
+template <typename Model>
+MpTrainResult train_mp(Model& model, const graph::Dataset& ds,
+                       const sampling::Sampler& sampler,
+                       const MpTrainConfig& cfg);
+
+extern template MpTrainResult train_mp<GraphSage>(GraphSage&,
+                                                  const graph::Dataset&,
+                                                  const sampling::Sampler&,
+                                                  const MpTrainConfig&);
+extern template MpTrainResult train_mp<Gat>(Gat&, const graph::Dataset&,
+                                            const sampling::Sampler&,
+                                            const MpTrainConfig&);
+
+}  // namespace ppgnn::mpgnn

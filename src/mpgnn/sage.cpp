@@ -1,0 +1,190 @@
+#include "mpgnn/sage.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/spmm.h"
+#include "tensor/ops.h"
+#include "tensor/parallel.h"
+
+namespace ppgnn::mpgnn {
+
+namespace {
+
+// agg[i] = (weighted) mean over block edges of h_src rows.
+Tensor block_mean_aggregate(const Block& b, const Tensor& h_src) {
+  Tensor agg({b.dst_size(), h_src.cols()});
+  const std::size_t f = h_src.cols();
+  const bool weighted = !b.values.empty();
+  parallel_for(b.dst_size(), [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      float* out = agg.row(i);
+      const auto lo = b.offsets[i], hi = b.offsets[i + 1];
+      if (lo == hi) continue;
+      for (auto e = lo; e < hi; ++e) {
+        const float* src = h_src.row(static_cast<std::size_t>(b.indices[e]));
+        const float w = weighted ? b.values[e] : 1.f;
+        for (std::size_t j = 0; j < f; ++j) out[j] += w * src[j];
+      }
+      if (!weighted) {
+        const float inv = 1.f / static_cast<float>(hi - lo);
+        for (std::size_t j = 0; j < f; ++j) out[j] *= inv;
+      }
+    }
+  }, 64);
+  return agg;
+}
+
+// Transpose of block_mean_aggregate: distributes d_agg back to src rows.
+void block_mean_aggregate_backward(const Block& b, const Tensor& d_agg,
+                                   Tensor& d_src) {
+  const std::size_t f = d_agg.cols();
+  const bool weighted = !b.values.empty();
+  for (std::size_t i = 0; i < b.dst_size(); ++i) {
+    const auto lo = b.offsets[i], hi = b.offsets[i + 1];
+    if (lo == hi) continue;
+    const float inv = weighted ? 1.f : 1.f / static_cast<float>(hi - lo);
+    const float* g = d_agg.row(i);
+    for (auto e = lo; e < hi; ++e) {
+      float* dst = d_src.row(static_cast<std::size_t>(b.indices[e]));
+      const float w = weighted ? b.values[e] : inv;
+      for (std::size_t j = 0; j < f; ++j) dst[j] += w * g[j];
+    }
+  }
+}
+
+}  // namespace
+
+SageLayer::SageLayer(std::size_t in_dim, std::size_t out_dim, Rng& rng) {
+  const float bound = std::sqrt(6.f / static_cast<float>(in_dim + out_dim));
+  w_self_ = Tensor::uniform({in_dim, out_dim}, rng, -bound, bound);
+  w_neigh_ = Tensor::uniform({in_dim, out_dim}, rng, -bound, bound);
+  bias_ = Tensor({out_dim});
+  gw_self_ = Tensor({in_dim, out_dim});
+  gw_neigh_ = Tensor({in_dim, out_dim});
+  gbias_ = Tensor({out_dim});
+}
+
+Tensor SageLayer::forward(const Block& block, const Tensor& h_src,
+                          bool train) {
+  if (h_src.rows() != block.src_size()) {
+    throw std::invalid_argument("SageLayer: h_src rows != block src size");
+  }
+  Tensor agg = block_mean_aggregate(block, h_src);
+  // Self rows are the dst prefix of src.
+  Tensor y({block.dst_size(), w_self_.cols()});
+  // y = h_dst @ W_self: reuse gemm on a prefix view via gather-free trick —
+  // h_src's first dst_size rows are exactly h_dst, so make a shallow slice.
+  Tensor h_dst({block.dst_size(), h_src.cols()});
+  std::copy(h_src.data(), h_src.data() + h_dst.size(), h_dst.data());
+  gemm(h_dst, false, w_self_, false, y);
+  gemm(agg, false, w_neigh_, false, y, 1.f, 1.f);
+  add_row_vector(y, bias_);
+  if (train) {
+    block_ = &block;
+    h_src_ = h_src;
+    agg_ = std::move(agg);
+  }
+  return y;
+}
+
+Tensor SageLayer::backward(const Tensor& grad_out) {
+  const Block& b = *block_;
+  const std::size_t in_dim = w_self_.rows();
+  // Weight grads.
+  Tensor h_dst({b.dst_size(), in_dim});
+  std::copy(h_src_.data(), h_src_.data() + h_dst.size(), h_dst.data());
+  gemm(h_dst, true, grad_out, false, gw_self_, 1.f, 1.f);
+  gemm(agg_, true, grad_out, false, gw_neigh_, 1.f, 1.f);
+  Tensor db({bias_.size()});
+  sum_rows(grad_out, db);
+  add_inplace(gbias_, db);
+  // Input grads.
+  Tensor d_src({b.src_size(), in_dim});
+  Tensor d_dst = matmul_nt(grad_out, w_self_);
+  std::copy(d_dst.data(), d_dst.data() + d_dst.size(), d_src.data());
+  Tensor d_agg = matmul_nt(grad_out, w_neigh_);
+  block_mean_aggregate_backward(b, d_agg, d_src);
+  return d_src;
+}
+
+void SageLayer::collect_params(std::vector<nn::ParamSlot>& out) {
+  out.push_back({&w_self_, &gw_self_, "sage.w_self"});
+  out.push_back({&w_neigh_, &gw_neigh_, "sage.w_neigh"});
+  out.push_back({&bias_, &gbias_, "sage.bias"});
+}
+
+Tensor SageLayer::full_forward(const graph::CsrGraph& g,
+                               const Tensor& x) const {
+  // Exact mean over all neighbors.
+  std::vector<graph::NodeId> all(g.num_nodes());
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    all[v] = static_cast<graph::NodeId>(v);
+  }
+  Tensor agg({g.num_nodes(), x.cols()});
+  graph::spmm_mean_rows(g, all, x, agg);
+  Tensor y = matmul(x, w_self_);
+  gemm(agg, false, w_neigh_, false, y, 1.f, 1.f);
+  add_row_vector(y, bias_);
+  return y;
+}
+
+GraphSage::GraphSage(const SageConfig& cfg, Rng& rng) {
+  if (cfg.num_layers == 0) throw std::invalid_argument("GraphSage: 0 layers");
+  for (std::size_t l = 0; l < cfg.num_layers; ++l) {
+    const std::size_t in = l == 0 ? cfg.in_dim : cfg.hidden_dim;
+    const std::size_t out =
+        l + 1 == cfg.num_layers ? cfg.out_dim : cfg.hidden_dim;
+    layers_.push_back(std::make_unique<SageLayer>(in, out, rng));
+    if (l + 1 < cfg.num_layers) {
+      relus_.push_back(std::make_unique<nn::ReLU>());
+      dropouts_.push_back(std::make_unique<nn::Dropout>(cfg.dropout, rng));
+    }
+  }
+}
+
+Tensor GraphSage::forward(const SampledBatch& batch, const Tensor& input_feats,
+                          bool train) {
+  if (batch.blocks.size() != layers_.size()) {
+    throw std::invalid_argument("GraphSage: block/layer count mismatch");
+  }
+  Tensor h = input_feats;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    h = layers_[l]->forward(batch.blocks[l], h, train);
+    if (l < relus_.size()) {
+      h = relus_[l]->forward(h, train);
+      h = dropouts_[l]->forward(h, train);
+    }
+  }
+  return h;
+}
+
+void GraphSage::backward(const Tensor& grad_logits) {
+  Tensor g = grad_logits;
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    if (l < relus_.size()) {
+      g = dropouts_[l]->backward(g);
+      g = relus_[l]->backward(g);
+    }
+    g = layers_[l]->backward(g);
+  }
+}
+
+void GraphSage::collect_params(std::vector<nn::ParamSlot>& out) {
+  for (auto& l : layers_) l->collect_params(out);
+}
+
+Tensor GraphSage::full_forward(const graph::CsrGraph& g, const Tensor& x) {
+  Tensor h = x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    h = layers_[l]->full_forward(g, h);
+    if (l + 1 < layers_.size()) {
+      Tensor act(h.shape());
+      relu(h, act);
+      h = std::move(act);
+    }
+  }
+  return h;
+}
+
+}  // namespace ppgnn::mpgnn

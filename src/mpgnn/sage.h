@@ -1,0 +1,73 @@
+// GraphSAGE with mean aggregation (Hamilton et al., 2017).
+//
+// Layer: h'_i = h_i W_self + mean_{j in N_sampled(i)} h_j W_neigh + b,
+// with ReLU + dropout between layers.  Mini-batch training runs over
+// sampled bipartite blocks; evaluation runs layer-wise over the full graph
+// (exact inference, as DGL does for reporting accuracy).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/activations.h"
+#include "nn/module.h"
+#include "sampling/subgraph.h"
+#include "tensor/rng.h"
+
+namespace ppgnn::mpgnn {
+
+using sampling::Block;
+using sampling::SampledBatch;
+
+// One SAGE layer over a bipartite block.
+class SageLayer {
+ public:
+  SageLayer(std::size_t in_dim, std::size_t out_dim, Rng& rng);
+
+  // h_src: [block.src_size, in] -> [block.dst_size, out].
+  Tensor forward(const Block& block, const Tensor& h_src, bool train);
+  // Returns grad w.r.t. h_src; accumulates weight grads.
+  Tensor backward(const Tensor& grad_out);
+  void collect_params(std::vector<nn::ParamSlot>& out);
+
+  // Full-graph forward: X [n, in] -> [n, out] using exact mean aggregation
+  // over g (no sampling).
+  Tensor full_forward(const graph::CsrGraph& g, const Tensor& x) const;
+
+ private:
+  Tensor w_self_, w_neigh_, bias_;
+  Tensor gw_self_, gw_neigh_, gbias_;
+  // caches
+  const Block* block_ = nullptr;
+  Tensor h_src_, agg_;
+};
+
+struct SageConfig {
+  std::size_t in_dim = 0;
+  std::size_t hidden_dim = 256;
+  std::size_t out_dim = 0;      // num classes
+  std::size_t num_layers = 3;
+  float dropout = 0.5f;
+};
+
+class GraphSage {
+ public:
+  GraphSage(const SageConfig& cfg, Rng& rng);
+
+  // Mini-batch: returns logits for the batch seeds.
+  Tensor forward(const SampledBatch& batch, const Tensor& input_feats,
+                 bool train);
+  void backward(const Tensor& grad_logits);
+  void collect_params(std::vector<nn::ParamSlot>& out);
+  std::size_t num_layers() const { return layers_.size(); }
+
+  // Exact full-graph logits for evaluation.
+  Tensor full_forward(const graph::CsrGraph& g, const Tensor& x);
+
+ private:
+  std::vector<std::unique_ptr<SageLayer>> layers_;
+  std::vector<std::unique_ptr<nn::ReLU>> relus_;
+  std::vector<std::unique_ptr<nn::Dropout>> dropouts_;
+};
+
+}  // namespace ppgnn::mpgnn

@@ -1,0 +1,48 @@
+#include "nn/activations.h"
+
+#include "tensor/ops.h"
+
+namespace ppgnn::nn {
+
+Tensor ReLU::forward(const Tensor& x, bool train) {
+  Tensor out(x.shape());
+  relu(x, out);
+  if (train) cached_output_ = out;
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  Tensor grad_in(grad_out.shape());
+  relu_backward(cached_output_, grad_out, grad_in);
+  return grad_in;
+}
+
+Tensor GELU::forward(const Tensor& x, bool train) {
+  if (train) cached_input_ = x;
+  Tensor out(x.shape());
+  gelu(x, out);
+  return out;
+}
+
+Tensor GELU::backward(const Tensor& grad_out) {
+  Tensor grad_in(grad_out.shape());
+  gelu_backward(cached_input_, grad_out, grad_in);
+  return grad_in;
+}
+
+Tensor Dropout::forward(const Tensor& x, bool train) {
+  active_ = train && p_ > 0.f;
+  if (!active_) return x;
+  Tensor out(x.shape());
+  dropout(x, out, mask_, p_, *rng_);
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (!active_) return grad_out;
+  Tensor grad_in(grad_out.shape());
+  dropout_backward(grad_out, mask_, grad_in, p_);
+  return grad_in;
+}
+
+}  // namespace ppgnn::nn

@@ -1,0 +1,50 @@
+// Stateless activations and dropout as modules.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/rng.h"
+
+namespace ppgnn::nn {
+
+class ReLU : public Module {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<ParamSlot>&) override {}
+
+ private:
+  Tensor cached_output_;
+};
+
+class GELU : public Module {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<ParamSlot>&) override {}
+
+ private:
+  Tensor cached_input_;
+};
+
+// Inverted dropout; identity when !train or p == 0.
+class Dropout : public Module {
+ public:
+  Dropout(float p, Rng& rng) : p_(p), rng_(&rng) {}
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<ParamSlot>&) override {}
+
+  float p() const { return p_; }
+
+ private:
+  float p_;
+  Rng* rng_;
+  std::vector<std::uint8_t> mask_;
+  bool active_ = false;
+};
+
+}  // namespace ppgnn::nn

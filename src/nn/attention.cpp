@@ -1,0 +1,148 @@
+#include "nn/attention.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+#include "tensor/parallel.h"
+
+namespace ppgnn::nn {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(std::size_t dim,
+                                               std::size_t num_heads, Rng& rng)
+    : dim_(dim),
+      heads_(num_heads),
+      head_dim_(dim / num_heads),
+      wq_(dim, dim, rng),
+      wk_(dim, dim, rng),
+      wv_(dim, dim, rng),
+      wo_(dim, dim, rng) {
+  if (dim % num_heads != 0) {
+    throw std::invalid_argument("attention: dim must be divisible by heads");
+  }
+}
+
+Tensor MultiHeadSelfAttention::forward(const Tensor& x, bool train) {
+  if (x.ndim() != 3 || x.dim(2) != dim_) {
+    throw std::invalid_argument("attention: expected [b, t, dim], got " +
+                                x.shape_str());
+  }
+  batch_ = x.dim(0);
+  tokens_ = x.dim(1);
+  const Tensor x2 = x.reshaped({batch_ * tokens_, dim_});
+
+  q_ = wq_.forward(x2, train);
+  k_ = wk_.forward(x2, train);
+  v_ = wv_.forward(x2, train);
+
+  const float scale = 1.f / std::sqrt(static_cast<float>(head_dim_));
+  probs_.assign(batch_ * heads_ * tokens_ * tokens_, 0.f);
+  Tensor attn_out({batch_ * tokens_, dim_});
+
+  parallel_for(batch_, [&](std::size_t b0, std::size_t b1) {
+    std::vector<float> scores(tokens_);
+    for (std::size_t b = b0; b < b1; ++b) {
+      for (std::size_t h = 0; h < heads_; ++h) {
+        const std::size_t hoff = h * head_dim_;
+        float* pmat =
+            probs_.data() + ((b * heads_ + h) * tokens_) * tokens_;
+        for (std::size_t ti = 0; ti < tokens_; ++ti) {
+          const float* qi = q_.row(b * tokens_ + ti) + hoff;
+          // scores over all tokens tj
+          float mx = -1e30f;
+          for (std::size_t tj = 0; tj < tokens_; ++tj) {
+            const float* kj = k_.row(b * tokens_ + tj) + hoff;
+            float s = 0.f;
+            for (std::size_t d = 0; d < head_dim_; ++d) s += qi[d] * kj[d];
+            s *= scale;
+            scores[tj] = s;
+            mx = std::max(mx, s);
+          }
+          float z = 0.f;
+          float* prow = pmat + ti * tokens_;
+          for (std::size_t tj = 0; tj < tokens_; ++tj) {
+            prow[tj] = std::exp(scores[tj] - mx);
+            z += prow[tj];
+          }
+          const float inv_z = 1.f / z;
+          float* orow = attn_out.row(b * tokens_ + ti) + hoff;
+          std::fill(orow, orow + head_dim_, 0.f);
+          for (std::size_t tj = 0; tj < tokens_; ++tj) {
+            prow[tj] *= inv_z;
+            const float p = prow[tj];
+            const float* vj = v_.row(b * tokens_ + tj) + hoff;
+            for (std::size_t d = 0; d < head_dim_; ++d) orow[d] += p * vj[d];
+          }
+        }
+      }
+    }
+  }, /*grain=*/64);
+
+  Tensor y2 = wo_.forward(attn_out, train);
+  return y2.reshaped({batch_, tokens_, dim_});
+}
+
+Tensor MultiHeadSelfAttention::backward(const Tensor& grad_out) {
+  const Tensor g2 = grad_out.reshaped({batch_ * tokens_, dim_});
+  const Tensor d_attn_out = wo_.backward(g2);
+
+  Tensor dq({batch_ * tokens_, dim_});
+  Tensor dk({batch_ * tokens_, dim_});
+  Tensor dv({batch_ * tokens_, dim_});
+  const float scale = 1.f / std::sqrt(static_cast<float>(head_dim_));
+
+  parallel_for(batch_, [&](std::size_t b0, std::size_t b1) {
+    std::vector<float> dprow(tokens_);
+    for (std::size_t b = b0; b < b1; ++b) {
+      for (std::size_t h = 0; h < heads_; ++h) {
+        const std::size_t hoff = h * head_dim_;
+        const float* pmat =
+            probs_.data() + ((b * heads_ + h) * tokens_) * tokens_;
+        for (std::size_t ti = 0; ti < tokens_; ++ti) {
+          const float* go = d_attn_out.row(b * tokens_ + ti) + hoff;
+          const float* prow = pmat + ti * tokens_;
+          // dP_ij = go . V_j ; dV_j += P_ij * go
+          float dot_dp_p = 0.f;
+          for (std::size_t tj = 0; tj < tokens_; ++tj) {
+            const float* vj = v_.row(b * tokens_ + tj) + hoff;
+            float dp = 0.f;
+            for (std::size_t d = 0; d < head_dim_; ++d) dp += go[d] * vj[d];
+            dprow[tj] = dp;
+            dot_dp_p += dp * prow[tj];
+            float* dvj = dv.row(b * tokens_ + tj) + hoff;
+            const float p = prow[tj];
+            for (std::size_t d = 0; d < head_dim_; ++d) dvj[d] += p * go[d];
+          }
+          // softmax backward + scale; dQ_i += dS_ij K_j, dK_j += dS_ij Q_i.
+          const float* qi = q_.row(b * tokens_ + ti) + hoff;
+          float* dqi = dq.row(b * tokens_ + ti) + hoff;
+          for (std::size_t tj = 0; tj < tokens_; ++tj) {
+            const float ds = prow[tj] * (dprow[tj] - dot_dp_p) * scale;
+            const float* kj = k_.row(b * tokens_ + tj) + hoff;
+            float* dkj = dk.row(b * tokens_ + tj) + hoff;
+            for (std::size_t d = 0; d < head_dim_; ++d) {
+              dqi[d] += ds * kj[d];
+              dkj[d] += ds * qi[d];
+            }
+          }
+        }
+      }
+    }
+  }, 64);
+
+  // dV writes above touch rows of other tokens within the same b — still
+  // within the same batch element, so the parallel partition over b is safe.
+  Tensor dx2 = wq_.backward(dq);
+  add_inplace(dx2, wk_.backward(dk));
+  add_inplace(dx2, wv_.backward(dv));
+  return dx2.reshaped({batch_, tokens_, dim_});
+}
+
+void MultiHeadSelfAttention::collect_params(std::vector<ParamSlot>& out) {
+  wq_.collect_params(out);
+  wk_.collect_params(out);
+  wv_.collect_params(out);
+  wo_.collect_params(out);
+}
+
+}  // namespace ppgnn::nn

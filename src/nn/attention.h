@@ -1,0 +1,41 @@
+// Multi-head self-attention over short token sequences.
+//
+// HOGA treats the (R+1) hop features of a node as (R+1) tokens and applies a
+// single multi-head attention layer across them (Section 2.5).  Token counts
+// are tiny (3..7), so the per-node score/softmax/weighted-sum work is done
+// with small dense loops parallelized over the batch, while the Q/K/V/O
+// projections are batched into single GEMMs over [batch*tokens, dim].
+#pragma once
+
+#include <memory>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace ppgnn::nn {
+
+class MultiHeadSelfAttention : public Module {
+ public:
+  // dim must be divisible by num_heads.
+  MultiHeadSelfAttention(std::size_t dim, std::size_t num_heads, Rng& rng);
+
+  // x: [batch, tokens, dim] -> [batch, tokens, dim].
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<ParamSlot>& out) override;
+
+  std::size_t num_heads() const { return heads_; }
+
+ private:
+  std::size_t dim_;
+  std::size_t heads_;
+  std::size_t head_dim_;
+  Linear wq_, wk_, wv_, wo_;
+
+  // Forward caches (train mode).
+  Tensor q_, k_, v_;            // [batch*tokens, dim]
+  std::vector<float> probs_;    // [batch, heads, tokens, tokens]
+  std::size_t batch_ = 0, tokens_ = 0;
+};
+
+}  // namespace ppgnn::nn

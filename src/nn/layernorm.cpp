@@ -1,0 +1,85 @@
+#include "nn/layernorm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ppgnn::nn {
+
+LayerNorm::LayerNorm(std::size_t dim, float eps)
+    : dim_(dim),
+      eps_(eps),
+      gamma_(Tensor::full({dim}, 1.f)),
+      beta_({dim}),
+      grad_gamma_({dim}),
+      grad_beta_({dim}) {}
+
+Tensor LayerNorm::forward(const Tensor& x, bool train) {
+  if (x.size() % dim_ != 0) {
+    throw std::invalid_argument("LayerNorm: trailing dim mismatch");
+  }
+  const std::size_t rows = x.size() / dim_;
+  Tensor out(x.shape());
+  cached_xhat_ = Tensor(x.shape());
+  inv_std_.resize(rows);
+  const float* px = x.data();
+  float* po = out.data();
+  float* ph = cached_xhat_.data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* xr = px + r * dim_;
+    float mean = 0.f;
+    for (std::size_t j = 0; j < dim_; ++j) mean += xr[j];
+    mean /= static_cast<float>(dim_);
+    float var = 0.f;
+    for (std::size_t j = 0; j < dim_; ++j) {
+      const float d = xr[j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(dim_);
+    const float inv = 1.f / std::sqrt(var + eps_);
+    inv_std_[r] = inv;
+    float* hr = ph + r * dim_;
+    float* orow = po + r * dim_;
+    for (std::size_t j = 0; j < dim_; ++j) {
+      hr[j] = (xr[j] - mean) * inv;
+      orow[j] = gamma_[j] * hr[j] + beta_[j];
+    }
+  }
+  (void)train;
+  return out;
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_out) {
+  const std::size_t rows = grad_out.size() / dim_;
+  Tensor grad_in(grad_out.shape());
+  const float* pg = grad_out.data();
+  const float* ph = cached_xhat_.data();
+  float* pi = grad_in.data();
+  const float inv_dim = 1.f / static_cast<float>(dim_);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* gr = pg + r * dim_;
+    const float* hr = ph + r * dim_;
+    float* ir = pi + r * dim_;
+    // dgamma / dbeta accumulate; dxhat = g * gamma.
+    float sum_dxhat = 0.f, sum_dxhat_xhat = 0.f;
+    for (std::size_t j = 0; j < dim_; ++j) {
+      grad_gamma_[j] += gr[j] * hr[j];
+      grad_beta_[j] += gr[j];
+      const float dxhat = gr[j] * gamma_[j];
+      sum_dxhat += dxhat;
+      sum_dxhat_xhat += dxhat * hr[j];
+    }
+    const float inv = inv_std_[r];
+    for (std::size_t j = 0; j < dim_; ++j) {
+      const float dxhat = gr[j] * gamma_[j];
+      ir[j] = inv * (dxhat - inv_dim * sum_dxhat - hr[j] * inv_dim * sum_dxhat_xhat);
+    }
+  }
+  return grad_in;
+}
+
+void LayerNorm::collect_params(std::vector<ParamSlot>& out) {
+  out.push_back({&gamma_, &grad_gamma_, "layernorm.gamma"});
+  out.push_back({&beta_, &grad_beta_, "layernorm.beta"});
+}
+
+}  // namespace ppgnn::nn

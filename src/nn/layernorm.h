@@ -1,0 +1,27 @@
+// Layer normalization over the last dimension (used by HOGA's attention
+// blocks).  Works on 2-D [rows, dim] and 3-D [batch, tokens, dim] tensors —
+// normalization is always over the trailing `dim` elements.
+#pragma once
+
+#include "nn/module.h"
+
+namespace ppgnn::nn {
+
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(std::size_t dim, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<ParamSlot>& out) override;
+
+ private:
+  std::size_t dim_;
+  float eps_;
+  Tensor gamma_, beta_;
+  Tensor grad_gamma_, grad_beta_;
+  Tensor cached_xhat_;      // normalized input
+  std::vector<float> inv_std_;  // per normalized row
+};
+
+}  // namespace ppgnn::nn

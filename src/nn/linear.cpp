@@ -1,0 +1,45 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace ppgnn::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng,
+               bool use_bias)
+    : weight_({in_features, out_features}),
+      grad_weight_({in_features, out_features}) {
+  const float bound =
+      std::sqrt(6.f / static_cast<float>(in_features + out_features));
+  weight_ = Tensor::uniform({in_features, out_features}, rng, -bound, bound);
+  if (use_bias) {
+    bias_ = Tensor({out_features});
+    grad_bias_ = Tensor({out_features});
+  }
+}
+
+Tensor Linear::forward(const Tensor& x, bool train) {
+  if (train) cached_input_ = x;
+  Tensor y = matmul(x, weight_);
+  if (!bias_.empty()) add_row_vector(y, bias_);
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  // dW += X^T dY, db += sum_rows(dY), dX = dY W^T.
+  gemm(cached_input_, true, grad_out, false, grad_weight_, 1.f, 1.f);
+  if (!bias_.empty()) {
+    Tensor db({bias_.size()});
+    sum_rows(grad_out, db);
+    add_inplace(grad_bias_, db);
+  }
+  return matmul_nt(grad_out, weight_);
+}
+
+void Linear::collect_params(std::vector<ParamSlot>& out) {
+  out.push_back({&weight_, &grad_weight_, "linear.weight"});
+  if (!bias_.empty()) out.push_back({&bias_, &grad_bias_, "linear.bias"});
+}
+
+}  // namespace ppgnn::nn

@@ -1,0 +1,33 @@
+// Fully connected layer: Y = X @ W + b.
+#pragma once
+
+#include "nn/module.h"
+#include "tensor/rng.h"
+
+namespace ppgnn::nn {
+
+class Linear : public Module {
+ public:
+  // Xavier-uniform weight init; zero bias.  Pass use_bias=false for layers
+  // folded into a following normalization.
+  Linear(std::size_t in_features, std::size_t out_features, Rng& rng,
+         bool use_bias = true);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<ParamSlot>& out) override;
+
+  std::size_t in_features() const { return weight_.rows(); }
+  std::size_t out_features() const { return weight_.cols(); }
+  Tensor& weight() { return weight_; }
+  Tensor& bias() { return bias_; }
+
+ private:
+  Tensor weight_;       // [in, out]
+  Tensor bias_;         // [out] (empty when bias disabled)
+  Tensor grad_weight_;
+  Tensor grad_bias_;
+  Tensor cached_input_;  // saved when train=true
+};
+
+}  // namespace ppgnn::nn

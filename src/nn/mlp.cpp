@@ -1,0 +1,48 @@
+#include "nn/mlp.h"
+
+#include <stdexcept>
+
+namespace ppgnn::nn {
+
+Mlp::Mlp(const std::vector<std::size_t>& dims, float dropout, Rng& rng) {
+  if (dims.size() < 2) {
+    throw std::invalid_argument("Mlp: need at least input and output dims");
+  }
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    linears_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    if (i + 2 < dims.size()) {
+      relus_.push_back(std::make_unique<ReLU>());
+      dropouts_.push_back(std::make_unique<Dropout>(dropout, rng));
+    }
+  }
+}
+
+Tensor Mlp::forward(const Tensor& x, bool train) {
+  Tensor h = x;
+  for (std::size_t i = 0; i < linears_.size(); ++i) {
+    h = linears_[i]->forward(h, train);
+    if (i < relus_.size()) {
+      h = relus_[i]->forward(h, train);
+      h = dropouts_[i]->forward(h, train);
+    }
+  }
+  return h;
+}
+
+Tensor Mlp::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (std::size_t i = linears_.size(); i-- > 0;) {
+    if (i < relus_.size()) {
+      g = dropouts_[i]->backward(g);
+      g = relus_[i]->backward(g);
+    }
+    g = linears_[i]->backward(g);
+  }
+  return g;
+}
+
+void Mlp::collect_params(std::vector<ParamSlot>& out) {
+  for (auto& l : linears_) l->collect_params(out);
+}
+
+}  // namespace ppgnn::nn

@@ -1,0 +1,32 @@
+// Multi-layer perceptron: [Linear -> ReLU -> Dropout] * (L-1) -> Linear.
+// The output/transformation blocks of all three PP-GNN models and of the
+// MP-GNN heads are MLPs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/activations.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace ppgnn::nn {
+
+class Mlp : public Module {
+ public:
+  // dims = {in, hidden..., out}; needs at least {in, out}.
+  Mlp(const std::vector<std::size_t>& dims, float dropout, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<ParamSlot>& out) override;
+
+  std::size_t num_layers() const { return linears_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Linear>> linears_;
+  std::vector<std::unique_ptr<ReLU>> relus_;
+  std::vector<std::unique_ptr<Dropout>> dropouts_;
+};
+
+}  // namespace ppgnn::nn

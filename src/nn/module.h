@@ -1,0 +1,53 @@
+// Module interface: explicit forward/backward, no autograd tape.
+//
+// Each module caches whatever its backward pass needs during forward.
+// Gradients accumulate into per-parameter grad tensors; the optimizer
+// consumes (param, grad) pairs collected through collect_params().
+// This explicitness keeps per-phase timing (forward / backward / step)
+// trivially measurable, which the Figure 5 breakdown experiment needs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ppgnn::nn {
+
+struct ParamSlot {
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+  std::string name;
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  // Computes the output for x.  `train` enables dropout and gradient
+  // caching; inference passes train=false and may skip caching.
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+
+  // Propagates grad_out (gradient w.r.t. the last forward output) back,
+  // accumulating parameter gradients, and returns the gradient w.r.t. the
+  // last forward input.  Must be called at most once per forward.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  virtual void collect_params(std::vector<ParamSlot>& out) = 0;
+
+  void zero_grad() {
+    std::vector<ParamSlot> slots;
+    collect_params(slots);
+    for (auto& s : slots) s.grad->zero();
+  }
+
+  std::size_t num_params() {
+    std::vector<ParamSlot> slots;
+    collect_params(slots);
+    std::size_t n = 0;
+    for (const auto& s : slots) n += s.value->size();
+    return n;
+  }
+};
+
+}  // namespace ppgnn::nn

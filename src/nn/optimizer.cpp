@@ -1,0 +1,90 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace ppgnn::nn {
+
+Sgd::Sgd(std::vector<ParamSlot> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  if (momentum_ > 0.f) {
+    velocity_.reserve(params_.size());
+    for (const auto& p : params_) velocity_.emplace_back(p.value->shape());
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    float* w = params_[i].value->data();
+    const float* g = params_[i].grad->data();
+    const std::size_t n = params_[i].value->size();
+    if (momentum_ > 0.f) {
+      float* vel = velocity_[i].data();
+      for (std::size_t j = 0; j < n; ++j) {
+        const float grad = g[j] + weight_decay_ * w[j];
+        vel[j] = momentum_ * vel[j] + grad;
+        w[j] -= lr_ * vel[j];
+      }
+    } else {
+      for (std::size_t j = 0; j < n; ++j) {
+        w[j] -= lr_ * (g[j] + weight_decay_ * w[j]);
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<ParamSlot> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.value->shape());
+    v_.emplace_back(p.value->shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.f - std::pow(beta2_, static_cast<float>(t_));
+  const float alpha = lr_ * std::sqrt(bc2) / bc1;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    float* w = params_[i].value->data();
+    const float* g = params_[i].grad->data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const std::size_t n = params_[i].value->size();
+    for (std::size_t j = 0; j < n; ++j) {
+      const float grad = g[j] + weight_decay_ * w[j];
+      m[j] = beta1_ * m[j] + (1.f - beta1_) * grad;
+      v[j] = beta2_ * v[j] + (1.f - beta2_) * grad * grad;
+      w[j] -= alpha * m[j] / (std::sqrt(v[j]) + eps_);
+    }
+  }
+}
+
+
+std::vector<Tensor*> Sgd::state_tensors() {
+  std::vector<Tensor*> out;
+  out.reserve(velocity_.size());
+  for (auto& v : velocity_) out.push_back(&v);
+  return out;
+}
+
+std::vector<Tensor*> Adam::state_tensors() {
+  std::vector<Tensor*> out;
+  out.reserve(m_.size() + v_.size());
+  for (auto& m : m_) out.push_back(&m);
+  for (auto& v : v_) out.push_back(&v);
+  return out;
+}
+}  // namespace ppgnn::nn

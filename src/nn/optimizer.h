@@ -1,0 +1,59 @@
+// First-order optimizers over ParamSlot collections.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace ppgnn::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ParamSlot> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+  void zero_grad() {
+    for (auto& p : params_) p.grad->zero();
+  }
+
+  // Mutable views of the optimizer's internal state (momenta etc.), plus a
+  // scalar step counter — what full training-state checkpointing needs on
+  // top of the parameters themselves.  Base default: stateless.
+  virtual std::vector<Tensor*> state_tensors() { return {}; }
+  virtual long step_count() const { return 0; }
+  virtual void set_step_count(long) {}
+
+ protected:
+  std::vector<ParamSlot> params_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<ParamSlot> params, float lr, float momentum = 0.f,
+      float weight_decay = 0.f);
+  void step() override;
+  std::vector<Tensor*> state_tensors() override;
+
+ private:
+  float lr_, momentum_, weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<ParamSlot> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.f);
+  void step() override;
+  std::vector<Tensor*> state_tensors() override;
+  long step_count() const override { return t_; }
+  void set_step_count(long t) override { t_ = t; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  std::vector<Tensor> m_, v_;
+  long t_ = 0;
+};
+
+}  // namespace ppgnn::nn

@@ -1,0 +1,107 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <system_error>
+
+namespace ppgnn::nn {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x50504e4e434b5031ULL;  // "PPNNCKP1"
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void write_exact(std::FILE* f, const void* p, std::size_t n) {
+  if (std::fwrite(p, 1, n, f) != n) {
+    throw std::system_error(errno, std::generic_category(),
+                            "checkpoint write");
+  }
+}
+
+void read_exact(std::FILE* f, void* p, std::size_t n) {
+  if (std::fread(p, 1, n, f) != n) {
+    throw std::runtime_error("checkpoint read: truncated file");
+  }
+}
+
+}  // namespace
+
+void save_parameters(const std::vector<ParamSlot>& slots,
+                     const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) {
+    throw std::system_error(errno, std::generic_category(),
+                            "open for write: " + path);
+  }
+  write_exact(f.get(), &kMagic, sizeof(kMagic));
+  const std::uint64_t count = slots.size();
+  write_exact(f.get(), &count, sizeof(count));
+  for (const auto& s : slots) {
+    const std::uint64_t rank = s.value->ndim();
+    write_exact(f.get(), &rank, sizeof(rank));
+    for (std::size_t d = 0; d < rank; ++d) {
+      const std::uint64_t dim = s.value->dim(d);
+      write_exact(f.get(), &dim, sizeof(dim));
+    }
+    write_exact(f.get(), s.value->data(), s.value->bytes());
+  }
+}
+
+void load_parameters(const std::vector<ParamSlot>& slots,
+                     const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) {
+    throw std::system_error(errno, std::generic_category(),
+                            "open for read: " + path);
+  }
+  std::uint64_t magic = 0;
+  read_exact(f.get(), &magic, sizeof(magic));
+  if (magic != kMagic) {
+    throw std::runtime_error("checkpoint read: bad magic in " + path);
+  }
+  std::uint64_t count = 0;
+  read_exact(f.get(), &count, sizeof(count));
+  if (count != slots.size()) {
+    throw std::runtime_error("checkpoint read: parameter count mismatch (" +
+                             std::to_string(count) + " in file, " +
+                             std::to_string(slots.size()) + " in model)");
+  }
+  for (const auto& s : slots) {
+    std::uint64_t rank = 0;
+    read_exact(f.get(), &rank, sizeof(rank));
+    if (rank != s.value->ndim()) {
+      throw std::runtime_error("checkpoint read: rank mismatch for " + s.name);
+    }
+    for (std::size_t d = 0; d < rank; ++d) {
+      std::uint64_t dim = 0;
+      read_exact(f.get(), &dim, sizeof(dim));
+      if (dim != s.value->dim(d)) {
+        throw std::runtime_error("checkpoint read: shape mismatch for " +
+                                 s.name);
+      }
+    }
+    read_exact(f.get(), s.value->data(), s.value->bytes());
+  }
+}
+
+void save_parameters(Module& module, const std::string& path) {
+  std::vector<ParamSlot> slots;
+  module.collect_params(slots);
+  save_parameters(slots, path);
+}
+
+void load_parameters(Module& module, const std::string& path) {
+  std::vector<ParamSlot> slots;
+  module.collect_params(slots);
+  load_parameters(slots, path);
+}
+
+}  // namespace ppgnn::nn

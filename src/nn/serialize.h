@@ -1,0 +1,31 @@
+// Parameter checkpointing.
+//
+// Saves/loads every ParamSlot of a module to a simple binary format
+// (magic, count, then per-tensor rank/shape/data).  The paper's workflow —
+// hundreds of hyperparameter-tuning runs amortizing one preprocessing pass —
+// needs exactly this: preprocessed features live in the FeatureFileStore,
+// model weights in checkpoints.
+#pragma once
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace ppgnn::nn {
+
+// Writes all parameters (in collect_params order) to `path`.
+// Throws std::system_error on I/O failure.
+void save_parameters(Module& module, const std::string& path);
+
+// Loads parameters saved by save_parameters.  Shapes must match the
+// module's current parameters exactly (std::runtime_error otherwise).
+void load_parameters(Module& module, const std::string& path);
+
+// Non-member versions over raw slot lists (used by the MP-GNN models,
+// which are not nn::Modules).
+void save_parameters(const std::vector<ParamSlot>& slots,
+                     const std::string& path);
+void load_parameters(const std::vector<ParamSlot>& slots,
+                     const std::string& path);
+
+}  // namespace ppgnn::nn

@@ -1,0 +1,165 @@
+#include "sampling/clustergcn.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace ppgnn::sampling {
+
+std::vector<std::int32_t> bfs_partition(const CsrGraph& g,
+                                        std::size_t num_clusters,
+                                        std::uint64_t seed) {
+  const std::size_t n = g.num_nodes();
+  if (num_clusters == 0) {
+    throw std::invalid_argument("bfs_partition: num_clusters must be > 0");
+  }
+  if (num_clusters > n) num_clusters = std::max<std::size_t>(n, 1);
+  std::vector<std::int32_t> part(n, -1);
+
+  // Spread-out BFS sources: a seeded permutation's first k nodes.
+  ppgnn::Rng rng(seed);
+  std::vector<NodeId> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<NodeId>(i);
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.uniform_int(i)]);
+  }
+
+  // One frontier queue per cell; rounds grow cells a node at a time so
+  // sizes stay balanced (smallest-cell-first would be ideal; round-robin
+  // is close enough and O(m)).
+  std::vector<std::deque<NodeId>> frontier(num_clusters);
+  std::vector<std::size_t> cell_size(num_clusters, 0);
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    const NodeId s = perm[c];
+    part[s] = static_cast<std::int32_t>(c);
+    frontier[c].push_back(s);
+    ++cell_size[c];
+  }
+
+  std::size_t assigned = num_clusters;
+  const std::size_t target = (n + num_clusters - 1) / num_clusters;
+  while (assigned < n) {
+    bool progressed = false;
+    for (std::size_t c = 0; c < num_clusters && assigned < n; ++c) {
+      if (cell_size[c] >= target + 1) continue;  // soft balance cap
+      while (!frontier[c].empty()) {
+        const NodeId u = frontier[c].front();
+        // Claim one unassigned neighbor of u, keeping u queued while it
+        // still has unexplored neighbors.
+        bool claimed = false;
+        for (const auto v : g.neighbors(u)) {
+          if (part[v] < 0) {
+            part[v] = static_cast<std::int32_t>(c);
+            frontier[c].push_back(v);
+            ++cell_size[c];
+            ++assigned;
+            claimed = true;
+            progressed = true;
+            break;
+          }
+        }
+        if (claimed) break;
+        frontier[c].pop_front();  // exhausted node
+      }
+    }
+    if (!progressed) {
+      // Disconnected remainder (or all cells at cap): sweep leftovers into
+      // the currently smallest cells.
+      for (std::size_t i = 0; i < n && assigned < n; ++i) {
+        const NodeId v = perm[i];
+        if (part[v] >= 0) continue;
+        const std::size_t c = static_cast<std::size_t>(
+            std::min_element(cell_size.begin(), cell_size.end()) -
+            cell_size.begin());
+        part[v] = static_cast<std::int32_t>(c);
+        frontier[c].push_back(v);
+        ++cell_size[c];
+        ++assigned;
+      }
+    }
+  }
+  return part;
+}
+
+double edge_cut_fraction(const CsrGraph& g,
+                         const std::vector<std::int32_t>& part) {
+  if (g.num_edges() == 0) return 0.0;
+  std::size_t cut = 0;
+  for (std::size_t u = 0; u < g.num_nodes(); ++u) {
+    for (const auto v : g.neighbors(static_cast<NodeId>(u))) {
+      if (part[u] != part[v]) ++cut;
+    }
+  }
+  return static_cast<double>(cut) / static_cast<double>(g.num_edges());
+}
+
+ClusterGcnSampler::ClusterGcnSampler(std::size_t num_layers,
+                                     std::size_t num_clusters,
+                                     std::size_t clusters_per_batch,
+                                     std::uint64_t partition_seed)
+    : layers_(num_layers), clusters_(num_clusters),
+      per_batch_(std::max<std::size_t>(clusters_per_batch, 1)),
+      partition_seed_(partition_seed) {
+  if (num_layers == 0) {
+    throw std::invalid_argument("ClusterGcnSampler: needs >= 1 layer");
+  }
+  if (num_clusters == 0) {
+    throw std::invalid_argument("ClusterGcnSampler: needs >= 1 cluster");
+  }
+}
+
+const std::vector<std::int32_t>& ClusterGcnSampler::partition_for(
+    const CsrGraph& g) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cache_.graph != &g) {
+    cache_.part = bfs_partition(g, clusters_, partition_seed_);
+    cache_.graph = &g;
+  }
+  return cache_.part;
+}
+
+SampledBatch ClusterGcnSampler::sample(const CsrGraph& g,
+                                       const std::vector<NodeId>& seeds,
+                                       ppgnn::Rng& rng) const {
+  const auto& part = partition_for(g);
+
+  // Clusters covering the seeds, in first-seen order; cap at per_batch_
+  // cells drawn uniformly from that cover (Cluster-GCN picks q cells per
+  // step — here the seed set drives which cells are eligible so every
+  // labeled seed keeps its self features).
+  std::vector<std::int32_t> cover;
+  std::unordered_set<std::int32_t> seen;
+  for (const auto s : seeds) {
+    if (seen.insert(part[s]).second) cover.push_back(part[s]);
+  }
+  if (cover.size() > per_batch_) {
+    // Seeded Fisher-Yates, then keep the first per_batch_ cells.
+    for (std::size_t i = cover.size(); i > 1; --i) {
+      std::swap(cover[i - 1], cover[rng.uniform_int(i)]);
+    }
+    cover.resize(per_batch_);
+  }
+  std::unordered_set<std::int32_t> chosen(cover.begin(), cover.end());
+
+  // Node set: seeds first (prefix invariant), then every other member of
+  // the chosen cells.
+  std::unordered_set<NodeId> in_set(seeds.begin(), seeds.end());
+  std::vector<NodeId> nodes = seeds;
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    if (chosen.count(part[v]) && !in_set.count(static_cast<NodeId>(v))) {
+      nodes.push_back(static_cast<NodeId>(v));
+    }
+  }
+
+  Block induced = induced_block(g, nodes);
+  SampledBatch batch;
+  batch.blocks.assign(layers_, induced);
+  Block& last = batch.blocks.back();
+  last.dst_nodes.assign(nodes.begin(), nodes.begin() + seeds.size());
+  last.offsets.resize(seeds.size() + 1);
+  last.indices.resize(last.offsets.back());
+  return batch;
+}
+
+}  // namespace ppgnn::sampling

@@ -1,0 +1,75 @@
+#include "sampling/fastgcn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ppgnn::sampling {
+
+SampledBatch FastGcnSampler::sample(const CsrGraph& g,
+                                    const std::vector<NodeId>& seeds,
+                                    ppgnn::Rng& rng) const {
+  const std::size_t n = g.num_nodes();
+  SampledBatch batch;
+  batch.blocks.resize(layers_);
+  std::vector<NodeId> frontier = seeds;
+
+  // Global importance q(v) ∝ deg(v) + 1, shared by every layer — this is
+  // the defining FastGCN design point (and its weakness: draws ignore the
+  // frontier entirely).
+  double total_q = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    total_q += static_cast<double>(g.neighbors(static_cast<NodeId>(v)).size()) + 1.0;
+  }
+
+  for (std::size_t l = layers_; l-- > 0;) {
+    // Budget draws from q via Gumbel top-k over *all* nodes would be O(n)
+    // per layer; degree-proportional draws via uniform edge picks plus
+    // uniform node picks give the same q = (deg+1)/total in O(budget).
+    std::unordered_set<NodeId> picked;
+    picked.reserve(budget_ * 2);
+    const std::size_t m = g.num_edges();
+    const double edge_mass = static_cast<double>(m) / total_q;
+    for (std::size_t draw = 0; draw < budget_; ++draw) {
+      NodeId v;
+      if (m > 0 && rng.uniform() < edge_mass) {
+        // Uniform edge pick's source node == degree-proportional pick.
+        const auto e = static_cast<graph::EdgeIdx>(rng.uniform_int(m));
+        const auto& off = g.offsets();
+        auto it = std::upper_bound(off.begin(), off.end(), e);
+        v = static_cast<NodeId>(std::distance(off.begin(), it) - 1);
+      } else {
+        v = static_cast<NodeId>(rng.uniform_int(n));
+      }
+      picked.insert(v);
+    }
+
+    // Keep frontier->picked edges with importance debiasing 1/(k * q(u)).
+    // The frontier's own nodes always survive through the make_block dst
+    // prefix, so self features are available even when no draw lands in
+    // the neighborhood (FastGCN's practical fix for empty rows).
+    const double k = static_cast<double>(budget_);
+    std::vector<std::vector<NodeId>> chosen(frontier.size());
+    std::vector<std::vector<float>> weights(frontier.size());
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      const NodeId t = frontier[i];
+      const auto nbrs = g.neighbors(t);
+      if (nbrs.empty()) continue;
+      const double inv_deg = 1.0 / static_cast<double>(nbrs.size());
+      for (const NodeId u : nbrs) {
+        if (!picked.contains(u)) continue;
+        const double q_u =
+            (static_cast<double>(g.neighbors(u).size()) + 1.0) / total_q;
+        chosen[i].push_back(u);
+        weights[i].push_back(
+            static_cast<float>(inv_deg / std::max(k * q_u, 1e-12)));
+      }
+    }
+    batch.blocks[l] = make_block(frontier, chosen, &weights);
+    frontier = batch.blocks[l].src_nodes;
+  }
+  return batch;
+}
+
+}  // namespace ppgnn::sampling

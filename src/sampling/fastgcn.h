@@ -1,0 +1,35 @@
+// FastGCN layer-wise importance sampler (Chen et al., ICLR 2018).
+//
+// The original layer-wise scheme LADIES improves on (Section 2.3): every
+// layer draws an *independent* set of nodes from a fixed global importance
+// distribution q(v) ∝ deg(v) + 1 (the standard proxy for the squared
+// normalized-adjacency column norm), instead of restricting candidates to
+// the current frontier's neighborhood.  Kept edges are debiased by
+// 1 / (n_l * q(u)).  Node count grows linearly with depth — no neighbor
+// explosion — but because layers are sampled independently, many drawn
+// nodes have no edge into the frontier at all, and connectivity (hence
+// accuracy) suffers on sparse graphs.  That failure mode is precisely why
+// LADIES conditions on the frontier; keeping both samplers lets the
+// accuracy benches show the gap.
+#pragma once
+
+#include "sampling/sampler.h"
+
+namespace ppgnn::sampling {
+
+class FastGcnSampler : public Sampler {
+ public:
+  FastGcnSampler(std::size_t num_layers, std::size_t nodes_per_layer)
+      : layers_(num_layers), budget_(nodes_per_layer) {}
+
+  SampledBatch sample(const CsrGraph& g, const std::vector<NodeId>& seeds,
+                      ppgnn::Rng& rng) const override;
+  std::string name() const override { return "FastGCN"; }
+  std::size_t num_layers() const override { return layers_; }
+
+ private:
+  std::size_t layers_;
+  std::size_t budget_;
+};
+
+}  // namespace ppgnn::sampling

@@ -1,0 +1,51 @@
+#include "sampling/labor.h"
+
+#include <unordered_map>
+
+namespace ppgnn::sampling {
+
+SampledBatch LaborSampler::sample(const CsrGraph& g,
+                                  const std::vector<NodeId>& seeds,
+                                  ppgnn::Rng& rng) const {
+  const std::size_t layers = fanouts_.size();
+  SampledBatch batch;
+  batch.blocks.resize(layers);
+  std::vector<NodeId> frontier = seeds;
+  for (std::size_t l = layers; l-- > 0;) {
+    // One shared variate per source node for this layer.
+    std::unordered_map<NodeId, double> variate;
+    variate.reserve(frontier.size() * 8);
+    auto r_of = [&](NodeId u) {
+      auto it = variate.find(u);
+      if (it == variate.end()) it = variate.emplace(u, rng.uniform()).first;
+      return it->second;
+    };
+    const double fanout = static_cast<double>(fanouts_[l]);
+    std::vector<std::vector<NodeId>> chosen(frontier.size());
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      const NodeId t = frontier[i];
+      const auto nbrs = g.neighbors(t);
+      if (nbrs.empty()) continue;
+      const double pi =
+          std::min(1.0, fanout / static_cast<double>(nbrs.size()));
+      auto& keep = chosen[i];
+      NodeId best = nbrs[0];
+      double best_r = 2.0;
+      for (const NodeId u : nbrs) {
+        const double r = r_of(u);
+        if (r <= pi) keep.push_back(u);
+        if (r < best_r) {
+          best_r = r;
+          best = u;
+        }
+      }
+      // Guarantee at least one sampled neighbor for connectivity.
+      if (keep.empty()) keep.push_back(best);
+    }
+    batch.blocks[l] = make_block(frontier, chosen);
+    frontier = batch.blocks[l].src_nodes;
+  }
+  return batch;
+}
+
+}  // namespace ppgnn::sampling

@@ -1,0 +1,34 @@
+// LABOR-0 layer-neighbor sampler (Balin & Catalyurek, 2024).
+//
+// Like the neighbor sampler, each destination t keeps ~fanout neighbors in
+// expectation, but inclusion is decided by a *shared* per-source uniform
+// variate r_u: t keeps neighbor u iff r_u <= pi_t with pi_t =
+// min(1, fanout / deg(t)).  Because r_u is shared across all destinations of
+// a layer, sources accepted by one destination are likely accepted by
+// others, so the union of sampled sources is much smaller than with
+// independent node-wise sampling — LABOR's defusing of neighbor explosion.
+// Kept edges are importance-weighted by 1/min(1, pi_t / r-quantile) ~ 1/pi_t
+// capped at deg(t)/fanout to keep the aggregation unbiased; we use the
+// LABOR-0 estimator weight 1 / (pi_t clamped to [r_u, 1]) simplified to
+// mean-rescaling, matching the mean aggregator used by GraphSAGE.
+#pragma once
+
+#include "sampling/sampler.h"
+
+namespace ppgnn::sampling {
+
+class LaborSampler : public Sampler {
+ public:
+  explicit LaborSampler(std::vector<int> fanouts)
+      : fanouts_(std::move(fanouts)) {}
+
+  SampledBatch sample(const CsrGraph& g, const std::vector<NodeId>& seeds,
+                      ppgnn::Rng& rng) const override;
+  std::string name() const override { return "LABOR"; }
+  std::size_t num_layers() const override { return fanouts_.size(); }
+
+ private:
+  std::vector<int> fanouts_;
+};
+
+}  // namespace ppgnn::sampling

@@ -1,0 +1,75 @@
+#include "sampling/ladies.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ppgnn::sampling {
+
+SampledBatch LadiesSampler::sample(const CsrGraph& g,
+                                   const std::vector<NodeId>& seeds,
+                                   ppgnn::Rng& rng) const {
+  SampledBatch batch;
+  batch.blocks.resize(layers_);
+  std::vector<NodeId> frontier = seeds;
+
+  for (std::size_t l = layers_; l-- > 0;) {
+    // Candidate importance: w_u = sum over frontier t of 1/deg(t) for each
+    // edge (t,u) — the row-normalized adjacency mass reaching u.
+    std::unordered_map<NodeId, double> weight;
+    weight.reserve(frontier.size() * 8);
+    for (const NodeId t : frontier) {
+      const auto nbrs = g.neighbors(t);
+      if (nbrs.empty()) continue;
+      const double w = 1.0 / static_cast<double>(nbrs.size());
+      for (const NodeId u : nbrs) weight[u] += w;
+    }
+    // Gumbel top-k: weighted sampling without replacement of `budget_`
+    // candidates.  key = log(w) + Gumbel noise; take the k largest.
+    std::vector<std::pair<double, NodeId>> keyed;
+    keyed.reserve(weight.size());
+    double total_w = 0;
+    for (const auto& [u, w] : weight) total_w += w;
+    for (const auto& [u, w] : weight) {
+      double uni = rng.uniform();
+      while (uni <= 1e-300) uni = rng.uniform();
+      const double gumbel = -std::log(-std::log(uni));
+      keyed.emplace_back(std::log(w) + gumbel, u);
+    }
+    const std::size_t k = std::min(budget_, keyed.size());
+    std::partial_sort(keyed.begin(), keyed.begin() + k, keyed.end(),
+                      [](const auto& a, const auto& b) { return a.first > b.first; });
+
+    std::unordered_map<NodeId, double> prob;  // inclusion prob proxy
+    std::unordered_set<NodeId> picked;
+    picked.reserve(k * 2);
+    for (std::size_t i = 0; i < k; ++i) {
+      const NodeId u = keyed[i].second;
+      picked.insert(u);
+      // Poisson approximation of the inclusion probability.
+      prob[u] = std::min(1.0, weight[u] / total_w * static_cast<double>(k));
+    }
+    // Keep only frontier->picked edges, with debiasing weights, and always
+    // retain the frontier node itself (self edge weight 1) if present.
+    std::vector<std::vector<NodeId>> chosen(frontier.size());
+    std::vector<std::vector<float>> weights(frontier.size());
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      const NodeId t = frontier[i];
+      const auto nbrs = g.neighbors(t);
+      const double inv_deg =
+          nbrs.empty() ? 0.0 : 1.0 / static_cast<double>(nbrs.size());
+      for (const NodeId u : nbrs) {
+        if (!picked.contains(u)) continue;
+        chosen[i].push_back(u);
+        const double p = prob[u];
+        weights[i].push_back(static_cast<float>(inv_deg / std::max(p, 1e-9)));
+      }
+    }
+    batch.blocks[l] = make_block(frontier, chosen, &weights);
+    frontier = batch.blocks[l].src_nodes;
+  }
+  return batch;
+}
+
+}  // namespace ppgnn::sampling

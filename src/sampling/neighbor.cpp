@@ -1,0 +1,42 @@
+#include "sampling/neighbor.h"
+
+namespace ppgnn::sampling {
+
+std::vector<NodeId> sample_neighbors(const CsrGraph& g, NodeId v, int k,
+                                     ppgnn::Rng& rng) {
+  const auto nbrs = g.neighbors(v);
+  const auto deg = static_cast<std::size_t>(nbrs.size());
+  std::vector<NodeId> out;
+  if (deg == 0) return out;
+  if (k < 0 || deg <= static_cast<std::size_t>(k)) {
+    out.assign(nbrs.begin(), nbrs.end());
+    return out;
+  }
+  const auto picks =
+      rng.sample_without_replacement(deg, static_cast<std::uint64_t>(k));
+  out.reserve(picks.size());
+  for (const auto p : picks) out.push_back(nbrs[p]);
+  return out;
+}
+
+SampledBatch NeighborSampler::sample(const CsrGraph& g,
+                                     const std::vector<NodeId>& seeds,
+                                     ppgnn::Rng& rng) const {
+  const std::size_t layers = fanouts_.size();
+  SampledBatch batch;
+  batch.blocks.resize(layers);
+  std::vector<NodeId> frontier = seeds;
+  // Build from the output layer inwards: blocks[layers-1] consumes the
+  // seeds; its sampled sources become the next frontier.
+  for (std::size_t l = layers; l-- > 0;) {
+    std::vector<std::vector<NodeId>> chosen(frontier.size());
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      chosen[i] = sample_neighbors(g, frontier[i], fanouts_[l], rng);
+    }
+    batch.blocks[l] = make_block(frontier, chosen);
+    frontier = batch.blocks[l].src_nodes;
+  }
+  return batch;
+}
+
+}  // namespace ppgnn::sampling

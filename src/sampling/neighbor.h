@@ -1,0 +1,35 @@
+// GraphSAGE node-wise neighbor sampler (Hamilton et al., 2017).
+//
+// Per layer l (outermost first), every destination node draws up to
+// fanouts[l] neighbors without replacement.  The sampled source set of one
+// layer becomes the destination set of the layer below, so the number of
+// materialized nodes grows ~ prod(fanouts) — the neighbor-explosion the
+// paper characterizes.
+#pragma once
+
+#include "sampling/sampler.h"
+
+namespace ppgnn::sampling {
+
+class NeighborSampler : public Sampler {
+ public:
+  // fanouts[0] applies to the layer closest to the input; e.g. the paper's
+  // GraphSAGE setting is {15, 10, 5} for 3 layers.
+  explicit NeighborSampler(std::vector<int> fanouts)
+      : fanouts_(std::move(fanouts)) {}
+
+  SampledBatch sample(const CsrGraph& g, const std::vector<NodeId>& seeds,
+                      ppgnn::Rng& rng) const override;
+  std::string name() const override { return "Neighbor"; }
+  std::size_t num_layers() const override { return fanouts_.size(); }
+
+ private:
+  std::vector<int> fanouts_;
+};
+
+// Shared helper: draw up to k distinct neighbors of v (all of them when
+// degree <= k).
+std::vector<NodeId> sample_neighbors(const CsrGraph& g, NodeId v, int k,
+                                     ppgnn::Rng& rng);
+
+}  // namespace ppgnn::sampling

@@ -1,0 +1,40 @@
+#include "sampling/saint.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ppgnn::sampling {
+
+SampledBatch SaintNodeSampler::sample(const CsrGraph& g,
+                                      const std::vector<NodeId>& seeds,
+                                      ppgnn::Rng& rng) const {
+  // Node set = seeds + degree-proportional draws (with replacement,
+  // deduplicated — matches GraphSAINT's node sampler).
+  std::unordered_set<NodeId> in_set(seeds.begin(), seeds.end());
+  std::vector<NodeId> nodes = seeds;  // seeds first: keeps prefix invariant
+  const std::size_t m = g.num_edges();
+  if (m > 0) {
+    for (std::size_t draw = 0; draw < budget_; ++draw) {
+      // Degree-proportional node pick == uniform edge pick's source.
+      const auto e = static_cast<EdgeIdx>(rng.uniform_int(m));
+      // Binary search the offsets for the edge's source node.
+      const auto& off = g.offsets();
+      auto it = std::upper_bound(off.begin(), off.end(), e);
+      const auto v = static_cast<NodeId>(std::distance(off.begin(), it) - 1);
+      if (in_set.insert(v).second) nodes.push_back(v);
+    }
+  }
+
+  Block induced = induced_block(g, nodes);
+
+  SampledBatch batch;
+  batch.blocks.assign(layers_, induced);
+  // Final layer only needs the seed rows as destinations.
+  Block& last = batch.blocks.back();
+  last.dst_nodes.assign(nodes.begin(), nodes.begin() + seeds.size());
+  last.offsets.resize(seeds.size() + 1);
+  last.indices.resize(last.offsets.back());
+  return batch;
+}
+
+}  // namespace ppgnn::sampling

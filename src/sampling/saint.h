@@ -1,0 +1,29 @@
+// GraphSAINT node sampler (Zeng et al., 2020).
+//
+// Draws a node budget (the paper sets it equal to the batch size), induces
+// the subgraph over the union of the drawn nodes and the mini-batch seeds,
+// and trains all L layers on that one subgraph — subgraph size is
+// independent of depth.  The blocks of the returned batch are L copies of
+// the induced subgraph with the seeds as the final destinations.
+#pragma once
+
+#include "sampling/sampler.h"
+
+namespace ppgnn::sampling {
+
+class SaintNodeSampler : public Sampler {
+ public:
+  SaintNodeSampler(std::size_t num_layers, std::size_t node_budget)
+      : layers_(num_layers), budget_(node_budget) {}
+
+  SampledBatch sample(const CsrGraph& g, const std::vector<NodeId>& seeds,
+                      ppgnn::Rng& rng) const override;
+  std::string name() const override { return "SAINT"; }
+  std::size_t num_layers() const override { return layers_; }
+
+ private:
+  std::size_t layers_;
+  std::size_t budget_;
+};
+
+}  // namespace ppgnn::sampling

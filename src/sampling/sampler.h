@@ -1,0 +1,26 @@
+// Sampler interface.
+//
+// Samplers turn a seed set (the labeled nodes of a mini-batch) into a
+// SampledBatch of bipartite blocks.  All samplers are deterministic given
+// the Rng they are handed.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sampling/subgraph.h"
+#include "tensor/rng.h"
+
+namespace ppgnn::sampling {
+
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+  virtual SampledBatch sample(const CsrGraph& g,
+                              const std::vector<NodeId>& seeds,
+                              ppgnn::Rng& rng) const = 0;
+  virtual std::string name() const = 0;
+  virtual std::size_t num_layers() const = 0;
+};
+
+}  // namespace ppgnn::sampling

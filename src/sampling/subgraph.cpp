@@ -1,0 +1,59 @@
+#include "sampling/subgraph.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ppgnn::sampling {
+
+Block make_block(const std::vector<NodeId>& dst,
+                 const std::vector<std::vector<NodeId>>& chosen,
+                 const std::vector<std::vector<float>>* weights) {
+  if (chosen.size() != dst.size()) {
+    throw std::invalid_argument("make_block: chosen size mismatch");
+  }
+  Block b;
+  b.dst_nodes = dst;
+  b.src_nodes = dst;  // dst prefix invariant
+  std::unordered_map<NodeId, std::int32_t> local;
+  local.reserve(dst.size() * 2);
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    local.emplace(dst[i], static_cast<std::int32_t>(i));
+  }
+  b.offsets.assign(dst.size() + 1, 0);
+  const bool has_w = weights != nullptr;
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    const auto& nbrs = chosen[i];
+    for (std::size_t e = 0; e < nbrs.size(); ++e) {
+      const NodeId u = nbrs[e];
+      auto [it, inserted] =
+          local.emplace(u, static_cast<std::int32_t>(b.src_nodes.size()));
+      if (inserted) b.src_nodes.push_back(u);
+      b.indices.push_back(it->second);
+      if (has_w) b.values.push_back((*weights)[i][e]);
+    }
+    b.offsets[i + 1] = static_cast<EdgeIdx>(b.indices.size());
+  }
+  return b;
+}
+
+Block induced_block(const CsrGraph& g, const std::vector<NodeId>& nodes) {
+  Block b;
+  b.dst_nodes = nodes;
+  b.src_nodes = nodes;
+  std::unordered_map<NodeId, std::int32_t> local;
+  local.reserve(nodes.size() * 2);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    local.emplace(nodes[i], static_cast<std::int32_t>(i));
+  }
+  b.offsets.assign(nodes.size() + 1, 0);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (const NodeId u : g.neighbors(nodes[i])) {
+      const auto it = local.find(u);
+      if (it != local.end()) b.indices.push_back(it->second);
+    }
+    b.offsets[i + 1] = static_cast<EdgeIdx>(b.indices.size());
+  }
+  return b;
+}
+
+}  // namespace ppgnn::sampling

@@ -1,0 +1,71 @@
+// Sampled mini-batch representation shared by all samplers.
+//
+// A SampledBatch mirrors DGL's "message-flow graph" of bipartite blocks:
+// blocks[0] is applied first (consumes raw input features of input_nodes),
+// blocks[L-1] produces embeddings for the seed nodes.  Every block stores a
+// local CSR from destination rows to source rows, with optional edge weights
+// (LADIES debiasing weights ride here).
+//
+// Invariant maintained by all samplers: the first dst_size() entries of
+// src_nodes are exactly dst_nodes (self features are always available),
+// which lets layers implement self/neighbor weight splits cheaply.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace ppgnn::sampling {
+
+using graph::CsrGraph;
+using graph::EdgeIdx;
+using graph::NodeId;
+
+struct Block {
+  std::vector<NodeId> src_nodes;  // global ids; prefix == dst_nodes
+  std::vector<NodeId> dst_nodes;  // global ids
+  std::vector<EdgeIdx> offsets;   // |dst|+1, local CSR
+  std::vector<std::int32_t> indices;  // local src indices
+  std::vector<float> values;      // optional edge weights (empty = 1)
+
+  std::size_t dst_size() const { return dst_nodes.size(); }
+  std::size_t src_size() const { return src_nodes.size(); }
+  std::size_t num_edges() const { return indices.size(); }
+};
+
+struct SampledBatch {
+  std::vector<Block> blocks;  // blocks[0] first applied
+  const std::vector<NodeId>& input_nodes() const {
+    return blocks.front().src_nodes;
+  }
+  const std::vector<NodeId>& seeds() const { return blocks.back().dst_nodes; }
+
+  // Total feature rows fetched to run this batch (the data-transfer metric
+  // in Appendix I).
+  std::size_t input_rows() const { return blocks.front().src_nodes.size(); }
+};
+
+// Helper used by the layer-building samplers: given dst nodes and, per dst,
+// a list of chosen global neighbors, produce a Block with deduplicated
+// src_nodes (dst prefix first) and the local CSR.
+Block make_block(const std::vector<NodeId>& dst,
+                 const std::vector<std::vector<NodeId>>& chosen,
+                 const std::vector<std::vector<float>>* weights = nullptr);
+
+// Induced subgraph over `nodes` of g, as a Block with src == dst == nodes.
+Block induced_block(const CsrGraph& g, const std::vector<NodeId>& nodes);
+
+struct SamplerStats {
+  std::size_t batches = 0;
+  std::size_t input_rows = 0;   // feature rows fetched
+  std::size_t edges = 0;        // edges materialized
+  void observe(const SampledBatch& b) {
+    ++batches;
+    input_rows += b.input_rows();
+    for (const auto& blk : b.blocks) edges += blk.num_edges();
+  }
+};
+
+}  // namespace ppgnn::sampling

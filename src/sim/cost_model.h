@@ -1,0 +1,123 @@
+// Durations for the primitive operations of a training pipeline, plus
+// analytic compute/volume models for the PP-GNN and MP-GNN families.
+//
+// Every function returns seconds.  These are first-order models: bandwidth
+// terms plus fixed per-call overheads.  They are deliberately simple — the
+// phenomena the paper reports (per-item loader overhead, host gather
+// bandwidth, PCIe vs HBM, SSD sequential vs random) are all first-order
+// effects, and the pipeline simulator resolves the overlap structure.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/hardware.h"
+
+namespace ppgnn::sim {
+
+class CostModel {
+ public:
+  explicit CostModel(const MachineSpec& m) : m_(m) {}
+  const MachineSpec& machine() const { return m_; }
+
+  // -- Host-side batch assembly ------------------------------------------
+  // Baseline loader: one framework call per row (Figure 6a).
+  double host_assembly_baseline(std::size_t rows, std::size_t row_bytes) const;
+  // Fused index_select: one call per batch, gather-bandwidth bound (4.1).
+  double host_assembly_fused(std::size_t rows, std::size_t row_bytes) const;
+
+  // -- Transfers ----------------------------------------------------------
+  double h2d(std::size_t bytes, bool pinned = true) const;
+  // One DMA per chunk (chunk reshuffling launches more, smaller transfers).
+  double h2d_chunks(std::size_t num_chunks, std::size_t chunk_bytes) const;
+  // Zero-copy access of host memory from a GPU kernel (DGL UVA mode).
+  double uva_read(std::size_t bytes) const;
+
+  // -- GPU-side kernels ----------------------------------------------------
+  double gpu_gather(std::size_t rows, std::size_t row_bytes) const;
+  double gpu_gemm(std::size_t m, std::size_t k, std::size_t n) const;
+  // Edge-parallel SpMM / attention aggregation, bytes-bound.
+  double gpu_spmm(std::size_t nnz, std::size_t feat_dim) const;
+
+  // -- Storage --------------------------------------------------------------
+  // Chunked sequential reads striped over parallel_streams files (GDS path).
+  double ssd_chunk_read(std::size_t num_chunks, std::size_t chunk_bytes) const;
+  // Row-granular random reads (the naive storage fallback, Section 4.3).
+  double ssd_random_read(std::size_t rows, std::size_t row_bytes) const;
+
+  // -- Collectives ----------------------------------------------------------
+  // Ring all-reduce of gradient bytes over the PCIe fabric.
+  double allreduce(std::size_t bytes, int num_gpus) const;
+
+  // -- Graph sampling -------------------------------------------------------
+  // CPU sampler: dominated by per-edge random access + bookkeeping.
+  double cpu_sample(std::size_t edges_touched) const;
+  // GPU sampler (DGL 0.8+): massively parallel, ~50x cheaper per edge.
+  double gpu_sample(std::size_t edges_touched) const;
+
+ private:
+  const MachineSpec m_;
+};
+
+// ---------------------------------------------------------------------------
+// PP-GNN analytic model shapes (Section 2.5 / Table 1).
+
+enum class PpModelKind { kSgc, kSign, kHoga };
+const char* to_string(PpModelKind k);
+
+struct PpModelShape {
+  PpModelKind kind = PpModelKind::kSign;
+  std::size_t hops = 3;        // R
+  std::size_t kernels = 1;     // K
+  std::size_t feat_dim = 128;  // F
+  std::size_t hidden = 512;
+  std::size_t classes = 47;
+  std::size_t mlp_layers = 3;  // SIGN/HOGA output MLP depth
+
+  // Bytes of preprocessed input per training row: K*(R+1)*F*4 — the input
+  // expansion factor of Section 3.4.  SGC consumes only the final hop.
+  std::size_t row_bytes() const;
+  // Forward+backward+optimizer FLOPs for a batch of b rows.
+  double train_flops(std::size_t batch) const;
+  std::size_t param_bytes() const;
+};
+
+// Compute time for one training step of batch size b (GEMM-bound dense
+// model; backward ~ 2x forward; optimizer negligible but kernel launches
+// are counted per layer).
+double pp_compute_per_batch(const CostModel& cm, const PpModelShape& shape,
+                            std::size_t batch);
+
+// ---------------------------------------------------------------------------
+// MP-GNN expected batch statistics (for the throughput model; real sampled
+// sizes are used when real training runs).
+
+struct MpBatchShape {
+  std::vector<std::size_t> layer_nodes;  // nodes per layer, seeds last
+  std::size_t input_rows = 0;            // feature rows fetched
+  std::size_t total_edges = 0;           // aggregation edges
+};
+
+// Node-wise sampler growth: layer sizes b, b*f_L, b*f_L*f_{L-1}, ... capped
+// at the graph size with a birthday-style unique-node correction.
+MpBatchShape expected_neighbor_batch(const std::vector<int>& fanouts,
+                                     std::size_t batch, std::size_t num_nodes);
+// LABOR: same per-destination expectation but shared variates collapse the
+// union of sources; `overlap` (0..1) scales the frontier growth (paper
+// reports ~2-4x fewer unique nodes; 0.5 reproduces that).
+MpBatchShape expected_labor_batch(const std::vector<int>& fanouts,
+                                  std::size_t batch, std::size_t num_nodes,
+                                  double overlap = 0.5);
+
+struct MpModelShape {
+  std::size_t feat_dim = 128;
+  std::size_t hidden = 256;
+  std::size_t classes = 47;
+  std::size_t layers = 3;
+};
+
+double mp_compute_per_batch(const CostModel& cm, const MpModelShape& model,
+                            const MpBatchShape& batch);
+std::size_t mp_param_bytes(const MpModelShape& model);
+
+}  // namespace ppgnn::sim

@@ -1,0 +1,83 @@
+#include "sim/event_sim.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppgnn::sim {
+
+StreamId StreamProgram::add_stream(std::string name) {
+  stream_names_.push_back(std::move(name));
+  stream_clock_.push_back(0.0);
+  return stream_names_.size() - 1;
+}
+
+OpId StreamProgram::add_op(StreamId stream, double duration, std::string tag,
+                           std::vector<OpId> deps) {
+  if (stream >= stream_names_.size()) {
+    throw std::invalid_argument("add_op: unknown stream");
+  }
+  if (duration < 0) throw std::invalid_argument("add_op: negative duration");
+  for (const OpId d : deps) {
+    if (d >= ops_.size()) {
+      throw std::invalid_argument("add_op: dependency on future op");
+    }
+  }
+  ops_.push_back({stream, duration, std::move(tag), std::move(deps), 0, 0});
+  resolved_ = false;
+  return ops_.size() - 1;
+}
+
+double StreamProgram::run() {
+  if (resolved_) return makespan_;
+  std::fill(stream_clock_.begin(), stream_clock_.end(), 0.0);
+  makespan_ = 0;
+  for (auto& op : ops_) {
+    double ready = stream_clock_[op.stream];
+    for (const OpId d : op.deps) ready = std::max(ready, ops_[d].finish);
+    op.start = ready;
+    op.finish = ready + op.duration;
+    stream_clock_[op.stream] = op.finish;
+    makespan_ = std::max(makespan_, op.finish);
+  }
+  resolved_ = true;
+  return makespan_;
+}
+
+double StreamProgram::busy_time_by_tag(const std::string& tag) const {
+  double total = 0;
+  for (const auto& op : ops_) {
+    if (op.tag == tag) total += op.duration;
+  }
+  return total;
+}
+
+double StreamProgram::span_by_tag(const std::string& tag) const {
+  std::vector<std::pair<double, double>> intervals;
+  for (const auto& op : ops_) {
+    if (op.tag == tag && op.duration > 0) {
+      intervals.emplace_back(op.start, op.finish);
+    }
+  }
+  std::sort(intervals.begin(), intervals.end());
+  double span = 0, cur_lo = 0, cur_hi = -1;
+  for (const auto& [lo, hi] : intervals) {
+    if (hi <= cur_hi) continue;
+    if (lo > cur_hi) {
+      if (cur_hi > cur_lo) span += cur_hi - cur_lo;
+      cur_lo = lo;
+    }
+    cur_hi = hi;
+  }
+  if (cur_hi > cur_lo) span += cur_hi - cur_lo;
+  return span;
+}
+
+double StreamProgram::stream_busy_time(StreamId id) const {
+  double total = 0;
+  for (const auto& op : ops_) {
+    if (op.stream == id) total += op.duration;
+  }
+  return total;
+}
+
+}  // namespace ppgnn::sim

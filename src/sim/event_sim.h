@@ -1,0 +1,72 @@
+// Discrete-event stream simulator.
+//
+// Models the execution timing of a training pipeline the way Figure 6 of
+// the paper draws it: named streams (host thread, DMA/prefetch stream,
+// compute stream) execute ops in program order; ops may additionally wait
+// on ops from other streams (CUDA-event-style dependencies).  Durations are
+// supplied by the cost model; the simulator only resolves overlap.
+//
+// The op graph is acyclic by construction (dependencies must reference
+// already-added ops), so a single in-order pass computes all start/finish
+// times.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ppgnn::sim {
+
+using OpId = std::size_t;
+using StreamId = std::size_t;
+
+class StreamProgram {
+ public:
+  StreamId add_stream(std::string name);
+
+  // Appends an op to `stream` with the given duration (seconds).  The op
+  // starts when both the stream is free and all `deps` have finished.
+  // `tag` groups ops for phase accounting (e.g. "assembly", "h2d",
+  // "compute").
+  OpId add_op(StreamId stream, double duration, std::string tag,
+              std::vector<OpId> deps = {});
+
+  // Resolves all timings; returns the makespan.  Idempotent.
+  double run();
+
+  bool resolved() const { return resolved_; }
+  double makespan() const { return makespan_; }
+  double op_start(OpId id) const { return ops_[id].start; }
+  double op_finish(OpId id) const { return ops_[id].finish; }
+
+  // Total duration of ops carrying `tag` (not deduplicated for overlap).
+  double busy_time_by_tag(const std::string& tag) const;
+  // Wall-clock span during which at least one op with `tag` was running
+  // (overlap-aware union of intervals).
+  double span_by_tag(const std::string& tag) const;
+  // Total busy time of one stream.
+  double stream_busy_time(StreamId id) const;
+
+  std::size_t num_ops() const { return ops_.size(); }
+  std::size_t num_streams() const { return stream_names_.size(); }
+  const std::string& stream_name(StreamId id) const {
+    return stream_names_[id];
+  }
+
+ private:
+  struct Op {
+    StreamId stream;
+    double duration;
+    std::string tag;
+    std::vector<OpId> deps;
+    double start = 0, finish = 0;
+  };
+  std::vector<Op> ops_;
+  std::vector<std::string> stream_names_;
+  std::vector<double> stream_clock_;
+  double makespan_ = 0;
+  bool resolved_ = false;
+};
+
+}  // namespace ppgnn::sim

@@ -1,0 +1,70 @@
+// Hardware specifications for the cost model.
+//
+// MachineSpec::paper_server() encodes the server of Appendix C: two Xeon
+// Gold 6248R CPUs with 380 GB DRAM, four RTX A6000 GPUs (48 GB each) on
+// PCIe 4.0 x16, and Samsung PM9A3 NVMe SSDs.  Effective (not peak)
+// bandwidths are used throughout; each constant notes its provenance.
+#pragma once
+
+#include <cstddef>
+
+namespace ppgnn::sim {
+
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+struct GpuSpec {
+  double fp32_flops = 0;          // sustained FLOP/s for dense GEMM
+  double mem_bandwidth = 0;       // bytes/s (HBM/GDDR)
+  std::size_t memory_bytes = 0;
+  double kernel_launch_s = 0;     // per-kernel launch latency
+};
+
+struct HostSpec {
+  double mem_bandwidth = 0;       // bytes/s, streaming
+  double gather_bandwidth = 0;    // bytes/s, random-row gather (one call)
+  std::size_t memory_bytes = 0;
+  // Per-call overhead of a host-side framework operation (the PyTorch
+  // dispatch + kernel-launch cost the "efficient batch assembly"
+  // optimization amortizes, Section 4.1).
+  double per_call_overhead_s = 0;
+  // Per-item overhead of the *baseline* loader, which extracts node
+  // features one row at a time (Figure 6a).
+  double per_item_overhead_s = 0;
+  // Per-training-step framework overhead (Python/driver bookkeeping).
+  double framework_step_overhead_s = 0;
+  // Aggregate DMA egress the host can feed to all GPUs at once (root
+  // complex + UPI contention).  This is what caps chunk-reshuffling
+  // scalability on multiple GPUs (Section 6.4: "bottlenecked by
+  // host-to-GPU bandwidth, and using more GPUs does not mitigate it").
+  double egress_bandwidth = 0;
+};
+
+struct LinkSpec {
+  double bandwidth = 0;  // bytes/s
+  double latency_s = 0;  // per-transfer setup (DMA descriptor etc.)
+};
+
+struct StorageSpec {
+  double seq_read_bandwidth = 0;   // bytes/s, large sequential reads
+  double rand_read_iops = 0;       // 4 KiB random read operations/s
+  std::size_t rand_block_bytes = 4096;
+  double request_latency_s = 0;
+  // Number of independent files/queues that can be read in parallel; the
+  // implementation splits hop features into separate files (Section 4.3).
+  int parallel_streams = 4;
+};
+
+struct MachineSpec {
+  GpuSpec gpu;
+  int num_gpus = 1;
+  HostSpec host;
+  LinkSpec pcie;       // host <-> one GPU
+  StorageSpec ssd;
+  // All-reduce efficiency factor for data-parallel gradient sync over the
+  // PCIe fabric (ring all-reduce without NVLink).
+  double allreduce_efficiency = 0.7;
+
+  static MachineSpec paper_server();
+};
+
+}  // namespace ppgnn::sim

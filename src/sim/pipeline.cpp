@@ -1,0 +1,404 @@
+#include "sim/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+namespace ppgnn::sim {
+
+const char* to_string(DataPlacement p) {
+  switch (p) {
+    case DataPlacement::kGpu: return "GPU";
+    case DataPlacement::kHost: return "Host";
+    case DataPlacement::kStorage: return "SSD";
+  }
+  return "?";
+}
+
+const char* to_string(LoaderKind k) {
+  switch (k) {
+    case LoaderKind::kBaseline: return "baseline";
+    case LoaderKind::kFusedAssembly: return "fused-assembly";
+    case LoaderKind::kDoubleBuffer: return "double-buffer";
+    case LoaderKind::kChunkPipeline: return "chunk-pipeline";
+  }
+  return "?";
+}
+
+const char* to_string(MpSystem s) {
+  switch (s) {
+    case MpSystem::kDglCpuSampling: return "DGL-vanilla";
+    case MpSystem::kDglUva: return "DGL-UVA";
+    case MpSystem::kDglPreload: return "DGL-preload";
+    case MpSystem::kGnnLab: return "GNNLab";
+    case MpSystem::kSalientPlusPlus: return "SALIENT++";
+    case MpSystem::kGinex: return "Ginex";
+  }
+  return "?";
+}
+
+namespace {
+
+// Shared tags.
+constexpr const char* kAssembly = "assembly";
+constexpr const char* kTransfer = "transfer";
+constexpr const char* kForward = "forward";
+constexpr const char* kBackward = "backward";
+constexpr const char* kOptimizer = "optimizer";
+constexpr const char* kSampling = "sampling";
+
+// Builds a program for `batches` iterations via `build(prog, batches)`,
+// then simulates a longer epoch of `total_batches` by extrapolating the
+// steady-state rate measured between a half-length and full-length run.
+// Tag busy-times are scaled linearly to the full batch count.
+EpochSim extrapolated_epoch(
+    std::size_t total_batches,
+    const std::function<void(StreamProgram&, std::size_t)>& build) {
+  const std::size_t n_sim = std::min<std::size_t>(total_batches, 96);
+  StreamProgram full;
+  build(full, n_sim);
+  const double t_full = full.run();
+
+  double epoch = t_full;
+  double scale = 1.0;
+  if (total_batches > n_sim) {
+    StreamProgram half;
+    build(half, n_sim / 2);
+    const double t_half = half.run();
+    const double steady =
+        (t_full - t_half) / static_cast<double>(n_sim - n_sim / 2);
+    epoch = t_full + steady * static_cast<double>(total_batches - n_sim);
+    scale = static_cast<double>(total_batches) / static_cast<double>(n_sim);
+  }
+
+  EpochSim out;
+  out.epoch_seconds = epoch;
+  out.assembly_seconds = full.busy_time_by_tag(kAssembly) * scale;
+  out.transfer_seconds = full.busy_time_by_tag(kTransfer) * scale;
+  out.forward_seconds = full.busy_time_by_tag(kForward) * scale;
+  out.backward_seconds = full.busy_time_by_tag(kBackward) * scale;
+  out.optimizer_seconds = full.busy_time_by_tag(kOptimizer) * scale;
+  out.sampling_seconds = full.busy_time_by_tag(kSampling) * scale;
+  return out;
+}
+
+struct ComputeSplit {
+  double fwd, bwd, opt;
+};
+
+ComputeSplit pp_compute_split(const CostModel& cm, const PpModelShape& model,
+                              std::size_t batch) {
+  const double total = pp_compute_per_batch(cm, model, batch);
+  // Backward ~ 2x forward for dense stacks; optimizer is a bandwidth-bound
+  // parameter sweep.
+  const double opt =
+      cm.machine().gpu.kernel_launch_s +
+      3.0 * static_cast<double>(model.param_bytes()) /
+          cm.machine().gpu.mem_bandwidth;
+  return {total / 3.0, 2.0 * total / 3.0, opt};
+}
+
+}  // namespace
+
+EpochSim simulate_pp_epoch(const PpPipelineConfig& cfg) {
+  if (cfg.train_rows == 0 || cfg.batch_size == 0) {
+    throw std::invalid_argument("simulate_pp_epoch: empty workload");
+  }
+  const CostModel cm(cfg.machine);
+  const int g = std::max(1, cfg.num_gpus);
+  const std::size_t row_bytes = cfg.model.row_bytes();
+  const std::size_t b = cfg.batch_size;
+  const std::size_t batch_bytes = b * row_bytes;
+  // Data parallel: global batch = g * batch_size.
+  const std::size_t steps = std::max<std::size_t>(
+      1, (cfg.train_rows + g * b - 1) / (g * b));
+
+  // Shared-resource derating: the aggregate host-egress cap only binds
+  // when multiple GPUs pull concurrently (a single GPU gets its full link).
+  const double pcie_bw =
+      g == 1 ? cfg.machine.pcie.bandwidth
+             : std::min(cfg.machine.pcie.bandwidth,
+                        cfg.machine.host.egress_bandwidth / g);
+  const double pcie_derate = pcie_bw / cfg.machine.pcie.bandwidth;
+  const double ssd_share = 1.0 / g;
+
+  const ComputeSplit cs = pp_compute_split(cm, cfg.model, b);
+  const double allred = cm.allreduce(cfg.model.param_bytes(), g);
+
+  const std::size_t chunks_per_batch =
+      std::max<std::size_t>(1, (b + cfg.chunk_size - 1) / cfg.chunk_size);
+  const std::size_t chunk_bytes = cfg.chunk_size * row_bytes;
+
+  EpochSim result = extrapolated_epoch(steps, [&](StreamProgram& prog,
+                                                  std::size_t batches) {
+    const StreamId host = prog.add_stream("host");
+    const StreamId dma = prog.add_stream("prefetch");
+    const StreamId gpu = prog.add_stream("compute");
+
+    // Double-buffer bookkeeping: transfer for batch k must wait for the
+    // compute of batch k-2 (two buffers) or k-1 (single buffer).
+    std::vector<OpId> compute_done;
+    std::vector<OpId> load_done;
+
+    for (std::size_t k = 0; k < batches; ++k) {
+      std::vector<OpId> load_deps;
+      OpId ready = 0;
+      switch (cfg.loader) {
+        case LoaderKind::kBaseline: {
+          // Fig 6(a): everything serial through the host thread.
+          if (!compute_done.empty()) load_deps.push_back(compute_done.back());
+          const OpId a = prog.add_op(
+              host, cm.host_assembly_baseline(b, row_bytes), kAssembly,
+              load_deps);
+          const OpId t = prog.add_op(
+              host, cm.h2d(batch_bytes, /*pinned=*/false) / pcie_derate,
+              kTransfer, {a});
+          ready = t;
+          break;
+        }
+        case LoaderKind::kFusedAssembly: {
+          // Fig 6(b): fused host assembly, async pinned DMA, single buffer:
+          // transfer k waits on compute k-1.
+          const OpId a = prog.add_op(
+              host, cm.host_assembly_fused(b, row_bytes), kAssembly, {});
+          std::vector<OpId> tdeps{a};
+          if (!compute_done.empty()) tdeps.push_back(compute_done.back());
+          ready = prog.add_op(dma, cm.h2d(batch_bytes) / pcie_derate,
+                              kTransfer, tdeps);
+          break;
+        }
+        case LoaderKind::kDoubleBuffer: {
+          if (cfg.placement == DataPlacement::kGpu) {
+            // Data resident on GPU: the "load" is a gather kernel on the
+            // prefetch stream.
+            std::vector<OpId> deps;
+            if (compute_done.size() >= 2) {
+              deps.push_back(compute_done[compute_done.size() - 2]);
+            }
+            ready = prog.add_op(dma, cm.gpu_gather(b, row_bytes), kAssembly,
+                                deps);
+          } else if (cfg.placement == DataPlacement::kHost) {
+            // Fig 6(c): host assembly overlapped, DMA on prefetch stream,
+            // two buffers.
+            const OpId a = prog.add_op(
+                host, cm.host_assembly_fused(b, row_bytes), kAssembly, {});
+            std::vector<OpId> tdeps{a};
+            if (compute_done.size() >= 2) {
+              tdeps.push_back(compute_done[compute_done.size() - 2]);
+            }
+            ready = prog.add_op(dma, cm.h2d(batch_bytes) / pcie_derate,
+                                kTransfer, tdeps);
+          } else {
+            // Storage + SGD-RR: row-granular random reads (the naive
+            // fallback the paper warns about, Section 4.3).
+            std::vector<OpId> tdeps;
+            if (compute_done.size() >= 2) {
+              tdeps.push_back(compute_done[compute_done.size() - 2]);
+            }
+            ready = prog.add_op(
+                dma, cm.ssd_random_read(b, row_bytes) / ssd_share / g,
+                kTransfer, tdeps);
+          }
+          break;
+        }
+        case LoaderKind::kChunkPipeline: {
+          // Fig 6(d): chunks DMA'd (or GDS-read) to GPU, assembled there.
+          std::vector<OpId> tdeps;
+          if (compute_done.size() >= 2) {
+            tdeps.push_back(compute_done[compute_done.size() - 2]);
+          }
+          OpId last_chunk = 0;
+          const double chunk_t =
+              cfg.placement == DataPlacement::kStorage
+                  ? cm.ssd_chunk_read(1, chunk_bytes) / ssd_share
+                  : cm.h2d_chunks(1, chunk_bytes) / pcie_derate;
+          for (std::size_t c = 0; c < chunks_per_batch; ++c) {
+            last_chunk = prog.add_op(dma, chunk_t, kTransfer,
+                                     c == 0 ? tdeps : std::vector<OpId>{});
+          }
+          // GPU-side batch assembly out of the staged chunks.
+          ready = prog.add_op(dma, cm.gpu_gather(b, row_bytes), kAssembly,
+                              {last_chunk});
+          break;
+        }
+      }
+
+      std::vector<OpId> cdeps{ready};
+      const OpId f = prog.add_op(gpu, cs.fwd, kForward, cdeps);
+      const OpId bw = prog.add_op(gpu, cs.bwd, kBackward, {f});
+      const OpId o = prog.add_op(gpu, cs.opt + allred, kOptimizer, {bw});
+      compute_done.push_back(o);
+      load_done.push_back(ready);
+    }
+  });
+
+  result.bytes_moved = steps * g * batch_bytes;
+  return result;
+}
+
+EpochSim simulate_mp_epoch(const MpPipelineConfig& cfg) {
+  if (cfg.train_rows == 0 || cfg.batch_size == 0) {
+    throw std::invalid_argument("simulate_mp_epoch: empty workload");
+  }
+  const CostModel cm(cfg.machine);
+  const int g = std::max(1, cfg.num_gpus);
+  const std::size_t steps = std::max<std::size_t>(
+      1, (cfg.train_rows + g * cfg.batch_size - 1) / (g * cfg.batch_size));
+
+  // Scale sampled sizes by the system's sampler footprint.
+  MpBatchShape shape = cfg.batch_shape;
+  shape.input_rows =
+      static_cast<std::size_t>(shape.input_rows * cfg.subgraph_scale);
+  shape.total_edges =
+      static_cast<std::size_t>(shape.total_edges * cfg.subgraph_scale);
+
+  const std::size_t feat_bytes =
+      shape.input_rows * cfg.model.feat_dim * sizeof(float);
+  const double compute = mp_compute_per_batch(cm, cfg.model, cfg.batch_shape) *
+                         cfg.subgraph_scale;
+  const double allred = cm.allreduce(mp_param_bytes(cfg.model), g);
+  const double pcie_derate =
+      g == 1 ? 1.0
+             : std::min(cfg.machine.pcie.bandwidth,
+                        cfg.machine.host.egress_bandwidth / g) /
+                   cfg.machine.pcie.bandwidth;
+
+  EpochSim result = extrapolated_epoch(steps, [&](StreamProgram& prog,
+                                                  std::size_t batches) {
+    const StreamId host = prog.add_stream("host");
+    const StreamId dma = prog.add_stream("prefetch");
+    const StreamId gpu = prog.add_stream("compute");
+    std::vector<OpId> compute_done;
+
+    for (std::size_t k = 0; k < batches; ++k) {
+      OpId ready = 0;
+      switch (cfg.system) {
+        case MpSystem::kDglCpuSampling: {
+          // Serial: CPU sampling -> host gather -> pageable H2D -> compute.
+          std::vector<OpId> deps;
+          if (!compute_done.empty()) deps.push_back(compute_done.back());
+          const OpId s = prog.add_op(host, cm.cpu_sample(shape.total_edges),
+                                     kSampling, deps);
+          const OpId a = prog.add_op(
+              host,
+              cm.host_assembly_fused(shape.input_rows,
+                                     cfg.model.feat_dim * sizeof(float)),
+              kAssembly, {s});
+          ready = prog.add_op(host, cm.h2d(feat_bytes, false) / pcie_derate,
+                              kTransfer, {a});
+          break;
+        }
+        case MpSystem::kDglUva: {
+          // GPU sampling; features read zero-copy during aggregation —
+          // serial on the GPU stream.
+          const OpId s = prog.add_op(gpu, cm.gpu_sample(shape.total_edges),
+                                     kSampling, {});
+          ready = prog.add_op(gpu, cm.uva_read(feat_bytes) / pcie_derate,
+                              kTransfer, {s});
+          break;
+        }
+        case MpSystem::kDglPreload: {
+          const OpId s = prog.add_op(gpu, cm.gpu_sample(shape.total_edges),
+                                     kSampling, {});
+          ready = prog.add_op(
+              gpu,
+              cm.gpu_gather(shape.input_rows,
+                            cfg.model.feat_dim * sizeof(float)),
+              kAssembly, {s});
+          break;
+        }
+        case MpSystem::kGnnLab: {
+          // Factored: sampling + cached feature extraction on the prefetch
+          // stream, overlapped with compute (double buffered).
+          std::vector<OpId> deps;
+          if (compute_done.size() >= 2) {
+            deps.push_back(compute_done[compute_done.size() - 2]);
+          }
+          const OpId s = prog.add_op(dma, cm.gpu_sample(shape.total_edges),
+                                     kSampling, deps);
+          const double hit_bytes = feat_bytes * cfg.cache_hit;
+          const double miss_bytes = feat_bytes * (1.0 - cfg.cache_hit);
+          const OpId f = prog.add_op(
+              dma,
+              cm.gpu_gather(
+                  static_cast<std::size_t>(shape.input_rows * cfg.cache_hit),
+                  cfg.model.feat_dim * sizeof(float)) +
+                  cm.uva_read(static_cast<std::size_t>(miss_bytes)) /
+                      pcie_derate,
+              kAssembly, {s});
+          (void)hit_bytes;
+          ready = f;
+          break;
+        }
+        case MpSystem::kSalientPlusPlus: {
+          // Pipelined CPU sampling + pinned transfer of cache misses.
+          std::vector<OpId> deps;
+          if (compute_done.size() >= 2) {
+            deps.push_back(compute_done[compute_done.size() - 2]);
+          }
+          const OpId s = prog.add_op(host, cm.cpu_sample(shape.total_edges),
+                                     kSampling, {});
+          const OpId a = prog.add_op(
+              host,
+              cm.host_assembly_fused(
+                  static_cast<std::size_t>(shape.input_rows *
+                                           (1.0 - cfg.cache_hit)),
+                  cfg.model.feat_dim * sizeof(float)),
+              kAssembly, {s});
+          std::vector<OpId> tdeps{a};
+          if (compute_done.size() >= 2) {
+            tdeps.push_back(compute_done[compute_done.size() - 2]);
+          }
+          ready = prog.add_op(
+              dma,
+              cm.h2d(static_cast<std::size_t>(feat_bytes *
+                                              (1.0 - cfg.cache_hit))) /
+                  pcie_derate,
+              kTransfer, tdeps);
+          break;
+        }
+        case MpSystem::kGinex: {
+          // SSD-resident features with host cache; superbatch pipelining
+          // overlaps the miss reads with compute.
+          std::vector<OpId> deps;
+          if (compute_done.size() >= 2) {
+            deps.push_back(compute_done[compute_done.size() - 2]);
+          }
+          const OpId s = prog.add_op(host, cm.cpu_sample(shape.total_edges),
+                                     kSampling, deps);
+          const auto miss_rows = static_cast<std::size_t>(
+              shape.input_rows * (1.0 - cfg.cache_hit));
+          const OpId r = prog.add_op(
+              host,
+              cm.ssd_random_read(miss_rows,
+                                 cfg.model.feat_dim * sizeof(float)) /
+                  (1.0 / g),
+              kTransfer, {s});
+          const OpId a = prog.add_op(
+              host,
+              cm.host_assembly_fused(shape.input_rows,
+                                     cfg.model.feat_dim * sizeof(float)),
+              kAssembly, {r});
+          ready = prog.add_op(dma, cm.h2d(feat_bytes) / pcie_derate,
+                              kTransfer, {a});
+          break;
+        }
+      }
+
+      const OpId f = prog.add_op(gpu, compute / 3.0, kForward, {ready});
+      const OpId bw = prog.add_op(gpu, 2.0 * compute / 3.0, kBackward, {f});
+      const OpId o = prog.add_op(
+          gpu,
+          allred + 3.0 * static_cast<double>(mp_param_bytes(cfg.model)) /
+                       cfg.machine.gpu.mem_bandwidth,
+          kOptimizer, {bw});
+      compute_done.push_back(o);
+    }
+  });
+
+  result.bytes_moved = steps * g * feat_bytes;
+  return result;
+}
+
+}  // namespace ppgnn::sim

@@ -1,0 +1,99 @@
+// Pipeline builders: turn a (placement, loader, model, dataset-size)
+// configuration into a stream program and simulate one epoch.
+//
+// These correspond 1:1 with the paper's execution diagrams (Figure 6):
+//   kBaseline      — Fig 6(a): per-row host assembly, serial with compute
+//   kFusedAssembly — Fig 6(b): one index_select per batch + async DMA
+//   kDoubleBuffer  — Fig 6(c): prefetch stream + GPU double buffer
+//   kChunkPipeline — Fig 6(d): chunk DMA (or GDS read) + GPU-side assembly
+// and with the MP-GNN training systems of Section 6 (DGL vanilla / UVA /
+// preload, GNNLab, SALIENT++, Ginex).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "sim/cost_model.h"
+#include "sim/event_sim.h"
+
+namespace ppgnn::sim {
+
+enum class DataPlacement { kGpu, kHost, kStorage };
+enum class LoaderKind {
+  kBaseline,
+  kFusedAssembly,
+  kDoubleBuffer,
+  kChunkPipeline,
+};
+const char* to_string(DataPlacement p);
+const char* to_string(LoaderKind k);
+
+struct PpPipelineConfig {
+  MachineSpec machine = MachineSpec::paper_server();
+  PpModelShape model;
+  std::size_t train_rows = 0;
+  std::size_t batch_size = 8000;
+  std::size_t chunk_size = 8000;
+  LoaderKind loader = LoaderKind::kDoubleBuffer;
+  DataPlacement placement = DataPlacement::kHost;
+  int num_gpus = 1;
+};
+
+struct EpochSim {
+  double epoch_seconds = 0;
+  double assembly_seconds = 0;   // host- or GPU-side batch assembly
+  double transfer_seconds = 0;   // H2D / storage / UVA traffic
+  double forward_seconds = 0;
+  double backward_seconds = 0;
+  double optimizer_seconds = 0;
+  double sampling_seconds = 0;   // MP-GNN only
+  std::size_t bytes_moved = 0;   // host->GPU or storage->GPU traffic
+
+  double loading_seconds() const { return assembly_seconds + transfer_seconds; }
+  double compute_seconds() const {
+    return forward_seconds + backward_seconds + optimizer_seconds;
+  }
+  double throughput_epochs_per_sec() const {
+    return epoch_seconds > 0 ? 1.0 / epoch_seconds : 0;
+  }
+};
+
+// Simulates one PP-GNN training epoch.  For num_gpus > 1 the model is data
+// parallel: each GPU runs train_rows / num_gpus rows per epoch plus a ring
+// all-reduce per step; shared-resource bandwidths (host gather for loader
+// processes is per-process, but aggregate host egress and SSD bandwidth are
+// divided across GPUs).
+EpochSim simulate_pp_epoch(const PpPipelineConfig& cfg);
+
+// ---------------------------------------------------------------------------
+// MP-GNN training systems.
+
+enum class MpSystem {
+  kDglCpuSampling,  // "SAGE-Vanilla": CPU sampler, host gather + pageable H2D
+  kDglUva,          // GPU sampler, zero-copy feature access over PCIe
+  kDglPreload,      // everything resident in GPU memory
+  kGnnLab,          // GPU sampler + GPU feature cache (factored design)
+  kSalientPlusPlus, // pipelined CPU sampling + caching + pinned transfer
+  kGinex,           // SSD-resident features with host-side cache
+};
+const char* to_string(MpSystem s);
+
+struct MpPipelineConfig {
+  MachineSpec machine = MachineSpec::paper_server();
+  MpModelShape model;
+  MpBatchShape batch_shape;      // expected sampled sizes per batch
+  std::size_t train_rows = 0;
+  std::size_t batch_size = 8000;
+  MpSystem system = MpSystem::kDglUva;
+  int num_gpus = 1;
+  // Fraction of feature reads served by the system's cache (GNNLab GPU
+  // cache / SALIENT++ replicated cache / Ginex host cache).
+  double cache_hit = 0.8;
+  // GNNLab's hardcoded neighbor sampler materializes larger subgraphs than
+  // LABOR (Section 6.4); this factor scales the batch shape.
+  double subgraph_scale = 1.0;
+};
+
+EpochSim simulate_mp_epoch(const MpPipelineConfig& cfg);
+
+}  // namespace ppgnn::sim

@@ -1,0 +1,70 @@
+// Minimal thread pool with a blocking parallel_for.
+//
+// The pool is created once per process (see global_pool()) and shared by all
+// kernels (GEMM, SpMM, gather).  Work is partitioned into contiguous index
+// ranges, one per worker, which is the right granularity for the regular,
+// bandwidth-bound loops in this library.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ppgnn {
+
+class ThreadPool {
+ public:
+  // n_threads == 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size() + 1; }  // workers + caller
+
+  // Runs fn(begin, end) over disjoint subranges of [0, n) on all threads and
+  // returns when every subrange is done.  fn must be safe to call
+  // concurrently on disjoint ranges.
+  //
+  // Reentrancy: the pool handles one parallel_for at a time.  A call made
+  // while another is in flight (e.g. from the prefetcher thread while the
+  // trainer runs a GEMM) executes fn(0, n) serially on the calling thread
+  // instead of deadlocking on the shared workers.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  struct Task {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  void worker_loop(std::size_t worker_id);
+
+  std::vector<std::thread> workers_;
+  std::mutex submit_mu_;  // held for the duration of one parallel_for
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::vector<Task> tasks_;        // one slot per worker
+  std::size_t epoch_ = 0;          // incremented per parallel_for call
+  std::size_t pending_ = 0;        // tasks not yet finished this epoch
+  bool stop_ = false;
+};
+
+// Process-wide pool; lazily constructed, sized from hardware concurrency or
+// the PPGNN_NUM_THREADS environment variable.
+ThreadPool& global_pool();
+
+// Convenience wrapper over global_pool().parallel_for.  Falls back to a
+// serial loop for small n to avoid synchronization overhead.
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  std::size_t grain = 1024);
+
+}  // namespace ppgnn

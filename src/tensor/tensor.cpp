@@ -1,0 +1,86 @@
+#include "tensor/tensor.h"
+
+#include <numeric>
+
+#include "tensor/rng.h"
+
+namespace ppgnn {
+
+namespace {
+std::size_t shape_numel(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.f) {
+  if (shape_.empty() || shape_.size() > 3) {
+    throw std::invalid_argument("Tensor supports 1..3 dimensions, got " +
+                                std::to_string(shape_.size()));
+  }
+}
+
+Tensor Tensor::full(std::vector<std::size_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::uniform(std::vector<std::size_t> shape, Rng& rng, float lo,
+                       float hi) {
+  Tensor t(std::move(shape));
+  for (auto& x : t.data_) x = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::normal(std::vector<std::size_t> shape, Rng& rng, float mean,
+                      float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& x : t.data_) x = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+Tensor Tensor::from_vector(std::vector<std::size_t> shape,
+                           std::vector<float> values) {
+  Tensor t(std::move(shape));
+  if (values.size() != t.size()) {
+    throw std::invalid_argument("from_vector: " + std::to_string(values.size()) +
+                                " values for shape " + t.shape_str());
+  }
+  t.data_ = std::move(values);
+  return t;
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
+  Tensor t(std::move(new_shape));
+  if (t.size() != size()) {
+    throw std::invalid_argument("reshaped: element count mismatch " +
+                                shape_str() + " -> " + t.shape_str());
+  }
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::check_same_shape(const Tensor& other, const char* what) const {
+  if (shape_ != other.shape_) {
+    throw std::invalid_argument(std::string(what) + ": shape mismatch " +
+                                shape_str() + " vs " + other.shape_str());
+  }
+}
+
+std::string Tensor::shape_str() const {
+  std::string s = "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) s += ", ";
+    s += std::to_string(shape_[i]);
+  }
+  return s + "]";
+}
+
+}  // namespace ppgnn

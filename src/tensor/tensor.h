@@ -1,0 +1,97 @@
+// Dense row-major float32 tensor.
+//
+// This is the only numeric container in the library.  It is deliberately
+// simple: contiguous storage, up to 3 dimensions (the HOGA attention path
+// uses [batch, tokens, dim]), no views or broadcasting machinery beyond what
+// the NN layers need.  All shape errors are hard failures (assert/throw) —
+// shapes are static properties of the models, not data-dependent.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ppgnn {
+
+class Rng;
+
+class Tensor {
+ public:
+  Tensor() = default;
+  // Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<std::size_t> shape);
+  Tensor(std::initializer_list<std::size_t> shape)
+      : Tensor(std::vector<std::size_t>(shape)) {}
+
+  static Tensor zeros(std::vector<std::size_t> shape) {
+    return Tensor(std::move(shape));
+  }
+  static Tensor full(std::vector<std::size_t> shape, float value);
+  // iid uniform in [lo, hi).
+  static Tensor uniform(std::vector<std::size_t> shape, Rng& rng,
+                        float lo = 0.f, float hi = 1.f);
+  // iid normal(mean, stddev).
+  static Tensor normal(std::vector<std::size_t> shape, Rng& rng,
+                       float mean = 0.f, float stddev = 1.f);
+  static Tensor from_vector(std::vector<std::size_t> shape,
+                            std::vector<float> values);
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t ndim() const { return shape_.size(); }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  std::size_t bytes() const { return data_.size() * sizeof(float); }
+
+  // Dimension helpers; valid only when ndim() is large enough.
+  std::size_t dim(std::size_t i) const { return shape_.at(i); }
+  std::size_t rows() const { return shape_.at(0); }
+  std::size_t cols() const { return shape_.at(1); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  // 2-D accessors.
+  float& at(std::size_t i, std::size_t j) { return data_[i * shape_[1] + j]; }
+  float at(std::size_t i, std::size_t j) const {
+    return data_[i * shape_[1] + j];
+  }
+  // 3-D accessors.
+  float& at(std::size_t i, std::size_t j, std::size_t k) {
+    return data_[(i * shape_[1] + j) * shape_[2] + k];
+  }
+  float at(std::size_t i, std::size_t j, std::size_t k) const {
+    return data_[(i * shape_[1] + j) * shape_[2] + k];
+  }
+
+  float* row(std::size_t i) { return data_.data() + i * row_size(); }
+  const float* row(std::size_t i) const { return data_.data() + i * row_size(); }
+  // Number of elements per leading-dimension slice.
+  std::size_t row_size() const {
+    std::size_t s = 1;
+    for (std::size_t d = 1; d < shape_.size(); ++d) s *= shape_[d];
+    return s;
+  }
+
+  // Reinterprets the storage with a new shape of identical element count.
+  Tensor reshaped(std::vector<std::size_t> new_shape) const;
+
+  void fill(float value);
+  void zero() { fill(0.f); }
+
+  // Throws std::invalid_argument unless shapes match exactly.
+  void check_same_shape(const Tensor& other, const char* what) const;
+
+  std::string shape_str() const;
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace ppgnn

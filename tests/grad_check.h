@@ -1,0 +1,91 @@
+// Shared numerical-gradient checking for module tests.
+//
+// Defines loss(x) = sum(W ∘ forward(x)) with a fixed random weighting W,
+// backpropagates dL/d(output) = W through the module, and compares both the
+// returned input gradient and every parameter gradient against central
+// finite differences.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace ppgnn::testing {
+
+struct GradCheckOptions {
+  float eps = 1e-3f;
+  float tol = 2e-2f;        // relative tolerance on each gradient entry
+  float abs_floor = 1e-4f;  // entries smaller than this are compared absolutely
+  bool check_input_grad = true;
+  std::size_t max_entries = 64;  // probe at most this many entries per tensor
+};
+
+// forward must be re-runnable (same dropout state etc. — use p=0 dropout in
+// modules under test).
+inline void check_gradients(nn::Module& module, const Tensor& input,
+                            const GradCheckOptions& opt = {}) {
+  Rng rng(1234);
+  Tensor x = input;
+
+  const Tensor out0 = module.forward(x, /*train=*/true);
+  Tensor w = Tensor::normal(out0.shape(), rng);
+  auto loss_of = [&](const Tensor& xx) -> double {
+    // const_cast-free re-entry: forward again with possibly-updated params.
+    Tensor out = module.forward(const_cast<Tensor&>(xx), true);
+    double l = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) l += out[i] * w[i];
+    return l;
+  };
+
+  module.zero_grad();
+  (void)module.forward(x, true);
+  const Tensor dx = module.backward(w);
+
+  std::vector<nn::ParamSlot> slots;
+  module.collect_params(slots);
+
+  auto compare = [&](float analytic, double numeric, const std::string& what) {
+    const double denom = std::max<double>(std::abs(numeric), opt.abs_floor);
+    EXPECT_NEAR(analytic, numeric, opt.tol * denom)
+        << what << " analytic=" << analytic << " numeric=" << numeric;
+  };
+
+  // Parameter gradients.
+  for (auto& s : slots) {
+    const std::size_t n = s.value->size();
+    const std::size_t stride = std::max<std::size_t>(1, n / opt.max_entries);
+    for (std::size_t i = 0; i < n; i += stride) {
+      float& p = (*s.value)[i];
+      const float orig = p;
+      p = orig + opt.eps;
+      const double lp = loss_of(x);
+      p = orig - opt.eps;
+      const double lm = loss_of(x);
+      p = orig;
+      compare((*s.grad)[i], (lp - lm) / (2.0 * opt.eps),
+              s.name + "[" + std::to_string(i) + "]");
+    }
+  }
+
+  // Input gradient.
+  if (opt.check_input_grad) {
+    const std::size_t n = x.size();
+    const std::size_t stride = std::max<std::size_t>(1, n / opt.max_entries);
+    for (std::size_t i = 0; i < n; i += stride) {
+      const float orig = x[i];
+      x[i] = orig + opt.eps;
+      const double lp = loss_of(x);
+      x[i] = orig - opt.eps;
+      const double lm = loss_of(x);
+      x[i] = orig;
+      compare(dx[i], (lp - lm) / (2.0 * opt.eps),
+              "input[" + std::to_string(i) + "]");
+    }
+  }
+}
+
+}  // namespace ppgnn::testing

@@ -1,0 +1,146 @@
+#include "core/autoconfig.h"
+
+#include <gtest/gtest.h>
+
+#include "core/complexity.h"
+
+namespace ppgnn::core {
+namespace {
+
+sim::PpModelShape hoga_shape(std::size_t feat, std::size_t classes,
+                             std::size_t hops = 3) {
+  sim::PpModelShape s;
+  s.kind = sim::PpModelKind::kHoga;
+  s.hops = hops;
+  s.feat_dim = feat;
+  s.hidden = 256;
+  s.classes = classes;
+  return s;
+}
+
+TEST(AutoConfig, Papers100MGoesToGpu) {
+  // Section 6.4: papers100M's labeled part is 0.8 GB per hop after
+  // preprocessing — fits comfortably in GPU memory.
+  const AutoConfigurator ac(sim::MachineSpec::paper_server(), 1);
+  const auto plan = ac.plan(hoga_shape(128, 172, 4),
+                            graph::paper_scale(graph::DatasetName::kPapers100MSim));
+  EXPECT_EQ(plan.placement.placement, sim::DataPlacement::kGpu);
+  EXPECT_FALSE(plan.placement.chunk_reshuffle);
+  EXPECT_LT(plan.input_bytes, std::size_t{8} << 30);
+}
+
+TEST(AutoConfig, IgbMediumGoesToHostWithChunks) {
+  // igb-medium: 40 GB features -> 160 GB at R=3; exceeds GPU, fits host.
+  const AutoConfigurator ac(sim::MachineSpec::paper_server(), 1);
+  const auto plan = ac.plan(hoga_shape(1024, 19, 3),
+                            graph::paper_scale(graph::DatasetName::kIgbMediumSim));
+  EXPECT_EQ(plan.placement.placement, sim::DataPlacement::kHost);
+  EXPECT_TRUE(plan.placement.chunk_reshuffle);
+}
+
+TEST(AutoConfig, IgbLargeGoesToStorage) {
+  // igb-large: 1.6 TB expanded input exceeds 380 GB host memory.
+  const AutoConfigurator ac(sim::MachineSpec::paper_server(), 1);
+  const auto plan = ac.plan(hoga_shape(1024, 19, 3),
+                            graph::paper_scale(graph::DatasetName::kIgbLargeSim));
+  EXPECT_EQ(plan.placement.placement, sim::DataPlacement::kStorage);
+  EXPECT_TRUE(plan.placement.chunk_reshuffle);
+  EXPECT_GT(plan.input_bytes, std::size_t{1} << 40);
+}
+
+TEST(AutoConfig, MediumGraphsPreloadToGpu) {
+  for (const auto name : graph::medium_datasets()) {
+    const AutoConfigurator ac(sim::MachineSpec::paper_server(), 1);
+    const auto scale = graph::paper_scale(name);
+    const auto plan = ac.plan(
+        hoga_shape(scale.feature_dim, scale.classes, 6), scale);
+    EXPECT_EQ(plan.placement.placement, sim::DataPlacement::kGpu)
+        << graph::to_string(name);
+  }
+}
+
+TEST(AutoConfig, ForceRrRespected) {
+  const AutoConfigurator ac(sim::MachineSpec::paper_server(), 1);
+  const auto plan = ac.plan(hoga_shape(1024, 19, 3),
+                            graph::paper_scale(graph::DatasetName::kIgbMediumSim),
+                            /*force_sgd_rr=*/true);
+  EXPECT_FALSE(plan.placement.chunk_reshuffle);
+  EXPECT_EQ(plan.pipeline.loader, sim::LoaderKind::kDoubleBuffer);
+}
+
+TEST(AutoConfig, PredictionIsPositiveAndFinite) {
+  const AutoConfigurator ac(sim::MachineSpec::paper_server(), 2);
+  const auto plan = ac.plan(hoga_shape(128, 172, 3),
+                            graph::paper_scale(graph::DatasetName::kPapers100MSim));
+  EXPECT_GT(plan.predicted.epoch_seconds, 0.0);
+  EXPECT_LT(plan.predicted.epoch_seconds, 3600.0);
+  EXPECT_FALSE(plan.summary().empty());
+}
+
+TEST(AutoConfig, ProbePeakGrowsWithModel) {
+  const AutoConfigurator ac(sim::MachineSpec::paper_server(), 1);
+  auto sgc = hoga_shape(128, 47);
+  sgc.kind = sim::PpModelKind::kSgc;
+  auto hoga = hoga_shape(128, 47);
+  EXPECT_LT(ac.probe_model_peak_bytes(sgc), ac.probe_model_peak_bytes(hoga));
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Complexity, TableHasPaperModelsPlusExtensions) {
+  // The paper's seven rows plus the three extension rows (SSGC, GAMLP,
+  // full-batch GCN).
+  const auto table = complexity_table({});
+  ASSERT_EQ(table.size(), 10u);
+  EXPECT_EQ(table[0].model, "GraphSAGE");
+  EXPECT_EQ(table[4].model, "SGC");
+  const char* expected[] = {"GraphSAGE", "LADIES", "GraphSAINT", "LABOR",
+                            "SGC", "SIGN", "SSGC", "GAMLP", "GCN-full",
+                            "HOGA"};
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    EXPECT_EQ(table[i].model, expected[i]);
+  }
+}
+
+TEST(Complexity, PpModelsHaveNoPropagationTerm) {
+  for (const auto& e : complexity_table({})) {
+    const bool is_pp = e.model == "SGC" || e.model == "SSGC" ||
+                       e.model == "SIGN" || e.model == "GAMLP" ||
+                       e.model == "HOGA";
+    if (is_pp) {
+      EXPECT_EQ(e.propagation, 0.0) << e.model;
+    } else {
+      EXPECT_GT(e.propagation, 0.0) << e.model;
+    }
+  }
+}
+
+TEST(Complexity, NodeWiseSamplersExplodeWithLayers) {
+  ComplexityParams p3, p5;
+  p5.L = 5;
+  const auto t3 = complexity_table(p3);
+  const auto t5 = complexity_table(p5);
+  // GraphSAGE compute grows superlinearly in L (C^L term).
+  EXPECT_GT(t5[0].compute / t3[0].compute, 10.0);
+  // SIGN grows linearly.
+  EXPECT_NEAR(t5[5].compute / t3[5].compute, 5.0 / 3.0, 0.01);
+}
+
+TEST(Complexity, SgcCheapestEverywhere) {
+  const auto table = complexity_table({});
+  const auto& sgc = table[4];
+  for (const auto& e : table) {
+    EXPECT_LE(sgc.memory, e.memory) << e.model;
+    EXPECT_LE(sgc.compute, e.compute) << e.model;
+  }
+}
+
+TEST(Complexity, ExpressionsPrinted) {
+  for (const auto& e : complexity_table({})) {
+    EXPECT_FALSE(e.memory_expr.empty());
+    EXPECT_FALSE(e.compute_expr.empty());
+  }
+}
+
+}  // namespace
+}  // namespace ppgnn::core

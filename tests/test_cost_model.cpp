@@ -1,0 +1,174 @@
+#include "sim/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace ppgnn::sim {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  MachineSpec machine = MachineSpec::paper_server();
+  CostModel cm{machine};
+};
+
+TEST_F(CostModelTest, BaselineAssemblyDominatedByPerItemOverhead) {
+  // 8000 rows: per-item overhead alone is 8000 * per_item; the fused path
+  // pays one call.  This is the Section 4.1 gap.
+  const double baseline = cm.host_assembly_baseline(8000, 1600);
+  const double fused = cm.host_assembly_fused(8000, 1600);
+  EXPECT_GT(baseline, 5.0 * fused);
+  EXPECT_GT(baseline, 8000 * machine.host.per_item_overhead_s);
+}
+
+TEST_F(CostModelTest, FusedAssemblyIsBandwidthBound) {
+  const std::size_t rows = 8000, rb = 1600;
+  const double t = cm.host_assembly_fused(rows, rb);
+  const double bytes_time = rows * rb / machine.host.gather_bandwidth;
+  EXPECT_NEAR(t, bytes_time + machine.host.per_call_overhead_s, 1e-12);
+}
+
+TEST_F(CostModelTest, PinnedTransferFasterThanPageable) {
+  EXPECT_LT(cm.h2d(100 << 20, true), cm.h2d(100 << 20, false));
+}
+
+TEST_F(CostModelTest, ChunkedTransfersPayPerChunkLatency) {
+  const std::size_t total = 12800000;
+  const double one = cm.h2d_chunks(1, total);
+  const double many = cm.h2d_chunks(16, total / 16);
+  EXPECT_GT(many, one);  // more DMA launches
+  EXPECT_LT(many, 2.0 * one);  // but minor for large chunks (Section 4.2)
+  // Tiny chunks do hurt: 100x more launches is no longer negligible.
+  EXPECT_GT(cm.h2d_chunks(1000, total / 1000), 2.0 * one);
+}
+
+TEST_F(CostModelTest, UvaSlowerThanBulkDma) {
+  EXPECT_GT(cm.uva_read(1 << 30), cm.h2d(1 << 30, true));
+}
+
+TEST_F(CostModelTest, GpuGatherMuchFasterThanHostGather) {
+  const double gpu = cm.gpu_gather(8000, 1600);
+  const double host = cm.host_assembly_fused(8000, 1600);
+  EXPECT_LT(gpu, host / 5.0);
+}
+
+TEST_F(CostModelTest, GemmFlopBoundForLargeShapes) {
+  const double t = cm.gpu_gemm(8192, 8192, 8192);
+  const double flop_time =
+      2.0 * 8192.0 * 8192.0 * 8192.0 / machine.gpu.fp32_flops;
+  EXPECT_NEAR(t, flop_time + machine.gpu.kernel_launch_s, flop_time * 0.01);
+}
+
+TEST_F(CostModelTest, SmallGemmLaunchBound) {
+  const double t = cm.gpu_gemm(8, 8, 8);
+  EXPECT_LT(t, 2.0 * machine.gpu.kernel_launch_s);
+}
+
+TEST_F(CostModelTest, SsdSequentialBeatsRandomByOrders) {
+  // Reading 8000 rows of 1.6 KB: chunked ~ bandwidth bound, random ~ IOPS.
+  const std::size_t rows = 8000, rb = 1600;
+  const double seq = cm.ssd_chunk_read(1, rows * rb);
+  const double rnd = cm.ssd_random_read(rows, rb);
+  EXPECT_GT(rnd, 3.0 * seq);
+}
+
+TEST_F(CostModelTest, AllreduceGrowsWithGpus) {
+  const std::size_t bytes = 64 << 20;
+  EXPECT_DOUBLE_EQ(cm.allreduce(bytes, 1), 0.0);
+  EXPECT_GT(cm.allreduce(bytes, 4), cm.allreduce(bytes, 2));
+}
+
+TEST_F(CostModelTest, GpuSamplingMuchCheaperThanCpu) {
+  EXPECT_LT(cm.gpu_sample(1000000), cm.cpu_sample(1000000));
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(PpModelShape, RowBytesReflectsInputExpansion) {
+  PpModelShape sign;
+  sign.kind = PpModelKind::kSign;
+  sign.hops = 3;
+  sign.feat_dim = 100;
+  EXPECT_EQ(sign.row_bytes(), 4u * 100 * 4);  // (R+1) * F * 4
+
+  PpModelShape sgc = sign;
+  sgc.kind = PpModelKind::kSgc;
+  EXPECT_EQ(sgc.row_bytes(), 100u * 4);  // final hop only
+}
+
+TEST(PpModelShape, HogaCostsMoreThanSignMoreThanSgc) {
+  const MachineSpec m = MachineSpec::paper_server();
+  const CostModel cm(m);
+  PpModelShape shape;
+  shape.hops = 3;
+  shape.feat_dim = 100;
+  shape.hidden = 256;
+  shape.classes = 47;
+  shape.kind = PpModelKind::kSgc;
+  const double sgc = pp_compute_per_batch(cm, shape, 8000);
+  shape.kind = PpModelKind::kSign;
+  const double sign = pp_compute_per_batch(cm, shape, 8000);
+  shape.kind = PpModelKind::kHoga;
+  const double hoga = pp_compute_per_batch(cm, shape, 8000);
+  EXPECT_LT(sgc, sign);
+  EXPECT_LT(sign, hoga);
+}
+
+TEST(PpModelShape, TrainingCostSubLinearInHops) {
+  // Section 6.1: "training time of PP-GNNs increases sub-linearly with
+  // additional hops" — hop count only scales part of the model.
+  const MachineSpec m = MachineSpec::paper_server();
+  const CostModel cm(m);
+  PpModelShape shape;
+  shape.kind = PpModelKind::kHoga;
+  shape.feat_dim = 100;
+  shape.hidden = 256;
+  shape.classes = 47;
+  shape.hops = 2;
+  const double t2 = pp_compute_per_batch(cm, shape, 8000);
+  shape.hops = 6;
+  const double t6 = pp_compute_per_batch(cm, shape, 8000);
+  EXPECT_LT(t6 / t2, 3.0);  // 3x hops -> < 3x time
+  EXPECT_GT(t6, t2);
+}
+
+TEST(MpBatchShape, NeighborExplosionGrowsGeometrically) {
+  const auto b2 = expected_neighbor_batch({10, 10}, 1000, 100000000);
+  const auto b3 = expected_neighbor_batch({10, 10, 10}, 1000, 100000000);
+  EXPECT_GT(b3.input_rows, 5 * b2.input_rows);
+  EXPECT_GT(b2.input_rows, 50u * 1000u);
+}
+
+TEST(MpBatchShape, CappedByGraphSize) {
+  const auto b = expected_neighbor_batch({15, 10, 5}, 8000, 20000);
+  EXPECT_LE(b.input_rows, 20000u);
+}
+
+TEST(MpBatchShape, LaborSamplesFewerThanNeighbor) {
+  const auto nb = expected_neighbor_batch({15, 10, 5}, 8000, 100000000);
+  const auto lb = expected_labor_batch({15, 10, 5}, 8000, 100000000);
+  EXPECT_LT(lb.input_rows, nb.input_rows);
+  EXPECT_GT(lb.input_rows, nb.input_rows / 10);
+}
+
+TEST(MpCompute, ScalesWithBatchShape) {
+  const MachineSpec m = MachineSpec::paper_server();
+  const CostModel cm(m);
+  MpModelShape model;
+  model.layers = 3;
+  const auto small = expected_neighbor_batch({5, 5, 5}, 1000, 100000000);
+  const auto large = expected_neighbor_batch({15, 10, 5}, 8000, 100000000);
+  EXPECT_LT(mp_compute_per_batch(cm, model, small),
+            mp_compute_per_batch(cm, model, large));
+}
+
+TEST(MpCompute, LayerMismatchThrows) {
+  const MachineSpec m = MachineSpec::paper_server();
+  const CostModel cm(m);
+  MpModelShape model;
+  model.layers = 3;
+  const auto b = expected_neighbor_batch({5, 5}, 100, 10000);
+  EXPECT_THROW(mp_compute_per_batch(cm, model, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppgnn::sim

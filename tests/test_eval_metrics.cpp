@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "core/eval_metrics.h"
+#include "tensor/ops.h"
+
+namespace ppgnn::core {
+namespace {
+
+// logits encoding a fixed prediction sequence over 3 classes.
+Tensor logits_for(const std::vector<std::int32_t>& preds, std::size_t classes) {
+  Tensor t({preds.size(), classes});
+  t.fill(-1.f);
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    t.at(i, static_cast<std::size_t>(preds[i])) = 1.f;
+  }
+  return t;
+}
+
+TEST(ArgmaxRows, PicksFirstOfTies) {
+  Tensor t = Tensor::from_vector({2, 3}, {1.f, 1.f, 0.f,
+                                          0.f, 2.f, 2.f});
+  const auto pred = argmax_rows(t);
+  EXPECT_EQ(pred[0], 0);  // tie: keep lowest index
+  EXPECT_EQ(pred[1], 1);
+}
+
+TEST(ConfusionMatrix, CountsAndAccuracy) {
+  // truth:  0 0 1 1 2 2 ; pred: 0 1 1 1 2 0
+  const auto logits = logits_for({0, 1, 1, 1, 2, 0}, 3);
+  const std::vector<std::int32_t> truth{0, 0, 1, 1, 2, 2};
+  const auto cm = confusion_matrix(logits, truth);
+  EXPECT_EQ(cm.total(), 6u);
+  EXPECT_EQ(cm.correct(), 4u);
+  EXPECT_NEAR(cm.accuracy(), 4.0 / 6.0, 1e-12);
+  EXPECT_EQ(cm.at(0, 0), 1u);
+  EXPECT_EQ(cm.at(0, 1), 1u);
+  EXPECT_EQ(cm.at(1, 1), 2u);
+  EXPECT_EQ(cm.at(2, 2), 1u);
+  EXPECT_EQ(cm.at(2, 0), 1u);
+}
+
+TEST(ConfusionMatrix, MatchesOpsAccuracy) {
+  const auto logits = logits_for({0, 1, 2, 2, 1, 0, 0}, 3);
+  const std::vector<std::int32_t> truth{0, 1, 2, 1, 1, 2, 0};
+  const auto cm = confusion_matrix(logits, truth);
+  EXPECT_NEAR(cm.accuracy(), accuracy(logits, truth), 1e-12);
+  EXPECT_NEAR(cm.micro_f1(), cm.accuracy(), 1e-12);
+}
+
+TEST(ConfusionMatrix, PerClassMetricsHandComputed) {
+  // class 0: TP=1 FN=1 FP=1 -> P=R=0.5, F1=0.5
+  const auto logits = logits_for({0, 1, 1, 1, 2, 0}, 3);
+  const std::vector<std::int32_t> truth{0, 0, 1, 1, 2, 2};
+  const auto cm = confusion_matrix(logits, truth);
+  EXPECT_NEAR(cm.recall(0), 0.5, 1e-12);
+  EXPECT_NEAR(cm.precision(0), 0.5, 1e-12);
+  EXPECT_NEAR(cm.f1(0), 0.5, 1e-12);
+  // class 1: TP=2 FN=0 FP=1 -> P=2/3, R=1, F1=0.8
+  EXPECT_NEAR(cm.recall(1), 1.0, 1e-12);
+  EXPECT_NEAR(cm.precision(1), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.f1(1), 0.8, 1e-12);
+  // class 2: TP=1 FN=1 FP=0 -> P=1, R=0.5, F1=2/3
+  EXPECT_NEAR(cm.f1(2), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.macro_f1(), (0.5 + 0.8 + 2.0 / 3.0) / 3.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, SkipsUnlabeledRows) {
+  const auto logits = logits_for({0, 1, 2}, 3);
+  const std::vector<std::int32_t> truth{0, -1, 2};
+  const auto cm = confusion_matrix(logits, truth);
+  EXPECT_EQ(cm.total(), 2u);
+  EXPECT_NEAR(cm.accuracy(), 1.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, AbsentClassSkippedInMacroF1) {
+  // Only classes 0 and 1 appear (truth or prediction); class 2 is skipped,
+  // so macro-F1 averages two perfect classes.
+  const auto logits = logits_for({0, 1}, 3);
+  const std::vector<std::int32_t> truth{0, 1};
+  const auto cm = confusion_matrix(logits, truth);
+  EXPECT_NEAR(cm.macro_f1(), 1.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, ValidationErrors) {
+  const auto logits = logits_for({0, 1}, 3);
+  EXPECT_THROW(confusion_matrix(logits, {0}), std::invalid_argument);
+  EXPECT_THROW(confusion_matrix(logits, {0, 5}), std::out_of_range);
+}
+
+TEST(ConfusionMatrix, EmptyInputIsZeroNotNan) {
+  Tensor logits({0, 3});
+  const auto cm = confusion_matrix(logits, {});
+  EXPECT_EQ(cm.total(), 0u);
+  EXPECT_EQ(cm.accuracy(), 0.0);
+  EXPECT_EQ(cm.macro_f1(), 0.0);
+}
+
+}  // namespace
+}  // namespace ppgnn::core

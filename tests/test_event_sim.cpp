@@ -1,0 +1,112 @@
+#include "sim/event_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace ppgnn::sim {
+namespace {
+
+TEST(EventSim, SerialOpsAccumulate) {
+  StreamProgram p;
+  const auto s = p.add_stream("s");
+  p.add_op(s, 1.0, "a");
+  p.add_op(s, 2.0, "a");
+  p.add_op(s, 3.0, "b");
+  EXPECT_DOUBLE_EQ(p.run(), 6.0);
+  EXPECT_DOUBLE_EQ(p.busy_time_by_tag("a"), 3.0);
+  EXPECT_DOUBLE_EQ(p.busy_time_by_tag("b"), 3.0);
+}
+
+TEST(EventSim, IndependentStreamsOverlap) {
+  StreamProgram p;
+  const auto s1 = p.add_stream("s1");
+  const auto s2 = p.add_stream("s2");
+  p.add_op(s1, 5.0, "x");
+  p.add_op(s2, 3.0, "y");
+  EXPECT_DOUBLE_EQ(p.run(), 5.0);
+}
+
+TEST(EventSim, CrossStreamDependencySerializes) {
+  StreamProgram p;
+  const auto s1 = p.add_stream("s1");
+  const auto s2 = p.add_stream("s2");
+  const auto a = p.add_op(s1, 2.0, "load");
+  const auto b = p.add_op(s2, 3.0, "compute", {a});
+  p.run();
+  EXPECT_DOUBLE_EQ(p.op_start(b), 2.0);
+  EXPECT_DOUBLE_EQ(p.op_finish(b), 5.0);
+}
+
+TEST(EventSim, DoubleBufferPipelineReachesSteadyState) {
+  // Classic producer/consumer with 2 buffers: load_k depends on compute_{k-2};
+  // steady-state period = max(load, compute).
+  StreamProgram p;
+  const auto dma = p.add_stream("dma");
+  const auto gpu = p.add_stream("gpu");
+  const double load = 1.0, compute = 2.0;
+  std::vector<OpId> computes;
+  const int n = 50;
+  for (int k = 0; k < n; ++k) {
+    std::vector<OpId> ldeps;
+    if (computes.size() >= 2) ldeps.push_back(computes[computes.size() - 2]);
+    const auto l = p.add_op(dma, load, "load", ldeps);
+    computes.push_back(p.add_op(gpu, compute, "compute", {l}));
+  }
+  const double makespan = p.run();
+  // load hidden behind compute: T ~= load + n*compute.
+  EXPECT_NEAR(makespan, load + n * compute, 1e-9);
+}
+
+TEST(EventSim, LoadingBoundPipeline) {
+  StreamProgram p;
+  const auto dma = p.add_stream("dma");
+  const auto gpu = p.add_stream("gpu");
+  const double load = 3.0, compute = 1.0;
+  std::vector<OpId> computes;
+  const int n = 40;
+  for (int k = 0; k < n; ++k) {
+    std::vector<OpId> ldeps;
+    if (computes.size() >= 2) ldeps.push_back(computes[computes.size() - 2]);
+    const auto l = p.add_op(dma, load, "load", ldeps);
+    computes.push_back(p.add_op(gpu, compute, "compute", {l}));
+  }
+  EXPECT_NEAR(p.run(), n * load + compute, 1e-9);
+}
+
+TEST(EventSim, SpanByTagMergesOverlaps) {
+  StreamProgram p;
+  const auto s1 = p.add_stream("s1");
+  const auto s2 = p.add_stream("s2");
+  p.add_op(s1, 4.0, "t");           // [0,4)
+  p.add_op(s2, 2.0, "other");       // [0,2)
+  p.add_op(s2, 3.0, "t");           // [2,5)
+  p.run();
+  EXPECT_DOUBLE_EQ(p.span_by_tag("t"), 5.0);  // union of [0,4) and [2,5)
+}
+
+TEST(EventSim, StreamBusyTime) {
+  StreamProgram p;
+  const auto s = p.add_stream("s");
+  p.add_op(s, 1.5, "a");
+  p.add_op(s, 2.5, "b");
+  p.run();
+  EXPECT_DOUBLE_EQ(p.stream_busy_time(s), 4.0);
+}
+
+TEST(EventSim, RejectsBadOps) {
+  StreamProgram p;
+  const auto s = p.add_stream("s");
+  EXPECT_THROW(p.add_op(7, 1.0, "x"), std::invalid_argument);
+  EXPECT_THROW(p.add_op(s, -1.0, "x"), std::invalid_argument);
+  EXPECT_THROW(p.add_op(s, 1.0, "x", {99}), std::invalid_argument);
+}
+
+TEST(EventSim, RunIsIdempotent) {
+  StreamProgram p;
+  const auto s = p.add_stream("s");
+  p.add_op(s, 2.0, "a");
+  EXPECT_DOUBLE_EQ(p.run(), 2.0);
+  EXPECT_DOUBLE_EQ(p.run(), 2.0);
+}
+
+}  // namespace
+}  // namespace ppgnn::sim

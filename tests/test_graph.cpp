@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/csr.h"
+#include "graph/normalize.h"
+#include "graph/spmm.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace ppgnn::graph {
+namespace {
+
+CsrGraph triangle_plus_leaf() {
+  // 0-1, 1-2, 2-0, 2-3 (undirected).
+  return build_csr(4, {{0, 1}, {1, 2}, {2, 0}, {2, 3}});
+}
+
+TEST(Csr, BuildSymmetrizesAndSorts) {
+  const CsrGraph g = triangle_plus_leaf();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 8u);  // 4 undirected edges
+  EXPECT_EQ(g.degree(2), 3);
+  EXPECT_EQ(g.degree(3), 1);
+  const auto nbrs = g.neighbors(2);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(Csr, DeduplicatesEdges) {
+  const CsrGraph g = build_csr(3, {{0, 1}, {0, 1}, {1, 0}});
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Csr, DirectedBuild) {
+  const CsrGraph g = build_csr(3, {{0, 1}, {1, 2}}, /*symmetrize=*/false);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(Csr, RejectsOutOfRange) {
+  EXPECT_THROW(build_csr(2, {{0, 2}}), std::invalid_argument);
+  EXPECT_THROW(build_csr(2, {{-1, 0}}), std::invalid_argument);
+}
+
+TEST(Csr, SelfLoopsAddedOnce) {
+  CsrGraph g = build_csr(3, {{0, 1}, {1, 1}});  // node 1 already has a loop
+  const CsrGraph s = with_self_loops(g);
+  EXPECT_EQ(s.degree(0), 2);  // loop + edge to 1
+  EXPECT_EQ(s.degree(1), 2);  // existing loop kept once + edge to 0
+  EXPECT_TRUE(s.has_edge(2, 2));
+  for (NodeId v = 0; v < 3; ++v) EXPECT_TRUE(s.has_edge(v, v));
+  const auto nbrs = s.neighbors(1);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(Csr, TransposeReversesEdges) {
+  const CsrGraph g = build_csr(3, {{0, 1}, {0, 2}}, false);
+  const CsrGraph t = transpose(g);
+  EXPECT_TRUE(t.has_edge(1, 0));
+  EXPECT_TRUE(t.has_edge(2, 0));
+  EXPECT_EQ(t.num_edges(), 2u);
+  EXPECT_EQ(t.degree(0), 0);
+}
+
+TEST(Csr, TransposeCarriesWeights) {
+  CsrGraph g = build_csr(2, {{0, 1}}, false);
+  g.mutable_values() = {2.5f};
+  const CsrGraph t = transpose(g);
+  EXPECT_FLOAT_EQ(t.edge_values(1)[0], 2.5f);
+}
+
+TEST(Csr, MaxDegreeAndTopologyBytes) {
+  const CsrGraph g = triangle_plus_leaf();
+  EXPECT_EQ(g.max_degree(), 3);
+  EXPECT_GT(g.topology_bytes(), 0u);
+}
+
+TEST(Normalize, SymNormRowsMatchFormula) {
+  const CsrGraph g = triangle_plus_leaf();
+  const CsrGraph b = sym_normalized(g);
+  // With self loops: degrees become 3,3,4,2.
+  // Edge (0,1): 1/sqrt(3*3).
+  const auto nbrs = b.neighbors(0);
+  const auto vals = b.edge_values(0);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (nbrs[i] == 1) EXPECT_NEAR(vals[i], 1.f / 3.f, 1e-6f);
+    if (nbrs[i] == 0) EXPECT_NEAR(vals[i], 1.f / 3.f, 1e-6f);
+    if (nbrs[i] == 2) EXPECT_NEAR(vals[i], 1.f / std::sqrt(12.f), 1e-6f);
+  }
+}
+
+TEST(Normalize, SymNormIsSymmetricOperator) {
+  const CsrGraph g = triangle_plus_leaf();
+  const CsrGraph b = sym_normalized(g);
+  // w(v,u) == w(u,v) for all edges.
+  for (std::size_t v = 0; v < b.num_nodes(); ++v) {
+    const auto nbrs = b.neighbors(static_cast<NodeId>(v));
+    const auto vals = b.edge_values(static_cast<NodeId>(v));
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const auto u = nbrs[i];
+      const auto back_nbrs = b.neighbors(u);
+      const auto back_vals = b.edge_values(u);
+      for (std::size_t j = 0; j < back_nbrs.size(); ++j) {
+        if (back_nbrs[j] == static_cast<NodeId>(v)) {
+          EXPECT_NEAR(vals[i], back_vals[j], 1e-6f);
+        }
+      }
+    }
+  }
+}
+
+TEST(Normalize, RowNormRowsSumToOne) {
+  const CsrGraph g = triangle_plus_leaf();
+  const CsrGraph b = row_normalized(g);
+  for (std::size_t v = 0; v < b.num_nodes(); ++v) {
+    float s = 0;
+    for (const float w : b.edge_values(static_cast<NodeId>(v))) s += w;
+    EXPECT_NEAR(s, 1.f, 1e-5f);
+  }
+}
+
+TEST(Normalize, RowNormPreservesConstantVector) {
+  // Row-stochastic operator: B * 1 = 1.
+  const CsrGraph g = triangle_plus_leaf();
+  const CsrGraph b = row_normalized(g);
+  const Tensor ones = Tensor::full({4, 1}, 1.f);
+  const Tensor y = spmm(b, ones);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(y[i], 1.f, 1e-5f);
+}
+
+TEST(Homophily, PerfectAndMixed) {
+  const CsrGraph g = build_csr(4, {{0, 1}, {2, 3}});
+  EXPECT_DOUBLE_EQ(edge_homophily(g, {0, 0, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(edge_homophily(g, {0, 1, 0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(edge_homophily(g, {0, 0, 0, 1}), 0.5);
+  // Unlabeled endpoints are skipped.
+  EXPECT_DOUBLE_EQ(edge_homophily(g, {0, 0, -1, 1}), 1.0);
+}
+
+TEST(Spmm, MatchesDenseMultiply) {
+  Rng rng(1);
+  const CsrGraph g = triangle_plus_leaf();
+  const CsrGraph b = sym_normalized(g);
+  Tensor x = Tensor::normal({4, 3}, rng);
+  const Tensor y = spmm(b, x);
+  // Dense reference.
+  Tensor dense({4, 4});
+  for (std::size_t v = 0; v < 4; ++v) {
+    const auto nbrs = b.neighbors(static_cast<NodeId>(v));
+    const auto vals = b.edge_values(static_cast<NodeId>(v));
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      dense.at(v, nbrs[i]) = vals[i];
+    }
+  }
+  EXPECT_TRUE(allclose(y, matmul(dense, x), 1e-4f, 1e-5f));
+}
+
+TEST(Spmm, UnweightedSumsNeighbors) {
+  const CsrGraph g = build_csr(3, {{0, 1}, {0, 2}});
+  Tensor x = Tensor::from_vector({3, 1}, {1, 10, 100});
+  const Tensor y = spmm(g, x);
+  EXPECT_FLOAT_EQ(y[0], 110.f);
+  EXPECT_FLOAT_EQ(y[1], 1.f);
+  EXPECT_FLOAT_EQ(y[2], 1.f);
+}
+
+TEST(Spmm, RowsSubsetAndMean) {
+  const CsrGraph g = build_csr(3, {{0, 1}, {0, 2}});
+  Tensor x = Tensor::from_vector({3, 1}, {1, 10, 100});
+  Tensor y({1, 1});
+  spmm_rows(g, {0}, x, y);
+  EXPECT_FLOAT_EQ(y[0], 110.f);
+  spmm_mean_rows(g, {0}, x, y);
+  EXPECT_FLOAT_EQ(y[0], 55.f);
+}
+
+TEST(Spmm, ShapeValidation) {
+  const CsrGraph g = triangle_plus_leaf();
+  Tensor x({3, 2});  // wrong rows
+  Tensor y({4, 2});
+  EXPECT_THROW(spmm(g, x, y), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppgnn::graph

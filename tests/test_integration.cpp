@@ -1,0 +1,201 @@
+// End-to-end integration tests: the full characterization pipeline at
+// miniature scale — generate data, preprocess, train PP and MP models,
+// verify the paper's qualitative findings hold, and check the automated
+// configurator's decisions drive runnable training.
+#include <gtest/gtest.h>
+
+#include "core/autoconfig.h"
+#include "core/precompute.h"
+#include "core/sgc.h"
+#include "core/sign.h"
+#include "core/trainer.h"
+#include "graph/dataset.h"
+#include "mpgnn/mp_trainer.h"
+#include "sampling/labor.h"
+
+namespace ppgnn {
+namespace {
+
+struct Env {
+  graph::Dataset ds = graph::make_dataset(graph::DatasetName::kPokecSim, 0.12);
+  core::Preprocessed pre;
+  Env() {
+    core::PrecomputeConfig pc;
+    pc.hops = 3;
+    pre = core::precompute(ds.graph, ds.features, pc);
+  }
+};
+
+const Env& env() {
+  static Env e;
+  return e;
+}
+
+core::PpTrainResult train_sign(std::uint64_t seed, std::size_t epochs = 15,
+                               core::LoadingMode mode =
+                                   core::LoadingMode::kPrefetch) {
+  const auto& e = env();
+  Rng rng(seed);
+  core::SignConfig sc;
+  sc.feat_dim = e.ds.feature_dim();
+  sc.hops = 3;
+  sc.hidden = 32;
+  sc.classes = e.ds.num_classes;
+  sc.dropout = 0.2f;
+  core::Sign model(sc, rng);
+  core::PpTrainConfig tc;
+  tc.epochs = epochs;
+  tc.batch_size = 128;
+  tc.eval_every = 3;
+  tc.mode = mode;
+  tc.seed = seed;
+  return core::train_pp(model, e.pre, e.ds, tc);
+}
+
+TEST(Integration, PpAccuracyComparableToMp) {
+  // The paper's central accuracy claim at miniature scale: SIGN within a
+  // few points of SAGE+LABOR on the same analogue.
+  const auto& e = env();
+  const auto pp = train_sign(1, 15);
+
+  Rng rng(2);
+  mpgnn::SageConfig cfg;
+  cfg.in_dim = e.ds.feature_dim();
+  cfg.hidden_dim = 32;
+  cfg.out_dim = e.ds.num_classes;
+  cfg.num_layers = 3;
+  cfg.dropout = 0.2f;
+  mpgnn::GraphSage sage(cfg, rng);
+  const sampling::LaborSampler sampler({15, 10, 5});
+  mpgnn::MpTrainConfig mc;
+  mc.epochs = 10;
+  mc.batch_size = 128;
+  mc.eval_every = 2;
+  const auto mp = mpgnn::train_mp(sage, e.ds, sampler, mc);
+
+  const double pp_acc = pp.history.test_at_best_val();
+  const double mp_acc = mp.history.test_at_best_val();
+  EXPECT_GT(pp_acc, 0.6);
+  EXPECT_GT(mp_acc, 0.55);
+  EXPECT_NEAR(pp_acc, mp_acc, 0.08);
+}
+
+TEST(Integration, DeterministicAcrossRuns) {
+  const auto a = train_sign(7, 5);
+  const auto b = train_sign(7, 5);
+  ASSERT_EQ(a.history.epochs.size(), b.history.epochs.size());
+  for (std::size_t e = 0; e < a.history.epochs.size(); ++e) {
+    EXPECT_DOUBLE_EQ(a.history.epochs[e].train_loss,
+                     b.history.epochs[e].train_loss);
+    EXPECT_DOUBLE_EQ(a.history.epochs[e].val_acc, b.history.epochs[e].val_acc);
+  }
+}
+
+TEST(Integration, MoreHopsDoNotHurtOnHomophilousGraph) {
+  // Weak monotonicity of the Figure-2 trend at mini scale: 3 hops should
+  // beat 0-hop (features only) clearly.
+  const auto& e = env();
+  core::PrecomputeConfig pc0;
+  pc0.hops = 0;
+  const auto pre0 = core::precompute(e.ds.graph, e.ds.features, pc0);
+  Rng rng(3);
+  core::SignConfig sc;
+  sc.feat_dim = e.ds.feature_dim();
+  sc.hops = 0;
+  sc.hidden = 32;
+  sc.classes = e.ds.num_classes;
+  sc.dropout = 0.2f;
+  core::Sign mlp_like(sc, rng);
+  core::PpTrainConfig tc;
+  tc.epochs = 15;
+  tc.batch_size = 128;
+  tc.eval_every = 3;
+  const auto no_hops = core::train_pp(mlp_like, pre0, e.ds, tc);
+  const auto with_hops = train_sign(3, 15);
+  EXPECT_GT(with_hops.history.test_at_best_val(),
+            no_hops.history.test_at_best_val() + 0.03);
+}
+
+TEST(Integration, AutoconfigDecisionsAreRunnable) {
+  // Drive the mapping from a TrainingPlan's loader decision to a real
+  // LoadingMode and train with it.
+  const core::AutoConfigurator ac(sim::MachineSpec::paper_server(), 1);
+  sim::PpModelShape shape;
+  shape.kind = sim::PpModelKind::kSign;
+  shape.hops = 3;
+  shape.feat_dim = 1024;
+  shape.hidden = 512;
+  shape.classes = 19;
+  const auto plan =
+      ac.plan(shape, graph::paper_scale(graph::DatasetName::kIgbMediumSim));
+  const auto mode = plan.placement.chunk_reshuffle
+                        ? core::LoadingMode::kChunkPrefetch
+                        : core::LoadingMode::kPrefetch;
+  const auto r = train_sign(4, 5, mode);
+  EXPECT_EQ(r.history.epochs.size(), 5u);
+  EXPECT_GT(r.history.epochs.back().val_acc, 0.5);
+}
+
+TEST(Integration, SgcCheapestPerEpochAndBothModelsLearn) {
+  // The efficiency half of Figure 7's ladder: SGC (one linear layer on the
+  // final hop) trains measurably faster per epoch than SIGN on the same
+  // preprocessed input, and both clear chance comfortably.
+  //
+  // Note on the *accuracy* half: on these Gaussian-SBM analogues the Bayes
+  // classifier of the smoothed features is close to linear, so SGC does
+  // not show the accuracy deficit the paper measures on the real datasets;
+  // EXPERIMENTS.md records this as a known analogue limitation.
+  const auto& e = env();
+  core::PpTrainConfig tc;
+  tc.epochs = 10;
+  tc.batch_size = 128;
+  tc.eval_every = 2;
+  Rng r1(5);
+  core::Sgc sgc(e.ds.feature_dim(), 3, e.ds.num_classes, r1);
+  const auto sgc_r = core::train_pp(sgc, e.pre, e.ds, tc);
+  Rng r2(5);
+  core::SignConfig sc;
+  sc.feat_dim = e.ds.feature_dim();
+  sc.hops = 3;
+  sc.hidden = 64;
+  sc.classes = e.ds.num_classes;
+  sc.dropout = 0.2f;
+  core::Sign sign(sc, r2);
+  const auto sign_r = core::train_pp(sign, e.pre, e.ds, tc);
+  EXPECT_LT(sgc_r.history.mean_epoch_seconds(),
+            sign_r.history.mean_epoch_seconds());
+  EXPECT_GT(sgc_r.history.peak_val_acc(), 0.6);
+  EXPECT_GT(sign_r.history.peak_val_acc(), 0.6);
+}
+
+TEST(Integration, PreprocessingAmortizesOverRuns) {
+  // Table 7's claim: preprocessing is comparable to (or less than) a
+  // single full training run.
+  const auto& e = env();
+  const auto r = train_sign(6, 10);
+  const double one_run = r.history.total_train_seconds();
+  // At mini scale preprocessing is a handful of SpMMs.
+  EXPECT_LT(e.pre.preprocess_seconds, one_run * 5.0);
+}
+
+TEST(Integration, SamplerVolumeExceedsPpVolume) {
+  // Appendix I at mini scale: MP-GNN feature-row traffic > PP traffic.
+  const auto& e = env();
+  Rng rng(8);
+  const sampling::LaborSampler sampler({15, 10, 5});
+  sampling::SamplerStats stats;
+  for (std::size_t pos = 0; pos < e.ds.split.train.size(); pos += 128) {
+    const std::size_t end = std::min(pos + 128, e.ds.split.train.size());
+    std::vector<graph::NodeId> seeds;
+    for (std::size_t i = pos; i < end; ++i) {
+      seeds.push_back(static_cast<graph::NodeId>(e.ds.split.train[i]));
+    }
+    stats.observe(sampler.sample(e.ds.graph, seeds, rng));
+  }
+  const std::size_t mp_rows = stats.input_rows;
+  const std::size_t pp_rows = e.ds.split.train.size() * (3 + 1);
+  EXPECT_GT(mp_rows, pp_rows);
+}
+
+}  // namespace
+}  // namespace ppgnn

@@ -1,0 +1,203 @@
+// Numerical-stability properties of the math kernels, plus analytic
+// invariants of the diffusion operators (PPR / heat) that preprocessing
+// relies on.  These guard the regimes real training visits: large logits
+// late in training, near-one-hot softmax inputs, high-degree hubs whose
+// normalized rows must still sum correctly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/precompute.h"
+#include "graph/dataset.h"
+#include "graph/normalize.h"
+#include "graph/spmm.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace ppgnn {
+namespace {
+
+// ------------------------------------------------------------ softmax ----
+
+TEST(Stability, SoftmaxSurvivesHugeLogits) {
+  Tensor x = Tensor::from_vector({2, 3}, {1e4f, 1e4f + 1.f, 1e4f - 2.f,
+                                          -1e4f, -1e4f + 5.f, -1e4f});
+  Tensor out({2, 3});
+  softmax_rows(x, out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(out.data()[i]));
+    EXPECT_GE(out.data()[i], 0.f);
+  }
+  for (std::size_t i = 0; i < 2; ++i) {
+    float row_sum = 0;
+    for (std::size_t j = 0; j < 3; ++j) row_sum += out.at(i, j);
+    EXPECT_NEAR(row_sum, 1.f, 1e-5f);
+  }
+  // Shift invariance: softmax(x) == softmax(x + c).
+  Tensor shifted = x;
+  for (std::size_t i = 0; i < shifted.size(); ++i) shifted.data()[i] += 123.f;
+  Tensor out2({2, 3});
+  softmax_rows(shifted, out2);
+  EXPECT_TRUE(allclose(out, out2, 1e-5f));
+}
+
+TEST(Stability, CrossEntropySurvivesConfidentWrongPredictions) {
+  // Logits strongly favoring the wrong class: loss must be large but
+  // finite, and the gradient bounded by 1 in magnitude per entry.
+  Tensor logits = Tensor::from_vector({1, 3}, {50.f, -50.f, 0.f});
+  Tensor grad({1, 3});
+  const float loss = cross_entropy(logits, {1}, grad);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 50.f);
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(grad.data()[i]));
+    EXPECT_LE(std::abs(grad.data()[i]), 1.f + 1e-5f);
+  }
+}
+
+TEST(Stability, CrossEntropyConfidentCorrectHasTinyLoss) {
+  Tensor logits = Tensor::from_vector({1, 2}, {80.f, -80.f});
+  Tensor grad({1, 2});
+  const float loss = cross_entropy(logits, {0}, grad);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_LT(loss, 1e-3f);
+}
+
+TEST(Stability, LogSoftmaxNeverMinusInfinityForFiniteInput) {
+  Tensor x = Tensor::from_vector({1, 3}, {0.f, -200.f, 200.f});
+  Tensor out({1, 3});
+  log_softmax_rows(x, out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(out.data()[i])) << i;
+  }
+}
+
+// -------------------------------------------------- diffusion operators ----
+
+struct DiffusionFixture {
+  graph::Dataset ds = graph::make_dataset(graph::DatasetName::kPokecSim, 0.05);
+};
+
+DiffusionFixture& fx() {
+  static DiffusionFixture f;
+  return f;
+}
+
+TEST(Diffusion, SymNormalizedSpectralRadiusAtMostOne) {
+  // Power iteration on B = D~^-1/2 (A+I) D~^-1/2: the dominant eigenvalue
+  // is 1 (and exactly 1 on each connected component).
+  const auto op = graph::sym_normalized(fx().ds.graph);
+  Rng rng(1);
+  Tensor v = Tensor::normal({op.num_nodes(), 1}, rng);
+  double lambda = 0;
+  for (int it = 0; it < 50; ++it) {
+    Tensor bv = graph::spmm(op, v);
+    double norm = 0;
+    for (std::size_t i = 0; i < bv.size(); ++i) {
+      norm += static_cast<double>(bv.data()[i]) * bv.data()[i];
+    }
+    norm = std::sqrt(norm);
+    ASSERT_GT(norm, 0);
+    double vnorm = 0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      vnorm += static_cast<double>(v.data()[i]) * v.data()[i];
+    }
+    lambda = norm / std::sqrt(vnorm);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      v.data()[i] = bv.data()[i] / static_cast<float>(norm);
+    }
+  }
+  EXPECT_LE(lambda, 1.0 + 1e-4);
+  EXPECT_GE(lambda, 0.95);  // dominant eigenvalue ~1 on the giant component
+}
+
+TEST(Diffusion, RowNormalizedPreservesConstantVector) {
+  // D~^-1 (A+I) is row-stochastic: propagating all-ones returns all-ones,
+  // at every hop — so hop features of a constant signal stay constant.
+  const auto& ds = fx().ds;
+  Tensor ones({ds.num_nodes(), 1});
+  ones.fill(1.f);
+  core::PrecomputeConfig pc;
+  pc.op = core::OperatorKind::kRowNorm;
+  pc.hops = 4;
+  const auto pre = core::precompute(ds.graph, ones, pc);
+  for (std::size_t h = 0; h <= 4; ++h) {
+    for (std::size_t i = 0; i < ds.num_nodes(); ++i) {
+      ASSERT_NEAR(pre.hop_features[h].at(i, 0), 1.f, 1e-4f)
+          << "hop " << h << " node " << i;
+    }
+  }
+}
+
+TEST(Diffusion, PprHopsConvergeGeometrically) {
+  // X_r = (1-a) B X_{r-1} + a X_0 is a contraction toward the PPR fixed
+  // point: successive hop differences shrink by at least (1 - a).
+  const auto& ds = fx().ds;
+  core::PrecomputeConfig pc;
+  pc.op = core::OperatorKind::kPpr;
+  pc.ppr_alpha = 0.15;
+  pc.hops = 6;
+  const auto pre = core::precompute(ds.graph, ds.features, pc);
+  double prev_diff = 1e30;
+  for (std::size_t h = 1; h <= 6; ++h) {
+    const double diff =
+        max_abs_diff(pre.hop_features[h], pre.hop_features[h - 1]);
+    if (h >= 2) {
+      EXPECT_LE(diff, prev_diff * (1.0 - pc.ppr_alpha) + 1e-4)
+          << "hop " << h;
+    }
+    prev_diff = diff;
+  }
+}
+
+TEST(Diffusion, HeatTaylorTermsDecay) {
+  // X_r = (t/r) B X_{r-1}: once r > t the Taylor factor t/r < 1 and term
+  // magnitudes must shrink (|B| <= 1 in the spectral norm).
+  const auto& ds = fx().ds;
+  core::PrecomputeConfig pc;
+  pc.op = core::OperatorKind::kHeat;
+  pc.heat_t = 2.0;
+  pc.hops = 6;
+  const auto pre = core::precompute(ds.graph, ds.features, pc);
+  const auto magnitude = [](const Tensor& t) {
+    double m = 0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      m += std::abs(static_cast<double>(t.data()[i]));
+    }
+    return m / static_cast<double>(t.size());
+  };
+  for (std::size_t h = 4; h <= 6; ++h) {  // t/r = 2/4, 2/5, 2/6 < 1
+    EXPECT_LT(magnitude(pre.hop_features[h]),
+              magnitude(pre.hop_features[h - 1]))
+        << "hop " << h;
+  }
+}
+
+TEST(Diffusion, SymmetricOperatorIsActuallySymmetric) {
+  // B[u][v] == B[v][u] for the sym-normalized operator (backbone of the
+  // full-batch GCN backward pass, which exploits B^T == B).
+  const auto op = graph::sym_normalized(fx().ds.graph);
+  std::size_t checked = 0;
+  const auto limit = static_cast<graph::NodeId>(
+      std::min<std::size_t>(200, op.num_nodes()));
+  for (graph::NodeId u = 0; u < limit; ++u) {
+    const auto nbrs = op.neighbors(u);
+    const auto vals = op.edge_values(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const auto v = nbrs[k];
+      const auto back_nbrs = op.neighbors(v);
+      const auto back_vals = op.edge_values(v);
+      for (std::size_t j = 0; j < back_nbrs.size(); ++j) {
+        if (back_nbrs[j] == u) {
+          EXPECT_NEAR(vals[k], back_vals[j], 1e-6f);
+          ++checked;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+}  // namespace
+}  // namespace ppgnn

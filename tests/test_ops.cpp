@@ -1,0 +1,297 @@
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "tensor/rng.h"
+
+namespace ppgnn {
+namespace {
+
+Tensor naive_matmul(const Tensor& a, bool ta, const Tensor& b, bool tb) {
+  const std::size_t m = ta ? a.cols() : a.rows();
+  const std::size_t k = ta ? a.rows() : a.cols();
+  const std::size_t n = tb ? b.rows() : b.cols();
+  Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0;
+      for (std::size_t l = 0; l < k; ++l) {
+        const float av = ta ? a.at(l, i) : a.at(i, l);
+        const float bv = tb ? b.at(j, l) : b.at(l, j);
+        acc += av * bv;
+      }
+      c.at(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+class GemmTranspose : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(GemmTranspose, MatchesNaive) {
+  const auto [ta, tb] = GetParam();
+  Rng rng(42);
+  // Logical op(A) is [5,7], op(B) is [7,4].
+  Tensor a = ta ? Tensor::normal({7, 5}, rng) : Tensor::normal({5, 7}, rng);
+  Tensor b = tb ? Tensor::normal({4, 7}, rng) : Tensor::normal({7, 4}, rng);
+  Tensor c({5, 4});
+  gemm(a, ta, b, tb, c);
+  EXPECT_TRUE(allclose(c, naive_matmul(a, ta, b, tb), 1e-4f, 1e-5f));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, GemmTranspose,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool()));
+
+TEST(Gemm, AlphaBetaAccumulate) {
+  Rng rng(3);
+  Tensor a = Tensor::normal({3, 4}, rng);
+  Tensor b = Tensor::normal({4, 2}, rng);
+  Tensor c = Tensor::full({3, 2}, 1.f);
+  gemm(a, false, b, false, c, 2.f, 0.5f);
+  Tensor expect = naive_matmul(a, false, b, false);
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_NEAR(c[i], 2.f * expect[i] + 0.5f, 1e-4f);
+  }
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  Tensor a({3, 4}), b({5, 2}), c({3, 2});
+  EXPECT_THROW(gemm(a, false, b, false, c), std::invalid_argument);
+}
+
+TEST(Gemm, LargeParallelMatchesNaive) {
+  Rng rng(9);
+  Tensor a = Tensor::normal({128, 64}, rng);
+  Tensor b = Tensor::normal({64, 96}, rng);
+  EXPECT_TRUE(allclose(matmul(a, b), naive_matmul(a, false, b, false), 1e-3f,
+                       1e-4f));
+}
+
+TEST(Elementwise, AddSubMulAxpyScale) {
+  Rng rng(4);
+  Tensor a = Tensor::normal({4, 4}, rng);
+  const Tensor a0 = a;
+  Tensor b = Tensor::normal({4, 4}, rng);
+  add_inplace(a, b);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], a0[i] + b[i]);
+  sub_inplace(a, b);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], a0[i], 1e-6f);
+  axpy(2.f, b, a);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], a0[i] + 2.f * b[i], 1e-5f);
+  }
+  scale_inplace(a, 0.f);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], 0.f);
+  Tensor c = a0;
+  mul_inplace(c, b);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_FLOAT_EQ(c[i], a0[i] * b[i]);
+}
+
+TEST(Elementwise, AddRowVectorAndSumRows) {
+  Tensor a = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor bias = Tensor::from_vector({3}, {10, 20, 30});
+  add_row_vector(a, bias);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 11.f);
+  EXPECT_FLOAT_EQ(a.at(1, 2), 36.f);
+  Tensor s({3});
+  sum_rows(a, s);
+  EXPECT_FLOAT_EQ(s[0], 11.f + 14.f);
+  EXPECT_FLOAT_EQ(s[2], 33.f + 36.f);
+  EXPECT_FLOAT_EQ(sum_all(a), 11 + 22 + 33 + 14 + 25 + 36);
+}
+
+TEST(Activations, ReluForwardBackward) {
+  Tensor x = Tensor::from_vector({1, 4}, {-1.f, 0.f, 2.f, -3.f});
+  Tensor y({1, 4});
+  relu(x, y);
+  EXPECT_FLOAT_EQ(y[0], 0.f);
+  EXPECT_FLOAT_EQ(y[2], 2.f);
+  Tensor g = Tensor::full({1, 4}, 1.f);
+  Tensor dx({1, 4});
+  relu_backward(y, g, dx);
+  EXPECT_FLOAT_EQ(dx[0], 0.f);
+  EXPECT_FLOAT_EQ(dx[2], 1.f);
+}
+
+TEST(Activations, LeakyRelu) {
+  Tensor x = Tensor::from_vector({1, 2}, {-2.f, 3.f});
+  Tensor y({1, 2});
+  leaky_relu(x, y, 0.1f);
+  EXPECT_FLOAT_EQ(y[0], -0.2f);
+  EXPECT_FLOAT_EQ(y[1], 3.f);
+  Tensor g = Tensor::full({1, 2}, 2.f);
+  Tensor dx({1, 2});
+  leaky_relu_backward(x, g, dx, 0.1f);
+  EXPECT_FLOAT_EQ(dx[0], 0.2f);
+  EXPECT_FLOAT_EQ(dx[1], 2.f);
+}
+
+TEST(Activations, GeluNumericalGradient) {
+  const float eps = 1e-3f;
+  for (float v : {-2.f, -0.5f, 0.f, 0.7f, 3.f}) {
+    Tensor x = Tensor::from_vector({1, 1}, {v});
+    Tensor xp = Tensor::from_vector({1, 1}, {v + eps});
+    Tensor xm = Tensor::from_vector({1, 1}, {v - eps});
+    Tensor yp({1, 1}), ym({1, 1});
+    gelu(xp, yp);
+    gelu(xm, ym);
+    Tensor g = Tensor::full({1, 1}, 1.f);
+    Tensor dx({1, 1});
+    gelu_backward(x, g, dx);
+    EXPECT_NEAR(dx[0], (yp[0] - ym[0]) / (2 * eps), 1e-3f) << "at " << v;
+  }
+}
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(5);
+  Tensor x = Tensor::normal({6, 9}, rng, 0.f, 5.f);
+  Tensor y({6, 9});
+  softmax_rows(x, y);
+  for (std::size_t i = 0; i < 6; ++i) {
+    float s = 0;
+    for (std::size_t j = 0; j < 9; ++j) {
+      EXPECT_GT(y.at(i, j), 0.f);
+      s += y.at(i, j);
+    }
+    EXPECT_NEAR(s, 1.f, 1e-5f);
+  }
+}
+
+TEST(Softmax, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(6);
+  Tensor x = Tensor::normal({3, 5}, rng);
+  Tensor sm({3, 5}), lsm({3, 5});
+  softmax_rows(x, sm);
+  log_softmax_rows(x, lsm);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(lsm[i], std::log(sm[i]), 1e-5f);
+  }
+}
+
+TEST(CrossEntropy, LossAndGradMatchNumerical) {
+  Rng rng(7);
+  Tensor logits = Tensor::normal({4, 3}, rng);
+  const std::vector<std::int32_t> labels{0, 2, 1, 2};
+  Tensor grad(logits.shape());
+  const float loss = cross_entropy(logits, labels, grad);
+  EXPECT_GT(loss, 0.f);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    Tensor tmp(logits.shape());
+    const float fp = cross_entropy(lp, labels, tmp);
+    const float fm = cross_entropy(lm, labels, tmp);
+    EXPECT_NEAR(grad[i], (fp - fm) / (2 * eps), 2e-3f);
+  }
+}
+
+TEST(CrossEntropy, IgnoresMaskedLabels) {
+  Rng rng(8);
+  Tensor logits = Tensor::normal({3, 4}, rng);
+  Tensor g1(logits.shape()), g2(logits.shape());
+  const float l1 = cross_entropy(logits, {1, -1, 2}, g1);
+  // Same rows with the masked row dropped -> same loss value.
+  Tensor two({2, 4});
+  std::memcpy(two.row(0), logits.row(0), 4 * sizeof(float));
+  std::memcpy(two.row(1), logits.row(2), 4 * sizeof(float));
+  Tensor gtwo(two.shape());
+  const float l2 = cross_entropy(two, {1, 2}, gtwo);
+  EXPECT_NEAR(l1, l2, 1e-5f);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_FLOAT_EQ(g1.at(1, j), 0.f);
+}
+
+TEST(CrossEntropy, AllMaskedGivesZero) {
+  Tensor logits({2, 3});
+  Tensor g(logits.shape());
+  EXPECT_FLOAT_EQ(cross_entropy(logits, {-1, -1}, g), 0.f);
+}
+
+TEST(Accuracy, CountsCorrectRows) {
+  Tensor logits = Tensor::from_vector({3, 2}, {1, 0, 0, 1, 5, 2});
+  EXPECT_DOUBLE_EQ(accuracy(logits, {0, 1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy(logits, {1, 1, 0}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(accuracy(logits, {-1, 1, 1}), 0.5);
+}
+
+TEST(Dropout, ZeroProbabilityIsIdentity) {
+  Rng rng(9);
+  Tensor x = Tensor::normal({4, 4}, rng);
+  Tensor y(x.shape());
+  std::vector<std::uint8_t> mask;
+  dropout(x, y, mask, 0.f, rng);
+  EXPECT_TRUE(allclose(x, y));
+}
+
+TEST(Dropout, ScalesKeptEntries) {
+  Rng rng(10);
+  Tensor x = Tensor::full({100, 10}, 1.f);
+  Tensor y(x.shape());
+  std::vector<std::uint8_t> mask;
+  dropout(x, y, mask, 0.5f, rng);
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (mask[i]) {
+      EXPECT_FLOAT_EQ(y[i], 2.f);
+      ++kept;
+    } else {
+      EXPECT_FLOAT_EQ(y[i], 0.f);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(kept) / y.size(), 0.5, 0.05);
+  // Backward routes gradient only through kept entries with the same scale.
+  Tensor g = Tensor::full(x.shape(), 3.f);
+  Tensor dx(x.shape());
+  dropout_backward(g, mask, dx, 0.5f);
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    EXPECT_FLOAT_EQ(dx[i], mask[i] ? 6.f : 0.f);
+  }
+}
+
+TEST(GatherScatter, GatherRowsCopiesAndValidates) {
+  Tensor src = Tensor::from_vector({3, 2}, {1, 2, 3, 4, 5, 6});
+  const Tensor out = gather_rows(src, {2, 0, 2});
+  EXPECT_FLOAT_EQ(out.at(0, 0), 5.f);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 2.f);
+  EXPECT_FLOAT_EQ(out.at(2, 0), 5.f);
+  EXPECT_THROW(gather_rows(src, {3}), std::out_of_range);
+  EXPECT_THROW(gather_rows(src, {-1}), std::out_of_range);
+}
+
+TEST(GatherScatter, ScatterAddAccumulatesDuplicates) {
+  Tensor src = Tensor::from_vector({3, 2}, {1, 1, 2, 2, 3, 3});
+  Tensor dst({2, 2});
+  scatter_add_rows(src, {0, 1, 0}, dst);
+  EXPECT_FLOAT_EQ(dst.at(0, 0), 4.f);
+  EXPECT_FLOAT_EQ(dst.at(1, 1), 2.f);
+}
+
+TEST(ConcatSplit, RoundTrips) {
+  Tensor a = Tensor::from_vector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::from_vector({2, 3}, {5, 6, 7, 8, 9, 10});
+  const Tensor cat = concat_cols({&a, &b});
+  EXPECT_EQ(cat.cols(), 5u);
+  EXPECT_FLOAT_EQ(cat.at(1, 4), 10.f);
+  Tensor a2({2, 2}), b2({2, 3});
+  std::vector<Tensor*> parts{&a2, &b2};
+  split_cols(cat, parts);
+  EXPECT_TRUE(allclose(a, a2));
+  EXPECT_TRUE(allclose(b, b2));
+}
+
+TEST(Allclose, DetectsDifference) {
+  Tensor a = Tensor::full({2, 2}, 1.f);
+  Tensor b = Tensor::full({2, 2}, 1.f);
+  EXPECT_TRUE(allclose(a, b));
+  b[3] = 1.1f;
+  EXPECT_FALSE(allclose(a, b));
+  EXPECT_NEAR(max_abs_diff(a, b), 0.1f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace ppgnn

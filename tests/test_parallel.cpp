@@ -1,0 +1,108 @@
+#include "tensor/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace ppgnn {
+namespace {
+
+TEST(ThreadPool, CoversFullRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, HandlesFewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> total{0};
+  pool.parallel_for(3, [&](std::size_t lo, std::size_t hi) {
+    total += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadPool, ZeroItemsIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  std::size_t total = 0;
+  pool.parallel_for(100, [&](std::size_t lo, std::size_t hi) {
+    total += hi - lo;
+  });
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(ThreadPool, RepeatedInvocations) {
+  ThreadPool pool(3);
+  for (int rep = 0; rep < 50; ++rep) {
+    std::atomic<std::size_t> total{0};
+    pool.parallel_for(257, [&](std::size_t lo, std::size_t hi) {
+      total += hi - lo;
+    });
+    ASSERT_EQ(total.load(), 257u);
+  }
+}
+
+TEST(ThreadPool, NestedParallelForRunsSeriallyWithoutDeadlock) {
+  // A task that itself calls parallel_for must not deadlock (it runs the
+  // inner loop serially).  Regression test for the prefetcher deadlock.
+  std::atomic<std::size_t> inner_total{0};
+  global_pool().parallel_for(8, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      parallel_for(100, [&](std::size_t a, std::size_t b) {
+        inner_total += b - a;
+      }, /*grain=*/1);
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 800u);
+}
+
+TEST(ThreadPool, ConcurrentCallersFromTwoThreads) {
+  // Two threads using the global pool simultaneously (the trainer +
+  // prefetcher pattern): both must complete.
+  std::atomic<std::size_t> t1{0}, t2{0};
+  std::thread other([&] {
+    for (int rep = 0; rep < 20; ++rep) {
+      parallel_for(5000, [&](std::size_t lo, std::size_t hi) {
+        t2 += hi - lo;
+      }, 1);
+    }
+  });
+  for (int rep = 0; rep < 20; ++rep) {
+    parallel_for(5000, [&](std::size_t lo, std::size_t hi) {
+      t1 += hi - lo;
+    }, 1);
+  }
+  other.join();
+  EXPECT_EQ(t1.load(), 20u * 5000u);
+  EXPECT_EQ(t2.load(), 20u * 5000u);
+}
+
+TEST(ParallelForHelper, SmallNRunsSerial) {
+  // Below the grain the helper must not touch the pool (observable as the
+  // callback receiving the whole range at once).
+  std::vector<std::pair<std::size_t, std::size_t>> calls;
+  parallel_for(10, [&](std::size_t lo, std::size_t hi) {
+    calls.emplace_back(lo, hi);
+  }, /*grain=*/100);
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0], std::make_pair(std::size_t{0}, std::size_t{10}));
+}
+
+TEST(GlobalPool, IsSingleton) {
+  EXPECT_EQ(&global_pool(), &global_pool());
+  EXPECT_GE(global_pool().size(), 1u);
+}
+
+}  // namespace
+}  // namespace ppgnn

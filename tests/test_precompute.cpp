@@ -1,0 +1,167 @@
+#include "core/precompute.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/normalize.h"
+#include "graph/spmm.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace ppgnn::core {
+namespace {
+
+graph::CsrGraph path_graph() {
+  // 0-1-2-3 path.
+  return graph::build_csr(4, {{0, 1}, {1, 2}, {2, 3}});
+}
+
+TEST(Precompute, HopZeroIsInput) {
+  Rng rng(1);
+  const auto g = path_graph();
+  const Tensor x = Tensor::normal({4, 3}, rng);
+  PrecomputeConfig cfg;
+  cfg.hops = 2;
+  const auto pre = precompute(g, x, cfg);
+  ASSERT_EQ(pre.hop_features.size(), 3u);
+  EXPECT_TRUE(allclose(pre.hop_features[0], x));
+  EXPECT_EQ(pre.num_hops(), 2u);
+  EXPECT_GE(pre.preprocess_seconds, 0.0);
+}
+
+TEST(Precompute, SymNormHopsArePowersOfOperator) {
+  Rng rng(2);
+  const auto g = path_graph();
+  const Tensor x = Tensor::normal({4, 3}, rng);
+  PrecomputeConfig cfg;
+  cfg.hops = 3;
+  const auto pre = precompute(g, x, cfg);
+  const auto b = graph::sym_normalized(g);
+  Tensor expect = x;
+  for (std::size_t r = 1; r <= 3; ++r) {
+    expect = graph::spmm(b, expect);
+    EXPECT_TRUE(allclose(pre.hop_features[r], expect, 1e-4f, 1e-5f))
+        << "hop " << r;
+  }
+}
+
+TEST(Precompute, RowNormPreservesConstants) {
+  const auto g = path_graph();
+  const Tensor ones = Tensor::full({4, 2}, 1.f);
+  PrecomputeConfig cfg;
+  cfg.op = OperatorKind::kRowNorm;
+  cfg.hops = 4;
+  const auto pre = precompute(g, ones, cfg);
+  for (const auto& hop : pre.hop_features) {
+    for (std::size_t i = 0; i < hop.size(); ++i) {
+      EXPECT_NEAR(hop[i], 1.f, 1e-5f);
+    }
+  }
+}
+
+TEST(Precompute, PprRecurrenceMatchesDefinition) {
+  Rng rng(3);
+  const auto g = path_graph();
+  const Tensor x = Tensor::normal({4, 2}, rng);
+  PrecomputeConfig cfg;
+  cfg.op = OperatorKind::kPpr;
+  cfg.hops = 2;
+  cfg.ppr_alpha = 0.2;
+  const auto pre = precompute(g, x, cfg);
+  const auto b = graph::sym_normalized(g);
+  // X_1 = 0.8 * B X + 0.2 * X.
+  Tensor expect = graph::spmm(b, x);
+  scale_inplace(expect, 0.8f);
+  axpy(0.2f, x, expect);
+  EXPECT_TRUE(allclose(pre.hop_features[1], expect, 1e-4f, 1e-5f));
+}
+
+TEST(Precompute, PprConvergesTowardStationaryBlend) {
+  // With many hops the PPR recurrence approaches a fixed point; successive
+  // hops should get closer to each other.
+  Rng rng(4);
+  const auto g = path_graph();
+  const Tensor x = Tensor::normal({4, 2}, rng);
+  PrecomputeConfig cfg;
+  cfg.op = OperatorKind::kPpr;
+  cfg.hops = 12;
+  const auto pre = precompute(g, x, cfg);
+  const float early = max_abs_diff(pre.hop_features[1], pre.hop_features[2]);
+  const float late = max_abs_diff(pre.hop_features[11], pre.hop_features[12]);
+  EXPECT_LT(late, early);
+}
+
+TEST(Precompute, HeatTermsShrinkForLargeR) {
+  Rng rng(5);
+  const auto g = path_graph();
+  const Tensor x = Tensor::normal({4, 2}, rng);
+  PrecomputeConfig cfg;
+  cfg.op = OperatorKind::kHeat;
+  cfg.heat_t = 1.0;
+  cfg.hops = 6;
+  const auto pre = precompute(g, x, cfg);
+  // Taylor factor t^r/r! decays; hop-6 magnitude << hop-1 magnitude.
+  auto norm = [](const Tensor& t) {
+    double s = 0;
+    for (std::size_t i = 0; i < t.size(); ++i) s += t[i] * t[i];
+    return s;
+  };
+  EXPECT_LT(norm(pre.hop_features[6]), 0.1 * norm(pre.hop_features[1]));
+}
+
+TEST(Precompute, ExpandedRowsLayout) {
+  Rng rng(6);
+  const auto g = path_graph();
+  const Tensor x = Tensor::normal({4, 3}, rng);
+  PrecomputeConfig cfg;
+  cfg.hops = 2;
+  const auto pre = precompute(g, x, cfg);
+  const Tensor rows = pre.expanded_rows({2, 0});
+  ASSERT_EQ(rows.rows(), 2u);
+  ASSERT_EQ(rows.cols(), 9u);  // 3 hops * 3 dims
+  for (std::size_t h = 0; h < 3; ++h) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_FLOAT_EQ(rows.at(0, h * 3 + j), pre.hop_features[h].at(2, j));
+      EXPECT_FLOAT_EQ(rows.at(1, h * 3 + j), pre.hop_features[h].at(0, j));
+    }
+  }
+  EXPECT_EQ(pre.row_bytes(), 9 * sizeof(float));
+  EXPECT_EQ(pre.total_bytes(), 4 * 9 * sizeof(float));
+  EXPECT_THROW(pre.expanded_rows({4}), std::out_of_range);
+}
+
+TEST(Precompute, SmoothingPullsNeighborsTogether) {
+  // The low-pass-filter property: after propagation, adjacent nodes'
+  // features are closer than before (relative to their original distance).
+  const auto ds_g = graph::build_csr(
+      6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+  Rng rng(7);
+  const Tensor x = Tensor::normal({6, 8}, rng);
+  PrecomputeConfig cfg;
+  cfg.hops = 3;
+  const auto pre = precompute(ds_g, x, cfg);
+  auto dist01 = [&](const Tensor& t) {
+    double d = 0;
+    for (std::size_t j = 0; j < 8; ++j) {
+      const double diff = t.at(0, j) - t.at(1, j);
+      d += diff * diff;
+    }
+    return d;
+  };
+  EXPECT_LT(dist01(pre.hop_features[3]), dist01(pre.hop_features[0]));
+}
+
+TEST(Precompute, ValidatesShapes) {
+  const auto g = path_graph();
+  Tensor wrong({3, 2});
+  EXPECT_THROW(precompute(g, wrong, {}), std::invalid_argument);
+}
+
+TEST(Precompute, OperatorNames) {
+  EXPECT_STREQ(to_string(OperatorKind::kSymNorm), "sym-norm");
+  EXPECT_STREQ(to_string(OperatorKind::kPpr), "ppr");
+  EXPECT_STREQ(to_string(OperatorKind::kHeat), "heat");
+  EXPECT_STREQ(to_string(OperatorKind::kRowNorm), "row-norm");
+}
+
+}  // namespace
+}  // namespace ppgnn::core

@@ -1,0 +1,311 @@
+// Property-based sweeps (parameterized gtest): invariants that must hold
+// across randomized shapes, graphs, samplers and shuffler configurations.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/precompute.h"
+#include "graph/dataset.h"
+#include "graph/generator.h"
+#include "graph/normalize.h"
+#include "graph/spmm.h"
+#include "loader/shuffler.h"
+#include "sampling/labor.h"
+#include "sampling/ladies.h"
+#include "sampling/neighbor.h"
+#include "sampling/saint.h"
+#include "tensor/ops.h"
+
+namespace ppgnn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// GEMM shape sweep vs naive reference.
+
+struct GemmShape {
+  std::size_t m, k, n;
+};
+
+class GemmShapes : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmShapes, MatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 1000 + k * 100 + n);
+  Tensor a = Tensor::normal({m, k}, rng);
+  Tensor b = Tensor::normal({k, n}, rng);
+  const Tensor c = matmul(a, b);
+  Tensor ref({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0;
+      for (std::size_t l = 0; l < k; ++l) acc += a.at(i, l) * b.at(l, j);
+      ref.at(i, j) = acc;
+    }
+  }
+  EXPECT_TRUE(allclose(c, ref, 1e-3f, 1e-4f))
+      << "m=" << m << " k=" << k << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GemmShapes,
+    ::testing::Values(GemmShape{1, 1, 1}, GemmShape{1, 7, 3},
+                      GemmShape{5, 1, 5}, GemmShape{17, 33, 9},
+                      GemmShape{64, 64, 64}, GemmShape{100, 3, 100},
+                      GemmShape{3, 100, 3}, GemmShape{31, 17, 63}));
+
+// ---------------------------------------------------------------------------
+// SpMM on random graphs vs dense multiply.
+
+class SpmmRandomGraphs : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpmmRandomGraphs, MatchesDense) {
+  const std::uint64_t seed = GetParam();
+  graph::SbmConfig cfg;
+  cfg.num_nodes = 60;
+  cfg.num_classes = 3;
+  cfg.avg_degree = 6;
+  cfg.seed = seed;
+  const auto g = graph::generate_sbm(cfg);
+  const auto b = graph::sym_normalized(g.graph);
+  Rng rng(seed + 1);
+  const Tensor x = Tensor::normal({60, 5}, rng);
+  const Tensor y = graph::spmm(b, x);
+
+  Tensor dense({60, 60});
+  for (std::size_t v = 0; v < 60; ++v) {
+    const auto nbrs = b.neighbors(static_cast<graph::NodeId>(v));
+    const auto vals = b.edge_values(static_cast<graph::NodeId>(v));
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      dense.at(v, nbrs[i]) = vals[i];
+    }
+  }
+  EXPECT_TRUE(allclose(y, matmul(dense, x), 1e-4f, 1e-5f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpmmRandomGraphs,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------------
+// Symmetric normalization spectral property: powers remain bounded (largest
+// eigenvalue <= 1), so propagation never blows up.
+
+class SymNormBounded : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SymNormBounded, PropagationIsNonExpansive) {
+  graph::SbmConfig cfg;
+  cfg.num_nodes = 200;
+  cfg.avg_degree = 8;
+  cfg.seed = GetParam();
+  const auto g = graph::generate_sbm(cfg);
+  Rng rng(GetParam());
+  core::PrecomputeConfig pc;
+  pc.hops = 8;
+  const Tensor x = Tensor::normal({200, 4}, rng);
+  const auto pre = core::precompute(g.graph, x, pc);
+  auto sq_norm = [](const Tensor& t) {
+    double s = 0;
+    for (std::size_t i = 0; i < t.size(); ++i) s += t[i] * t[i];
+    return s;
+  };
+  const double n0 = sq_norm(pre.hop_features[0]);
+  for (std::size_t r = 1; r <= 8; ++r) {
+    EXPECT_LE(sq_norm(pre.hop_features[r]), n0 * 1.01) << "hop " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SymNormBounded,
+                         ::testing::Values(3, 17, 99, 1234));
+
+// ---------------------------------------------------------------------------
+// Shuffler sweep: every (n, chunk) combination yields a permutation and
+// chunk runs stay intact.
+
+struct ShuffleCase {
+  std::size_t n, chunk;
+};
+
+class ShufflerSweep : public ::testing::TestWithParam<ShuffleCase> {};
+
+TEST_P(ShufflerSweep, PermutationWithIntactChunks) {
+  const auto [n, chunk] = GetParam();
+  Rng rng(n * 31 + chunk);
+  const auto shuffler = loader::make_shuffler(chunk);
+  const auto order = shuffler->epoch_order(n, rng);
+  ASSERT_EQ(order.size(), n);
+  std::vector<bool> seen(n, false);
+  for (const auto i : order) {
+    ASSERT_GE(i, 0);
+    ASSERT_LT(static_cast<std::size_t>(i), n);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(i)]);
+    seen[static_cast<std::size_t>(i)] = true;
+  }
+  if (chunk > 1) {
+    // Within the order, consecutive positions inside one chunk increment.
+    for (std::size_t pos = 0; pos + 1 < n; ++pos) {
+      const auto cur = order[pos];
+      const auto nxt = order[pos + 1];
+      const bool same_chunk = cur / static_cast<std::int64_t>(chunk) ==
+                              nxt / static_cast<std::int64_t>(chunk);
+      if (same_chunk && nxt == cur + 1) continue;
+      // Otherwise we must be at a chunk boundary of `cur`.
+      const bool cur_ends_chunk =
+          (cur + 1) % static_cast<std::int64_t>(chunk) == 0 ||
+          cur == static_cast<std::int64_t>(n) - 1;
+      EXPECT_TRUE(cur_ends_chunk) << "broken run at pos " << pos;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ShufflerSweep,
+    ::testing::Values(ShuffleCase{1, 1}, ShuffleCase{10, 1},
+                      ShuffleCase{100, 10}, ShuffleCase{101, 10},
+                      ShuffleCase{99, 100}, ShuffleCase{1000, 128},
+                      ShuffleCase{1000, 1}, ShuffleCase{37, 5}));
+
+// ---------------------------------------------------------------------------
+// Sampler-generic invariants across all four samplers.
+
+class AllSamplers : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<sampling::Sampler> make(std::size_t layers) const {
+    const auto& kind = GetParam();
+    if (kind == "Neighbor") {
+      return std::make_unique<sampling::NeighborSampler>(
+          std::vector<int>(layers, 5));
+    }
+    if (kind == "LABOR") {
+      return std::make_unique<sampling::LaborSampler>(
+          std::vector<int>(layers, 5));
+    }
+    if (kind == "LADIES") {
+      return std::make_unique<sampling::LadiesSampler>(layers, 64);
+    }
+    return std::make_unique<sampling::SaintNodeSampler>(layers, 64);
+  }
+};
+
+TEST_P(AllSamplers, SeedsPreservedAndBlocksChain) {
+  const auto ds = graph::make_dataset(graph::DatasetName::kPokecSim, 0.05);
+  std::vector<graph::NodeId> seeds;
+  for (int i = 0; i < 32; ++i) {
+    seeds.push_back(static_cast<graph::NodeId>(ds.split.train[i]));
+  }
+  for (const std::size_t layers : {1, 2, 3}) {
+    Rng rng(layers);
+    const auto batch = make(layers)->sample(ds.graph, seeds, rng);
+    ASSERT_EQ(batch.blocks.size(), layers);
+    EXPECT_EQ(batch.seeds(), seeds);
+    for (std::size_t l = 0; l + 1 < layers; ++l) {
+      EXPECT_EQ(batch.blocks[l].dst_nodes, batch.blocks[l + 1].src_nodes);
+    }
+    for (const auto& blk : batch.blocks) {
+      for (std::size_t i = 0; i < blk.dst_size(); ++i) {
+        EXPECT_EQ(blk.src_nodes[i], blk.dst_nodes[i]);  // prefix invariant
+      }
+      std::unordered_set<graph::NodeId> uniq(blk.src_nodes.begin(),
+                                             blk.src_nodes.end());
+      EXPECT_EQ(uniq.size(), blk.src_size());
+    }
+  }
+}
+
+TEST_P(AllSamplers, DeterministicGivenSeed) {
+  const auto ds = graph::make_dataset(graph::DatasetName::kPokecSim, 0.05);
+  std::vector<graph::NodeId> seeds{0, 5, 9, 13};
+  Rng r1(77), r2(77);
+  const auto a = make(2)->sample(ds.graph, seeds, r1);
+  const auto b = make(2)->sample(ds.graph, seeds, r2);
+  for (std::size_t l = 0; l < 2; ++l) {
+    EXPECT_EQ(a.blocks[l].src_nodes, b.blocks[l].src_nodes);
+    EXPECT_EQ(a.blocks[l].indices, b.blocks[l].indices);
+  }
+}
+
+TEST_P(AllSamplers, EdgesExistInGraph) {
+  const auto ds = graph::make_dataset(graph::DatasetName::kProductsSim, 0.05);
+  std::vector<graph::NodeId> seeds;
+  for (int i = 0; i < 16; ++i) {
+    seeds.push_back(static_cast<graph::NodeId>(ds.split.train[i]));
+  }
+  Rng rng(5);
+  const auto batch = make(2)->sample(ds.graph, seeds, rng);
+  for (const auto& blk : batch.blocks) {
+    for (std::size_t i = 0; i < blk.dst_size(); ++i) {
+      for (auto e = blk.offsets[i]; e < blk.offsets[i + 1]; ++e) {
+        EXPECT_TRUE(ds.graph.has_edge(
+            blk.dst_nodes[i],
+            blk.src_nodes[static_cast<std::size_t>(blk.indices[e])]));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AllSamplers,
+                         ::testing::Values("Neighbor", "LABOR", "LADIES",
+                                           "SAINT"));
+
+// ---------------------------------------------------------------------------
+// Gather/scatter adjointness: <gather(X, idx), Y> == <X, scatter_add(Y, idx)>
+// — the property that makes the SAGE aggregation backward correct.
+
+class GatherScatterAdjoint : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GatherScatterAdjoint, InnerProductsMatch) {
+  Rng rng(GetParam());
+  const std::size_t n = 20, f = 6, k = 35;
+  Tensor x = Tensor::normal({n, f}, rng);
+  Tensor y = Tensor::normal({k, f}, rng);
+  std::vector<std::int64_t> idx(k);
+  for (auto& i : idx) i = static_cast<std::int64_t>(rng.uniform_int(n));
+
+  const Tensor gx = gather_rows(x, idx);
+  double lhs = 0;
+  for (std::size_t i = 0; i < gx.size(); ++i) lhs += gx[i] * y[i];
+
+  Tensor sy({n, f});
+  scatter_add_rows(y, idx, sy);
+  double rhs = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) rhs += x[i] * sy[i];
+
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GatherScatterAdjoint,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+// ---------------------------------------------------------------------------
+// Softmax/CE consistency across widths: loss equals mean NLL computed from
+// log_softmax.
+
+class CeWidths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CeWidths, LossMatchesLogSoftmax) {
+  const std::size_t c = GetParam();
+  Rng rng(c);
+  const std::size_t rows = 7;
+  Tensor logits = Tensor::normal({rows, c}, rng);
+  std::vector<std::int32_t> labels(rows);
+  for (auto& y : labels) y = static_cast<std::int32_t>(rng.uniform_int(c));
+  Tensor grad(logits.shape());
+  const float loss = cross_entropy(logits, labels, grad);
+  Tensor lsm(logits.shape());
+  log_softmax_rows(logits, lsm);
+  double expect = 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    expect -= lsm.at(i, static_cast<std::size_t>(labels[i]));
+  }
+  EXPECT_NEAR(loss, expect / rows, 1e-4);
+  // Gradient rows sum to ~0 (softmax minus one-hot).
+  for (std::size_t i = 0; i < rows; ++i) {
+    float s = 0;
+    for (std::size_t j = 0; j < c; ++j) s += grad.at(i, j);
+    EXPECT_NEAR(s, 0.f, 1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CeWidths,
+                         ::testing::Values(2, 3, 10, 47, 172));
+
+}  // namespace
+}  // namespace ppgnn

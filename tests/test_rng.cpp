@@ -1,0 +1,116 @@
+#include "tensor/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ppgnn {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.next_u64() != b.next_u64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  double mn = 1, mx = 0, sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    mn = std::min(mn, u);
+    mx = std::max(mx, u);
+    sum += u;
+  }
+  EXPECT_GE(mn, 0.0);
+  EXPECT_LT(mx, 1.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(4);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 70000; ++i) {
+    const auto v = rng.uniform_int(7);
+    ASSERT_LT(v, 7u);
+    ++counts[v];
+  }
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(5);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(6);
+  int heads = 0;
+  for (int i = 0; i < 100000; ++i) heads += rng.bernoulli(0.3);
+  EXPECT_NEAR(heads / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, SplitIsDeterministicAndIndependent) {
+  Rng base(7);
+  Rng s1 = base.split(1);
+  Rng s1_again = Rng(7).split(1);
+  EXPECT_EQ(s1.next_u64(), s1_again.next_u64());
+  Rng s2 = base.split(2);
+  EXPECT_NE(Rng(7).split(1).next_u64(), s2.next_u64());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(8);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, SampleWithoutReplacementUniqueAndInRange) {
+  Rng rng(9);
+  const auto s = rng.sample_without_replacement(50, 20);
+  EXPECT_EQ(s.size(), 20u);
+  std::unordered_set<std::uint64_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 20u);
+  for (const auto x : s) EXPECT_LT(x, 50u);
+}
+
+TEST(Rng, SampleAllElements) {
+  Rng rng(10);
+  const auto s = rng.sample_without_replacement(10, 10);
+  std::unordered_set<std::uint64_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(Rng, SampleCoversUniformly) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  for (int rep = 0; rep < 20000; ++rep) {
+    for (const auto x : rng.sample_without_replacement(10, 3)) ++counts[x];
+  }
+  for (const int c : counts) EXPECT_NEAR(c, 6000, 400);
+}
+
+}  // namespace
+}  // namespace ppgnn

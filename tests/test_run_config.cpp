@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/run_config.h"
+
+namespace ppgnn::core {
+namespace {
+
+// ----------------------------------------------------------- JSON parser ----
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse_json("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const auto v = parse_json(R"({
+    "model": {"name": "HOGA", "hops": 4},
+    "lrs": [0.01, 0.001],
+    "tuned": true
+  })");
+  EXPECT_EQ(v.get("model").get("name").as_string(), "HOGA");
+  EXPECT_DOUBLE_EQ(v.get("model").get("hops").as_number(), 4.0);
+  ASSERT_EQ(v.get("lrs").as_array().size(), 2u);
+  EXPECT_DOUBLE_EQ(v.get("lrs").as_array()[1].as_number(), 0.001);
+  EXPECT_TRUE(v.get("tuned").as_bool());
+}
+
+TEST(Json, ParsesStringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\nb\t\"c\"")").as_string(), "a\nb\t\"c\"");
+  EXPECT_EQ(parse_json(R"("Aé")").as_string(), "A\xc3\xa9");
+}
+
+TEST(Json, ParsesEmptyContainers) {
+  EXPECT_TRUE(parse_json("[]").as_array().empty());
+  EXPECT_TRUE(parse_json("{}").as_object().empty());
+  EXPECT_TRUE(parse_json("  [ ]  ").as_array().empty());
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), std::runtime_error);
+  EXPECT_THROW(parse_json("{"), std::runtime_error);
+  EXPECT_THROW(parse_json("[1,]"), std::runtime_error);
+  EXPECT_THROW(parse_json("{\"a\":}"), std::runtime_error);
+  EXPECT_THROW(parse_json("tru"), std::runtime_error);
+  EXPECT_THROW(parse_json("1 2"), std::runtime_error);      // trailing garbage
+  EXPECT_THROW(parse_json("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(parse_json("1.2.3"), std::runtime_error);
+  EXPECT_THROW(parse_json("{\"a\":1, \"a\":2}"), std::runtime_error);  // dup key
+}
+
+TEST(Json, TypeMismatchesThrow) {
+  const auto v = parse_json("{\"a\": 1}");
+  EXPECT_THROW(v.as_array(), std::runtime_error);
+  EXPECT_THROW(v.get("a").as_string(), std::runtime_error);
+  EXPECT_THROW(v.get("missing"), std::runtime_error);
+  EXPECT_DOUBLE_EQ(v.get_or("missing", 7.0), 7.0);
+  EXPECT_EQ(v.get_or("missing", std::string("x")), "x");
+}
+
+// ------------------------------------------------------------ RunConfig ----
+
+TEST(RunConfig, DefaultsAreValid) {
+  const auto cfg = run_config_from_string("{}");
+  EXPECT_EQ(cfg.method, "HOGA");
+  EXPECT_EQ(cfg.dataset_name(), graph::DatasetName::kProductsSim);
+  EXPECT_EQ(cfg.loading_mode(), LoadingMode::kPrefetch);
+  EXPECT_EQ(cfg.operator_kind(), OperatorKind::kSymNorm);
+}
+
+TEST(RunConfig, ParsesFullConfig) {
+  const auto cfg = run_config_from_string(R"({
+    "dataset": "pokec", "scale": 0.1, "method": "SIGN",
+    "hops": 5, "hidden": 128, "op": "ppr", "epochs": 12,
+    "batch_size": 256, "lr": 0.001, "dropout": 0.5,
+    "loading": "chunk", "chunk_size": 1024, "seed": 99
+  })");
+  EXPECT_EQ(cfg.dataset_name(), graph::DatasetName::kPokecSim);
+  EXPECT_EQ(cfg.method, "SIGN");
+  EXPECT_EQ(cfg.hops, 5u);
+  EXPECT_EQ(cfg.operator_kind(), OperatorKind::kPpr);
+  EXPECT_EQ(cfg.loading_mode(), LoadingMode::kChunkPrefetch);
+  EXPECT_EQ(cfg.train_config().chunk_size, 1024u);
+  EXPECT_EQ(cfg.train_config().seed, 99u);
+  EXPECT_EQ(cfg.precompute_config().hops, 5u);
+  EXPECT_NE(cfg.summary().find("SIGN on pokec"), std::string::npos);
+}
+
+TEST(RunConfig, RejectsUnknownKeysAndValues) {
+  EXPECT_THROW(run_config_from_string("{\"methd\": \"SGC\"}"),
+               std::runtime_error);  // typo'd key
+  EXPECT_THROW(run_config_from_string("{\"method\": \"GCN\"}"),
+               std::runtime_error);
+  EXPECT_THROW(run_config_from_string("{\"dataset\": \"reddit\"}"),
+               std::runtime_error);
+  EXPECT_THROW(run_config_from_string("{\"op\": \"cheb\"}"),
+               std::runtime_error);
+  EXPECT_THROW(run_config_from_string("{\"loading\": \"mmap\"}"),
+               std::runtime_error);
+}
+
+TEST(RunConfig, RejectsOutOfRangeNumbers) {
+  EXPECT_THROW(run_config_from_string("{\"scale\": 0}"), std::runtime_error);
+  EXPECT_THROW(run_config_from_string("{\"scale\": 1.5}"), std::runtime_error);
+  EXPECT_THROW(run_config_from_string("{\"hops\": 0}"), std::runtime_error);
+  EXPECT_THROW(run_config_from_string("{\"hops\": 2.5}"), std::runtime_error);
+  EXPECT_THROW(run_config_from_string("{\"lr\": -0.1}"), std::runtime_error);
+  EXPECT_THROW(run_config_from_string("{\"dropout\": 1.0}"),
+               std::runtime_error);
+  EXPECT_THROW(run_config_from_string("{\"epochs\": 0}"), std::runtime_error);
+}
+
+TEST(RunConfig, BuildsEveryModelKind) {
+  const auto ds = graph::make_dataset(graph::DatasetName::kPokecSim, 0.05);
+  for (const std::string method : {"SGC", "SSGC", "SIGN", "HOGA", "GAMLP"}) {
+    auto cfg = run_config_from_string("{\"method\": \"" + method + "\"}");
+    Rng rng(1);
+    auto model = cfg.make_model(ds, rng);
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->name(), method);
+    EXPECT_EQ(model->hops(), cfg.hops);
+  }
+}
+
+TEST(RunConfig, LoadsFromFile) {
+  const std::string path = ::testing::TempDir() + "/ppgnn_cfg.json";
+  {
+    std::ofstream out(path);
+    out << "{\"method\": \"SGC\", \"hops\": 2}";
+  }
+  const auto cfg = run_config_from_file(path);
+  EXPECT_EQ(cfg.method, "SGC");
+  EXPECT_EQ(cfg.hops, 2u);
+  std::remove(path.c_str());
+  EXPECT_THROW(run_config_from_file("/nonexistent/cfg.json"),
+               std::runtime_error);
+}
+
+TEST(RunConfig, CheckpointKeysFlowThrough) {
+  const auto cfg = run_config_from_string(R"({
+    "checkpoint": "/tmp/ppgnn_cli_ckpt.bin", "checkpoint_every": 3
+  })");
+  EXPECT_EQ(cfg.train_config().checkpoint_path, "/tmp/ppgnn_cli_ckpt.bin");
+  EXPECT_EQ(cfg.train_config().checkpoint_every, 3u);
+  // Default: disabled.
+  EXPECT_TRUE(run_config_from_string("{}").train_config()
+                  .checkpoint_path.empty());
+}
+
+TEST(RunConfig, EndToEndTinyTrainingRun) {
+  // The full CLI path: config -> dataset -> precompute -> train.
+  const auto cfg = run_config_from_string(R"({
+    "dataset": "pokec", "scale": 0.05, "method": "SSGC",
+    "hops": 2, "epochs": 6, "batch_size": 128, "loading": "chunk",
+    "chunk_size": 128
+  })");
+  const auto ds = graph::make_dataset(cfg.dataset_name(), cfg.scale);
+  const auto pre = precompute(ds.graph, ds.features, cfg.precompute_config());
+  Rng rng(cfg.seed);
+  auto model = cfg.make_model(ds, rng);
+  const auto r = train_pp(*model, pre, ds, cfg.train_config());
+  EXPECT_GT(r.history.peak_val_acc(), 0.5);  // binary task, above chance
+}
+
+}  // namespace
+}  // namespace ppgnn::core

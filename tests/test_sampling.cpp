@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "graph/dataset.h"
+#include "sampling/labor.h"
+#include "sampling/ladies.h"
+#include "sampling/neighbor.h"
+#include "sampling/saint.h"
+
+namespace ppgnn::sampling {
+namespace {
+
+graph::Dataset small_dataset() {
+  return graph::make_dataset(graph::DatasetName::kProductsSim, 0.1);
+}
+
+std::vector<NodeId> some_seeds(const graph::Dataset& ds, std::size_t k) {
+  std::vector<NodeId> seeds;
+  for (std::size_t i = 0; i < k && i < ds.split.train.size(); ++i) {
+    seeds.push_back(static_cast<NodeId>(ds.split.train[i]));
+  }
+  return seeds;
+}
+
+void check_block_invariants(const Block& b, const graph::CsrGraph& g) {
+  // dst prefix of src.
+  ASSERT_LE(b.dst_size(), b.src_size());
+  for (std::size_t i = 0; i < b.dst_size(); ++i) {
+    EXPECT_EQ(b.src_nodes[i], b.dst_nodes[i]);
+  }
+  // src_nodes unique.
+  std::unordered_set<NodeId> uniq(b.src_nodes.begin(), b.src_nodes.end());
+  EXPECT_EQ(uniq.size(), b.src_nodes.size());
+  // offsets consistent; local indices in range; edges exist in g.
+  ASSERT_EQ(b.offsets.size(), b.dst_size() + 1);
+  EXPECT_EQ(b.offsets.back(), static_cast<EdgeIdx>(b.indices.size()));
+  for (std::size_t i = 0; i < b.dst_size(); ++i) {
+    for (auto e = b.offsets[i]; e < b.offsets[i + 1]; ++e) {
+      const auto local = static_cast<std::size_t>(b.indices[e]);
+      ASSERT_LT(local, b.src_size());
+      EXPECT_TRUE(g.has_edge(b.dst_nodes[i], b.src_nodes[local]));
+    }
+  }
+  if (!b.values.empty()) EXPECT_EQ(b.values.size(), b.indices.size());
+}
+
+void check_batch(const SampledBatch& batch, const graph::CsrGraph& g,
+                 const std::vector<NodeId>& seeds, std::size_t layers) {
+  ASSERT_EQ(batch.blocks.size(), layers);
+  EXPECT_EQ(batch.seeds(), seeds);
+  for (const auto& blk : batch.blocks) check_block_invariants(blk, g);
+  // Chaining: dst of block l == src of block l-1... in our construction
+  // blocks[l].src_nodes == blocks[l-1].dst_nodes is not required, but
+  // blocks[l-1].dst == blocks[l].src must hold for forward shape chaining.
+  for (std::size_t l = 0; l + 1 < layers; ++l) {
+    EXPECT_EQ(batch.blocks[l].dst_nodes, batch.blocks[l + 1].src_nodes);
+  }
+}
+
+TEST(NeighborSampler, RespectsFanoutAndInvariants) {
+  const auto ds = small_dataset();
+  const NeighborSampler sampler({5, 4, 3});
+  Rng rng(1);
+  const auto seeds = some_seeds(ds, 64);
+  const auto batch = sampler.sample(ds.graph, seeds, rng);
+  check_batch(batch, ds.graph, seeds, 3);
+  // Output-layer block obeys fanout 3.
+  const Block& top = batch.blocks[2];
+  for (std::size_t i = 0; i < top.dst_size(); ++i) {
+    EXPECT_LE(top.offsets[i + 1] - top.offsets[i], 3);
+  }
+  // Input-layer block obeys fanout 5.
+  const Block& bottom = batch.blocks[0];
+  for (std::size_t i = 0; i < bottom.dst_size(); ++i) {
+    EXPECT_LE(bottom.offsets[i + 1] - bottom.offsets[i], 5);
+  }
+}
+
+TEST(NeighborSampler, FrontierGrowsAcrossLayers) {
+  const auto ds = small_dataset();
+  const NeighborSampler sampler({10, 10, 10});
+  Rng rng(2);
+  const auto seeds = some_seeds(ds, 32);
+  const auto batch = sampler.sample(ds.graph, seeds, rng);
+  EXPECT_GT(batch.blocks[1].src_size(), batch.blocks[2].src_size());
+  EXPECT_GT(batch.blocks[0].src_size(), batch.blocks[1].src_size());
+  EXPECT_GT(batch.input_rows(), seeds.size() * 4);
+}
+
+TEST(NeighborSampler, DeterministicGivenRng) {
+  const auto ds = small_dataset();
+  const NeighborSampler sampler({5, 5});
+  const auto seeds = some_seeds(ds, 16);
+  Rng r1(3), r2(3);
+  const auto b1 = sampler.sample(ds.graph, seeds, r1);
+  const auto b2 = sampler.sample(ds.graph, seeds, r2);
+  EXPECT_EQ(b1.blocks[0].src_nodes, b2.blocks[0].src_nodes);
+  EXPECT_EQ(b1.blocks[0].indices, b2.blocks[0].indices);
+}
+
+TEST(SampleNeighbors, TakesAllWhenDegreeBelowK) {
+  const auto g = graph::build_csr(4, {{0, 1}, {0, 2}, {0, 3}});
+  Rng rng(4);
+  const auto all = sample_neighbors(g, 0, 10, rng);
+  EXPECT_EQ(all.size(), 3u);
+  const auto two = sample_neighbors(g, 0, 2, rng);
+  EXPECT_EQ(two.size(), 2u);
+  std::unordered_set<NodeId> uniq(two.begin(), two.end());
+  EXPECT_EQ(uniq.size(), 2u);
+}
+
+TEST(LaborSampler, FewerUniqueSourcesThanNeighbor) {
+  // The LABOR property: when destinations share neighborhoods, the shared
+  // per-source variate collapses the union of sampled sources.  Build 50
+  // destinations all adjacent to the same 200 sources (fanout 10 =>
+  // pi = 0.05): node-wise sampling unions ~200*(1-0.95^50) ~ 185 sources,
+  // LABOR keeps only those with r_u <= 0.05, ~10.
+  std::vector<graph::Edge> edges;
+  for (NodeId d = 0; d < 50; ++d) {
+    for (NodeId s = 50; s < 250; ++s) edges.push_back({d, s});
+  }
+  const auto g = graph::build_csr(250, std::move(edges));
+  std::vector<NodeId> seeds;
+  for (NodeId d = 0; d < 50; ++d) seeds.push_back(d);
+  const NeighborSampler ns({10});
+  const LaborSampler ls({10});
+  double n_rows = 0, l_rows = 0;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    Rng r1(100 + s), r2(100 + s);
+    n_rows += ns.sample(g, seeds, r1).input_rows();
+    l_rows += ls.sample(g, seeds, r2).input_rows();
+  }
+  EXPECT_LT(l_rows, 0.5 * n_rows);
+}
+
+TEST(LaborSampler, ExpectedDegreeNearFanout) {
+  const auto ds = small_dataset();
+  const auto seeds = some_seeds(ds, 256);
+  const LaborSampler ls({5});
+  Rng rng(6);
+  const auto batch = ls.sample(ds.graph, seeds, rng);
+  const Block& b = batch.blocks[0];
+  double total = 0;
+  for (std::size_t i = 0; i < b.dst_size(); ++i) {
+    total += static_cast<double>(b.offsets[i + 1] - b.offsets[i]);
+  }
+  // Mean sampled degree ~ fanout (draws with pi<1 average to fanout).
+  EXPECT_NEAR(total / b.dst_size(), 5.0, 1.5);
+}
+
+TEST(LaborSampler, LowDegreeNodesKeepAllNeighbors) {
+  // pi = min(1, fanout/deg): nodes with deg <= fanout keep everything.
+  // Path graph: every node has degree <= 2.
+  std::vector<graph::Edge> edges;
+  for (NodeId v = 0; v + 1 < 20; ++v) edges.push_back({v, v + 1});
+  const auto g = graph::build_csr(20, edges);
+  const LaborSampler ls({5});
+  Rng rng(61);
+  std::vector<NodeId> seeds;
+  for (NodeId v = 0; v < 20; ++v) seeds.push_back(v);
+  const auto batch = ls.sample(g, seeds, rng);
+  const Block& b = batch.blocks[0];
+  for (std::size_t i = 0; i < b.dst_size(); ++i) {
+    EXPECT_EQ(b.offsets[i + 1] - b.offsets[i], g.degree(b.dst_nodes[i]));
+  }
+}
+
+TEST(LaborSampler, GuaranteesOneNeighbor) {
+  const auto ds = small_dataset();
+  const auto seeds = some_seeds(ds, 64);
+  const LaborSampler ls({1, 1});
+  Rng rng(7);
+  const auto batch = ls.sample(ds.graph, seeds, rng);
+  for (const auto& blk : batch.blocks) {
+    for (std::size_t i = 0; i < blk.dst_size(); ++i) {
+      if (ds.graph.degree(blk.dst_nodes[i]) > 0) {
+        EXPECT_GE(blk.offsets[i + 1] - blk.offsets[i], 1);
+      }
+    }
+  }
+}
+
+TEST(LadiesSampler, BudgetBoundsLayerGrowth) {
+  const auto ds = small_dataset();
+  const auto seeds = some_seeds(ds, 64);
+  const LadiesSampler sampler(3, 128);
+  Rng rng(8);
+  const auto batch = sampler.sample(ds.graph, seeds, rng);
+  check_batch(batch, ds.graph, seeds, 3);
+  for (const auto& blk : batch.blocks) {
+    // src = dst + at most budget new nodes.
+    EXPECT_LE(blk.src_size(), blk.dst_size() + 128);
+  }
+}
+
+TEST(LadiesSampler, EdgesCarryDebiasWeights) {
+  const auto ds = small_dataset();
+  const auto seeds = some_seeds(ds, 32);
+  const LadiesSampler sampler(2, 64);
+  Rng rng(9);
+  const auto batch = sampler.sample(ds.graph, seeds, rng);
+  bool any_edges = false;
+  for (const auto& blk : batch.blocks) {
+    if (blk.num_edges() > 0) {
+      any_edges = true;
+      EXPECT_EQ(blk.values.size(), blk.indices.size());
+      for (const float w : blk.values) EXPECT_GT(w, 0.f);
+    }
+  }
+  EXPECT_TRUE(any_edges);
+}
+
+TEST(SaintSampler, SubgraphSizeIndependentOfDepth) {
+  const auto ds = small_dataset();
+  const auto seeds = some_seeds(ds, 64);
+  const SaintNodeSampler s2(2, 256);
+  const SaintNodeSampler s5(5, 256);
+  Rng r1(10), r2(10);
+  const auto b2 = s2.sample(ds.graph, seeds, r1);
+  const auto b5 = s5.sample(ds.graph, seeds, r2);
+  EXPECT_EQ(b2.input_rows(), b5.input_rows());
+  EXPECT_EQ(b5.blocks.size(), 5u);
+}
+
+TEST(SaintSampler, SeedsAreFinalDst) {
+  const auto ds = small_dataset();
+  const auto seeds = some_seeds(ds, 48);
+  const SaintNodeSampler sampler(3, 128);
+  Rng rng(11);
+  const auto batch = sampler.sample(ds.graph, seeds, rng);
+  EXPECT_EQ(batch.seeds(), seeds);
+  // All blocks share one node set (the induced subgraph).
+  EXPECT_EQ(batch.blocks[0].src_nodes, batch.blocks[1].src_nodes);
+  EXPECT_EQ(batch.blocks[0].src_nodes, batch.blocks[2].src_nodes);
+  for (const auto& blk : batch.blocks) check_block_invariants(blk, ds.graph);
+}
+
+TEST(MakeBlock, DedupsSharedSources) {
+  const std::vector<NodeId> dst{0, 1};
+  const std::vector<std::vector<NodeId>> chosen{{5, 6}, {6, 5}};
+  const Block b = make_block(dst, chosen);
+  EXPECT_EQ(b.src_size(), 4u);  // 0, 1, 5, 6
+  EXPECT_EQ(b.num_edges(), 4u);
+}
+
+TEST(InducedBlock, KeepsOnlyInternalEdges) {
+  const auto g = graph::build_csr(4, {{0, 1}, {1, 2}, {2, 3}});
+  const Block b = induced_block(g, {0, 1, 3});
+  // Edges inside {0,1,3}: 0-1 and 1-0 only (2 is excluded).
+  EXPECT_EQ(b.num_edges(), 2u);
+}
+
+TEST(SamplerStats, AccumulatesVolumes) {
+  const auto ds = small_dataset();
+  const NeighborSampler sampler({5, 5});
+  Rng rng(12);
+  SamplerStats stats;
+  const auto seeds = some_seeds(ds, 16);
+  stats.observe(sampler.sample(ds.graph, seeds, rng));
+  stats.observe(sampler.sample(ds.graph, seeds, rng));
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_GT(stats.input_rows, 2 * seeds.size());
+  EXPECT_GT(stats.edges, 0u);
+}
+
+}  // namespace
+}  // namespace ppgnn::sampling

@@ -1,0 +1,81 @@
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "core/sign.h"
+#include "nn/mlp.h"
+#include "tensor/ops.h"
+
+namespace ppgnn::nn {
+namespace {
+
+std::string tmp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Serialize, RoundTripsMlp) {
+  Rng rng(1);
+  Mlp a({4, 8, 3}, 0.f, rng);
+  const std::string path = tmp_path("mlp.ckpt");
+  save_parameters(a, path);
+
+  Mlp b({4, 8, 3}, 0.f, rng);  // different init
+  Tensor x = Tensor::normal({5, 4}, rng);
+  const Tensor before = b.forward(x, false);
+  load_parameters(b, path);
+  const Tensor after = b.forward(x, false);
+  const Tensor expect = a.forward(x, false);
+  EXPECT_FALSE(allclose(before, expect));
+  EXPECT_TRUE(allclose(after, expect));
+}
+
+TEST(Serialize, RoundTripsPpModelSlots) {
+  Rng rng(2);
+  core::SignConfig cfg;
+  cfg.feat_dim = 6;
+  cfg.hops = 2;
+  cfg.hidden = 8;
+  cfg.classes = 3;
+  cfg.dropout = 0.f;
+  core::Sign a(cfg, rng);
+  core::Sign b(cfg, rng);
+  std::vector<ParamSlot> sa, sb;
+  a.collect_params(sa);
+  b.collect_params(sb);
+  const std::string path = tmp_path("sign.ckpt");
+  save_parameters(sa, path);
+  load_parameters(sb, path);
+  Tensor x = Tensor::normal({4, 18}, rng);
+  EXPECT_TRUE(allclose(a.forward(x, false), b.forward(x, false)));
+}
+
+TEST(Serialize, RejectsShapeMismatch) {
+  Rng rng(3);
+  Mlp a({4, 8, 3}, 0.f, rng);
+  const std::string path = tmp_path("mismatch.ckpt");
+  save_parameters(a, path);
+  Mlp wrong({4, 9, 3}, 0.f, rng);
+  EXPECT_THROW(load_parameters(wrong, path), std::runtime_error);
+  Mlp deeper({4, 8, 8, 3}, 0.f, rng);
+  EXPECT_THROW(load_parameters(deeper, path), std::runtime_error);
+}
+
+TEST(Serialize, RejectsGarbageFile) {
+  const std::string path = tmp_path("garbage.ckpt");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("not a checkpoint", f);
+  std::fclose(f);
+  Rng rng(4);
+  Mlp m({2, 2}, 0.f, rng);
+  EXPECT_THROW(load_parameters(m, path), std::runtime_error);
+}
+
+TEST(Serialize, MissingFileThrowsSystemError) {
+  Rng rng(5);
+  Mlp m({2, 2}, 0.f, rng);
+  EXPECT_THROW(load_parameters(m, tmp_path("does_not_exist.ckpt")),
+               std::system_error);
+}
+
+}  // namespace
+}  // namespace ppgnn::nn

@@ -1,0 +1,100 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/rng.h"
+
+namespace ppgnn {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({3, 4});
+  EXPECT_EQ(t.size(), 12u);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 4u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.f);
+}
+
+TEST(Tensor, FullFillsValue) {
+  Tensor t = Tensor::full({2, 2}, 3.5f);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(t[i], 3.5f);
+}
+
+TEST(Tensor, At2D) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 7.f;
+  EXPECT_FLOAT_EQ(t[5], 7.f);
+  EXPECT_FLOAT_EQ(t.at(1, 2), 7.f);
+}
+
+TEST(Tensor, At3D) {
+  Tensor t({2, 3, 4});
+  t.at(1, 2, 3) = 9.f;
+  EXPECT_FLOAT_EQ(t[1 * 12 + 2 * 4 + 3], 9.f);
+  EXPECT_EQ(t.row_size(), 12u);
+}
+
+TEST(Tensor, RowPointerMatchesIndexing) {
+  Tensor t({4, 5});
+  t.at(2, 3) = 1.25f;
+  EXPECT_FLOAT_EQ(t.row(2)[3], 1.25f);
+}
+
+TEST(Tensor, ReshapedPreservesData) {
+  Tensor t = Tensor::from_vector({2, 6}, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11});
+  const Tensor r = t.reshaped({4, 3});
+  EXPECT_EQ(r.rows(), 4u);
+  EXPECT_FLOAT_EQ(r.at(3, 2), 11.f);
+}
+
+TEST(Tensor, ReshapedRejectsWrongCount) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.reshaped({5, 1}), std::invalid_argument);
+}
+
+TEST(Tensor, FromVectorRejectsWrongCount) {
+  EXPECT_THROW(Tensor::from_vector({2, 2}, {1.f, 2.f, 3.f}),
+               std::invalid_argument);
+}
+
+TEST(Tensor, RejectsBadRank) {
+  EXPECT_THROW(Tensor(std::vector<std::size_t>{}), std::invalid_argument);
+  EXPECT_THROW(Tensor({1, 2, 3, 4}), std::invalid_argument);
+}
+
+TEST(Tensor, CheckSameShapeThrows) {
+  Tensor a({2, 3}), b({3, 2});
+  EXPECT_THROW(a.check_same_shape(b, "test"), std::invalid_argument);
+}
+
+TEST(Tensor, UniformWithinBounds) {
+  Rng rng(1);
+  Tensor t = Tensor::uniform({100, 10}, rng, -2.f, 3.f);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t[i], -2.f);
+    EXPECT_LT(t[i], 3.f);
+  }
+}
+
+TEST(Tensor, NormalHasApproxMoments) {
+  Rng rng(2);
+  Tensor t = Tensor::normal({200, 50}, rng, 1.f, 2.f);
+  double mean = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) mean += t[i];
+  mean /= t.size();
+  double var = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    var += (t[i] - mean) * (t[i] - mean);
+  }
+  var /= t.size();
+  EXPECT_NEAR(mean, 1.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(Tensor, BytesMatchesSize) {
+  Tensor t({7, 3});
+  EXPECT_EQ(t.bytes(), 21 * sizeof(float));
+}
+
+}  // namespace
+}  // namespace ppgnn
