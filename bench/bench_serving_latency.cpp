@@ -1,0 +1,184 @@
+// Serving extension — throughput vs. offered load, cache-on vs. cache-off.
+//
+// The training-side benches measure epoch time; a serving tier is measured
+// by the latency distribution it holds while absorbing an offered request
+// rate.  This bench drives the file-backed deployment (features on storage,
+// the case where caching matters) with a paced open-loop Zipf client at
+// increasing offered loads and reports achieved throughput plus p50/p99
+// latency, with and without a 5%-capacity LRU row cache in front of the
+// store.
+//
+// Expected shape: at low load both configs hold sub-millisecond p50 and the
+// curves overlap (the batcher's max_delay floor dominates); as offered load
+// approaches the no-cache service capacity its p99 climbs first and its
+// achieved rate saturates below the offered rate — the cache's extra
+// headroom is the Section-4.1 inversion made visible: the same LRU policy
+// that bought nothing on the training stream (bench_ablation_caching)
+// extends the load a serving tier survives.  (On a box whose page cache
+// absorbs the store's preads, the hit-rate column still shows the
+// inversion even when the latency curves stay close.)
+// Each row also prints as one JSON line ("json: {...}") for machines.
+#include "common.h"
+#include "loader/cache.h"
+#include "loader/storage.h"
+#include "serve/feature_source.h"
+#include "serve/inference_session.h"
+#include "serve/micro_batcher.h"
+#include "serve/server_stats.h"
+#include "serve/workload.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <deque>
+#include <future>
+#include <memory>
+#include <thread>
+
+using namespace ppgnn;
+using namespace ppgnn::bench;
+
+namespace {
+
+constexpr std::size_t kNodes = 20000;
+constexpr std::size_t kFeatDim = 32;
+constexpr std::size_t kClasses = 16;
+constexpr std::size_t kHops = 2;
+
+struct LoadPoint {
+  double offered_rps = 0;
+  double achieved_rps = 0;
+  serve::LatencySummary latency;
+  serve::FeatureCacheStats cache;
+};
+
+std::unique_ptr<core::PpModel> make_model() {
+  Rng rng(7);
+  core::SignConfig cfg;
+  cfg.feat_dim = kFeatDim;
+  cfg.hops = kHops;
+  cfg.hidden = 32;
+  cfg.classes = kClasses;
+  cfg.mlp_layers = 2;
+  cfg.dropout = 0.f;
+  return std::make_unique<core::Sign>(cfg, rng);
+}
+
+// Drives `stream` at `offered_rps` through a fresh session over `source`.
+// Bounded open loop: requests are submitted on schedule while fewer than
+// 4096 are in flight (plus the batcher's own admission bound), so moderate
+// overload shows up as queue latency; past the backpressure bound the
+// driver throttles like a real client feeling admission control, and the
+// achieved-rps column dropping below offered-rps is the overload signal.
+LoadPoint drive(std::unique_ptr<serve::FeatureSource> source,
+                const std::vector<std::int64_t>& stream, double offered_rps) {
+  auto* cached = dynamic_cast<serve::CachedSource*>(source.get());
+  serve::InferenceSession session(make_model(), std::move(source));
+  serve::MicroBatchConfig mc;
+  mc.max_batch_size = 128;
+  mc.max_delay = std::chrono::microseconds(500);
+  serve::ServerStats stats;
+  serve::MicroBatcher batcher(session, mc, &stats);
+
+  const auto interval =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(1.0 / offered_rps));
+  std::deque<std::future<std::vector<float>>> inflight;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto next = t0;
+  for (const auto node : stream) {
+    std::this_thread::sleep_until(next);
+    next += interval;
+    inflight.push_back(batcher.submit(node));
+    // Reap settled futures opportunistically to bound memory.
+    while (inflight.size() > 4096) {
+      inflight.front().get();
+      inflight.pop_front();
+    }
+  }
+  while (!inflight.empty()) {
+    inflight.front().get();
+    inflight.pop_front();
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  LoadPoint p;
+  p.offered_rps = offered_rps;
+  p.achieved_rps = static_cast<double>(stream.size()) / wall;
+  p.latency = stats.summary();
+  if (cached) p.cache = cached->stats();
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  header("Serving: throughput vs offered load, cache-on vs cache-off");
+
+  // Shared offline artifacts: one preprocessing pass, one on-disk store.
+  graph::SbmConfig sc;
+  sc.num_nodes = kNodes;
+  sc.num_classes = kClasses;
+  sc.avg_degree = 10.0;
+  sc.degree_power = 1.6;
+  sc.seed = 11;
+  const auto sbm = graph::generate_sbm(sc);
+  graph::FeatureConfig fc;
+  fc.dim = kFeatDim;
+  const Tensor x = graph::generate_features(sbm.labels, kClasses, fc);
+  core::PrecomputeConfig pc;
+  pc.hops = kHops;
+  const auto pre = core::precompute(sbm.graph, x, pc);
+  char dir_tmpl[] = "/tmp/bench_serving_store.XXXXXX";
+  if (!::mkdtemp(dir_tmpl)) {
+    std::perror("mkdtemp");
+    return 1;
+  }
+  const std::string dir = dir_tmpl;
+  { loader::FeatureFileStore::create(dir, pre.hop_features); }
+
+  const auto open_store = [&] {
+    return loader::FeatureFileStore::open(dir, kNodes, kHops + 1, kFeatDim);
+  };
+  const std::size_t cache_rows = kNodes / 20;  // 5% capacity
+
+  std::printf("%-10s %-8s %12s %10s %10s %10s %10s\n", "offered/s", "cache",
+              "achieved/s", "p50(us)", "p99(us)", "mean(us)", "hit rate");
+  for (const double offered : {2000.0, 5000.0, 10000.0, 20000.0, 50000.0}) {
+    serve::ZipfWorkloadConfig wc;
+    wc.num_nodes = kNodes;
+    // ~1.5s of traffic per point, capped to keep the sweep quick.
+    wc.num_requests = static_cast<std::size_t>(offered * 1.5);
+    wc.skew = 0.99;
+    wc.seed = 31;
+    const auto stream = serve::zipf_stream(wc);
+
+    for (const bool with_cache : {false, true}) {
+      std::unique_ptr<serve::FeatureSource> source =
+          std::make_unique<serve::FileStoreSource>(open_store());
+      if (with_cache) {
+        source = std::make_unique<serve::CachedSource>(
+            std::move(source), std::make_unique<loader::LruCache>(cache_rows));
+      }
+      const auto p = drive(std::move(source), stream, offered);
+      std::printf("%-10.0f %-8s %12.0f %10.0f %10.0f %10.0f %9.1f%%\n",
+                  p.offered_rps, with_cache ? "lru-5%" : "off",
+                  p.achieved_rps, p.latency.p50_us, p.latency.p99_us,
+                  p.latency.mean_us, 100 * p.cache.hit_rate());
+      std::printf("json: {\"offered_rps\":%.0f,\"cache\":\"%s\","
+                  "\"achieved_rps\":%.0f,\"cache_hit_rate\":%.3f,"
+                  "\"latency\":%s}\n",
+                  p.offered_rps, with_cache ? "lru" : "off", p.achieved_rps,
+                  p.cache.hit_rate(), p.latency.to_json().c_str());
+    }
+  }
+  std::printf("\nExpected shape: overlapping sub-millisecond curves at low "
+              "load; the cache-off p99 departs first as offered load "
+              "approaches the store's random-read service rate, while the "
+              "~60%% LRU hit rate (impossible on the training stream — see "
+              "bench_ablation_caching) buys the cached config extra "
+              "headroom.\n");
+  return 0;
+}

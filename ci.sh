@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Per-PR gate: the tier-1 verify command (ROADMAP.md) plus a smoke run of
+# the serving path, so regressions in either the build or online serving
+# are caught before merge.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== configure + build =="
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+
+echo "== tier-1 tests =="
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+echo "== serve_cli smoke (scaled down; exits nonzero under 10k req/s) =="
+./build/serve_cli --nodes=20000 --requests=30000
+
+echo "CI OK"

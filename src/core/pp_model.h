@@ -36,6 +36,17 @@ class PpModel {
     for (const auto& s : slots) n += s.value->size();
     return n;
   }
+
+  // Batched-inference entry point (the serving path, src/serve/).  Eval-mode
+  // forward: dropout off, no gradient caching required.  Row-independent by
+  // construction — every kernel on the inference path processes output rows
+  // independently with a fixed accumulation order, so infer() over a batch
+  // is bit-identical to concatenating per-row infer() calls (test_serve
+  // relies on this to prove micro-batching never changes answers).  Not
+  // required to be concurrency-safe: callers serialize calls per model
+  // instance (the MicroBatcher's dispatcher does) and intra-batch
+  // parallelism comes from the kernels' global thread pool.
+  virtual Tensor infer(const Tensor& batch) { return forward(batch, false); }
 };
 
 // Copies hop `h` (feature width f) out of an expanded batch.

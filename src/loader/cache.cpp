@@ -21,13 +21,15 @@ LruCache::LruCache(std::size_t capacity) : capacity_(capacity) {
   map_.reserve(capacity * 2);
 }
 
-bool LruCache::access(std::int64_t row) {
+bool LruCache::access(std::int64_t row, std::int64_t* evicted) {
+  if (evicted) *evicted = -1;
   const auto it = map_.find(row);
   if (it != map_.end()) {
     order_.splice(order_.begin(), order_, it->second);  // refresh
     return true;
   }
   if (map_.size() == capacity_) {
+    if (evicted) *evicted = order_.back();
     map_.erase(order_.back());
     order_.pop_back();
   }

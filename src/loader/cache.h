@@ -25,6 +25,19 @@ class RowCache {
   virtual ~RowCache() = default;
   // Records an access; returns true on hit.
   virtual bool access(std::int64_t row) = 0;
+  // Eviction-aware access for payload-carrying callers (the serving path in
+  // src/serve/ keeps row bytes keyed by id and must drop them when the
+  // policy displaces a row).  Behaves like access(); additionally writes the
+  // displaced row id to *evicted, or -1 when nothing left the cache.  A
+  // return of false with *evicted == -1 and resident() == false means the
+  // policy declined to admit the row at all (StaticCache misses).
+  virtual bool access(std::int64_t row, std::int64_t* evicted) {
+    if (evicted) *evicted = -1;
+    return access(row);
+  }
+  // Whether `row` is currently held (post-access membership, no state
+  // change).  Payload callers use this to decide whether to retain bytes.
+  virtual bool resident(std::int64_t row) const = 0;
   virtual std::size_t capacity() const = 0;
   virtual const char* policy() const = 0;
 };
@@ -35,6 +48,9 @@ class StaticCache : public RowCache {
  public:
   explicit StaticCache(const std::vector<std::int64_t>& pinned_rows);
   bool access(std::int64_t row) override;
+  bool resident(std::int64_t row) const override {
+    return pinned_.count(row) > 0;
+  }
   std::size_t capacity() const override { return pinned_.size(); }
   const char* policy() const override { return "static"; }
 
@@ -46,7 +62,11 @@ class StaticCache : public RowCache {
 class LruCache : public RowCache {
  public:
   explicit LruCache(std::size_t capacity);
-  bool access(std::int64_t row) override;
+  bool access(std::int64_t row) override { return access(row, nullptr); }
+  bool access(std::int64_t row, std::int64_t* evicted) override;
+  bool resident(std::int64_t row) const override {
+    return map_.count(row) > 0;
+  }
   std::size_t capacity() const override { return capacity_; }
   const char* policy() const override { return "lru"; }
   std::size_t size() const { return map_.size(); }

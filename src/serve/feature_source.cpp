@@ -1,0 +1,115 @@
+#include "serve/feature_source.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace ppgnn::serve {
+
+namespace {
+
+void check_rows(const std::vector<std::int64_t>& rows, std::size_t n) {
+  for (const auto r : rows) {
+    if (r < 0 || static_cast<std::size_t>(r) >= n) {
+      throw std::out_of_range("FeatureSource: node id out of range");
+    }
+  }
+}
+
+}  // namespace
+
+void MemorySource::gather(const std::vector<std::int64_t>& rows, Tensor& out) {
+  check_rows(rows, num_rows());
+  out = pre_->expanded_rows(rows);
+}
+
+void FileStoreSource::gather(const std::vector<std::int64_t>& rows,
+                             Tensor& out) {
+  check_rows(rows, num_rows());
+  if (out.ndim() != 2 || out.rows() != rows.size() ||
+      out.cols() != row_dim()) {
+    out = Tensor({rows.size(), row_dim()});
+  }
+  store_.read_rows(rows, out);
+}
+
+CachedSource::CachedSource(std::unique_ptr<FeatureSource> backing,
+                           std::unique_ptr<loader::RowCache> policy)
+    : backing_(std::move(backing)), policy_(std::move(policy)) {
+  if (!backing_ || !policy_) {
+    throw std::invalid_argument("CachedSource: null backing or policy");
+  }
+}
+
+void CachedSource::gather(const std::vector<std::int64_t>& rows, Tensor& out) {
+  const std::size_t dim = row_dim();
+  if (out.ndim() != 2 || out.rows() != rows.size() || out.cols() != dim) {
+    out = Tensor({rows.size(), dim});
+  }
+  // Pass 1 (under the lock): run the policy, serve payload hits, and group
+  // misses by unique row (a row requested twice in one batch is fetched
+  // once).
+  std::vector<std::int64_t> miss_rows;
+  std::unordered_map<std::int64_t, std::vector<std::size_t>> miss_positions;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const std::int64_t r = rows[i];
+      ++stats_.accesses;
+      std::int64_t evicted = -1;
+      policy_->access(r, &evicted);
+      if (evicted >= 0) payload_.erase(evicted);
+      const auto it = payload_.find(r);
+      if (it != payload_.end()) {
+        ++stats_.hits;
+        std::memcpy(out.row(i), it->second.data(), dim * sizeof(float));
+        continue;
+      }
+      auto& positions = miss_positions[r];
+      if (positions.empty()) {
+        miss_rows.push_back(r);
+      } else {
+        ++stats_.hits;  // repeat within the batch: served without a re-read
+      }
+      positions.push_back(i);
+    }
+  }
+  if (miss_rows.empty()) return;
+  // Pass 2 (no lock): one backing fetch for all unique misses.
+  Tensor fetched({miss_rows.size(), dim});
+  backing_->gather(miss_rows, fetched);
+  // Pass 3 (under the lock): scatter to output and retain payloads the
+  // policy admitted (StaticCache declines non-pinned rows; LRU admits all).
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.rows_read += miss_rows.size();
+  for (std::size_t m = 0; m < miss_rows.size(); ++m) {
+    const std::int64_t r = miss_rows[m];
+    for (const std::size_t i : miss_positions[r]) {
+      std::memcpy(out.row(i), fetched.row(m), dim * sizeof(float));
+    }
+    if (policy_->resident(r)) {
+      payload_[r].assign(fetched.row(m), fetched.row(m) + dim);
+    }
+  }
+}
+
+FeatureCacheStats CachedSource::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void CachedSource::warm(const std::vector<std::int64_t>& rows) {
+  if (rows.empty()) return;
+  Tensor fetched({rows.size(), row_dim()});
+  backing_->gather(rows, fetched);
+  std::lock_guard<std::mutex> lk(mu_);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::int64_t evicted = -1;
+    policy_->access(rows[i], &evicted);
+    if (evicted >= 0) payload_.erase(evicted);
+    if (policy_->resident(rows[i])) {
+      payload_[rows[i]].assign(fetched.row(i), fetched.row(i) + row_dim());
+    }
+  }
+}
+
+}  // namespace ppgnn::serve

@@ -1,0 +1,128 @@
+// Per-node feature resolution for online serving — and why serving INVERTS
+// the paper's Section-4.1 caching argument.
+//
+// Section 4.1 rejects feature caching for PP-GNN *training*: every training
+// row is visited exactly once per epoch in a random order, so any cache's
+// hit rate collapses to its capacity fraction and double buffering wins.
+// That argument is a property of the access stream, not of PP-GNNs.  An
+// online *serving* stream is the opposite regime: requests arrive with the
+// heavy-tailed popularity of real user traffic (hot products, hub users),
+// so a small cache over the expanded rows absorbs most fetches — exactly
+// the PaGraph/GNNLab situation the paper contrasts against.  The same
+// loader::RowCache policies training rejected (measured useless in
+// bench_ablation_caching) become the serving hot path here, which is why
+// CachedSource composes them instead of reimplementing: one policy
+// implementation, two opposite verdicts, both measured.
+//
+// FeatureSource abstracts where a node's expanded row [hop0|...|hopR] comes
+// from: MemorySource reads core::Preprocessed (features fit in RAM),
+// FileStoreSource reads loader::FeatureFileStore row-granularly (features
+// on storage — the deployment case), and CachedSource decorates either with
+// a payload cache driven by any loader::RowCache eviction policy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/precompute.h"
+#include "loader/cache.h"
+#include "loader/storage.h"
+#include "tensor/tensor.h"
+
+namespace ppgnn::serve {
+
+class FeatureSource {
+ public:
+  virtual ~FeatureSource() = default;
+
+  virtual std::size_t num_rows() const = 0;
+  // Expanded row width (R+1)*F — the model's input dimension.
+  virtual std::size_t row_dim() const = 0;
+  // out is resized to [rows.size(), row_dim()]; out.row(i) = expanded
+  // features of rows[i].  Must be safe to call from multiple threads.
+  virtual void gather(const std::vector<std::int64_t>& rows, Tensor& out) = 0;
+  virtual const char* kind() const = 0;
+};
+
+// In-memory resolution over a Preprocessed the caller keeps alive (serving
+// from the training box, or graphs small enough to pin in RAM).
+class MemorySource : public FeatureSource {
+ public:
+  explicit MemorySource(const core::Preprocessed& pre) : pre_(&pre) {}
+
+  std::size_t num_rows() const override { return pre_->num_nodes(); }
+  std::size_t row_dim() const override {
+    return pre_->hop_features.size() * pre_->feat_dim();
+  }
+  void gather(const std::vector<std::int64_t>& rows, Tensor& out) override;
+  const char* kind() const override { return "memory"; }
+
+ private:
+  const core::Preprocessed* pre_;
+};
+
+// Storage-backed resolution: one row-granular read_rows per miss batch.
+// Owns the store; reads use pread and are thread-safe.
+class FileStoreSource : public FeatureSource {
+ public:
+  explicit FileStoreSource(loader::FeatureFileStore store)
+      : store_(std::move(store)) {}
+
+  std::size_t num_rows() const override { return store_.num_rows(); }
+  std::size_t row_dim() const override {
+    return store_.num_hops() * store_.hop_dim();
+  }
+  void gather(const std::vector<std::int64_t>& rows, Tensor& out) override;
+  const char* kind() const override { return "file"; }
+
+  const loader::FeatureFileStore& store() const { return store_; }
+
+ private:
+  loader::FeatureFileStore store_;
+};
+
+struct FeatureCacheStats {
+  std::size_t accesses = 0;   // row occurrences requested
+  std::size_t hits = 0;       // served without a backing read (cached
+                              // payload, or a repeat within one batch)
+  std::size_t rows_read = 0;  // unique rows fetched from the backing source
+  double hit_rate() const {
+    return accesses ? static_cast<double>(hits) /
+                          static_cast<double>(accesses)
+                    : 0.0;
+  }
+};
+
+// Payload cache over any backing source, driven by a loader::RowCache
+// policy (LRU for popularity drift, StaticCache pinned on degree- or
+// frequency-hot rows for a GNNLab-style fixed hot set).  The policy decides
+// admission/eviction; this class keeps the actual row bytes.
+class CachedSource : public FeatureSource {
+ public:
+  CachedSource(std::unique_ptr<FeatureSource> backing,
+               std::unique_ptr<loader::RowCache> policy);
+
+  std::size_t num_rows() const override { return backing_->num_rows(); }
+  std::size_t row_dim() const override { return backing_->row_dim(); }
+  void gather(const std::vector<std::int64_t>& rows, Tensor& out) override;
+  const char* kind() const override { return "cached"; }
+
+  FeatureCacheStats stats() const;
+  const loader::RowCache& cache_policy() const { return *policy_; }
+
+  // Pre-populates payloads for rows the policy will retain (e.g. a
+  // StaticCache pin set) so the first requests already hit.
+  void warm(const std::vector<std::int64_t>& rows);
+
+ private:
+  std::unique_ptr<FeatureSource> backing_;
+  std::unique_ptr<loader::RowCache> policy_;
+  std::unordered_map<std::int64_t, std::vector<float>> payload_;
+  FeatureCacheStats stats_;
+  mutable std::mutex mu_;
+};
+
+}  // namespace ppgnn::serve

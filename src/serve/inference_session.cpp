@@ -1,0 +1,44 @@
+#include "serve/inference_session.h"
+
+#include <stdexcept>
+
+#include "nn/serialize.h"
+
+namespace ppgnn::serve {
+
+InferenceSession::InferenceSession(std::unique_ptr<core::PpModel> model,
+                                   std::unique_ptr<FeatureSource> features)
+    : model_(std::move(model)), features_(std::move(features)) {
+  if (!model_ || !features_) {
+    throw std::invalid_argument("InferenceSession: null model or features");
+  }
+}
+
+Tensor InferenceSession::infer_nodes(const std::vector<std::int64_t>& nodes) {
+  if (nodes.empty()) {
+    throw std::invalid_argument("infer_nodes: empty request batch");
+  }
+  Tensor batch;
+  features_->gather(nodes, batch);
+  std::lock_guard<std::mutex> lk(mu_);
+  return model_->infer(batch);
+}
+
+std::vector<float> InferenceSession::infer_one(std::int64_t node) {
+  const Tensor logits = infer_nodes({node});
+  return std::vector<float>(logits.row(0), logits.row(0) + logits.cols());
+}
+
+void save_deployed_model(core::PpModel& model, const std::string& path) {
+  std::vector<nn::ParamSlot> slots;
+  model.collect_params(slots);
+  nn::save_parameters(slots, path);
+}
+
+void load_deployed_model(core::PpModel& model, const std::string& path) {
+  std::vector<nn::ParamSlot> slots;
+  model.collect_params(slots);
+  nn::load_parameters(slots, path);
+}
+
+}  // namespace ppgnn::serve

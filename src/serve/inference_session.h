@@ -1,0 +1,57 @@
+// InferenceSession: a deployed PP-GNN answering per-node prediction
+// requests.
+//
+// PP-GNNs are uniquely serving-friendly (the flip side of the paper's
+// training story): all graph structure was consumed at preprocessing time,
+// so online inference is a pure MLP over the node's precomputed expanded
+// row — no neighborhood explosion, no sampler, no graph in the serving
+// tier at all.  A session is (model weights from an nn/serialize
+// checkpoint) x (a FeatureSource resolving node ids to expanded rows), and
+// a request is just a node id.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/pp_model.h"
+#include "serve/feature_source.h"
+#include "tensor/tensor.h"
+
+namespace ppgnn::serve {
+
+class InferenceSession {
+ public:
+  // Takes ownership of both.  The feature source's row_dim() must match the
+  // model's expected input width; checked lazily on first inference.
+  InferenceSession(std::unique_ptr<core::PpModel> model,
+                   std::unique_ptr<FeatureSource> features);
+
+  // Resolves features and runs one eval-mode forward; returns logits
+  // [nodes.size(), classes].  Calls are serialized internally (PpModel
+  // implementations keep forward scratch state); intra-batch parallelism
+  // comes from the kernels' thread pool.
+  Tensor infer_nodes(const std::vector<std::int64_t>& nodes);
+
+  // Single-request convenience: the logits row for one node.
+  std::vector<float> infer_one(std::int64_t node);
+
+  std::size_t num_nodes() const { return features_->num_rows(); }
+  core::PpModel& model() { return *model_; }
+  FeatureSource& features() { return *features_; }
+
+ private:
+  std::unique_ptr<core::PpModel> model_;
+  std::unique_ptr<FeatureSource> features_;
+  std::mutex mu_;
+};
+
+// Deployment round-trip helpers over nn/serialize: weights-only checkpoints
+// (optimizer state has no business in a serving tier — contrast
+// core/checkpoint.h, which restores training runs).
+void save_deployed_model(core::PpModel& model, const std::string& path);
+void load_deployed_model(core::PpModel& model, const std::string& path);
+
+}  // namespace ppgnn::serve

@@ -1,0 +1,120 @@
+#include "serve/micro_batcher.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ppgnn::serve {
+
+MicroBatcher::MicroBatcher(InferenceSession& session,
+                           const MicroBatchConfig& cfg, ServerStats* stats)
+    : session_(session), cfg_(cfg), stats_(stats) {
+  if (cfg_.max_batch_size == 0 || cfg_.queue_capacity == 0) {
+    throw std::invalid_argument("MicroBatcher: zero batch size or capacity");
+  }
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+MicroBatcher::~MicroBatcher() { stop(); }
+
+std::future<std::vector<float>> MicroBatcher::submit(std::int64_t node) {
+  Pending p;
+  p.node = node;
+  p.enqueued = std::chrono::steady_clock::now();
+  auto fut = p.result.get_future();
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_space_.wait(lk, [this] {
+      return stop_ || queue_.size() < cfg_.queue_capacity;
+    });
+    if (stop_) throw std::runtime_error("MicroBatcher: stopped");
+    queue_.push_back(std::move(p));
+  }
+  cv_arrival_.notify_one();
+  return fut;
+}
+
+std::vector<float> MicroBatcher::infer_blocking(std::int64_t node) {
+  return submit(node).get();
+}
+
+std::vector<MicroBatcher::Pending> MicroBatcher::next_batch() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_arrival_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+  if (queue_.empty()) return {};  // stopping and fully drained
+  // The batch window opens when the oldest pending request arrived; close
+  // it at size or deadline, whichever first.  On stop, dispatch immediately
+  // — drain latency beats batch quality during shutdown.
+  const auto deadline = queue_.front().enqueued + cfg_.max_delay;
+  while (!stop_ && queue_.size() < cfg_.max_batch_size) {
+    if (cv_arrival_.wait_until(lk, deadline) == std::cv_status::timeout) {
+      break;
+    }
+  }
+  const std::size_t take = std::min(queue_.size(), cfg_.max_batch_size);
+  std::vector<Pending> batch;
+  batch.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  counters_.requests += take;
+  ++counters_.batches;
+  counters_.max_batch_observed = std::max(counters_.max_batch_observed, take);
+  lk.unlock();
+  cv_space_.notify_all();
+  return batch;
+}
+
+void MicroBatcher::dispatcher_loop() {
+  std::vector<std::int64_t> nodes;
+  for (;;) {
+    std::vector<Pending> batch = next_batch();
+    if (batch.empty()) return;
+    nodes.clear();
+    for (const auto& p : batch) nodes.push_back(p.node);
+    try {
+      const Tensor logits = session_.infer_nodes(nodes);
+      const auto done = std::chrono::steady_clock::now();
+      if (stats_) stats_->record_batch(batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        // Record before set_value: a resolved future releases the client,
+        // which may read stats before this loop finishes otherwise.
+        if (stats_) {
+          stats_->record(std::chrono::duration<double, std::micro>(
+                             done - batch[i].enqueued)
+                             .count());
+        }
+        batch[i].result.set_value(std::vector<float>(
+            logits.row(i), logits.row(i) + logits.cols()));
+      }
+    } catch (...) {
+      // A bad node id (or any backend failure) fails this batch's
+      // requests, not the server.
+      for (auto& p : batch) p.result.set_exception(std::current_exception());
+    }
+  }
+}
+
+void MicroBatcher::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_arrival_.notify_all();
+  cv_space_.notify_all();
+  // Claim the thread under the lock so concurrent stop() calls (e.g. an
+  // explicit stop racing the destructor) can't both join it.
+  std::thread t;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    t = std::move(dispatcher_);
+  }
+  if (t.joinable()) t.join();
+}
+
+BatchCounters MicroBatcher::counters() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_;
+}
+
+}  // namespace ppgnn::serve

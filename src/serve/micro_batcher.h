@@ -1,0 +1,101 @@
+// Dynamic micro-batching: coalesce concurrent single-node requests into
+// model-sized batches.
+//
+// One forward over b rows costs far less than b forwards over one row (the
+// GEMM amortizes weight traffic and the thread-pool fan-out), so the
+// classic serving trade applies: hold a request for up to max_delay hoping
+// peers arrive, dispatch early when max_batch_size fills.  The admission
+// queue is bounded (queue_capacity); submit() blocks when full, which is
+// the simplest form of admission control — callers feel backpressure
+// instead of the server melting.  A single dispatcher thread owns the
+// model; intra-batch parallelism comes from the kernels' global thread pool
+// (tensor/parallel), so results are deterministic regardless of how
+// requests interleave — test_serve proves batched output is bit-identical
+// to single-request inference.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/inference_session.h"
+#include "serve/server_stats.h"
+
+namespace ppgnn::serve {
+
+struct MicroBatchConfig {
+  std::size_t max_batch_size = 64;
+  // Longest a request may wait for peers before its batch dispatches.
+  std::chrono::microseconds max_delay{200};
+  // Admission bound on queued (not yet dispatched) requests.
+  std::size_t queue_capacity = 8192;
+};
+
+struct BatchCounters {
+  std::size_t requests = 0;
+  std::size_t batches = 0;
+  std::size_t max_batch_observed = 0;
+  double mean_batch_size() const {
+    return batches ? static_cast<double>(requests) /
+                         static_cast<double>(batches)
+                   : 0.0;
+  }
+};
+
+class MicroBatcher {
+ public:
+  // stats may be null; when given, per-request latency (submit ->
+  // completion) and per-batch sizes are recorded into it.
+  MicroBatcher(InferenceSession& session, const MicroBatchConfig& cfg,
+               ServerStats* stats = nullptr);
+  ~MicroBatcher();  // stop() + join
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  // Enqueues one request; the future resolves to the node's logits row.
+  // Blocks while the queue is at capacity.  Throws std::runtime_error after
+  // stop().
+  std::future<std::vector<float>> submit(std::int64_t node);
+
+  // Convenience closed-loop client call.
+  std::vector<float> infer_blocking(std::int64_t node);
+
+  // Drains everything already admitted, then joins the dispatcher.
+  // Idempotent.
+  void stop();
+
+  BatchCounters counters() const;
+
+ private:
+  struct Pending {
+    std::int64_t node = 0;
+    std::promise<std::vector<float>> result;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void dispatcher_loop();
+  // Pops up to max_batch_size requests once the batch window closes.
+  // Returns an empty vector only when stopping with an empty queue.
+  std::vector<Pending> next_batch();
+
+  InferenceSession& session_;
+  MicroBatchConfig cfg_;
+  ServerStats* stats_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_arrival_;  // queue became non-empty / stop
+  std::condition_variable cv_space_;    // queue has room again
+  std::deque<Pending> queue_;
+  BatchCounters counters_;
+  bool stop_ = false;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace ppgnn::serve

@@ -1,0 +1,97 @@
+#include "serve/server_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ppgnn::serve {
+
+double percentile(std::vector<double> sample, double p) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const double rank = p / 100.0 * static_cast<double>(sample.size());
+  auto idx = static_cast<std::size_t>(std::ceil(rank));
+  if (idx > 0) --idx;  // nearest-rank is 1-based
+  if (idx >= sample.size()) idx = sample.size() - 1;
+  return sample[idx];
+}
+
+std::string LatencySummary::to_json() const {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\":%zu,\"p50_us\":%.1f,\"p95_us\":%.1f,"
+                "\"p99_us\":%.1f,\"mean_us\":%.1f,\"max_us\":%.1f,"
+                "\"wall_seconds\":%.4f,\"throughput_rps\":%.0f}",
+                count, p50_us, p95_us, p99_us, mean_us, max_us, wall_seconds,
+                throughput_rps);
+  return buf;
+}
+
+void ServerStats::record(double latency_us) {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lk(mu_);
+  latencies_us_.push_back(latency_us);
+  if (!any_) {
+    first_done_ = now;
+    any_ = true;
+  }
+  last_done_ = now;
+}
+
+void ServerStats::record_batch(std::size_t batch_size) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++batches_;
+  batched_requests_ += batch_size;
+}
+
+LatencySummary ServerStats::summary() const {
+  std::vector<double> sample;
+  LatencySummary s;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    sample = latencies_us_;
+    if (any_) {
+      s.wall_seconds =
+          std::chrono::duration<double>(last_done_ - first_done_).count();
+    }
+  }
+  s.count = sample.size();
+  if (sample.empty()) return s;
+  double sum = 0, mx = 0;
+  for (const double v : sample) {
+    sum += v;
+    mx = std::max(mx, v);
+  }
+  s.mean_us = sum / static_cast<double>(sample.size());
+  s.max_us = mx;
+  s.p50_us = percentile(sample, 50);
+  s.p95_us = percentile(sample, 95);
+  s.p99_us = percentile(sample, 99);
+  // A single instantaneous completion has no measurable span; report the
+  // count over a conservative 1us floor instead of infinity.
+  const double span = std::max(s.wall_seconds, 1e-6);
+  s.throughput_rps = static_cast<double>(s.count) / span;
+  return s;
+}
+
+std::size_t ServerStats::batches() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return batches_;
+}
+
+double ServerStats::mean_batch_size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return batches_ == 0 ? 0.0
+                       : static_cast<double>(batched_requests_) /
+                             static_cast<double>(batches_);
+}
+
+void ServerStats::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  latencies_us_.clear();
+  batches_ = 0;
+  batched_requests_ = 0;
+  any_ = false;
+}
+
+}  // namespace ppgnn::serve

@@ -1,0 +1,62 @@
+// Latency / throughput accounting for the online serving subsystem.
+//
+// Serving is judged on tail latency under concurrent load, not epoch time
+// (the training-side metric everywhere else in this repo).  ServerStats is
+// the one sink every serving component reports into: per-request latencies
+// (submit -> response) and completion timestamps, summarized as p50/p95/p99,
+// mean, max and sustained throughput.  The summary prints both as a
+// bench/common.h-style table row and as a single JSON object line, which is
+// the machine-readable shape bench_serving_latency emits.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ppgnn::serve {
+
+struct LatencySummary {
+  std::size_t count = 0;
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+  double mean_us = 0;
+  double max_us = 0;
+  // Span from the first to the last completion and the sustained rate over
+  // that span.
+  double wall_seconds = 0;
+  double throughput_rps = 0;
+
+  // One JSON object, e.g. {"count":1000,"p50_us":12.0,...}.
+  std::string to_json() const;
+};
+
+// Percentile over an unsorted sample (nearest-rank), p in [0, 100].
+double percentile(std::vector<double> sample, double p);
+
+// Thread-safe recorder shared by client threads and the dispatcher.
+class ServerStats {
+ public:
+  // Records one completed request's latency in microseconds.
+  void record(double latency_us);
+  // Records one dispatched micro-batch of the given size.
+  void record_batch(std::size_t batch_size);
+
+  LatencySummary summary() const;
+  std::size_t batches() const;
+  double mean_batch_size() const;
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> latencies_us_;
+  std::size_t batches_ = 0;
+  std::size_t batched_requests_ = 0;
+  bool any_ = false;
+  std::chrono::steady_clock::time_point first_done_;
+  std::chrono::steady_clock::time_point last_done_;
+};
+
+}  // namespace ppgnn::serve

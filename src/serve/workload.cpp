@@ -1,0 +1,70 @@
+#include "serve/workload.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/generator.h"
+#include "tensor/rng.h"
+
+namespace ppgnn::serve {
+
+namespace {
+
+// Rank -> node id permutation shared by zipf_stream and zipf_hot_set:
+// same (num_nodes, seed) -> same popularity assignment.
+std::vector<std::int64_t> rank_to_node(std::size_t n, std::uint64_t seed) {
+  std::vector<std::int64_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::int64_t{0});
+  Rng rng(seed);
+  rng.shuffle(perm);
+  return perm;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> zipf_stream(const ZipfWorkloadConfig& cfg) {
+  if (cfg.num_nodes == 0) {
+    throw std::invalid_argument("zipf_stream: num_nodes must be > 0");
+  }
+  std::vector<double> weights(cfg.num_nodes);
+  for (std::size_t r = 0; r < cfg.num_nodes; ++r) {
+    weights[r] = std::pow(static_cast<double>(r + 1), -cfg.skew);
+  }
+  const graph::AliasTable table(weights);
+  const auto perm = rank_to_node(cfg.num_nodes, cfg.seed);
+  Rng rng(cfg.seed + 0x5e1ec7ed);
+  std::vector<std::int64_t> stream;
+  stream.reserve(cfg.num_requests);
+  for (std::size_t i = 0; i < cfg.num_requests; ++i) {
+    stream.push_back(perm[table.sample(rng)]);
+  }
+  return stream;
+}
+
+std::vector<std::int64_t> degree_stream(const graph::CsrGraph& g,
+                                        std::size_t num_requests,
+                                        std::uint64_t seed) {
+  std::vector<double> weights(g.num_nodes());
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    weights[v] =
+        static_cast<double>(g.degree(static_cast<graph::NodeId>(v)) + 1);
+  }
+  const graph::AliasTable table(weights);
+  Rng rng(seed);
+  std::vector<std::int64_t> stream;
+  stream.reserve(num_requests);
+  for (std::size_t i = 0; i < num_requests; ++i) {
+    stream.push_back(static_cast<std::int64_t>(table.sample(rng)));
+  }
+  return stream;
+}
+
+std::vector<std::int64_t> zipf_hot_set(const ZipfWorkloadConfig& cfg,
+                                       std::size_t k) {
+  const auto perm = rank_to_node(cfg.num_nodes, cfg.seed);
+  const std::size_t take = std::min(k, perm.size());
+  return std::vector<std::int64_t>(perm.begin(), perm.begin() + take);
+}
+
+}  // namespace ppgnn::serve

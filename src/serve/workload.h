@@ -1,0 +1,43 @@
+// Synthetic serving workloads: heavy-tailed request streams.
+//
+// Real user traffic over a graph is skewed — a few hub nodes (popular
+// products, celebrity accounts) absorb most requests.  Two generators:
+// Zipf over a hidden popularity ranking (rank-r node drawn with probability
+// proportional to r^-s; s≈1 matches web/product traffic), and
+// degree-proportional sampling, which ties popularity to the graph's own
+// hubs.  Hot node ids are scattered uniformly over [0, n) — popularity is
+// uncorrelated with id order, as in real datasets — so nothing about the
+// stream is recoverable from id locality alone.  Both reuse
+// graph::AliasTable for O(1) draws.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace ppgnn::serve {
+
+struct ZipfWorkloadConfig {
+  std::size_t num_nodes = 0;
+  std::size_t num_requests = 0;
+  // Zipf exponent; 0 degenerates to uniform (the training-like stream on
+  // which serving caches buy nothing — the Section-4.1 regime).
+  double skew = 0.99;
+  std::uint64_t seed = 1;
+};
+
+// Request stream of node ids in [0, num_nodes).
+std::vector<std::int64_t> zipf_stream(const ZipfWorkloadConfig& cfg);
+
+// Requests drawn proportional to (degree + 1) — hub-weighted traffic.
+std::vector<std::int64_t> degree_stream(const graph::CsrGraph& g,
+                                        std::size_t num_requests,
+                                        std::uint64_t seed);
+
+// The k hottest node ids of a config's popularity ranking (without
+// sampling) — the oracle pin set for a StaticCache serving that stream.
+std::vector<std::int64_t> zipf_hot_set(const ZipfWorkloadConfig& cfg,
+                                       std::size_t k);
+
+}  // namespace ppgnn::serve
