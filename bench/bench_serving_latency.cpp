@@ -1,36 +1,49 @@
-// Serving extension — throughput vs. offered load, cache-on vs. cache-off.
+// Serving extension — three experiments, one per serving claim:
 //
-// The training-side benches measure epoch time; a serving tier is measured
-// by the latency distribution it holds while absorbing an offered request
-// rate.  This bench drives the file-backed deployment (features on storage,
-// the case where caching matters) with a paced open-loop Zipf client at
-// increasing offered loads and reports achieved throughput plus p50/p99
-// latency, with and without a 5%-capacity LRU row cache in front of the
-// store.
+//  1. Throughput vs. offered load, cache-on vs. cache-off (PR 1).  The
+//     Section-4.1 inversion made visible: the same LRU policy that bought
+//     nothing on the training stream (bench_ablation_caching) extends the
+//     load a serving tier survives.
 //
-// Expected shape: at low load both configs hold sub-millisecond p50 and the
-// curves overlap (the batcher's max_delay floor dominates); as offered load
-// approaches the no-cache service capacity its p99 climbs first and its
-// achieved rate saturates below the offered rate — the cache's extra
-// headroom is the Section-4.1 inversion made visible: the same LRU policy
-// that bought nothing on the training stream (bench_ablation_caching)
-// extends the load a serving tier survives.  (On a box whose page cache
-// absorbs the store's preads, the hit-rate column still shows the
-// inversion even when the latency curves stay close.)
-// Each row also prints as one JSON line ("json: {...}") for machines.
+//  2. Replicas x routing policy.  N independent pipelines behind a
+//     ReplicaSet, closed-loop clients pushing each config to saturation.
+//     Reports per-config throughput, tail latency and aggregate cache hit
+//     rate, plus the throughput scaling factor vs. one replica.  Scaling
+//     tracks min(replicas, cores): each replica needs a core to itself to
+//     add service capacity, so on a many-core box 4 replicas clear 2x+
+//     while a single-core box shows the flat curve it should.
+//     cache_affinity's hit-rate column is the policy's point: sharded
+//     caches stop duplicating the same hot set.
+//
+//  3. Admission control at overload.  A paced open-loop client offers 2x
+//     the single-replica saturation rate; the shed-budget sweep shows the
+//     trade: with shedding off, queue delay grows to whatever the bounded
+//     queue holds (p99 ~ capacity / service rate); with a budget, the p99
+//     of *admitted* requests stays pinned near the budget and the overload
+//     shows up as shed rate instead — and the kLow class absorbs nearly
+//     all of it, which is what priority classes are for.
+//
+// Every row also prints as one JSON line ("json: {...}"); --json=PATH
+// additionally writes all records to PATH as a JSON array (the
+// BENCH_serving.json artifact CI uploads).  --quick shrinks streams for
+// CI-sized runs.
 #include "common.h"
 #include "loader/cache.h"
 #include "loader/storage.h"
 #include "serve/feature_source.h"
 #include "serve/inference_session.h"
 #include "serve/micro_batcher.h"
+#include "serve/replica_set.h"
+#include "serve/router.h"
 #include "serve/server_stats.h"
 #include "serve/workload.h"
 
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <deque>
+#include <fstream>
 #include <future>
 #include <memory>
 #include <thread>
@@ -45,12 +58,12 @@ constexpr std::size_t kFeatDim = 32;
 constexpr std::size_t kClasses = 16;
 constexpr std::size_t kHops = 2;
 
-struct LoadPoint {
-  double offered_rps = 0;
-  double achieved_rps = 0;
-  serve::LatencySummary latency;
-  serve::FeatureCacheStats cache;
-};
+std::vector<std::string> g_records;  // every JSON line, for --json=PATH
+
+void emit(const std::string& json) {
+  std::printf("json: %s\n", json.c_str());
+  g_records.push_back(json);
+}
 
 std::unique_ptr<core::PpModel> make_model() {
   Rng rng(7);
@@ -64,12 +77,20 @@ std::unique_ptr<core::PpModel> make_model() {
   return std::make_unique<core::Sign>(cfg, rng);
 }
 
-// Drives `stream` at `offered_rps` through a fresh session over `source`.
-// Bounded open loop: requests are submitted on schedule while fewer than
-// 4096 are in flight (plus the batcher's own admission bound), so moderate
-// overload shows up as queue latency; past the backpressure bound the
-// driver throttles like a real client feeling admission control, and the
-// achieved-rps column dropping below offered-rps is the overload signal.
+struct LoadPoint {
+  double offered_rps = 0;
+  double achieved_rps = 0;
+  serve::LatencySummary latency;
+  serve::FeatureCacheStats cache;
+};
+
+// Drives `stream` at `offered_rps` through a fresh single session over
+// `source`.  Bounded open loop: requests are submitted on schedule while
+// fewer than 4096 are in flight (plus the batcher's own admission bound),
+// so moderate overload shows up as queue latency; past the backpressure
+// bound the driver throttles like a real client feeling admission control,
+// and the achieved-rps column dropping below offered-rps is the overload
+// signal.
 LoadPoint drive(std::unique_ptr<serve::FeatureSource> source,
                 const std::vector<std::int64_t>& stream, double offered_rps) {
   auto* cached = dynamic_cast<serve::CachedSource*>(source.get());
@@ -112,12 +133,171 @@ LoadPoint drive(std::unique_ptr<serve::FeatureSource> source,
   return p;
 }
 
+// A ReplicaSet over file-backed, LRU-cached per-replica sources, plus the
+// cache handles for hit-rate reporting.
+struct Fleet {
+  std::unique_ptr<serve::ReplicaSet> set;
+  std::vector<const serve::CachedSource*> caches;
+
+  double hit_rate() const {
+    return serve::aggregate_cache_stats(caches).hit_rate();
+  }
+};
+
+Fleet make_fleet(const std::string& store_dir, const std::string& ckpt,
+                 std::size_t replicas, serve::RoutingPolicy policy,
+                 std::chrono::microseconds shed_budget =
+                     std::chrono::microseconds{0}) {
+  Fleet f;
+  const std::size_t cache_rows = kNodes / 20;  // 5% capacity per replica
+  auto sessions = serve::make_replica_sessions(
+      replicas, ckpt, [](std::size_t) { return make_model(); },
+      [&](std::size_t) -> std::unique_ptr<serve::FeatureSource> {
+        auto cached = std::make_unique<serve::CachedSource>(
+            std::make_unique<serve::FileStoreSource>(
+                loader::FeatureFileStore::open(store_dir, kNodes, kHops + 1,
+                                               kFeatDim)),
+            std::make_unique<loader::LruCache>(cache_rows));
+        f.caches.push_back(cached.get());
+        return cached;
+      });
+  serve::ReplicaSetConfig rc;
+  rc.policy = policy;
+  rc.batch.max_batch_size = 128;
+  rc.batch.max_delay = std::chrono::microseconds(500);
+  rc.batch.shed_budget = shed_budget;
+  f.set = std::make_unique<serve::ReplicaSet>(std::move(sessions), rc);
+  return f;
+}
+
+struct SaturationPoint {
+  double achieved_rps = 0;
+  serve::LatencySummary latency;
+  double hit_rate = 0;
+};
+
+// Closed-loop saturation: `clients` threads keep `window` requests in
+// flight each until the stream drains — the max-throughput measurement.
+SaturationPoint drive_closed(Fleet& fleet,
+                             const std::vector<std::int64_t>& stream,
+                             std::size_t clients, std::size_t window) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  const std::size_t shard = (stream.size() + clients - 1) / clients;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const std::size_t lo = c * shard;
+      const std::size_t hi = std::min(stream.size(), lo + shard);
+      std::deque<std::future<std::vector<float>>> inflight;
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (inflight.size() >= window) {
+          inflight.front().get();
+          inflight.pop_front();
+        }
+        inflight.push_back(fleet.set->submit(stream[i]));
+      }
+      while (!inflight.empty()) {
+        inflight.front().get();
+        inflight.pop_front();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  SaturationPoint p;
+  p.achieved_rps = static_cast<double>(stream.size()) / wall;
+  p.latency = fleet.set->aggregate_latency();
+  p.hit_rate = fleet.hit_rate();
+  return p;
+}
+
+struct OverloadPoint {
+  double offered_rps = 0;
+  double answered_rps = 0;  // completed requests over wall time
+  serve::LatencySummary admitted_latency;
+  serve::AdmissionCounters admission;
+  double shed_rate_high = 0;  // fraction of kHigh offered never answered
+  double shed_rate_low = 0;
+};
+
+// Paced open loop at `offered_rps` with a kHigh/kLow traffic mix.
+// Rejected and shed requests are dropped (a retrying client's first
+// attempt); per-class survival is accounted at the call site since only
+// the caller knows each request's class.
+OverloadPoint drive_overload(Fleet& fleet,
+                             const std::vector<std::int64_t>& stream,
+                             double offered_rps, double low_frac) {
+  const auto interval =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(1.0 / offered_rps));
+  std::size_t offered[2] = {0, 0}, answered[2] = {0, 0};
+  std::deque<std::pair<serve::Priority, std::future<std::vector<float>>>>
+      inflight;
+  const auto reap_front = [&] {
+    try {
+      inflight.front().second.get();
+      ++answered[static_cast<std::size_t>(inflight.front().first)];
+    } catch (const serve::RejectedError&) {
+      // shed from the queue — counted by not incrementing answered
+    }
+    inflight.pop_front();
+  };
+  const auto t0 = std::chrono::steady_clock::now();
+  auto next = t0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    std::this_thread::sleep_until(next);
+    next += interval;
+    const auto pri = static_cast<double>(i % 100) < low_frac * 100
+                         ? serve::Priority::kLow
+                         : serve::Priority::kHigh;
+    ++offered[static_cast<std::size_t>(pri)];
+    auto adm = fleet.set->try_submit(stream[i], pri);
+    if (adm.accepted) inflight.emplace_back(pri, std::move(adm.result));
+    while (inflight.size() > 4096) reap_front();
+  }
+  while (!inflight.empty()) reap_front();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  OverloadPoint p;
+  p.offered_rps = offered_rps;
+  p.admitted_latency = fleet.set->aggregate_latency();
+  p.admission = fleet.set->aggregate_admission();
+  p.answered_rps = static_cast<double>(p.admitted_latency.count) / wall;
+  const auto survival = [&](serve::Priority pri) {
+    const auto i = static_cast<std::size_t>(pri);
+    return offered[i] ? 1.0 - static_cast<double>(answered[i]) /
+                                  static_cast<double>(offered[i])
+                      : 0.0;
+  };
+  p.shed_rate_high = survival(serve::Priority::kHigh);
+  p.shed_rate_low = survival(serve::Priority::kLow);
+  return p;
+}
+
 }  // namespace
 
-int main() {
-  header("Serving: throughput vs offered load, cache-on vs cache-off");
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  header("Serving: load sweep, replica scaling, admission control");
 
-  // Shared offline artifacts: one preprocessing pass, one on-disk store.
+  // Shared offline artifacts: one preprocessing pass, one on-disk store,
+  // one deployed checkpoint every replica loads.
   graph::SbmConfig sc;
   sc.num_nodes = kNodes;
   sc.num_classes = kClasses;
@@ -138,23 +318,37 @@ int main() {
   }
   const std::string dir = dir_tmpl;
   { loader::FeatureFileStore::create(dir, pre.hop_features); }
+  const std::string ckpt = dir + "/model.ckpt";
+  {
+    auto deployed = make_model();
+    serve::save_deployed_model(*deployed, ckpt);
+  }
 
   const auto open_store = [&] {
     return loader::FeatureFileStore::open(dir, kNodes, kHops + 1, kFeatDim);
   };
   const std::size_t cache_rows = kNodes / 20;  // 5% capacity
 
-  std::printf("%-10s %-8s %12s %10s %10s %10s %10s\n", "offered/s", "cache",
-              "achieved/s", "p50(us)", "p99(us)", "mean(us)", "hit rate");
-  for (const double offered : {2000.0, 5000.0, 10000.0, 20000.0, 50000.0}) {
+  const auto make_stream = [&](std::size_t n, std::uint64_t seed = 31) {
     serve::ZipfWorkloadConfig wc;
     wc.num_nodes = kNodes;
-    // ~1.5s of traffic per point, capped to keep the sweep quick.
-    wc.num_requests = static_cast<std::size_t>(offered * 1.5);
+    wc.num_requests = n;
     wc.skew = 0.99;
-    wc.seed = 31;
-    const auto stream = serve::zipf_stream(wc);
+    wc.seed = seed;
+    return serve::zipf_stream(wc);
+  };
 
+  // --- 1. Offered-load sweep, cache on/off (single replica). -------------
+  header("1. throughput vs offered load, cache-on vs cache-off");
+  std::printf("%-10s %-8s %12s %10s %10s %10s %10s\n", "offered/s", "cache",
+              "achieved/s", "p50(us)", "p99(us)", "mean(us)", "hit rate");
+  const std::vector<double> loads =
+      quick ? std::vector<double>{5000.0, 20000.0}
+            : std::vector<double>{2000.0, 5000.0, 10000.0, 20000.0, 50000.0};
+  const double seconds_per_point = quick ? 0.6 : 1.5;
+  for (const double offered : loads) {
+    const auto stream =
+        make_stream(static_cast<std::size_t>(offered * seconds_per_point));
     for (const bool with_cache : {false, true}) {
       std::unique_ptr<serve::FeatureSource> source =
           std::make_unique<serve::FileStoreSource>(open_store());
@@ -167,18 +361,128 @@ int main() {
                   p.offered_rps, with_cache ? "lru-5%" : "off",
                   p.achieved_rps, p.latency.p50_us, p.latency.p99_us,
                   p.latency.mean_us, 100 * p.cache.hit_rate());
-      std::printf("json: {\"offered_rps\":%.0f,\"cache\":\"%s\","
-                  "\"achieved_rps\":%.0f,\"cache_hit_rate\":%.3f,"
-                  "\"latency\":%s}\n",
-                  p.offered_rps, with_cache ? "lru" : "off", p.achieved_rps,
-                  p.cache.hit_rate(), p.latency.to_json().c_str());
+      char buf[512];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"section\":\"load_sweep\",\"offered_rps\":%.0f,"
+                    "\"cache\":\"%s\",\"achieved_rps\":%.0f,"
+                    "\"cache_hit_rate\":%.3f,\"latency\":%s}",
+                    p.offered_rps, with_cache ? "lru" : "off",
+                    p.achieved_rps, p.cache.hit_rate(),
+                    p.latency.to_json().c_str());
+      emit(buf);
     }
   }
-  std::printf("\nExpected shape: overlapping sub-millisecond curves at low "
-              "load; the cache-off p99 departs first as offered load "
-              "approaches the store's random-read service rate, while the "
-              "~60%% LRU hit rate (impossible on the training stream — see "
-              "bench_ablation_caching) buys the cached config extra "
-              "headroom.\n");
+
+  // --- 2. Replica x routing-policy saturation sweep. ----------------------
+  header("2. replicas x routing policy (closed-loop saturation)");
+  std::printf("%-9s %-15s %12s %10s %10s %10s %9s\n", "replicas", "policy",
+              "achieved/s", "p50(us)", "p99(us)", "hit rate", "vs 1");
+  const auto sat_stream = make_stream(quick ? 20000 : 60000);
+  const std::size_t clients = 4, window = 512;
+  double single_replica_rps = 0;
+  double best_speedup_at4 = 0;
+  for (const std::size_t replicas : {std::size_t{1}, std::size_t{2},
+                                     std::size_t{4}}) {
+    for (const auto policy : {serve::RoutingPolicy::kRoundRobin,
+                              serve::RoutingPolicy::kLeastLoaded,
+                              serve::RoutingPolicy::kCacheAffinity}) {
+      if (replicas == 1 && policy != serve::RoutingPolicy::kRoundRobin) {
+        continue;  // one replica routes identically under every policy
+      }
+      Fleet fleet = make_fleet(dir, ckpt, replicas, policy);
+      const auto p = drive_closed(fleet, sat_stream, clients, window);
+      fleet.set->stop();
+      if (replicas == 1) single_replica_rps = p.achieved_rps;
+      const double speedup =
+          single_replica_rps > 0 ? p.achieved_rps / single_replica_rps : 0;
+      if (replicas == 4) best_speedup_at4 = std::max(best_speedup_at4, speedup);
+      std::printf("%-9zu %-15s %12.0f %10.0f %10.0f %9.1f%% %8.2fx\n",
+                  replicas, serve::policy_name(policy), p.achieved_rps,
+                  p.latency.p50_us, p.latency.p99_us, 100 * p.hit_rate,
+                  speedup);
+      char buf[512];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"section\":\"replica_sweep\",\"replicas\":%zu,"
+                    "\"policy\":\"%s\",\"achieved_rps\":%.0f,"
+                    "\"speedup_vs_1\":%.2f,\"cache_hit_rate\":%.3f,"
+                    "\"latency\":%s}",
+                    replicas, serve::policy_name(policy), p.achieved_rps,
+                    speedup, p.hit_rate, p.latency.to_json().c_str());
+      emit(buf);
+    }
+  }
+  {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"section\":\"scaling\",\"replicas\":4,"
+                  "\"best_speedup_vs_1\":%.2f,\"cores\":%u}",
+                  best_speedup_at4, std::thread::hardware_concurrency());
+    emit(buf);
+  }
+
+  // --- 3. Admission control at 2x single-replica saturation. --------------
+  header("3. shed-budget sweep at 2x single-replica saturation");
+  const double overload_rps = 2.0 * single_replica_rps;
+  const double low_frac = 0.75;
+  std::printf("offered = %.0f req/s (2x saturation), %d%% kLow traffic\n",
+              overload_rps, static_cast<int>(low_frac * 100));
+  std::printf("%-12s %12s %12s %12s %10s %10s\n", "budget", "answered/s",
+              "adm p50(us)", "adm p99(us)", "shed kLow", "shed kHigh");
+  const auto overload_stream = make_stream(
+      static_cast<std::size_t>(overload_rps * (quick ? 0.5 : 1.0)), 37);
+  for (const long budget_ms : {-1L, 2L, 10L}) {  // -1 = shedding off
+    Fleet fleet = make_fleet(
+        dir, ckpt, 1, serve::RoutingPolicy::kRoundRobin,
+        std::chrono::microseconds(budget_ms < 0 ? 0 : budget_ms * 1000));
+    const auto p = drive_overload(fleet, overload_stream, overload_rps,
+                                  low_frac);
+    fleet.set->stop();
+    char label[32];
+    if (budget_ms < 0) {
+      std::snprintf(label, sizeof(label), "off");
+    } else {
+      std::snprintf(label, sizeof(label), "%ldms", budget_ms);
+    }
+    std::printf("%-12s %12.0f %12.0f %12.0f %9.1f%% %9.1f%%\n", label,
+                p.answered_rps, p.admitted_latency.p50_us,
+                p.admitted_latency.p99_us, 100 * p.shed_rate_low,
+                100 * p.shed_rate_high);
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"section\":\"shedding\",\"shed_budget_ms\":%ld,"
+                  "\"offered_rps\":%.0f,\"answered_rps\":%.0f,"
+                  "\"admitted_p99_us\":%.0f,\"shed_rate_low\":%.3f,"
+                  "\"shed_rate_high\":%.3f,\"admission\":%s,\"latency\":%s}",
+                  budget_ms < 0 ? 0 : budget_ms, p.offered_rps,
+                  p.answered_rps, p.admitted_latency.p99_us, p.shed_rate_low,
+                  p.shed_rate_high, p.admission.to_json().c_str(),
+                  p.admitted_latency.to_json().c_str());
+    emit(buf);
+  }
+
+  std::printf(
+      "\nExpected shape: (1) the cache-off p99 departs first as offered "
+      "load approaches the store's service rate while ~60%% LRU hit rates "
+      "buy the cached config headroom; (2) throughput scales with replicas "
+      "up to the core count, and cache_affinity holds the highest hit rate "
+      "because each replica's cache specializes on its key-space shard; "
+      "(3) with a shed budget the admitted p99 stays near the budget at 2x "
+      "overload — the excess becomes kLow shed rate, not queue delay.\n");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << "[\n";
+    for (std::size_t i = 0; i < g_records.size(); ++i) {
+      out << "  " << g_records[i] << (i + 1 < g_records.size() ? "," : "")
+          << "\n";
+    }
+    out << "]\n";
+    std::printf("wrote %zu records to %s\n", g_records.size(),
+                json_path.c_str());
+  }
   return 0;
 }

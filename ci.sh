@@ -1,18 +1,43 @@
 #!/usr/bin/env bash
 # Per-PR gate: the tier-1 verify command (ROADMAP.md) plus a smoke run of
-# the serving path, so regressions in either the build or online serving
-# are caught before merge.
+# the serving path and a quick serving bench, so regressions in the build,
+# online serving, or the bench trajectory are caught before merge.
+#
+# Environment knobs (all optional — defaults reproduce the local gate):
+#   BUILD_TYPE=Release|Debug   CMake build type
+#   SANITIZE=address,undefined comma list for -fsanitize= (empty = off)
+#   USE_CCACHE=1               route compilation through ccache
+#   BENCH_JSON=BENCH_serving.json  where the serving-bench artifact lands
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== configure + build =="
-cmake -B build -S .
+BUILD_TYPE="${BUILD_TYPE:-Release}"
+SANITIZE="${SANITIZE:-}"
+BENCH_JSON="${BENCH_JSON:-BENCH_serving.json}"
+
+CMAKE_FLAGS=(-DCMAKE_BUILD_TYPE="${BUILD_TYPE}")
+if [[ -n "${SANITIZE}" ]]; then
+  CMAKE_FLAGS+=(-DSANITIZE="${SANITIZE}")
+fi
+if [[ "${USE_CCACHE:-0}" == "1" ]] && command -v ccache > /dev/null; then
+  CMAKE_FLAGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+echo "== configure + build (${BUILD_TYPE}${SANITIZE:+, sanitize=${SANITIZE}}) =="
+cmake -B build -S . "${CMAKE_FLAGS[@]}"
 cmake --build build -j "$(nproc)"
 
 echo "== tier-1 tests =="
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
-echo "== serve_cli smoke (scaled down; exits nonzero under 10k req/s) =="
-./build/serve_cli --nodes=20000 --requests=30000
+echo "== serve_cli smoke (2 replicas vs calibrated 1-replica baseline) =="
+# Machine-relative gate: serve_cli measures this runner's own single-replica
+# throughput first and requires the replicated run to hold >= 90% of it, so
+# a loaded shared runner (or a sanitizer build) moves both sides of the
+# comparison instead of tripping an absolute req/s floor.
+./build/serve_cli --nodes=20000 --requests=30000 --replicas=2 --gate=relative
+
+echo "== serving bench (writes ${BENCH_JSON}) =="
+./build/bench_serving_latency --quick --json="${BENCH_JSON}"
 
 echo "CI OK"

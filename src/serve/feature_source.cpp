@@ -112,4 +112,17 @@ void CachedSource::warm(const std::vector<std::int64_t>& rows) {
   }
 }
 
+FeatureCacheStats aggregate_cache_stats(
+    const std::vector<const CachedSource*>& caches) {
+  FeatureCacheStats total;
+  for (const auto* c : caches) {
+    if (!c) continue;
+    const FeatureCacheStats s = c->stats();
+    total.accesses += s.accesses;
+    total.hits += s.hits;
+    total.rows_read += s.rows_read;
+  }
+  return total;
+}
+
 }  // namespace ppgnn::serve

@@ -125,4 +125,10 @@ class CachedSource : public FeatureSource {
   mutable std::mutex mu_;
 };
 
+// Sums cache statistics across a fleet's per-replica CachedSources (null
+// entries skipped) — the hit-rate rollup serve_cli and the serving bench
+// both report.
+FeatureCacheStats aggregate_cache_stats(
+    const std::vector<const CachedSource*>& caches);
+
 }  // namespace ppgnn::serve

@@ -41,4 +41,31 @@ void load_deployed_model(core::PpModel& model, const std::string& path) {
   nn::load_parameters(slots, path);
 }
 
+std::vector<std::unique_ptr<InferenceSession>> make_replica_sessions(
+    std::size_t n, const std::string& checkpoint_path,
+    const std::function<std::unique_ptr<core::PpModel>(std::size_t)>&
+        make_model,
+    const std::function<std::unique_ptr<FeatureSource>(std::size_t)>&
+        make_source) {
+  if (n == 0) {
+    throw std::invalid_argument("make_replica_sessions: zero replicas");
+  }
+  std::vector<std::unique_ptr<InferenceSession>> sessions;
+  sessions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto model = make_model(i);
+    if (!model) {
+      throw std::invalid_argument("make_replica_sessions: null model");
+    }
+    auto source = make_source(i);
+    if (!source) {
+      throw std::invalid_argument("make_replica_sessions: null source");
+    }
+    load_deployed_model(*model, checkpoint_path);
+    sessions.push_back(std::make_unique<InferenceSession>(
+        std::move(model), std::move(source)));
+  }
+  return sessions;
+}
+
 }  // namespace ppgnn::serve

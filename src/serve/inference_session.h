@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -53,5 +54,19 @@ class InferenceSession {
 // core/checkpoint.h, which restores training runs).
 void save_deployed_model(core::PpModel& model, const std::string& path);
 void load_deployed_model(core::PpModel& model, const std::string& path);
+
+// Builds n sessions with bit-identical weights for a ReplicaSet:
+// make_model(replica) constructs each replica's model (any init — it is
+// overwritten from the checkpoint at `checkpoint_path`, the same
+// deployment round trip a single session uses) and make_source(replica)
+// its private FeatureSource.  Per-replica sources are the point: a
+// CachedSource built per replica gives each its own RowCache, which
+// cache_affinity routing then specializes on a key-space shard.
+std::vector<std::unique_ptr<InferenceSession>> make_replica_sessions(
+    std::size_t n, const std::string& checkpoint_path,
+    const std::function<std::unique_ptr<core::PpModel>(std::size_t)>&
+        make_model,
+    const std::function<std::unique_ptr<FeatureSource>(std::size_t)>&
+        make_source);
 
 }  // namespace ppgnn::serve

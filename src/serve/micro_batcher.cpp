@@ -1,6 +1,6 @@
 #include "serve/micro_batcher.h"
 
-#include <stdexcept>
+#include <algorithm>
 #include <utility>
 
 namespace ppgnn::serve {
@@ -16,21 +16,103 @@ MicroBatcher::MicroBatcher(InferenceSession& session,
 
 MicroBatcher::~MicroBatcher() { stop(); }
 
-std::future<std::vector<float>> MicroBatcher::submit(std::int64_t node) {
+std::chrono::steady_clock::time_point MicroBatcher::oldest_enqueued_locked()
+    const {
+  // kHigh dispatches first but either class can hold the oldest arrival.
+  if (queues_[0].empty()) return queues_[1].front().enqueued;
+  if (queues_[1].empty()) return queues_[0].front().enqueued;
+  return std::min(queues_[0].front().enqueued, queues_[1].front().enqueued);
+}
+
+bool MicroBatcher::over_budget_locked(
+    std::chrono::steady_clock::time_point now) const {
+  if (queued_locked() == 0) return false;
+  return now - oldest_enqueued_locked() > cfg_.shed_budget;
+}
+
+void MicroBatcher::shed_front_low_locked() {
+  auto& low = queues_[static_cast<std::size_t>(Priority::kLow)];
+  Pending victim = std::move(low.front());
+  low.pop_front();
+  ++counters_.admission.shed;
+  if (stats_) stats_->record_shed();
+  victim.result.set_exception(std::make_exception_ptr(
+      RejectedError("shed from queue: delay budget exceeded")));
+}
+
+Admission MicroBatcher::try_submit(std::int64_t node, Priority pri) {
   Pending p;
   p.node = node;
   p.enqueued = std::chrono::steady_clock::now();
   auto fut = p.result.get_future();
+  const bool shedding = cfg_.shed_budget.count() > 0;
+  bool accepted = true;
   {
     std::unique_lock<std::mutex> lk(mu_);
-    cv_space_.wait(lk, [this] {
-      return stop_ || queue_.size() < cfg_.queue_capacity;
-    });
-    if (stop_) throw std::runtime_error("MicroBatcher: stopped");
-    queue_.push_back(std::move(p));
+    if (!shedding) {
+      // Backpressure mode: block for space, always accept.
+      cv_space_.wait(lk, [this] {
+        return stop_ || queued_locked() < cfg_.queue_capacity;
+      });
+      if (stop_) throw std::runtime_error("MicroBatcher: stopped");
+      // One FIFO regardless of class (see Priority in the header): a
+      // strict-priority drain without a drop policy would let sustained
+      // kHigh load starve queued kLow forever.
+      queues_[static_cast<std::size_t>(Priority::kHigh)].push_back(
+          std::move(p));
+      ++counters_.admission.admitted;
+    } else {
+      if (stop_) throw std::runtime_error("MicroBatcher: stopped");
+      const auto now = std::chrono::steady_clock::now();
+      // Drop-head: shed kLow entries that have themselves outlived the
+      // budget (each is past the deadline its client cares about).  Keyed
+      // on the kLow head's own age, not the overall head-of-line — when
+      // the oldest waiter is kHigh, flushing in-budget kLow behind it
+      // can't restore the budget and would only inflate the shed rate.
+      auto& low = queues_[static_cast<std::size_t>(Priority::kLow)];
+      while (!low.empty() &&
+             now - low.front().enqueued > cfg_.shed_budget) {
+        shed_front_low_locked();
+      }
+      // A full queue never turns away kHigh while kLow occupies it — but
+      // only evict when the admission will actually succeed; if the head
+      // of line is over budget the kHigh is about to be refused anyway,
+      // and killing a servable kLow for it would waste both.
+      if (pri == Priority::kHigh && queued_locked() >= cfg_.queue_capacity &&
+          !low.empty() && !over_budget_locked(now)) {
+        shed_front_low_locked();
+      }
+      if (over_budget_locked(now) ||
+          queued_locked() >= cfg_.queue_capacity) {
+        accepted = false;
+        ++counters_.admission.rejected;
+      } else {
+        queues_[static_cast<std::size_t>(pri)].push_back(std::move(p));
+        ++counters_.admission.admitted;
+      }
+    }
   }
-  cv_arrival_.notify_one();
-  return fut;
+  if (stats_) {
+    if (accepted) {
+      stats_->record_admitted();
+    } else {
+      stats_->record_rejected();
+    }
+  }
+  if (accepted) cv_arrival_.notify_one();
+  Admission a;
+  a.accepted = accepted;
+  if (accepted) a.result = std::move(fut);
+  return a;
+}
+
+std::future<std::vector<float>> MicroBatcher::submit(std::int64_t node,
+                                                     Priority pri) {
+  Admission a = try_submit(node, pri);
+  if (!a.accepted) {
+    throw RejectedError("rejected at admission: queue-delay budget exceeded");
+  }
+  return std::move(a.result);
 }
 
 std::vector<float> MicroBatcher::infer_blocking(std::int64_t node) {
@@ -39,30 +121,41 @@ std::vector<float> MicroBatcher::infer_blocking(std::int64_t node) {
 
 std::vector<MicroBatcher::Pending> MicroBatcher::next_batch() {
   std::unique_lock<std::mutex> lk(mu_);
-  cv_arrival_.wait(lk, [this] { return stop_ || !queue_.empty(); });
-  if (queue_.empty()) return {};  // stopping and fully drained
-  // The batch window opens when the oldest pending request arrived; close
-  // it at size or deadline, whichever first.  On stop, dispatch immediately
-  // — drain latency beats batch quality during shutdown.
-  const auto deadline = queue_.front().enqueued + cfg_.max_delay;
-  while (!stop_ && queue_.size() < cfg_.max_batch_size) {
-    if (cv_arrival_.wait_until(lk, deadline) == std::cv_status::timeout) {
-      break;
+  for (;;) {
+    cv_arrival_.wait(lk, [this] { return stop_ || queued_locked() > 0; });
+    if (queued_locked() == 0) return {};  // stopping and fully drained
+    // The batch window opens when the oldest pending request arrived; close
+    // it at size or deadline, whichever first.  On stop, dispatch
+    // immediately — drain latency beats batch quality during shutdown.
+    const auto deadline = oldest_enqueued_locked() + cfg_.max_delay;
+    while (!stop_ && queued_locked() < cfg_.max_batch_size) {
+      if (cv_arrival_.wait_until(lk, deadline) == std::cv_status::timeout) {
+        break;
+      }
     }
+    // Shedding may have emptied the queue while the window was open.
+    if (queued_locked() == 0) continue;
+    const std::size_t take = std::min(queued_locked(), cfg_.max_batch_size);
+    std::vector<Pending> batch;
+    batch.reserve(take);
+    // kHigh drains strictly first: under overload the sheddable class
+    // waits, which is what makes its queue delay (and shedding) absorb the
+    // excess.
+    for (auto& queue : queues_) {
+      while (batch.size() < take && !queue.empty()) {
+        batch.push_back(std::move(queue.front()));
+        queue.pop_front();
+      }
+    }
+    counters_.requests += take;
+    ++counters_.batches;
+    counters_.max_batch_observed =
+        std::max(counters_.max_batch_observed, take);
+    in_service_ = take;  // cleared by the dispatcher once answered
+    lk.unlock();
+    cv_space_.notify_all();
+    return batch;
   }
-  const std::size_t take = std::min(queue_.size(), cfg_.max_batch_size);
-  std::vector<Pending> batch;
-  batch.reserve(take);
-  for (std::size_t i = 0; i < take; ++i) {
-    batch.push_back(std::move(queue_.front()));
-    queue_.pop_front();
-  }
-  counters_.requests += take;
-  ++counters_.batches;
-  counters_.max_batch_observed = std::max(counters_.max_batch_observed, take);
-  lk.unlock();
-  cv_space_.notify_all();
-  return batch;
 }
 
 void MicroBatcher::dispatcher_loop() {
@@ -92,6 +185,8 @@ void MicroBatcher::dispatcher_loop() {
       // requests, not the server.
       for (auto& p : batch) p.result.set_exception(std::current_exception());
     }
+    std::lock_guard<std::mutex> lk(mu_);
+    in_service_ = 0;
   }
 }
 
@@ -115,6 +210,11 @@ void MicroBatcher::stop() {
 BatchCounters MicroBatcher::counters() const {
   std::lock_guard<std::mutex> lk(mu_);
   return counters_;
+}
+
+std::size_t MicroBatcher::queue_depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queued_locked() + in_service_;
 }
 
 }  // namespace ppgnn::serve

@@ -1,17 +1,34 @@
 // Dynamic micro-batching: coalesce concurrent single-node requests into
-// model-sized batches.
+// model-sized batches — now with admission control and priority classes.
 //
 // One forward over b rows costs far less than b forwards over one row (the
 // GEMM amortizes weight traffic and the thread-pool fan-out), so the
 // classic serving trade applies: hold a request for up to max_delay hoping
-// peers arrive, dispatch early when max_batch_size fills.  The admission
-// queue is bounded (queue_capacity); submit() blocks when full, which is
-// the simplest form of admission control — callers feel backpressure
-// instead of the server melting.  A single dispatcher thread owns the
-// model; intra-batch parallelism comes from the kernels' global thread pool
-// (tensor/parallel), so results are deterministic regardless of how
-// requests interleave — test_serve proves batched output is bit-identical
-// to single-request inference.
+// peers arrive, dispatch early when max_batch_size fills.  A single
+// dispatcher thread owns the model; intra-batch parallelism comes from the
+// kernels' global thread pool (tensor/parallel), so results are
+// deterministic regardless of how requests interleave — test_serve proves
+// batched output is bit-identical to single-request inference.
+//
+// Overload is handled in one of two modes:
+//
+//  * shed_budget == 0 (default, the PR-1 behavior): the admission queue is
+//    bounded (queue_capacity) and submit() blocks when full — callers feel
+//    backpressure instead of the server melting.
+//
+//  * shed_budget > 0: explicit load shedding.  Queue delay — how long the
+//    oldest queued request has already waited — is the live overload
+//    signal.  Past the budget, arrivals are refused with a retriable
+//    Rejected verdict instead of queued behind a deadline they can't make,
+//    and queued kLow requests that have themselves outlived the budget are
+//    dropped from the queue head (drop-head: the longest-waiting sheddable
+//    request is the one most likely past its client's deadline anyway).
+//    Under sustained overload the kLow queue drains to zero and kHigh
+//    arrivals are refused too, so the sheddable class absorbs the overload
+//    first but the budget binds for everyone.  The payoff,
+//    measured in bench_serving_latency: admitted requests keep a bounded
+//    p99 (~budget + one batch's service time) at offered loads where the
+//    blocking mode's queue delay grows without bound.
 #pragma once
 
 #include <chrono>
@@ -20,6 +37,7 @@
 #include <deque>
 #include <future>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -28,18 +46,42 @@
 
 namespace ppgnn::serve {
 
+// Two classes are enough for the canonical split: interactive traffic that
+// must be answered (kHigh) vs. sheddable background traffic — prefetch,
+// retries, speculative requests (kLow).  Classes take effect only with a
+// shed budget: in backpressure mode there is no drop policy to back a
+// strict-priority drain (queued kLow could starve forever under sustained
+// kHigh load), so admission collapses to one FIFO — the PR-1 behavior.
+enum class Priority : std::uint8_t { kHigh = 0, kLow = 1 };
+
+// Resolved into a shed request's future, and thrown by the blocking
+// submit() on refusal.  Retriable by contract: the server is overloaded
+// *now*; the same request succeeds once load drains.  Clients should back
+// off and retry rather than treat this as a data error.
+class RejectedError : public std::runtime_error {
+ public:
+  explicit RejectedError(const char* what) : std::runtime_error(what) {}
+  bool retriable() const { return true; }
+};
+
 struct MicroBatchConfig {
   std::size_t max_batch_size = 64;
   // Longest a request may wait for peers before its batch dispatches.
   std::chrono::microseconds max_delay{200};
   // Admission bound on queued (not yet dispatched) requests.
   std::size_t queue_capacity = 8192;
+  // Queue-delay budget for load shedding; zero disables shedding and keeps
+  // the blocking-backpressure behavior.
+  std::chrono::microseconds shed_budget{0};
 };
 
 struct BatchCounters {
-  std::size_t requests = 0;
+  std::size_t requests = 0;  // dispatched into batches
   std::size_t batches = 0;
   std::size_t max_batch_observed = 0;
+  // Admission verdicts, maintained by the batcher itself so they exist
+  // even when no ServerStats sink is attached.
+  AdmissionCounters admission;
   double mean_batch_size() const {
     return batches ? static_cast<double>(requests) /
                          static_cast<double>(batches)
@@ -47,10 +89,17 @@ struct BatchCounters {
   }
 };
 
+// Outcome of a non-throwing submit.  On rejection `result` is an invalid
+// future (valid() == false) — check `accepted` first.
+struct Admission {
+  bool accepted = false;
+  std::future<std::vector<float>> result;
+};
+
 class MicroBatcher {
  public:
   // stats may be null; when given, per-request latency (submit ->
-  // completion) and per-batch sizes are recorded into it.
+  // completion), per-batch sizes, and admission verdicts are recorded.
   MicroBatcher(InferenceSession& session, const MicroBatchConfig& cfg,
                ServerStats* stats = nullptr);
   ~MicroBatcher();  // stop() + join
@@ -58,10 +107,18 @@ class MicroBatcher {
   MicroBatcher(const MicroBatcher&) = delete;
   MicroBatcher& operator=(const MicroBatcher&) = delete;
 
+  // Status-returning admission.  With shedding disabled this blocks for
+  // queue space and always accepts (backpressure); with shedding enabled it
+  // never blocks — overload returns {accepted = false} immediately.
+  // Throws std::runtime_error after stop().
+  Admission try_submit(std::int64_t node, Priority pri = Priority::kHigh);
+
   // Enqueues one request; the future resolves to the node's logits row.
-  // Blocks while the queue is at capacity.  Throws std::runtime_error after
-  // stop().
-  std::future<std::vector<float>> submit(std::int64_t node);
+  // Blocks while the queue is at capacity (shedding disabled); with
+  // shedding enabled, throws RejectedError when the request is refused.
+  // Throws std::runtime_error after stop().
+  std::future<std::vector<float>> submit(std::int64_t node,
+                                         Priority pri = Priority::kHigh);
 
   // Convenience closed-loop client call.
   std::vector<float> infer_blocking(std::int64_t node);
@@ -71,6 +128,11 @@ class MicroBatcher {
   void stop();
 
   BatchCounters counters() const;
+  // Requests admitted but not yet answered: queued (both classes) plus the
+  // batch currently in service.  The least-loaded router's load signal —
+  // counting the in-service batch is what lets a replica stuck on a slow
+  // batch (cold cache, page-cache miss) stop receiving new work.
+  std::size_t queue_depth() const;
 
  private:
   struct Pending {
@@ -80,9 +142,21 @@ class MicroBatcher {
   };
 
   void dispatcher_loop();
-  // Pops up to max_batch_size requests once the batch window closes.
-  // Returns an empty vector only when stopping with an empty queue.
+  // Pops up to max_batch_size requests once the batch window closes, kHigh
+  // strictly before kLow.  Returns an empty vector only when stopping with
+  // an empty queue.
   std::vector<Pending> next_batch();
+
+  std::size_t queued_locked() const {
+    return queues_[0].size() + queues_[1].size();
+  }
+  // Enqueue time of the oldest queued request (either class); only valid
+  // when queued_locked() > 0.
+  std::chrono::steady_clock::time_point oldest_enqueued_locked() const;
+  bool over_budget_locked(std::chrono::steady_clock::time_point now) const;
+  // Drops the head of the kLow queue, failing its future with
+  // RejectedError.
+  void shed_front_low_locked();
 
   InferenceSession& session_;
   MicroBatchConfig cfg_;
@@ -91,7 +165,8 @@ class MicroBatcher {
   mutable std::mutex mu_;
   std::condition_variable cv_arrival_;  // queue became non-empty / stop
   std::condition_variable cv_space_;    // queue has room again
-  std::deque<Pending> queue_;
+  std::deque<Pending> queues_[2];       // indexed by Priority
+  std::size_t in_service_ = 0;          // size of the batch being served
   BatchCounters counters_;
   bool stop_ = false;
 

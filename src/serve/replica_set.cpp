@@ -1,0 +1,107 @@
+#include "serve/replica_set.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ppgnn::serve {
+
+ReplicaSet::ReplicaSet(
+    std::vector<std::unique_ptr<InferenceSession>> sessions,
+    const ReplicaSetConfig& cfg) {
+  if (sessions.empty()) {
+    throw std::invalid_argument("ReplicaSet: no sessions");
+  }
+  replicas_.reserve(sessions.size());
+  for (auto& session : sessions) {
+    if (!session) {
+      throw std::invalid_argument("ReplicaSet: null session");
+    }
+    auto r = std::make_unique<Replica>();
+    r->session = std::move(session);
+    r->stats = std::make_unique<ServerStats>();
+    r->batcher = std::make_unique<MicroBatcher>(*r->session, cfg.batch,
+                                                r->stats.get());
+    replicas_.push_back(std::move(r));
+  }
+  router_ = make_router(cfg.policy, replicas_.size());
+}
+
+ReplicaSet::~ReplicaSet() { stop(); }
+
+Admission ReplicaSet::try_submit(std::int64_t node, Priority pri) {
+  const std::size_t i = router_->route(node, [this](std::size_t j) {
+    return replicas_[j]->batcher->queue_depth();
+  });
+  replicas_[i]->routed.fetch_add(1, std::memory_order_relaxed);
+  return replicas_[i]->batcher->try_submit(node, pri);
+}
+
+std::future<std::vector<float>> ReplicaSet::submit(std::int64_t node,
+                                                   Priority pri) {
+  Admission a = try_submit(node, pri);
+  if (!a.accepted) {
+    throw RejectedError("rejected at admission: queue-delay budget exceeded");
+  }
+  return std::move(a.result);
+}
+
+std::vector<float> ReplicaSet::infer_blocking(std::int64_t node) {
+  return submit(node).get();
+}
+
+void ReplicaSet::stop() {
+  for (auto& r : replicas_) r->batcher->stop();
+}
+
+ReplicaSnapshot ReplicaSet::replica_snapshot(std::size_t i) const {
+  const Replica& r = *replicas_.at(i);
+  ReplicaSnapshot s;
+  s.routed = r.routed.load(std::memory_order_relaxed);
+  s.queue_depth = r.batcher->queue_depth();
+  s.batch = r.batcher->counters();
+  s.admission = r.stats->admission();
+  s.latency = r.stats->summary();
+  return s;
+}
+
+void ReplicaSet::merge_stats(ServerStats& into) const {
+  for (const auto& r : replicas_) into.merge(*r->stats);
+}
+
+LatencySummary ReplicaSet::aggregate_latency() const {
+  ServerStats pooled;
+  merge_stats(pooled);
+  return pooled.summary();
+}
+
+AdmissionCounters ReplicaSet::aggregate_admission() const {
+  // Plain counter sums — no need to pool latency samples for this.
+  AdmissionCounters total;
+  for (const auto& r : replicas_) {
+    const AdmissionCounters a = r->stats->admission();
+    total.admitted += a.admitted;
+    total.rejected += a.rejected;
+    total.shed += a.shed;
+  }
+  return total;
+}
+
+std::size_t ReplicaSet::aggregate_batches() const {
+  std::size_t n = 0;
+  for (const auto& r : replicas_) n += r->stats->batches();
+  return n;
+}
+
+double ReplicaSet::aggregate_mean_batch_size() const {
+  std::size_t requests = 0, batches = 0;
+  for (const auto& r : replicas_) {
+    const BatchCounters c = r->batcher->counters();
+    requests += c.requests;
+    batches += c.batches;
+  }
+  return batches ? static_cast<double>(requests) /
+                       static_cast<double>(batches)
+                 : 0.0;
+}
+
+}  // namespace ppgnn::serve

@@ -1,0 +1,112 @@
+// ReplicaSet: N independent serving pipelines behind one submit() API.
+//
+// PR 1's serving tier was one InferenceSession behind one dispatcher
+// thread — throughput capped by a single forward pipeline, overload
+// expressed as unbounded queue delay.  A ReplicaSet scales past both:
+// each replica owns a full pipeline (its own model copy, its own
+// FeatureSource — typically a CachedSource whose RowCache is private, so
+// cache_affinity routing can shard the key space — its own MicroBatcher
+// and dispatcher thread, its own ServerStats), and a Router picks the
+// replica per request.  Replicas share nothing mutable, so there is no
+// cross-replica lock on the request path; the only shared state is the
+// router's round-robin counter.
+//
+// Determinism survives replication: every replica loads bit-identical
+// weights (make_replica_sessions) and every kernel on the inference path
+// is order-fixed, so which replica answers never changes the answer —
+// test_replica_set proves N-replica output equals single-session output
+// bit for bit, per policy.
+//
+// Admission control composes per replica: each MicroBatcher applies the
+// shed budget to its own queue.  That is deliberate — with cache_affinity
+// routing a single hot shard can be overloaded while its siblings idle,
+// and shedding the hot shard (rather than a global verdict) is what keeps
+// the other shards' latency flat.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "serve/inference_session.h"
+#include "serve/micro_batcher.h"
+#include "serve/router.h"
+#include "serve/server_stats.h"
+
+namespace ppgnn::serve {
+
+struct ReplicaSetConfig {
+  RoutingPolicy policy = RoutingPolicy::kRoundRobin;
+  // Applied to every replica's MicroBatcher (including shed_budget).
+  MicroBatchConfig batch;
+};
+
+// Point-in-time view of one replica, for reporting.
+struct ReplicaSnapshot {
+  std::size_t routed = 0;       // requests the router sent here
+  std::size_t queue_depth = 0;  // admitted, not yet dispatched
+  BatchCounters batch;
+  AdmissionCounters admission;
+  LatencySummary latency;
+};
+
+class ReplicaSet {
+ public:
+  // One session per replica; sessions must be non-null and should hold
+  // identical weights (see make_replica_sessions) unless the caller
+  // wants a heterogeneous fleet on purpose.
+  ReplicaSet(std::vector<std::unique_ptr<InferenceSession>> sessions,
+             const ReplicaSetConfig& cfg);
+  ~ReplicaSet();  // stop()
+
+  ReplicaSet(const ReplicaSet&) = delete;
+  ReplicaSet& operator=(const ReplicaSet&) = delete;
+
+  // Routes and submits.  Semantics follow MicroBatcher: with shedding
+  // disabled try_submit blocks for space and always accepts; with shedding
+  // enabled it returns {accepted = false} on overload of the routed
+  // replica.
+  Admission try_submit(std::int64_t node, Priority pri = Priority::kHigh);
+  // Throwing form: RejectedError on refusal (shedding enabled only).
+  std::future<std::vector<float>> submit(std::int64_t node,
+                                         Priority pri = Priority::kHigh);
+  std::vector<float> infer_blocking(std::int64_t node);
+
+  // Stops every replica's dispatcher after draining admitted work.
+  // Idempotent; submit() after stop() throws.
+  void stop();
+
+  std::size_t num_replicas() const { return replicas_.size(); }
+  RoutingPolicy policy() const { return router_->policy(); }
+
+  ReplicaSnapshot replica_snapshot(std::size_t i) const;
+  const InferenceSession& replica_session(std::size_t i) const {
+    return *replicas_[i]->session;
+  }
+
+  // Fleet-level stats: latency percentiles over the union of every
+  // replica's raw samples (merging summaries would be wrong), admission
+  // counters summed.
+  LatencySummary aggregate_latency() const;
+  AdmissionCounters aggregate_admission() const;
+  // Dispatched batches and their mean size, summed across replicas.
+  std::size_t aggregate_batches() const;
+  double aggregate_mean_batch_size() const;
+
+ private:
+  struct Replica {
+    std::unique_ptr<InferenceSession> session;
+    std::unique_ptr<ServerStats> stats;
+    std::unique_ptr<MicroBatcher> batcher;
+    std::atomic<std::size_t> routed{0};
+  };
+
+  // Pools every replica's ServerStats into `into`.
+  void merge_stats(ServerStats& into) const;
+
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::unique_ptr<Router> router_;
+};
+
+}  // namespace ppgnn::serve

@@ -1,0 +1,119 @@
+#include "serve/router.h"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace ppgnn::serve {
+
+const char* policy_name(RoutingPolicy p) {
+  switch (p) {
+    case RoutingPolicy::kRoundRobin:
+      return "round_robin";
+    case RoutingPolicy::kLeastLoaded:
+      return "least_loaded";
+    case RoutingPolicy::kCacheAffinity:
+      return "cache_affinity";
+  }
+  return "?";
+}
+
+bool parse_policy(const std::string& name, RoutingPolicy* out) {
+  if (name == "round_robin") {
+    *out = RoutingPolicy::kRoundRobin;
+  } else if (name == "least_loaded") {
+    *out = RoutingPolicy::kLeastLoaded;
+  } else if (name == "cache_affinity") {
+    *out = RoutingPolicy::kCacheAffinity;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::size_t affinity_replica(std::int64_t node, std::size_t replicas) {
+  // splitmix64 finalizer: node ids are often dense/sequential, and a plain
+  // mod would stripe adjacent ids across replicas — the opposite of a
+  // stable shard.  The mix decorrelates placement from id locality (node
+  // popularity is already uncorrelated with id order, see workload.h).
+  std::uint64_t z = static_cast<std::uint64_t>(node) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<std::size_t>(z % replicas);
+}
+
+namespace {
+
+class RoundRobinRouter : public Router {
+ public:
+  explicit RoundRobinRouter(std::size_t replicas) : replicas_(replicas) {}
+  std::size_t route(std::int64_t, const QueueDepthFn&) override {
+    return next_.fetch_add(1, std::memory_order_relaxed) % replicas_;
+  }
+  RoutingPolicy policy() const override {
+    return RoutingPolicy::kRoundRobin;
+  }
+
+ private:
+  std::size_t replicas_;
+  std::atomic<std::size_t> next_{0};
+};
+
+class LeastLoadedRouter : public Router {
+ public:
+  explicit LeastLoadedRouter(std::size_t replicas) : replicas_(replicas) {}
+  std::size_t route(std::int64_t, const QueueDepthFn& queue_depth) override {
+    // Ties break to the lowest index; the scan is a snapshot, not a
+    // transaction — two concurrent routes may pick the same replica, which
+    // join-the-shortest-queue tolerates by construction.
+    std::size_t best = 0;
+    std::size_t best_depth = queue_depth(0);
+    for (std::size_t i = 1; i < replicas_; ++i) {
+      const std::size_t d = queue_depth(i);
+      if (d < best_depth) {
+        best = i;
+        best_depth = d;
+      }
+    }
+    return best;
+  }
+  RoutingPolicy policy() const override {
+    return RoutingPolicy::kLeastLoaded;
+  }
+
+ private:
+  std::size_t replicas_;
+};
+
+class CacheAffinityRouter : public Router {
+ public:
+  explicit CacheAffinityRouter(std::size_t replicas) : replicas_(replicas) {}
+  std::size_t route(std::int64_t node, const QueueDepthFn&) override {
+    return affinity_replica(node, replicas_);
+  }
+  RoutingPolicy policy() const override {
+    return RoutingPolicy::kCacheAffinity;
+  }
+
+ private:
+  std::size_t replicas_;
+};
+
+}  // namespace
+
+std::unique_ptr<Router> make_router(RoutingPolicy p, std::size_t replicas) {
+  if (replicas == 0) {
+    throw std::invalid_argument("make_router: zero replicas");
+  }
+  switch (p) {
+    case RoutingPolicy::kRoundRobin:
+      return std::make_unique<RoundRobinRouter>(replicas);
+    case RoutingPolicy::kLeastLoaded:
+      return std::make_unique<LeastLoadedRouter>(replicas);
+    case RoutingPolicy::kCacheAffinity:
+      return std::make_unique<CacheAffinityRouter>(replicas);
+  }
+  throw std::invalid_argument("make_router: unknown policy");
+}
+
+}  // namespace ppgnn::serve

@@ -1,0 +1,66 @@
+// Request routing across InferenceSession replicas.
+//
+// A ReplicaSet holds N independent serving pipelines; the router decides,
+// per request, which one answers.  Three policies, in increasing awareness
+// of the system they route over:
+//
+//  * round_robin — cycles replicas.  Load-oblivious, perfectly fair over
+//    any window of N requests; the right default when replicas are
+//    symmetric and requests are i.i.d. cheap.
+//
+//  * least_loaded — shortest queue first (join-the-shortest-queue).  Reads
+//    each replica's live queue depth at routing time, so a replica stuck
+//    on a slow batch (cold cache, page-cache miss) stops receiving new
+//    work until it drains.
+//
+//  * cache_affinity — hash(node) mod N, a pure function of the node id.
+//    Every request for a node lands on the same replica forever, so each
+//    replica's CachedSource only ever sees 1/N of the key space and its
+//    RowCache specializes on that shard: N replicas of capacity C behave
+//    like one cache of capacity N*C instead of N copies of the same hot
+//    set.  The trade is load skew — a Zipf-hot node pins its whole request
+//    volume to one replica — which is the classic caching-vs-balance
+//    tension; bench_serving_latency measures both sides.
+//
+// Policies are deliberately stateless about the replicas themselves (the
+// load signal is passed in per call), so a Router is cheap, lock-free
+// where possible, and trivially testable without standing up sessions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace ppgnn::serve {
+
+enum class RoutingPolicy { kRoundRobin, kLeastLoaded, kCacheAffinity };
+
+const char* policy_name(RoutingPolicy p);
+// Parses "round_robin" | "least_loaded" | "cache_affinity"; returns false
+// (leaving *out untouched) on anything else.
+bool parse_policy(const std::string& name, RoutingPolicy* out);
+
+// Live per-replica load signal: queue_depth(i) is replica i's count of
+// admitted-but-undispatched requests.
+using QueueDepthFn = std::function<std::size_t(std::size_t)>;
+
+class Router {
+ public:
+  virtual ~Router() = default;
+  // Picks the replica in [0, replicas) for `node`.  Must be safe to call
+  // from multiple client threads.
+  virtual std::size_t route(std::int64_t node,
+                            const QueueDepthFn& queue_depth) = 0;
+  virtual RoutingPolicy policy() const = 0;
+  const char* name() const { return policy_name(policy()); }
+};
+
+std::unique_ptr<Router> make_router(RoutingPolicy p, std::size_t replicas);
+
+// The hash behind cache_affinity, exposed so tests (and an external cache
+// warmer sharding a hot set) can predict placements: splitmix64(node) mod
+// replicas.  Deterministic per node id across processes and runs.
+std::size_t affinity_replica(std::int64_t node, std::size_t replicas);
+
+}  // namespace ppgnn::serve

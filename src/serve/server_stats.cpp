@@ -27,6 +27,15 @@ std::string LatencySummary::to_json() const {
   return buf;
 }
 
+std::string AdmissionCounters::to_json() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"admitted\":%zu,\"rejected\":%zu,\"shed\":%zu,"
+                "\"reject_rate\":%.4f,\"shed_rate\":%.4f}",
+                admitted, rejected, shed, reject_rate(), shed_rate());
+  return buf;
+}
+
 void ServerStats::record(double latency_us) {
   const auto now = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lk(mu_);
@@ -42,6 +51,58 @@ void ServerStats::record_batch(std::size_t batch_size) {
   std::lock_guard<std::mutex> lk(mu_);
   ++batches_;
   batched_requests_ += batch_size;
+}
+
+void ServerStats::record_admitted() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++admission_.admitted;
+}
+
+void ServerStats::record_rejected() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++admission_.rejected;
+}
+
+void ServerStats::record_shed() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++admission_.shed;
+}
+
+AdmissionCounters ServerStats::admission() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return admission_;
+}
+
+void ServerStats::merge(const ServerStats& other) {
+  // Copy the source under its own lock, then fold in under ours, so the two
+  // locks are never held together (no ordering to get wrong).
+  std::vector<double> samples;
+  std::size_t batches, batched_requests;
+  AdmissionCounters adm;
+  bool any;
+  std::chrono::steady_clock::time_point first, last;
+  {
+    std::lock_guard<std::mutex> lk(other.mu_);
+    samples = other.latencies_us_;
+    batches = other.batches_;
+    batched_requests = other.batched_requests_;
+    adm = other.admission_;
+    any = other.any_;
+    first = other.first_done_;
+    last = other.last_done_;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  latencies_us_.insert(latencies_us_.end(), samples.begin(), samples.end());
+  batches_ += batches;
+  batched_requests_ += batched_requests;
+  admission_.admitted += adm.admitted;
+  admission_.rejected += adm.rejected;
+  admission_.shed += adm.shed;
+  if (any) {
+    if (!any_ || first < first_done_) first_done_ = first;
+    if (!any_ || last > last_done_) last_done_ = last;
+    any_ = true;
+  }
 }
 
 LatencySummary ServerStats::summary() const {
@@ -91,6 +152,7 @@ void ServerStats::reset() {
   latencies_us_.clear();
   batches_ = 0;
   batched_requests_ = 0;
+  admission_ = AdmissionCounters{};
   any_ = false;
 }
 

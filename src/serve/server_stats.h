@@ -7,6 +7,14 @@
 // mean, max and sustained throughput.  The summary prints both as a
 // bench/common.h-style table row and as a single JSON object line, which is
 // the machine-readable shape bench_serving_latency emits.
+//
+// With admission control (MicroBatcher's shed budget) the latency summary
+// alone lies by omission — a server can hold a beautiful p99 by refusing
+// every hard request — so ServerStats also counts the admission verdicts:
+// admitted, rejected at the door, and shed from the queue after admission.
+// Each replica in a ReplicaSet owns one ServerStats; merge() pools samples
+// and counters so fleet-level percentiles come from the union of raw
+// latencies, not from averaging per-replica percentiles (which is wrong).
 #pragma once
 
 #include <chrono>
@@ -36,6 +44,31 @@ struct LatencySummary {
 // Percentile over an unsorted sample (nearest-rank), p in [0, 100].
 double percentile(std::vector<double> sample, double p);
 
+// Admission-control outcomes.  "Rejected" is refused at submit time;
+// "shed" was admitted but dropped from the queue later to protect the
+// delay budget.  Both surface to the client as a retriable condition.
+struct AdmissionCounters {
+  std::size_t admitted = 0;
+  std::size_t rejected = 0;
+  std::size_t shed = 0;
+
+  std::size_t offered() const { return admitted + rejected; }
+  // Fraction of offered requests refused at the door.
+  double reject_rate() const {
+    return offered() ? static_cast<double>(rejected) /
+                           static_cast<double>(offered())
+                     : 0.0;
+  }
+  // Fraction of offered requests that never got an answer (door + queue).
+  double shed_rate() const {
+    return offered() ? static_cast<double>(rejected + shed) /
+                           static_cast<double>(offered())
+                     : 0.0;
+  }
+  // {"admitted":...,"rejected":...,"shed":...,"shed_rate":...}
+  std::string to_json() const;
+};
+
 // Thread-safe recorder shared by client threads and the dispatcher.
 class ServerStats {
  public:
@@ -43,17 +76,28 @@ class ServerStats {
   void record(double latency_us);
   // Records one dispatched micro-batch of the given size.
   void record_batch(std::size_t batch_size);
+  // Admission verdicts (see AdmissionCounters).
+  void record_admitted();
+  void record_rejected();
+  void record_shed();
 
   LatencySummary summary() const;
+  AdmissionCounters admission() const;
   std::size_t batches() const;
   double mean_batch_size() const;
   void reset();
+
+  // Pools `other` into this recorder: latency samples, batch and admission
+  // counters, and the completion-time span (min first / max last).  Used by
+  // ReplicaSet to compute fleet-level percentiles from raw samples.
+  void merge(const ServerStats& other);
 
  private:
   mutable std::mutex mu_;
   std::vector<double> latencies_us_;
   std::size_t batches_ = 0;
   std::size_t batched_requests_ = 0;
+  AdmissionCounters admission_;
   bool any_ = false;
   std::chrono::steady_clock::time_point first_done_;
   std::chrono::steady_clock::time_point last_done_;

@@ -1,0 +1,402 @@
+// Replication, routing and admission control (src/serve/replica_set.h,
+// router.h, and the MicroBatcher shed path).
+//
+// The shedding tests stage overload deterministically instead of racing
+// real load: a SlowSource pins each dispatch in service for tens of
+// milliseconds while the test arranges the queue it wants, then asserts
+// exact admission verdicts.  Sleeps are generous multiples of the staged
+// budgets so sanitizer slowdown (ASan ~2x) doesn't flip outcomes.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+
+#include "core/precompute.h"
+#include "core/sign.h"
+#include "graph/dataset.h"
+#include "serve/feature_source.h"
+#include "serve/inference_session.h"
+#include "serve/micro_batcher.h"
+#include "serve/replica_set.h"
+#include "serve/router.h"
+#include "serve/server_stats.h"
+
+namespace ppgnn::serve {
+namespace {
+
+std::string tmp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// Decorator that makes every gather take `delay` of wall time, so a
+// dispatched batch occupies the replica long enough for the test to build
+// queue state behind it.
+class SlowSource : public FeatureSource {
+ public:
+  SlowSource(std::unique_ptr<FeatureSource> inner,
+             std::chrono::milliseconds delay)
+      : inner_(std::move(inner)), delay_(delay) {}
+  std::size_t num_rows() const override { return inner_->num_rows(); }
+  std::size_t row_dim() const override { return inner_->row_dim(); }
+  void gather(const std::vector<std::int64_t>& rows, Tensor& out) override {
+    std::this_thread::sleep_for(delay_);
+    inner_->gather(rows, out);
+  }
+  const char* kind() const override { return "slow"; }
+
+ private:
+  std::unique_ptr<FeatureSource> inner_;
+  std::chrono::milliseconds delay_;
+};
+
+struct Fixture {
+  graph::Dataset ds;
+  core::Preprocessed pre;
+
+  explicit Fixture(double scale = 0.02, std::size_t hops = 2)
+      : ds(graph::make_dataset(graph::DatasetName::kPokecSim, scale)) {
+    core::PrecomputeConfig pc;
+    pc.hops = hops;
+    pre = core::precompute(ds.graph, ds.features, pc);
+  }
+
+  std::unique_ptr<core::PpModel> make_model(std::uint64_t seed = 7) const {
+    Rng rng(seed);
+    core::SignConfig cfg;
+    cfg.feat_dim = ds.feature_dim();
+    cfg.hops = pre.num_hops();
+    cfg.hidden = 16;
+    cfg.classes = ds.num_classes;
+    cfg.dropout = 0.f;
+    return std::make_unique<core::Sign>(cfg, rng);
+  }
+
+  std::unique_ptr<InferenceSession> make_slow_session(
+      std::chrono::milliseconds delay) const {
+    return std::make_unique<InferenceSession>(
+        make_model(), std::make_unique<SlowSource>(
+                          std::make_unique<MemorySource>(pre), delay));
+  }
+};
+
+// --- Router policies ------------------------------------------------------
+
+TEST(Router, RoundRobinCycles) {
+  auto r = make_router(RoutingPolicy::kRoundRobin, 3);
+  const QueueDepthFn unused = [](std::size_t) -> std::size_t {
+    ADD_FAILURE() << "round_robin must not read load";
+    return 0;
+  };
+  for (int pass = 0; pass < 3; ++pass) {
+    EXPECT_EQ(r->route(/*node=*/99, unused), 0u);
+    EXPECT_EQ(r->route(99, unused), 1u);
+    EXPECT_EQ(r->route(99, unused), 2u);
+  }
+}
+
+TEST(Router, LeastLoadedPicksShallowestLowIndexOnTies) {
+  auto r = make_router(RoutingPolicy::kLeastLoaded, 3);
+  const std::vector<std::size_t> depths{5, 2, 7};
+  EXPECT_EQ(r->route(0, [&](std::size_t i) { return depths[i]; }), 1u);
+  EXPECT_EQ(r->route(0, [](std::size_t) { return std::size_t{3}; }), 0u);
+}
+
+TEST(Router, CacheAffinityIsDeterministicPerNodeId) {
+  auto a = make_router(RoutingPolicy::kCacheAffinity, 4);
+  auto b = make_router(RoutingPolicy::kCacheAffinity, 4);
+  const QueueDepthFn none = [](std::size_t) { return std::size_t{0}; };
+  std::vector<std::size_t> hits(4, 0);
+  for (std::int64_t node = 0; node < 1000; ++node) {
+    const std::size_t want = affinity_replica(node, 4);
+    // Stable across repeated calls and across independent router
+    // instances — the property a cache warmer relies on.
+    EXPECT_EQ(a->route(node, none), want);
+    EXPECT_EQ(a->route(node, none), want);
+    EXPECT_EQ(b->route(node, none), want);
+    ++hits[want];
+  }
+  // The hash spreads the key space: no replica starves or hogs.
+  for (const auto h : hits) {
+    EXPECT_GT(h, 150u);
+    EXPECT_LT(h, 350u);
+  }
+}
+
+TEST(Router, ParsePolicyNamesRoundTrip) {
+  for (const auto p : {RoutingPolicy::kRoundRobin, RoutingPolicy::kLeastLoaded,
+                       RoutingPolicy::kCacheAffinity}) {
+    RoutingPolicy got;
+    ASSERT_TRUE(parse_policy(policy_name(p), &got));
+    EXPECT_EQ(got, p);
+  }
+  RoutingPolicy got;
+  EXPECT_FALSE(parse_policy("power_of_two", &got));
+}
+
+// --- Admission control ----------------------------------------------------
+
+TEST(Shedding, QueuedLowSheddedPastDelayBudgetWithRetriableStatus) {
+  const Fixture fx;
+  auto session = fx.make_slow_session(std::chrono::milliseconds(60));
+  MicroBatchConfig cfg;
+  cfg.max_batch_size = 2;
+  cfg.max_delay = std::chrono::microseconds(1000);
+  cfg.shed_budget = std::chrono::microseconds(5000);  // 5ms
+  ServerStats stats;
+  MicroBatcher batcher(*session, cfg, &stats);
+
+  // A dispatches alone (1ms window elapses before B/C arrive) and holds
+  // the replica in service for 60ms.
+  auto a = batcher.try_submit(0, Priority::kLow);
+  ASSERT_TRUE(a.accepted);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  auto b = batcher.try_submit(1, Priority::kLow);
+  auto c = batcher.try_submit(2, Priority::kLow);
+  ASSERT_TRUE(b.accepted);
+  ASSERT_TRUE(c.accepted);
+  // Let B age far past the 5ms budget while A is still in service.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // D's arrival finds the queue head over budget: drop-head sheds B and C,
+  // which empties the low queue, so D itself is admitted.
+  auto d = batcher.try_submit(3, Priority::kLow);
+  EXPECT_TRUE(d.accepted);
+
+  EXPECT_NO_THROW(a.result.get());
+  // Shed requests fail with the retriable rejection, not a data error.
+  try {
+    b.result.get();
+    FAIL() << "B should have been shed";
+  } catch (const RejectedError& e) {
+    EXPECT_TRUE(e.retriable());
+  }
+  EXPECT_THROW(c.result.get(), RejectedError);
+  EXPECT_NO_THROW(d.result.get());
+
+  const auto counters = batcher.counters();
+  EXPECT_EQ(counters.admission.admitted, 4u);
+  EXPECT_EQ(counters.admission.shed, 2u);
+  EXPECT_EQ(counters.admission.rejected, 0u);
+  const auto adm = stats.admission();
+  EXPECT_EQ(adm.admitted, 4u);
+  EXPECT_EQ(adm.shed, 2u);
+  EXPECT_DOUBLE_EQ(adm.reject_rate(), 0.0);
+  EXPECT_NEAR(adm.shed_rate(), 0.5, 1e-9);
+}
+
+TEST(Shedding, ArrivalsRejectedWhenHeadOfLineExceedsBudget) {
+  const Fixture fx;
+  auto session = fx.make_slow_session(std::chrono::milliseconds(60));
+  MicroBatchConfig cfg;
+  cfg.max_batch_size = 1;
+  cfg.max_delay = std::chrono::microseconds(100);
+  cfg.shed_budget = std::chrono::microseconds(5000);
+  MicroBatcher batcher(*session, cfg);
+
+  auto a = batcher.try_submit(0, Priority::kHigh);  // dispatched alone
+  ASSERT_TRUE(a.accepted);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  auto b = batcher.try_submit(1, Priority::kHigh);  // queued behind A
+  ASSERT_TRUE(b.accepted);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // B has waited 20ms > budget and there is no kLow to shed: the batcher
+  // refuses new work of either class rather than queueing behind a
+  // deadline it cannot meet.
+  auto c = batcher.try_submit(2, Priority::kHigh);
+  EXPECT_FALSE(c.accepted);
+  EXPECT_FALSE(c.result.valid());
+  EXPECT_THROW(batcher.submit(3, Priority::kLow), RejectedError);
+  // The throwing form reports retriable too.
+  try {
+    batcher.submit(4, Priority::kHigh);
+    FAIL() << "submit should throw under overload";
+  } catch (const RejectedError& e) {
+    EXPECT_TRUE(e.retriable());
+  }
+  EXPECT_NO_THROW(a.result.get());
+  EXPECT_NO_THROW(b.result.get());
+  EXPECT_EQ(batcher.counters().admission.rejected, 3u);
+}
+
+TEST(Shedding, HighPrioritySurvivesWhereQueuedLowIsShed) {
+  const Fixture fx;
+  auto session = fx.make_slow_session(std::chrono::milliseconds(60));
+  MicroBatchConfig cfg;
+  cfg.max_batch_size = 1;
+  cfg.max_delay = std::chrono::microseconds(100);
+  cfg.shed_budget = std::chrono::microseconds(5000);
+  MicroBatcher batcher(*session, cfg);
+
+  auto a = batcher.try_submit(0, Priority::kLow);  // in service
+  ASSERT_TRUE(a.accepted);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  auto low1 = batcher.try_submit(1, Priority::kLow);
+  auto low2 = batcher.try_submit(2, Priority::kLow);
+  auto high = batcher.try_submit(3, Priority::kHigh);
+  ASSERT_TRUE(low1.accepted && low2.accepted && high.accepted);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Everything queued is over budget.  The shed pass drops only the kLow
+  // entries; the queued kHigh request keeps its slot and is answered.
+  auto trigger = batcher.try_submit(4, Priority::kLow);
+  EXPECT_FALSE(trigger.accepted);  // head-of-line is now kHigh, still over
+                                   // budget -> the kLow arrival is refused
+  EXPECT_THROW(low1.result.get(), RejectedError);
+  EXPECT_THROW(low2.result.get(), RejectedError);
+  EXPECT_NO_THROW(high.result.get());
+  EXPECT_NO_THROW(a.result.get());
+  const auto counters = batcher.counters();
+  EXPECT_EQ(counters.admission.shed, 2u);
+  EXPECT_EQ(counters.admission.rejected, 1u);
+}
+
+TEST(Shedding, FullQueueEvictsLowToAdmitHighAndDispatchesHighFirst) {
+  const Fixture fx;
+  auto session = fx.make_slow_session(std::chrono::milliseconds(60));
+  MicroBatchConfig cfg;
+  cfg.max_batch_size = 1;
+  cfg.max_delay = std::chrono::microseconds(100);
+  cfg.queue_capacity = 2;
+  cfg.shed_budget = std::chrono::seconds(10);  // shedding on, budget never
+                                               // binds — isolates capacity
+  MicroBatcher batcher(*session, cfg);
+
+  auto a = batcher.try_submit(0, Priority::kLow);  // in service
+  ASSERT_TRUE(a.accepted);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  auto low1 = batcher.try_submit(1, Priority::kLow);
+  auto low2 = batcher.try_submit(2, Priority::kLow);
+  ASSERT_TRUE(low1.accepted && low2.accepted);  // queue now full
+  // A kLow arrival bounces off the full queue...
+  auto low3 = batcher.try_submit(3, Priority::kLow);
+  EXPECT_FALSE(low3.accepted);
+  // ...but a kHigh arrival evicts the oldest queued kLow instead.
+  auto high = batcher.try_submit(4, Priority::kHigh);
+  EXPECT_TRUE(high.accepted);
+  EXPECT_THROW(low1.result.get(), RejectedError);
+  EXPECT_NO_THROW(high.result.get());
+  EXPECT_NO_THROW(low2.result.get());
+  EXPECT_NO_THROW(a.result.get());
+  const auto counters = batcher.counters();
+  EXPECT_EQ(counters.admission.shed, 1u);
+  EXPECT_EQ(counters.admission.rejected, 1u);
+  EXPECT_EQ(counters.admission.admitted, 4u);
+}
+
+// --- ReplicaSet -----------------------------------------------------------
+
+TEST(ReplicaSet, NReplicaResultsBitIdenticalToSingleSession) {
+  const Fixture fx;
+  const std::string ckpt = tmp_path("replica_deploy.ckpt");
+  {
+    auto trained = fx.make_model(21);
+    save_deployed_model(*trained, ckpt);
+  }
+  // Reference: one session, same checkpoint.
+  auto ref_model = fx.make_model(99);  // different init, overwritten by load
+  load_deployed_model(*ref_model, ckpt);
+  InferenceSession reference(std::move(ref_model),
+                             std::make_unique<MemorySource>(fx.pre));
+
+  for (const auto policy : {RoutingPolicy::kRoundRobin,
+                            RoutingPolicy::kLeastLoaded,
+                            RoutingPolicy::kCacheAffinity}) {
+    ReplicaSetConfig rc;
+    rc.policy = policy;
+    rc.batch.max_delay = std::chrono::microseconds(100);
+    ReplicaSet set(
+        make_replica_sessions(
+            3, ckpt, [&](std::size_t i) { return fx.make_model(100 + i); },
+            [&](std::size_t) { return std::make_unique<MemorySource>(fx.pre); }),
+        rc);
+    for (std::int64_t node = 0; node < 40; ++node) {
+      const auto got = set.infer_blocking(node);
+      const auto want = reference.infer_one(node);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t j = 0; j < want.size(); ++j) {
+        EXPECT_EQ(got[j], want[j])
+            << "policy " << policy_name(policy) << " node " << node
+            << " logit " << j;
+      }
+    }
+  }
+}
+
+TEST(ReplicaSet, RoundRobinSpreadsAndAggregatesAdmission) {
+  const Fixture fx;
+  const std::string ckpt = tmp_path("replica_rr.ckpt");
+  {
+    auto trained = fx.make_model(5);
+    save_deployed_model(*trained, ckpt);
+  }
+  ReplicaSetConfig rc;
+  rc.batch.max_delay = std::chrono::microseconds(100);
+  ReplicaSet set(
+      make_replica_sessions(
+          2, ckpt, [&](std::size_t) { return fx.make_model(); },
+          [&](std::size_t) { return std::make_unique<MemorySource>(fx.pre); }),
+      rc);
+  for (std::int64_t node = 0; node < 10; ++node) set.infer_blocking(node);
+  EXPECT_EQ(set.replica_snapshot(0).routed, 5u);
+  EXPECT_EQ(set.replica_snapshot(1).routed, 5u);
+  const auto adm = set.aggregate_admission();
+  EXPECT_EQ(adm.admitted, 10u);
+  EXPECT_EQ(adm.rejected + adm.shed, 0u);
+  EXPECT_EQ(set.aggregate_latency().count, 10u);
+  EXPECT_GT(set.aggregate_batches(), 0u);
+}
+
+TEST(ReplicaSet, CacheAffinityPinsANodeToOneReplica) {
+  const Fixture fx;
+  const std::string ckpt = tmp_path("replica_aff.ckpt");
+  {
+    auto trained = fx.make_model(5);
+    save_deployed_model(*trained, ckpt);
+  }
+  ReplicaSetConfig rc;
+  rc.policy = RoutingPolicy::kCacheAffinity;
+  rc.batch.max_delay = std::chrono::microseconds(100);
+  ReplicaSet set(
+      make_replica_sessions(
+          3, ckpt, [&](std::size_t) { return fx.make_model(); },
+          [&](std::size_t) { return std::make_unique<MemorySource>(fx.pre); }),
+      rc);
+  constexpr std::int64_t kNode = 42;
+  for (int i = 0; i < 5; ++i) set.infer_blocking(kNode);
+  const std::size_t home = affinity_replica(kNode, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(set.replica_snapshot(i).routed, i == home ? 5u : 0u);
+  }
+}
+
+// --- ServerStats extensions -----------------------------------------------
+
+TEST(ServerStats, MergePoolsSamplesAndAdmissionCounters) {
+  ServerStats a, b;
+  for (int i = 1; i <= 50; ++i) a.record(static_cast<double>(i));
+  for (int i = 51; i <= 100; ++i) b.record(static_cast<double>(i));
+  a.record_admitted();
+  a.record_rejected();
+  b.record_admitted();
+  b.record_shed();
+
+  ServerStats pooled;
+  pooled.merge(a);
+  pooled.merge(b);
+  const auto s = pooled.summary();
+  // Percentiles come from the union of raw samples, not from averaging
+  // per-shard percentiles.
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.p50_us, 50.0);
+  EXPECT_DOUBLE_EQ(s.p99_us, 99.0);
+  const auto adm = pooled.admission();
+  EXPECT_EQ(adm.admitted, 2u);
+  EXPECT_EQ(adm.rejected, 1u);
+  EXPECT_EQ(adm.shed, 1u);
+  EXPECT_DOUBLE_EQ(adm.reject_rate(), 1.0 / 3.0);
+  const auto json = adm.to_json();
+  EXPECT_NE(json.find("\"shed\":1"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace ppgnn::serve
