@@ -73,10 +73,11 @@ int main() {
               "PP LRU", "MP static", "MP LRU");
   for (const double frac : {0.02, 0.05, 0.10, 0.20}) {
     const auto cap = static_cast<std::size_t>(5000 * frac);
+    // Hit-rate study: rows are the unit of interest, so row_bytes = 1.
     loader::StaticCache pp_static(loader::hottest_rows(pp, cap));
-    loader::LruCache pp_lru(cap);
+    loader::LruCache pp_lru(cap, 1);
     loader::StaticCache mp_static(loader::hottest_rows(mp, cap));
-    loader::LruCache mp_lru(cap);
+    loader::LruCache mp_lru(cap, 1);
     std::printf("%8.0f%% %13.1f%% %11.1f%% %13.1f%% %11.1f%%\n", frac * 100,
                 100 * loader::replay(pp_static, pp).hit_rate(),
                 100 * loader::replay(pp_lru, pp).hit_rate(),

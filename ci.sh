@@ -8,12 +8,18 @@
 #   SANITIZE=address,undefined comma list for -fsanitize= (empty = off)
 #   USE_CCACHE=1               route compilation through ccache
 #   BENCH_JSON=BENCH_serving.json  where the serving-bench artifact lands
+#   SERVE_PRECISION=fp32|int8  serving precision for the smoke run; int8
+#                              also routes it through the int8 feature-store
+#                              codec + byte-budget LRU cache, and the gate
+#                              additionally bounds top-1 disagreement vs
+#                              fp32 (>= 99%)
 set -euo pipefail
 cd "$(dirname "$0")"
 
 BUILD_TYPE="${BUILD_TYPE:-Release}"
 SANITIZE="${SANITIZE:-}"
 BENCH_JSON="${BENCH_JSON:-BENCH_serving.json}"
+SERVE_PRECISION="${SERVE_PRECISION:-fp32}"
 
 CMAKE_FLAGS=(-DCMAKE_BUILD_TYPE="${BUILD_TYPE}")
 if [[ -n "${SANITIZE}" ]]; then
@@ -30,12 +36,20 @@ cmake --build build -j "$(nproc)"
 echo "== tier-1 tests =="
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
-echo "== serve_cli smoke (2 replicas vs calibrated 1-replica baseline) =="
+echo "== serve_cli smoke (2 replicas, precision=${SERVE_PRECISION}) =="
 # Machine-relative gate: serve_cli measures this runner's own single-replica
 # throughput first and requires the replicated run to hold >= 90% of it, so
 # a loaded shared runner (or a sanitizer build) moves both sides of the
 # comparison instead of tripping an absolute req/s floor.
-./build/serve_cli --nodes=20000 --requests=30000 --replicas=2 --gate=relative
+SMOKE_FLAGS=(--nodes=20000 --requests=30000 --replicas=2 --gate=relative
+             --precision="${SERVE_PRECISION}")
+if [[ "${SERVE_PRECISION}" == "int8" ]]; then
+  # Exercise the whole int8 deployment: quantized checkpoint, int8 row
+  # codec on the file store, and the byte-budget cache that holds ~4x
+  # more quantized rows.
+  SMOKE_FLAGS+=(--source=file --cache=lru)
+fi
+./build/serve_cli "${SMOKE_FLAGS[@]}"
 
 echo "== serving bench (writes ${BENCH_JSON}) =="
 ./build/bench_serving_latency --quick --json="${BENCH_JSON}"

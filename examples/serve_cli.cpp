@@ -17,6 +17,18 @@
 //                         blocking backpressure)
 //   --low_frac=F          fraction of traffic marked sheddable (kLow)
 //
+// Precision:
+//   --precision=fp32|int8 int8 deploys a quantized checkpoint (~4x less
+//                         weight data), quantizes every Linear per output
+//                         channel (one immutable int8 copy shared by all
+//                         replicas), and — with --source=file — stores hop
+//                         rows in the int8 codec, so the same cache byte
+//                         budget holds ~4x more rows.  The run reports
+//                         top-1 agreement and max |logit error| against an
+//                         fp32 reference on a workload sample, and the
+//                         PASS/FAIL gate additionally requires >= 99%
+//                         top-1 agreement at int8.
+//
 // The PASS/FAIL gate comes in two flavors.  --gate=absolute (default)
 // requires --min_rps sustained (10k/s on the default 100k-node config).
 // --gate=relative calibrates a single-replica baseline on this machine
@@ -30,11 +42,13 @@
 //               [--low_frac=0] [--gate=absolute|relative|none]
 //               [--min_rps=10000] [--model=SIGN] [--hops=2] [--feat_dim=32]
 //               [--hidden=32] [--max_batch=256] [--max_delay_us=200]
-//               [--skew=0.99] [--source=memory|file]
+//               [--skew=0.99] [--source=memory|file] [--precision=fp32|int8]
 //               [--cache=none|lru|static] [--cache_frac=0.05] [--window=512]
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,6 +61,7 @@
 #include "core/precompute.h"
 #include "core/sgc.h"
 #include "core/sign.h"
+#include "core/trainer.h"
 #include "graph/generator.h"
 #include "loader/cache.h"
 #include "loader/storage.h"
@@ -80,9 +95,11 @@ struct Args {
   long max_delay_us = 200;
   double skew = 0.99;
   std::string source = "memory";
+  std::string precision = "fp32";
   std::string cache = "none";
   double cache_frac = 0.05;
   std::size_t window = 512;  // in-flight requests per client
+  std::size_t train_epochs = 2;
 };
 
 Args parse(int argc, char** argv) {
@@ -117,9 +134,11 @@ Args parse(int argc, char** argv) {
     else if (k == "max_delay_us") a.max_delay_us = std::stol(v);
     else if (k == "skew") a.skew = std::stod(v);
     else if (k == "source") a.source = v;
+    else if (k == "precision") a.precision = v;
     else if (k == "cache") a.cache = v;
     else if (k == "cache_frac") a.cache_frac = std::stod(v);
     else if (k == "window") a.window = std::stoul(v);
+    else if (k == "train_epochs") a.train_epochs = std::stoul(v);
     else { std::fprintf(stderr, "unknown flag: --%s\n", k.c_str()); std::exit(2); }
     } catch (const std::exception&) {
       std::fprintf(stderr, "bad value for --%s: %s\n", k.c_str(), v.c_str());
@@ -144,6 +163,12 @@ Args parse(int argc, char** argv) {
   if (a.gate != "absolute" && a.gate != "relative" && a.gate != "none") {
     std::fprintf(stderr, "unknown --gate=%s (absolute|relative|none)\n",
                  a.gate.c_str());
+    std::exit(2);
+  }
+  serve::Precision prec;
+  if (!serve::parse_precision(a.precision, &prec)) {
+    std::fprintf(stderr, "unknown --precision=%s (fp32|int8)\n",
+                 a.precision.c_str());
     std::exit(2);
   }
   if (a.low_frac < 0 || a.low_frac > 1) {
@@ -192,7 +217,9 @@ struct RunResult {
   serve::AdmissionCounters admission;  // fleet-wide
   double mean_batch = 0;
   double cache_hit_rate = 0;
+  std::size_t cache_capacity_rows = 0;  // per-replica rows the byte budget holds
   bool any_cache = false;
+  std::uint64_t preads = 0;  // syscalls into the file store (file source)
   std::vector<serve::ReplicaSnapshot> replicas;
 };
 
@@ -208,9 +235,25 @@ RunResult run_serving(const Args& a, const core::Preprocessed& pre,
   wc.skew = a.skew;
   wc.seed = 31;
 
+  serve::Precision prec = serve::Precision::kFp32;
+  serve::parse_precision(a.precision, &prec);
+  const auto codec = prec == serve::Precision::kInt8
+                         ? loader::RowCodec::kInt8
+                         : loader::RowCodec::kFp32;
+  // The cache byte budget is always denominated in fp32 row bytes
+  // (cache_frac of the fp32 resident set), so int8's smaller stored rows
+  // buy proportionally more resident rows — the capacity claim under test.
+  const std::size_t fp32_row_bytes =
+      (pre.num_hops() + 1) * pre.feat_dim() * sizeof(float);
+  const std::size_t budget_bytes =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+          static_cast<double>(a.nodes) * a.cache_frac)) * fp32_row_bytes;
+
   // One CachedSource per replica (each with a private RowCache — the shard
   // cache_affinity specializes); raw pointers retained for stats only.
   std::vector<const serve::CachedSource*> caches;
+  std::vector<const loader::FeatureFileStore*> stores;
+  std::size_t cache_capacity_rows = 0;
   const auto make_source =
       [&](std::size_t) -> std::unique_ptr<serve::FeatureSource> {
     if (a.source == "memory") {
@@ -218,18 +261,22 @@ RunResult run_serving(const Args& a, const core::Preprocessed& pre,
     }
     auto file = std::make_unique<serve::FileStoreSource>(
         loader::FeatureFileStore::open(scratch + "/store", pre.num_nodes(),
-                                       pre.num_hops() + 1, pre.feat_dim()));
+                                       pre.num_hops() + 1, pre.feat_dim(),
+                                       codec));
+    stores.push_back(&file->store());
+    const std::size_t stored_row_bytes = file->store().row_bytes();
     if (a.cache == "none") return file;
-    const auto cap = static_cast<std::size_t>(
-        static_cast<double>(a.nodes) * a.cache_frac);
     std::unique_ptr<loader::RowCache> policy;
     std::vector<std::int64_t> warm_rows;
     if (a.cache == "lru") {
-      policy = std::make_unique<loader::LruCache>(cap == 0 ? 1 : cap);
+      policy = std::make_unique<loader::LruCache>(budget_bytes,
+                                                  stored_row_bytes);
     } else {  // "static", validated in main
-      warm_rows = serve::zipf_hot_set(wc, cap);
-      policy = std::make_unique<loader::StaticCache>(warm_rows);
+      warm_rows = serve::zipf_hot_set(wc, budget_bytes / stored_row_bytes);
+      policy = std::make_unique<loader::StaticCache>(warm_rows,
+                                                     stored_row_bytes);
     }
+    cache_capacity_rows = policy->capacity();
     auto c = std::make_unique<serve::CachedSource>(std::move(file),
                                                    std::move(policy));
     if (!warm_rows.empty()) c->warm(warm_rows);
@@ -239,9 +286,10 @@ RunResult run_serving(const Args& a, const core::Preprocessed& pre,
 
   auto sessions = serve::make_replica_sessions(
       replicas, ckpt, [&](std::size_t i) { return make_model(a, 1000 + i); },
-      make_source);
+      make_source, prec);
 
   serve::ReplicaSetConfig rc;
+  rc.precision = prec;
   serve::parse_policy(a.policy, &rc.policy);
   rc.batch.max_batch_size = a.max_batch;
   rc.batch.max_delay = std::chrono::microseconds(a.max_delay_us);
@@ -297,8 +345,37 @@ RunResult run_serving(const Args& a, const core::Preprocessed& pre,
   if (!caches.empty()) {
     r.any_cache = true;
     r.cache_hit_rate = serve::aggregate_cache_stats(caches).hit_rate();
+    r.cache_capacity_rows = cache_capacity_rows;
   }
+  for (const auto* s : stores) r.preads += s->preads();
   return r;
+}
+
+// Top-1 agreement and max |logit error| of the quantized model against the
+// fp32 reference, on the workload's own node distribution (first
+// `sample_n` stream entries, deduplicated).  Both sessions resolve
+// features from RAM so the comparison isolates the numeric path; the
+// quantized side goes through the same artifact the fleet deploys from,
+// so the reported error includes the checkpoint codec's share.
+serve::PrecisionDrift measure_drift(const Args& a,
+                                    const core::Preprocessed& pre,
+                                    const std::string& fp32_ckpt,
+                                    const std::string& deployed_ckpt,
+                                    const std::vector<std::int64_t>& stream,
+                                    std::size_t sample_n) {
+  auto fp32_model = make_model(a, 7);
+  serve::load_deployed_model(*fp32_model, fp32_ckpt);
+  auto int8_model = make_model(a, 7);
+  serve::load_deployed_model(*int8_model, deployed_ckpt);
+  core::quantize_int8(*int8_model);
+  serve::InferenceSession ref(std::move(fp32_model),
+                              std::make_unique<serve::MemorySource>(pre));
+  serve::InferenceSession quant(std::move(int8_model),
+                                std::make_unique<serve::MemorySource>(pre),
+                                serve::Precision::kInt8);
+  return serve::compare_precision(ref, quant,
+                                  serve::first_unique(stream, sample_n,
+                                                      a.nodes));
 }
 
 void print_result(const char* label, const RunResult& r) {
@@ -325,8 +402,14 @@ void print_result(const char* label, const RunResult& r) {
     }
   }
   if (r.any_cache) {
-    std::printf("cache: %.1f%% aggregate hit rate across replicas\n",
-                100 * r.cache_hit_rate);
+    std::printf("cache: %.1f%% aggregate hit rate across replicas "
+                "(%zu rows per replica in budget)\n",
+                100 * r.cache_hit_rate, r.cache_capacity_rows);
+  }
+  if (r.preads > 0) {
+    std::printf("storage: %llu preads (batched read_rows coalesces "
+                "duplicate/adjacent rows)\n",
+                static_cast<unsigned long long>(r.preads));
   }
 }
 
@@ -357,16 +440,36 @@ int main(int argc, char** argv) {
               static_cast<double>(pre.total_bytes()) / (1024 * 1024));
 
   // --- Deployment: weights out through a checkpoint; every replica loads
-  // the same file, so the fleet is bit-identical by construction. ----------
+  // the same file, so the fleet is bit-identical by construction.  At int8
+  // the deployed checkpoint is the quantized section (~4x less weight
+  // data) and the feature store uses the int8 row codec. ------------------
+  serve::Precision prec = serve::Precision::kFp32;
+  serve::parse_precision(a.precision, &prec);
   const std::string scratch = scratch_dir();
   const std::string ckpt = scratch + "/model.ckpt";
+  const std::string ckpt_fp32 = scratch + "/model_fp32.ckpt";
   {
     auto trained = make_model(a, 7);
-    serve::save_deployed_model(*trained, ckpt);
+    core::quick_train(*trained, pre, sbm.labels, a.train_epochs);
+    serve::save_deployed_model(*trained, ckpt_fp32);  // accuracy reference
+    serve::save_deployed_model(*trained, ckpt, prec);
   }
-  std::printf("model: %s via checkpoint %s\n", a.model.c_str(), ckpt.c_str());
+  const auto file_bytes = [](const std::string& p) -> long {
+    struct stat st{};
+    return ::stat(p.c_str(), &st) == 0 ? static_cast<long>(st.st_size) : 0;
+  };
+  std::printf("model: %s via %s checkpoint %s (%ld bytes%s)\n",
+              a.model.c_str(), serve::precision_name(prec), ckpt.c_str(),
+              file_bytes(ckpt),
+              prec == serve::Precision::kInt8
+                  ? (" vs " + std::to_string(file_bytes(ckpt_fp32)) +
+                     " fp32").c_str()
+                  : "");
   if (a.source == "file") {
-    loader::FeatureFileStore::create(scratch + "/store", pre.hop_features);
+    loader::FeatureFileStore::create(scratch + "/store", pre.hop_features,
+                                     prec == serve::Precision::kInt8
+                                         ? loader::RowCodec::kInt8
+                                         : loader::RowCodec::kFp32);
   } else if (a.source != "memory") {
     std::fprintf(stderr, "unknown --source=%s (memory|file)\n",
                  a.source.c_str());
@@ -379,9 +482,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::printf("serving: %zu replicas, policy=%s, shed_budget=%.1fms, "
-              "source=%s cache=%s\n",
+              "source=%s cache=%s precision=%s\n",
               a.replicas, a.policy.c_str(), a.shed_budget_ms,
-              a.source.c_str(), a.source == "file" ? a.cache.c_str() : "n/a");
+              a.source.c_str(), a.source == "file" ? a.cache.c_str() : "n/a",
+              serve::precision_name(prec));
 
   serve::ZipfWorkloadConfig wc;
   wc.num_nodes = a.nodes;
@@ -403,13 +507,30 @@ int main(int argc, char** argv) {
   RunResult r = run_serving(a, pre, ckpt, scratch, a.replicas, stream);
   print_result("measured", r);
 
+  // Accuracy column: at int8 the gate also bounds top-1 disagreement
+  // against the fp32 reference (>= 99% agreement on a workload sample).
+  serve::PrecisionDrift acc;
+  if (prec == serve::Precision::kInt8) {
+    acc = measure_drift(a, pre, ckpt_fp32, ckpt, stream,
+                        std::min<std::size_t>(a.nodes, 2048));
+    std::printf("\naccuracy vs fp32: %.2f%% top-1 agreement, max |logit "
+                "err| %.4f (%zu-node sample)\n",
+                100 * acc.top1_agreement, acc.max_logit_err, acc.sampled);
+  }
+  const double kMinAgreement = 0.99;
+  const bool acc_ok = prec != serve::Precision::kInt8 ||
+                      acc.top1_agreement >= kMinAgreement;
+
   const auto gate_ok = [&](const RunResult& res) {
+    if (!acc_ok) return false;  // wrong answers fail regardless of speed
     if (a.gate == "none") return true;
     if (a.gate == "relative") return res.rps >= 0.9 * baseline_rps;
     return res.rps >= a.min_rps;
   };
   bool ok = gate_ok(r);
-  if (!ok) {
+  // Retry only throughput misses: those are machine noise, while the
+  // accuracy comparison is deterministic and would fail identically.
+  if (!ok && acc_ok) {
     std::printf("\ngate missed; retrying once (loaded-machine noise gets "
                 "one second chance)\n");
     if (a.gate == "relative") {
@@ -426,12 +547,21 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\njson: {\"requests\":%zu,\"replicas\":%zu,\"policy\":\"%s\","
-              "\"throughput_rps\":%.0f,\"baseline_rps\":%.0f,"
+              "\"precision\":\"%s\",\"throughput_rps\":%.0f,"
+              "\"baseline_rps\":%.0f,\"top1_agreement\":%.4f,"
+              "\"max_logit_err\":%.5f,\"preads\":%llu,"
+              "\"cache_capacity_rows\":%zu,"
               "\"latency\":%s,\"admission\":%s,\"mean_batch\":%.1f}\n",
-              stream.size(), a.replicas, a.policy.c_str(), r.rps,
-              baseline_rps, r.latency.to_json().c_str(),
+              stream.size(), a.replicas, a.policy.c_str(),
+              serve::precision_name(prec), r.rps, baseline_rps,
+              acc.top1_agreement, acc.max_logit_err,
+              static_cast<unsigned long long>(r.preads),
+              r.cache_capacity_rows, r.latency.to_json().c_str(),
               r.admission.to_json().c_str(), r.mean_batch);
-  if (a.gate == "relative") {
+  if (!acc_ok) {
+    std::printf("FAIL: int8 top-1 agreement %.2f%% below the %.0f%% bound\n",
+                100 * acc.top1_agreement, 100 * kMinAgreement);
+  } else if (a.gate == "relative") {
     std::printf("%s: %zu-replica run sustained %.0f req/s vs single-replica "
                 "baseline %.0f (relative gate: >= 90%%)\n",
                 ok ? "PASS" : "FAIL", a.replicas, r.rps, baseline_rps);

@@ -40,6 +40,9 @@ class Gamlp : public PpModel {
   Tensor forward(const Tensor& batch, bool train) override;
   void backward(const Tensor& grad_logits) override;
   void collect_params(std::vector<nn::ParamSlot>& out) override;
+  void collect_linears(std::vector<nn::Linear*>& out) override {
+    mlp_->collect_linears(out);
+  }
   std::string name() const override { return "GAMLP"; }
   std::size_t hops() const override { return cfg_.hops; }
 

@@ -34,6 +34,11 @@ class Hoga : public PpModel {
   Tensor forward(const Tensor& batch, bool train) override;
   void backward(const Tensor& grad_logits) override;
   void collect_params(std::vector<nn::ParamSlot>& out) override;
+  void collect_linears(std::vector<nn::Linear*>& out) override {
+    proj_.collect_linears(out);
+    attn_.collect_linears(out);
+    head_.collect_linears(out);
+  }
   std::string name() const override { return "HOGA"; }
   std::size_t hops() const override { return cfg_.hops; }
 

@@ -26,6 +26,12 @@ class PpModel {
   // Gradients flow only into parameters; the input is data.
   virtual void backward(const Tensor& grad_logits) = 0;
   virtual void collect_params(std::vector<nn::ParamSlot>& out) = 0;
+  // Appends every nn::Linear in a fixed architecture order — the walk
+  // post-training INT8 quantization uses (quantize_int8 /
+  // share_quantized_weights below).  Models whose dense layers are all
+  // nn::Linear/nn::Mlp get this for free by forwarding; the default
+  // appends nothing, which quantize_int8 reports as "unsupported".
+  virtual void collect_linears(std::vector<nn::Linear*>& out) { (void)out; }
   virtual std::string name() const = 0;
   virtual std::size_t hops() const = 0;
 
@@ -48,6 +54,19 @@ class PpModel {
   // parallelism comes from the kernels' global thread pool.
   virtual Tensor infer(const Tensor& batch) { return forward(batch, false); }
 };
+
+// Post-training INT8 quantization of a deployed model (core/quantize.cpp).
+// Quantizes every collected Linear per output channel; eval-mode infer()
+// then runs the int8 GEMM path while training forwards keep using fp32.
+// Returns the number of layers quantized; throws std::invalid_argument if
+// the model exposes no quantizable layers.
+std::size_t quantize_int8(PpModel& model);
+
+// Points every Linear in `dst` at `src`'s immutable quantized blocks (both
+// models must be the same architecture) — a serving fleet quantizes one
+// model copy and shares the weights across replicas instead of holding N
+// identical int8 copies.  `src` must already be quantized.
+void share_quantized_weights(PpModel& dst, PpModel& src);
 
 // Copies hop `h` (feature width f) out of an expanded batch.
 inline Tensor slice_hop(const Tensor& batch, std::size_t h, std::size_t f) {

@@ -1,0 +1,34 @@
+#include <stdexcept>
+
+#include "core/pp_model.h"
+#include "nn/linear.h"
+
+namespace ppgnn::core {
+
+std::size_t quantize_int8(PpModel& model) {
+  std::vector<nn::Linear*> linears;
+  model.collect_linears(linears);
+  if (linears.empty()) {
+    throw std::invalid_argument("quantize_int8: " + model.name() +
+                                " exposes no quantizable Linear layers");
+  }
+  for (auto* l : linears) l->quantize_int8();
+  return linears.size();
+}
+
+void share_quantized_weights(PpModel& dst, PpModel& src) {
+  std::vector<nn::Linear*> from, to;
+  src.collect_linears(from);
+  dst.collect_linears(to);
+  if (from.empty() || from.size() != to.size()) {
+    throw std::invalid_argument(
+        "share_quantized_weights: architecture mismatch (" +
+        std::to_string(from.size()) + " vs " + std::to_string(to.size()) +
+        " Linear layers)");
+  }
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    to[i]->share_quantized(*from[i]);
+  }
+}
+
+}  // namespace ppgnn::core

@@ -18,6 +18,9 @@ class Sgc : public PpModel {
   Tensor forward(const Tensor& batch, bool train) override;
   void backward(const Tensor& grad_logits) override;
   void collect_params(std::vector<nn::ParamSlot>& out) override;
+  void collect_linears(std::vector<nn::Linear*>& out) override {
+    linear_.collect_linears(out);
+  }
   std::string name() const override { return "SGC"; }
   std::size_t hops() const override { return hops_; }
 

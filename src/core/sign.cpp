@@ -74,4 +74,9 @@ void Sign::collect_params(std::vector<nn::ParamSlot>& out) {
   head_.collect_params(out);
 }
 
+void Sign::collect_linears(std::vector<nn::Linear*>& out) {
+  for (auto& b : branches_) b->collect_linears(out);
+  head_.collect_linears(out);
+}
+
 }  // namespace ppgnn::core

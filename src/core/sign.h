@@ -31,6 +31,7 @@ class Sign : public PpModel {
   Tensor forward(const Tensor& batch, bool train) override;
   void backward(const Tensor& grad_logits) override;
   void collect_params(std::vector<nn::ParamSlot>& out) override;
+  void collect_linears(std::vector<nn::Linear*>& out) override;
   std::string name() const override { return "SIGN"; }
   std::size_t hops() const override { return cfg_.hops; }
 

@@ -29,6 +29,9 @@ class Ssgc : public PpModel {
   Tensor forward(const Tensor& batch, bool train) override;
   void backward(const Tensor& grad_logits) override;
   void collect_params(std::vector<nn::ParamSlot>& out) override;
+  void collect_linears(std::vector<nn::Linear*>& out) override {
+    linear_.collect_linears(out);
+  }
   std::string name() const override { return "SSGC"; }
   std::size_t hops() const override { return hops_; }
   float alpha() const { return alpha_; }

@@ -1,6 +1,8 @@
 #include "core/trainer.h"
 
+#include <algorithm>
 #include <chrono>
+#include <numeric>
 #include <stdexcept>
 
 #include "core/checkpoint.h"
@@ -223,6 +225,40 @@ PpTrainResult train_pp(PpModel& model, const Preprocessed& pre,
     }
   }
   return result;
+}
+
+void quick_train(PpModel& model, const Preprocessed& pre,
+                 const std::vector<std::int32_t>& labels, std::size_t epochs,
+                 float lr, std::size_t batch_size, std::uint64_t seed) {
+  if (labels.size() < pre.num_nodes()) {
+    throw std::invalid_argument("quick_train: labels shorter than node set");
+  }
+  std::vector<nn::ParamSlot> slots;
+  model.collect_params(slots);
+  nn::Adam opt(slots, lr);
+  Rng rng(seed);
+  const std::size_t n = pre.num_nodes();
+  std::vector<std::int64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t e = 0; e < epochs; ++e) {
+    rng.shuffle(order);
+    for (std::size_t lo = 0; lo < n; lo += batch_size) {
+      const std::size_t hi = std::min(n, lo + batch_size);
+      const std::vector<std::int64_t> idx(order.begin() + lo,
+                                          order.begin() + hi);
+      const Tensor batch = pre.expanded_rows(idx);
+      std::vector<std::int32_t> lbl(idx.size());
+      for (std::size_t i = 0; i < idx.size(); ++i) {
+        lbl[i] = labels[static_cast<std::size_t>(idx[i])];
+      }
+      Tensor logits = model.forward(batch, true);
+      Tensor grad({logits.rows(), logits.cols()});
+      cross_entropy(logits, lbl, grad);
+      for (auto& s : slots) s.grad->zero();
+      model.backward(grad);
+      opt.step();
+    }
+  }
 }
 
 }  // namespace ppgnn::core

@@ -66,4 +66,14 @@ double evaluate_pp(PpModel& model, const Preprocessed& pre,
                    const std::vector<std::int64_t>& idx,
                    std::size_t batch_size = 2048);
 
+// Minimal deployment-prep training: a few Adam epochs over all rows with
+// per-node labels, no splits/metrics/checkpointing.  serve_cli and the
+// serving bench use it before deploying a model — an untrained model's
+// near-tie logits would make precision-agreement measurements (the int8
+// gate) meaningless.  For real experiments use train_pp above.
+void quick_train(PpModel& model, const Preprocessed& pre,
+                 const std::vector<std::int32_t>& labels, std::size_t epochs,
+                 float lr = 1e-2f, std::size_t batch_size = 512,
+                 std::uint64_t seed = 123);
+
 }  // namespace ppgnn::core

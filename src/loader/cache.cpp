@@ -5,7 +5,12 @@
 
 namespace ppgnn::loader {
 
-StaticCache::StaticCache(const std::vector<std::int64_t>& pinned_rows) {
+StaticCache::StaticCache(const std::vector<std::int64_t>& pinned_rows,
+                         std::size_t row_bytes)
+    : row_bytes_(row_bytes) {
+  if (row_bytes == 0) {
+    throw std::invalid_argument("StaticCache: row_bytes must be > 0");
+  }
   pinned_.reserve(pinned_rows.size() * 2);
   for (const auto r : pinned_rows) pinned_.emplace(r, true);
 }
@@ -14,11 +19,18 @@ bool StaticCache::access(std::int64_t row) {
   return pinned_.count(row) > 0;
 }
 
-LruCache::LruCache(std::size_t capacity) : capacity_(capacity) {
-  if (capacity == 0) {
-    throw std::invalid_argument("LruCache: capacity must be > 0");
+LruCache::LruCache(std::size_t capacity_bytes, std::size_t row_bytes)
+    : capacity_bytes_(capacity_bytes),
+      row_bytes_(row_bytes),
+      max_rows_(row_bytes ? capacity_bytes / row_bytes : 0) {
+  if (row_bytes == 0) {
+    throw std::invalid_argument("LruCache: row_bytes must be > 0");
   }
-  map_.reserve(capacity * 2);
+  if (max_rows_ == 0) {
+    throw std::invalid_argument(
+        "LruCache: capacity_bytes must hold at least one row");
+  }
+  map_.reserve(max_rows_ * 2);
 }
 
 bool LruCache::access(std::int64_t row, std::int64_t* evicted) {
@@ -28,7 +40,7 @@ bool LruCache::access(std::int64_t row, std::int64_t* evicted) {
     order_.splice(order_.begin(), order_, it->second);  // refresh
     return true;
   }
-  if (map_.size() == capacity_) {
+  if (map_.size() == max_rows_) {
     if (evicted) *evicted = order_.back();
     map_.erase(order_.back());
     order_.pop_back();

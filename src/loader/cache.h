@@ -20,6 +20,14 @@ namespace ppgnn::loader {
 
 // Cache policy interface over row ids (payload-free: we only study hit
 // rates; the bytes saved are hit_rate * row_bytes by construction).
+//
+// Capacity is denominated in BYTES, not rows: a policy is constructed
+// with a byte budget and the byte size of one cached row, and holds
+// floor(budget / row_bytes) rows.  The distinction is the point of the
+// INT8 serving path — the same byte budget holds ~4x as many quantized
+// FeatureFileStore rows as fp32 ones, so effective cache capacity (and
+// hit rate under a fixed workload) rises without buying RAM.  Hit-rate
+// studies that genuinely think in rows pass row_bytes = 1.
 class RowCache {
  public:
   virtual ~RowCache() = default;
@@ -38,41 +46,58 @@ class RowCache {
   // Whether `row` is currently held (post-access membership, no state
   // change).  Payload callers use this to decide whether to retain bytes.
   virtual bool resident(std::int64_t row) const = 0;
+  // Maximum resident rows under the byte budget.
   virtual std::size_t capacity() const = 0;
+  // The byte budget and the per-row cost it is divided by.
+  virtual std::size_t capacity_bytes() const = 0;
+  virtual std::size_t row_bytes() const = 0;
   virtual const char* policy() const = 0;
 };
 
 // Static cache preloaded with a fixed row set (GNNLab-style: hottest rows
-// by degree or by profiled frequency, pinned for the whole run).
+// by degree or by profiled frequency, pinned for the whole run).  The pin
+// set defines the capacity; row_bytes records what each pin costs so
+// capacity_bytes() reports the true resident-set size.
 class StaticCache : public RowCache {
  public:
-  explicit StaticCache(const std::vector<std::int64_t>& pinned_rows);
+  explicit StaticCache(const std::vector<std::int64_t>& pinned_rows,
+                       std::size_t row_bytes = 1);
   bool access(std::int64_t row) override;
   bool resident(std::int64_t row) const override {
     return pinned_.count(row) > 0;
   }
   std::size_t capacity() const override { return pinned_.size(); }
+  std::size_t capacity_bytes() const override {
+    return pinned_.size() * row_bytes_;
+  }
+  std::size_t row_bytes() const override { return row_bytes_; }
   const char* policy() const override { return "static"; }
 
  private:
   std::unordered_map<std::int64_t, bool> pinned_;
+  std::size_t row_bytes_;
 };
 
-// LRU cache (PaGraph-style dynamic caching).
+// LRU cache (PaGraph-style dynamic caching) over a byte budget: holds at
+// most floor(capacity_bytes / row_bytes) rows.
 class LruCache : public RowCache {
  public:
-  explicit LruCache(std::size_t capacity);
+  LruCache(std::size_t capacity_bytes, std::size_t row_bytes);
   bool access(std::int64_t row) override { return access(row, nullptr); }
   bool access(std::int64_t row, std::int64_t* evicted) override;
   bool resident(std::int64_t row) const override {
     return map_.count(row) > 0;
   }
-  std::size_t capacity() const override { return capacity_; }
+  std::size_t capacity() const override { return max_rows_; }
+  std::size_t capacity_bytes() const override { return capacity_bytes_; }
+  std::size_t row_bytes() const override { return row_bytes_; }
   const char* policy() const override { return "lru"; }
   std::size_t size() const { return map_.size(); }
 
  private:
-  std::size_t capacity_;
+  std::size_t capacity_bytes_;
+  std::size_t row_bytes_;
+  std::size_t max_rows_;
   std::list<std::int64_t> order_;  // front = most recent
   std::unordered_map<std::int64_t, std::list<std::int64_t>::iterator> map_;
 };

@@ -4,10 +4,14 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <numeric>
 #include <stdexcept>
 #include <system_error>
+
+#include "tensor/quant.h"
 
 namespace ppgnn::loader {
 
@@ -36,10 +40,27 @@ void pread_exact(int fd, void* buf, std::size_t count, off_t offset) {
   }
 }
 
+void write_all(int fd, const char* p, std::size_t left) {
+  while (left > 0) {
+    const ssize_t w = ::write(fd, p, left);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write");
+    }
+    p += w;
+    left -= static_cast<std::size_t>(w);
+  }
+}
+
 }  // namespace
 
+const char* codec_name(RowCodec codec) {
+  return codec == RowCodec::kInt8 ? "int8" : "fp32";
+}
+
 FeatureFileStore FeatureFileStore::create(
-    const std::string& dir, const std::vector<Tensor>& hop_features) {
+    const std::string& dir, const std::vector<Tensor>& hop_features,
+    RowCodec codec) {
   if (hop_features.empty()) {
     throw std::invalid_argument("FeatureFileStore: no hop features");
   }
@@ -55,36 +76,64 @@ FeatureFileStore FeatureFileStore::create(
     const int fd = ::open(hop_path(dir, h).c_str(),
                           O_CREAT | O_TRUNC | O_WRONLY, 0644);
     if (fd < 0) throw_errno("open for write: " + hop_path(dir, h));
-    const char* p = reinterpret_cast<const char*>(hop_features[h].data());
-    std::size_t left = hop_features[h].bytes();
-    while (left > 0) {
-      const ssize_t w = ::write(fd, p, left);
-      if (w < 0) {
-        if (errno == EINTR) continue;
-        ::close(fd);
-        throw_errno("write");
+    if (codec == RowCodec::kFp32) {
+      write_all(fd, reinterpret_cast<const char*>(hop_features[h].data()),
+                hop_features[h].bytes());
+    } else {
+      // Row record: [fp32 scale][dim int8 codes].
+      const std::size_t rec = sizeof(float) + dim;
+      std::vector<char> buf(rows * rec);
+      for (std::size_t i = 0; i < rows; ++i) {
+        char* out = buf.data() + i * rec;
+        float scale = 0.f;
+        quantize_row_s8(hop_features[h].row(i), dim,
+                        reinterpret_cast<std::int8_t*>(out + sizeof(float)),
+                        &scale);
+        std::memcpy(out, &scale, sizeof(float));
       }
-      p += w;
-      left -= static_cast<std::size_t>(w);
+      write_all(fd, buf.data(), buf.size());
     }
     ::close(fd);
   }
-  return open(dir, rows, hop_features.size(), dim);
+  return open(dir, rows, hop_features.size(), dim, codec);
 }
 
 FeatureFileStore FeatureFileStore::open(const std::string& dir,
                                         std::size_t num_rows,
                                         std::size_t num_hops,
-                                        std::size_t dim) {
+                                        std::size_t dim, RowCodec codec) {
   FeatureFileStore s;
   s.dir_ = dir;
   s.rows_ = num_rows;
   s.hops_ = num_hops;
   s.dim_ = dim;
+  s.codec_ = codec;
   s.fds_.reserve(num_hops);
+  // Record sizes differ per codec (4*dim vs 4+dim bytes), so the file
+  // length pins down which codec wrote the file — a mismatched open
+  // (e.g. an int8 store opened as fp32) fails loudly here instead of
+  // silently decoding garbage features.
+  const off_t want_bytes =
+      static_cast<off_t>(num_rows * s.hop_row_bytes());
   for (std::size_t h = 0; h < num_hops; ++h) {
     const int fd = ::open(hop_path(dir, h).c_str(), O_RDONLY);
     if (fd < 0) throw_errno("open for read: " + hop_path(dir, h));
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno("fstat: " + hop_path(dir, h));
+    }
+    if (st.st_size != want_bytes) {
+      ::close(fd);
+      throw std::invalid_argument(
+          "FeatureFileStore::open: " + hop_path(dir, h) + " holds " +
+          std::to_string(st.st_size) + " bytes but rows*dim with the " +
+          std::string(codec_name(codec)) + " codec needs " +
+          std::to_string(want_bytes) +
+          " (codec/shape mismatch with how the store was created?)");
+    }
     s.fds_.push_back(fd);
   }
   return s;
@@ -102,14 +151,37 @@ FeatureFileStore& FeatureFileStore::operator=(
     rows_ = other.rows_;
     hops_ = other.hops_;
     dim_ = other.dim_;
+    codec_ = other.codec_;
     fds_ = std::move(other.fds_);
     other.fds_.clear();
+    preads_.store(other.preads_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
   }
   return *this;
 }
 
 FeatureFileStore::~FeatureFileStore() {
   for (const int fd : fds_) ::close(fd);
+}
+
+void FeatureFileStore::read_hop_run(std::size_t h, std::size_t row0,
+                                    std::size_t count, float* dst) const {
+  const std::size_t rec = hop_row_bytes();
+  preads_.fetch_add(1, std::memory_order_relaxed);
+  if (codec_ == RowCodec::kFp32) {
+    pread_exact(fds_[h], dst, count * rec, static_cast<off_t>(row0 * rec));
+    return;
+  }
+  std::vector<char> buf(count * rec);
+  pread_exact(fds_[h], buf.data(), buf.size(),
+              static_cast<off_t>(row0 * rec));
+  for (std::size_t i = 0; i < count; ++i) {
+    const char* in = buf.data() + i * rec;
+    float scale = 0.f;
+    std::memcpy(&scale, in, sizeof(float));
+    dequantize_row_s8(reinterpret_cast<const std::int8_t*>(in + sizeof(float)),
+                      dim_, scale, dst + i * dim_);
+  }
 }
 
 void FeatureFileStore::read_chunk(std::size_t row0, std::size_t count,
@@ -124,11 +196,72 @@ void FeatureFileStore::read_chunk(std::size_t row0, std::size_t count,
   // hop-major layout.
   std::vector<float> buf(count * dim_);
   for (std::size_t h = 0; h < hops_; ++h) {
-    pread_exact(fds_[h], buf.data(), count * dim_ * sizeof(float),
-                static_cast<off_t>(row0 * dim_ * sizeof(float)));
+    read_hop_run(h, row0, count, buf.data());
     for (std::size_t i = 0; i < count; ++i) {
       std::memcpy(out.row(i) + h * dim_, buf.data() + i * dim_,
                   dim_ * sizeof(float));
+    }
+  }
+}
+
+void FeatureFileStore::read_rows_encoded(
+    const std::vector<std::int64_t>& rows, std::uint8_t* out) const {
+  for (const auto r : rows) {
+    if (r < 0 || static_cast<std::size_t>(r) >= rows_) {
+      throw std::out_of_range("read_rows: row out of bounds");
+    }
+  }
+  const std::size_t rec = hop_row_bytes();
+  // Sort output positions by row id so duplicates and adjacent ids form
+  // runs; each run costs one pread per hop instead of one per occurrence.
+  // Serving batches are heavy-tailed (hot rows repeat within a batch), so
+  // the saving is structural, not incidental.
+  std::vector<std::size_t> order(rows.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return rows[a] < rows[b]; });
+  std::vector<std::uint8_t> buf;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const std::size_t run_first = static_cast<std::size_t>(rows[order[i]]);
+    std::size_t j = i;
+    std::size_t run_last = run_first;
+    // Extend the run while the next sorted id is the same row (duplicate)
+    // or the immediately following one (adjacent on disk).
+    while (j + 1 < order.size()) {
+      const auto next = static_cast<std::size_t>(rows[order[j + 1]]);
+      if (next > run_last + 1) break;
+      run_last = next;
+      ++j;
+    }
+    const std::size_t count = run_last - run_first + 1;
+    buf.resize(count * rec);
+    for (std::size_t h = 0; h < hops_; ++h) {
+      preads_.fetch_add(1, std::memory_order_relaxed);
+      pread_exact(fds_[h], buf.data(), count * rec,
+                  static_cast<off_t>(run_first * rec));
+      for (std::size_t t = i; t <= j; ++t) {
+        const auto r = static_cast<std::size_t>(rows[order[t]]);
+        std::memcpy(out + order[t] * row_bytes() + h * rec,
+                    buf.data() + (r - run_first) * rec, rec);
+      }
+    }
+    i = j + 1;
+  }
+}
+
+void FeatureFileStore::decode_row(const std::uint8_t* enc, float* out) const {
+  const std::size_t rec = hop_row_bytes();
+  for (std::size_t h = 0; h < hops_; ++h) {
+    const std::uint8_t* in = enc + h * rec;
+    if (codec_ == RowCodec::kFp32) {
+      std::memcpy(out + h * dim_, in, rec);
+    } else {
+      float scale = 0.f;
+      std::memcpy(&scale, in, sizeof(float));
+      dequantize_row_s8(
+          reinterpret_cast<const std::int8_t*>(in + sizeof(float)), dim_,
+          scale, out + h * dim_);
     }
   }
 }
@@ -138,15 +271,10 @@ void FeatureFileStore::read_rows(const std::vector<std::int64_t>& rows,
   if (out.rows() != rows.size() || out.cols() != hops_ * dim_) {
     throw std::invalid_argument("read_rows: bad output shape");
   }
+  std::vector<std::uint8_t> enc(rows.size() * row_bytes());
+  read_rows_encoded(rows, enc.data());
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto r = static_cast<std::size_t>(rows[i]);
-    if (rows[i] < 0 || r >= rows_) {
-      throw std::out_of_range("read_rows: row out of bounds");
-    }
-    for (std::size_t h = 0; h < hops_; ++h) {
-      pread_exact(fds_[h], out.row(i) + h * dim_, dim_ * sizeof(float),
-                  static_cast<off_t>(r * dim_ * sizeof(float)));
-    }
+    decode_row(enc.data() + i * row_bytes(), out.row(i));
   }
 }
 

@@ -23,6 +23,12 @@ class MultiHeadSelfAttention : public Module {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   void collect_params(std::vector<ParamSlot>& out) override;
+  void collect_linears(std::vector<Linear*>& out) override {
+    wq_.collect_linears(out);
+    wk_.collect_linears(out);
+    wv_.collect_linears(out);
+    wo_.collect_linears(out);
+  }
 
   std::size_t num_heads() const { return heads_; }
 

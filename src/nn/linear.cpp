@@ -1,6 +1,7 @@
 #include "nn/linear.h"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "tensor/ops.h"
 
@@ -20,6 +21,15 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng,
 }
 
 Tensor Linear::forward(const Tensor& x, bool train) {
+  if (!train && qweight_) {
+    // INT8 inference path: asymmetric per-row quantized activations
+    // against the per-output-channel symmetric quantized weights, offset
+    // and bias folded into the epilogue.
+    Tensor y;
+    gemm_s8_nt(quantize_acts_per_row(x), *qweight_, y,
+               bias_.empty() ? nullptr : &bias_);
+    return y;
+  }
   if (train) cached_input_ = x;
   Tensor y = matmul(x, weight_);
   if (!bias_.empty()) add_row_vector(y, bias_);
@@ -40,6 +50,29 @@ Tensor Linear::backward(const Tensor& grad_out) {
 void Linear::collect_params(std::vector<ParamSlot>& out) {
   out.push_back({&weight_, &grad_weight_, "linear.weight"});
   if (!bias_.empty()) out.push_back({&bias_, &grad_bias_, "linear.bias"});
+}
+
+void Linear::quantize_int8() {
+  // Quantize W^T so rows are output channels: scale constant over the
+  // k-sum, which is what lets gemm_s8_nt dequantize at the epilogue.
+  Tensor wt({weight_.cols(), weight_.rows()});
+  for (std::size_t i = 0; i < weight_.rows(); ++i) {
+    for (std::size_t j = 0; j < weight_.cols(); ++j) {
+      wt.at(j, i) = weight_.at(i, j);
+    }
+  }
+  qweight_ = std::make_shared<const QuantizedMatrix>(quantize_per_row(wt));
+}
+
+void Linear::share_quantized(const Linear& src) {
+  if (!src.qweight_) {
+    throw std::invalid_argument("share_quantized: source is not quantized");
+  }
+  if (src.qweight_->rows != weight_.cols() ||
+      src.qweight_->cols != weight_.rows()) {
+    throw std::invalid_argument("share_quantized: shape mismatch");
+  }
+  qweight_ = src.qweight_;
 }
 
 }  // namespace ppgnn::nn

@@ -45,4 +45,8 @@ void Mlp::collect_params(std::vector<ParamSlot>& out) {
   for (auto& l : linears_) l->collect_params(out);
 }
 
+void Mlp::collect_linears(std::vector<Linear*>& out) {
+  for (auto& l : linears_) l->collect_linears(out);
+}
+
 }  // namespace ppgnn::nn

@@ -20,6 +20,7 @@ class Mlp : public Module {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   void collect_params(std::vector<ParamSlot>& out) override;
+  void collect_linears(std::vector<Linear*>& out) override;
 
   std::size_t num_layers() const { return linears_.size(); }
 

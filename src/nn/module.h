@@ -14,6 +14,8 @@
 
 namespace ppgnn::nn {
 
+class Linear;
+
 struct ParamSlot {
   Tensor* value = nullptr;
   Tensor* grad = nullptr;
@@ -34,6 +36,13 @@ class Module {
   virtual Tensor backward(const Tensor& grad_out) = 0;
 
   virtual void collect_params(std::vector<ParamSlot>& out) = 0;
+
+  // Appends every Linear layer reachable from this module, in a fixed
+  // order (the same order across two instances of the same architecture).
+  // This is the hook post-training quantization walks: Linear registers
+  // itself, containers forward to their children, everything else inherits
+  // the no-op.  See tensor/quant.h and core/pp_model.h.
+  virtual void collect_linears(std::vector<Linear*>& out) { (void)out; }
 
   void zero_grad() {
     std::vector<ParamSlot> slots;

@@ -1,16 +1,28 @@
 #include "nn/serialize.h"
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <stdexcept>
 #include <system_error>
+#include <vector>
+
+#include "tensor/quant.h"
 
 namespace ppgnn::nn {
 
 namespace {
 
-constexpr std::uint64_t kMagic = 0x50504e4e434b5031ULL;  // "PPNNCKP1"
+constexpr std::uint64_t kMagic = 0x50504e4e434b5031ULL;       // "PPNNCKP1"
+constexpr std::uint64_t kMagicQuant = 0x50504e4e434b5131ULL;  // "PPNNCKQ1"
+
+// Per-slot payload encodings inside the quantized section.  2-D weights
+// quantize per OUTPUT channel (column of the [in, out] layout) — the same
+// axis Linear::quantize_int8 uses at runtime, so load-then-quantize adds
+// essentially no error beyond the checkpoint's own.
+constexpr std::uint8_t kEncFp32 = 0;
+constexpr std::uint8_t kEncInt8PerChannel = 1;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -32,63 +44,163 @@ void read_exact(std::FILE* f, void* p, std::size_t n) {
   }
 }
 
+void write_shape(std::FILE* f, const Tensor& t) {
+  const std::uint64_t rank = t.ndim();
+  write_exact(f, &rank, sizeof(rank));
+  for (std::size_t d = 0; d < rank; ++d) {
+    const std::uint64_t dim = t.dim(d);
+    write_exact(f, &dim, sizeof(dim));
+  }
+}
+
+void read_and_check_shape(std::FILE* f, const ParamSlot& s) {
+  std::uint64_t rank = 0;
+  read_exact(f, &rank, sizeof(rank));
+  if (rank != s.value->ndim()) {
+    throw std::runtime_error("checkpoint read: rank mismatch for " + s.name);
+  }
+  for (std::size_t d = 0; d < rank; ++d) {
+    std::uint64_t dim = 0;
+    read_exact(f, &dim, sizeof(dim));
+    if (dim != s.value->dim(d)) {
+      throw std::runtime_error("checkpoint read: shape mismatch for " +
+                               s.name);
+    }
+  }
+}
+
+FilePtr open_checked(const std::string& path, const char* mode,
+                     const char* what) {
+  FilePtr f(std::fopen(path.c_str(), mode));
+  if (!f) {
+    throw std::system_error(errno, std::generic_category(),
+                            std::string(what) + ": " + path);
+  }
+  return f;
+}
+
+std::uint64_t read_count(std::FILE* f, std::size_t want) {
+  std::uint64_t count = 0;
+  read_exact(f, &count, sizeof(count));
+  if (count != want) {
+    throw std::runtime_error("checkpoint read: parameter count mismatch (" +
+                             std::to_string(count) + " in file, " +
+                             std::to_string(want) + " in model)");
+  }
+  return count;
+}
+
+void load_fp32_body(std::FILE* f, const std::vector<ParamSlot>& slots) {
+  read_count(f, slots.size());
+  for (const auto& s : slots) {
+    read_and_check_shape(f, s);
+    read_exact(f, s.value->data(), s.value->bytes());
+  }
+}
+
+void load_quantized_body(std::FILE* f, const std::vector<ParamSlot>& slots) {
+  read_count(f, slots.size());
+  for (const auto& s : slots) {
+    read_and_check_shape(f, s);
+    std::uint8_t enc = 0;
+    read_exact(f, &enc, sizeof(enc));
+    if (enc == kEncFp32) {
+      read_exact(f, s.value->data(), s.value->bytes());
+    } else if (enc == kEncInt8PerChannel) {
+      const std::size_t rows = s.value->rows();
+      const std::size_t cols = s.value->cols();
+      std::vector<float> scales(cols);
+      std::vector<std::int8_t> payload(rows * cols);
+      read_exact(f, scales.data(), cols * sizeof(float));
+      read_exact(f, payload.data(), payload.size());
+      for (std::size_t i = 0; i < rows; ++i) {
+        float* dst = s.value->row(i);
+        const std::int8_t* src = payload.data() + i * cols;
+        for (std::size_t j = 0; j < cols; ++j) {
+          dst[j] = static_cast<float>(src[j]) * scales[j];
+        }
+      }
+    } else {
+      throw std::runtime_error("checkpoint read: unknown encoding for " +
+                               s.name);
+    }
+  }
+}
+
 }  // namespace
 
 void save_parameters(const std::vector<ParamSlot>& slots,
                      const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) {
-    throw std::system_error(errno, std::generic_category(),
-                            "open for write: " + path);
-  }
+  FilePtr f = open_checked(path, "wb", "open for write");
   write_exact(f.get(), &kMagic, sizeof(kMagic));
   const std::uint64_t count = slots.size();
   write_exact(f.get(), &count, sizeof(count));
   for (const auto& s : slots) {
-    const std::uint64_t rank = s.value->ndim();
-    write_exact(f.get(), &rank, sizeof(rank));
-    for (std::size_t d = 0; d < rank; ++d) {
-      const std::uint64_t dim = s.value->dim(d);
-      write_exact(f.get(), &dim, sizeof(dim));
-    }
+    write_shape(f.get(), *s.value);
     write_exact(f.get(), s.value->data(), s.value->bytes());
+  }
+}
+
+void save_parameters_quantized(const std::vector<ParamSlot>& slots,
+                               const std::string& path) {
+  FilePtr f = open_checked(path, "wb", "open for write");
+  write_exact(f.get(), &kMagicQuant, sizeof(kMagicQuant));
+  const std::uint64_t count = slots.size();
+  write_exact(f.get(), &count, sizeof(count));
+  for (const auto& s : slots) {
+    write_shape(f.get(), *s.value);
+    // Weight matrices carry the bulk of the bytes and quantize per
+    // output channel (one scale per column of the [in, out] layout);
+    // everything else (biases, norm parameters) stays exact.
+    const std::uint8_t enc =
+        s.value->ndim() == 2 ? kEncInt8PerChannel : kEncFp32;
+    write_exact(f.get(), &enc, sizeof(enc));
+    if (enc == kEncFp32) {
+      write_exact(f.get(), s.value->data(), s.value->bytes());
+      continue;
+    }
+    const std::size_t rows = s.value->rows();
+    const std::size_t cols = s.value->cols();
+    std::vector<float> scales(cols, 0.f);
+    for (std::size_t i = 0; i < rows; ++i) {
+      const float* src = s.value->row(i);
+      for (std::size_t j = 0; j < cols; ++j) {
+        const float a = std::fabs(src[j]);
+        if (a > scales[j]) scales[j] = a;
+      }
+    }
+    for (auto& s_j : scales) s_j /= 127.f;
+    std::vector<std::int8_t> payload(rows * cols);
+    for (std::size_t i = 0; i < rows; ++i) {
+      const float* src = s.value->row(i);
+      std::int8_t* dst = payload.data() + i * cols;
+      for (std::size_t j = 0; j < cols; ++j) {
+        if (scales[j] == 0.f) {
+          dst[j] = 0;
+          continue;
+        }
+        int q = static_cast<int>(std::lrintf(src[j] / scales[j]));
+        if (q > 127) q = 127;
+        if (q < -127) q = -127;
+        dst[j] = static_cast<std::int8_t>(q);
+      }
+    }
+    write_exact(f.get(), scales.data(), cols * sizeof(float));
+    write_exact(f.get(), payload.data(), payload.size());
   }
 }
 
 void load_parameters(const std::vector<ParamSlot>& slots,
                      const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (!f) {
-    throw std::system_error(errno, std::generic_category(),
-                            "open for read: " + path);
-  }
+  FilePtr f = open_checked(path, "rb", "open for read");
   std::uint64_t magic = 0;
   read_exact(f.get(), &magic, sizeof(magic));
-  if (magic != kMagic) {
+  if (magic == kMagic) {
+    load_fp32_body(f.get(), slots);
+  } else if (magic == kMagicQuant) {
+    load_quantized_body(f.get(), slots);
+  } else {
     throw std::runtime_error("checkpoint read: bad magic in " + path);
-  }
-  std::uint64_t count = 0;
-  read_exact(f.get(), &count, sizeof(count));
-  if (count != slots.size()) {
-    throw std::runtime_error("checkpoint read: parameter count mismatch (" +
-                             std::to_string(count) + " in file, " +
-                             std::to_string(slots.size()) + " in model)");
-  }
-  for (const auto& s : slots) {
-    std::uint64_t rank = 0;
-    read_exact(f.get(), &rank, sizeof(rank));
-    if (rank != s.value->ndim()) {
-      throw std::runtime_error("checkpoint read: rank mismatch for " + s.name);
-    }
-    for (std::size_t d = 0; d < rank; ++d) {
-      std::uint64_t dim = 0;
-      read_exact(f.get(), &dim, sizeof(dim));
-      if (dim != s.value->dim(d)) {
-        throw std::runtime_error("checkpoint read: shape mismatch for " +
-                                 s.name);
-      }
-    }
-    read_exact(f.get(), s.value->data(), s.value->bytes());
   }
 }
 
@@ -96,6 +208,12 @@ void save_parameters(Module& module, const std::string& path) {
   std::vector<ParamSlot> slots;
   module.collect_params(slots);
   save_parameters(slots, path);
+}
+
+void save_parameters_quantized(Module& module, const std::string& path) {
+  std::vector<ParamSlot> slots;
+  module.collect_params(slots);
+  save_parameters_quantized(slots, path);
 }
 
 void load_parameters(Module& module, const std::string& path) {

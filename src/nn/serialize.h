@@ -5,6 +5,19 @@
 // hundreds of hyperparameter-tuning runs amortizing one preprocessing pass —
 // needs exactly this: preprocessed features live in the FeatureFileStore,
 // model weights in checkpoints.
+//
+// Two on-disk sections share one loader:
+//   - fp32 ("PPNNCKP1"): raw float payloads, exact round trip;
+//   - quantized ("PPNNCKQ1"): 2-D weight matrices stored symmetric int8
+//     per OUTPUT channel — one fp32 scale per column of the [in, out]
+//     layout, the same axis Linear::quantize_int8 uses at runtime, so
+//     load-then-requantize adds essentially nothing on top of the
+//     checkpoint's own error.  ~4x less weight data over the wire, which
+//     is what a serving fleet pulls at deploy time.  1-D parameters
+//     (biases, norm gains) stay fp32; they are a rounding error of the
+//     total and their precision is cheap.
+// load_parameters sniffs the magic and decodes either, so call sites are
+// agnostic to how a checkpoint was written.
 #pragma once
 
 #include <string>
@@ -17,14 +30,23 @@ namespace ppgnn::nn {
 // Throws std::system_error on I/O failure.
 void save_parameters(Module& module, const std::string& path);
 
-// Loads parameters saved by save_parameters.  Shapes must match the
-// module's current parameters exactly (std::runtime_error otherwise).
+// Writes the quantized section: 2-D params as per-output-channel int8 +
+// scales, the rest fp32.  Lossy (each weight within half its channel's
+// scale); intended for deployment, not for resuming training.
+void save_parameters_quantized(Module& module, const std::string& path);
+
+// Loads parameters saved by either save function (format auto-detected).
+// Shapes must match the module's current parameters exactly
+// (std::runtime_error otherwise).  Quantized payloads are dequantized into
+// the fp32 slots.
 void load_parameters(Module& module, const std::string& path);
 
 // Non-member versions over raw slot lists (used by the MP-GNN models,
 // which are not nn::Modules).
 void save_parameters(const std::vector<ParamSlot>& slots,
                      const std::string& path);
+void save_parameters_quantized(const std::vector<ParamSlot>& slots,
+                               const std::string& path);
 void load_parameters(const std::vector<ParamSlot>& slots,
                      const std::string& path);
 

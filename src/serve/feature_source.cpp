@@ -17,6 +17,21 @@ void check_rows(const std::vector<std::int64_t>& rows, std::size_t n) {
 
 }  // namespace
 
+void FeatureSource::gather_encoded(const std::vector<std::int64_t>& rows,
+                                   std::uint8_t* out) {
+  (void)rows;
+  (void)out;
+  throw std::logic_error("FeatureSource: no encoded form (kind=" +
+                         std::string(kind()) + ")");
+}
+
+void FeatureSource::decode_row(const std::uint8_t* enc, float* out) const {
+  (void)enc;
+  (void)out;
+  throw std::logic_error("FeatureSource: no encoded form (kind=" +
+                         std::string(kind()) + ")");
+}
+
 void MemorySource::gather(const std::vector<std::int64_t>& rows, Tensor& out) {
   check_rows(rows, num_rows());
   out = pre_->expanded_rows(rows);
@@ -32,6 +47,16 @@ void FileStoreSource::gather(const std::vector<std::int64_t>& rows,
   store_.read_rows(rows, out);
 }
 
+void FileStoreSource::gather_encoded(const std::vector<std::int64_t>& rows,
+                                     std::uint8_t* out) {
+  check_rows(rows, num_rows());
+  store_.read_rows_encoded(rows, out);
+}
+
+void FileStoreSource::decode_row(const std::uint8_t* enc, float* out) const {
+  store_.decode_row(enc, out);
+}
+
 CachedSource::CachedSource(std::unique_ptr<FeatureSource> backing,
                            std::unique_ptr<loader::RowCache> policy)
     : backing_(std::move(backing)), policy_(std::move(policy)) {
@@ -40,8 +65,23 @@ CachedSource::CachedSource(std::unique_ptr<FeatureSource> backing,
   }
 }
 
+std::size_t CachedSource::payload_row_bytes() const {
+  const std::size_t enc = backing_->encoded_row_bytes();
+  return enc ? enc : backing_->row_dim() * sizeof(float);
+}
+
+void CachedSource::serve_payload(const std::vector<std::uint8_t>& payload,
+                                 float* out_row, std::size_t dim) const {
+  if (backing_->encoded_row_bytes()) {
+    backing_->decode_row(payload.data(), out_row);
+  } else {
+    std::memcpy(out_row, payload.data(), dim * sizeof(float));
+  }
+}
+
 void CachedSource::gather(const std::vector<std::int64_t>& rows, Tensor& out) {
   const std::size_t dim = row_dim();
+  const bool encoded = backing_->encoded_row_bytes() > 0;
   if (out.ndim() != 2 || out.rows() != rows.size() || out.cols() != dim) {
     out = Tensor({rows.size(), dim});
   }
@@ -61,7 +101,7 @@ void CachedSource::gather(const std::vector<std::int64_t>& rows, Tensor& out) {
       const auto it = payload_.find(r);
       if (it != payload_.end()) {
         ++stats_.hits;
-        std::memcpy(out.row(i), it->second.data(), dim * sizeof(float));
+        serve_payload(it->second, out.row(i), dim);
         continue;
       }
       auto& positions = miss_positions[r];
@@ -74,40 +114,66 @@ void CachedSource::gather(const std::vector<std::int64_t>& rows, Tensor& out) {
     }
   }
   if (miss_rows.empty()) return;
-  // Pass 2 (no lock): one backing fetch for all unique misses.
-  Tensor fetched({miss_rows.size(), dim});
-  backing_->gather(miss_rows, fetched);
+  // Pass 2 (no lock): one backing fetch for all unique misses — encoded
+  // when the backing has a compact form (hit and miss then decode the same
+  // bytes), fp32 otherwise.
+  const std::size_t prb = payload_row_bytes();
+  std::vector<std::uint8_t> fetched(miss_rows.size() * prb);
+  if (encoded) {
+    backing_->gather_encoded(miss_rows, fetched.data());
+  } else {
+    Tensor rows_f32({miss_rows.size(), dim});
+    backing_->gather(miss_rows, rows_f32);
+    std::memcpy(fetched.data(), rows_f32.data(), fetched.size());
+  }
   // Pass 3 (under the lock): scatter to output and retain payloads the
   // policy admitted (StaticCache declines non-pinned rows; LRU admits all).
   std::lock_guard<std::mutex> lk(mu_);
   stats_.rows_read += miss_rows.size();
   for (std::size_t m = 0; m < miss_rows.size(); ++m) {
     const std::int64_t r = miss_rows[m];
+    const std::uint8_t* enc_row = fetched.data() + m * prb;
     for (const std::size_t i : miss_positions[r]) {
-      std::memcpy(out.row(i), fetched.row(m), dim * sizeof(float));
+      if (encoded) {
+        backing_->decode_row(enc_row, out.row(i));
+      } else {
+        std::memcpy(out.row(i), enc_row, dim * sizeof(float));
+      }
     }
     if (policy_->resident(r)) {
-      payload_[r].assign(fetched.row(m), fetched.row(m) + dim);
+      payload_[r].assign(enc_row, enc_row + prb);
     }
   }
 }
 
 FeatureCacheStats CachedSource::stats() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return stats_;
+  FeatureCacheStats s = stats_;
+  s.resident_rows = payload_.size();
+  s.resident_bytes = payload_.size() * payload_row_bytes();
+  return s;
 }
 
 void CachedSource::warm(const std::vector<std::int64_t>& rows) {
   if (rows.empty()) return;
-  Tensor fetched({rows.size(), row_dim()});
-  backing_->gather(rows, fetched);
+  const std::size_t prb = payload_row_bytes();
+  const bool encoded = backing_->encoded_row_bytes() > 0;
+  std::vector<std::uint8_t> fetched(rows.size() * prb);
+  if (encoded) {
+    backing_->gather_encoded(rows, fetched.data());
+  } else {
+    Tensor rows_f32({rows.size(), row_dim()});
+    backing_->gather(rows, rows_f32);
+    std::memcpy(fetched.data(), rows_f32.data(), fetched.size());
+  }
   std::lock_guard<std::mutex> lk(mu_);
   for (std::size_t i = 0; i < rows.size(); ++i) {
     std::int64_t evicted = -1;
     policy_->access(rows[i], &evicted);
     if (evicted >= 0) payload_.erase(evicted);
     if (policy_->resident(rows[i])) {
-      payload_[rows[i]].assign(fetched.row(i), fetched.row(i) + row_dim());
+      payload_[rows[i]].assign(fetched.data() + i * prb,
+                               fetched.data() + (i + 1) * prb);
     }
   }
 }
@@ -121,6 +187,8 @@ FeatureCacheStats aggregate_cache_stats(
     total.accesses += s.accesses;
     total.hits += s.hits;
     total.rows_read += s.rows_read;
+    total.resident_rows += s.resident_rows;
+    total.resident_bytes += s.resident_bytes;
   }
   return total;
 }

@@ -45,6 +45,22 @@ class FeatureSource {
   // features of rows[i].  Must be safe to call from multiple threads.
   virtual void gather(const std::vector<std::int64_t>& rows, Tensor& out) = 0;
   virtual const char* kind() const = 0;
+
+  // Optional compact-encoding access, for payload caches.  A source whose
+  // rows have a compact stored form (the int8 FeatureFileStore codec)
+  // reports its encoded row size here; CachedSource then keeps the ENCODED
+  // bytes resident — ~4x more rows per byte budget — and decodes on every
+  // serve, so hit and miss paths decode the same bytes and caching can
+  // never change an answer.  0 (the default) means "no compact form";
+  // caches fall back to resident fp32 rows.
+  virtual std::size_t encoded_row_bytes() const { return 0; }
+  // out must hold rows.size() * encoded_row_bytes() bytes.  Only valid
+  // when encoded_row_bytes() > 0.
+  virtual void gather_encoded(const std::vector<std::int64_t>& rows,
+                              std::uint8_t* out);
+  // Decodes one encoded row into row_dim() floats, bit-identical to what
+  // gather() would produce for that row.
+  virtual void decode_row(const std::uint8_t* enc, float* out) const;
 };
 
 // In-memory resolution over a Preprocessed the caller keeps alive (serving
@@ -78,6 +94,15 @@ class FileStoreSource : public FeatureSource {
   void gather(const std::vector<std::int64_t>& rows, Tensor& out) override;
   const char* kind() const override { return "file"; }
 
+  // Encoded rows are the store's stored records (fp32: same bytes as the
+  // expansion; int8: ~4x smaller, scale headers included).
+  std::size_t encoded_row_bytes() const override {
+    return store_.row_bytes();
+  }
+  void gather_encoded(const std::vector<std::int64_t>& rows,
+                      std::uint8_t* out) override;
+  void decode_row(const std::uint8_t* enc, float* out) const override;
+
   const loader::FeatureFileStore& store() const { return store_; }
 
  private:
@@ -89,6 +114,11 @@ struct FeatureCacheStats {
   std::size_t hits = 0;       // served without a backing read (cached
                               // payload, or a repeat within one batch)
   std::size_t rows_read = 0;  // unique rows fetched from the backing source
+  std::size_t resident_rows = 0;   // payload rows held at snapshot time
+  std::size_t resident_bytes = 0;  // bytes those payloads occupy — encoded
+                                   // size when the backing has a compact
+                                   // codec, which is where int8's "4x rows
+                                   // per byte budget" shows up
   double hit_rate() const {
     return accesses ? static_cast<double>(hits) /
                           static_cast<double>(accesses)
@@ -99,7 +129,10 @@ struct FeatureCacheStats {
 // Payload cache over any backing source, driven by a loader::RowCache
 // policy (LRU for popularity drift, StaticCache pinned on degree- or
 // frequency-hot rows for a GNNLab-style fixed hot set).  The policy decides
-// admission/eviction; this class keeps the actual row bytes.
+// admission/eviction; this class keeps the actual row bytes — in the
+// backing's encoded form when it has one (int8 rows stay int8 while
+// resident; every serve decodes, so answers are independent of cache
+// state), otherwise as fp32.
 class CachedSource : public FeatureSource {
  public:
   CachedSource(std::unique_ptr<FeatureSource> backing,
@@ -112,15 +145,25 @@ class CachedSource : public FeatureSource {
 
   FeatureCacheStats stats() const;
   const loader::RowCache& cache_policy() const { return *policy_; }
+  // The decorated source (e.g. the FileStoreSource whose store's pread
+  // counter the serving bench reads through the cache).
+  const FeatureSource& backing() const { return *backing_; }
 
   // Pre-populates payloads for rows the policy will retain (e.g. a
   // StaticCache pin set) so the first requests already hit.
   void warm(const std::vector<std::int64_t>& rows);
 
  private:
+  // Bytes one resident row costs (encoded size if the backing has one,
+  // else row_dim() floats).
+  std::size_t payload_row_bytes() const;
+  // Serves out.row(i) from a resident payload.
+  void serve_payload(const std::vector<std::uint8_t>& payload, float* out_row,
+                     std::size_t dim) const;
+
   std::unique_ptr<FeatureSource> backing_;
   std::unique_ptr<loader::RowCache> policy_;
-  std::unordered_map<std::int64_t, std::vector<float>> payload_;
+  std::unordered_map<std::int64_t, std::vector<std::uint8_t>> payload_;
   FeatureCacheStats stats_;
   mutable std::mutex mu_;
 };

@@ -1,16 +1,59 @@
 #include "serve/inference_session.h"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
+#include "nn/linear.h"
 #include "nn/serialize.h"
 
 namespace ppgnn::serve {
 
+const char* precision_name(Precision p) {
+  return p == Precision::kInt8 ? "int8" : "fp32";
+}
+
+bool parse_precision(const std::string& s, Precision* out) {
+  if (s == "fp32") {
+    *out = Precision::kFp32;
+    return true;
+  }
+  if (s == "int8") {
+    *out = Precision::kInt8;
+    return true;
+  }
+  return false;
+}
+
 InferenceSession::InferenceSession(std::unique_ptr<core::PpModel> model,
-                                   std::unique_ptr<FeatureSource> features)
-    : model_(std::move(model)), features_(std::move(features)) {
+                                   std::unique_ptr<FeatureSource> features,
+                                   Precision precision)
+    : model_(std::move(model)),
+      features_(std::move(features)),
+      precision_(precision) {
   if (!model_ || !features_) {
     throw std::invalid_argument("InferenceSession: null model or features");
+  }
+  // The label must match the model's real state (Linear keys its int8
+  // path on the quantized block alone), otherwise a fleet could serve
+  // fp32 while reporting int8 — or the reverse — and downstream checks
+  // like ReplicaSet's would be validating a fiction.
+  std::vector<nn::Linear*> linears;
+  model_->collect_linears(linears);
+  bool any_quantized = false, all_quantized = !linears.empty();
+  for (const auto* l : linears) {
+    any_quantized = any_quantized || l->is_quantized();
+    all_quantized = all_quantized && l->is_quantized();
+  }
+  if (precision_ == Precision::kInt8 && !all_quantized) {
+    throw std::invalid_argument(
+        "InferenceSession: precision=int8 but the model is not (fully) "
+        "quantized — run core::quantize_int8 first");
+  }
+  if (precision_ == Precision::kFp32 && any_quantized) {
+    throw std::invalid_argument(
+        "InferenceSession: precision=fp32 but the model holds quantized "
+        "weights and would serve the int8 path");
   }
 }
 
@@ -29,10 +72,40 @@ std::vector<float> InferenceSession::infer_one(std::int64_t node) {
   return std::vector<float>(logits.row(0), logits.row(0) + logits.cols());
 }
 
-void save_deployed_model(core::PpModel& model, const std::string& path) {
+PrecisionDrift compare_precision(InferenceSession& reference,
+                                 InferenceSession& quantized,
+                                 const std::vector<std::int64_t>& sample) {
+  PrecisionDrift drift;
+  drift.sampled = sample.size();
+  if (sample.empty()) return drift;
+  const Tensor lf = reference.infer_nodes(sample);
+  const Tensor lq = quantized.infer_nodes(sample);
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    std::size_t top_f = 0, top_q = 0;
+    for (std::size_t j = 0; j < lf.cols(); ++j) {
+      if (lf.at(i, j) > lf.at(i, top_f)) top_f = j;
+      if (lq.at(i, j) > lq.at(i, top_q)) top_q = j;
+      drift.max_logit_err = std::max(
+          drift.max_logit_err,
+          static_cast<double>(std::fabs(lf.at(i, j) - lq.at(i, j))));
+    }
+    if (top_f == top_q) ++agree;
+  }
+  drift.top1_agreement =
+      static_cast<double>(agree) / static_cast<double>(sample.size());
+  return drift;
+}
+
+void save_deployed_model(core::PpModel& model, const std::string& path,
+                         Precision precision) {
   std::vector<nn::ParamSlot> slots;
   model.collect_params(slots);
-  nn::save_parameters(slots, path);
+  if (precision == Precision::kInt8) {
+    nn::save_parameters_quantized(slots, path);
+  } else {
+    nn::save_parameters(slots, path);
+  }
 }
 
 void load_deployed_model(core::PpModel& model, const std::string& path) {
@@ -46,24 +119,38 @@ std::vector<std::unique_ptr<InferenceSession>> make_replica_sessions(
     const std::function<std::unique_ptr<core::PpModel>(std::size_t)>&
         make_model,
     const std::function<std::unique_ptr<FeatureSource>(std::size_t)>&
-        make_source) {
+        make_source,
+    Precision precision) {
   if (n == 0) {
     throw std::invalid_argument("make_replica_sessions: zero replicas");
   }
-  std::vector<std::unique_ptr<InferenceSession>> sessions;
-  sessions.reserve(n);
+  // Build and load all models first: the int8 path quantizes replica 0 and
+  // points every sibling at the same immutable quantized blocks.
+  std::vector<std::unique_ptr<core::PpModel>> models;
+  models.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     auto model = make_model(i);
     if (!model) {
       throw std::invalid_argument("make_replica_sessions: null model");
     }
+    load_deployed_model(*model, checkpoint_path);
+    models.push_back(std::move(model));
+  }
+  if (precision == Precision::kInt8) {
+    core::quantize_int8(*models[0]);
+    for (std::size_t i = 1; i < n; ++i) {
+      core::share_quantized_weights(*models[i], *models[0]);
+    }
+  }
+  std::vector<std::unique_ptr<InferenceSession>> sessions;
+  sessions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
     auto source = make_source(i);
     if (!source) {
       throw std::invalid_argument("make_replica_sessions: null source");
     }
-    load_deployed_model(*model, checkpoint_path);
     sessions.push_back(std::make_unique<InferenceSession>(
-        std::move(model), std::move(source)));
+        std::move(models[i]), std::move(source), precision));
   }
   return sessions;
 }

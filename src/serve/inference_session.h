@@ -8,6 +8,15 @@
 // tier at all.  A session is (model weights from an nn/serialize
 // checkpoint) x (a FeatureSource resolving node ids to expanded rows), and
 // a request is just a node id.
+//
+// Serving precision: a fleet runs either kFp32 (exact, the default) or
+// kInt8 — post-training per-channel quantization of every Linear
+// (core::quantize_int8), typically paired with an int8 FeatureFileStore
+// codec and a quantized checkpoint so weights, rows on disk, and the
+// cached resident set all shrink ~4x together.  make_replica_sessions
+// quantizes ONE model copy and shares the immutable int8 blocks across
+// replicas; answers stay deterministic (fixed accumulation order), just
+// quantized — test_replica_set bounds the error against the fp32 fleet.
 #pragma once
 
 #include <cstdint>
@@ -23,12 +32,21 @@
 
 namespace ppgnn::serve {
 
+// Numeric precision of a deployed model's inference path.
+enum class Precision { kFp32, kInt8 };
+
+const char* precision_name(Precision p);
+bool parse_precision(const std::string& s, Precision* out);
+
 class InferenceSession {
  public:
   // Takes ownership of both.  The feature source's row_dim() must match the
   // model's expected input width; checked lazily on first inference.
+  // `precision` records how the model was prepared (it does not itself
+  // transform the model — see make_replica_sessions / core::quantize_int8).
   InferenceSession(std::unique_ptr<core::PpModel> model,
-                   std::unique_ptr<FeatureSource> features);
+                   std::unique_ptr<FeatureSource> features,
+                   Precision precision = Precision::kFp32);
 
   // Resolves features and runs one eval-mode forward; returns logits
   // [nodes.size(), classes].  Calls are serialized internally (PpModel
@@ -42,31 +60,56 @@ class InferenceSession {
   std::size_t num_nodes() const { return features_->num_rows(); }
   core::PpModel& model() { return *model_; }
   FeatureSource& features() { return *features_; }
+  Precision precision() const { return precision_; }
 
  private:
   std::unique_ptr<core::PpModel> model_;
   std::unique_ptr<FeatureSource> features_;
+  Precision precision_;
   std::mutex mu_;
 };
 
+// Offline precision-drift measurement: infers `sample` through both
+// sessions and reports top-1 agreement plus the max absolute logit
+// difference — the accuracy column serve_cli gates on (>= 99% agreement
+// at int8) and the serving bench records in its JSON artifact.
+struct PrecisionDrift {
+  double top1_agreement = 1.0;
+  double max_logit_err = 0.0;
+  std::size_t sampled = 0;
+};
+PrecisionDrift compare_precision(InferenceSession& reference,
+                                 InferenceSession& quantized,
+                                 const std::vector<std::int64_t>& sample);
+
 // Deployment round-trip helpers over nn/serialize: weights-only checkpoints
 // (optimizer state has no business in a serving tier — contrast
-// core/checkpoint.h, which restores training runs).
-void save_deployed_model(core::PpModel& model, const std::string& path);
+// core/checkpoint.h, which restores training runs).  Saving with kInt8
+// writes the quantized checkpoint section (~4x less weight data for the
+// fleet to pull); load_deployed_model auto-detects either format.
+void save_deployed_model(core::PpModel& model, const std::string& path,
+                         Precision precision = Precision::kFp32);
 void load_deployed_model(core::PpModel& model, const std::string& path);
 
-// Builds n sessions with bit-identical weights for a ReplicaSet:
+// Builds n sessions with identical weights for a ReplicaSet:
 // make_model(replica) constructs each replica's model (any init — it is
 // overwritten from the checkpoint at `checkpoint_path`, the same
 // deployment round trip a single session uses) and make_source(replica)
 // its private FeatureSource.  Per-replica sources are the point: a
 // CachedSource built per replica gives each its own RowCache, which
 // cache_affinity routing then specializes on a key-space shard.
+//
+// With Precision::kInt8 the first replica's model is quantized
+// (core::quantize_int8) and every other replica adopts its immutable
+// quantized weight blocks (share_quantized_weights) — the fleet holds ONE
+// int8 copy of the weights no matter how many replicas run, and all
+// replicas answer bit-identically to each other by construction.
 std::vector<std::unique_ptr<InferenceSession>> make_replica_sessions(
     std::size_t n, const std::string& checkpoint_path,
     const std::function<std::unique_ptr<core::PpModel>(std::size_t)>&
         make_model,
     const std::function<std::unique_ptr<FeatureSource>(std::size_t)>&
-        make_source);
+        make_source,
+    Precision precision = Precision::kFp32);
 
 }  // namespace ppgnn::serve

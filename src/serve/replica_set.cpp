@@ -16,6 +16,11 @@ ReplicaSet::ReplicaSet(
     if (!session) {
       throw std::invalid_argument("ReplicaSet: null session");
     }
+    if (session->precision() != cfg.precision) {
+      throw std::invalid_argument(
+          "ReplicaSet: session precision disagrees with config (build the "
+          "fleet with make_replica_sessions at the configured precision)");
+    }
     auto r = std::make_unique<Replica>();
     r->session = std::move(session);
     r->stats = std::make_unique<ServerStats>();

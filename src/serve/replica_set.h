@@ -40,6 +40,12 @@ struct ReplicaSetConfig {
   RoutingPolicy policy = RoutingPolicy::kRoundRobin;
   // Applied to every replica's MicroBatcher (including shed_budget).
   MicroBatchConfig batch;
+  // Serving precision the fleet was built for.  Sessions are prepared by
+  // make_replica_sessions (which quantizes and shares weights for kInt8);
+  // the constructor rejects a fleet whose sessions disagree with this
+  // knob, so a config/deployment mismatch fails loudly at build time
+  // rather than as a silent accuracy or throughput surprise.
+  Precision precision = Precision::kFp32;
 };
 
 // Point-in-time view of one replica, for reporting.
@@ -79,6 +85,9 @@ class ReplicaSet {
 
   std::size_t num_replicas() const { return replicas_.size(); }
   RoutingPolicy policy() const { return router_->policy(); }
+  Precision precision() const {
+    return replicas_.front()->session->precision();
+  }
 
   ReplicaSnapshot replica_snapshot(std::size_t i) const;
   const InferenceSession& replica_session(std::size_t i) const {

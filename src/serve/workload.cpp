@@ -67,4 +67,21 @@ std::vector<std::int64_t> zipf_hot_set(const ZipfWorkloadConfig& cfg,
   return std::vector<std::int64_t>(perm.begin(), perm.begin() + take);
 }
 
+std::vector<std::int64_t> first_unique(const std::vector<std::int64_t>& stream,
+                                       std::size_t limit,
+                                       std::size_t num_nodes) {
+  std::vector<std::int64_t> sample;
+  std::vector<bool> seen(num_nodes, false);
+  for (const auto node : stream) {
+    if (sample.size() >= limit) break;
+    if (node < 0 || static_cast<std::size_t>(node) >= num_nodes) {
+      throw std::out_of_range("first_unique: node id out of range");
+    }
+    if (seen[static_cast<std::size_t>(node)]) continue;
+    seen[static_cast<std::size_t>(node)] = true;
+    sample.push_back(node);
+  }
+  return sample;
+}
+
 }  // namespace ppgnn::serve

@@ -40,4 +40,12 @@ std::vector<std::int64_t> degree_stream(const graph::CsrGraph& g,
 std::vector<std::int64_t> zipf_hot_set(const ZipfWorkloadConfig& cfg,
                                        std::size_t k);
 
+// The first `limit` distinct node ids of a stream, in first-appearance
+// order — a workload-weighted evaluation sample (hot nodes appear early),
+// used by the precision-accuracy comparisons.  Ids must be in
+// [0, num_nodes).
+std::vector<std::int64_t> first_unique(const std::vector<std::int64_t>& stream,
+                                       std::size_t limit,
+                                       std::size_t num_nodes);
+
 }  // namespace ppgnn::serve

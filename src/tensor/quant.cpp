@@ -1,0 +1,279 @@
+#include "tensor/quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include "tensor/parallel.h"
+
+namespace ppgnn {
+
+namespace {
+
+// Round-half-away-from-zero as trunc(v + sign(v)*0.5): branch-free and
+// auto-vectorizable, unlike lrintf.  Symmetric codes, so the tie-breaking
+// direction only matters for exact .5 boundaries; what matters here is
+// that it is deterministic and the same everywhere.
+inline int round_code(float v) {
+  return static_cast<int>(v + std::copysign(0.5f, v));
+}
+
+// Shared inner kernel of both GEMM variants: one output row of
+// C[j] = ws[j] * (xs * dot(x, w_j) + xoff * row_sum(w_j)) (+ bias[j]).
+// The symmetric variant passes xoff = 0 and the offset term vanishes.
+//
+// SIMD path (x86-64 baseline — SSE2 is architectural there): x codes are
+// pre-combined into int32 k-pairs, broadcast, and multiplied against the
+// pair-packed weights with pmaddwd, which retires two k-steps for four
+// outputs per instruction and accumulates in int32 lanes — the fixed
+// accumulation order is per-lane and identical for every row, so batched
+// inference stays bit-deterministic.  Elsewhere: plain int16 dot per
+// output.
+inline void gemm_s8_row(const std::int8_t* xr, float xs, float xoff,
+                        const QuantizedMatrix& w, const float* bias_p,
+                        std::int32_t* xp_scratch, float* crow) {
+  const std::size_t k = w.cols, n = w.rows;
+  const std::size_t k2 = (k + 1) / 2;
+  std::size_t j = 0;
+#if defined(__SSE2__)
+  for (std::size_t kk = 0; kk + 1 < k2; ++kk) {
+    const auto a = static_cast<std::int16_t>(xr[2 * kk]);
+    const auto b = static_cast<std::int16_t>(xr[2 * kk + 1]);
+    xp_scratch[kk] =
+        static_cast<std::int32_t>(static_cast<std::uint16_t>(a)) |
+        (static_cast<std::int32_t>(static_cast<std::uint16_t>(b)) << 16);
+  }
+  if (k2 > 0) {  // last pair: second element may be padding
+    const auto a = static_cast<std::int16_t>(xr[2 * (k2 - 1)]);
+    const std::int16_t b =
+        (2 * (k2 - 1) + 1 < k)
+            ? static_cast<std::int16_t>(xr[2 * (k2 - 1) + 1])
+            : std::int16_t{0};
+    xp_scratch[k2 - 1] =
+        static_cast<std::int32_t>(static_cast<std::uint16_t>(a)) |
+        (static_cast<std::int32_t>(static_cast<std::uint16_t>(b)) << 16);
+  }
+  const __m128 xs4 = _mm_set1_ps(xs);
+  const __m128 xo4 = _mm_set1_ps(xoff);
+  for (; j + 4 <= n; j += 4) {
+    __m128i acc = _mm_setzero_si128();
+    const std::int16_t* wp = w.packed.data() + j * 2;
+    for (std::size_t kk = 0; kk < k2; ++kk) {
+      const __m128i xb = _mm_set1_epi32(xp_scratch[kk]);
+      const __m128i wv = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(wp + kk * n * 2));
+      acc = _mm_add_epi32(acc, _mm_madd_epi16(xb, wv));
+    }
+    const __m128 accf = _mm_cvtepi32_ps(acc);
+    const __m128 rs4 = _mm_cvtepi32_ps(_mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(w.row_sums.data() + j)));
+    const __m128 ws4 = _mm_loadu_ps(w.scales.data() + j);
+    __m128 out = _mm_mul_ps(
+        ws4, _mm_add_ps(_mm_mul_ps(xs4, accf), _mm_mul_ps(xo4, rs4)));
+    if (bias_p) out = _mm_add_ps(out, _mm_loadu_ps(bias_p + j));
+    _mm_storeu_ps(crow + j, out);
+  }
+#else
+  (void)xp_scratch;
+#endif
+  for (; j < n; ++j) {  // tail outputs (and the non-SSE2 whole row)
+    std::int32_t acc = 0;
+    const std::int16_t* wr = w.row16(j);
+    for (std::size_t t = 0; t < k; ++t) {
+      acc += static_cast<std::int32_t>(xr[t]) *
+             static_cast<std::int32_t>(wr[t]);
+    }
+    float y = w.scales[j] * (xs * static_cast<float>(acc) +
+                             xoff * static_cast<float>(w.row_sums[j]));
+    if (bias_p) y += bias_p[j];
+    crow[j] = y;
+  }
+}
+
+}  // namespace
+
+void quantize_row_s8(const float* src, std::size_t n, std::int8_t* dst,
+                     float* scale) {
+  float amax = 0.f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float a = std::fabs(src[i]);
+    if (a > amax) amax = a;
+  }
+  if (amax == 0.f) {
+    std::memset(dst, 0, n);
+    *scale = 0.f;
+    return;
+  }
+  const float s = amax / 127.f;
+  const float inv = 127.f / amax;
+  for (std::size_t i = 0; i < n; ++i) {
+    // The clamp guards the amax element itself, which can land on
+    // ±127.0000001 after the multiply.
+    int q = round_code(src[i] * inv);
+    if (q > 127) q = 127;
+    if (q < -127) q = -127;  // symmetric: -128 never used, so -q is exact
+    dst[i] = static_cast<std::int8_t>(q);
+  }
+  *scale = s;
+}
+
+void dequantize_row_s8(const std::int8_t* src, std::size_t n, float scale,
+                       float* dst) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<float>(src[i]) * scale;
+  }
+}
+
+QuantizedMatrix quantize_per_row(const Tensor& m) {
+  if (m.ndim() != 2) {
+    throw std::invalid_argument("quantize_per_row: expected 2-D, got " +
+                                m.shape_str());
+  }
+  QuantizedMatrix q;
+  q.rows = m.rows();
+  q.cols = m.cols();
+  q.data.resize(q.rows * q.cols);
+  q.scales.resize(q.rows);
+  q.row_sums.resize(q.rows);
+  q.data16.resize(q.rows * q.cols);
+  parallel_for(q.rows, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      quantize_row_s8(m.row(i), q.cols, q.row(i), &q.scales[i]);
+      std::int32_t sum = 0;
+      const std::int8_t* codes = q.row(i);
+      std::int16_t* wide = q.data16.data() + i * q.cols;
+      for (std::size_t t = 0; t < q.cols; ++t) {
+        sum += codes[t];
+        wide[t] = codes[t];
+      }
+      q.row_sums[i] = sum;
+    }
+  });
+  // Pair-packed layout for the pmaddwd kernel (see quant.h); zero-padding
+  // the odd k element keeps the dot exact.
+  const std::size_t k2 = (q.cols + 1) / 2;
+  q.packed.assign(k2 * q.rows * 2, 0);
+  for (std::size_t j = 0; j < q.rows; ++j) {
+    for (std::size_t t = 0; t < q.cols; ++t) {
+      q.packed[((t / 2) * q.rows + j) * 2 + (t & 1)] = q.row16(j)[t];
+    }
+  }
+  return q;
+}
+
+Tensor dequantize(const QuantizedMatrix& q) {
+  Tensor out({q.rows, q.cols});
+  parallel_for(q.rows, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      dequantize_row_s8(q.row(i), q.cols, q.scales[i], out.row(i));
+    }
+  });
+  return out;
+}
+
+QuantizedActs quantize_acts_per_row(const Tensor& m) {
+  if (m.ndim() != 2) {
+    throw std::invalid_argument("quantize_acts_per_row: expected 2-D, got " +
+                                m.shape_str());
+  }
+  QuantizedActs q;
+  q.rows = m.rows();
+  q.cols = m.cols();
+  q.data.resize(q.rows * q.cols);
+  q.scales.resize(q.rows);
+  q.offsets.resize(q.rows);
+  parallel_for(q.rows, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const float* src = m.row(i);
+      float lo = src[0], hi = src[0];
+      for (std::size_t t = 1; t < q.cols; ++t) {
+        lo = std::min(lo, src[t]);
+        hi = std::max(hi, src[t]);
+      }
+      const float mid = 0.5f * (lo + hi);
+      const float half = 0.5f * (hi - lo);
+      std::int8_t* dst = q.row(i);
+      if (half == 0.f) {
+        // Constant row: the offset carries it exactly.
+        std::memset(dst, 0, q.cols);
+        q.scales[i] = 0.f;
+        q.offsets[i] = mid;
+        continue;
+      }
+      const float s = half / 127.f;
+      const float inv = 127.f / half;
+      for (std::size_t t = 0; t < q.cols; ++t) {
+        int code = round_code((src[t] - mid) * inv);
+        if (code > 127) code = 127;
+        if (code < -127) code = -127;
+        dst[t] = static_cast<std::int8_t>(code);
+      }
+      q.scales[i] = s;
+      q.offsets[i] = mid;
+    }
+  });
+  return q;
+}
+
+void gemm_s8_nt(const QuantizedMatrix& x, const QuantizedMatrix& w, Tensor& c,
+                const Tensor* bias) {
+  if (x.cols != w.cols) {
+    throw std::invalid_argument("gemm_s8_nt: inner dimension mismatch");
+  }
+  if (bias && bias->size() != w.rows) {
+    throw std::invalid_argument("gemm_s8_nt: bias length mismatch");
+  }
+  const std::size_t m = x.rows, k = x.cols, n = w.rows;
+  if (c.ndim() != 2 || c.rows() != m || c.cols() != n) {
+    c = Tensor({m, n});
+  }
+  const float* bias_p = bias ? bias->data() : nullptr;
+  // Accumulate in int32 and dequantize once at the epilogue (both scales
+  // are constant over the k-sum by construction: per-sample x
+  // per-output-channel).  Symmetric codes mean a zero offset.
+  parallel_for(m, [&](std::size_t i0, std::size_t i1) {
+    std::vector<std::int32_t> xp((k + 1) / 2);
+    for (std::size_t i = i0; i < i1; ++i) {
+      gemm_s8_row(x.row(i), x.scales[i], 0.f, w, bias_p, xp.data(),
+                  c.row(i));
+    }
+  });
+  (void)n;
+}
+
+void gemm_s8_nt(const QuantizedActs& x, const QuantizedMatrix& w, Tensor& c,
+                const Tensor* bias) {
+  if (x.cols != w.cols) {
+    throw std::invalid_argument("gemm_s8_nt: inner dimension mismatch");
+  }
+  if (bias && bias->size() != w.rows) {
+    throw std::invalid_argument("gemm_s8_nt: bias length mismatch");
+  }
+  if (w.row_sums.size() != w.rows) {
+    throw std::invalid_argument(
+        "gemm_s8_nt: weight matrix lacks row sums (quantize_per_row it)");
+  }
+  const std::size_t m = x.rows, k = x.cols, n = w.rows;
+  if (c.ndim() != 2 || c.rows() != m || c.cols() != n) {
+    c = Tensor({m, n});
+  }
+  const float* bias_p = bias ? bias->data() : nullptr;
+  // sum_k (xoff + q*xs) * (wq*ws) = ws*(xs*acc + xoff*sum_k(wq)): the
+  // offset correction rides the precomputed weight-code row sums, so
+  // asymmetric activations cost one extra FMA per output.
+  parallel_for(m, [&](std::size_t i0, std::size_t i1) {
+    std::vector<std::int32_t> xp((k + 1) / 2);
+    for (std::size_t i = i0; i < i1; ++i) {
+      gemm_s8_row(x.row(i), x.scales[i], x.offsets[i], w, bias_p, xp.data(),
+                  c.row(i));
+    }
+  });
+  (void)n;
+}
+
+}  // namespace ppgnn

@@ -1,0 +1,107 @@
+// Post-training INT8 quantization primitives.
+//
+// Per-row symmetric quantization: each row of a 2-D tensor gets one scale
+// s = max|row| / 127 and is stored as int8 q = round(x / s), so
+// dequantization is x' = q * s with |x - x'| <= s / 2 per element.  Rows
+// are the quantization granularity everywhere in this library:
+//   - Linear weights are quantized per *output* channel (the weight matrix
+//     is stored transposed, [out, in], so "per row" = per output), which
+//     keeps the scale constant along the k-summation and lets the int8
+//     GEMM accumulate in int32 and dequantize once at the epilogue;
+//   - activation batches and FeatureFileStore rows are quantized per
+//     sample row, which bounds the error by each row's own dynamic range.
+//
+// The GEMM kernel below is the serving hot path for Precision::kInt8
+// (src/serve): INT8 x INT8 -> INT32 accumulation, parallelized over output
+// rows on the same global thread pool as the fp32 kernels, with a fixed
+// accumulation order so batched inference stays bit-deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ppgnn {
+
+// A row-major int8 matrix with one fp32 scale per row (symmetric).
+struct QuantizedMatrix {
+  std::size_t rows = 0, cols = 0;
+  std::vector<std::int8_t> data;  // [rows * cols]
+  std::vector<float> scales;      // [rows]; row i dequantizes as q * scales[i]
+  std::vector<std::int32_t> row_sums;  // [rows]; sum of row codes — lets the
+                                       // GEMM fold an activation zero-point
+                                       // into the epilogue exactly
+  // Pre-widened int16 shadow of `data`, built at quantize time — the
+  // scalar fallback reads it so the inner dot is a pair of int16 rows.
+  std::vector<std::int16_t> data16;
+  // Pair-packed int16 layout for the SIMD kernel: element (kk, j, p) at
+  // packed[(kk*rows + j)*2 + p] holds code (2*kk + p) of output row j
+  // (zero-padded when cols is odd).  One multiply-add-pairs instruction
+  // (pmaddwd) then consumes two k-steps for four outputs at once, which
+  // is where INT8's arithmetic-density win over fp32 actually lands on
+  // CPUs without VNNI.  Built once at quantize time; weights are
+  // immutable and shared across replicas, so the packing amortizes to
+  // zero.
+  std::vector<std::int16_t> packed;
+
+  const std::int8_t* row(std::size_t i) const { return data.data() + i * cols; }
+  std::int8_t* row(std::size_t i) { return data.data() + i * cols; }
+  const std::int16_t* row16(std::size_t i) const {
+    return data16.data() + i * cols;
+  }
+  // Storage footprint (payload + scale headers) — the "4x smaller" number.
+  // The widened shadow is runtime scratch, deliberately excluded: it never
+  // hits a checkpoint, a wire, or a cache budget.
+  std::size_t bytes() const {
+    return data.size() * sizeof(std::int8_t) + scales.size() * sizeof(float);
+  }
+};
+
+// Activation batch quantized per row with an asymmetric (offset + scale)
+// code: x ~= offset + q * scale, q in [-127, 127].  The offset recenters
+// each row's [min, max] — ReLU'd rows (min = 0) get double the resolution
+// symmetric coding would give them, which is where most of the W8A8 logit
+// error comes from in a multi-layer stack.
+struct QuantizedActs {
+  std::size_t rows = 0, cols = 0;
+  std::vector<std::int8_t> data;  // [rows * cols]
+  std::vector<float> scales;      // [rows]
+  std::vector<float> offsets;     // [rows]
+
+  const std::int8_t* row(std::size_t i) const { return data.data() + i * cols; }
+  std::int8_t* row(std::size_t i) { return data.data() + i * cols; }
+};
+
+// Quantizes one row of n floats; writes n int8s and the row scale.
+// An all-zero row gets scale 0 and all-zero codes (dequantizes to zero).
+void quantize_row_s8(const float* src, std::size_t n, std::int8_t* dst,
+                     float* scale);
+// Inverse of quantize_row_s8: dst[i] = src[i] * scale.
+void dequantize_row_s8(const std::int8_t* src, std::size_t n, float scale,
+                       float* dst);
+
+// Per-row symmetric quantization of a 2-D tensor.
+QuantizedMatrix quantize_per_row(const Tensor& m);
+// Dequantizes back to fp32, shape [rows, cols].
+Tensor dequantize(const QuantizedMatrix& q);
+
+// Asymmetric per-row quantization of an activation batch.
+QuantizedActs quantize_acts_per_row(const Tensor& m);
+
+// C = dequant(Xq @ Wq^T) (+ bias): C[i,j] = xs[i] * ws[j] *
+// sum_k Xq[i,k] * Wq[j,k], accumulated in int32.  Xq is [m, k] (per-sample
+// scales), Wq is [n, k] (per-output-channel scales), C is resized to
+// [m, n]; bias (length n) may be null.  Parallel over rows of Xq.
+void gemm_s8_nt(const QuantizedMatrix& x, const QuantizedMatrix& w, Tensor& c,
+                const Tensor* bias = nullptr);
+
+// Activation variant: C[i,j] = xs[i] * ws[j] * sum_k Xq[i,k] * Wq[j,k]
+//                              + xoff[i] * ws[j] * row_sum(Wq[j]) (+ bias)
+// — the x offset factors out of the k-sum because the weight row's code
+// sum is precomputed, so the zero-point costs one fused multiply-add per
+// output, not a wider accumulator.  This is the Linear inference path.
+void gemm_s8_nt(const QuantizedActs& x, const QuantizedMatrix& w, Tensor& c,
+                const Tensor* bias = nullptr);
+
+}  // namespace ppgnn

@@ -14,7 +14,7 @@ namespace ppgnn::loader {
 namespace {
 
 TEST(LruCache, BasicSemantics) {
-  LruCache c(2);
+  LruCache c(2, 1);
   EXPECT_FALSE(c.access(1));  // miss, insert
   EXPECT_FALSE(c.access(2));
   EXPECT_TRUE(c.access(1));   // hit, refresh
@@ -22,7 +22,11 @@ TEST(LruCache, BasicSemantics) {
   EXPECT_TRUE(c.access(1));
   EXPECT_FALSE(c.access(2));  // was evicted
   EXPECT_EQ(c.size(), 2u);
-  EXPECT_THROW(LruCache(0), std::invalid_argument);
+  EXPECT_THROW(LruCache(0, 1), std::invalid_argument);
+  EXPECT_THROW(LruCache(4, 0), std::invalid_argument);
+  // Byte semantics: a 1024-byte budget over 128-byte rows holds 8 rows.
+  EXPECT_EQ(LruCache(1024, 128).capacity(), 8u);
+  EXPECT_EQ(LruCache(1024, 128).capacity_bytes(), 1024u);
 }
 
 TEST(StaticCache, OnlyPinnedRowsHit) {
@@ -43,7 +47,7 @@ TEST(HottestRows, PicksByFrequency) {
 }
 
 TEST(Replay, CountsHitsExactly) {
-  LruCache c(1);
+  LruCache c(1, 1);
   const auto r = replay(c, {1, 1, 1, 2, 2, 1});
   EXPECT_EQ(r.accesses, 6u);
   EXPECT_EQ(r.hits, 3u);  // 1,1 hits; 2 hit; switches miss
@@ -106,7 +110,7 @@ TEST(Locality, PpStreamsHitAtMostCapacityFraction) {
   const auto stream = pp_epoch_stream(rows, 5);
   const std::size_t cap = rows / 10;
 
-  LruCache lru(cap);
+  LruCache lru(cap, 1);
   const auto lru_rate = replay(lru, stream).hit_rate();
   EXPECT_LT(lru_rate, 0.13);
 
@@ -130,7 +134,7 @@ TEST(Locality, MpStreamsRewardStaticHubPinning) {
   // LRU drowns under the scan-like frontier traffic (each batch streams
   // hundreds of once-used rows through the cache) — the reason the GNN
   // systems pin statically instead of caching dynamically.
-  LruCache lru(cap);
+  LruCache lru(cap, 1);
   const double lru_rate = replay(lru, stream).hit_rate();
   EXPECT_LT(lru_rate, static_rate / 2);
 }

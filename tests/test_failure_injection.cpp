@@ -56,17 +56,19 @@ TEST(StorageFailures, OpenMissingHopFileThrows) {
   fs::remove_all(dir);
 }
 
-TEST(StorageFailures, TruncatedFileDetectedOnRead) {
+TEST(StorageFailures, TruncationDetectedAtOpenAndAtRead) {
   const auto dir = temp_dir("truncated");
-  {
-    auto store = loader::FeatureFileStore::create(dir, small_hops());
-  }
-  // Truncate hop 0 to half its size.
+  // Truncated after open (the store keeps its fds): the pread hits EOF
+  // mid-read and fails at use time.
+  auto store = loader::FeatureFileStore::create(dir, small_hops());
   const auto path = (fs::path(dir) / "hop_0.bin").string();
   fs::resize_file(path, fs::file_size(path) / 2);
-  auto store = loader::FeatureFileStore::open(dir, 16, 3, 4);
   Tensor out({8, 3 * 4});
   EXPECT_THROW(store.read_chunk(8, 8, out), std::runtime_error);
+  // Truncated before open: the file-length check (which also pins down
+  // the row codec) fails loudly up front instead of on first read.
+  EXPECT_THROW(loader::FeatureFileStore::open(dir, 16, 3, 4),
+               std::invalid_argument);
   fs::remove_all(dir);
 }
 

@@ -1,0 +1,520 @@
+// The INT8 serving path, layer by layer: quantization round-trip error
+// bounds (tensor/quant.h), the int8 GEMM against the fp32 reference,
+// quantized Linear inference, the quantized checkpoint section
+// (nn/serialize), the FeatureFileStore int8 row codec + batched
+// coalescing read_rows (loader/storage), byte-denominated RowCache
+// capacity (loader/cache), and cross-replica weight sharing
+// (core::quantize_int8 / share_quantized_weights).
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "core/precompute.h"
+#include "core/sign.h"
+#include "graph/dataset.h"
+#include "loader/cache.h"
+#include "loader/storage.h"
+#include "nn/linear.h"
+#include "nn/serialize.h"
+#include "serve/feature_source.h"
+#include "serve/inference_session.h"
+#include "tensor/ops.h"
+#include "tensor/quant.h"
+#include "tensor/rng.h"
+
+namespace ppgnn {
+namespace {
+
+std::string tmp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+long file_bytes(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 ? static_cast<long>(st.st_size) : -1;
+}
+
+// --- Quantization round trips ----------------------------------------------
+
+TEST(Quantize, PerRowRoundTripWithinHalfScale) {
+  Rng rng(3);
+  const Tensor m = Tensor::normal({17, 43}, rng, 0.5f, 2.f);  // odd shape
+  const QuantizedMatrix q = quantize_per_row(m);
+  const Tensor back = dequantize(q);
+  ASSERT_EQ(back.rows(), m.rows());
+  ASSERT_EQ(back.cols(), m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    // Per-row symmetric: error bounded by half the row's own scale.
+    const float bound = q.scales[i] * 0.5f + 1e-7f;
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      EXPECT_LE(std::fabs(m.at(i, j) - back.at(i, j)), bound)
+          << "row " << i << " col " << j;
+    }
+    // The scale is exactly amax/127, so some element must hit code ±127.
+    std::int8_t amax_code = 0;
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      amax_code = std::max<std::int8_t>(
+          amax_code, static_cast<std::int8_t>(std::abs(q.row(i)[j])));
+    }
+    EXPECT_EQ(amax_code, 127);
+  }
+}
+
+TEST(Quantize, ZeroRowGetsZeroScaleAndExactRoundTrip) {
+  Tensor m({2, 8});
+  m.fill(0.f);
+  m.at(1, 3) = 5.f;
+  const QuantizedMatrix q = quantize_per_row(m);
+  EXPECT_EQ(q.scales[0], 0.f);
+  const Tensor back = dequantize(q);
+  for (std::size_t j = 0; j < 8; ++j) EXPECT_EQ(back.at(0, j), 0.f);
+  EXPECT_FLOAT_EQ(back.at(1, 3), 5.f);
+}
+
+TEST(Quantize, ActsRoundTripTighterOnNonNegativeRows) {
+  Rng rng(5);
+  Tensor m = Tensor::normal({9, 31}, rng);
+  for (std::size_t i = 0; i < m.size(); ++i) m[i] = std::fabs(m[i]);  // ReLU'd
+  const QuantizedActs q = quantize_acts_per_row(m);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const float bound = q.scales[i] * 0.5f + 1e-7f;
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      const float back =
+          q.offsets[i] + static_cast<float>(q.row(i)[j]) * q.scales[i];
+      EXPECT_LE(std::fabs(m.at(i, j) - back), bound);
+    }
+    // Asymmetric coding of a one-sided row: scale is half of what the
+    // symmetric coder would need (max/254 vs max/127).
+    float amax = 0.f;
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      amax = std::max(amax, std::fabs(m.at(i, j)));
+    }
+    EXPECT_LE(q.scales[i], amax / 254.f * 1.01f + 1e-7f);
+  }
+}
+
+// --- INT8 GEMM vs the fp32 reference ---------------------------------------
+
+TEST(Int8Gemm, MatchesFp32OverDequantizedOperandsAlmostExactly) {
+  // The integer dot is exact; only the fp32 epilogue rounds.  Odd k and
+  // non-multiple-of-4 n exercise the SIMD pair padding and tail outputs.
+  Rng rng(11);
+  const Tensor x = Tensor::normal({13, 37}, rng);
+  const Tensor wt = Tensor::normal({6, 37}, rng);  // [n, k]
+  const QuantizedMatrix xq = quantize_per_row(x);
+  const QuantizedMatrix wq = quantize_per_row(wt);
+  Tensor got;
+  gemm_s8_nt(xq, wq, got);
+  const Tensor ref = matmul_nt(dequantize(xq), dequantize(wq));
+  ASSERT_EQ(got.rows(), ref.rows());
+  ASSERT_EQ(got.cols(), ref.cols());
+  EXPECT_LE(max_abs_diff(got, ref), 1e-4f);
+}
+
+TEST(Int8Gemm, ActsVariantMatchesFp32WithinQuantizationBound) {
+  Rng rng(13);
+  const Tensor x = Tensor::normal({21, 48}, rng);
+  const Tensor wt = Tensor::normal({10, 48}, rng);
+  Tensor bias({10});
+  for (std::size_t j = 0; j < 10; ++j) bias[j] = 0.1f * static_cast<float>(j);
+  const QuantizedMatrix wq = quantize_per_row(wt);
+  Tensor got;
+  gemm_s8_nt(quantize_acts_per_row(x), wq, got, &bias);
+  Tensor ref = matmul_nt(x, wt);
+  add_row_vector(ref, bias);
+  // Worst-case error per output ~ k * (|x| err * |w| + |w| err * |x|);
+  // with unit-normal operands and k = 48 a loose 0.2 bound is orders of
+  // magnitude above what a broken kernel produces.
+  EXPECT_LE(max_abs_diff(got, ref), 0.2f);
+  // And it must be far from zero-signal: outputs are O(sqrt(k)).
+  EXPECT_GT(max_abs_diff(got, Tensor({21, 10})), 1.f);
+}
+
+TEST(Int8Gemm, BatchedRowsAreBitIdenticalToSingleRows) {
+  // Fixed per-lane accumulation order: a row's logits do not depend on
+  // which batch it rode in — the invariant micro-batching relies on.
+  Rng rng(17);
+  const Tensor x = Tensor::normal({8, 24}, rng);
+  const Tensor wt = Tensor::normal({5, 24}, rng);
+  const QuantizedMatrix wq = quantize_per_row(wt);
+  Tensor full;
+  gemm_s8_nt(quantize_acts_per_row(x), wq, full);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    Tensor one_in({1, x.cols()});
+    std::copy(x.row(i), x.row(i) + x.cols(), one_in.row(0));
+    Tensor one_out;
+    gemm_s8_nt(quantize_acts_per_row(one_in), wq, one_out);
+    for (std::size_t j = 0; j < wq.rows; ++j) {
+      EXPECT_EQ(full.at(i, j), one_out.at(0, j)) << "row " << i;
+    }
+  }
+}
+
+// --- Quantized Linear -------------------------------------------------------
+
+TEST(QuantizedLinear, EvalUsesInt8PathAndTrainStaysFp32) {
+  Rng rng(7);
+  nn::Linear fp(19, 7, rng);
+  Rng rng2(7);
+  nn::Linear q8(19, 7, rng2);  // same init
+  EXPECT_FALSE(q8.is_quantized());
+  q8.quantize_int8();
+  ASSERT_TRUE(q8.is_quantized());
+  ASSERT_NE(q8.quantized_weight(), nullptr);
+  EXPECT_EQ(q8.quantized_weight()->rows, 7u);   // [out, in]
+  EXPECT_EQ(q8.quantized_weight()->cols, 19u);
+
+  Rng drng(21);
+  const Tensor x = Tensor::normal({5, 19}, drng);
+  const Tensor ref = fp.forward(x, false);
+  const Tensor got = q8.forward(x, false);
+  EXPECT_GT(max_abs_diff(got, ref), 0.f);   // int8 path actually engaged
+  EXPECT_LE(max_abs_diff(got, ref), 0.1f);  // ...and bounded
+  // Training forward ignores the quantized block entirely.
+  const Tensor train_ref = fp.forward(x, true);
+  const Tensor train_got = q8.forward(x, true);
+  EXPECT_EQ(max_abs_diff(train_got, train_ref), 0.f);
+}
+
+TEST(QuantizedLinear, ShareQuantizedAliasesTheSameImmutableBlock) {
+  Rng rng(7);
+  nn::Linear a(12, 6, rng);
+  Rng rng2(7);
+  nn::Linear b(12, 6, rng2);
+  a.quantize_int8();
+  b.share_quantized(a);
+  EXPECT_EQ(a.quantized_weight().get(), b.quantized_weight().get());
+  Rng rng3(1);
+  nn::Linear wrong(12, 5, rng3);
+  EXPECT_THROW(wrong.share_quantized(a), std::invalid_argument);
+  Rng rng4(1);
+  nn::Linear unquantized(12, 6, rng4);
+  EXPECT_THROW(b.share_quantized(unquantized), std::invalid_argument);
+}
+
+// --- Quantized checkpoint section ------------------------------------------
+
+TEST(QuantizedCheckpoint, RoundTripsWithinBoundAndShrinksFourfold) {
+  Rng rng(7);
+  core::SignConfig cfg;
+  cfg.feat_dim = 32;
+  cfg.hops = 2;
+  cfg.hidden = 32;
+  cfg.classes = 16;
+  cfg.mlp_layers = 2;
+  cfg.dropout = 0.f;
+  core::Sign model(cfg, rng);
+
+  const std::string fp32_path = tmp_path("ckpt_fp32.bin");
+  const std::string q_path = tmp_path("ckpt_int8.bin");
+  std::vector<nn::ParamSlot> slots;
+  model.collect_params(slots);
+  nn::save_parameters(slots, fp32_path);
+  nn::save_parameters_quantized(slots, q_path);
+
+  // ~4x less weight data on the wire (scales + shape headers cost a bit).
+  EXPECT_LT(file_bytes(q_path) * 3, file_bytes(fp32_path));
+
+  // load_parameters auto-detects the quantized magic and dequantizes into
+  // an identically-shaped model; per-output-channel coding bounds each
+  // weight's error by half its channel scale.
+  Rng rng2(99);
+  core::Sign loaded(cfg, rng2);
+  std::vector<nn::ParamSlot> loaded_slots;
+  loaded.collect_params(loaded_slots);
+  nn::load_parameters(loaded_slots, q_path);
+  ASSERT_EQ(slots.size(), loaded_slots.size());
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    const Tensor& orig = *slots[s].value;
+    const Tensor& back = *loaded_slots[s].value;
+    if (orig.ndim() != 2) {  // biases travel fp32: exact
+      EXPECT_EQ(max_abs_diff(orig, back), 0.f) << slots[s].name;
+      continue;
+    }
+    for (std::size_t j = 0; j < orig.cols(); ++j) {
+      float amax = 0.f;
+      for (std::size_t i = 0; i < orig.rows(); ++i) {
+        amax = std::max(amax, std::fabs(orig.at(i, j)));
+      }
+      const float bound = amax / 254.f + 1e-6f;
+      for (std::size_t i = 0; i < orig.rows(); ++i) {
+        EXPECT_LE(std::fabs(orig.at(i, j) - back.at(i, j)), bound)
+            << slots[s].name << " (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+// --- FeatureFileStore int8 row codec + batched reads ------------------------
+
+struct StoreFixture {
+  std::vector<Tensor> hops;
+  std::size_t rows = 50, dim = 6;
+
+  StoreFixture() {
+    Rng rng(13);
+    for (int h = 0; h < 3; ++h) {
+      hops.push_back(Tensor::normal({rows, dim}, rng, 0.f, 2.f));
+    }
+  }
+};
+
+TEST(Int8RowCodec, RoundTripWithinPerRowBoundAndFourfoldSmaller) {
+  const StoreFixture fx;
+  const auto store = loader::FeatureFileStore::create(
+      tmp_path("int8_store"), fx.hops, loader::RowCodec::kInt8);
+  EXPECT_EQ(store.codec(), loader::RowCodec::kInt8);
+  EXPECT_EQ(store.hop_row_bytes(), sizeof(float) + fx.dim);
+  // fp32 row: 3 hops * 6 floats = 72B; int8 row: 3 * (4 + 6) = 30B.
+  EXPECT_EQ(store.row_bytes(), 3 * (sizeof(float) + fx.dim));
+  EXPECT_LT(store.row_bytes() * 2, 3 * fx.dim * sizeof(float));
+
+  Tensor out({fx.rows, 3 * fx.dim});
+  store.read_chunk(0, fx.rows, out);
+  for (std::size_t h = 0; h < 3; ++h) {
+    for (std::size_t i = 0; i < fx.rows; ++i) {
+      float amax = 0.f;
+      for (std::size_t j = 0; j < fx.dim; ++j) {
+        amax = std::max(amax, std::fabs(fx.hops[h].at(i, j)));
+      }
+      const float bound = amax / 254.f + 1e-6f;
+      for (std::size_t j = 0; j < fx.dim; ++j) {
+        EXPECT_LE(std::fabs(out.at(i, h * fx.dim + j) - fx.hops[h].at(i, j)),
+                  bound);
+      }
+    }
+  }
+}
+
+TEST(Int8RowCodec, OpenRejectsCodecMismatch) {
+  const StoreFixture fx;
+  const std::string dir = tmp_path("codec_mismatch");
+  { loader::FeatureFileStore::create(dir, fx.hops, loader::RowCodec::kInt8); }
+  // Record sizes differ per codec, so the file length exposes a
+  // mismatched open instead of letting it decode garbage.
+  EXPECT_THROW(loader::FeatureFileStore::open(dir, fx.rows, 3, fx.dim,
+                                              loader::RowCodec::kFp32),
+               std::invalid_argument);
+  EXPECT_NO_THROW(loader::FeatureFileStore::open(dir, fx.rows, 3, fx.dim,
+                                                 loader::RowCodec::kInt8));
+}
+
+TEST(Int8RowCodec, ReadRowsMatchesReadChunkBitForBit) {
+  const StoreFixture fx;
+  const auto store = loader::FeatureFileStore::create(
+      tmp_path("int8_store_rr"), fx.hops, loader::RowCodec::kInt8);
+  Tensor chunk({fx.rows, 3 * fx.dim});
+  store.read_chunk(0, fx.rows, chunk);
+  const std::vector<std::int64_t> ids{49, 0, 7, 7, 8, 9, 23};
+  Tensor rows({ids.size(), 3 * fx.dim});
+  store.read_rows(ids, rows);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = 0; j < 3 * fx.dim; ++j) {
+      EXPECT_EQ(rows.at(i, j), chunk.at(static_cast<std::size_t>(ids[i]), j));
+    }
+  }
+}
+
+TEST(BatchedReadRows, CoalescesRunsAndStaysBitIdentical) {
+  const StoreFixture fx;
+  const auto store = loader::FeatureFileStore::create(
+      tmp_path("coalesce_store"), fx.hops);  // fp32: bit-exact comparisons
+  // 10 requested rows, but only three disk runs: {3,4,5,5,6}, {20}, {30..32}.
+  const std::vector<std::int64_t> ids{5, 3, 30, 4, 20, 5, 31, 6, 32, 30};
+  const std::uint64_t before = store.preads();
+  Tensor batched({ids.size(), 3 * fx.dim});
+  store.read_rows(ids, batched);
+  const std::uint64_t batched_preads = store.preads() - before;
+  EXPECT_EQ(batched_preads, 3u * 3u);  // 3 runs x 3 hop files
+  EXPECT_LT(batched_preads, ids.size() * 3);  // vs one per row per hop
+
+  // Coalescing is invisible in the data: per-row reads agree bit for bit.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    Tensor one({1, 3 * fx.dim});
+    store.read_rows({ids[i]}, one);
+    for (std::size_t j = 0; j < 3 * fx.dim; ++j) {
+      EXPECT_EQ(batched.at(i, j), one.at(0, j)) << "row " << ids[i];
+    }
+  }
+}
+
+// --- Byte-denominated cache capacity ----------------------------------------
+
+TEST(ByteCapacity, SameBudgetHoldsFourfoldMoreInt8Rows) {
+  const std::size_t fp32_row = 384, int8_row = 108, budget = 10 * fp32_row;
+  loader::LruCache fp32_cache(budget, fp32_row);
+  loader::LruCache int8_cache(budget, int8_row);
+  EXPECT_EQ(fp32_cache.capacity(), 10u);
+  EXPECT_EQ(int8_cache.capacity(), 35u);  // 3840 / 108
+  EXPECT_EQ(fp32_cache.capacity_bytes(), budget);
+  EXPECT_GE(int8_cache.capacity() * 2, fp32_cache.capacity() * 7);  // >3.5x
+  // Eviction respects the row budget, not the byte count alone.
+  for (std::int64_t r = 0; r < 10; ++r) fp32_cache.access(r);
+  EXPECT_TRUE(fp32_cache.resident(0));
+  fp32_cache.access(10);
+  EXPECT_FALSE(fp32_cache.resident(0));  // LRU row displaced at 10 rows
+  EXPECT_EQ(fp32_cache.size(), 10u);
+}
+
+TEST(ByteCapacity, StaticCacheReportsPinnedBytes) {
+  loader::StaticCache c({1, 2, 3}, 108);
+  EXPECT_EQ(c.capacity(), 3u);
+  EXPECT_EQ(c.capacity_bytes(), 3u * 108u);
+  EXPECT_EQ(c.row_bytes(), 108u);
+}
+
+// --- Cached int8 rows stay int8 while resident ------------------------------
+
+TEST(CachedSource, KeepsEncodedPayloadAndDecodesIdenticallyOnHit) {
+  const StoreFixture fx;
+  auto backing = std::make_unique<serve::FileStoreSource>(
+      loader::FeatureFileStore::create(tmp_path("enc_cache_store"), fx.hops,
+                                       loader::RowCodec::kInt8));
+  const std::size_t enc_row = backing->encoded_row_bytes();
+  EXPECT_EQ(enc_row, 3 * (sizeof(float) + fx.dim));
+  serve::CachedSource cached(
+      std::move(backing),
+      std::make_unique<loader::LruCache>(8 * enc_row, enc_row));
+  Tensor miss_pass, hit_pass;
+  const std::vector<std::int64_t> ids{1, 2, 3};
+  cached.gather(ids, miss_pass);
+  cached.gather(ids, hit_pass);
+  // A hit decodes the same encoded bytes a miss decoded: caching can
+  // never change an answer.
+  for (std::size_t i = 0; i < miss_pass.size(); ++i) {
+    EXPECT_EQ(miss_pass[i], hit_pass[i]);
+  }
+  const auto st = cached.stats();
+  EXPECT_EQ(st.rows_read, 3u);
+  EXPECT_EQ(st.hits, 3u);
+  EXPECT_EQ(st.resident_rows, 3u);
+  // Resident bytes are the ENCODED size — the 4x claim in memory, not
+  // just on disk.
+  EXPECT_EQ(st.resident_bytes, 3u * enc_row);
+}
+
+// --- Model-level quantization + replica weight sharing ----------------------
+
+struct ModelFixture {
+  graph::Dataset ds;
+  core::Preprocessed pre;
+
+  ModelFixture() : ds(graph::make_dataset(graph::DatasetName::kPokecSim,
+                                          0.02)) {
+    core::PrecomputeConfig pc;
+    pc.hops = 2;
+    pre = core::precompute(ds.graph, ds.features, pc);
+  }
+
+  std::unique_ptr<core::PpModel> make_model(std::uint64_t seed = 7) const {
+    Rng rng(seed);
+    core::SignConfig cfg;
+    cfg.feat_dim = ds.feature_dim();
+    cfg.hops = pre.num_hops();
+    cfg.hidden = 16;
+    cfg.classes = ds.num_classes;
+    cfg.dropout = 0.f;
+    return std::make_unique<core::Sign>(cfg, rng);
+  }
+};
+
+TEST(ModelQuantize, SharedWeightsAnswerBitIdenticallyAcrossModels) {
+  const ModelFixture fx;
+  auto a = fx.make_model(21);
+  auto b = fx.make_model(99);  // different init
+  // Align fp32 weights first (the deployment round trip does this via the
+  // checkpoint); then quantize one and share into the other.
+  {
+    std::vector<nn::ParamSlot> sa, sb;
+    a->collect_params(sa);
+    b->collect_params(sb);
+    for (std::size_t i = 0; i < sa.size(); ++i) *sb[i].value = *sa[i].value;
+  }
+  EXPECT_EQ(core::quantize_int8(*a), 6u);  // 3 branches + 3 head layers
+  core::share_quantized_weights(*b, *a);
+  std::vector<nn::Linear*> la, lb;
+  a->collect_linears(la);
+  b->collect_linears(lb);
+  for (std::size_t i = 0; i < la.size(); ++i) {
+    EXPECT_EQ(la[i]->quantized_weight().get(), lb[i]->quantized_weight().get());
+  }
+  const std::vector<std::int64_t> nodes{0, 5, 17, 3};
+  const Tensor batch = fx.pre.expanded_rows(nodes);
+  const Tensor ya = a->infer(batch);
+  const Tensor yb = b->infer(batch);
+  for (std::size_t i = 0; i < ya.size(); ++i) EXPECT_EQ(ya[i], yb[i]);
+}
+
+TEST(ModelQuantize, MakeReplicaSessionsInt8FleetIsSelfConsistentAndClose) {
+  const ModelFixture fx;
+  const std::string ckpt = tmp_path("int8_fleet.ckpt");
+  {
+    auto trained = fx.make_model(21);
+    serve::save_deployed_model(*trained, ckpt, serve::Precision::kInt8);
+  }
+  auto sessions = serve::make_replica_sessions(
+      3, ckpt, [&](std::size_t i) { return fx.make_model(100 + i); },
+      [&](std::size_t) { return std::make_unique<serve::MemorySource>(fx.pre); },
+      serve::Precision::kInt8);
+  ASSERT_EQ(sessions.size(), 3u);
+  for (const auto& s : sessions) {
+    EXPECT_EQ(s->precision(), serve::Precision::kInt8);
+  }
+  // fp32 reference from the same quantized checkpoint.
+  auto ref_model = fx.make_model(77);
+  serve::load_deployed_model(*ref_model, ckpt);
+  serve::InferenceSession ref(std::move(ref_model),
+                              std::make_unique<serve::MemorySource>(fx.pre));
+  for (std::int64_t node = 0; node < 20; ++node) {
+    const auto want = sessions[0]->infer_one(node);
+    const auto fp32 = ref.infer_one(node);
+    for (std::size_t r = 1; r < 3; ++r) {
+      const auto got = sessions[r]->infer_one(node);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t j = 0; j < want.size(); ++j) {
+        // Replicas share one quantized weight block: bit-identical.
+        EXPECT_EQ(got[j], want[j]) << "replica " << r << " node " << node;
+      }
+    }
+    for (std::size_t j = 0; j < want.size(); ++j) {
+      // And the int8 fleet stays within a quantization-error bound of the
+      // fp32 model it was quantized from.
+      EXPECT_NEAR(want[j], fp32[j], 0.1) << "node " << node;
+    }
+  }
+}
+
+TEST(ModelQuantize, SessionRejectsPrecisionLabelContradictingModelState) {
+  const ModelFixture fx;
+  // int8 label on an unquantized model: would silently serve fp32.
+  EXPECT_THROW(serve::InferenceSession(
+                   fx.make_model(), std::make_unique<serve::MemorySource>(fx.pre),
+                   serve::Precision::kInt8),
+               std::invalid_argument);
+  // fp32 label on a quantized model: would silently serve the int8 path.
+  auto quantized = fx.make_model();
+  core::quantize_int8(*quantized);
+  EXPECT_THROW(serve::InferenceSession(
+                   std::move(quantized),
+                   std::make_unique<serve::MemorySource>(fx.pre)),
+               std::invalid_argument);
+}
+
+TEST(ModelQuantize, RejectsModelsWithoutQuantizableLayers) {
+  struct NoLinears : core::PpModel {
+    Tensor forward(const Tensor& batch, bool) override { return batch; }
+    void backward(const Tensor&) override {}
+    void collect_params(std::vector<nn::ParamSlot>&) override {}
+    std::string name() const override { return "stub"; }
+    std::size_t hops() const override { return 0; }
+  };
+  NoLinears m;
+  EXPECT_THROW(core::quantize_int8(m), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppgnn

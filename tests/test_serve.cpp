@@ -74,8 +74,11 @@ TEST(FeatureSource, CachedGatherIsTransparentAndCounts) {
   auto backing = std::make_unique<FileStoreSource>(
       loader::FeatureFileStore::create(tmp_dir("serve_cached"),
                                        fx.pre.hop_features));
+  // Byte-denominated capacity: budget for exactly 4 stored rows.
+  const std::size_t row_bytes = backing->store().row_bytes();
   CachedSource cached(std::move(backing),
-                      std::make_unique<loader::LruCache>(4));
+                      std::make_unique<loader::LruCache>(4 * row_bytes,
+                                                         row_bytes));
   MemorySource mem(fx.pre);
   const std::vector<std::int64_t> rows{1, 2, 1, 3, 1, 2, 9, 1};
   Tensor got, want;
@@ -113,10 +116,13 @@ TEST(InferenceSession, FileStoreAndMemoryProduceIdenticalLogits) {
   const Fixture fx;
   auto mem_session = fx.make_session(11);
 
+  auto store_source = std::make_unique<FileStoreSource>(
+      loader::FeatureFileStore::create(tmp_dir("serve_eq"),
+                                       fx.pre.hop_features));
+  const std::size_t row_bytes = store_source->store().row_bytes();
   auto file_source = std::make_unique<CachedSource>(
-      std::make_unique<FileStoreSource>(loader::FeatureFileStore::create(
-          tmp_dir("serve_eq"), fx.pre.hop_features)),
-      std::make_unique<loader::LruCache>(8));
+      std::move(store_source),
+      std::make_unique<loader::LruCache>(8 * row_bytes, row_bytes));
   InferenceSession file_session(fx.make_model(11), std::move(file_source));
 
   const std::vector<std::int64_t> nodes{0, 7, 7, 21, 3};
