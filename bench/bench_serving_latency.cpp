@@ -1,4 +1,4 @@
-// Serving extension — four experiments, one per serving claim:
+// Serving extension — five experiments, one per serving claim:
 //
 //  1. Throughput vs. offered load, cache-on vs. cache-off (PR 1).  The
 //     Section-4.1 inversion made visible: the same LRU policy that bought
@@ -6,14 +6,15 @@
 //     load a serving tier survives.
 //
 //  2. Replicas x routing policy.  N independent pipelines behind a
-//     ReplicaSet, closed-loop clients pushing each config to saturation.
+//     FleetManager, closed-loop clients pushing each config to saturation.
 //     Reports per-config throughput, tail latency and aggregate cache hit
 //     rate, plus the throughput scaling factor vs. one replica.  Scaling
 //     tracks min(replicas, cores): each replica needs a core to itself to
 //     add service capacity, so on a many-core box 4 replicas clear 2x+
 //     while a single-core box shows the flat curve it should.
 //     cache_affinity's hit-rate column is the policy's point: sharded
-//     caches stop duplicating the same hot set.
+//     caches stop duplicating the same hot set — and since PR 4 the shard
+//     map is a consistent-hash ring, so it survives fleet resizes.
 //
 //  3. Admission control at overload.  A paced open-loop client offers 2x
 //     the single-replica saturation rate; the shed-budget sweep shows the
@@ -32,6 +33,19 @@
 //     vs fp32) price the precision loss — the accuracy-vs-latency tradeoff
 //     measured, not assumed.
 //
+//  5. Autoscaling under a staged load ramp (0.5x -> 2.5x -> 0.5x of
+//     single-replica saturation).  Three fleets drive the same trace:
+//     fixed at the autoscaler's min (1), fixed at its max (4), and the
+//     elastic fleet (min 1, max 4, shed-rate/idle hysteresis).  The claim
+//     is two-sided and both sides are recorded: the elastic fleet answers
+//     (nearly) like fixed-max — beating fixed-min on answered_rps, whose
+//     single pipeline sheds most of the 2.5x phase — while provisioning
+//     (nearly) like fixed-min — beating fixed-max on idle replica-seconds,
+//     whose three extra dispatchers sit empty through both 0.5x phases.
+//     The replica-count timeline (sampled + membership events, including
+//     rows cache-warmed into each spawn and its first-window hit rate)
+//     lands in the JSON.
+//
 // Every row also prints as one JSON line ("json: {...}"); --json=PATH
 // additionally writes all records to PATH as a JSON array (the
 // BENCH_serving.json artifact CI uploads).  --quick shrinks streams for
@@ -45,6 +59,7 @@
 #include "serve/replica_set.h"
 #include "serve/router.h"
 #include "serve/server_stats.h"
+#include "serve/testbed.h"
 #include "serve/workload.h"
 
 #include <unistd.h>
@@ -74,22 +89,6 @@ void emit(const std::string& json) {
   g_records.push_back(json);
 }
 
-std::unique_ptr<core::PpModel> make_model() {
-  Rng rng(7);
-  core::SignConfig cfg;
-  cfg.feat_dim = kFeatDim;
-  cfg.hops = kHops;
-  cfg.hidden = 32;
-  cfg.classes = kClasses;
-  cfg.mlp_layers = 2;
-  cfg.dropout = 0.f;
-  return std::make_unique<core::Sign>(cfg, rng);
-}
-
-// core::quick_train runs before deployment: an untrained model's
-// near-tie logits would make the precision section's top-1 agreement
-// column measure coin flips instead of quantization error.
-
 struct LoadPoint {
   double offered_rps = 0;
   double achieved_rps = 0;
@@ -105,11 +104,12 @@ struct LoadPoint {
 // bound the driver throttles like a real client feeling admission control,
 // and the achieved-rps column dropping below offered-rps is the overload
 // signal.
-LoadPoint drive(std::unique_ptr<serve::FeatureSource> source,
+LoadPoint drive(const serve::ServingTestbed& tb,
+                std::unique_ptr<serve::FeatureSource> source,
                 const std::vector<std::int64_t>& stream, double offered_rps,
                 const loader::FeatureFileStore* store = nullptr) {
   auto* cached = dynamic_cast<serve::CachedSource*>(source.get());
-  serve::InferenceSession session(make_model(), std::move(source));
+  serve::InferenceSession session(tb.make_model(), std::move(source));
   serve::MicroBatchConfig mc;
   mc.max_batch_size = 128;
   mc.max_delay = std::chrono::microseconds(500);
@@ -156,10 +156,13 @@ LoadPoint drive(std::unique_ptr<serve::FeatureSource> source,
 constexpr std::size_t kFp32RowBytes = (kHops + 1) * kFeatDim * sizeof(float);
 constexpr std::size_t kCacheBudgetBytes = (kNodes / 20) * kFp32RowBytes;
 
-// A ReplicaSet over file-backed, LRU-cached per-replica sources, plus the
-// cache and store handles for hit-rate / syscall reporting.
+// A FleetManager over file-backed, LRU-cached per-replica sources, plus
+// the cache and store handles for hit-rate / syscall reporting.  Heap-
+// allocated: the FleetBuilder inside the manager captures this struct's
+// address and may build more sources at a scale-up long after make_fleet
+// returned.
 struct Fleet {
-  std::unique_ptr<serve::ReplicaSet> set;
+  std::unique_ptr<serve::FleetManager> set;
   std::vector<const serve::CachedSource*> caches;
   std::vector<const loader::FeatureFileStore*> stores;
   std::size_t cache_capacity_rows = 0;  // rows the byte budget holds
@@ -174,37 +177,43 @@ struct Fleet {
   }
 };
 
-Fleet make_fleet(const std::string& store_dir, const std::string& ckpt,
-                 std::size_t replicas, serve::RoutingPolicy policy,
-                 std::chrono::microseconds shed_budget =
-                     std::chrono::microseconds{0},
-                 serve::Precision precision = serve::Precision::kFp32,
-                 loader::RowCodec codec = loader::RowCodec::kFp32) {
-  Fleet f;
-  auto sessions = serve::make_replica_sessions(
-      replicas, ckpt, [](std::size_t) { return make_model(); },
-      [&](std::size_t) -> std::unique_ptr<serve::FeatureSource> {
+std::unique_ptr<Fleet> make_fleet(
+    const serve::ServingTestbed& tb, const std::string& store_dir,
+    const std::string& ckpt, std::size_t replicas,
+    serve::RoutingPolicy policy,
+    std::chrono::microseconds shed_budget = std::chrono::microseconds{0},
+    serve::Precision precision = serve::Precision::kFp32,
+    loader::RowCodec codec = loader::RowCodec::kFp32,
+    serve::AutoscaleConfig autoscale = {}) {
+  auto f = std::make_unique<Fleet>();
+  Fleet* fp = f.get();  // stable address for the builder's source factory
+  serve::FleetBuilder builder(
+      ckpt, [&tb](std::size_t) { return tb.make_model(); },
+      [fp, store_dir, codec](std::size_t)
+          -> std::unique_ptr<serve::FeatureSource> {
         auto source = std::make_unique<serve::FileStoreSource>(
             loader::FeatureFileStore::open(store_dir, kNodes, kHops + 1,
                                            kFeatDim, codec));
-        f.stores.push_back(&source->store());
+        fp->stores.push_back(&source->store());
         const std::size_t stored_row_bytes = source->store().row_bytes();
         auto policy_ptr = std::make_unique<loader::LruCache>(
             kCacheBudgetBytes, stored_row_bytes);
-        f.cache_capacity_rows = policy_ptr->capacity();
+        fp->cache_capacity_rows = policy_ptr->capacity();
         auto cached = std::make_unique<serve::CachedSource>(
             std::move(source), std::move(policy_ptr));
-        f.caches.push_back(cached.get());
+        fp->caches.push_back(cached.get());
         return cached;
       },
       precision);
-  serve::ReplicaSetConfig rc;
-  rc.policy = policy;
-  rc.precision = precision;
-  rc.batch.max_batch_size = 128;
-  rc.batch.max_delay = std::chrono::microseconds(500);
-  rc.batch.shed_budget = shed_budget;
-  f.set = std::make_unique<serve::ReplicaSet>(std::move(sessions), rc);
+  serve::FleetConfig fc;
+  fc.policy = policy;
+  fc.precision = precision;
+  fc.batch.max_batch_size = 128;
+  fc.batch.max_delay = std::chrono::microseconds(500);
+  fc.batch.shed_budget = shed_budget;
+  fc.autoscale = autoscale;
+  f->set = std::make_unique<serve::FleetManager>(std::move(builder),
+                                                 replicas, fc);
   return f;
 }
 
@@ -316,6 +325,120 @@ OverloadPoint drive_overload(Fleet& fleet,
   return p;
 }
 
+// One point of the replica-count timeline section 5 records.
+struct TimelineSample {
+  double t_seconds = 0;
+  std::size_t replicas = 0;
+  std::size_t queue_depth = 0;
+  std::size_t idle_replicas = 0;  // nothing queued, nothing in service
+};
+
+struct RampPoint {
+  double offered_mean_rps = 0;
+  double answered_rps = 0;
+  serve::LatencySummary admitted_latency;
+  serve::AdmissionCounters admission;
+  std::size_t max_replicas_seen = 0;
+  double replica_seconds = 0;       // integral of replica count over time
+  double idle_replica_seconds = 0;  // share of it spent with empty queues
+  std::vector<TimelineSample> timeline;
+  std::vector<serve::FleetEvent> events;
+};
+
+// Staged open-loop ramp (serve::StagedRampPacer: 0.5x / 2.5x / 0.5x of
+// `baseline_rps`, equal wall time each) totalling `stream.size()` offered
+// requests.  Samples the replica count + fleet queue depth every 50ms for
+// the timeline and the replica-seconds integrals.
+RampPoint drive_ramp(Fleet& fleet, const std::vector<std::int64_t>& stream,
+                     double baseline_rps) {
+  const double total_seconds =
+      static_cast<double>(stream.size()) /
+      (serve::StagedRampPacer::kMeanMult * baseline_rps);
+  serve::StagedRampPacer pacer(baseline_rps, total_seconds);
+
+  RampPoint p;
+  p.offered_mean_rps = serve::StagedRampPacer::kMeanMult * baseline_rps;
+  std::deque<std::future<std::vector<float>>> inflight;
+  const auto reap_front = [&] {
+    try {
+      inflight.front().get();
+    } catch (const serve::RejectedError&) {
+    }
+    inflight.pop_front();
+  };
+  const auto t0 = pacer.start();
+  auto next_sample = t0;
+  const auto sample_every = std::chrono::milliseconds(50);
+  double last_sample_s = 0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= next_sample) {
+      TimelineSample s;
+      s.t_seconds = std::chrono::duration<double>(now - t0).count();
+      s.replicas = fleet.set->num_replicas();
+      s.queue_depth = fleet.set->total_queue_depth();
+      s.idle_replicas = fleet.set->idle_replicas();
+      p.max_replicas_seen = std::max(p.max_replicas_seen, s.replicas);
+      const double dt = s.t_seconds - last_sample_s;
+      p.replica_seconds += dt * static_cast<double>(s.replicas);
+      // Idle integrates PER REPLICA: a fixed-max fleet at 0.5x load keeps
+      // most dispatchers empty while one serves the hot shard — that
+      // wasted provisioning is exactly what the elastic fleet avoids.
+      p.idle_replica_seconds += dt * static_cast<double>(s.idle_replicas);
+      last_sample_s = s.t_seconds;
+      p.timeline.push_back(s);
+      next_sample = now + sample_every;
+    }
+    if (!pacer.pace()) break;  // the trace is wall-time-bounded
+    auto adm = fleet.set->try_submit(stream[i]);
+    if (adm.accepted) inflight.push_back(std::move(adm.result));
+    while (inflight.size() > 4096) reap_front();
+  }
+  while (!inflight.empty()) reap_front();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  p.admitted_latency = fleet.set->aggregate_latency();
+  p.admission = fleet.set->aggregate_admission();
+  p.answered_rps =
+      static_cast<double>(p.admitted_latency.count) / wall;
+  p.events = fleet.set->events();
+  return p;
+}
+
+std::string timeline_json(const RampPoint& p) {
+  // Compact [t, replicas, queued, idle_replicas] rows; the queue depth and
+  // idle count ride along so the artifact shows *why* the count moved.
+  std::string out = "[";
+  for (std::size_t i = 0; i < p.timeline.size(); ++i) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s[%.2f,%zu,%zu,%zu]", i ? "," : "",
+                  p.timeline[i].t_seconds, p.timeline[i].replicas,
+                  p.timeline[i].queue_depth, p.timeline[i].idle_replicas);
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+std::string events_json(const RampPoint& p) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < p.events.size(); ++i) {
+    const auto& e = p.events[i];
+    char buf[224];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"t\":%.2f,\"action\":\"%s\",\"generation\":%llu,"
+                  "\"replicas_after\":%zu,\"warmed_keys\":%zu,"
+                  "\"first_window_hit_rate\":%.3f}",
+                  i ? "," : "", e.t_seconds, e.spawned ? "spawn" : "retire",
+                  static_cast<unsigned long long>(e.generation),
+                  e.replicas_after, e.warmed_keys, e.first_window_hit_rate);
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -332,53 +455,30 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  header("Serving: load sweep, replica scaling, admission control");
+  header("Serving: load sweep, replica scaling, admission, autoscaling");
 
-  // Shared offline artifacts: one preprocessing pass, one on-disk store,
-  // one deployed checkpoint every replica loads.
-  graph::SbmConfig sc;
-  sc.num_nodes = kNodes;
-  sc.num_classes = kClasses;
-  sc.avg_degree = 10.0;
-  sc.degree_power = 1.6;
-  sc.seed = 11;
-  const auto sbm = graph::generate_sbm(sc);
-  graph::FeatureConfig fc;
-  fc.dim = kFeatDim;
-  const Tensor x = graph::generate_features(sbm.labels, kClasses, fc);
-  core::PrecomputeConfig pc;
-  pc.hops = kHops;
-  const auto pre = core::precompute(sbm.graph, x, pc);
-  char dir_tmpl[] = "/tmp/bench_serving_store.XXXXXX";
-  if (!::mkdtemp(dir_tmpl)) {
-    std::perror("mkdtemp");
-    return 1;
-  }
-  const std::string dir = dir_tmpl;
-  { loader::FeatureFileStore::create(dir, pre.hop_features); }
-  // One trained model feeds both precision paths: the fp32 checkpoint
-  // every fleet loads and the quantized checkpoint the int8 section
-  // deploys from.
-  const std::string ckpt = dir + "/model.ckpt";
+  // Shared offline artifacts — ServingTestbed: one preprocessing pass, one
+  // on-disk store, one quick_train'd checkpoint every replica loads.
+  serve::TestbedConfig tc;
+  tc.nodes = kNodes;
+  tc.feat_dim = kFeatDim;
+  tc.classes = kClasses;
+  tc.hops = kHops;
+  tc.create_store = true;  // fp32 store; the int8 section writes its own
+  const serve::ServingTestbed tb(tc);
+  const std::string dir = tb.dir();
+  const std::string ckpt = tb.checkpoint();
+  // The int8 deployment artifact: same trained weights through the
+  // quantized checkpoint section.
   const std::string ckpt_int8 = dir + "/model_int8.ckpt";
   {
-    auto deployed = make_model();
-    core::quick_train(*deployed, pre, sbm.labels, 2);
-    serve::save_deployed_model(*deployed, ckpt);
-    serve::save_deployed_model(*deployed, ckpt_int8, serve::Precision::kInt8);
+    auto trained = tb.make_model();
+    serve::load_deployed_model(*trained, ckpt);
+    serve::save_deployed_model(*trained, ckpt_int8, serve::Precision::kInt8);
   }
 
-  const auto open_store = [&] {
-    return loader::FeatureFileStore::open(dir, kNodes, kHops + 1, kFeatDim);
-  };
-
   const auto make_stream = [&](std::size_t n, std::uint64_t seed = 31) {
-    serve::ZipfWorkloadConfig wc;
-    wc.num_nodes = kNodes;
-    wc.num_requests = n;
-    wc.skew = 0.99;
-    wc.seed = seed;
-    return serve::zipf_stream(wc);
+    return tb.stream(n, seed);
   };
 
   // --- 1. Offered-load sweep, cache on/off (single replica). -------------
@@ -393,7 +493,7 @@ int main(int argc, char** argv) {
     const auto stream =
         make_stream(static_cast<std::size_t>(offered * seconds_per_point));
     for (const bool with_cache : {false, true}) {
-      auto file_source = std::make_unique<serve::FileStoreSource>(open_store());
+      auto file_source = tb.file_source();
       const auto* store = &file_source->store();
       std::unique_ptr<serve::FeatureSource> source = std::move(file_source);
       if (with_cache) {
@@ -402,7 +502,7 @@ int main(int argc, char** argv) {
             std::make_unique<loader::LruCache>(kCacheBudgetBytes,
                                                kFp32RowBytes));
       }
-      const auto p = drive(std::move(source), stream, offered, store);
+      const auto p = drive(tb, std::move(source), stream, offered, store);
       std::printf("%-10.0f %-8s %12.0f %10.0f %10.0f %10.0f %9.1f%%\n",
                   p.offered_rps, with_cache ? "lru-5%" : "off",
                   p.achieved_rps, p.latency.p50_us, p.latency.p99_us,
@@ -440,9 +540,9 @@ int main(int argc, char** argv) {
       if (replicas == 1 && policy != serve::RoutingPolicy::kRoundRobin) {
         continue;  // one replica routes identically under every policy
       }
-      Fleet fleet = make_fleet(dir, ckpt, replicas, policy);
-      const auto p = drive_closed(fleet, sat_stream, clients, window);
-      fleet.set->stop();
+      auto fleet = make_fleet(tb, tb.store_dir(), ckpt, replicas, policy);
+      const auto p = drive_closed(*fleet, sat_stream, clients, window);
+      fleet->set->stop();
       if (replicas == 1) single_replica_rps = p.achieved_rps;
       const double speedup =
           single_replica_rps > 0 ? p.achieved_rps / single_replica_rps : 0;
@@ -482,12 +582,12 @@ int main(int argc, char** argv) {
   const auto overload_stream = make_stream(
       static_cast<std::size_t>(overload_rps * (quick ? 0.5 : 1.0)), 37);
   for (const long budget_ms : {-1L, 2L, 10L}) {  // -1 = shedding off
-    Fleet fleet = make_fleet(
-        dir, ckpt, 1, serve::RoutingPolicy::kRoundRobin,
+    auto fleet = make_fleet(
+        tb, tb.store_dir(), ckpt, 1, serve::RoutingPolicy::kRoundRobin,
         std::chrono::microseconds(budget_ms < 0 ? 0 : budget_ms * 1000));
-    const auto p = drive_overload(fleet, overload_stream, overload_rps,
+    const auto p = drive_overload(*fleet, overload_stream, overload_rps,
                                   low_frac);
-    fleet.set->stop();
+    fleet->set->stop();
     char label[32];
     if (budget_ms < 0) {
       std::snprintf(label, sizeof(label), "off");
@@ -514,7 +614,7 @@ int main(int argc, char** argv) {
   // --- 4. fp32 vs int8: quantized weights + packed rows, same byte budget.
   header("4. precision: fp32 vs int8 (same cache byte budget)");
   const std::string int8_store_dir = dir + "/int8_store";
-  loader::FeatureFileStore::create(int8_store_dir, pre.hop_features,
+  loader::FeatureFileStore::create(int8_store_dir, tb.pre().hop_features,
                                    loader::RowCodec::kInt8);
 
   // Accuracy offline, on the workload's own node distribution: both
@@ -523,15 +623,13 @@ int main(int argc, char** argv) {
   // would, so its error includes the checkpoint codec's share.
   serve::PrecisionDrift drift;
   {
-    auto fp32_model = make_model();
+    auto fp32_model = tb.make_model();
     serve::load_deployed_model(*fp32_model, ckpt);
-    auto int8_model = make_model();
+    auto int8_model = tb.make_model();
     serve::load_deployed_model(*int8_model, ckpt_int8);
     core::quantize_int8(*int8_model);
-    serve::InferenceSession ref(std::move(fp32_model),
-                                std::make_unique<serve::MemorySource>(pre));
-    serve::InferenceSession quant(std::move(int8_model),
-                                  std::make_unique<serve::MemorySource>(pre),
+    serve::InferenceSession ref(std::move(fp32_model), tb.memory_source());
+    serve::InferenceSession quant(std::move(int8_model), tb.memory_source(),
                                   serve::Precision::kInt8);
     drift = serve::compare_precision(
         ref, quant,
@@ -546,28 +644,28 @@ int main(int argc, char** argv) {
   for (const auto precision :
        {serve::Precision::kFp32, serve::Precision::kInt8}) {
     const bool int8 = precision == serve::Precision::kInt8;
-    Fleet fleet = make_fleet(
-        int8 ? int8_store_dir : dir, int8 ? ckpt_int8 : ckpt, 2,
-        serve::RoutingPolicy::kCacheAffinity, std::chrono::microseconds{0},
+    auto fleet = make_fleet(
+        tb, int8 ? int8_store_dir : tb.store_dir(), int8 ? ckpt_int8 : ckpt,
+        2, serve::RoutingPolicy::kCacheAffinity, std::chrono::microseconds{0},
         precision, int8 ? loader::RowCodec::kInt8 : loader::RowCodec::kFp32);
-    const std::size_t store_row_bytes = fleet.stores[0]->row_bytes();
-    const auto p = drive_closed(fleet, sat_stream, clients, window);
-    const std::uint64_t preads = fleet.preads();
-    const std::size_t batches = fleet.set->aggregate_batches();
-    fleet.set->stop();
+    const std::size_t store_row_bytes = fleet->stores[0]->row_bytes();
+    const auto p = drive_closed(*fleet, sat_stream, clients, window);
+    const std::uint64_t preads = fleet->preads();
+    const std::size_t batches = fleet->set->aggregate_batches();
+    fleet->set->stop();
     if (!int8) {
       fp32_rps = p.achieved_rps;
-      fp32_capacity = static_cast<double>(fleet.cache_capacity_rows);
+      fp32_capacity = static_cast<double>(fleet->cache_capacity_rows);
     }
     const double speedup = fp32_rps > 0 ? p.achieved_rps / fp32_rps : 1.0;
     const double capacity_ratio =
         fp32_capacity > 0
-            ? static_cast<double>(fleet.cache_capacity_rows) / fp32_capacity
+            ? static_cast<double>(fleet->cache_capacity_rows) / fp32_capacity
             : 1.0;
     std::printf("%-10s %12.0f %10.0f %9.1f%% %11zu %12zu %10llu %9.2fx\n",
                 serve::precision_name(precision), p.achieved_rps,
                 p.latency.p99_us, 100 * p.hit_rate,
-                fleet.cache_capacity_rows, store_row_bytes,
+                fleet->cache_capacity_rows, store_row_bytes,
                 static_cast<unsigned long long>(preads), speedup);
     char buf[768];
     std::snprintf(
@@ -580,7 +678,7 @@ int main(int argc, char** argv) {
         "\"preads_per_batch\":%.2f,\"top1_agreement\":%.4f,"
         "\"max_logit_err\":%.5f,\"latency\":%s}",
         serve::precision_name(precision), p.achieved_rps, speedup,
-        p.hit_rate, fleet.cache_capacity_rows, capacity_ratio,
+        p.hit_rate, fleet->cache_capacity_rows, capacity_ratio,
         store_row_bytes, static_cast<unsigned long long>(preads),
         batches ? static_cast<double>(preads) / static_cast<double>(batches)
                 : 0.0,
@@ -594,6 +692,94 @@ int main(int argc, char** argv) {
               100 * drift.top1_agreement, drift.max_logit_err,
               drift.sampled);
 
+  // --- 5. Autoscaling under the staged ramp. ------------------------------
+  header("5. autoscale: staged ramp 0.5x -> 2.5x -> 0.5x saturation");
+  const std::size_t kMinReplicas = 1, kMaxReplicas = 4;
+  serve::AutoscaleConfig as;
+  as.enabled = true;
+  as.min_replicas = kMinReplicas;
+  as.max_replicas = kMaxReplicas;
+  as.scale_up_shed = 0.10;
+  as.scale_down_idle = 0.90;
+  // Ramp phases are seconds long; keep the reaction path well inside one
+  // phase: sustain within one stats window, cooldown shorter than a phase.
+  as.sustain = std::chrono::milliseconds(300);
+  as.idle_window = std::chrono::milliseconds(800);
+  as.cooldown = std::chrono::milliseconds(1000);
+  const auto shed_budget = std::chrono::milliseconds(2);
+  // Phases must be long enough for the reaction path (sustain + spawn +
+  // a stats window of its effect) to land well inside the 2.5x phase:
+  // 2s phases are the floor, the full run uses 3s.
+  const double ramp_seconds = quick ? 6.0 : 9.0;
+  const auto ramp_stream = make_stream(
+      static_cast<std::size_t>(ramp_seconds * serve::StagedRampPacer::kMeanMult *
+                               single_replica_rps),
+      53);
+  std::printf("trace: %.0f -> %.0f -> %.0f req/s offered, %.1fs per phase\n",
+              0.5 * single_replica_rps, 2.5 * single_replica_rps,
+              0.5 * single_replica_rps, ramp_seconds / 3);
+  std::printf("%-12s %12s %12s %10s %10s %12s %12s\n", "fleet",
+              "answered/s", "adm p99(us)", "shed", "max repl", "repl-sec",
+              "idle r-sec");
+
+  struct RampConfig {
+    const char* name;
+    std::size_t replicas;
+    bool autoscale;
+  };
+  double autoscale_answered = 0, fixed_min_answered = 0;
+  double autoscale_idle = 0, fixed_max_idle = 0;
+  for (const RampConfig rc : {RampConfig{"fixed-min(1)", kMinReplicas, false},
+                              RampConfig{"fixed-max(4)", kMaxReplicas, false},
+                              RampConfig{"autoscale", kMinReplicas, true}}) {
+    serve::AutoscaleConfig cfg = as;
+    cfg.enabled = rc.autoscale;
+    auto fleet = make_fleet(tb, tb.store_dir(), ckpt, rc.replicas,
+                            serve::RoutingPolicy::kCacheAffinity,
+                            std::chrono::duration_cast<std::chrono::microseconds>(shed_budget),
+                            serve::Precision::kFp32, loader::RowCodec::kFp32,
+                            cfg);
+    const auto p = drive_ramp(*fleet, ramp_stream, single_replica_rps);
+    fleet->set->stop();
+    if (rc.autoscale) {
+      autoscale_answered = p.answered_rps;
+      autoscale_idle = p.idle_replica_seconds;
+    } else if (rc.replicas == kMinReplicas) {
+      fixed_min_answered = p.answered_rps;
+    } else {
+      fixed_max_idle = p.idle_replica_seconds;
+    }
+    std::printf("%-12s %12.0f %12.0f %9.1f%% %10zu %12.1f %12.1f\n",
+                rc.name, p.answered_rps, p.admitted_latency.p99_us,
+                100 * p.admission.shed_rate(), p.max_replicas_seen,
+                p.replica_seconds, p.idle_replica_seconds);
+    std::string buf(1024 + 32 * p.timeline.size() + 224 * p.events.size(),
+                    '\0');
+    const int n = std::snprintf(
+        buf.data(), buf.size(),
+        "{\"section\":\"autoscale_trace\",\"fleet\":\"%s\","
+        "\"autoscale\":%s,\"min_replicas\":%zu,\"max_replicas\":%zu,"
+        "\"offered_mean_rps\":%.0f,\"answered_rps\":%.0f,"
+        "\"admitted_p99_us\":%.0f,\"shed_rate\":%.3f,"
+        "\"max_replicas_seen\":%zu,\"replica_seconds\":%.1f,"
+        "\"idle_replica_seconds\":%.1f,\"admission\":%s,"
+        "\"events\":%s,\"timeline\":%s}",
+        rc.name, rc.autoscale ? "true" : "false",
+        rc.autoscale ? kMinReplicas : rc.replicas,
+        rc.autoscale ? kMaxReplicas : rc.replicas, p.offered_mean_rps,
+        p.answered_rps, p.admitted_latency.p99_us,
+        p.admission.shed_rate(), p.max_replicas_seen, p.replica_seconds,
+        p.idle_replica_seconds, p.admission.to_json().c_str(),
+        events_json(p).c_str(), timeline_json(p).c_str());
+    buf.resize(n > 0 ? static_cast<std::size_t>(n) : 0);
+    emit(buf);
+  }
+  std::printf("autoscale vs fixed-min answered: %.2fx; autoscale vs "
+              "fixed-max idle replica-seconds: %.2fx\n",
+              fixed_min_answered > 0 ? autoscale_answered / fixed_min_answered
+                                     : 0.0,
+              fixed_max_idle > 0 ? autoscale_idle / fixed_max_idle : 0.0);
+
   std::printf(
       "\nExpected shape: (1) the cache-off p99 departs first as offered "
       "load approaches the store's service rate while ~60%% LRU hit rates "
@@ -604,7 +790,11 @@ int main(int argc, char** argv) {
       "overload — the excess becomes kLow shed rate, not queue delay; "
       "(4) the int8 codec's ~3.6x cache-capacity multiplier lifts the hit "
       "rate at the same byte budget, cutting preads and raising throughput, "
-      "while top-1 agreement stays >= 99%%.\n");
+      "while top-1 agreement stays >= 99%%; (5) the elastic fleet rides the "
+      "ramp — answering like fixed-max during the 2.5x phase (beating "
+      "fixed-min on answered_rps) while idling like fixed-min through the "
+      "0.5x phases (beating fixed-max on idle replica-seconds), with the "
+      "spawn/retire timeline in the JSON.\n");
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);

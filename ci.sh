@@ -13,6 +13,14 @@
 #                              codec + byte-budget LRU cache, and the gate
 #                              additionally bounds top-1 disagreement vs
 #                              fp32 (>= 99%)
+#   SERVE_AUTOSCALE=1          smoke the elastic fleet instead of a fixed
+#                              one: serve_cli --autoscale drives the staged
+#                              0.5x->2.5x->0.5x ramp over a file store +
+#                              LRU caches, so concurrent spawn / cache-warm
+#                              / drain / submit paths are exercised (the
+#                              tsan-autoscale CI leg runs this under the
+#                              race detector); the machine-relative gate
+#                              still calibrates this runner's own baseline
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -20,6 +28,7 @@ BUILD_TYPE="${BUILD_TYPE:-Release}"
 SANITIZE="${SANITIZE:-}"
 BENCH_JSON="${BENCH_JSON:-BENCH_serving.json}"
 SERVE_PRECISION="${SERVE_PRECISION:-fp32}"
+SERVE_AUTOSCALE="${SERVE_AUTOSCALE:-0}"
 
 CMAKE_FLAGS=(-DCMAKE_BUILD_TYPE="${BUILD_TYPE}")
 if [[ -n "${SANITIZE}" ]]; then
@@ -36,18 +45,35 @@ cmake --build build -j "$(nproc)"
 echo "== tier-1 tests =="
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
-echo "== serve_cli smoke (2 replicas, precision=${SERVE_PRECISION}) =="
-# Machine-relative gate: serve_cli measures this runner's own single-replica
-# throughput first and requires the replicated run to hold >= 90% of it, so
-# a loaded shared runner (or a sanitizer build) moves both sides of the
-# comparison instead of tripping an absolute req/s floor.
-SMOKE_FLAGS=(--nodes=20000 --requests=30000 --replicas=2 --gate=relative
-             --precision="${SERVE_PRECISION}")
-if [[ "${SERVE_PRECISION}" == "int8" ]]; then
-  # Exercise the whole int8 deployment: quantized checkpoint, int8 row
-  # codec on the file store, and the byte-budget cache that holds ~4x
-  # more quantized rows.
-  SMOKE_FLAGS+=(--source=file --cache=lru)
+if [[ "${SERVE_AUTOSCALE}" == "1" ]]; then
+  echo "== serve_cli autoscale smoke (staged ramp, 1..4 replicas) =="
+  # The elastic-fleet smoke: a 6s staged load ramp against min=1..max=4
+  # replicas over the file store + per-replica LRU caches, so every
+  # lifecycle path runs — spawn (with peer cache warm-up), drain, retire —
+  # concurrently with 2ms-budget admission.  The gate stays
+  # machine-relative: serve_cli calibrates this runner's single-replica
+  # saturation and floors the ramp's answered rate against it (scaled by
+  # the runner's core budget, so a tiny runner degrades the floor instead
+  # of flaking).
+  SMOKE_FLAGS=(--nodes=20000 --requests=30000 --gate=relative
+               --autoscale --min-replicas 1 --max-replicas 4
+               --source=file --cache=lru
+               --precision="${SERVE_PRECISION}")
+else
+  echo "== serve_cli smoke (2 replicas, precision=${SERVE_PRECISION}) =="
+  # Machine-relative gate: serve_cli measures this runner's own
+  # single-replica throughput first and requires the replicated run to hold
+  # >= 90% of it, so a loaded shared runner (or a sanitizer build) moves
+  # both sides of the comparison instead of tripping an absolute req/s
+  # floor.
+  SMOKE_FLAGS=(--nodes=20000 --requests=30000 --replicas=2 --gate=relative
+               --precision="${SERVE_PRECISION}")
+  if [[ "${SERVE_PRECISION}" == "int8" ]]; then
+    # Exercise the whole int8 deployment: quantized checkpoint, int8 row
+    # codec on the file store, and the byte-budget cache that holds ~4x
+    # more quantized rows.
+    SMOKE_FLAGS+=(--source=file --cache=lru)
+  fi
 fi
 ./build/serve_cli "${SMOKE_FLAGS[@]}"
 

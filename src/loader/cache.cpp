@@ -19,6 +19,16 @@ bool StaticCache::access(std::int64_t row) {
   return pinned_.count(row) > 0;
 }
 
+std::vector<std::int64_t> StaticCache::hot_rows(std::size_t k) const {
+  std::vector<std::int64_t> out;
+  out.reserve(std::min(k, pinned_.size()));
+  for (const auto& [row, _] : pinned_) {
+    if (out.size() == k) break;
+    out.push_back(row);
+  }
+  return out;
+}
+
 LruCache::LruCache(std::size_t capacity_bytes, std::size_t row_bytes)
     : capacity_bytes_(capacity_bytes),
       row_bytes_(row_bytes),
@@ -48,6 +58,16 @@ bool LruCache::access(std::int64_t row, std::int64_t* evicted) {
   order_.push_front(row);
   map_.emplace(row, order_.begin());
   return false;
+}
+
+std::vector<std::int64_t> LruCache::hot_rows(std::size_t k) const {
+  std::vector<std::int64_t> out;
+  out.reserve(std::min(k, map_.size()));
+  for (const auto row : order_) {  // front = most recent = hottest
+    if (out.size() == k) break;
+    out.push_back(row);
+  }
+  return out;
 }
 
 HitRateReport replay(RowCache& cache,

@@ -46,6 +46,14 @@ class RowCache {
   // Whether `row` is currently held (post-access membership, no state
   // change).  Payload callers use this to decide whether to retain bytes.
   virtual bool resident(std::int64_t row) const = 0;
+  // Up to `k` resident rows the policy considers hottest, hottest first
+  // (LRU: recency order; static: the pin set, unordered).  Used to seed a
+  // newly spawned replica's cache from its peers — the sample is advisory,
+  // so a policy with no notion of heat may return fewer rows or none.
+  virtual std::vector<std::int64_t> hot_rows(std::size_t k) const {
+    (void)k;
+    return {};
+  }
   // Maximum resident rows under the byte budget.
   virtual std::size_t capacity() const = 0;
   // The byte budget and the per-row cost it is divided by.
@@ -66,6 +74,7 @@ class StaticCache : public RowCache {
   bool resident(std::int64_t row) const override {
     return pinned_.count(row) > 0;
   }
+  std::vector<std::int64_t> hot_rows(std::size_t k) const override;
   std::size_t capacity() const override { return pinned_.size(); }
   std::size_t capacity_bytes() const override {
     return pinned_.size() * row_bytes_;
@@ -88,6 +97,7 @@ class LruCache : public RowCache {
   bool resident(std::int64_t row) const override {
     return map_.count(row) > 0;
   }
+  std::vector<std::int64_t> hot_rows(std::size_t k) const override;
   std::size_t capacity() const override { return max_rows_; }
   std::size_t capacity_bytes() const override { return capacity_bytes_; }
   std::size_t row_bytes() const override { return row_bytes_; }

@@ -178,6 +178,48 @@ void CachedSource::warm(const std::vector<std::int64_t>& rows) {
   }
 }
 
+std::vector<std::pair<std::int64_t, std::vector<std::uint8_t>>>
+CachedSource::export_hot_payloads(std::size_t k) const {
+  std::vector<std::pair<std::int64_t, std::vector<std::uint8_t>>> out;
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto hot = policy_->hot_rows(k);
+  out.reserve(hot.size());
+  for (const auto row : hot) {
+    const auto it = payload_.find(row);
+    // The policy may consider a row hot whose payload was declined or
+    // dropped (StaticCache pins without bytes until first touch); only
+    // rows with bytes on hand are exportable.
+    if (it != payload_.end()) out.emplace_back(row, it->second);
+  }
+  return out;
+}
+
+std::size_t CachedSource::admit_payloads(
+    const std::vector<std::pair<std::int64_t, std::vector<std::uint8_t>>>&
+        entries) {
+  const std::size_t prb = payload_row_bytes();
+  std::size_t admitted = 0;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [row, bytes] : entries) {
+    if (bytes.size() != prb) {
+      throw std::invalid_argument(
+          "CachedSource::admit_payloads: payload size disagrees with this "
+          "source's row encoding (peer fleet built over a different codec?)");
+    }
+    if (row < 0 || static_cast<std::size_t>(row) >= backing_->num_rows()) {
+      throw std::out_of_range("CachedSource::admit_payloads: row id");
+    }
+    std::int64_t evicted = -1;
+    policy_->access(row, &evicted);
+    if (evicted >= 0) payload_.erase(evicted);
+    if (policy_->resident(row)) {
+      payload_[row] = bytes;
+      ++admitted;
+    }
+  }
+  return admitted;
+}
+
 FeatureCacheStats aggregate_cache_stats(
     const std::vector<const CachedSource*>& caches) {
   FeatureCacheStats total;

@@ -150,8 +150,24 @@ class CachedSource : public FeatureSource {
   const FeatureSource& backing() const { return *backing_; }
 
   // Pre-populates payloads for rows the policy will retain (e.g. a
-  // StaticCache pin set) so the first requests already hit.
+  // StaticCache pin set) so the first requests already hit.  Fetches the
+  // rows from the backing source.
   void warm(const std::vector<std::int64_t>& rows);
+
+  // Peer-to-peer warm-up for replica spin-up: a running replica exports a
+  // sample of its hottest resident rows — the bytes as held, i.e. ENCODED
+  // when the backing has a compact codec, so int8 and fp32 fleets warm the
+  // same way without a decode/re-encode round trip — and a Warming replica
+  // admits them without touching the store.  Admission runs the receiver's
+  // own policy (rows it declines are dropped) and rejects payloads whose
+  // size disagrees with this source's row encoding; returns how many rows
+  // became resident.  Neither side's access/hit statistics move: warm
+  // traffic is bookkeeping, not workload.
+  std::vector<std::pair<std::int64_t, std::vector<std::uint8_t>>>
+  export_hot_payloads(std::size_t k) const;
+  std::size_t admit_payloads(
+      const std::vector<std::pair<std::int64_t, std::vector<std::uint8_t>>>&
+          entries);
 
  private:
   // Bytes one resident row costs (encoded size if the backing has one,

@@ -114,6 +114,57 @@ void load_deployed_model(core::PpModel& model, const std::string& path) {
   nn::load_parameters(slots, path);
 }
 
+FleetBuilder::FleetBuilder(std::string checkpoint_path, MakeModel make_model,
+                           MakeSource make_source, Precision precision)
+    : checkpoint_path_(std::move(checkpoint_path)),
+      make_model_(std::move(make_model)),
+      make_source_(std::move(make_source)),
+      precision_(precision) {
+  if (!make_model_ || !make_source_) {
+    throw std::invalid_argument("FleetBuilder: null model or source factory");
+  }
+}
+
+std::unique_ptr<InferenceSession> FleetBuilder::build(std::size_t ordinal) {
+  auto model = make_model_(ordinal);
+  if (!model) {
+    throw std::invalid_argument("FleetBuilder: make_model returned null");
+  }
+  load_deployed_model(*model, checkpoint_path_);
+  if (precision_ == Precision::kInt8) {
+    if (!donor_) {
+      // First build pays the quantization once; the donor stays alive so
+      // every later spawn — possibly seconds into the serving run — shares
+      // the same immutable blocks instead of re-quantizing (which would be
+      // bit-identical anyway, but why redo it per spawn).
+      donor_ = make_model_(ordinal);
+      if (!donor_) {
+        throw std::invalid_argument("FleetBuilder: make_model returned null");
+      }
+      load_deployed_model(*donor_, checkpoint_path_);
+      core::quantize_int8(*donor_);
+    }
+    core::share_quantized_weights(*model, *donor_);
+  }
+  auto source = make_source_(ordinal);
+  if (!source) {
+    throw std::invalid_argument("FleetBuilder: make_source returned null");
+  }
+  return std::make_unique<InferenceSession>(std::move(model),
+                                            std::move(source), precision_);
+}
+
+std::vector<std::unique_ptr<InferenceSession>> FleetBuilder::build_n(
+    std::size_t n) {
+  if (n == 0) {
+    throw std::invalid_argument("FleetBuilder: zero replicas");
+  }
+  std::vector<std::unique_ptr<InferenceSession>> sessions;
+  sessions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) sessions.push_back(build(i));
+  return sessions;
+}
+
 std::vector<std::unique_ptr<InferenceSession>> make_replica_sessions(
     std::size_t n, const std::string& checkpoint_path,
     const std::function<std::unique_ptr<core::PpModel>(std::size_t)>&
@@ -121,38 +172,8 @@ std::vector<std::unique_ptr<InferenceSession>> make_replica_sessions(
     const std::function<std::unique_ptr<FeatureSource>(std::size_t)>&
         make_source,
     Precision precision) {
-  if (n == 0) {
-    throw std::invalid_argument("make_replica_sessions: zero replicas");
-  }
-  // Build and load all models first: the int8 path quantizes replica 0 and
-  // points every sibling at the same immutable quantized blocks.
-  std::vector<std::unique_ptr<core::PpModel>> models;
-  models.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    auto model = make_model(i);
-    if (!model) {
-      throw std::invalid_argument("make_replica_sessions: null model");
-    }
-    load_deployed_model(*model, checkpoint_path);
-    models.push_back(std::move(model));
-  }
-  if (precision == Precision::kInt8) {
-    core::quantize_int8(*models[0]);
-    for (std::size_t i = 1; i < n; ++i) {
-      core::share_quantized_weights(*models[i], *models[0]);
-    }
-  }
-  std::vector<std::unique_ptr<InferenceSession>> sessions;
-  sessions.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    auto source = make_source(i);
-    if (!source) {
-      throw std::invalid_argument("make_replica_sessions: null source");
-    }
-    sessions.push_back(std::make_unique<InferenceSession>(
-        std::move(models[i]), std::move(source), precision));
-  }
-  return sessions;
+  return FleetBuilder(checkpoint_path, make_model, make_source, precision)
+      .build_n(n);
 }
 
 }  // namespace ppgnn::serve

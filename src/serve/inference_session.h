@@ -91,19 +91,58 @@ void save_deployed_model(core::PpModel& model, const std::string& path,
                          Precision precision = Precision::kFp32);
 void load_deployed_model(core::PpModel& model, const std::string& path);
 
-// Builds n sessions with identical weights for a ReplicaSet:
-// make_model(replica) constructs each replica's model (any init — it is
-// overwritten from the checkpoint at `checkpoint_path`, the same
-// deployment round trip a single session uses) and make_source(replica)
-// its private FeatureSource.  Per-replica sources are the point: a
-// CachedSource built per replica gives each its own RowCache, which
-// cache_affinity routing then specializes on a key-space shard.
+// Recipe for stamping out identical replica sessions — at fleet
+// construction AND at any later scale-up, which is why this replaced the
+// build-once make_replica_sessions as the fleet's deployment surface.
 //
-// With Precision::kInt8 the first replica's model is quantized
-// (core::quantize_int8) and every other replica adopts its immutable
-// quantized weight blocks (share_quantized_weights) — the fleet holds ONE
-// int8 copy of the weights no matter how many replicas run, and all
-// replicas answer bit-identically to each other by construction.
+// make_model(ordinal) constructs a model shell (any init — it is
+// overwritten from the checkpoint at `checkpoint_path`, the same
+// deployment round trip a single session uses) and make_source(ordinal)
+// the replica's private FeatureSource.  Per-replica sources are the
+// point: a CachedSource built per replica gives each its own RowCache,
+// which cache_affinity routing then specializes on a key-space shard.
+// Ordinals increase monotonically across the builder's lifetime (the
+// FleetManager passes generation ids), so the callbacks can seed
+// per-replica state distinctly.
+//
+// With Precision::kInt8 the builder quantizes ONE donor model on first
+// build (core::quantize_int8) and every session built — first fleet and
+// every autoscaled spawn alike — adopts the donor's immutable quantized
+// weight blocks (share_quantized_weights).  The fleet holds one int8 copy
+// of the weights no matter how many replicas ever run, a spawned
+// replica's weights cost only the shared_ptr bump, and all replicas
+// answer bit-identically to each other by construction.
+//
+// NOT thread-safe: the FleetManager serializes build() calls behind its
+// admin lock (builds never touch the submit hot path).
+class FleetBuilder {
+ public:
+  using MakeModel =
+      std::function<std::unique_ptr<core::PpModel>(std::size_t)>;
+  using MakeSource =
+      std::function<std::unique_ptr<FeatureSource>(std::size_t)>;
+
+  FleetBuilder(std::string checkpoint_path, MakeModel make_model,
+               MakeSource make_source,
+               Precision precision = Precision::kFp32);
+
+  std::unique_ptr<InferenceSession> build(std::size_t ordinal);
+  std::vector<std::unique_ptr<InferenceSession>> build_n(std::size_t n);
+
+  Precision precision() const { return precision_; }
+
+ private:
+  std::string checkpoint_path_;
+  MakeModel make_model_;
+  MakeSource make_source_;
+  Precision precision_;
+  // kInt8 only: loaded + quantized once, kept alive as the source of the
+  // shared weight blocks for every subsequent build.
+  std::unique_ptr<core::PpModel> donor_;
+};
+
+// Compatibility shim over FleetBuilder::build_n for fixed fleets built in
+// one shot (tests, precision-drift harnesses).
 std::vector<std::unique_ptr<InferenceSession>> make_replica_sessions(
     std::size_t n, const std::string& checkpoint_path,
     const std::function<std::unique_ptr<core::PpModel>(std::size_t)>&

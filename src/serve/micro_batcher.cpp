@@ -47,13 +47,25 @@ Admission MicroBatcher::try_submit(std::int64_t node, Priority pri) {
   auto fut = p.result.get_future();
   const bool shedding = cfg_.shed_budget.count() > 0;
   bool accepted = true;
+  RejectReason reason = RejectReason::kNone;
   {
     std::unique_lock<std::mutex> lk(mu_);
     if (!shedding) {
-      // Backpressure mode: block for space, always accept.
+      // Backpressure mode: block for space, always accept — unless the
+      // replica starts draining, which must wake blocked waiters and turn
+      // them away (they re-route; see begin_drain in the header).
       cv_space_.wait(lk, [this] {
-        return stop_ || queued_locked() < cfg_.queue_capacity;
+        return stop_ || draining_ || queued_locked() < cfg_.queue_capacity;
       });
+      // Draining outranks stopped: a retired replica's batcher is both,
+      // and a straggler routed by a pre-resize snapshot (it may have slept
+      // through the whole drain) must get the re-routable bounce, not the
+      // "server shut down" error reserved for a stopped fleet.
+      if (draining_) {
+        Admission a;
+        a.reason = RejectReason::kDraining;
+        return a;
+      }
       if (stop_) throw std::runtime_error("MicroBatcher: stopped");
       // One FIFO regardless of class (see Priority in the header): a
       // strict-priority drain without a drop policy would let sustained
@@ -62,6 +74,11 @@ Admission MicroBatcher::try_submit(std::int64_t node, Priority pri) {
           std::move(p));
       ++counters_.admission.admitted;
     } else {
+      if (draining_) {  // outranks stopped; see the backpressure branch
+        Admission a;
+        a.reason = RejectReason::kDraining;
+        return a;
+      }
       if (stop_) throw std::runtime_error("MicroBatcher: stopped");
       const auto now = std::chrono::steady_clock::now();
       // Drop-head: shed kLow entries that have themselves outlived the
@@ -85,6 +102,7 @@ Admission MicroBatcher::try_submit(std::int64_t node, Priority pri) {
       if (over_budget_locked(now) ||
           queued_locked() >= cfg_.queue_capacity) {
         accepted = false;
+        reason = RejectReason::kOverload;
         ++counters_.admission.rejected;
       } else {
         queues_[static_cast<std::size_t>(pri)].push_back(std::move(p));
@@ -102,6 +120,7 @@ Admission MicroBatcher::try_submit(std::int64_t node, Priority pri) {
   if (accepted) cv_arrival_.notify_one();
   Admission a;
   a.accepted = accepted;
+  a.reason = reason;
   if (accepted) a.result = std::move(fut);
   return a;
 }
@@ -154,6 +173,16 @@ std::vector<MicroBatcher::Pending> MicroBatcher::next_batch() {
     in_service_ = take;  // cleared by the dispatcher once answered
     lk.unlock();
     cv_space_.notify_all();
+    if (stats_) {
+      // Queue delay (enqueue -> dispatch) is the overload signal the
+      // autoscaler watches; record it at the moment the wait ends.
+      const auto now = std::chrono::steady_clock::now();
+      for (const Pending& p : batch) {
+        stats_->record_queue_delay(
+            std::chrono::duration<double, std::micro>(now - p.enqueued)
+                .count());
+      }
+    }
     return batch;
   }
 }
@@ -190,6 +219,20 @@ void MicroBatcher::dispatcher_loop() {
   }
 }
 
+void MicroBatcher::begin_drain() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    draining_ = true;
+  }
+  // Wake backpressure-blocked submitters so they can re-route.
+  cv_space_.notify_all();
+}
+
+bool MicroBatcher::draining() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return draining_;
+}
+
 void MicroBatcher::stop() {
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -215,6 +258,11 @@ BatchCounters MicroBatcher::counters() const {
 std::size_t MicroBatcher::queue_depth() const {
   std::lock_guard<std::mutex> lk(mu_);
   return queued_locked() + in_service_;
+}
+
+std::size_t MicroBatcher::queued() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queued_locked();
 }
 
 }  // namespace ppgnn::serve

@@ -89,10 +89,21 @@ struct BatchCounters {
   }
 };
 
+// Why a non-throwing submit was refused.  kOverload is the admission
+// verdict proper (queue-delay budget or capacity — the client should back
+// off).  kDraining is a lifecycle artifact: the replica is being retired
+// and was already removed from the routing membership; the submitter
+// raced a stale snapshot and should re-route against a fresh one (the
+// FleetManager does this transparently).  Draining refusals are therefore
+// NOT counted as rejections — the request is not lost, just re-homed —
+// so they cannot pollute the shed-rate signal the autoscaler watches.
+enum class RejectReason : std::uint8_t { kNone, kOverload, kDraining };
+
 // Outcome of a non-throwing submit.  On rejection `result` is an invalid
 // future (valid() == false) — check `accepted` first.
 struct Admission {
   bool accepted = false;
+  RejectReason reason = RejectReason::kNone;
   std::future<std::vector<float>> result;
 };
 
@@ -123,6 +134,16 @@ class MicroBatcher {
   // Convenience closed-loop client call.
   std::vector<float> infer_blocking(std::int64_t node);
 
+  // Enters draining: every subsequent try_submit returns
+  // {accepted=false, reason=kDraining} immediately (blocked backpressure
+  // waiters wake and return the same), while everything already admitted
+  // — kHigh and kLow alike — still dispatches and completes.  The first
+  // step of replica retirement: the fleet unpublishes the replica, calls
+  // begin_drain() to bounce racing submitters onto a fresh snapshot, then
+  // stop() to finish the queue.  Idempotent.
+  void begin_drain();
+  bool draining() const;
+
   // Drains everything already admitted, then joins the dispatcher.
   // Idempotent.
   void stop();
@@ -133,6 +154,11 @@ class MicroBatcher {
   // counting the in-service batch is what lets a replica stuck on a slow
   // batch (cold cache, page-cache miss) stop receiving new work.
   std::size_t queue_depth() const;
+  // Queued only, in-service excluded — the autoscaler's idle signal.  A
+  // healthy replica at moderate load keeps a batch in service almost
+  // continuously, so queue_depth() > 0 nearly always; what distinguishes
+  // over-provisioning is work *waiting* behind the current batch.
+  std::size_t queued() const;
 
  private:
   struct Pending {
@@ -169,6 +195,7 @@ class MicroBatcher {
   std::size_t in_service_ = 0;          // size of the batch being served
   BatchCounters counters_;
   bool stop_ = false;
+  bool draining_ = false;
 
   std::thread dispatcher_;
 };

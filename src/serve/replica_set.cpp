@@ -1,48 +1,143 @@
 #include "serve/replica_set.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <unordered_set>
 #include <utility>
+
+#include "serve/feature_source.h"
 
 namespace ppgnn::serve {
 
-ReplicaSet::ReplicaSet(
-    std::vector<std::unique_ptr<InferenceSession>> sessions,
-    const ReplicaSetConfig& cfg) {
-  if (sessions.empty()) {
-    throw std::invalid_argument("ReplicaSet: no sessions");
+const char* replica_state_name(ReplicaState s) {
+  switch (s) {
+    case ReplicaState::kWarming:
+      return "warming";
+    case ReplicaState::kActive:
+      return "active";
+    case ReplicaState::kDraining:
+      return "draining";
+    case ReplicaState::kRetired:
+      return "retired";
   }
-  replicas_.reserve(sessions.size());
+  return "?";
+}
+
+FleetManager::FleetManager(FleetBuilder builder, std::size_t initial_replicas,
+                           const FleetConfig& cfg)
+    : builder_(std::make_unique<FleetBuilder>(std::move(builder))) {
+  if (initial_replicas == 0) {
+    throw std::invalid_argument("FleetManager: zero initial replicas");
+  }
+  auto sessions = builder_->build_n(initial_replicas);
+  init(std::move(sessions), cfg);
+}
+
+FleetManager::FleetManager(
+    std::vector<std::unique_ptr<InferenceSession>> sessions,
+    const FleetConfig& cfg) {
+  if (cfg.autoscale.enabled) {
+    throw std::invalid_argument(
+        "FleetManager: autoscaling needs a FleetBuilder (a fleet built from "
+        "pre-made sessions has no recipe to spawn more)");
+  }
+  init(std::move(sessions), cfg);
+}
+
+void FleetManager::init(std::vector<std::unique_ptr<InferenceSession>> sessions,
+                        const FleetConfig& cfg) {
+  if (sessions.empty()) {
+    throw std::invalid_argument("FleetManager: no sessions");
+  }
+  cfg_ = cfg;
+  precision_ = cfg.precision;
+  started_at_ = std::chrono::steady_clock::now();
+  router_ = make_router(cfg_.policy);
+
+  auto m = std::make_shared<Membership>();
+  m->epoch = 0;
   for (auto& session : sessions) {
     if (!session) {
-      throw std::invalid_argument("ReplicaSet: null session");
+      throw std::invalid_argument("FleetManager: null session");
     }
-    if (session->precision() != cfg.precision) {
+    if (session->precision() != cfg_.precision) {
       throw std::invalid_argument(
-          "ReplicaSet: session precision disagrees with config (build the "
-          "fleet with make_replica_sessions at the configured precision)");
+          "FleetManager: session precision disagrees with config (build the "
+          "fleet with a FleetBuilder at the configured precision)");
     }
-    auto r = std::make_unique<Replica>();
-    r->session = std::move(session);
-    r->stats = std::make_unique<ServerStats>();
-    r->batcher = std::make_unique<MicroBatcher>(*r->session, cfg.batch,
-                                                r->stats.get());
-    replicas_.push_back(std::move(r));
+    auto h = make_handle(std::move(session));
+    h->state.store(ReplicaState::kActive, std::memory_order_release);
+    h->activated_at = started_at_;
+    h->first_window_measured = true;  // initial fleet: nothing to compare
+    m->replicas.push_back(h);
+    all_handles_.push_back(h);
+    record_event(/*spawned=*/true, *h, m->epoch, m->replicas.size());
   }
-  router_ = make_router(cfg.policy, replicas_.size());
+  m->ring = ring_over(m->replicas);
+  std::atomic_store(&membership_, std::shared_ptr<const Membership>(std::move(m)));
+
+  if (cfg_.autoscale.enabled) {
+    autoscaler_ = std::make_unique<AutoscalePolicy>(cfg_.autoscale);
+    controller_ = std::thread([this] { controller_loop(); });
+  }
 }
 
-ReplicaSet::~ReplicaSet() { stop(); }
+FleetManager::~FleetManager() { stop(); }
 
-Admission ReplicaSet::try_submit(std::int64_t node, Priority pri) {
-  const std::size_t i = router_->route(node, [this](std::size_t j) {
-    return replicas_[j]->batcher->queue_depth();
-  });
-  replicas_[i]->routed.fetch_add(1, std::memory_order_relaxed);
-  return replicas_[i]->batcher->try_submit(node, pri);
+std::shared_ptr<FleetManager::ReplicaHandle> FleetManager::make_handle(
+    std::unique_ptr<InferenceSession> session) {
+  auto h = std::make_shared<ReplicaHandle>();
+  h->generation = next_generation_++;
+  h->session = std::move(session);
+  h->stats = std::make_unique<ServerStats>(cfg_.stats_window);
+  h->batcher = std::make_unique<MicroBatcher>(*h->session, cfg_.batch,
+                                              h->stats.get());
+  return h;
 }
 
-std::future<std::vector<float>> ReplicaSet::submit(std::int64_t node,
-                                                   Priority pri) {
+HashRing FleetManager::ring_over(
+    const std::vector<std::shared_ptr<ReplicaHandle>>& replicas) {
+  std::vector<std::uint64_t> generations;
+  generations.reserve(replicas.size());
+  for (const auto& h : replicas) generations.push_back(h->generation);
+  return HashRing(generations);
+}
+
+std::shared_ptr<const FleetManager::Membership> FleetManager::current() const {
+  auto m = std::atomic_load(&membership_);
+  if (!m || m->replicas.empty()) {
+    throw std::runtime_error("FleetManager: stopped");
+  }
+  return m;
+}
+
+Admission FleetManager::try_submit(std::int64_t node, Priority pri) {
+  // The hot path: one atomic snapshot load, route, submit.  No lock is
+  // shared with the scaling path — a resize publishes a fresh snapshot
+  // instead of mutating this one.  A submit that races a retirement may
+  // reach the draining replica's batcher; it answers kDraining (nothing
+  // recorded, nothing lost) and the retry's fresh snapshot no longer
+  // contains the drained replica, so the loop terminates.
+  for (;;) {
+    const auto m = current();
+    const QueueDepthFn depth = [&m](std::size_t i) {
+      return m->replicas[i]->batcher->queue_depth();
+    };
+    RouteTargets targets;
+    targets.count = m->replicas.size();
+    targets.queue_depth = &depth;
+    targets.ring = &m->ring;
+    const std::size_t i = router_->route(node, targets);
+    ReplicaHandle& h = *m->replicas[i];
+    h.routed.fetch_add(1, std::memory_order_relaxed);
+    Admission a = h.batcher->try_submit(node, pri);
+    if (!a.accepted && a.reason == RejectReason::kDraining) continue;
+    return a;
+  }
+}
+
+std::future<std::vector<float>> FleetManager::submit(std::int64_t node,
+                                                     Priority pri) {
   Admission a = try_submit(node, pri);
   if (!a.accepted) {
     throw RejectedError("rejected at admission: queue-delay budget exceeded");
@@ -50,40 +145,227 @@ std::future<std::vector<float>> ReplicaSet::submit(std::int64_t node,
   return std::move(a.result);
 }
 
-std::vector<float> ReplicaSet::infer_blocking(std::int64_t node) {
+std::vector<float> FleetManager::infer_blocking(std::int64_t node) {
   return submit(node).get();
 }
 
-void ReplicaSet::stop() {
-  for (auto& r : replicas_) r->batcher->stop();
+std::size_t FleetManager::warm_from_peers(ReplicaHandle& fresh,
+                                          const Membership& current_members,
+                                          const HashRing& next_ring) {
+  if (cfg_.warm_keys == 0) return 0;
+  auto* dst = dynamic_cast<CachedSource*>(&fresh.session->features());
+  if (!dst) return 0;
+  // The fresh replica occupies the last slot of the next membership; under
+  // cache_affinity only the rows the new ring assigns THERE are worth
+  // copying (the rest stay home on their peers).  Other policies spread
+  // every node everywhere, so any peer-hot row is a useful seed.
+  const std::size_t new_index = current_members.replicas.size();
+  const bool ring_filter = cfg_.policy == RoutingPolicy::kCacheAffinity;
+  std::vector<std::pair<std::int64_t, std::vector<std::uint8_t>>> batch;
+  std::unordered_set<std::int64_t> seen;
+  for (const auto& peer : current_members.replicas) {
+    auto* src = dynamic_cast<CachedSource*>(&peer->session->features());
+    if (!src) continue;
+    for (auto& [row, bytes] : src->export_hot_payloads(cfg_.warm_keys)) {
+      if (batch.size() >= cfg_.warm_keys) break;
+      if (ring_filter && next_ring.lookup(row) != new_index) continue;
+      if (!seen.insert(row).second) continue;
+      batch.emplace_back(row, std::move(bytes));
+    }
+    if (batch.size() >= cfg_.warm_keys) break;
+  }
+  return dst->admit_payloads(batch);
 }
 
-ReplicaSnapshot ReplicaSet::replica_snapshot(std::size_t i) const {
-  const Replica& r = *replicas_.at(i);
+std::uint64_t FleetManager::scale_up() {
+  std::lock_guard<std::mutex> lk(admin_mu_);
+  if (stopped_) throw std::runtime_error("FleetManager: stopped");
+  if (!builder_) {
+    throw std::logic_error(
+        "FleetManager: fixed fleet has no FleetBuilder to spawn from");
+  }
+  const auto m = std::atomic_load(&membership_);
+  // Build off the submit path: traffic keeps flowing against the current
+  // snapshot while the new session loads shared weights and warms up.
+  auto h = make_handle(builder_->build(next_generation_));
+  h->spawned_dynamic = true;
+
+  auto next = std::make_shared<Membership>();
+  next->epoch = m->epoch + 1;
+  next->replicas = m->replicas;
+  next->replicas.push_back(h);
+  next->ring = ring_over(next->replicas);
+
+  // Warming -> Active: pre-fill the private cache from peers before the
+  // first request can arrive, and snapshot the cache counters so the
+  // first-window hit rate (warm-up's report card) has a baseline.
+  h->warmed_keys = warm_from_peers(*h, *m, next->ring);
+  if (auto* c = dynamic_cast<CachedSource*>(&h->session->features())) {
+    h->cache_at_activation = c->stats();
+  } else {
+    h->first_window_measured = true;  // no cache, nothing to measure
+  }
+  h->activated_at = std::chrono::steady_clock::now();
+  h->state.store(ReplicaState::kActive, std::memory_order_release);
+
+  all_handles_.push_back(h);
+  std::atomic_store(&membership_, std::shared_ptr<const Membership>(next));
+  record_event(/*spawned=*/true, *h, next->epoch, next->replicas.size());
+  return h->generation;
+}
+
+std::uint64_t FleetManager::scale_down() {
+  std::lock_guard<std::mutex> lk(admin_mu_);
+  if (stopped_) throw std::runtime_error("FleetManager: stopped");
+  const auto m = std::atomic_load(&membership_);
+  if (m->replicas.size() <= 1) {
+    throw std::logic_error("FleetManager: cannot scale below one replica");
+  }
+  // Retire the youngest replica (membership is in spawn order): the
+  // longest-lived caches are the most specialized and the most worth
+  // keeping, and under the ring the youngest's arcs flow back to exactly
+  // the peers that donated them at its spawn.
+  auto victim = m->replicas.back();
+  victim->state.store(ReplicaState::kDraining, std::memory_order_release);
+
+  auto next = std::make_shared<Membership>();
+  next->epoch = m->epoch + 1;
+  next->replicas.assign(m->replicas.begin(), m->replicas.end() - 1);
+  next->ring = ring_over(next->replicas);
+  // Unpublish first, then drain: after this store no fresh snapshot routes
+  // here, so the drain only has to bounce the stragglers already holding
+  // the old snapshot.
+  std::atomic_store(&membership_, std::shared_ptr<const Membership>(next));
+  victim->batcher->begin_drain();
+  victim->batcher->stop();  // admitted work completes; dispatcher joins
+  victim->state.store(ReplicaState::kRetired, std::memory_order_release);
+  record_event(/*spawned=*/false, *victim, next->epoch,
+               next->replicas.size());
+  return victim->generation;
+}
+
+void FleetManager::stop() {
+  // Controller first (it may be mid-scale, holding admin_mu_ — which is
+  // why this join happens before we take it).
+  {
+    std::lock_guard<std::mutex> lk(controller_mu_);
+    controller_stop_ = true;
+  }
+  controller_cv_.notify_all();
+  // Claim the thread under the lock so concurrent stop() calls (e.g. an
+  // explicit stop racing the destructor) can't both join it.
+  std::thread controller;
+  {
+    std::lock_guard<std::mutex> lk(controller_mu_);
+    controller = std::move(controller_);
+  }
+  if (controller.joinable()) controller.join();
+
+  std::vector<std::shared_ptr<ReplicaHandle>> handles;
+  {
+    std::lock_guard<std::mutex> lk(admin_mu_);
+    stopped_ = true;
+    handles = all_handles_;
+    auto empty = std::make_shared<Membership>();
+    const auto m = std::atomic_load(&membership_);
+    empty->epoch = m ? m->epoch + 1 : 0;
+    std::atomic_store(&membership_, std::shared_ptr<const Membership>(std::move(empty)));
+  }
+  for (auto& h : handles) {
+    h->batcher->stop();
+    h->state.store(ReplicaState::kRetired, std::memory_order_release);
+  }
+}
+
+std::size_t FleetManager::num_replicas() const {
+  const auto m = std::atomic_load(&membership_);
+  return m ? m->replicas.size() : 0;
+}
+
+std::uint64_t FleetManager::epoch() const {
+  const auto m = std::atomic_load(&membership_);
+  return m ? m->epoch : 0;
+}
+
+std::size_t FleetManager::home_replica(std::int64_t node) const {
+  return current()->ring.lookup(node);
+}
+
+ReplicaSnapshot FleetManager::snapshot_of(const ReplicaHandle& h) const {
   ReplicaSnapshot s;
-  s.routed = r.routed.load(std::memory_order_relaxed);
-  s.queue_depth = r.batcher->queue_depth();
-  s.batch = r.batcher->counters();
-  s.admission = r.stats->admission();
-  s.latency = r.stats->summary();
+  s.generation = h.generation;
+  s.state = h.state.load(std::memory_order_acquire);
+  s.routed = h.routed.load(std::memory_order_relaxed);
+  s.queue_depth = h.batcher->queue_depth();
+  s.batch = h.batcher->counters();
+  s.admission = h.stats->admission();
+  s.latency = h.stats->summary();
   return s;
 }
 
-void ReplicaSet::merge_stats(ServerStats& into) const {
-  for (const auto& r : replicas_) into.merge(*r->stats);
+ReplicaSnapshot FleetManager::replica_snapshot(std::size_t i) const {
+  const auto m = std::atomic_load(&membership_);
+  if (!m || i >= m->replicas.size()) {
+    throw std::out_of_range("FleetManager::replica_snapshot");
+  }
+  return snapshot_of(*m->replicas[i]);
 }
 
-LatencySummary ReplicaSet::aggregate_latency() const {
+const InferenceSession& FleetManager::replica_session(std::size_t i) const {
+  const auto m = std::atomic_load(&membership_);
+  if (!m || i >= m->replicas.size()) {
+    throw std::out_of_range("FleetManager::replica_session");
+  }
+  return *m->replicas[i]->session;
+}
+
+std::vector<ReplicaSnapshot> FleetManager::fleet_snapshot() const {
+  std::lock_guard<std::mutex> lk(admin_mu_);
+  std::vector<ReplicaSnapshot> out;
+  out.reserve(all_handles_.size());
+  for (const auto& h : all_handles_) out.push_back(snapshot_of(*h));
+  return out;
+}
+
+void FleetManager::record_event(bool spawned, const ReplicaHandle& h,
+                                std::uint64_t epoch,
+                                std::size_t replicas_after) {
+  FleetEvent e;
+  e.t_seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - started_at_)
+                    .count();
+  e.epoch = epoch;
+  e.spawned = spawned;
+  e.generation = h.generation;
+  e.replicas_after = replicas_after;
+  e.warmed_keys = h.warmed_keys;
+  std::lock_guard<std::mutex> lk(events_mu_);
+  events_.push_back(e);
+}
+
+std::vector<FleetEvent> FleetManager::events() const {
+  std::lock_guard<std::mutex> lk(events_mu_);
+  return events_;
+}
+
+LatencySummary FleetManager::aggregate_latency() const {
   ServerStats pooled;
-  merge_stats(pooled);
+  std::lock_guard<std::mutex> lk(admin_mu_);
+  // Generation-keyed: each replica's history folds in exactly once no
+  // matter how membership churned (see ServerStats::merge_once).
+  for (const auto& h : all_handles_) {
+    pooled.merge_once(*h->stats, h->generation);
+  }
   return pooled.summary();
 }
 
-AdmissionCounters ReplicaSet::aggregate_admission() const {
-  // Plain counter sums — no need to pool latency samples for this.
+AdmissionCounters FleetManager::aggregate_admission() const {
   AdmissionCounters total;
-  for (const auto& r : replicas_) {
-    const AdmissionCounters a = r->stats->admission();
+  std::unordered_set<std::uint64_t> seen;
+  std::lock_guard<std::mutex> lk(admin_mu_);
+  for (const auto& h : all_handles_) {
+    if (!seen.insert(h->generation).second) continue;
+    const AdmissionCounters a = h->stats->admission();
     total.admitted += a.admitted;
     total.rejected += a.rejected;
     total.shed += a.shed;
@@ -91,22 +373,183 @@ AdmissionCounters ReplicaSet::aggregate_admission() const {
   return total;
 }
 
-std::size_t ReplicaSet::aggregate_batches() const {
+std::size_t FleetManager::aggregate_batches() const {
+  std::lock_guard<std::mutex> lk(admin_mu_);
   std::size_t n = 0;
-  for (const auto& r : replicas_) n += r->stats->batches();
+  for (const auto& h : all_handles_) n += h->stats->batches();
   return n;
 }
 
-double ReplicaSet::aggregate_mean_batch_size() const {
+double FleetManager::aggregate_mean_batch_size() const {
+  std::lock_guard<std::mutex> lk(admin_mu_);
   std::size_t requests = 0, batches = 0;
-  for (const auto& r : replicas_) {
-    const BatchCounters c = r->batcher->counters();
+  for (const auto& h : all_handles_) {
+    const BatchCounters c = h->batcher->counters();
     requests += c.requests;
     batches += c.batches;
   }
   return batches ? static_cast<double>(requests) /
                        static_cast<double>(batches)
                  : 0.0;
+}
+
+FleetSignals FleetManager::signals() const {
+  FleetSignals s;
+  const auto m = std::atomic_load(&membership_);
+  if (!m) return s;
+  s.replicas = m->replicas.size();
+  s.batch_capacity =
+      std::max<std::size_t>(1, s.replicas * cfg_.batch.max_batch_size);
+  const auto now = std::chrono::steady_clock::now();
+  AdmissionCounters pooled;
+  double delay_sum = 0;
+  std::size_t delay_n = 0;
+  for (const auto& h : m->replicas) {
+    const WindowStats w = h->stats->window(now);
+    pooled.admitted += w.admission.admitted;
+    pooled.rejected += w.admission.rejected;
+    pooled.shed += w.admission.shed;
+    delay_sum += w.mean_queue_delay_us *
+                 static_cast<double>(w.queue_delay_samples);
+    delay_n += w.queue_delay_samples;
+    // Queued-only (in-service excluded): the idle decision must see work
+    // *waiting*, not the batch every healthy replica keeps in service.
+    s.queue_depth += h->batcher->queued();
+  }
+  s.shed_rate = pooled.shed_rate();
+  if (delay_n > 0) {
+    s.mean_queue_delay_us = delay_sum / static_cast<double>(delay_n);
+  }
+  return s;
+}
+
+WindowStats FleetManager::window_stats() const {
+  WindowStats w;
+  const auto m = std::atomic_load(&membership_);
+  if (!m) return w;
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<double> samples;
+  double delay_sum = 0;
+  double span_seconds = 1.0;
+  for (const auto& h : m->replicas) {
+    const WindowStats r = h->stats->window(now);
+    w.admission.admitted += r.admission.admitted;
+    w.admission.rejected += r.admission.rejected;
+    w.admission.shed += r.admission.shed;
+    delay_sum += r.mean_queue_delay_us *
+                 static_cast<double>(r.queue_delay_samples);
+    w.queue_delay_samples += r.queue_delay_samples;
+    const auto replica_samples = h->stats->windowed_latency_samples(now);
+    samples.insert(samples.end(), replica_samples.begin(),
+                   replica_samples.end());
+    span_seconds =
+        std::chrono::duration<double>(h->stats->window_span()).count();
+  }
+  if (w.queue_delay_samples > 0) {
+    w.mean_queue_delay_us =
+        delay_sum / static_cast<double>(w.queue_delay_samples);
+  }
+  w.latency.count = samples.size();
+  if (!samples.empty()) {
+    double sum = 0, mx = 0;
+    for (const double v : samples) {
+      sum += v;
+      if (v > mx) mx = v;
+    }
+    w.latency.mean_us = sum / static_cast<double>(samples.size());
+    w.latency.max_us = mx;
+    w.latency.p50_us = percentile(samples, 50);
+    w.latency.p95_us = percentile(samples, 95);
+    w.latency.p99_us = percentile(samples, 99);
+    w.latency.wall_seconds = span_seconds;
+    w.latency.throughput_rps =
+        static_cast<double>(samples.size()) / std::max(span_seconds, 1e-6);
+  }
+  return w;
+}
+
+std::size_t FleetManager::total_queue_depth() const {
+  const auto m = std::atomic_load(&membership_);
+  if (!m) return 0;
+  std::size_t depth = 0;
+  for (const auto& h : m->replicas) depth += h->batcher->queue_depth();
+  return depth;
+}
+
+std::size_t FleetManager::idle_replicas() const {
+  const auto m = std::atomic_load(&membership_);
+  if (!m) return 0;
+  std::size_t idle = 0;
+  for (const auto& h : m->replicas) {
+    if (h->batcher->queue_depth() == 0) ++idle;
+  }
+  return idle;
+}
+
+void FleetManager::measure_first_windows() {
+  std::vector<std::pair<std::uint64_t, double>> measured;
+  {
+    std::lock_guard<std::mutex> lk(admin_mu_);
+    const auto now = std::chrono::steady_clock::now();
+    for (const auto& h : all_handles_) {
+      if (!h->spawned_dynamic || h->first_window_measured) continue;
+      if (h->state.load(std::memory_order_acquire) != ReplicaState::kActive) {
+        continue;
+      }
+      if (now - h->activated_at < cfg_.stats_window) continue;
+      auto* c = dynamic_cast<CachedSource*>(&h->session->features());
+      h->first_window_measured = true;
+      if (!c) continue;
+      const FeatureCacheStats st = c->stats();
+      const auto accesses = st.accesses - h->cache_at_activation.accesses;
+      const auto hits = st.hits - h->cache_at_activation.hits;
+      const double rate =
+          accesses > 0
+              ? static_cast<double>(hits) / static_cast<double>(accesses)
+              : 0.0;
+      measured.emplace_back(h->generation, rate);
+    }
+  }
+  if (measured.empty()) return;
+  std::lock_guard<std::mutex> lk(events_mu_);
+  for (const auto& [generation, rate] : measured) {
+    for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
+      if (it->spawned && it->generation == generation) {
+        it->first_window_hit_rate = rate;
+        break;
+      }
+    }
+  }
+}
+
+void FleetManager::controller_loop() {
+  std::unique_lock<std::mutex> lk(controller_mu_);
+  while (!controller_stop_) {
+    controller_cv_.wait_for(lk, cfg_.autoscale.tick,
+                            [this] { return controller_stop_; });
+    if (controller_stop_) break;
+    lk.unlock();
+    measure_first_windows();
+    const FleetSignals s = signals();
+    const ScaleAction action =
+        autoscaler_->on_tick(s, std::chrono::steady_clock::now());
+    // Policy owns the bounds; mechanism re-checks them only to stay safe
+    // against a manual scale racing the controller between tick and act.
+    try {
+      if (action == ScaleAction::kUp &&
+          s.replicas < cfg_.autoscale.max_replicas) {
+        scale_up();
+      } else if (action == ScaleAction::kDown &&
+                 s.replicas > cfg_.autoscale.min_replicas) {
+        scale_down();
+      }
+    } catch (const std::exception&) {
+      // stop() raced the decision, or a spawn failed (checkpoint vanished,
+      // codec mismatch at warm-up) — a controller mishap must degrade to
+      // "fleet stays its current size", never take down the process.
+    }
+    lk.lock();
+  }
 }
 
 }  // namespace ppgnn::serve

@@ -1,34 +1,73 @@
-// ReplicaSet: N independent serving pipelines behind one submit() API.
+// FleetManager: a lifecycle-managed, autoscaling serving tier.
 //
-// PR 1's serving tier was one InferenceSession behind one dispatcher
-// thread — throughput capped by a single forward pipeline, overload
-// expressed as unbounded queue delay.  A ReplicaSet scales past both:
-// each replica owns a full pipeline (its own model copy, its own
-// FeatureSource — typically a CachedSource whose RowCache is private, so
-// cache_affinity routing can shard the key space — its own MicroBatcher
-// and dispatcher thread, its own ServerStats), and a Router picks the
-// replica per request.  Replicas share nothing mutable, so there is no
-// cross-replica lock on the request path; the only shared state is the
-// router's round-robin counter.
+// PR 2's ReplicaSet ran N full pipelines behind one submit() — but N was
+// fixed at construction, so the fleet could not absorb the load swings the
+// admission layer measures: at 2x saturation it shed most of the excess
+// instead of adding capacity, and at idle it burned N dispatcher threads.
+// This refactor makes membership dynamic while keeping the hot path as
+// lock-free as the fixed fleet was.
 //
-// Determinism survives replication: every replica loads bit-identical
-// weights (make_replica_sessions) and every kernel on the inference path
-// is order-fixed, so which replica answers never changes the answer —
-// test_replica_set proves N-replica output equals single-session output
-// bit for bit, per policy.
+// Structure:
 //
-// Admission control composes per replica: each MicroBatcher applies the
-// shed budget to its own queue.  That is deliberate — with cache_affinity
-// routing a single hot shard can be overloaded while its siblings idle,
-// and shedding the hot shard (rather than a global verdict) is what keeps
-// the other shards' latency flat.
+//  * ReplicaHandle — one replica: its InferenceSession, MicroBatcher,
+//    ServerStats and routing counter, plus a fleet-unique *generation id*
+//    (never reused; the identity stats aggregation and the consistent-hash
+//    ring key on) and a lifecycle state:
+//
+//        Warming ----> Active ----> Draining ----> Retired
+//        (built +      (published,  (unpublished;  (drained, joined;
+//         cache-warmed  routable)    admitted work  stats folded into
+//         off-thread)                 completes,     the fleet history)
+//                                     new submits
+//                                     re-route)
+//
+//  * Membership — an immutable snapshot (epoch, active handles, hash
+//    ring).  submit() loads the current snapshot via one atomic
+//    shared_ptr load, routes against it, and never takes the admin lock:
+//    scaling reconfigures the fleet by *publishing a new snapshot*, not by
+//    mutating the one in flight.  A submitter racing a retirement may
+//    still hit the draining replica's batcher; the batcher bounces it
+//    with RejectReason::kDraining and try_submit transparently re-routes
+//    against the fresh snapshot (so no request is ever lost to a resize —
+//    test_autoscale hammers this with 8 threads).
+//
+//  * Scale-up — the controller (or a manual scale_up() call) builds a new
+//    handle from the FleetBuilder off the submit path: model weights come
+//    from the shared checkpoint (int8: the builder's shared quantized
+//    block — a spawn costs no weight copies), and before the replica goes
+//    Active its private cache is pre-warmed with the hottest rows the new
+//    ring assigns to it, exported as encoded bytes from its peers' caches
+//    (CachedSource::export_hot_payloads / admit_payloads) — a cache-cold
+//    replica under cache_affinity would otherwise answer its whole shard
+//    from the store for its first window.
+//
+//  * Scale-down — the youngest Active replica is marked Draining and
+//    unpublished (new epoch), then its batcher drains: everything already
+//    admitted completes (kHigh work is never dropped by a resize —
+//    test_autoscale proves bit-identical logits), racing submits re-route,
+//    and the dispatcher joins before the handle retires.
+//
+//  * Autoscaling — with FleetConfig::autoscale.enabled, a controller
+//    thread samples the fleet's windowed signals (shed rate, queue delay,
+//    queue depth — see ServerStats::window) every tick and applies
+//    AutoscalePolicy's hysteresis (autoscale.h) between min/max bounds.
+//
+// Stats survive membership churn: every handle ever created stays in the
+// fleet's history, and aggregation folds each *generation* exactly once
+// (ServerStats::merge_once), so a retired replica's latencies keep
+// counting and a same-slot successor can never double-count them.
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
+#include "serve/autoscale.h"
 #include "serve/inference_session.h"
 #include "serve/micro_batcher.h"
 #include "serve/router.h"
@@ -36,20 +75,38 @@
 
 namespace ppgnn::serve {
 
-struct ReplicaSetConfig {
+enum class ReplicaState : std::uint8_t {
+  kWarming,
+  kActive,
+  kDraining,
+  kRetired
+};
+const char* replica_state_name(ReplicaState s);
+
+struct FleetConfig {
   RoutingPolicy policy = RoutingPolicy::kRoundRobin;
   // Applied to every replica's MicroBatcher (including shed_budget).
   MicroBatchConfig batch;
   // Serving precision the fleet was built for.  Sessions are prepared by
-  // make_replica_sessions (which quantizes and shares weights for kInt8);
-  // the constructor rejects a fleet whose sessions disagree with this
-  // knob, so a config/deployment mismatch fails loudly at build time
-  // rather than as a silent accuracy or throughput surprise.
+  // FleetBuilder (which quantizes and shares weights for kInt8); the
+  // constructor rejects a fleet whose sessions disagree with this knob, so
+  // a config/deployment mismatch fails loudly at build time rather than as
+  // a silent accuracy or throughput surprise.
   Precision precision = Precision::kFp32;
+  // Signal-driven scale-up/down (requires the FleetBuilder constructor —
+  // a fleet built from pre-made sessions has no recipe to spawn more).
+  AutoscaleConfig autoscale;
+  // Rows to pre-warm into a spawned replica's cache from its peers
+  // (0 disables).  Only applies when replicas serve through CachedSource.
+  std::size_t warm_keys = 512;
+  // Span of the per-replica sliding-window gauges (autoscale signals).
+  std::chrono::milliseconds stats_window{500};
 };
 
 // Point-in-time view of one replica, for reporting.
 struct ReplicaSnapshot {
+  std::uint64_t generation = 0;
+  ReplicaState state = ReplicaState::kActive;
   std::size_t routed = 0;       // requests the router sent here
   std::size_t queue_depth = 0;  // admitted, not yet dispatched
   BatchCounters batch;
@@ -57,65 +114,181 @@ struct ReplicaSnapshot {
   LatencySummary latency;
 };
 
-class ReplicaSet {
+// One membership change, for the replica-count timeline the serving bench
+// records and the warm-vs-cold measurement.
+struct FleetEvent {
+  double t_seconds = 0;  // since fleet construction
+  std::uint64_t epoch = 0;
+  bool spawned = false;  // false = retired
+  std::uint64_t generation = 0;
+  std::size_t replicas_after = 0;
+  std::size_t warmed_keys = 0;  // spawn events: rows pre-admitted
+  // Spawn events: the replica's cache hit rate over its first
+  // stats-window of live traffic (cold spawns benchmark the warmup).
+  // Negative until measured by the controller.
+  double first_window_hit_rate = -1.0;
+};
+
+class FleetManager {
  public:
-  // One session per replica; sessions must be non-null and should hold
-  // identical weights (see make_replica_sessions) unless the caller
-  // wants a heterogeneous fleet on purpose.
-  ReplicaSet(std::vector<std::unique_ptr<InferenceSession>> sessions,
-             const ReplicaSetConfig& cfg);
-  ~ReplicaSet();  // stop()
+  // Dynamic fleet: `builder` is the recipe for the initial
+  // `initial_replicas` sessions and for every later scale-up.
+  FleetManager(FleetBuilder builder, std::size_t initial_replicas,
+               const FleetConfig& cfg);
+  // Fixed fleet over pre-built sessions (no spawn recipe): scale_up() and
+  // autoscaling are unavailable, scale_down() still works.  Sessions must
+  // be non-null and should hold identical weights unless the caller wants
+  // a heterogeneous fleet on purpose.
+  FleetManager(std::vector<std::unique_ptr<InferenceSession>> sessions,
+               const FleetConfig& cfg);
+  ~FleetManager();  // stop()
 
-  ReplicaSet(const ReplicaSet&) = delete;
-  ReplicaSet& operator=(const ReplicaSet&) = delete;
+  FleetManager(const FleetManager&) = delete;
+  FleetManager& operator=(const FleetManager&) = delete;
 
-  // Routes and submits.  Semantics follow MicroBatcher: with shedding
-  // disabled try_submit blocks for space and always accepts; with shedding
-  // enabled it returns {accepted = false} on overload of the routed
-  // replica.
+  // Routes against the current membership snapshot and submits.  Semantics
+  // follow MicroBatcher: with shedding disabled try_submit blocks for
+  // space and always accepts; with shedding enabled it returns
+  // {accepted = false, reason = kOverload} on overload of the routed
+  // replica.  Draining refusals are retried internally against a fresh
+  // snapshot and never surface.
   Admission try_submit(std::int64_t node, Priority pri = Priority::kHigh);
   // Throwing form: RejectedError on refusal (shedding enabled only).
   std::future<std::vector<float>> submit(std::int64_t node,
                                          Priority pri = Priority::kHigh);
   std::vector<float> infer_blocking(std::int64_t node);
 
-  // Stops every replica's dispatcher after draining admitted work.
-  // Idempotent; submit() after stop() throws.
+  // Spawns one replica (Warming -> Active; cache-warmed from peers) and
+  // publishes the grown membership.  Returns the new generation id.
+  // Throws without a FleetBuilder.  Ignores autoscale bounds — bounds
+  // belong to the policy, not the mechanism.
+  std::uint64_t scale_up();
+  // Retires the youngest Active replica: unpublishes it, drains admitted
+  // work to completion, joins its dispatcher.  Returns its generation id.
+  // Throws when only one replica remains.
+  std::uint64_t scale_down();
+
+  // Stops the controller and every replica's dispatcher after draining
+  // admitted work.  Idempotent; submit() after stop() throws.
   void stop();
 
-  std::size_t num_replicas() const { return replicas_.size(); }
+  std::size_t num_replicas() const;  // Active replicas
+  std::uint64_t epoch() const;
   RoutingPolicy policy() const { return router_->policy(); }
-  Precision precision() const {
-    return replicas_.front()->session->precision();
-  }
+  Precision precision() const { return precision_; }
+  const FleetConfig& config() const { return cfg_; }
 
+  // The replica the current ring assigns `node` to — the cache_affinity
+  // home.  Index into the current membership (matches replica_snapshot).
+  std::size_t home_replica(std::int64_t node) const;
+
+  // Snapshot of active replica `i` (membership order).
   ReplicaSnapshot replica_snapshot(std::size_t i) const;
-  const InferenceSession& replica_session(std::size_t i) const {
-    return *replicas_[i]->session;
-  }
+  const InferenceSession& replica_session(std::size_t i) const;
+  // Every replica ever, retired included — the full fleet history.
+  std::vector<ReplicaSnapshot> fleet_snapshot() const;
+  std::vector<FleetEvent> events() const;
 
-  // Fleet-level stats: latency percentiles over the union of every
-  // replica's raw samples (merging summaries would be wrong), admission
-  // counters summed.
+  // Fleet-level stats over every generation ever admitted to the fleet
+  // (retired replicas keep counting — a resize must not launder history):
+  // latency percentiles over the union of raw samples (merging summaries
+  // would be wrong), admission counters summed.
   LatencySummary aggregate_latency() const;
   AdmissionCounters aggregate_admission() const;
   // Dispatched batches and their mean size, summed across replicas.
   std::size_t aggregate_batches() const;
   double aggregate_mean_batch_size() const;
 
+  // Windowed autoscale signals, pooled across active replicas (what the
+  // controller feeds the policy; exposed for status lines and tests).
+  FleetSignals signals() const;
+  // Pooled window counters + admitted-latency percentiles across active
+  // replicas — serve_cli's per-window status line.
+  WindowStats window_stats() const;
+  // Admitted-but-unanswered across the fleet (in-service included).
+  std::size_t total_queue_depth() const;
+  // Active replicas with nothing queued AND nothing in service — burning
+  // a dispatcher for no work.  The over-provisioning metric the staged
+  // ramp integrates into idle replica-seconds.
+  std::size_t idle_replicas() const;
+
  private:
-  struct Replica {
+  struct ReplicaHandle {
+    std::uint64_t generation = 0;
+    std::atomic<ReplicaState> state{ReplicaState::kWarming};
     std::unique_ptr<InferenceSession> session;
     std::unique_ptr<ServerStats> stats;
     std::unique_ptr<MicroBatcher> batcher;
     std::atomic<std::size_t> routed{0};
+    // Warm-up measurement bookkeeping (dynamically spawned replicas only).
+    bool spawned_dynamic = false;
+    std::size_t warmed_keys = 0;
+    FeatureCacheStats cache_at_activation;
+    std::chrono::steady_clock::time_point activated_at{};
+    bool first_window_measured = false;
   };
 
-  // Pools every replica's ServerStats into `into`.
-  void merge_stats(ServerStats& into) const;
+  struct Membership {
+    std::uint64_t epoch = 0;
+    std::vector<std::shared_ptr<ReplicaHandle>> replicas;  // Active only
+    HashRing ring;  // over the replicas' generations, in vector order
+  };
 
-  std::vector<std::unique_ptr<Replica>> replicas_;
+  void init(std::vector<std::unique_ptr<InferenceSession>> sessions,
+            const FleetConfig& cfg);
+  std::shared_ptr<ReplicaHandle> make_handle(
+      std::unique_ptr<InferenceSession> session);
+  static HashRing ring_over(
+      const std::vector<std::shared_ptr<ReplicaHandle>>& replicas);
+  // Loads the current snapshot; throws after stop().
+  std::shared_ptr<const Membership> current() const;
+  ReplicaSnapshot snapshot_of(const ReplicaHandle& h) const;
+  // Pre-warms `fresh`'s cache from its peers under `next_ring` ownership;
+  // returns rows admitted.  Caller holds admin_mu_.
+  std::size_t warm_from_peers(ReplicaHandle& fresh,
+                              const Membership& current_members,
+                              const HashRing& next_ring);
+  void record_event(bool spawned, const ReplicaHandle& h,
+                    std::uint64_t epoch, std::size_t replicas_after);
+  // Fills first_window_hit_rate for spawned replicas one stats-window
+  // after activation.  Controller-thread only.
+  void measure_first_windows();
+  void controller_loop();
+
+  FleetConfig cfg_;
+  Precision precision_ = Precision::kFp32;
+  std::unique_ptr<FleetBuilder> builder_;  // null for fixed fleets
   std::unique_ptr<Router> router_;
+
+  // Swapped atomically via the std::atomic_load/atomic_store(shared_ptr*)
+  // free functions rather than std::atomic<std::shared_ptr>: identical
+  // semantics for this pattern (whole-pointer load/store, no CAS loops),
+  // but libstdc++'s _Sp_atomic implements its internal lock as an
+  // unannotated bit-spinlock that ThreadSanitizer cannot see, so the
+  // tsan-autoscale CI leg would drown in false positives; the free
+  // functions synchronize through a real mutex pool TSan understands.
+  std::shared_ptr<const Membership> membership_;
+  // Serializes scaling, stop, and the bookkeeping lists; never taken on
+  // the submit path.
+  mutable std::mutex admin_mu_;
+  std::vector<std::shared_ptr<ReplicaHandle>> all_handles_;  // fleet history
+  std::uint64_t next_generation_ = 0;
+  bool stopped_ = false;
+
+  std::chrono::steady_clock::time_point started_at_;
+  mutable std::mutex events_mu_;
+  std::vector<FleetEvent> events_;
+
+  std::unique_ptr<AutoscalePolicy> autoscaler_;  // null unless enabled
+  std::thread controller_;
+  std::mutex controller_mu_;
+  std::condition_variable controller_cv_;
+  bool controller_stop_ = false;
 };
+
+// The elastic fleet kept the old name's file; callers that predate the
+// refactor read better unchanged.
+using ReplicaSet = FleetManager;
+using ReplicaSetConfig = FleetConfig;
 
 }  // namespace ppgnn::serve

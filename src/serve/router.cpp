@@ -1,5 +1,6 @@
 #include "serve/router.h"
 
+#include <algorithm>
 #include <atomic>
 #include <stdexcept>
 
@@ -30,46 +31,71 @@ bool parse_policy(const std::string& name, RoutingPolicy* out) {
   return true;
 }
 
-std::size_t affinity_replica(std::int64_t node, std::size_t replicas) {
-  // splitmix64 finalizer: node ids are often dense/sequential, and a plain
-  // mod would stripe adjacent ids across replicas — the opposite of a
-  // stable shard.  The mix decorrelates placement from id locality (node
-  // popularity is already uncorrelated with id order, see workload.h).
-  std::uint64_t z = static_cast<std::uint64_t>(node) + 0x9e3779b97f4a7c15ULL;
+std::uint64_t splitmix64(std::uint64_t x) {
+  std::uint64_t z = x + 0x9e3779b97f4a7c15ULL;
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  z ^= z >> 31;
-  return static_cast<std::size_t>(z % replicas);
+  return z ^ (z >> 31);
+}
+
+HashRing::HashRing(const std::vector<std::uint64_t>& member_generations)
+    : num_members_(member_generations.size()) {
+  points_.reserve(num_members_ * kVirtualNodes);
+  for (std::size_t m = 0; m < num_members_; ++m) {
+    // A member's points are a function of its generation id alone (vnode
+    // index folded in via a second mix round), so they are identical in
+    // every membership that contains the member — the resize-stability
+    // invariant.
+    const std::uint64_t g = member_generations[m];
+    for (std::size_t v = 0; v < kVirtualNodes; ++v) {
+      const std::uint64_t point =
+          splitmix64(splitmix64(g) ^ (0x517cc1b727220a95ULL * (v + 1)));
+      points_.emplace_back(point, static_cast<std::uint32_t>(m));
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+std::size_t HashRing::lookup(std::int64_t node) const {
+  if (points_.empty()) {
+    throw std::logic_error("HashRing::lookup on an empty ring");
+  }
+  const std::uint64_t h = splitmix64(static_cast<std::uint64_t>(node));
+  // First point clockwise (>= h), wrapping to the ring's start.
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const std::pair<std::uint64_t, std::uint32_t>& p, std::uint64_t v) {
+        return p.first < v;
+      });
+  if (it == points_.end()) it = points_.begin();
+  return it->second;
 }
 
 namespace {
 
 class RoundRobinRouter : public Router {
  public:
-  explicit RoundRobinRouter(std::size_t replicas) : replicas_(replicas) {}
-  std::size_t route(std::int64_t, const QueueDepthFn&) override {
-    return next_.fetch_add(1, std::memory_order_relaxed) % replicas_;
+  std::size_t route(std::int64_t, const RouteTargets& t) override {
+    return next_.fetch_add(1, std::memory_order_relaxed) % t.count;
   }
   RoutingPolicy policy() const override {
     return RoutingPolicy::kRoundRobin;
   }
 
  private:
-  std::size_t replicas_;
   std::atomic<std::size_t> next_{0};
 };
 
 class LeastLoadedRouter : public Router {
  public:
-  explicit LeastLoadedRouter(std::size_t replicas) : replicas_(replicas) {}
-  std::size_t route(std::int64_t, const QueueDepthFn& queue_depth) override {
+  std::size_t route(std::int64_t, const RouteTargets& t) override {
     // Ties break to the lowest index; the scan is a snapshot, not a
     // transaction — two concurrent routes may pick the same replica, which
     // join-the-shortest-queue tolerates by construction.
     std::size_t best = 0;
-    std::size_t best_depth = queue_depth(0);
-    for (std::size_t i = 1; i < replicas_; ++i) {
-      const std::size_t d = queue_depth(i);
+    std::size_t best_depth = (*t.queue_depth)(0);
+    for (std::size_t i = 1; i < t.count; ++i) {
+      const std::size_t d = (*t.queue_depth)(i);
       if (d < best_depth) {
         best = i;
         best_depth = d;
@@ -80,38 +106,28 @@ class LeastLoadedRouter : public Router {
   RoutingPolicy policy() const override {
     return RoutingPolicy::kLeastLoaded;
   }
-
- private:
-  std::size_t replicas_;
 };
 
 class CacheAffinityRouter : public Router {
  public:
-  explicit CacheAffinityRouter(std::size_t replicas) : replicas_(replicas) {}
-  std::size_t route(std::int64_t node, const QueueDepthFn&) override {
-    return affinity_replica(node, replicas_);
+  std::size_t route(std::int64_t node, const RouteTargets& t) override {
+    return t.ring->lookup(node);
   }
   RoutingPolicy policy() const override {
     return RoutingPolicy::kCacheAffinity;
   }
-
- private:
-  std::size_t replicas_;
 };
 
 }  // namespace
 
-std::unique_ptr<Router> make_router(RoutingPolicy p, std::size_t replicas) {
-  if (replicas == 0) {
-    throw std::invalid_argument("make_router: zero replicas");
-  }
+std::unique_ptr<Router> make_router(RoutingPolicy p) {
   switch (p) {
     case RoutingPolicy::kRoundRobin:
-      return std::make_unique<RoundRobinRouter>(replicas);
+      return std::make_unique<RoundRobinRouter>();
     case RoutingPolicy::kLeastLoaded:
-      return std::make_unique<LeastLoadedRouter>(replicas);
+      return std::make_unique<LeastLoadedRouter>();
     case RoutingPolicy::kCacheAffinity:
-      return std::make_unique<CacheAffinityRouter>(replicas);
+      return std::make_unique<CacheAffinityRouter>();
   }
   throw std::invalid_argument("make_router: unknown policy");
 }

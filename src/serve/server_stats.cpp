@@ -36,6 +36,43 @@ std::string AdmissionCounters::to_json() const {
   return buf;
 }
 
+ServerStats::ServerStats(std::chrono::milliseconds window) {
+  if (window.count() <= 0) window = std::chrono::milliseconds(1000);
+  window_ = window;
+  // Bucket length must be a nonzero duration (it divides timestamps);
+  // a sub-16ms window degrades to coarser effective bucketing rather
+  // than dividing by zero.
+  bucket_len_ = std::max<std::chrono::steady_clock::duration>(
+      window_ / kBuckets, std::chrono::milliseconds(1));
+}
+
+ServerStats::Bucket& ServerStats::current_bucket_locked(
+    std::chrono::steady_clock::time_point now) {
+  // Buckets are addressed by absolute bucket index mod kBuckets; any bucket
+  // whose recorded start doesn't match the slot's current period is stale
+  // (the ring wrapped past it) and restarts from zero.
+  const auto ticks = now.time_since_epoch() / bucket_len_;
+  const auto slot = static_cast<std::size_t>(
+      static_cast<std::uint64_t>(ticks) % kBuckets);
+  const auto start =
+      std::chrono::steady_clock::time_point(bucket_len_ * ticks);
+  Bucket& b = buckets_[slot];
+  if (b.start != start) {
+    b = Bucket{};
+    b.start = start;
+  }
+  return b;
+}
+
+void ServerStats::prune_latency_window_locked(
+    std::chrono::steady_clock::time_point now) {
+  const auto horizon = now - window_;
+  while (!windowed_latencies_.empty() &&
+         windowed_latencies_.front().first < horizon) {
+    windowed_latencies_.pop_front();
+  }
+}
+
 void ServerStats::record(double latency_us) {
   const auto now = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lk(mu_);
@@ -45,6 +82,8 @@ void ServerStats::record(double latency_us) {
     any_ = true;
   }
   last_done_ = now;
+  windowed_latencies_.emplace_back(now, latency_us);
+  prune_latency_window_locked(now);
 }
 
 void ServerStats::record_batch(std::size_t batch_size) {
@@ -53,24 +92,97 @@ void ServerStats::record_batch(std::size_t batch_size) {
   batched_requests_ += batch_size;
 }
 
+void ServerStats::record_queue_delay(double delay_us) {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lk(mu_);
+  Bucket& b = current_bucket_locked(now);
+  b.queue_delay_sum_us += delay_us;
+  ++b.queue_delay_count;
+}
+
 void ServerStats::record_admitted() {
+  const auto now = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lk(mu_);
   ++admission_.admitted;
+  ++current_bucket_locked(now).admission.admitted;
 }
 
 void ServerStats::record_rejected() {
+  const auto now = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lk(mu_);
   ++admission_.rejected;
+  ++current_bucket_locked(now).admission.rejected;
 }
 
 void ServerStats::record_shed() {
+  const auto now = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lk(mu_);
   ++admission_.shed;
+  ++current_bucket_locked(now).admission.shed;
 }
 
 AdmissionCounters ServerStats::admission() const {
   std::lock_guard<std::mutex> lk(mu_);
   return admission_;
+}
+
+WindowStats ServerStats::window(
+    std::chrono::steady_clock::time_point now) const {
+  WindowStats w;
+  std::vector<double> recent;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto horizon = now - window_;
+    double delay_sum = 0;
+    for (const Bucket& b : buckets_) {
+      // A bucket participates only if its period is inside the window; a
+      // start of time_point{} (never written) sorts before any horizon.
+      if (b.start < horizon || b.start > now) continue;
+      w.admission.admitted += b.admission.admitted;
+      w.admission.rejected += b.admission.rejected;
+      w.admission.shed += b.admission.shed;
+      delay_sum += b.queue_delay_sum_us;
+      w.queue_delay_samples += b.queue_delay_count;
+    }
+    if (w.queue_delay_samples > 0) {
+      w.mean_queue_delay_us =
+          delay_sum / static_cast<double>(w.queue_delay_samples);
+    }
+    recent.reserve(windowed_latencies_.size());
+    for (const auto& [tp, us] : windowed_latencies_) {
+      if (tp >= horizon) recent.push_back(us);
+    }
+  }
+  w.latency.count = recent.size();
+  if (!recent.empty()) {
+    double sum = 0, mx = 0;
+    for (const double v : recent) {
+      sum += v;
+      mx = std::max(mx, v);
+    }
+    w.latency.mean_us = sum / static_cast<double>(recent.size());
+    w.latency.max_us = mx;
+    w.latency.p50_us = percentile(recent, 50);
+    w.latency.p95_us = percentile(recent, 95);
+    w.latency.p99_us = percentile(recent, 99);
+    const double span = std::chrono::duration<double>(window_).count();
+    w.latency.wall_seconds = span;
+    w.latency.throughput_rps =
+        static_cast<double>(recent.size()) / std::max(span, 1e-6);
+  }
+  return w;
+}
+
+std::vector<double> ServerStats::windowed_latency_samples(
+    std::chrono::steady_clock::time_point now) const {
+  std::vector<double> out;
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto horizon = now - window_;
+  out.reserve(windowed_latencies_.size());
+  for (const auto& [tp, us] : windowed_latencies_) {
+    if (tp >= horizon) out.push_back(us);
+  }
+  return out;
 }
 
 void ServerStats::merge(const ServerStats& other) {
@@ -103,6 +215,18 @@ void ServerStats::merge(const ServerStats& other) {
     if (!any_ || last > last_done_) last_done_ = last;
     any_ = true;
   }
+}
+
+bool ServerStats::merge_once(const ServerStats& other,
+                             std::uint64_t generation) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!merged_generations_.insert(generation).second) {
+      return false;  // this generation's samples are already pooled here
+    }
+  }
+  merge(other);
+  return true;
 }
 
 LatencySummary ServerStats::summary() const {
@@ -154,6 +278,9 @@ void ServerStats::reset() {
   batched_requests_ = 0;
   admission_ = AdmissionCounters{};
   any_ = false;
+  buckets_ = {};
+  windowed_latencies_.clear();
+  merged_generations_.clear();
 }
 
 }  // namespace ppgnn::serve

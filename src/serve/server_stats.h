@@ -12,15 +12,37 @@
 // alone lies by omission — a server can hold a beautiful p99 by refusing
 // every hard request — so ServerStats also counts the admission verdicts:
 // admitted, rejected at the door, and shed from the queue after admission.
-// Each replica in a ReplicaSet owns one ServerStats; merge() pools samples
-// and counters so fleet-level percentiles come from the union of raw
-// latencies, not from averaging per-replica percentiles (which is wrong).
+//
+// Two aggregation regimes share this class:
+//
+//  * Cumulative — lifetime counters and the full latency sample, what the
+//    bench tables report.  Each replica owns one ServerStats; merge() /
+//    merge_once() pool samples so fleet-level percentiles come from the
+//    union of raw latencies, not from averaging per-replica percentiles
+//    (which is wrong).  With *dynamic* membership (FleetManager), a
+//    retired replica's recorder outlives the replica and a same-slot
+//    successor records into a fresh one — so fleet aggregation is keyed by
+//    generation id: merge_once() folds a given generation exactly once per
+//    pooled recorder no matter how many membership lists mention it.
+//
+//  * Windowed — the autoscale signals.  Admission verdicts and queue-delay
+//    samples additionally land in a bucketed sliding window (16 buckets
+//    over a configurable span), and recent latency samples are kept
+//    timestamped, so window() reports the *recent* shed rate, mean queue
+//    delay and admitted-latency percentiles — what the AutoscalePolicy
+//    reacts to and serve_cli's per-window status line prints.  Bucketed
+//    counters cost O(1) per event regardless of rate; only the latency
+//    window keeps individual samples (percentiles need them).
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 namespace ppgnn::serve {
@@ -69,13 +91,32 @@ struct AdmissionCounters {
   std::string to_json() const;
 };
 
+// Point-in-time view of the sliding window: the autoscale signal set for
+// one replica (pool counters across replicas before computing fleet
+// rates).
+struct WindowStats {
+  AdmissionCounters admission;       // verdicts within the window
+  double mean_queue_delay_us = 0;    // dispatch-time queue delay
+  std::size_t queue_delay_samples = 0;
+  LatencySummary latency;            // completions within the window
+  double shed_rate() const { return admission.shed_rate(); }
+};
+
 // Thread-safe recorder shared by client threads and the dispatcher.
 class ServerStats {
  public:
+  // `window` spans the sliding-window gauges (autoscale signals); the
+  // cumulative counters and full latency sample are unaffected by it.
+  explicit ServerStats(
+      std::chrono::milliseconds window = std::chrono::milliseconds(1000));
+
   // Records one completed request's latency in microseconds.
   void record(double latency_us);
   // Records one dispatched micro-batch of the given size.
   void record_batch(std::size_t batch_size);
+  // Records one request's queue delay (enqueue -> dispatch), the live
+  // overload signal the autoscaler watches.  Windowed only.
+  void record_queue_delay(double delay_us);
   // Admission verdicts (see AdmissionCounters).
   void record_admitted();
   void record_rejected();
@@ -83,16 +124,49 @@ class ServerStats {
 
   LatencySummary summary() const;
   AdmissionCounters admission() const;
+  // The sliding window as of `now` (events older than the window are
+  // excluded; bucket granularity is window/16).
+  WindowStats window(std::chrono::steady_clock::time_point now =
+                         std::chrono::steady_clock::now()) const;
+  // Raw latency samples within the window — fleet-level window percentiles
+  // must pool raw samples across replicas (percentiles don't average).
+  std::vector<double> windowed_latency_samples(
+      std::chrono::steady_clock::time_point now =
+          std::chrono::steady_clock::now()) const;
+  std::chrono::milliseconds window_span() const { return window_; }
   std::size_t batches() const;
   double mean_batch_size() const;
   void reset();
 
   // Pools `other` into this recorder: latency samples, batch and admission
-  // counters, and the completion-time span (min first / max last).  Used by
-  // ReplicaSet to compute fleet-level percentiles from raw samples.
+  // counters, and the completion-time span (min first / max last).  The
+  // sliding window is NOT pooled — windows are per-replica signals; pool
+  // the WindowStats counters instead.
   void merge(const ServerStats& other);
+  // Generation-keyed merge for dynamic fleets: folds `other` only if
+  // `generation` has not been merged into *this* recorder before, and
+  // returns whether it was.  A FleetManager aggregating over active +
+  // retired membership lists may encounter the same replica twice (e.g. a
+  // handle mid-retirement, or a retired replica and its same-slot
+  // successor walked through two bookkeeping paths); keying by the
+  // replica's never-reused generation id makes aggregation idempotent.
+  bool merge_once(const ServerStats& other, std::uint64_t generation);
 
  private:
+  struct Bucket {
+    std::chrono::steady_clock::time_point start{};
+    AdmissionCounters admission;
+    double queue_delay_sum_us = 0;
+    std::size_t queue_delay_count = 0;
+  };
+
+  // Rotates the bucket ring so `now` falls in the current bucket; stale
+  // buckets are zeroed.  Caller holds mu_.
+  Bucket& current_bucket_locked(std::chrono::steady_clock::time_point now);
+  void prune_latency_window_locked(std::chrono::steady_clock::time_point now);
+
+  static constexpr std::size_t kBuckets = 16;
+
   mutable std::mutex mu_;
   std::vector<double> latencies_us_;
   std::size_t batches_ = 0;
@@ -101,6 +175,13 @@ class ServerStats {
   bool any_ = false;
   std::chrono::steady_clock::time_point first_done_;
   std::chrono::steady_clock::time_point last_done_;
+
+  std::chrono::milliseconds window_;
+  std::chrono::steady_clock::duration bucket_len_;
+  std::array<Bucket, kBuckets> buckets_{};
+  std::deque<std::pair<std::chrono::steady_clock::time_point, double>>
+      windowed_latencies_;
+  std::unordered_set<std::uint64_t> merged_generations_;
 };
 
 }  // namespace ppgnn::serve

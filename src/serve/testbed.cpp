@@ -1,0 +1,167 @@
+#include "serve/testbed.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+#include "core/sgc.h"
+#include "core/sign.h"
+#include "core/trainer.h"
+
+namespace ppgnn::serve {
+
+StagedRampPacer::StagedRampPacer(double baseline_rps, double total_seconds)
+    : baseline_rps_(baseline_rps),
+      total_seconds_(total_seconds),
+      t0_(std::chrono::steady_clock::now()),
+      next_submit_(t0_),
+      t_end_(t0_ +
+             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double>(total_seconds))) {
+  if (baseline_rps <= 0 || total_seconds <= 0) {
+    throw std::invalid_argument(
+        "StagedRampPacer: baseline rate and duration must be positive");
+  }
+}
+
+double StagedRampPacer::rate_at(double elapsed_seconds) const {
+  const int phase = std::min(
+      2, std::max(0, static_cast<int>(elapsed_seconds / phase_seconds())));
+  return kPhaseMult[phase] * baseline_rps_;
+}
+
+bool StagedRampPacer::pace() {
+  const auto now0 = std::chrono::steady_clock::now();
+  if (now0 > t_end_) return false;
+  const double rate =
+      rate_at(std::chrono::duration<double>(now0 - t0_).count());
+  std::this_thread::sleep_until(next_submit_);
+  const auto now = std::chrono::steady_clock::now();
+  if (next_submit_ < now - std::chrono::milliseconds(1)) {
+    next_submit_ = now - std::chrono::milliseconds(1);  // drop, don't bank
+  }
+  next_submit_ +=
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(1.0 / rate));
+  return true;
+}
+
+namespace {
+
+std::string scratch_dir() {
+  char tmpl[] = "/tmp/ppgnn_serving.XXXXXX";
+  if (!::mkdtemp(tmpl)) {
+    throw std::runtime_error("ServingTestbed: mkdtemp failed");
+  }
+  return tmpl;
+}
+
+}  // namespace
+
+ServingTestbed::ServingTestbed(const TestbedConfig& cfg) : cfg_(cfg) {
+  if (cfg_.nodes == 0 || cfg_.feat_dim == 0 || cfg_.classes == 0) {
+    throw std::invalid_argument("ServingTestbed: zero-sized config");
+  }
+  graph::SbmConfig sc;
+  sc.num_nodes = cfg_.nodes;
+  sc.num_classes = cfg_.classes;
+  sc.avg_degree = cfg_.avg_degree;
+  sc.degree_power = cfg_.degree_power;
+  sc.seed = cfg_.graph_seed;
+  sbm_ = graph::generate_sbm(sc);
+
+  graph::FeatureConfig fc;
+  fc.dim = cfg_.feat_dim;
+  const Tensor x = graph::generate_features(sbm_.labels, cfg_.classes, fc);
+  core::PrecomputeConfig pc;
+  pc.hops = cfg_.hops;
+  pre_ = core::precompute(sbm_.graph, x, pc);
+
+  dir_ = scratch_dir();
+  ckpt_ = dir_ + "/model.ckpt";
+  ckpt_fp32_ = dir_ + "/model_fp32.ckpt";
+  {
+    auto trained = make_model(7);
+    core::quick_train(*trained, pre_, sbm_.labels, cfg_.train_epochs);
+    save_deployed_model(*trained, ckpt_fp32_);
+    save_deployed_model(*trained, ckpt_, cfg_.precision);
+  }
+  if (cfg_.create_store) {
+    loader::FeatureFileStore::create(store_dir(), pre_.hop_features, codec());
+  }
+}
+
+loader::RowCodec ServingTestbed::codec() const {
+  return cfg_.precision == Precision::kInt8 ? loader::RowCodec::kInt8
+                                            : loader::RowCodec::kFp32;
+}
+
+std::unique_ptr<core::PpModel> ServingTestbed::make_model(
+    std::uint64_t seed) const {
+  Rng rng(seed);
+  if (cfg_.model == "SGC") {
+    return std::make_unique<core::Sgc>(cfg_.feat_dim, cfg_.hops,
+                                       cfg_.classes, rng);
+  }
+  if (cfg_.model == "SIGN") {
+    core::SignConfig sc;
+    sc.feat_dim = cfg_.feat_dim;
+    sc.hops = cfg_.hops;
+    sc.hidden = cfg_.hidden;
+    sc.classes = cfg_.classes;
+    sc.mlp_layers = 2;
+    sc.dropout = 0.f;
+    return std::make_unique<core::Sign>(sc, rng);
+  }
+  throw std::invalid_argument("ServingTestbed: unknown model " + cfg_.model +
+                              " (SGC|SIGN)");
+}
+
+ZipfWorkloadConfig ServingTestbed::workload(std::size_t requests) const {
+  ZipfWorkloadConfig wc;
+  wc.num_nodes = cfg_.nodes;
+  wc.num_requests = requests;
+  wc.skew = cfg_.skew;
+  wc.seed = cfg_.workload_seed;
+  return wc;
+}
+
+std::vector<std::int64_t> ServingTestbed::stream(std::size_t requests) const {
+  return zipf_stream(workload(requests));
+}
+
+std::vector<std::int64_t> ServingTestbed::stream(std::size_t requests,
+                                                 std::uint64_t seed) const {
+  ZipfWorkloadConfig wc = workload(requests);
+  wc.seed = seed;
+  return zipf_stream(wc);
+}
+
+std::unique_ptr<FeatureSource> ServingTestbed::memory_source() const {
+  return std::make_unique<MemorySource>(pre_);
+}
+
+std::unique_ptr<FileStoreSource> ServingTestbed::file_source() const {
+  if (!cfg_.create_store) {
+    throw std::logic_error(
+        "ServingTestbed: file_source() needs create_store=true");
+  }
+  return std::make_unique<FileStoreSource>(loader::FeatureFileStore::open(
+      store_dir(), pre_.num_nodes(), pre_.num_hops() + 1, pre_.feat_dim(),
+      codec()));
+}
+
+FleetBuilder ServingTestbed::fleet_builder(
+    FleetBuilder::MakeSource make_source,
+    std::uint64_t model_seed_base) const {
+  return FleetBuilder(
+      ckpt_,
+      [this, model_seed_base](std::size_t i) {
+        return make_model(model_seed_base + i);
+      },
+      std::move(make_source), cfg_.precision);
+}
+
+}  // namespace ppgnn::serve

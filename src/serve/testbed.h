@@ -1,0 +1,146 @@
+// Shared serving-deployment harness: the offline steps every serving
+// binary repeats before it can measure anything.
+//
+// serve_cli, bench_serving_latency and the serving tests all need the same
+// artifacts: a synthetic SBM graph with heavy-tailed hubs, generated
+// features, one preprocessing pass, a quick_train'd model written out
+// through the deployment checkpoint round trip (fp32 reference plus the
+// configured precision), optionally a row-granular FeatureFileStore in the
+// matching codec, and a Zipf request stream over the same node space.
+// Before this header each binary re-implemented that pipeline and they
+// drifted (different seeds, different degree tails, one forgetting
+// quick_train — which silently turns precision-agreement columns into
+// coin flips).  ServingTestbed is the single implementation; binaries
+// differ only in the TestbedConfig they pass and the sources/fleets they
+// stand up on top.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pp_model.h"
+#include "core/precompute.h"
+#include "graph/generator.h"
+#include "loader/storage.h"
+#include "serve/feature_source.h"
+#include "serve/inference_session.h"
+#include "serve/workload.h"
+
+namespace ppgnn::serve {
+
+struct TestbedConfig {
+  std::size_t nodes = 20000;
+  std::size_t feat_dim = 32;
+  std::size_t classes = 16;
+  std::size_t hops = 2;
+  std::size_t hidden = 32;
+  std::string model = "SIGN";  // SGC | SIGN
+  // Deployment-prep epochs (core::quick_train).  Keep >= 1: an untrained
+  // model's near-tie logits make top-1 agreement measurements meaningless.
+  std::size_t train_epochs = 2;
+  Precision precision = Precision::kFp32;
+  // Also write a FeatureFileStore (codec follows `precision`).
+  bool create_store = false;
+  // Graph shape: heavy-tailed hubs, like real serving graphs.
+  double avg_degree = 10.0;
+  double degree_power = 1.6;
+  std::uint64_t graph_seed = 11;
+  // Workload defaults for workload()/stream().
+  double skew = 0.99;
+  std::uint64_t workload_seed = 31;
+};
+
+// The staged load trace both autoscale drivers (bench section 5,
+// serve_cli --autoscale) pace against: 0.5x -> 2.5x -> 0.5x of a
+// machine-calibrated baseline, equal wall time per phase.  One
+// implementation because the pacing is tuning-sensitive: the scheduled
+// interval at high rates sits far below the OS timer granularity, so the
+// pacer inevitably oversleeps and repays with a short burst — banked at
+// most 1ms of slots, because a pacer genuinely outrun (the 2.5x phase
+// can outrun one submit thread) must DROP the excess rather than blast
+// it into the 0.5x phase and mask the idle tail from the autoscaler,
+// while strict slot-dropping would collapse the rate to the timer
+// frequency.
+class StagedRampPacer {
+ public:
+  static constexpr double kPhaseMult[3] = {0.5, 2.5, 0.5};
+  static constexpr double kMeanMult =
+      (kPhaseMult[0] + kPhaseMult[1] + kPhaseMult[2]) / 3;
+
+  // Starts the trace clock now.
+  StagedRampPacer(double baseline_rps, double total_seconds);
+
+  // Sleeps until the next scheduled submit slot; returns false once the
+  // trace's wall time has elapsed (stop submitting).
+  bool pace();
+
+  std::chrono::steady_clock::time_point start() const { return t0_; }
+  double total_seconds() const { return total_seconds_; }
+  double phase_seconds() const { return total_seconds_ / 3; }
+  // The offered rate of the phase containing `elapsed` trace seconds.
+  double rate_at(double elapsed_seconds) const;
+
+ private:
+  double baseline_rps_;
+  double total_seconds_;
+  std::chrono::steady_clock::time_point t0_;
+  std::chrono::steady_clock::time_point next_submit_;
+  std::chrono::steady_clock::time_point t_end_;
+};
+
+class ServingTestbed {
+ public:
+  // Generates, preprocesses, trains and writes every artifact.  The
+  // scratch directory is per-instance (mkdtemp), so concurrent runs never
+  // share state; files are left behind like every other /tmp artifact in
+  // this repo.
+  explicit ServingTestbed(const TestbedConfig& cfg);
+
+  const TestbedConfig& config() const { return cfg_; }
+  const graph::SbmGraph& sbm() const { return sbm_; }
+  const core::Preprocessed& pre() const { return pre_; }
+  const std::vector<std::int32_t>& labels() const { return sbm_.labels; }
+
+  const std::string& dir() const { return dir_; }
+  // Deployed checkpoint at config().precision (the one fleets load).
+  const std::string& checkpoint() const { return ckpt_; }
+  // Always-fp32 checkpoint — the accuracy reference for drift columns.
+  const std::string& checkpoint_fp32() const { return ckpt_fp32_; }
+  // Valid when create_store; codec() names its row encoding.
+  std::string store_dir() const { return dir_ + "/store"; }
+  loader::RowCodec codec() const;
+
+  // A model shell with the configured architecture (weights are whatever
+  // `seed` initializes them to — deployment overwrites them from the
+  // checkpoint).
+  std::unique_ptr<core::PpModel> make_model(std::uint64_t seed = 7) const;
+
+  ZipfWorkloadConfig workload(std::size_t requests) const;
+  std::vector<std::int64_t> stream(std::size_t requests) const;
+  std::vector<std::int64_t> stream(std::size_t requests,
+                                   std::uint64_t seed) const;
+
+  // Ready-made sources over the artifacts.
+  std::unique_ptr<FeatureSource> memory_source() const;
+  // Concrete type so callers can keep a store handle for pread counters.
+  std::unique_ptr<FileStoreSource> file_source() const;  // needs create_store
+
+  // A FleetBuilder over this testbed's checkpoint and architecture;
+  // `make_source` decides each replica's feature path.  The builder keeps
+  // a reference to this testbed — keep the testbed alive for the
+  // builder's (and any fleet's) lifetime.
+  FleetBuilder fleet_builder(FleetBuilder::MakeSource make_source,
+                             std::uint64_t model_seed_base = 1000) const;
+
+ private:
+  TestbedConfig cfg_;
+  graph::SbmGraph sbm_;
+  core::Preprocessed pre_;
+  std::string dir_;
+  std::string ckpt_;
+  std::string ckpt_fp32_;
+};
+
+}  // namespace ppgnn::serve

@@ -83,41 +83,64 @@ struct Fixture {
 
 // --- Router policies ------------------------------------------------------
 
+RouteTargets targets_of(std::size_t count, const QueueDepthFn* depth,
+                        const HashRing* ring) {
+  RouteTargets t;
+  t.count = count;
+  t.queue_depth = depth;
+  t.ring = ring;
+  return t;
+}
+
 TEST(Router, RoundRobinCycles) {
-  auto r = make_router(RoutingPolicy::kRoundRobin, 3);
-  const QueueDepthFn unused = [](std::size_t) -> std::size_t {
+  auto r = make_router(RoutingPolicy::kRoundRobin);
+  const QueueDepthFn poison = [](std::size_t) -> std::size_t {
     ADD_FAILURE() << "round_robin must not read load";
     return 0;
   };
+  const RouteTargets t = targets_of(3, &poison, nullptr);
   for (int pass = 0; pass < 3; ++pass) {
-    EXPECT_EQ(r->route(/*node=*/99, unused), 0u);
-    EXPECT_EQ(r->route(99, unused), 1u);
-    EXPECT_EQ(r->route(99, unused), 2u);
+    EXPECT_EQ(r->route(/*node=*/99, t), 0u);
+    EXPECT_EQ(r->route(99, t), 1u);
+    EXPECT_EQ(r->route(99, t), 2u);
+  }
+}
+
+TEST(Router, RoundRobinStaysInRangeAcrossResizes) {
+  auto r = make_router(RoutingPolicy::kRoundRobin);
+  const QueueDepthFn none = [](std::size_t) { return std::size_t{0}; };
+  // The shared counter survives snapshot changes; only the modulus moves.
+  for (const std::size_t count : {3u, 5u, 2u, 4u}) {
+    const RouteTargets t = targets_of(count, &none, nullptr);
+    for (int i = 0; i < 10; ++i) EXPECT_LT(r->route(0, t), count);
   }
 }
 
 TEST(Router, LeastLoadedPicksShallowestLowIndexOnTies) {
-  auto r = make_router(RoutingPolicy::kLeastLoaded, 3);
+  auto r = make_router(RoutingPolicy::kLeastLoaded);
   const std::vector<std::size_t> depths{5, 2, 7};
-  EXPECT_EQ(r->route(0, [&](std::size_t i) { return depths[i]; }), 1u);
-  EXPECT_EQ(r->route(0, [](std::size_t) { return std::size_t{3}; }), 0u);
+  const QueueDepthFn by_table = [&](std::size_t i) { return depths[i]; };
+  EXPECT_EQ(r->route(0, targets_of(3, &by_table, nullptr)), 1u);
+  const QueueDepthFn flat = [](std::size_t) { return std::size_t{3}; };
+  EXPECT_EQ(r->route(0, targets_of(3, &flat, nullptr)), 0u);
 }
 
 TEST(Router, CacheAffinityIsDeterministicPerNodeId) {
-  auto a = make_router(RoutingPolicy::kCacheAffinity, 4);
-  auto b = make_router(RoutingPolicy::kCacheAffinity, 4);
-  const QueueDepthFn none = [](std::size_t) { return std::size_t{0}; };
+  auto a = make_router(RoutingPolicy::kCacheAffinity);
+  auto b = make_router(RoutingPolicy::kCacheAffinity);
+  const HashRing ring({10, 11, 12, 13});  // generation ids, any values
+  const RouteTargets t = targets_of(4, nullptr, &ring);
   std::vector<std::size_t> hits(4, 0);
   for (std::int64_t node = 0; node < 1000; ++node) {
-    const std::size_t want = affinity_replica(node, 4);
+    const std::size_t want = ring.lookup(node);
     // Stable across repeated calls and across independent router
     // instances — the property a cache warmer relies on.
-    EXPECT_EQ(a->route(node, none), want);
-    EXPECT_EQ(a->route(node, none), want);
-    EXPECT_EQ(b->route(node, none), want);
+    EXPECT_EQ(a->route(node, t), want);
+    EXPECT_EQ(a->route(node, t), want);
+    EXPECT_EQ(b->route(node, t), want);
     ++hits[want];
   }
-  // The hash spreads the key space: no replica starves or hogs.
+  // The ring spreads the key space: no replica starves or hogs.
   for (const auto h : hits) {
     EXPECT_GT(h, 150u);
     EXPECT_LT(h, 350u);
@@ -438,7 +461,7 @@ TEST(ReplicaSet, CacheAffinityPinsANodeToOneReplica) {
       rc);
   constexpr std::int64_t kNode = 42;
   for (int i = 0; i < 5; ++i) set.infer_blocking(kNode);
-  const std::size_t home = affinity_replica(kNode, 3);
+  const std::size_t home = set.home_replica(kNode);
   for (std::size_t i = 0; i < 3; ++i) {
     EXPECT_EQ(set.replica_snapshot(i).routed, i == home ? 5u : 0u);
   }
