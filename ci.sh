@@ -77,7 +77,23 @@ else
 fi
 ./build/serve_cli "${SMOKE_FLAGS[@]}"
 
+echo "== serve_cli API-v2 smoke (envelopes, deadlines, top-k) =="
+# The ServeRequest/ServeResponse path end to end: 4-node envelopes split
+# ring-consistently across 2 cache_affinity replicas, a 50ms deadline (so
+# the deadline bookkeeping runs without forcing misses), top-3 answers,
+# and a 10ms shed budget — CompletionQueue delivery under whatever
+# sanitizer this leg builds with.  gate=none: the fixed-fleet smoke above
+# already gates throughput; this run gates crashes, races and lost
+# completions (a lost envelope hangs the client drain loop, which the CI
+# job timeout turns into a failure).
+./build/serve_cli --nodes=20000 --requests=20000 --replicas=2 \
+  --policy=cache_affinity --batch-nodes=4 --deadline-ms=50 --topk=3 \
+  --shed-budget-ms=10 --gate=none --precision="${SERVE_PRECISION}"
+
 echo "== serving bench (writes ${BENCH_JSON}) =="
+# --quick includes section 6, the deadline sweep at 2x saturation whose
+# slack-vs-FIFO miss-rate comparison lands in the JSON artifact as the
+# machine-relative "deadline_gate" record.
 ./build/bench_serving_latency --quick --json="${BENCH_JSON}"
 
 echo "CI OK"

@@ -31,6 +31,18 @@
 //   A shed budget is required for the overload signal; --autoscale defaults
 //   it to 2ms when unset.
 //
+// Serving API v2 (the measured path — every fixed-fleet run drives the
+// ServeRequest/ServeResponse envelope through a CompletionQueue):
+//   --batch-nodes=N       nodes per request envelope (default 1); under
+//                         cache_affinity the fleet splits each envelope
+//                         into ring-consistent sub-batches and merges
+//   --deadline-ms=D       per-request deadline (0 = none); requests whose
+//                         deadline is blown at dispatch are shed before
+//                         compute, and the run reports the deadline-miss
+//                         rate in the result block and JSON
+//   --topk=K              answer top-k (class, score) pairs instead of
+//                         full logits (0 = full logits)
+//
 // Precision:
 //   --precision=fp32|int8 int8 deploys a quantized checkpoint (~4x less
 //                         weight data), quantizes every Linear per output
@@ -67,6 +79,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -85,6 +98,7 @@
 #include "serve/inference_session.h"
 #include "serve/replica_set.h"
 #include "serve/router.h"
+#include "serve/serve_api.h"
 #include "serve/server_stats.h"
 #include "serve/testbed.h"
 #include "serve/workload.h"
@@ -117,6 +131,10 @@ struct Args {
   double cache_frac = 0.05;
   std::size_t window = 512;  // in-flight requests per client
   std::size_t train_epochs = 2;
+  // Serving API v2 envelope shape.
+  std::size_t batch_nodes = 1;
+  double deadline_ms = 0.0;  // 0 = no deadline
+  std::size_t topk = 0;      // 0 = full logits
   // Autoscaling.
   bool autoscale = false;
   std::size_t min_replicas = 1;
@@ -175,6 +193,9 @@ Args parse(int argc, char** argv) {
     else if (k == "cache_frac") a.cache_frac = std::stod(v);
     else if (k == "window") a.window = std::stoul(v);
     else if (k == "train_epochs") a.train_epochs = std::stoul(v);
+    else if (k == "batch_nodes") a.batch_nodes = std::stoul(v);
+    else if (k == "deadline_ms") a.deadline_ms = std::stod(v);
+    else if (k == "topk") a.topk = std::stoul(v);
     else if (k == "autoscale") a.autoscale = v != "0";
     else if (k == "min_replicas") a.min_replicas = std::stoul(v);
     else if (k == "max_replicas") a.max_replicas = std::stoul(v);
@@ -221,6 +242,21 @@ Args parse(int argc, char** argv) {
     std::fprintf(stderr, "--shed-budget-ms must be >= 0 (0 disables)\n");
     std::exit(2);
   }
+  if (a.batch_nodes == 0) {
+    std::fprintf(stderr, "--batch-nodes must be >= 1\n");
+    std::exit(2);
+  }
+  if (a.deadline_ms < 0) {
+    std::fprintf(stderr, "--deadline-ms must be >= 0 (0 = none)\n");
+    std::exit(2);
+  }
+  if (a.autoscale &&
+      (a.batch_nodes > 1 || a.deadline_ms > 0 || a.topk > 0)) {
+    std::fprintf(stderr,
+                 "--batch-nodes/--deadline-ms/--topk drive the fixed-fleet "
+                 "envelope path; drop --autoscale to use them\n");
+    std::exit(2);
+  }
   if (a.autoscale) {
     if (a.min_replicas == 0 || a.max_replicas < a.min_replicas) {
       std::fprintf(stderr,
@@ -244,6 +280,18 @@ struct RunResult {
   double rps = 0;             // completed requests over wall time
   serve::LatencySummary latency;       // admitted requests only
   serve::AdmissionCounters admission;  // fleet-wide
+  serve::StageGauges stages;           // per-stage means + shed waits
+  std::size_t deadline_missed = 0;     // server-side miss count
+  // Client-side envelope accounting (v2 path).
+  std::size_t envelopes = 0;
+  std::size_t envelopes_ok = 0;
+  std::size_t envelopes_missed = 0;  // status kDeadlineExceeded
+  std::size_t envelopes_shed = 0;    // status kShed
+  double deadline_miss_rate() const {
+    return envelopes ? static_cast<double>(envelopes_missed) /
+                           static_cast<double>(envelopes)
+                     : 0.0;
+  }
   double mean_batch = 0;
   double cache_hit_rate = 0;
   std::size_t cache_capacity_rows = 0;  // per-replica rows the byte budget holds
@@ -337,6 +385,8 @@ void finish_result(RunResult& r, serve::FleetManager& fleet,
                    const SourceFactory& sf, double wall) {
   r.latency = fleet.aggregate_latency();
   r.admission = fleet.aggregate_admission();
+  r.stages = fleet.aggregate_stages();
+  r.deadline_missed = fleet.aggregate_deadline_missed();
   r.mean_batch = fleet.aggregate_mean_batch_size();
   r.rps = static_cast<double>(r.latency.count) / wall;
   // Full fleet history (retired replicas included), read under the fleet's
@@ -353,7 +403,10 @@ void finish_result(RunResult& r, serve::FleetManager& fleet,
   for (const auto* s : sf.stores) r.preads += s->preads();
 }
 
-// Closed-loop saturation run over a fixed fleet of `replicas` pipelines.
+// Closed-loop saturation run over a fixed fleet of `replicas` pipelines,
+// driven through the v2 envelope API: each client groups its stream shard
+// into --batch-nodes envelopes, stamps the --deadline-ms deadline at
+// submit time, and reaps merged responses from its own CompletionQueue.
 // Self-contained so the relative gate can run it twice (1-replica
 // calibration, then the real config).
 RunResult run_serving(const Args& a, const serve::ServingTestbed& tb,
@@ -364,35 +417,68 @@ RunResult run_serving(const Args& a, const serve::ServingTestbed& tb,
       tb.fleet_builder([&sf](std::size_t i) { return sf(i); }), replicas,
       fleet_config(a, /*with_autoscale=*/false));
 
+  const auto groups = serve::ServingTestbed::group_stream(stream,
+                                                          a.batch_nodes);
+  const auto deadline_budget =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(a.deadline_ms));
+  std::atomic<std::size_t> n_ok{0}, n_missed{0}, n_shed{0}, n_total{0};
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> clients;
-  const std::size_t shard = (stream.size() + a.clients - 1) / a.clients;
+  const std::size_t shard = (groups.size() + a.clients - 1) / a.clients;
   for (std::size_t c = 0; c < a.clients; ++c) {
     clients.emplace_back([&, c] {
       const std::size_t lo = c * shard;
-      const std::size_t hi = std::min(stream.size(), lo + shard);
-      // Open-loop-ish client: keep up to `window` requests in flight.
-      // Rejected/shed requests are dropped, as a real retrying client
-      // would after marking the response retriable.
-      std::deque<std::future<std::vector<float>>> inflight;
-      const auto reap_front = [&] {
-        try {
-          inflight.front().get();
-        } catch (const serve::RejectedError&) {
-          // shed from the queue after admission — retriable, not fatal
+      const std::size_t hi = std::min(groups.size(), lo + shard);
+      // Closed-loop client: keep up to `window` envelopes in flight.
+      // Every submitted envelope produces exactly one response (shed and
+      // missed ones included), so reaping is just counting statuses — a
+      // real retrying client would resubmit the kShed ones.
+      serve::CompletionQueue cq;
+      std::size_t inflight = 0, ok = 0, missed = 0, shed = 0;
+      const auto count = [&](const serve::ServeResponse& resp) {
+        --inflight;
+        switch (resp.status) {
+          case serve::ServeStatus::kOk:
+            ++ok;
+            break;
+          case serve::ServeStatus::kDeadlineExceeded:
+            ++missed;
+            break;
+          default:
+            ++shed;
         }
-        inflight.pop_front();
       };
+      serve::ServeResponse resp;
       for (std::size_t i = lo; i < hi; ++i) {
-        if (inflight.size() >= a.window) reap_front();
-        const auto pri = (a.low_frac > 0 &&
-                          static_cast<double>(i % 100) < a.low_frac * 100)
-                             ? serve::Priority::kLow
-                             : serve::Priority::kHigh;
-        auto adm = fleet.try_submit(stream[i], pri);
-        if (adm.accepted) inflight.push_back(std::move(adm.result));
+        while (inflight >= a.window) {
+          if (cq.wait_for(&resp, std::chrono::milliseconds(100))) {
+            count(resp);
+          }
+        }
+        serve::ServeRequest req;
+        req.id = i;
+        req.nodes = groups[i];
+        req.priority = (a.low_frac > 0 &&
+                        static_cast<double>(i % 100) < a.low_frac * 100)
+                           ? serve::Priority::kLow
+                           : serve::Priority::kHigh;
+        if (a.deadline_ms > 0) req.deadline = serve::deadline_in(deadline_budget);
+        if (a.topk > 0) {
+          req.mode = serve::ResultMode::kTopK;
+          req.topk = a.topk;
+        }
+        fleet.submit(std::move(req), cq);
+        ++inflight;
+        while (cq.poll(&resp)) count(resp);
       }
-      while (!inflight.empty()) reap_front();
+      while (inflight > 0) {
+        if (cq.wait_for(&resp, std::chrono::milliseconds(100))) count(resp);
+      }
+      n_ok.fetch_add(ok);
+      n_missed.fetch_add(missed);
+      n_shed.fetch_add(shed);
+      n_total.fetch_add(hi > lo ? hi - lo : 0);
     });
   }
   for (auto& t : clients) t.join();
@@ -401,6 +487,10 @@ RunResult run_serving(const Args& a, const serve::ServingTestbed& tb,
           .count();
 
   RunResult r;
+  r.envelopes = n_total.load();
+  r.envelopes_ok = n_ok.load();
+  r.envelopes_missed = n_missed.load();
+  r.envelopes_shed = n_shed.load();
   finish_result(r, fleet, sf, wall);
   return r;
 }
@@ -530,6 +620,23 @@ void print_result(const char* label, const RunResult& r) {
                 r.admission.admitted, r.admission.rejected, r.admission.shed,
                 100 * r.admission.shed_rate());
   }
+  if (r.stages.dispatched > 0) {
+    std::printf("stages: admission %.0fus, dispatch %.0fus, compute %.0fus",
+                r.stages.mean_admission_us(), r.stages.mean_dispatch_us(),
+                r.stages.mean_compute_us());
+    if (r.stages.shed_waits > 0) {
+      // Shed requests report the wait their clients paid, not zeros.
+      std::printf("; shed waited %.0fus (%zu)",
+                  r.stages.mean_shed_wait_us(), r.stages.shed_waits);
+    }
+    std::printf("\n");
+  }
+  if (r.deadline_missed > 0 || r.envelopes_missed > 0) {
+    std::printf("deadlines: %zu/%zu envelopes missed (%.1f%% miss rate, "
+                "%zu parts server-side)\n",
+                r.envelopes_missed, r.envelopes, 100 * r.deadline_miss_rate(),
+                r.deadline_missed);
+  }
   if (r.replicas.size() > 1) {
     std::printf("%-8s %6s %-9s %10s %10s %10s %10s %10s\n", "replica",
                 "gen", "state", "routed", "batches", "admitted", "shed",
@@ -630,6 +737,15 @@ int main(int argc, char** argv) {
               a.shed_budget_ms, a.source.c_str(),
               a.source == "file" ? a.cache.c_str() : "n/a",
               serve::precision_name(prec));
+  if (!a.autoscale) {
+    std::printf("envelope: %zu node(s)/request, deadline=%s, results=%s\n",
+                a.batch_nodes,
+                a.deadline_ms > 0
+                    ? (std::to_string(a.deadline_ms) + "ms").c_str()
+                    : "none",
+                a.topk > 0 ? ("top-" + std::to_string(a.topk)).c_str()
+                           : "full logits");
+  }
 
   const auto stream = tb.stream(a.requests);
 
@@ -707,34 +823,49 @@ int main(int argc, char** argv) {
 
   std::printf("\njson: {\"requests\":%zu,\"replicas\":%zu,\"policy\":\"%s\","
               "\"precision\":\"%s\",\"autoscale\":%s,"
+              "\"batch_nodes\":%zu,\"deadline_ms\":%.1f,\"topk\":%zu,"
+              "\"envelopes\":%zu,\"deadline_miss_rate\":%.4f,"
+              "\"deadline_missed\":%zu,"
               "\"max_replicas_seen\":%zu,\"replica_seconds\":%.1f,"
               "\"idle_replica_seconds\":%.1f,\"throughput_rps\":%.0f,"
               "\"baseline_rps\":%.0f,\"top1_agreement\":%.4f,"
               "\"max_logit_err\":%.5f,\"preads\":%llu,"
               "\"cache_capacity_rows\":%zu,"
-              "\"latency\":%s,\"admission\":%s,\"mean_batch\":%.1f}\n",
+              "\"latency\":%s,\"admission\":%s,\"stages\":%s,"
+              "\"mean_batch\":%.1f}\n",
               stream.size(), a.autoscale ? a.min_replicas : a.replicas,
               a.policy.c_str(), serve::precision_name(prec),
-              a.autoscale ? "true" : "false", r.max_replicas_seen,
+              a.autoscale ? "true" : "false", a.batch_nodes, a.deadline_ms,
+              a.topk, r.envelopes, r.deadline_miss_rate(), r.deadline_missed,
+              r.max_replicas_seen,
               r.replica_seconds, r.idle_replica_seconds, r.rps, baseline_rps,
               acc.top1_agreement, acc.max_logit_err,
               static_cast<unsigned long long>(r.preads),
               r.cache_capacity_rows, r.latency.to_json().c_str(),
-              r.admission.to_json().c_str(), r.mean_batch);
+              r.admission.to_json().c_str(), r.stages.to_json().c_str(),
+              r.mean_batch);
+  // The status line carries the deadline-miss rate whenever a deadline
+  // was in force — a PASS that misses half its deadlines should say so.
+  char miss_note[64] = "";
+  if (a.deadline_ms > 0) {
+    std::snprintf(miss_note, sizeof(miss_note), ", deadline-miss %.1f%%",
+                  100 * r.deadline_miss_rate());
+  }
   if (!acc_ok) {
     std::printf("FAIL: int8 top-1 agreement %.2f%% below the %.0f%% bound\n",
                 100 * acc.top1_agreement, 100 * kMinAgreement);
   } else if (a.gate == "relative") {
     std::printf("%s: %s sustained %.0f req/s vs single-replica baseline "
-                "%.0f (relative gate: >= %.0f%%)\n",
+                "%.0f (relative gate: >= %.0f%%)%s\n",
                 ok ? "PASS" : "FAIL",
                 a.autoscale ? "autoscaled ramp" : "measured run", r.rps,
-                baseline_rps, 100 * rel_factor);
+                baseline_rps, 100 * rel_factor, miss_note);
   } else if (a.gate == "absolute") {
-    std::printf("%s: sustained %.0f req/s (absolute gate: %.0f req/s)\n",
-                ok ? "PASS" : "FAIL", r.rps, a.min_rps);
+    std::printf("%s: sustained %.0f req/s (absolute gate: %.0f req/s)%s\n",
+                ok ? "PASS" : "FAIL", r.rps, a.min_rps, miss_note);
   } else {
-    std::printf("PASS: gate disabled (sustained %.0f req/s)\n", r.rps);
+    std::printf("PASS: gate disabled (sustained %.0f req/s)%s\n", r.rps,
+                miss_note);
   }
   return ok ? 0 : 1;
 }

@@ -8,7 +8,7 @@
 // uses the fp32 weights — quantization is a deployment transform, not a
 // training scheme.  The quantized block is immutable and held by
 // shared_ptr so N serving replicas of the same checkpoint share one copy
-// (see share_quantized / serve::make_replica_sessions).
+// (see share_quantized / serve::FleetBuilder).
 #pragma once
 
 #include <memory>

@@ -165,15 +165,4 @@ std::vector<std::unique_ptr<InferenceSession>> FleetBuilder::build_n(
   return sessions;
 }
 
-std::vector<std::unique_ptr<InferenceSession>> make_replica_sessions(
-    std::size_t n, const std::string& checkpoint_path,
-    const std::function<std::unique_ptr<core::PpModel>(std::size_t)>&
-        make_model,
-    const std::function<std::unique_ptr<FeatureSource>(std::size_t)>&
-        make_source,
-    Precision precision) {
-  return FleetBuilder(checkpoint_path, make_model, make_source, precision)
-      .build_n(n);
-}
-
 }  // namespace ppgnn::serve

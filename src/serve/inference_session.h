@@ -13,7 +13,7 @@
 // kInt8 — post-training per-channel quantization of every Linear
 // (core::quantize_int8), typically paired with an int8 FeatureFileStore
 // codec and a quantized checkpoint so weights, rows on disk, and the
-// cached resident set all shrink ~4x together.  make_replica_sessions
+// cached resident set all shrink ~4x together.  FleetBuilder
 // quantizes ONE model copy and shares the immutable int8 blocks across
 // replicas; answers stay deterministic (fixed accumulation order), just
 // quantized — test_replica_set bounds the error against the fp32 fleet.
@@ -43,7 +43,7 @@ class InferenceSession {
   // Takes ownership of both.  The feature source's row_dim() must match the
   // model's expected input width; checked lazily on first inference.
   // `precision` records how the model was prepared (it does not itself
-  // transform the model — see make_replica_sessions / core::quantize_int8).
+  // transform the model — see FleetBuilder / core::quantize_int8).
   InferenceSession(std::unique_ptr<core::PpModel> model,
                    std::unique_ptr<FeatureSource> features,
                    Precision precision = Precision::kFp32);
@@ -140,15 +140,5 @@ class FleetBuilder {
   // shared weight blocks for every subsequent build.
   std::unique_ptr<core::PpModel> donor_;
 };
-
-// Compatibility shim over FleetBuilder::build_n for fixed fleets built in
-// one shot (tests, precision-drift harnesses).
-std::vector<std::unique_ptr<InferenceSession>> make_replica_sessions(
-    std::size_t n, const std::string& checkpoint_path,
-    const std::function<std::unique_ptr<core::PpModel>(std::size_t)>&
-        make_model,
-    const std::function<std::unique_ptr<FeatureSource>(std::size_t)>&
-        make_source,
-    Precision precision = Precision::kFp32);
 
 }  // namespace ppgnn::serve

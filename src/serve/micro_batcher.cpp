@@ -5,6 +5,33 @@
 
 namespace ppgnn::serve {
 
+std::chrono::steady_clock::time_point effective_deadline(
+    const SlackView& e, std::chrono::steady_clock::duration budget) {
+  auto d = e.deadline;
+  if (budget.count() > 0) {
+    const auto aged = e.enqueued + budget;
+    if (aged < d) d = aged;
+  }
+  return d;
+}
+
+std::size_t least_slack_index(const std::vector<SlackView>& entries,
+                              std::chrono::steady_clock::duration budget) {
+  std::size_t best = SIZE_MAX;
+  std::chrono::steady_clock::time_point best_deadline{};
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto d = effective_deadline(entries[i], budget);
+    // Strict '<': ties keep the earliest index, i.e. the oldest entry
+    // under FIFO enqueue order — so without explicit deadlines this IS
+    // drop-head.
+    if (best == SIZE_MAX || d < best_deadline) {
+      best = i;
+      best_deadline = d;
+    }
+  }
+  return best;
+}
+
 MicroBatcher::MicroBatcher(InferenceSession& session,
                            const MicroBatchConfig& cfg, ServerStats* stats)
     : session_(session), cfg_(cfg), stats_(stats) {
@@ -30,98 +57,264 @@ bool MicroBatcher::over_budget_locked(
   return now - oldest_enqueued_locked() > cfg_.shed_budget;
 }
 
-void MicroBatcher::shed_front_low_locked() {
-  auto& low = queues_[static_cast<std::size_t>(Priority::kLow)];
-  Pending victim = std::move(low.front());
-  low.pop_front();
-  ++counters_.admission.shed;
-  if (stats_) stats_->record_shed();
-  victim.result.set_exception(std::make_exception_ptr(
-      RejectedError("shed from queue: delay budget exceeded")));
+void MicroBatcher::recompute_low_expiry_locked() {
+  low_next_expiry_ = std::chrono::steady_clock::time_point::max();
+  if (cfg_.shed_budget.count() <= 0) return;  // sweeps only shed with a budget
+  const auto& low = queues_[static_cast<std::size_t>(Priority::kLow)];
+  for (const Pending& p : low) {
+    const SlackView v{p.enqueued,
+                      cfg_.deadline_aware
+                          ? p.deadline
+                          : std::chrono::steady_clock::time_point::max()};
+    low_next_expiry_ =
+        std::min(low_next_expiry_, effective_deadline(v, cfg_.shed_budget));
+  }
 }
 
-Admission MicroBatcher::try_submit(std::int64_t node, Priority pri) {
-  Pending p;
-  p.node = node;
-  p.enqueued = std::chrono::steady_clock::now();
-  auto fut = p.result.get_future();
+void MicroBatcher::sweep_expired_low_locked(
+    std::chrono::steady_clock::time_point now, std::vector<Pending>* victims) {
+  if (now < low_next_expiry_) return;  // nothing can have expired yet
+  auto& low = queues_[static_cast<std::size_t>(Priority::kLow)];
+  if (cfg_.deadline_aware) {
+    for (auto it = low.begin(); it != low.end();) {
+      const SlackView v{it->enqueued, it->deadline};
+      if (effective_deadline(v, cfg_.shed_budget) < now) {
+        ++counters_.admission.shed;
+        victims->push_back(std::move(*it));
+        it = low.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  } else {
+    // FIFO baseline: age ordering equals expiry ordering, so only the
+    // front can be expired — the PR-2 drop-head pass.
+    while (!low.empty() && now - low.front().enqueued > cfg_.shed_budget) {
+      ++counters_.admission.shed;
+      victims->push_back(std::move(low.front()));
+      low.pop_front();
+    }
+  }
+  recompute_low_expiry_locked();
+}
+
+void MicroBatcher::evict_one_low_locked(std::vector<Pending>* victims) {
+  auto& low = queues_[static_cast<std::size_t>(Priority::kLow)];
+  std::size_t victim = 0;  // FIFO baseline: the head
+  if (cfg_.deadline_aware) {
+    // Slack order: the entry nearest its effective deadline is the one
+    // least likely to be answered usefully — kill it, keep the ones with
+    // room to make it.  Decided by the same pure function the staged
+    // synthetic-clock tests replay, so the shipped policy cannot diverge
+    // from the verified one.
+    std::vector<SlackView> views;
+    views.reserve(low.size());
+    for (const Pending& p : low) views.push_back({p.enqueued, p.deadline});
+    victim = least_slack_index(views, cfg_.shed_budget);
+  }
+  ++counters_.admission.shed;
+  victims->push_back(std::move(low[victim]));
+  low.erase(low.begin() + static_cast<std::ptrdiff_t>(victim));
+  recompute_low_expiry_locked();
+}
+
+void MicroBatcher::finish_shed(std::vector<Pending>& victims,
+                               std::chrono::steady_clock::time_point now) {
+  for (Pending& p : victims) {
+    // An entry whose explicit deadline has passed is a deadline miss
+    // whichever policy dropped it; one shed while it could still have
+    // been answered elsewhere is a plain (retriable) shed.
+    const bool missed = p.deadline < now;
+    StageTimings t;
+    t.admission_wait_us =
+        std::chrono::duration<double, std::micro>(now - p.enqueued).count();
+    if (stats_) {
+      stats_->record_shed();
+      // The honest shed column: a shed part's queue wait was latency its
+      // client paid — record it instead of reporting zeros.
+      stats_->record_shed_wait(t.admission_wait_us);
+      if (missed) stats_->record_deadline_miss();
+    }
+    p.state->finish_part(p.slot,
+                         missed ? ServeStatus::kDeadlineExceeded
+                                : ServeStatus::kShed,
+                         nullptr, 0, t);
+  }
+  victims.clear();
+}
+
+RejectReason MicroBatcher::try_submit_parts(
+    const std::shared_ptr<RequestState>& state, const std::uint32_t* slots,
+    std::size_t n) {
+  if (n == 0) return RejectReason::kNone;
   const bool shedding = cfg_.shed_budget.count() > 0;
-  bool accepted = true;
+  const auto& nodes = state->request().nodes;
+  const Priority pri = state->priority();
+  std::vector<Pending> victims;
   RejectReason reason = RejectReason::kNone;
-  {
+  if (n > cfg_.queue_capacity) {
+    // A sub-batch that can never fit must not block forever (backpressure
+    // wait) or throw out of the exactly-one-response contract — it is a
+    // permanent overload refusal, resolved like any other.
+    std::lock_guard<std::mutex> lk(mu_);
+    counters_.admission.rejected += n;
+    reason = RejectReason::kOverload;
+  }
+  if (reason == RejectReason::kNone) {
     std::unique_lock<std::mutex> lk(mu_);
     if (!shedding) {
       // Backpressure mode: block for space, always accept — unless the
       // replica starts draining, which must wake blocked waiters and turn
       // them away (they re-route; see begin_drain in the header).
-      cv_space_.wait(lk, [this] {
-        return stop_ || draining_ || queued_locked() < cfg_.queue_capacity;
+      cv_space_.wait(lk, [this, n] {
+        return stop_ || draining_ ||
+               queued_locked() + n <= cfg_.queue_capacity;
       });
       // Draining outranks stopped: a retired replica's batcher is both,
       // and a straggler routed by a pre-resize snapshot (it may have slept
       // through the whole drain) must get the re-routable bounce, not the
       // "server shut down" error reserved for a stopped fleet.
-      if (draining_) {
-        Admission a;
-        a.reason = RejectReason::kDraining;
-        return a;
-      }
-      if (stop_) throw std::runtime_error("MicroBatcher: stopped");
-      // One FIFO regardless of class (see Priority in the header): a
-      // strict-priority drain without a drop policy would let sustained
-      // kHigh load starve queued kLow forever.
-      queues_[static_cast<std::size_t>(Priority::kHigh)].push_back(
-          std::move(p));
-      ++counters_.admission.admitted;
-    } else {
-      if (draining_) {  // outranks stopped; see the backpressure branch
-        Admission a;
-        a.reason = RejectReason::kDraining;
-        return a;
-      }
+      if (draining_) return RejectReason::kDraining;
       if (stop_) throw std::runtime_error("MicroBatcher: stopped");
       const auto now = std::chrono::steady_clock::now();
-      // Drop-head: shed kLow entries that have themselves outlived the
-      // budget (each is past the deadline its client cares about).  Keyed
-      // on the kLow head's own age, not the overall head-of-line — when
-      // the oldest waiter is kHigh, flushing in-budget kLow behind it
-      // can't restore the budget and would only inflate the shed rate.
-      auto& low = queues_[static_cast<std::size_t>(Priority::kLow)];
-      while (!low.empty() &&
-             now - low.front().enqueued > cfg_.shed_budget) {
-        shed_front_low_locked();
-      }
-      // A full queue never turns away kHigh while kLow occupies it — but
-      // only evict when the admission will actually succeed; if the head
-      // of line is over budget the kHigh is about to be refused anyway,
-      // and killing a servable kLow for it would waste both.
-      if (pri == Priority::kHigh && queued_locked() >= cfg_.queue_capacity &&
-          !low.empty() && !over_budget_locked(now)) {
-        shed_front_low_locked();
-      }
-      if (over_budget_locked(now) ||
-          queued_locked() >= cfg_.queue_capacity) {
-        accepted = false;
-        reason = RejectReason::kOverload;
-        ++counters_.admission.rejected;
+      if (cfg_.deadline_aware && state->deadline() < now) {
+        // Already blown while (possibly) blocked for space: refusing here
+        // is the cheapest shed there is — nothing was ever queued.
+        counters_.admission.rejected += n;
+        reason = RejectReason::kDeadline;
       } else {
-        queues_[static_cast<std::size_t>(pri)].push_back(std::move(p));
-        ++counters_.admission.admitted;
+        // One FIFO regardless of class (see Priority in serve_api.h): a
+        // strict-priority drain without a drop policy would let sustained
+        // kHigh load starve queued kLow forever.
+        auto& q = queues_[static_cast<std::size_t>(Priority::kHigh)];
+        for (std::size_t i = 0; i < n; ++i) {
+          Pending p;
+          p.node = nodes[slots[i]];
+          p.slot = slots[i];
+          p.state = state;
+          p.enqueued = now;
+          p.deadline = state->deadline();
+          q.push_back(std::move(p));
+        }
+        counters_.admission.admitted += n;
+      }
+    } else {
+      if (draining_) return RejectReason::kDraining;  // outranks stopped
+      if (stop_) throw std::runtime_error("MicroBatcher: stopped");
+      const auto now = std::chrono::steady_clock::now();
+      if (cfg_.deadline_aware && state->deadline() < now) {
+        counters_.admission.rejected += n;
+        reason = RejectReason::kDeadline;
+      } else {
+        // Shed queued kLow parts that have outlived their effective
+        // deadline — min(explicit deadline, enqueue + budget).  Gated on
+        // the precomputed next-expiry so the common no-expiry arrival
+        // stays O(1).
+        sweep_expired_low_locked(now, &victims);
+        // A full queue never turns away kHigh while kLow occupies it —
+        // but only evict when the admission will actually succeed: if the
+        // head of line is over budget, or the kLow queue cannot cover the
+        // whole shortfall, the kHigh is about to be refused anyway and
+        // killing servable kLow for it would waste both.
+        auto& low = queues_[static_cast<std::size_t>(Priority::kLow)];
+        if (pri == Priority::kHigh && !over_budget_locked(now)) {
+          const std::size_t after = queued_locked() + n;
+          const std::size_t shortfall =
+              after > cfg_.queue_capacity ? after - cfg_.queue_capacity : 0;
+          if (shortfall > 0 && shortfall <= low.size()) {
+            while (queued_locked() + n > cfg_.queue_capacity) {
+              evict_one_low_locked(&victims);
+            }
+          }
+        }
+        if (over_budget_locked(now) ||
+            queued_locked() + n > cfg_.queue_capacity) {
+          counters_.admission.rejected += n;
+          reason = RejectReason::kOverload;
+        } else {
+          auto& q = queues_[static_cast<std::size_t>(pri)];
+          for (std::size_t i = 0; i < n; ++i) {
+            Pending p;
+            p.node = nodes[slots[i]];
+            p.slot = slots[i];
+            p.state = state;
+            p.enqueued = now;
+            p.deadline = state->deadline();
+            q.push_back(std::move(p));
+            if (pri == Priority::kLow) {
+              const SlackView v{p.enqueued, cfg_.deadline_aware
+                                                ? p.deadline
+                                                : std::chrono::steady_clock::
+                                                      time_point::max()};
+              low_next_expiry_ = std::min(
+                  low_next_expiry_, effective_deadline(v, cfg_.shed_budget));
+            }
+          }
+          counters_.admission.admitted += n;
+        }
       }
     }
   }
-  if (stats_) {
-    if (accepted) {
-      stats_->record_admitted();
-    } else {
-      stats_->record_rejected();
-    }
+  // Deliveries and stats happen outside the queue lock: finishing a part
+  // may run an arbitrary caller callback (CompletionQueue sinks), and a
+  // callback that blocked on mu_ would deadlock the admission path.
+  if (!victims.empty()) {
+    cv_space_.notify_all();
+    finish_shed(victims, std::chrono::steady_clock::now());
   }
-  if (accepted) cv_arrival_.notify_one();
+  if (reason == RejectReason::kNone) {
+    if (stats_) {
+      for (std::size_t i = 0; i < n; ++i) stats_->record_admitted();
+    }
+    cv_arrival_.notify_one();
+    return RejectReason::kNone;
+  }
+  // Terminal refusal: the batcher resolves the parts itself (kDraining
+  // never reaches here — the caller re-routes those).
+  const bool deadline_refusal = reason == RejectReason::kDeadline;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (stats_) {
+      stats_->record_rejected();
+      if (deadline_refusal) stats_->record_deadline_miss();
+    }
+    state->finish_part(slots[i],
+                       deadline_refusal ? ServeStatus::kDeadlineExceeded
+                                        : ServeStatus::kShed,
+                       nullptr, 0, StageTimings{});
+  }
+  return reason;
+}
+
+Admission MicroBatcher::try_submit(std::int64_t node, Priority pri) {
+  // The PR-1 surface as a thin shim over a single-node envelope: the
+  // envelope's sink fulfils a promise, so legacy callers keep their
+  // future — at the cost of the promise allocation the v2 path exists to
+  // avoid.
+  auto prom = std::make_shared<std::promise<std::vector<float>>>();
+  auto fut = prom->get_future();
+  ServeRequest req;
+  req.nodes.push_back(node);
+  req.priority = pri;
+  auto state = std::make_shared<RequestState>(
+      std::move(req), [prom](ServeResponse&& r) {
+        switch (r.status) {
+          case ServeStatus::kOk:
+            prom->set_value(std::move(r.logits[0]));
+            break;
+          case ServeStatus::kError:
+            prom->set_exception(r.error);
+            break;
+          default:
+            prom->set_exception(std::make_exception_ptr(RejectedError(
+                "shed from queue: delay budget exceeded")));
+        }
+      });
+  const std::uint32_t slot = 0;
+  const RejectReason reason = try_submit_parts(state, &slot, 1);
   Admission a;
-  a.accepted = accepted;
+  a.accepted = reason == RejectReason::kNone;
   a.reason = reason;
-  if (accepted) a.result = std::move(fut);
+  if (a.accepted) a.result = std::move(fut);
   return a;
 }
 
@@ -138,7 +331,9 @@ std::vector<float> MicroBatcher::infer_blocking(std::int64_t node) {
   return submit(node).get();
 }
 
-std::vector<MicroBatcher::Pending> MicroBatcher::next_batch() {
+std::vector<MicroBatcher::Pending> MicroBatcher::next_batch(
+    std::vector<Pending>* expired,
+    std::chrono::steady_clock::time_point* pop_time) {
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
     cv_arrival_.wait(lk, [this] { return stop_ || queued_locked() > 0; });
@@ -146,37 +341,53 @@ std::vector<MicroBatcher::Pending> MicroBatcher::next_batch() {
     // The batch window opens when the oldest pending request arrived; close
     // it at size or deadline, whichever first.  On stop, dispatch
     // immediately — drain latency beats batch quality during shutdown.
-    const auto deadline = oldest_enqueued_locked() + cfg_.max_delay;
+    const auto window_close = oldest_enqueued_locked() + cfg_.max_delay;
     while (!stop_ && queued_locked() < cfg_.max_batch_size) {
-      if (cv_arrival_.wait_until(lk, deadline) == std::cv_status::timeout) {
+      if (cv_arrival_.wait_until(lk, window_close) ==
+          std::cv_status::timeout) {
         break;
       }
     }
     // Shedding may have emptied the queue while the window was open.
     if (queued_locked() == 0) continue;
-    const std::size_t take = std::min(queued_locked(), cfg_.max_batch_size);
+    const auto now = std::chrono::steady_clock::now();
     std::vector<Pending> batch;
-    batch.reserve(take);
+    batch.reserve(std::min(queued_locked(), cfg_.max_batch_size));
+    bool popped_low = false;
     // kHigh drains strictly first: under overload the sheddable class
     // waits, which is what makes its queue delay (and shedding) absorb the
-    // excess.
+    // excess.  A part whose explicit deadline is already blown is moved to
+    // `expired` instead of the batch — shedding it here, BEFORE compute,
+    // is the deadline-aware half of the v2 contract: a blown request must
+    // not burn a batch slot on an answer nobody will read.
     for (auto& queue : queues_) {
-      while (batch.size() < take && !queue.empty()) {
-        batch.push_back(std::move(queue.front()));
+      while (batch.size() < cfg_.max_batch_size && !queue.empty()) {
+        Pending p = std::move(queue.front());
         queue.pop_front();
+        popped_low = popped_low || &queue == &queues_[1];
+        if (cfg_.deadline_aware && p.deadline < now) {
+          ++counters_.admission.shed;
+          expired->push_back(std::move(p));
+          continue;
+        }
+        batch.push_back(std::move(p));
       }
     }
-    counters_.requests += take;
-    ++counters_.batches;
-    counters_.max_batch_observed =
-        std::max(counters_.max_batch_observed, take);
-    in_service_ = take;  // cleared by the dispatcher once answered
+    if (popped_low) recompute_low_expiry_locked();
+    if (batch.empty() && expired->empty()) continue;
+    if (!batch.empty()) {
+      counters_.requests += batch.size();
+      ++counters_.batches;
+      counters_.max_batch_observed =
+          std::max(counters_.max_batch_observed, batch.size());
+      in_service_ = batch.size();  // cleared by the dispatcher once answered
+    }
+    *pop_time = now;
     lk.unlock();
     cv_space_.notify_all();
     if (stats_) {
       // Queue delay (enqueue -> dispatch) is the overload signal the
       // autoscaler watches; record it at the moment the wait ends.
-      const auto now = std::chrono::steady_clock::now();
       for (const Pending& p : batch) {
         stats_->record_queue_delay(
             std::chrono::duration<double, std::micro>(now - p.enqueued)
@@ -189,30 +400,61 @@ std::vector<MicroBatcher::Pending> MicroBatcher::next_batch() {
 
 void MicroBatcher::dispatcher_loop() {
   std::vector<std::int64_t> nodes;
+  std::vector<Pending> expired;
   for (;;) {
-    std::vector<Pending> batch = next_batch();
-    if (batch.empty()) return;
+    expired.clear();
+    std::chrono::steady_clock::time_point t_pop{};
+    std::vector<Pending> batch = next_batch(&expired, &t_pop);
+    const bool had_expired = !expired.empty();
+    if (had_expired) finish_shed(expired, t_pop);
+    if (batch.empty()) {
+      if (!had_expired) return;  // stopped and drained
+      continue;  // the whole pop was deadline-shed; wait for more work
+    }
     nodes.clear();
     for (const auto& p : batch) nodes.push_back(p.node);
+    const auto t_start = std::chrono::steady_clock::now();
     try {
       const Tensor logits = session_.infer_nodes(nodes);
       const auto done = std::chrono::steady_clock::now();
       if (stats_) stats_->record_batch(batch.size());
       for (std::size_t i = 0; i < batch.size(); ++i) {
-        // Record before set_value: a resolved future releases the client,
-        // which may read stats before this loop finishes otherwise.
+        Pending& p = batch[i];
+        StageTimings t;
+        t.admission_wait_us =
+            std::chrono::duration<double, std::micro>(t_pop - p.enqueued)
+                .count();
+        t.dispatch_delay_us =
+            std::chrono::duration<double, std::micro>(t_start - t_pop)
+                .count();
+        t.compute_us =
+            std::chrono::duration<double, std::micro>(done - t_start).count();
+        // A part finished past its deadline is answered anyway — the
+        // results may still be useful — but flagged as a miss.  Counted
+        // in BOTH eviction modes, so the FIFO baseline's misses are
+        // measured, just not acted on.
+        const bool late = p.deadline < done;
+        // Record before finishing: a finished part may release the
+        // client, which could read stats before this loop moves on.
         if (stats_) {
           stats_->record(std::chrono::duration<double, std::micro>(
-                             done - batch[i].enqueued)
+                             done - p.enqueued)
                              .count());
+          stats_->record_stages(t.admission_wait_us, t.dispatch_delay_us,
+                                t.compute_us);
+          if (late) stats_->record_deadline_miss();
         }
-        batch[i].result.set_value(std::vector<float>(
-            logits.row(i), logits.row(i) + logits.cols()));
+        p.state->finish_part(
+            p.slot, late ? ServeStatus::kDeadlineExceeded : ServeStatus::kOk,
+            logits.row(i), logits.cols(), t);
       }
     } catch (...) {
       // A bad node id (or any backend failure) fails this batch's
       // requests, not the server.
-      for (auto& p : batch) p.result.set_exception(std::current_exception());
+      for (auto& p : batch) {
+        p.state->finish_part(p.slot, ServeStatus::kError, nullptr, 0,
+                             StageTimings{}, std::current_exception());
+      }
     }
     std::lock_guard<std::mutex> lk(mu_);
     in_service_ = 0;

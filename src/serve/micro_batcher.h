@@ -1,5 +1,6 @@
-// Dynamic micro-batching: coalesce concurrent single-node requests into
-// model-sized batches — now with admission control and priority classes.
+// Dynamic micro-batching: coalesce concurrent requests into model-sized
+// batches — with admission control, priority classes, and (API v2)
+// deadline-aware shedding over envelope parts.
 //
 // One forward over b rows costs far less than b forwards over one row (the
 // GEMM amortizes weight traffic and the thread-pool fan-out), so the
@@ -10,25 +11,50 @@
 // deterministic regardless of how requests interleave — test_serve proves
 // batched output is bit-identical to single-request inference.
 //
+// The unit of admission is an envelope PART: one (node, slot) of a
+// ServeRequest (serve_api.h).  A part carries a shared RequestState — one
+// allocation per envelope, not one promise per node — and delivery goes
+// through the caller's CompletionQueue when the envelope's last part
+// resolves.  The PR-1 future API survives as a thin shim: submit(node)
+// wraps a single-node envelope whose sink fulfils a promise.
+//
 // Overload is handled in one of two modes:
 //
 //  * shed_budget == 0 (default, the PR-1 behavior): the admission queue is
-//    bounded (queue_capacity) and submit() blocks when full — callers feel
-//    backpressure instead of the server melting.
+//    bounded (queue_capacity) and submission blocks when full — callers
+//    feel backpressure instead of the server melting.
 //
 //  * shed_budget > 0: explicit load shedding.  Queue delay — how long the
 //    oldest queued request has already waited — is the live overload
 //    signal.  Past the budget, arrivals are refused with a retriable
-//    Rejected verdict instead of queued behind a deadline they can't make,
-//    and queued kLow requests that have themselves outlived the budget are
-//    dropped from the queue head (drop-head: the longest-waiting sheddable
-//    request is the one most likely past its client's deadline anyway).
-//    Under sustained overload the kLow queue drains to zero and kHigh
-//    arrivals are refused too, so the sheddable class absorbs the overload
-//    first but the budget binds for everyone.  The payoff,
-//    measured in bench_serving_latency: admitted requests keep a bounded
-//    p99 (~budget + one batch's service time) at offered loads where the
-//    blocking mode's queue delay grows without bound.
+//    verdict instead of queued behind a deadline they can't make, and
+//    queued kLow parts that have outlived their EFFECTIVE deadline —
+//    min(explicit request deadline, enqueue time + budget) — are dropped
+//    from the queue.  Under sustained overload the kLow queue drains to
+//    zero and kHigh arrivals are refused too, so the sheddable class
+//    absorbs the overload first but the budget binds for everyone.
+//
+// Deadlines (cfg.deadline_aware, default on) add two behaviors:
+//
+//  * Dispatch-time shed: a part whose explicit deadline is already blown
+//    when its batch is assembled is shed BEFORE compute (status
+//    kDeadlineExceeded) instead of burning a batch slot on an answer
+//    nobody will read.  This applies to both classes — an explicit client
+//    deadline outranks the class contract, which only governs *eviction*
+//    (admitted kHigh is still never evicted from the queue).
+//
+//  * Slack-ordered eviction: when admission must drop a queued kLow part
+//    (budget restore, or making room for a kHigh arrival), the victim is
+//    the one with the LEAST slack — nearest effective deadline — rather
+//    than the FIFO head.  With no explicit deadlines the two orders
+//    coincide (enqueue + budget is monotone in enqueue time); with mixed
+//    deadlines FIFO evicts requests that could still make it while
+//    keeping doomed ones.  bench_serving_latency section 6 measures the
+//    difference at 2x saturation.
+//
+// The shed/eviction decisions are pure functions of (entries, now, budget)
+// — see effective_deadline / least_slack_index — so test_serve_api replays
+// staged synthetic-clock traces and asserts exact victims.
 #pragma once
 
 #include <chrono>
@@ -36,23 +62,17 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "serve/inference_session.h"
+#include "serve/serve_api.h"
 #include "serve/server_stats.h"
 
 namespace ppgnn::serve {
-
-// Two classes are enough for the canonical split: interactive traffic that
-// must be answered (kHigh) vs. sheddable background traffic — prefetch,
-// retries, speculative requests (kLow).  Classes take effect only with a
-// shed budget: in backpressure mode there is no drop policy to back a
-// strict-priority drain (queued kLow could starve forever under sustained
-// kHigh load), so admission collapses to one FIFO — the PR-1 behavior.
-enum class Priority : std::uint8_t { kHigh = 0, kLow = 1 };
 
 // Resolved into a shed request's future, and thrown by the blocking
 // submit() on refusal.  Retriable by contract: the server is overloaded
@@ -68,15 +88,19 @@ struct MicroBatchConfig {
   std::size_t max_batch_size = 64;
   // Longest a request may wait for peers before its batch dispatches.
   std::chrono::microseconds max_delay{200};
-  // Admission bound on queued (not yet dispatched) requests.
+  // Admission bound on queued (not yet dispatched) parts.
   std::size_t queue_capacity = 8192;
   // Queue-delay budget for load shedding; zero disables shedding and keeps
   // the blocking-backpressure behavior.
   std::chrono::microseconds shed_budget{0};
+  // Off = the PR-2 baseline: eviction in FIFO order, no dispatch-time
+  // deadline shed (blown deadlines still complete and are *counted* as
+  // misses — the bench's comparison arm).
+  bool deadline_aware = true;
 };
 
 struct BatchCounters {
-  std::size_t requests = 0;  // dispatched into batches
+  std::size_t requests = 0;  // parts dispatched into batches
   std::size_t batches = 0;
   std::size_t max_batch_observed = 0;
   // Admission verdicts, maintained by the batcher itself so they exist
@@ -91,26 +115,60 @@ struct BatchCounters {
 
 // Why a non-throwing submit was refused.  kOverload is the admission
 // verdict proper (queue-delay budget or capacity — the client should back
-// off).  kDraining is a lifecycle artifact: the replica is being retired
-// and was already removed from the routing membership; the submitter
-// raced a stale snapshot and should re-route against a fresh one (the
-// FleetManager does this transparently).  Draining refusals are therefore
-// NOT counted as rejections — the request is not lost, just re-homed —
-// so they cannot pollute the shed-rate signal the autoscaler watches.
-enum class RejectReason : std::uint8_t { kNone, kOverload, kDraining };
+// off); kDeadline means the request's deadline had already passed at
+// submit time.  kDraining is a lifecycle artifact: the replica is being
+// retired and was already removed from the routing membership; the
+// submitter raced a stale snapshot and should re-route against a fresh
+// one (the FleetManager does this transparently).  Draining refusals are
+// therefore NOT counted as rejections — the request is not lost, just
+// re-homed — so they cannot pollute the shed-rate signal the autoscaler
+// watches.
+enum class RejectReason : std::uint8_t {
+  kNone,
+  kOverload,
+  kDeadline,
+  kDraining
+};
 
-// Outcome of a non-throwing submit.  On rejection `result` is an invalid
-// future (valid() == false) — check `accepted` first.
+// Outcome of a non-throwing legacy submit.  On rejection `result` is an
+// invalid future (valid() == false) — check `accepted` first.
 struct Admission {
   bool accepted = false;
   RejectReason reason = RejectReason::kNone;
   std::future<std::vector<float>> result;
 };
 
+// --- Pure slack policy -----------------------------------------------------
+// Clock-injected and side-effect free, so the eviction order is testable
+// deterministically (test_serve_api stages traces with synthetic
+// time_points).
+
+struct SlackView {
+  std::chrono::steady_clock::time_point enqueued{};
+  // Explicit request deadline; time_point::max() = none.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+};
+
+// The deadline the shed policy orders on: the explicit one when given,
+// capped by enqueue + budget (the implicit client patience the queue-delay
+// budget has always modeled).  With budget <= 0 only the explicit deadline
+// binds.
+std::chrono::steady_clock::time_point effective_deadline(
+    const SlackView& e, std::chrono::steady_clock::duration budget);
+
+// Index of the least-slack entry — nearest effective deadline, ties to the
+// lowest index (oldest first under FIFO enqueue order) — or SIZE_MAX when
+// empty.  This is the eviction victim order; with no explicit deadlines it
+// degenerates to drop-head FIFO.
+std::size_t least_slack_index(const std::vector<SlackView>& entries,
+                              std::chrono::steady_clock::duration budget);
+
 class MicroBatcher {
  public:
-  // stats may be null; when given, per-request latency (submit ->
-  // completion), per-batch sizes, and admission verdicts are recorded.
+  // stats may be null; when given, per-part latency (submit -> completion),
+  // per-batch sizes, admission verdicts, deadline misses and per-stage
+  // timings are recorded.
   MicroBatcher(InferenceSession& session, const MicroBatchConfig& cfg,
                ServerStats* stats = nullptr);
   ~MicroBatcher();  // stop() + join
@@ -118,29 +176,40 @@ class MicroBatcher {
   MicroBatcher(const MicroBatcher&) = delete;
   MicroBatcher& operator=(const MicroBatcher&) = delete;
 
-  // Status-returning admission.  With shedding disabled this blocks for
-  // queue space and always accepts (backpressure); with shedding enabled it
-  // never blocks — overload returns {accepted = false} immediately.
-  // Throws std::runtime_error after stop().
-  Admission try_submit(std::int64_t node, Priority pri = Priority::kHigh);
+  // --- API v2: envelope parts --------------------------------------------
+  // Admits parts `slots[0..n)` of `state`'s request as one sub-batch,
+  // all-or-nothing.  Returns kNone when admitted.  On every TERMINAL
+  // refusal (kOverload -> parts finished kShed; kDeadline -> parts
+  // finished kDeadlineExceeded) the batcher resolves the parts itself —
+  // delivery happens through the envelope's queue/sink as usual.  Only
+  // kDraining leaves the parts untouched: the caller re-routes them
+  // against a fresh membership snapshot.  With shedding disabled this
+  // blocks for queue space (backpressure) and only refuses on draining —
+  // except a sub-batch larger than queue_capacity, which can never be
+  // admitted and is refused kOverload in either mode (never blocks,
+  // never throws: the exactly-one-response contract holds even for a
+  // misconfigured giant envelope).  Throws std::runtime_error after
+  // stop().
+  RejectReason try_submit_parts(const std::shared_ptr<RequestState>& state,
+                                const std::uint32_t* slots, std::size_t n);
 
-  // Enqueues one request; the future resolves to the node's logits row.
-  // Blocks while the queue is at capacity (shedding disabled); with
-  // shedding enabled, throws RejectedError when the request is refused.
-  // Throws std::runtime_error after stop().
+  // --- PR-1 compatibility shims over a single-node envelope --------------
+  // Status-returning admission; the future resolves to the node's logits
+  // row, or throws RejectedError if the part is later shed.
+  Admission try_submit(std::int64_t node, Priority pri = Priority::kHigh);
+  // Throwing form: RejectedError on refusal (shedding enabled only).
   std::future<std::vector<float>> submit(std::int64_t node,
                                          Priority pri = Priority::kHigh);
-
   // Convenience closed-loop client call.
   std::vector<float> infer_blocking(std::int64_t node);
 
-  // Enters draining: every subsequent try_submit returns
-  // {accepted=false, reason=kDraining} immediately (blocked backpressure
-  // waiters wake and return the same), while everything already admitted
-  // — kHigh and kLow alike — still dispatches and completes.  The first
-  // step of replica retirement: the fleet unpublishes the replica, calls
-  // begin_drain() to bounce racing submitters onto a fresh snapshot, then
-  // stop() to finish the queue.  Idempotent.
+  // Enters draining: every subsequent submission returns kDraining
+  // immediately (blocked backpressure waiters wake and return the same),
+  // while everything already admitted — kHigh and kLow alike — still
+  // dispatches and completes.  The first step of replica retirement: the
+  // fleet unpublishes the replica, calls begin_drain() to bounce racing
+  // submitters onto a fresh snapshot, then stop() to finish the queue.
+  // Idempotent.
   void begin_drain();
   bool draining() const;
 
@@ -149,7 +218,7 @@ class MicroBatcher {
   void stop();
 
   BatchCounters counters() const;
-  // Requests admitted but not yet answered: queued (both classes) plus the
+  // Parts admitted but not yet answered: queued (both classes) plus the
   // batch currently in service.  The least-loaded router's load signal —
   // counting the in-service batch is what lets a replica stuck on a slow
   // batch (cold cache, page-cache miss) stop receiving new work.
@@ -161,28 +230,45 @@ class MicroBatcher {
   std::size_t queued() const;
 
  private:
+  // One envelope part in the queue.  enqueued/deadline are duplicated out
+  // of the shared state so the shed policy never chases the pointer.
   struct Pending {
     std::int64_t node = 0;
-    std::promise<std::vector<float>> result;
-    std::chrono::steady_clock::time_point enqueued;
+    std::uint32_t slot = 0;
+    std::shared_ptr<RequestState> state;
+    std::chrono::steady_clock::time_point enqueued{};
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
   };
 
   void dispatcher_loop();
-  // Pops up to max_batch_size requests once the batch window closes, kHigh
-  // strictly before kLow.  Returns an empty vector only when stopping with
-  // an empty queue.
-  std::vector<Pending> next_batch();
+  // Pops up to max_batch_size parts once the batch window closes, kHigh
+  // strictly before kLow; deadline-blown parts (deadline_aware) are moved
+  // to `expired` instead of the batch.  Returns an empty batch only when
+  // stopping with an empty queue.  `pop_time` is when the batch closed.
+  std::vector<Pending> next_batch(std::vector<Pending>* expired,
+                                  std::chrono::steady_clock::time_point* pop_time);
 
   std::size_t queued_locked() const {
     return queues_[0].size() + queues_[1].size();
   }
-  // Enqueue time of the oldest queued request (either class); only valid
+  // Enqueue time of the oldest queued part (either class); only valid
   // when queued_locked() > 0.
   std::chrono::steady_clock::time_point oldest_enqueued_locked() const;
   bool over_budget_locked(std::chrono::steady_clock::time_point now) const;
-  // Drops the head of the kLow queue, failing its future with
-  // RejectedError.
-  void shed_front_low_locked();
+  // Removes expired kLow parts (effective deadline passed) into *victims.
+  // Cheap when nothing expired: gated on low_next_expiry_.
+  void sweep_expired_low_locked(std::chrono::steady_clock::time_point now,
+                                std::vector<Pending>* victims);
+  // Removes the least-slack (deadline_aware) or front (FIFO) kLow part
+  // into *victims.  Requires a non-empty kLow queue.
+  void evict_one_low_locked(std::vector<Pending>* victims);
+  void recompute_low_expiry_locked();
+  // Resolves shed parts (outside the lock) and records the stats — the
+  // admission wait of a shed part is recorded too, so the shed-latency
+  // column is honest, not zero.
+  void finish_shed(std::vector<Pending>& victims,
+                   std::chrono::steady_clock::time_point now);
 
   InferenceSession& session_;
   MicroBatchConfig cfg_;
@@ -192,7 +278,12 @@ class MicroBatcher {
   std::condition_variable cv_arrival_;  // queue became non-empty / stop
   std::condition_variable cv_space_;    // queue has room again
   std::deque<Pending> queues_[2];       // indexed by Priority
-  std::size_t in_service_ = 0;          // size of the batch being served
+  // Earliest effective deadline among queued kLow parts; max() when none.
+  // Lets the arrival path skip the expiry sweep in O(1) when nothing can
+  // have expired yet.
+  std::chrono::steady_clock::time_point low_next_expiry_ =
+      std::chrono::steady_clock::time_point::max();
+  std::size_t in_service_ = 0;  // size of the batch being served
   BatchCounters counters_;
   bool stop_ = false;
   bool draining_ = false;

@@ -149,6 +149,96 @@ std::vector<float> FleetManager::infer_blocking(std::int64_t node) {
   return submit(node).get();
 }
 
+void FleetManager::submit(ServeRequest req, CompletionQueue& cq) {
+  if (req.nodes.empty()) {
+    throw std::invalid_argument("FleetManager::submit: empty envelope");
+  }
+  auto state = std::make_shared<RequestState>(std::move(req), &cq);
+  std::vector<std::uint32_t> slots(state->parts());
+  for (std::uint32_t i = 0; i < slots.size(); ++i) slots[i] = i;
+  place_parts(state, std::move(slots));
+}
+
+void FleetManager::place_parts(const std::shared_ptr<RequestState>& state,
+                               std::vector<std::uint32_t> slots) {
+  const auto& nodes = state->request().nodes;
+  // Same loop shape as the legacy try_submit: route against one snapshot,
+  // submit, re-route only the sub-batches a draining replica bounced —
+  // the retry's fresh snapshot no longer contains the drained replica, so
+  // the loop terminates.
+  for (;;) {
+    const auto m = std::atomic_load(&membership_);
+    if (!m || m->replicas.empty()) {
+      // Stopped fleet: v2 never throws on admission outcomes — the
+      // envelope answers kDraining so the caller can re-route at a higher
+      // level (or give up), and the completion contract holds.
+      for (const std::uint32_t slot : slots) {
+        state->finish_part(slot, ServeStatus::kDraining, nullptr, 0,
+                           StageTimings{});
+      }
+      return;
+    }
+    std::vector<SubBatch> groups;
+    if (router_->policy() == RoutingPolicy::kCacheAffinity &&
+        m->replicas.size() > 1) {
+      // Ring-consistent split: every node keeps its cache_affinity home,
+      // so a multi-node envelope hits each shard's warm cache instead of
+      // dragging the whole request to one replica's cold one.
+      groups = split_by_ring(nodes, slots, m->ring);
+    } else {
+      // Load-oblivious policies make one decision per envelope: splitting
+      // round_robin traffic would just multiply dispatch overhead without
+      // a cache to aim at.
+      const QueueDepthFn depth = [&m](std::size_t i) {
+        return m->replicas[i]->batcher->queue_depth();
+      };
+      RouteTargets targets;
+      targets.count = m->replicas.size();
+      targets.queue_depth = &depth;
+      targets.ring = &m->ring;
+      groups.push_back(
+          SubBatch{router_->route(nodes[slots[0]], targets), slots});
+    }
+    std::vector<std::uint32_t> bounced;
+    for (SubBatch& g : groups) {
+      ReplicaHandle& h = *m->replicas[g.member];
+      h.routed.fetch_add(g.slots.size(), std::memory_order_relaxed);
+      RejectReason reason;
+      try {
+        reason = h.batcher->try_submit_parts(state, g.slots.data(),
+                                             g.slots.size());
+      } catch (const std::runtime_error&) {
+        // stop() raced the snapshot load and this batcher is already
+        // stopped (without the draining flag a retirement would set):
+        // terminal for the whole fleet, so answer kDraining directly.
+        for (const std::uint32_t slot : g.slots) {
+          state->finish_part(slot, ServeStatus::kDraining, nullptr, 0,
+                             StageTimings{});
+        }
+        continue;
+      }
+      if (reason == RejectReason::kDraining) {
+        bounced.insert(bounced.end(), g.slots.begin(), g.slots.end());
+      }
+      // kNone: admitted.  kOverload / kDeadline: the batcher resolved the
+      // parts itself (kShed / kDeadlineExceeded) — nothing left to do.
+    }
+    if (bounced.empty()) return;
+    slots = std::move(bounced);
+  }
+}
+
+ServeResponse FleetManager::infer_request(ServeRequest req) {
+  CompletionQueue cq;
+  submit(std::move(req), cq);
+  ServeResponse r;
+  // Every envelope produces exactly one response, so this terminates; the
+  // loop just bounds each wait for signal-safety.
+  while (!cq.wait_for(&r, std::chrono::milliseconds(100))) {
+  }
+  return r;
+}
+
 std::size_t FleetManager::warm_from_peers(ReplicaHandle& fresh,
                                           const Membership& current_members,
                                           const HashRing& next_ring) {
@@ -373,6 +463,26 @@ AdmissionCounters FleetManager::aggregate_admission() const {
   return total;
 }
 
+StageGauges FleetManager::aggregate_stages() const {
+  ServerStats pooled;
+  std::lock_guard<std::mutex> lk(admin_mu_);
+  for (const auto& h : all_handles_) {
+    pooled.merge_once(*h->stats, h->generation);
+  }
+  return pooled.stages();
+}
+
+std::size_t FleetManager::aggregate_deadline_missed() const {
+  std::lock_guard<std::mutex> lk(admin_mu_);
+  std::unordered_set<std::uint64_t> seen;
+  std::size_t total = 0;
+  for (const auto& h : all_handles_) {
+    if (!seen.insert(h->generation).second) continue;
+    total += h->stats->deadline_missed();
+  }
+  return total;
+}
+
 std::size_t FleetManager::aggregate_batches() const {
   std::lock_guard<std::mutex> lk(admin_mu_);
   std::size_t n = 0;
@@ -436,6 +546,7 @@ WindowStats FleetManager::window_stats() const {
     w.admission.admitted += r.admission.admitted;
     w.admission.rejected += r.admission.rejected;
     w.admission.shed += r.admission.shed;
+    w.deadline_missed += r.deadline_missed;
     delay_sum += r.mean_queue_delay_us *
                  static_cast<double>(r.queue_delay_samples);
     w.queue_delay_samples += r.queue_delay_samples;

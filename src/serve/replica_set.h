@@ -71,6 +71,7 @@
 #include "serve/inference_session.h"
 #include "serve/micro_batcher.h"
 #include "serve/router.h"
+#include "serve/serve_api.h"
 #include "serve/server_stats.h"
 
 namespace ppgnn::serve {
@@ -146,9 +147,27 @@ class FleetManager {
   FleetManager(const FleetManager&) = delete;
   FleetManager& operator=(const FleetManager&) = delete;
 
-  // Routes against the current membership snapshot and submits.  Semantics
-  // follow MicroBatcher: with shedding disabled try_submit blocks for
-  // space and always accepts; with shedding enabled it returns
+  // --- Serving API v2 (serve_api.h) --------------------------------------
+  // Routes the envelope against the current membership snapshot — under
+  // cache_affinity each node is split to its ring home (split_by_ring:
+  // ring-consistent sub-batches, so a request spanning shards still hits
+  // every shard's warm cache); other policies take one routing decision
+  // for the whole envelope — submits the per-replica sub-batches, and
+  // delivers ONE merged ServeResponse to `cq` when the envelope's last
+  // part resolves.  Admission outcomes never throw: draining bounces
+  // re-route transparently against a fresh snapshot, overload sheds the
+  // affected parts (status kShed), a blown deadline answers
+  // kDeadlineExceeded, and a stopped fleet answers kDraining — every
+  // submitted envelope produces exactly one response (test_serve_api
+  // hammers this across resize storms and loses zero completions).
+  // Throws std::invalid_argument only for an empty envelope.
+  void submit(ServeRequest req, CompletionQueue& cq);
+  // Blocking convenience over a private queue (tests, simple clients).
+  ServeResponse infer_request(ServeRequest req);
+
+  // --- PR-1 future API (thin shims over single-node envelopes) -----------
+  // Semantics follow MicroBatcher: with shedding disabled try_submit
+  // blocks for space and always accepts; with shedding enabled it returns
   // {accepted = false, reason = kOverload} on overload of the routed
   // replica.  Draining refusals are retried internally against a fresh
   // snapshot and never surface.
@@ -195,6 +214,10 @@ class FleetManager {
   // would be wrong), admission counters summed.
   LatencySummary aggregate_latency() const;
   AdmissionCounters aggregate_admission() const;
+  // Per-stage means (admission wait / dispatch delay / compute, plus the
+  // shed-wait column) and deadline misses, pooled over every generation.
+  StageGauges aggregate_stages() const;
+  std::size_t aggregate_deadline_missed() const;
   // Dispatched batches and their mean size, summed across replicas.
   std::size_t aggregate_batches() const;
   double aggregate_mean_batch_size() const;
@@ -236,6 +259,11 @@ class FleetManager {
 
   void init(std::vector<std::unique_ptr<InferenceSession>> sessions,
             const FleetConfig& cfg);
+  // Places envelope parts `slots` on replicas (ring split under
+  // cache_affinity), re-routing draining bounces until every part is
+  // admitted or terminally resolved.
+  void place_parts(const std::shared_ptr<RequestState>& state,
+                   std::vector<std::uint32_t> slots);
   std::shared_ptr<ReplicaHandle> make_handle(
       std::unique_ptr<InferenceSession> session);
   static HashRing ring_over(
@@ -290,5 +318,22 @@ class FleetManager {
 // refactor read better unchanged.
 using ReplicaSet = FleetManager;
 using ReplicaSetConfig = FleetConfig;
+
+// One-shot session-vector construction predates the FleetBuilder; the
+// builder is the deployment surface now (it is the recipe scale-ups spawn
+// from, shares int8 blocks fleet-wide, and is what FleetManager's dynamic
+// constructor takes), so new code should construct a FleetBuilder and call
+// build_n.  This shim remains only so pre-builder callers keep compiling —
+// deliberately the last definition in the serve tree.
+[[deprecated("construct a FleetBuilder and call build_n")]] inline std::
+    vector<std::unique_ptr<InferenceSession>>
+    make_replica_sessions(
+        std::size_t n, const std::string& checkpoint_path,
+        const FleetBuilder::MakeModel& make_model,
+        const FleetBuilder::MakeSource& make_source,
+        Precision precision = Precision::kFp32) {
+  return FleetBuilder(checkpoint_path, make_model, make_source, precision)
+      .build_n(n);
+}
 
 }  // namespace ppgnn::serve

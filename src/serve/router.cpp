@@ -132,4 +132,28 @@ std::unique_ptr<Router> make_router(RoutingPolicy p) {
   throw std::invalid_argument("make_router: unknown policy");
 }
 
+std::vector<SubBatch> split_by_ring(const std::vector<std::int64_t>& nodes,
+                                    const std::vector<std::uint32_t>& slots,
+                                    const HashRing& ring) {
+  std::vector<SubBatch> out;
+  // Envelopes are small (a handful of nodes) and member counts are single
+  // digits: a linear member scan beats a hash map here.
+  for (const std::uint32_t slot : slots) {
+    const std::size_t member = ring.lookup(nodes[slot]);
+    SubBatch* group = nullptr;
+    for (auto& g : out) {
+      if (g.member == member) {
+        group = &g;
+        break;
+      }
+    }
+    if (!group) {
+      out.push_back(SubBatch{member, {}});
+      group = &out.back();
+    }
+    group->slots.push_back(slot);
+  }
+  return out;
+}
+
 }  // namespace ppgnn::serve

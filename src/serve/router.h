@@ -110,4 +110,24 @@ class Router {
 
 std::unique_ptr<Router> make_router(RoutingPolicy p);
 
+// One replica's share of a multi-node envelope: the member index and the
+// slots (indices into ServeRequest::nodes) it answers.
+struct SubBatch {
+  std::size_t member = 0;
+  std::vector<std::uint32_t> slots;
+};
+
+// Splits an envelope's nodes into ring-consistent sub-batches: slot s in
+// `slots` goes to ring.lookup(nodes[s]), so every node of a v2 request
+// still lands on its cache_affinity home even when the request spans
+// shards — the split half of the serving API's multi-node split/merge.
+// `slots` is the subset still to place (the full envelope on first
+// placement; the bounced remainder after a draining re-route).  Sub-batches
+// come back in first-touched member order with slots in input order, a
+// pure function of (nodes, slots, ring) — deterministic, so envelope
+// answers are too.
+std::vector<SubBatch> split_by_ring(const std::vector<std::int64_t>& nodes,
+                                    const std::vector<std::uint32_t>& slots,
+                                    const HashRing& ring);
+
 }  // namespace ppgnn::serve

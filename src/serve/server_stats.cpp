@@ -36,6 +36,17 @@ std::string AdmissionCounters::to_json() const {
   return buf;
 }
 
+std::string StageGauges::to_json() const {
+  char buf[224];
+  std::snprintf(buf, sizeof(buf),
+                "{\"admission_us\":%.1f,\"dispatch_us\":%.1f,"
+                "\"compute_us\":%.1f,\"shed_wait_us\":%.1f,"
+                "\"shed_waits\":%zu}",
+                mean_admission_us(), mean_dispatch_us(), mean_compute_us(),
+                mean_shed_wait_us(), shed_waits);
+  return buf;
+}
+
 ServerStats::ServerStats(std::chrono::milliseconds window) {
   if (window.count() <= 0) window = std::chrono::milliseconds(1000);
   window_ = window;
@@ -121,9 +132,41 @@ void ServerStats::record_shed() {
   ++current_bucket_locked(now).admission.shed;
 }
 
+void ServerStats::record_deadline_miss() {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lk(mu_);
+  ++deadline_missed_;
+  ++current_bucket_locked(now).deadline_missed;
+}
+
+void ServerStats::record_stages(double admission_us, double dispatch_us,
+                                double compute_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  stages_.admission_sum_us += admission_us;
+  stages_.dispatch_sum_us += dispatch_us;
+  stages_.compute_sum_us += compute_us;
+  ++stages_.dispatched;
+}
+
+void ServerStats::record_shed_wait(double admission_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  stages_.shed_wait_sum_us += admission_us;
+  ++stages_.shed_waits;
+}
+
 AdmissionCounters ServerStats::admission() const {
   std::lock_guard<std::mutex> lk(mu_);
   return admission_;
+}
+
+StageGauges ServerStats::stages() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stages_;
+}
+
+std::size_t ServerStats::deadline_missed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return deadline_missed_;
 }
 
 WindowStats ServerStats::window(
@@ -141,6 +184,7 @@ WindowStats ServerStats::window(
       w.admission.admitted += b.admission.admitted;
       w.admission.rejected += b.admission.rejected;
       w.admission.shed += b.admission.shed;
+      w.deadline_missed += b.deadline_missed;
       delay_sum += b.queue_delay_sum_us;
       w.queue_delay_samples += b.queue_delay_count;
     }
@@ -189,8 +233,9 @@ void ServerStats::merge(const ServerStats& other) {
   // Copy the source under its own lock, then fold in under ours, so the two
   // locks are never held together (no ordering to get wrong).
   std::vector<double> samples;
-  std::size_t batches, batched_requests;
+  std::size_t batches, batched_requests, misses;
   AdmissionCounters adm;
+  StageGauges stages;
   bool any;
   std::chrono::steady_clock::time_point first, last;
   {
@@ -199,6 +244,8 @@ void ServerStats::merge(const ServerStats& other) {
     batches = other.batches_;
     batched_requests = other.batched_requests_;
     adm = other.admission_;
+    misses = other.deadline_missed_;
+    stages = other.stages_;
     any = other.any_;
     first = other.first_done_;
     last = other.last_done_;
@@ -210,6 +257,13 @@ void ServerStats::merge(const ServerStats& other) {
   admission_.admitted += adm.admitted;
   admission_.rejected += adm.rejected;
   admission_.shed += adm.shed;
+  deadline_missed_ += misses;
+  stages_.admission_sum_us += stages.admission_sum_us;
+  stages_.dispatch_sum_us += stages.dispatch_sum_us;
+  stages_.compute_sum_us += stages.compute_sum_us;
+  stages_.dispatched += stages.dispatched;
+  stages_.shed_wait_sum_us += stages.shed_wait_sum_us;
+  stages_.shed_waits += stages.shed_waits;
   if (any) {
     if (!any_ || first < first_done_) first_done_ = first;
     if (!any_ || last > last_done_) last_done_ = last;
@@ -277,6 +331,8 @@ void ServerStats::reset() {
   batches_ = 0;
   batched_requests_ = 0;
   admission_ = AdmissionCounters{};
+  deadline_missed_ = 0;
+  stages_ = StageGauges{};
   any_ = false;
   buckets_ = {};
   windowed_latencies_.clear();

@@ -91,11 +91,42 @@ struct AdmissionCounters {
   std::string to_json() const;
 };
 
+// Where answered requests spent their time, stage by stage, plus the
+// honest shed column: a request shed from the queue never computed, but
+// its admission wait was real latency its client paid — so shed parts
+// record that wait here instead of reporting zeros (the
+// serve-api-v2 stage-timing contract; pooled by merge()/merge_once()).
+struct StageGauges {
+  double admission_sum_us = 0;  // dispatched parts: enqueue -> batch close
+  double dispatch_sum_us = 0;   // batch close -> compute start
+  double compute_sum_us = 0;    // gather + forward
+  std::size_t dispatched = 0;
+  double shed_wait_sum_us = 0;  // shed parts: enqueue -> shed
+  std::size_t shed_waits = 0;
+
+  double mean_admission_us() const {
+    return dispatched ? admission_sum_us / static_cast<double>(dispatched) : 0;
+  }
+  double mean_dispatch_us() const {
+    return dispatched ? dispatch_sum_us / static_cast<double>(dispatched) : 0;
+  }
+  double mean_compute_us() const {
+    return dispatched ? compute_sum_us / static_cast<double>(dispatched) : 0;
+  }
+  double mean_shed_wait_us() const {
+    return shed_waits ? shed_wait_sum_us / static_cast<double>(shed_waits) : 0;
+  }
+  // {"admission_us":...,"dispatch_us":...,"compute_us":...,
+  //  "shed_wait_us":...,"shed_waits":...}
+  std::string to_json() const;
+};
+
 // Point-in-time view of the sliding window: the autoscale signal set for
 // one replica (pool counters across replicas before computing fleet
 // rates).
 struct WindowStats {
   AdmissionCounters admission;       // verdicts within the window
+  std::size_t deadline_missed = 0;   // misses within the window
   double mean_queue_delay_us = 0;    // dispatch-time queue delay
   std::size_t queue_delay_samples = 0;
   LatencySummary latency;            // completions within the window
@@ -121,9 +152,20 @@ class ServerStats {
   void record_admitted();
   void record_rejected();
   void record_shed();
+  // One request missed its explicit deadline — shed pre-compute because it
+  // was already blown, or answered after it.  Cumulative + windowed.
+  void record_deadline_miss();
+  // Per-stage timings of one dispatched part (serve_api.h StageTimings).
+  void record_stages(double admission_us, double dispatch_us,
+                     double compute_us);
+  // Admission wait of one part shed before dispatch — recorded so the
+  // shed-latency column reports the wait clients actually paid, not zero.
+  void record_shed_wait(double admission_us);
 
   LatencySummary summary() const;
   AdmissionCounters admission() const;
+  StageGauges stages() const;
+  std::size_t deadline_missed() const;
   // The sliding window as of `now` (events older than the window are
   // excluded; bucket granularity is window/16).
   WindowStats window(std::chrono::steady_clock::time_point now =
@@ -156,6 +198,7 @@ class ServerStats {
   struct Bucket {
     std::chrono::steady_clock::time_point start{};
     AdmissionCounters admission;
+    std::size_t deadline_missed = 0;
     double queue_delay_sum_us = 0;
     std::size_t queue_delay_count = 0;
   };
@@ -172,6 +215,8 @@ class ServerStats {
   std::size_t batches_ = 0;
   std::size_t batched_requests_ = 0;
   AdmissionCounters admission_;
+  std::size_t deadline_missed_ = 0;
+  StageGauges stages_;
   bool any_ = false;
   std::chrono::steady_clock::time_point first_done_;
   std::chrono::steady_clock::time_point last_done_;

@@ -139,6 +139,22 @@ std::vector<std::int64_t> ServingTestbed::stream(std::size_t requests,
   return zipf_stream(wc);
 }
 
+std::vector<std::vector<std::int64_t>> ServingTestbed::group_stream(
+    const std::vector<std::int64_t>& stream, std::size_t batch_nodes) {
+  if (batch_nodes == 0) {
+    throw std::invalid_argument("group_stream: zero batch_nodes");
+  }
+  std::vector<std::vector<std::int64_t>> groups;
+  groups.reserve((stream.size() + batch_nodes - 1) / batch_nodes);
+  for (std::size_t i = 0; i < stream.size(); i += batch_nodes) {
+    groups.emplace_back(stream.begin() + static_cast<std::ptrdiff_t>(i),
+                        stream.begin() + static_cast<std::ptrdiff_t>(
+                                             std::min(stream.size(),
+                                                      i + batch_nodes)));
+  }
+  return groups;
+}
+
 std::unique_ptr<FeatureSource> ServingTestbed::memory_source() const {
   return std::make_unique<MemorySource>(pre_);
 }

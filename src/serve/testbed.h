@@ -121,6 +121,12 @@ class ServingTestbed {
   std::vector<std::int64_t> stream(std::size_t requests) const;
   std::vector<std::int64_t> stream(std::size_t requests,
                                    std::uint64_t seed) const;
+  // The same stream grouped into `batch_nodes`-sized node groups — the
+  // multi-node ServeRequest shape of the v2 API (the tail group keeps its
+  // remainder).  Deadlines are absolute, so the caller stamps
+  // request.deadline at submit time, not here.
+  static std::vector<std::vector<std::int64_t>> group_stream(
+      const std::vector<std::int64_t>& stream, std::size_t batch_nodes);
 
   // Ready-made sources over the artifacts.
   std::unique_ptr<FeatureSource> memory_source() const;

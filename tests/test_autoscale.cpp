@@ -266,10 +266,12 @@ TEST(FleetManager, ScaleUpAtInt8SharesBlocksAndStaysDeterministic) {
   const std::string ckpt = fx.deploy("autoscale_int8.ckpt",
                                      Precision::kInt8);
   // Single int8 session: the determinism baseline.
-  auto single = make_replica_sessions(
-      1, ckpt, [&](std::size_t) { return fx.make_model(55); },
-      [&](std::size_t) { return std::make_unique<MemorySource>(fx.pre); },
-      Precision::kInt8);
+  auto single =
+      FleetBuilder(
+          ckpt, [&](std::size_t) { return fx.make_model(55); },
+          [&](std::size_t) { return std::make_unique<MemorySource>(fx.pre); },
+          Precision::kInt8)
+          .build_n(1);
 
   FleetConfig fc;
   fc.precision = Precision::kInt8;

@@ -449,17 +449,18 @@ TEST(ModelQuantize, SharedWeightsAnswerBitIdenticallyAcrossModels) {
   for (std::size_t i = 0; i < ya.size(); ++i) EXPECT_EQ(ya[i], yb[i]);
 }
 
-TEST(ModelQuantize, MakeReplicaSessionsInt8FleetIsSelfConsistentAndClose) {
+TEST(ModelQuantize, FleetBuilderInt8FleetIsSelfConsistentAndClose) {
   const ModelFixture fx;
   const std::string ckpt = tmp_path("int8_fleet.ckpt");
   {
     auto trained = fx.make_model(21);
     serve::save_deployed_model(*trained, ckpt, serve::Precision::kInt8);
   }
-  auto sessions = serve::make_replica_sessions(
-      3, ckpt, [&](std::size_t i) { return fx.make_model(100 + i); },
+  serve::FleetBuilder builder(
+      ckpt, [&](std::size_t i) { return fx.make_model(100 + i); },
       [&](std::size_t) { return std::make_unique<serve::MemorySource>(fx.pre); },
       serve::Precision::kInt8);
+  auto sessions = builder.build_n(3);
   ASSERT_EQ(sessions.size(), 3u);
   for (const auto& s : sessions) {
     EXPECT_EQ(s->precision(), serve::Precision::kInt8);

@@ -79,6 +79,16 @@ struct Fixture {
         make_model(), std::make_unique<SlowSource>(
                           std::make_unique<MemorySource>(pre), delay));
   }
+
+  // The deployment recipe every fleet here is stamped from (the
+  // make_replica_sessions shim is deprecated).
+  FleetBuilder builder(const std::string& ckpt,
+                       Precision precision = Precision::kFp32) const {
+    return FleetBuilder(
+        ckpt, [this](std::size_t i) { return make_model(100 + i); },
+        [this](std::size_t) { return std::make_unique<MemorySource>(pre); },
+        precision);
+  }
 };
 
 // --- Router policies ------------------------------------------------------
@@ -327,11 +337,7 @@ TEST(ReplicaSet, NReplicaResultsBitIdenticalToSingleSession) {
     ReplicaSetConfig rc;
     rc.policy = policy;
     rc.batch.max_delay = std::chrono::microseconds(100);
-    ReplicaSet set(
-        make_replica_sessions(
-            3, ckpt, [&](std::size_t i) { return fx.make_model(100 + i); },
-            [&](std::size_t) { return std::make_unique<MemorySource>(fx.pre); }),
-        rc);
+    ReplicaSet set(fx.builder(ckpt).build_n(3), rc);
     for (std::int64_t node = 0; node < 40; ++node) {
       const auto got = set.infer_blocking(node);
       const auto want = reference.infer_one(node);
@@ -364,21 +370,13 @@ TEST(ReplicaSet, Int8FleetDeterministicAndWithinQuantizationBoundOfFp32) {
   InferenceSession reference(std::move(ref_model),
                              std::make_unique<MemorySource>(fx.pre));
   // Single int8 session: the determinism baseline for the fleet.
-  auto single_sessions = make_replica_sessions(
-      1, ckpt, [&](std::size_t) { return fx.make_model(55); },
-      [&](std::size_t) { return std::make_unique<MemorySource>(fx.pre); },
-      Precision::kInt8);
+  auto single_sessions = fx.builder(ckpt, Precision::kInt8).build_n(1);
   InferenceSession& single = *single_sessions[0];
 
   ReplicaSetConfig rc;
   rc.precision = Precision::kInt8;
   rc.batch.max_delay = std::chrono::microseconds(100);
-  ReplicaSet set(
-      make_replica_sessions(
-          3, ckpt, [&](std::size_t i) { return fx.make_model(100 + i); },
-          [&](std::size_t) { return std::make_unique<MemorySource>(fx.pre); },
-          Precision::kInt8),
-      rc);
+  ReplicaSet set(fx.builder(ckpt, Precision::kInt8).build_n(3), rc);
   EXPECT_EQ(set.precision(), Precision::kInt8);
 
   std::size_t agree = 0;
@@ -414,9 +412,7 @@ TEST(ReplicaSet, RejectsPrecisionMismatchBetweenSessionsAndConfig) {
   }
   ReplicaSetConfig rc;
   rc.precision = Precision::kInt8;  // but the sessions below are fp32
-  auto sessions = make_replica_sessions(
-      2, ckpt, [&](std::size_t) { return fx.make_model(); },
-      [&](std::size_t) { return std::make_unique<MemorySource>(fx.pre); });
+  auto sessions = fx.builder(ckpt).build_n(2);
   EXPECT_THROW(ReplicaSet(std::move(sessions), rc), std::invalid_argument);
 }
 
@@ -429,11 +425,7 @@ TEST(ReplicaSet, RoundRobinSpreadsAndAggregatesAdmission) {
   }
   ReplicaSetConfig rc;
   rc.batch.max_delay = std::chrono::microseconds(100);
-  ReplicaSet set(
-      make_replica_sessions(
-          2, ckpt, [&](std::size_t) { return fx.make_model(); },
-          [&](std::size_t) { return std::make_unique<MemorySource>(fx.pre); }),
-      rc);
+  ReplicaSet set(fx.builder(ckpt).build_n(2), rc);
   for (std::int64_t node = 0; node < 10; ++node) set.infer_blocking(node);
   EXPECT_EQ(set.replica_snapshot(0).routed, 5u);
   EXPECT_EQ(set.replica_snapshot(1).routed, 5u);
@@ -454,11 +446,7 @@ TEST(ReplicaSet, CacheAffinityPinsANodeToOneReplica) {
   ReplicaSetConfig rc;
   rc.policy = RoutingPolicy::kCacheAffinity;
   rc.batch.max_delay = std::chrono::microseconds(100);
-  ReplicaSet set(
-      make_replica_sessions(
-          3, ckpt, [&](std::size_t) { return fx.make_model(); },
-          [&](std::size_t) { return std::make_unique<MemorySource>(fx.pre); }),
-      rc);
+  ReplicaSet set(fx.builder(ckpt).build_n(3), rc);
   constexpr std::int64_t kNode = 42;
   for (int i = 0; i < 5; ++i) set.infer_blocking(kNode);
   const std::size_t home = set.home_replica(kNode);
