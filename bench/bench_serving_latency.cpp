@@ -855,7 +855,14 @@ int main(int argc, char** argv) {
                 rc.name, p.answered_rps, p.admitted_latency.p99_us,
                 100 * p.admission.shed_rate(), p.max_replicas_seen,
                 p.replica_seconds, p.idle_replica_seconds);
-    std::string buf(1024 + 32 * p.timeline.size() + 224 * p.events.size(),
+    // Everything the fleet simulator needs to re-run this arm offline
+    // rides in the record: the measured service-rate anchors (baseline
+    // rps, mean batch, dispatch gauge, hit rate), the workload shape
+    // (nodes, skew, cache capacity), the machine (cores) and the full
+    // policy constants — so fleetsim's calibration gate is a pure function
+    // of BENCH_serving.json, with nothing re-derived from this source.
+    const serve::StageGauges ramp_stages = fleet->set->aggregate_stages();
+    std::string buf(2048 + 32 * p.timeline.size() + 224 * p.events.size(),
                     '\0');
     const int n = std::snprintf(
         buf.data(), buf.size(),
@@ -865,14 +872,37 @@ int main(int argc, char** argv) {
         "\"admitted_p99_us\":%.0f,\"shed_rate\":%.3f,"
         "\"max_replicas_seen\":%zu,\"replica_seconds\":%.1f,"
         "\"idle_replica_seconds\":%.1f,\"admission\":%s,"
-        "\"events\":%s,\"timeline\":%s}",
+        "\"single_replica_rps\":%.0f,\"ramp_seconds\":%.1f,"
+        "\"mean_batch\":%.2f,\"cache_hit_rate\":%.4f,"
+        "\"cache_capacity_rows\":%zu,\"nodes\":%zu,\"skew\":%.2f,"
+        "\"cores\":%u,\"max_batch_size\":%zu,\"max_delay_us\":%lld,"
+        "\"shed_budget_ms\":%lld,\"stats_window_ms\":500,"
+        "\"scale_up_shed\":%.2f,\"scale_down_idle\":%.2f,"
+        "\"sustain_ms\":%lld,\"idle_window_ms\":%lld,\"cooldown_ms\":%lld,"
+        "\"tick_ms\":%lld,\"warm_keys\":512,"
+        "\"stages\":%s,\"events\":%s,\"timeline\":%s}",
         rc.name, rc.autoscale ? "true" : "false",
         rc.autoscale ? kMinReplicas : rc.replicas,
         rc.autoscale ? kMaxReplicas : rc.replicas, p.offered_mean_rps,
         p.answered_rps, p.admitted_latency.p99_us,
         p.admission.shed_rate(), p.max_replicas_seen, p.replica_seconds,
         p.idle_replica_seconds, p.admission.to_json().c_str(),
-        events_json(p).c_str(), timeline_json(p).c_str());
+        single_replica_rps, ramp_seconds,
+        fleet->set->aggregate_mean_batch_size(), fleet->hit_rate(),
+        fleet->cache_capacity_rows, kNodes, tb.config().skew,
+        std::thread::hardware_concurrency(),
+        static_cast<std::size_t>(128),
+        static_cast<long long>(500),
+        static_cast<long long>(shed_budget.count()),
+        as.scale_up_shed, as.scale_down_idle,
+        static_cast<long long>(as.sustain.count()),
+        static_cast<long long>(as.idle_window.count()),
+        static_cast<long long>(as.cooldown.count()),
+        static_cast<long long>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(as.tick)
+                .count()),
+        ramp_stages.to_json().c_str(), events_json(p).c_str(),
+        timeline_json(p).c_str());
     buf.resize(n > 0 ? static_cast<std::size_t>(n) : 0);
     emit(buf);
   }

@@ -8,6 +8,8 @@
 #   SANITIZE=address,undefined comma list for -fsanitize= (empty = off)
 #   USE_CCACHE=1               route compilation through ccache
 #   BENCH_JSON=BENCH_serving.json  where the serving-bench artifact lands
+#   SIM_JSON=SIM_calibration.json  where the fleetsim calibration report
+#                              lands (simulated vs measured staged ramp)
 #   SERVE_PRECISION=fp32|int8  serving precision for the smoke run; int8
 #                              also routes it through the int8 feature-store
 #                              codec + byte-budget LRU cache, and the gate
@@ -27,6 +29,7 @@ cd "$(dirname "$0")"
 BUILD_TYPE="${BUILD_TYPE:-Release}"
 SANITIZE="${SANITIZE:-}"
 BENCH_JSON="${BENCH_JSON:-BENCH_serving.json}"
+SIM_JSON="${SIM_JSON:-SIM_calibration.json}"
 SERVE_PRECISION="${SERVE_PRECISION:-fp32}"
 SERVE_AUTOSCALE="${SERVE_AUTOSCALE:-0}"
 
@@ -88,12 +91,30 @@ echo "== serve_cli API-v2 smoke (envelopes, deadlines, top-k) =="
 # job timeout turns into a failure).
 ./build/serve_cli --nodes=20000 --requests=20000 --replicas=2 \
   --policy=cache_affinity --batch-nodes=4 --deadline-ms=50 --topk=3 \
-  --shed-budget-ms=10 --gate=none --precision="${SERVE_PRECISION}"
+  --shed-budget-ms=10 --gate=none --precision="${SERVE_PRECISION}" \
+  --trace-out=build/ci_arrivals.trace
+
+echo "== trace round trip (recorded arrivals -> fleetsim replay) =="
+# The live run above recorded its real arrivals; the simulator must load
+# and replay that exact trace (same envelopes, deadlines, tenants).  This
+# is the record/replay contract between serve_cli --trace-out and
+# fleetsim_cli --trace=FILE, exercised on every leg.
+./build/fleetsim_cli --trace=build/ci_arrivals.trace --replicas=2 \
+  --policy=cache_affinity --nodes=20000
 
 echo "== serving bench (writes ${BENCH_JSON}) =="
 # --quick includes section 6, the deadline sweep at 2x saturation whose
 # slack-vs-FIFO miss-rate comparison lands in the JSON artifact as the
 # machine-relative "deadline_gate" record.
 ./build/bench_serving_latency --quick --json="${BENCH_JSON}"
+
+echo "== fleetsim calibration smoke (writes ${SIM_JSON}) =="
+# The simulator must reproduce the staged ramp this leg just measured:
+# fleetsim_cli rebuilds the service/cache models from the bench's
+# autoscale_trace anchors, replays the same ramp on the virtual clock,
+# and gates throughput / admitted p99 / spawn-retire sequence per arm
+# (tolerances in src/fleetsim/calibrate.h).  A model that drifts from
+# the machine fails here — BEFORE anyone plans capacity with it.
+./build/fleetsim_cli --calibrate="${BENCH_JSON}" --out="${SIM_JSON}"
 
 echo "CI OK"

@@ -1,0 +1,372 @@
+// fleetsim_cli: trace-driven capacity planning for the serving tier.
+//
+// Three modes, one binary:
+//
+//  * Plan (default): build or load an arrival trace, sweep fleet sizes
+//    (fixed 1..N plus an autoscale arm) through the discrete-event
+//    simulator, and print the cheapest configuration that meets the SLO —
+//    admitted p99 under --target-p99-ms AND shed rate under
+//    --max-shed-rate.  Hours of trace replay in seconds: the simulator
+//    runs the real policy objects on a virtual clock (src/fleetsim/).
+//
+//      ./fleetsim_cli --trace=diurnal --span-seconds=3600 \
+//          --base-rps=300 --peak-rps=1800 --baseline-rps=1200 \
+//          --target-p99-ms=10
+//      ./fleetsim_cli --trace=arrivals.trace --json=PLAN.json
+//
+//  * Replay (--replicas=N): one simulation of a fixed or autoscaled fleet
+//    over the trace, full SimResult JSON — for studying a single config
+//    rather than choosing one.
+//
+//  * Calibrate (--calibrate=BENCH_serving.json): parse the bench's
+//    autoscale_trace records, rebuild the service/cache models from the
+//    measured anchors, replay the same staged ramp, and gate simulated
+//    throughput / admitted p99 / spawn-retire sequence against the
+//    measurement (src/fleetsim/calibrate.h).  Writes the report to --out
+//    (default SIM_calibration.json); exits 1 when any arm misses its
+//    tolerance — the CI smoke that keeps the model honest.
+//
+// Traces: --trace=diurnal (sinusoidal day compressed to --span-seconds),
+// --trace=burst (steady base with periodic bursts), or a path to a
+// ppgnn-trace v1 file recorded by serve_cli --trace-out.
+//
+// The service model defaults to the header's first-order constants;
+// override per-machine with --baseline-rps/--mean-batch/--dispatch-us/
+// --hit-rate (the calibrated() constructor) or the raw knobs
+// --overhead-us/--hit-us/--miss-extra-us.  --cores bounds the modeled
+// timesharing (replicas are threads in one process).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleetsim/calibrate.h"
+#include "fleetsim/fleet_sim.h"
+#include "fleetsim/planner.h"
+#include "serve/router.h"
+#include "serve/trace.h"
+#include "serve/workload.h"
+
+using namespace ppgnn;
+
+namespace {
+
+struct Args {
+  // Trace selection.
+  std::string trace = "diurnal";  // diurnal | burst | path
+  double span_seconds = 3600;
+  double base_rps = 300;
+  double peak_rps = 1800;      // diurnal crest
+  double peak_at = 0.5;
+  double burst_mult = 5.0;     // burst shape
+  double burst_every = 60;
+  double burst_seconds = 5;
+  std::size_t nodes = 20000;
+  double skew = 0.99;
+  std::size_t batch_nodes = 1;
+  double low_frac = 0.0;
+  double deadline_ms = 0.0;
+  std::uint64_t seed = 1;
+  // Service model.
+  double baseline_rps = 0;     // > 0 switches to calibrated()
+  double mean_batch = 64;
+  double dispatch_us = 0;
+  double hit_rate = 0.5;
+  double overhead_us = 120;
+  double hit_us = 4.0;
+  double miss_extra_us = 8.0;
+  double cores = 0;            // 0 = hardware_concurrency
+  // Fleet knobs.
+  std::string policy = "cache_affinity";
+  std::size_t max_batch = 128;
+  long max_delay_us = 500;
+  double shed_budget_ms = 2.0;
+  std::size_t cache_rows = 1024;
+  std::size_t warm_keys = 512;
+  double spawn_ms = 30;
+  double initial_fill = 0.0;
+  // Plan / replay.
+  double target_p99_ms = 10.0;
+  double max_shed_rate = 0.01;
+  std::size_t min_replicas = 1;
+  std::size_t max_replicas = 4;
+  bool autoscale_arm = true;
+  std::size_t replicas = 0;    // > 0 = single-replay mode
+  bool autoscale = false;      // replay mode: autoscaled instead of fixed
+  // Calibration.
+  std::string calibrate;       // BENCH_serving.json path
+  std::string out = "SIM_calibration.json";
+  // Output.
+  std::string json;            // plan/replay JSON path ("" = stdout only)
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "bad arg: %s (use --key=value)\n", arg.c_str());
+      std::exit(2);
+    }
+    const auto eq = arg.find('=');
+    std::string k, v;
+    if (eq != std::string::npos) {
+      k = arg.substr(2, eq - 2);
+      v = arg.substr(eq + 1);
+    } else {
+      k = arg.substr(2);
+      v = "1";
+    }
+    std::replace(k.begin(), k.end(), '-', '_');
+    try {
+    if (k == "trace") a.trace = v;
+    else if (k == "span_seconds") a.span_seconds = std::stod(v);
+    else if (k == "base_rps") a.base_rps = std::stod(v);
+    else if (k == "peak_rps") a.peak_rps = std::stod(v);
+    else if (k == "peak_at") a.peak_at = std::stod(v);
+    else if (k == "burst_mult") a.burst_mult = std::stod(v);
+    else if (k == "burst_every") a.burst_every = std::stod(v);
+    else if (k == "burst_seconds") a.burst_seconds = std::stod(v);
+    else if (k == "nodes") a.nodes = std::stoul(v);
+    else if (k == "skew") a.skew = std::stod(v);
+    else if (k == "batch_nodes") a.batch_nodes = std::stoul(v);
+    else if (k == "low_frac") a.low_frac = std::stod(v);
+    else if (k == "deadline_ms") a.deadline_ms = std::stod(v);
+    else if (k == "seed") a.seed = std::stoull(v);
+    else if (k == "baseline_rps") a.baseline_rps = std::stod(v);
+    else if (k == "mean_batch") a.mean_batch = std::stod(v);
+    else if (k == "dispatch_us") a.dispatch_us = std::stod(v);
+    else if (k == "hit_rate") a.hit_rate = std::stod(v);
+    else if (k == "overhead_us") a.overhead_us = std::stod(v);
+    else if (k == "hit_us") a.hit_us = std::stod(v);
+    else if (k == "miss_extra_us") a.miss_extra_us = std::stod(v);
+    else if (k == "cores") a.cores = std::stod(v);
+    else if (k == "policy") a.policy = v;
+    else if (k == "max_batch") a.max_batch = std::stoul(v);
+    else if (k == "max_delay_us") a.max_delay_us = std::stol(v);
+    else if (k == "shed_budget_ms") a.shed_budget_ms = std::stod(v);
+    else if (k == "cache_rows") a.cache_rows = std::stoul(v);
+    else if (k == "warm_keys") a.warm_keys = std::stoul(v);
+    else if (k == "spawn_ms") a.spawn_ms = std::stod(v);
+    else if (k == "initial_fill") a.initial_fill = std::stod(v);
+    else if (k == "target_p99_ms") a.target_p99_ms = std::stod(v);
+    else if (k == "max_shed_rate") a.max_shed_rate = std::stod(v);
+    else if (k == "min_replicas") a.min_replicas = std::stoul(v);
+    else if (k == "max_replicas") a.max_replicas = std::stoul(v);
+    else if (k == "autoscale_arm") a.autoscale_arm = v != "0";
+    else if (k == "no_autoscale_arm") a.autoscale_arm = false;
+    else if (k == "replicas") a.replicas = std::stoul(v);
+    else if (k == "autoscale") a.autoscale = v != "0";
+    else if (k == "calibrate") a.calibrate = v;
+    else if (k == "out") a.out = v;
+    else if (k == "json") a.json = v;
+    else { std::fprintf(stderr, "unknown flag: --%s\n", k.c_str()); std::exit(2); }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "bad value for --%s: %s\n", k.c_str(), v.c_str());
+      std::exit(2);
+    }
+  }
+  if (a.nodes == 0 || a.max_batch == 0 || a.span_seconds <= 0) {
+    std::fprintf(stderr, "nodes, max_batch, span-seconds must be positive\n");
+    std::exit(2);
+  }
+  if (a.min_replicas == 0 || a.max_replicas < a.min_replicas) {
+    std::fprintf(stderr, "need 1 <= min-replicas <= max-replicas\n");
+    std::exit(2);
+  }
+  return a;
+}
+
+std::vector<serve::TraceEvent> make_trace(const Args& a) {
+  serve::TraceMixConfig mix;
+  mix.num_nodes = a.nodes;
+  mix.skew = a.skew;
+  mix.batch_nodes = a.batch_nodes;
+  mix.low_frac = a.low_frac;
+  mix.deadline_us = static_cast<std::uint64_t>(a.deadline_ms * 1000.0);
+  mix.seed = a.seed;
+  if (a.trace == "diurnal") {
+    serve::DiurnalTraceConfig cfg;
+    cfg.mix = mix;
+    cfg.span_seconds = a.span_seconds;
+    cfg.base_rps = a.base_rps;
+    cfg.peak_rps = a.peak_rps;
+    cfg.peak_at = a.peak_at;
+    return serve::diurnal_trace(cfg);
+  }
+  if (a.trace == "burst") {
+    serve::BurstTraceConfig cfg;
+    cfg.mix = mix;
+    cfg.span_seconds = a.span_seconds;
+    cfg.base_rps = a.base_rps;
+    cfg.burst_mult = a.burst_mult;
+    cfg.burst_every_seconds = a.burst_every;
+    cfg.burst_seconds = a.burst_seconds;
+    return serve::burst_trace(cfg);
+  }
+  return serve::load_trace(a.trace);  // a recorded file
+}
+
+fleetsim::ServiceModel make_model(const Args& a, double cores) {
+  if (a.baseline_rps > 0) {
+    return fleetsim::ServiceModel::calibrated(
+        a.baseline_rps, a.mean_batch, a.dispatch_us, a.hit_rate, cores);
+  }
+  fleetsim::ServiceModelParams p;
+  p.batch_overhead_us = a.overhead_us;
+  p.hit_us_per_row = a.hit_us;
+  p.miss_extra_us_per_row = a.miss_extra_us;
+  p.cores = cores;
+  return fleetsim::ServiceModel(p);
+}
+
+fleetsim::SimFleetConfig make_fleet(const Args& a) {
+  fleetsim::SimFleetConfig cfg;
+  serve::parse_policy(a.policy, &cfg.policy);
+  cfg.batch.max_batch_size = a.max_batch;
+  cfg.batch.max_delay = std::chrono::microseconds(a.max_delay_us);
+  cfg.batch.shed_budget = std::chrono::microseconds(
+      static_cast<long>(a.shed_budget_ms * 1000.0));
+  cfg.warm_keys = a.warm_keys;
+  cfg.initial_fill = a.initial_fill;
+  cfg.spawn_latency = std::chrono::milliseconds(
+      static_cast<std::int64_t>(a.spawn_ms));
+  cfg.cache.capacity_rows = a.cache_rows;
+  cfg.cache.num_nodes = a.nodes;
+  cfg.cache.skew = a.skew;
+  return cfg;
+}
+
+void emit(const std::string& payload, const std::string& path) {
+  if (!path.empty()) {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      std::exit(1);
+    }
+    out << payload << "\n";
+    std::printf("wrote %s\n", path.c_str());
+  }
+  std::printf("json: %s\n", payload.c_str());
+}
+
+int run_calibration_mode(const Args& a) {
+  std::ifstream in(a.calibrate);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", a.calibrate.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  fleetsim::BenchCalibration calib;
+  try {
+    calib = fleetsim::parse_bench_json(buf.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "calibration parse failed: %s\n", e.what());
+    return 1;
+  }
+  std::printf("=== fleetsim calibration vs %s ===\n", a.calibrate.c_str());
+  std::printf("anchors: baseline %.0f parts/s, mean batch %.1f, hit %.1f%%, "
+              "%zu arms, ramp %.1fs\n",
+              calib.single_replica_rps, calib.mean_batch,
+              100 * calib.cache_hit_rate, calib.arms.size(),
+              calib.ramp_seconds);
+  const fleetsim::CalibrationTolerance tol;
+  const auto report = fleetsim::run_calibration(calib, tol);
+  std::printf("%-14s %12s %12s %7s %12s %12s %7s %8s %8s %s\n", "arm",
+              "meas rps", "sim rps", "ratio", "meas p99", "sim p99", "ratio",
+              "events", "edits", "gate");
+  for (const auto& c : report.arms) {
+    std::printf("%-14s %12.0f %12.0f %7.2f %12.0f %12.0f %7.2f %8s %8zu %s\n",
+                c.fleet.c_str(), c.measured_rps, c.sim_rps, c.rps_ratio,
+                c.measured_p99_us, c.sim_p99_us, c.p99_ratio,
+                (c.measured_events + "/" + c.sim_events).c_str(),
+                c.event_edits, c.pass ? "PASS" : "FAIL");
+  }
+  emit(report.to_json(tol), a.out);
+  std::printf("%s: simulator %s the measured ramp within tolerance\n",
+              report.pass ? "PASS" : "FAIL",
+              report.pass ? "reproduces" : "does NOT reproduce");
+  return report.pass ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  if (!a.calibrate.empty()) return run_calibration_mode(a);
+
+  const double cores =
+      a.cores > 0 ? a.cores
+                  : std::max(1u, std::thread::hardware_concurrency());
+  const auto model = make_model(a, cores);
+  const auto trace = make_trace(a);
+  if (trace.empty()) {
+    std::fprintf(stderr, "empty trace\n");
+    return 1;
+  }
+  std::printf("=== fleetsim: %s trace ===\n", a.trace.c_str());
+  std::printf("trace: %zu envelopes (%zu parts), %.1fs span, mean %.0f "
+              "envelopes/s offered\n",
+              trace.size(), serve::trace_parts(trace),
+              serve::trace_span_seconds(trace), serve::trace_mean_rps(trace));
+
+  const auto base = make_fleet(a);
+  if (a.replicas > 0) {
+    // Single-config replay.
+    fleetsim::SimFleetConfig cfg = base;
+    cfg.initial_replicas = a.replicas;
+    cfg.autoscale.enabled = a.autoscale;
+    cfg.autoscale.min_replicas = a.replicas;
+    cfg.autoscale.max_replicas =
+        a.autoscale ? std::max(a.max_replicas, a.replicas) : a.replicas;
+    const auto r = fleetsim::FleetSim(cfg, model).run(trace);
+    std::printf("replayed %.1fs of trace in %.2fs: %zu answered "
+                "(%.0f/s), p99 %.0fus, shed rate %.2f%%, replicas %zu max, "
+                "%.1f replica-seconds\n",
+                r.span_seconds, r.sim_wall_seconds, r.answered,
+                r.answered_rps, r.admitted_latency.p99_us, 100 * r.shed_rate,
+                r.max_replicas_seen, r.replica_seconds);
+    emit(r.to_json(), a.json);
+    return 0;
+  }
+
+  // Capacity plan.
+  fleetsim::PlanTarget target;
+  target.p99_ms = a.target_p99_ms;
+  target.max_shed_rate = a.max_shed_rate;
+  target.min_replicas = a.min_replicas;
+  target.max_replicas = a.max_replicas;
+  target.try_autoscale = a.autoscale_arm;
+  const auto plan = fleetsim::plan_capacity(base, model, trace, target);
+  std::printf("%-12s %10s %12s %10s %10s %12s %s\n", "arm", "answered/s",
+              "p99(us)", "shed", "max reps", "rep-seconds", "SLO");
+  double total_wall = 0;
+  for (const auto& arm : plan.arms) {
+    const auto& r = arm.result;
+    total_wall += r.sim_wall_seconds;
+    std::printf("%-12s %10.0f %12.0f %9.2f%% %10zu %12.1f %s\n",
+                arm.name.c_str(), r.answered_rps, r.admitted_latency.p99_us,
+                100 * r.shed_rate, r.max_replicas_seen,
+                arm.cost_replica_seconds, arm.feasible ? "meets" : "misses");
+  }
+  std::printf("swept %zu arms x %.1fs trace in %.2fs simulator wall time\n",
+              plan.arms.size(), serve::trace_span_seconds(trace), total_wall);
+  emit(plan.to_json(target), a.json);
+  if (plan.attainable()) {
+    const auto* best = plan.best_arm();
+    std::printf("PLAN: %s is the cheapest config meeting p99 <= %.1fms and "
+                "shed <= %.2f%% (%.1f replica-seconds)\n",
+                best->name.c_str(), target.p99_ms, 100 * target.max_shed_rate,
+                best->cost_replica_seconds);
+  } else {
+    std::printf("PLAN: target unattainable within %zu..%zu replicas — raise "
+                "max-replicas or relax the SLO\n",
+                target.min_replicas, target.max_replicas);
+  }
+  return 0;
+}

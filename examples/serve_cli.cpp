@@ -43,6 +43,14 @@
 //   --topk=K              answer top-k (class, score) pairs instead of
 //                         full logits (0 = full logits)
 //
+// Trace capture (feeds the fleet simulator, src/fleetsim/):
+//   --trace-out=PATH      record every measured-run arrival (offset,
+//                         priority, relative deadline, client id, nodes)
+//                         to a ppgnn-trace v1 file that fleetsim_cli
+//                         --trace=PATH replays offline.  Calibration runs
+//                         are not recorded; a gate retry re-records, so
+//                         the file always matches the final measured run.
+//
 // Precision:
 //   --precision=fp32|int8 int8 deploys a quantized checkpoint (~4x less
 //                         weight data), quantizes every Linear per output
@@ -75,6 +83,7 @@
 //               [--cache=none|lru|static] [--cache_frac=0.05] [--window=512]
 //               [--autoscale] [--min-replicas=1] [--max-replicas=4]
 //               [--scale-up-shed=0.1] [--scale-down-idle=0.9]
+//               [--trace-out=arrivals.trace]
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -87,6 +96,7 @@
 #include <cstring>
 #include <deque>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -101,6 +111,7 @@
 #include "serve/serve_api.h"
 #include "serve/server_stats.h"
 #include "serve/testbed.h"
+#include "serve/trace.h"
 #include "serve/workload.h"
 
 using namespace ppgnn;
@@ -142,6 +153,7 @@ struct Args {
   double scale_up_shed = 0.10;
   double scale_down_idle = 0.90;
   double ramp_seconds = 6.0;  // staged-trace wall time (2s per phase)
+  std::string trace_out;      // record measured-run arrivals here ("" = off)
 };
 
 Args parse(int argc, char** argv) {
@@ -202,6 +214,7 @@ Args parse(int argc, char** argv) {
     else if (k == "scale_up_shed") a.scale_up_shed = std::stod(v);
     else if (k == "scale_down_idle") a.scale_down_idle = std::stod(v);
     else if (k == "ramp_seconds") a.ramp_seconds = std::stod(v);
+    else if (k == "trace_out") a.trace_out = v;
     else { std::fprintf(stderr, "unknown flag: --%s\n", k.c_str()); std::exit(2); }
     } catch (const std::exception&) {
       std::fprintf(stderr, "bad value for --%s: %s\n", k.c_str(), v.c_str());
@@ -411,7 +424,8 @@ void finish_result(RunResult& r, serve::FleetManager& fleet,
 // calibration, then the real config).
 RunResult run_serving(const Args& a, const serve::ServingTestbed& tb,
                       std::size_t replicas,
-                      const std::vector<std::int64_t>& stream) {
+                      const std::vector<std::int64_t>& stream,
+                      const std::string& trace_path = {}) {
   SourceFactory sf(a, tb);
   serve::FleetManager fleet(
       tb.fleet_builder([&sf](std::size_t i) { return sf(i); }), replicas,
@@ -424,6 +438,10 @@ RunResult run_serving(const Args& a, const serve::ServingTestbed& tb,
           std::chrono::duration<double, std::milli>(a.deadline_ms));
   std::atomic<std::size_t> n_ok{0}, n_missed{0}, n_shed{0}, n_total{0};
   const auto t0 = std::chrono::steady_clock::now();
+  std::unique_ptr<serve::TraceRecorder> rec;
+  if (!trace_path.empty()) rec = std::make_unique<serve::TraceRecorder>(t0);
+  const auto deadline_budget_us =
+      static_cast<std::uint64_t>(a.deadline_ms * 1000.0);
   std::vector<std::thread> clients;
   const std::size_t shard = (groups.size() + a.clients - 1) / a.clients;
   for (std::size_t c = 0; c < a.clients; ++c) {
@@ -468,6 +486,11 @@ RunResult run_serving(const Args& a, const serve::ServingTestbed& tb,
           req.mode = serve::ResultMode::kTopK;
           req.topk = a.topk;
         }
+        if (rec) {
+          rec->note(std::chrono::steady_clock::now(), req.nodes,
+                    req.priority, deadline_budget_us,
+                    static_cast<std::uint32_t>(c));
+        }
         fleet.submit(std::move(req), cq);
         ++inflight;
         while (cq.poll(&resp)) count(resp);
@@ -492,6 +515,11 @@ RunResult run_serving(const Args& a, const serve::ServingTestbed& tb,
   r.envelopes_missed = n_missed.load();
   r.envelopes_shed = n_shed.load();
   finish_result(r, fleet, sf, wall);
+  if (rec) {
+    rec->save(trace_path);
+    std::printf("trace: %zu arrivals -> %s\n", rec->size(),
+                trace_path.c_str());
+  }
   return r;
 }
 
@@ -503,7 +531,8 @@ RunResult run_serving(const Args& a, const serve::ServingTestbed& tb,
 // so the stream is sized to the measured baseline instead of the other
 // way around.
 RunResult run_autoscale(const Args& a, const serve::ServingTestbed& tb,
-                        double baseline_rps) {
+                        double baseline_rps,
+                        const std::string& trace_path = {}) {
   SourceFactory sf(a, tb);
   const serve::FleetConfig fc = fleet_config(a, /*with_autoscale=*/true);
   serve::FleetManager fleet(
@@ -526,6 +555,10 @@ RunResult run_autoscale(const Args& a, const serve::ServingTestbed& tb,
               "offered/s", "win shed", "win p99(us)", "queue");
 
   RunResult r;
+  std::unique_ptr<serve::TraceRecorder> rec;
+  if (!trace_path.empty()) {
+    rec = std::make_unique<serve::TraceRecorder>(pacer.start());
+  }
   std::deque<std::future<std::vector<float>>> inflight;
   const auto reap_front = [&] {
     try {
@@ -572,6 +605,10 @@ RunResult run_autoscale(const Args& a, const serve::ServingTestbed& tb,
                       static_cast<double>(i % 100) < a.low_frac * 100)
                          ? serve::Priority::kLow
                          : serve::Priority::kHigh;
+    if (rec) {
+      rec->note(std::chrono::steady_clock::now(), {stream[i]}, pri,
+                /*deadline_us=*/0, /*tenant=*/0);
+    }
     auto adm = fleet.try_submit(stream[i], pri);
     if (adm.accepted) inflight.push_back(std::move(adm.result));
     while (inflight.size() > 4096) reap_front();
@@ -582,6 +619,11 @@ RunResult run_autoscale(const Args& a, const serve::ServingTestbed& tb,
           .count();
 
   finish_result(r, fleet, sf, wall);
+  if (rec) {
+    rec->save(trace_path);
+    std::printf("trace: %zu arrivals -> %s\n", rec->size(),
+                trace_path.c_str());
+  }
   return r;
 }
 
@@ -761,8 +803,9 @@ int main(int argc, char** argv) {
     print_result("calibration: 1 replica", base);
   }
 
-  RunResult r = a.autoscale ? run_autoscale(a, tb, baseline_rps)
-                            : run_serving(a, tb, a.replicas, stream);
+  RunResult r = a.autoscale
+                    ? run_autoscale(a, tb, baseline_rps, a.trace_out)
+                    : run_serving(a, tb, a.replicas, stream, a.trace_out);
   print_result("measured", r);
 
   // Accuracy column: at int8 the gate also bounds top-1 disagreement
@@ -815,8 +858,8 @@ int main(int argc, char** argv) {
       baseline_rps = base.rps;
       print_result("calibration (retry): 1 replica", base);
     }
-    r = a.autoscale ? run_autoscale(a, tb, baseline_rps)
-                    : run_serving(a, tb, a.replicas, stream);
+    r = a.autoscale ? run_autoscale(a, tb, baseline_rps, a.trace_out)
+                    : run_serving(a, tb, a.replicas, stream, a.trace_out);
     print_result("measured (retry)", r);
     ok = gate_ok(r);
   }

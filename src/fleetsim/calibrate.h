@@ -1,0 +1,115 @@
+// Calibration gate: does the simulator reproduce what the machine
+// actually measured?
+//
+// bench_serving_latency section 5 drives three real fleets (fixed-min,
+// fixed-max, autoscale) through the staged ramp (0.5x -> 2.5x -> 0.5x of
+// single-replica saturation) and emits one `autoscale_trace` record per
+// arm into BENCH_serving.json — including everything needed to replay the
+// run offline: the service-rate anchors (single_replica_rps, mean batch,
+// dispatch gauge, hit rate), the workload shape, and the full policy
+// constants.  This module parses those records, builds a calibrated
+// ServiceModel + CacheModel, replays the SAME ramp through FleetSim, and
+// compares arm by arm:
+//
+//   * answered throughput: sim/measured within [tol.rps_lo, tol.rps_hi]
+//   * admitted p99:        sim/measured within [tol.p99_lo, tol.p99_hi]
+//   * spawn/retire events: edit distance between the simulated and the
+//     measured 'u'/'d' sequences <= tol.max_event_edits
+//
+// The tolerances are deliberately wide on latency (a queueing tail is the
+// most model-sensitive statistic there is) and tight on the event
+// sequence (the policy decisions are the thing the simulator exists to
+// predict; it runs the REAL policy, so getting them wrong means the
+// modeled signals fed it wrong inputs).  The report is written to
+// SIM_calibration.json by fleetsim_cli --calibrate and uploaded next to
+// BENCH_serving.json by CI on every leg, so model drift shows up as a red
+// calibration artifact, not as silently wrong capacity plans.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fleetsim/fleet_sim.h"
+
+namespace ppgnn::fleetsim {
+
+// One measured autoscale_trace record (bench section 5 arm).
+struct MeasuredArm {
+  std::string fleet;  // "fixed-min(1)" | "fixed-max(4)" | "autoscale"
+  bool autoscale = false;
+  std::size_t min_replicas = 1;
+  std::size_t max_replicas = 1;
+  double answered_rps = 0;
+  double admitted_p99_us = 0;
+  double shed_rate = 0;
+  std::size_t max_replicas_seen = 0;
+  double replica_seconds = 0;
+  std::string event_signature;  // 'u'/'d' per spawn/retire, in order
+};
+
+// Everything the bench emitted that the replay needs.
+struct BenchCalibration {
+  double single_replica_rps = 0;
+  double offered_mean_rps = 0;
+  double ramp_seconds = 0;
+  double mean_batch = 0;
+  double mean_dispatch_us = 0;
+  double cache_hit_rate = 0;     // fixed-min arm's measured aggregate
+  std::size_t cache_capacity_rows = 0;
+  std::size_t nodes = 0;
+  double skew = 0.99;
+  double cores = 1;
+  std::size_t max_batch_size = 128;
+  double max_delay_us = 500;
+  double shed_budget_ms = 2;
+  double stats_window_ms = 500;
+  double scale_up_shed = 0.10;
+  double scale_down_idle = 0.90;
+  double sustain_ms = 300;
+  double idle_window_ms = 800;
+  double cooldown_ms = 1000;
+  double tick_ms = 50;
+  std::size_t warm_keys = 512;
+  std::vector<MeasuredArm> arms;
+};
+
+// Parses the autoscale_trace records out of a BENCH_serving.json payload
+// (the whole file contents — a JSON array of flat records).  Throws
+// std::runtime_error when no autoscale_trace record is present.  The
+// scanner is key-based, matching the bench's known flat emission — not a
+// general JSON parser.
+BenchCalibration parse_bench_json(const std::string& json);
+
+struct CalibrationTolerance {
+  double rps_lo = 0.6, rps_hi = 1.5;    // sim/measured answered throughput
+  double p99_lo = 0.25, p99_hi = 4.0;   // sim/measured admitted p99
+  std::size_t max_event_edits = 2;      // spawn/retire sequence edit dist
+};
+
+struct ArmCheck {
+  std::string fleet;
+  double measured_rps = 0, sim_rps = 0, rps_ratio = 0;
+  double measured_p99_us = 0, sim_p99_us = 0, p99_ratio = 0;
+  std::string measured_events, sim_events;
+  std::size_t event_edits = 0;
+  bool pass = false;
+};
+
+struct CalibrationReport {
+  ServiceModelParams model;
+  double cache_hit_scale = 1.0;
+  std::vector<ArmCheck> arms;
+  bool pass = false;
+  std::string to_json(const CalibrationTolerance& tol) const;
+};
+
+// Levenshtein distance over the 'u'/'d' event strings.
+std::size_t edit_distance(const std::string& a, const std::string& b);
+
+// Builds the calibrated models from `calib`, replays the staged ramp per
+// measured arm, and gates each against `tol`.
+CalibrationReport run_calibration(const BenchCalibration& calib,
+                                  const CalibrationTolerance& tol);
+
+}  // namespace ppgnn::fleetsim

@@ -1,0 +1,95 @@
+#include "fleetsim/planner.h"
+
+#include <sstream>
+#include <thread>
+
+namespace ppgnn::fleetsim {
+
+namespace {
+
+bool feasible(const SimResult& r, const PlanTarget& t) {
+  // A replay that answered nothing cannot demonstrate feasibility.
+  if (r.answered == 0) return false;
+  return r.admitted_latency.p99_us <= t.p99_ms * 1000.0 &&
+         r.shed_rate <= t.max_shed_rate;
+}
+
+}  // namespace
+
+CapacityPlan plan_capacity(const SimFleetConfig& base,
+                           const ServiceModel& model,
+                           const std::vector<serve::TraceEvent>& trace,
+                           const PlanTarget& target) {
+  CapacityPlan plan;
+  for (std::size_t n = target.min_replicas; n <= target.max_replicas; ++n) {
+    SimFleetConfig cfg = base;
+    cfg.initial_replicas = n;
+    cfg.autoscale.enabled = false;
+    PlanArm arm;
+    arm.name = "fixed-" + std::to_string(n);
+    arm.replicas = n;
+    plan.arms.push_back(std::move(arm));
+  }
+  if (target.try_autoscale) {
+    PlanArm arm;
+    arm.name = "autoscale";
+    plan.arms.push_back(std::move(arm));
+  }
+  // Arms are independent simulations with no shared state, and each is
+  // individually deterministic — running them on threads changes wall
+  // time, never results.  An hour-long trace sweeps in the time of the
+  // slowest single arm.
+  std::vector<std::thread> workers;
+  workers.reserve(plan.arms.size());
+  for (PlanArm& arm : plan.arms) {
+    workers.emplace_back([&base, &model, &trace, &target, &arm] {
+      SimFleetConfig cfg = base;
+      if (arm.replicas > 0) {  // fixed arm
+        cfg.initial_replicas = arm.replicas;
+        cfg.autoscale.enabled = false;
+      } else {  // autoscale arm
+        cfg.initial_replicas = target.min_replicas;
+        cfg.autoscale.enabled = true;
+        cfg.autoscale.min_replicas = target.min_replicas;
+        cfg.autoscale.max_replicas = target.max_replicas;
+      }
+      arm.result = FleetSim(cfg, model).run(trace);
+      arm.feasible = feasible(arm.result, target);
+      arm.cost_replica_seconds = arm.result.replica_seconds;
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (std::size_t i = 0; i < plan.arms.size(); ++i) {
+    if (!plan.arms[i].feasible) continue;
+    if (plan.best == SIZE_MAX ||
+        plan.arms[i].cost_replica_seconds <
+            plan.arms[plan.best].cost_replica_seconds) {
+      plan.best = i;
+    }
+  }
+  return plan;
+}
+
+std::string CapacityPlan::to_json(const PlanTarget& target) const {
+  std::ostringstream os;
+  os << "{\"target\":{\"p99_ms\":" << target.p99_ms
+     << ",\"max_shed_rate\":" << target.max_shed_rate
+     << ",\"min_replicas\":" << target.min_replicas
+     << ",\"max_replicas\":" << target.max_replicas << "},\"arms\":[";
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    const PlanArm& a = arms[i];
+    if (i) os << ",";
+    os << "{\"name\":\"" << a.name << "\",\"feasible\":"
+       << (a.feasible ? "true" : "false")
+       << ",\"cost_replica_seconds\":" << a.cost_replica_seconds
+       << ",\"result\":" << a.result.to_json() << "}";
+  }
+  os << "],\"attainable\":" << (attainable() ? "true" : "false");
+  if (attainable()) {
+    os << ",\"best\":\"" << arms[best].name << "\"";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace ppgnn::fleetsim

@@ -1,0 +1,63 @@
+// Capacity planner: sweep fleet configurations over one trace and pick
+// the cheapest that meets the SLO.
+//
+// "Cheapest" is replica-seconds — the integral of fleet size over the
+// replay, which is what a per-replica-hour bill charges.  A fixed fleet
+// of N costs N * span; the autoscale arm's cost is whatever its spawn /
+// retire sequence integrates to, which is the whole point of simulating
+// it instead of max-provisioning.  Feasibility is judged on answered-work
+// quality: admitted p99 within the target AND the shed rate (door rejects
+// + queue sheds, the work that never got an answer) within its cap —
+// p99 alone can be bought by refusing everything hard, which is why both
+// gates exist (same reasoning as ServerStats' admission counters).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fleetsim/fleet_sim.h"
+
+namespace ppgnn::fleetsim {
+
+struct PlanTarget {
+  double p99_ms = 5.0;        // admitted-latency p99 ceiling
+  double max_shed_rate = 0.01;
+  std::size_t min_replicas = 1;
+  std::size_t max_replicas = 8;
+  bool try_autoscale = true;  // also sweep the autoscale arm
+};
+
+struct PlanArm {
+  std::string name;           // "fixed-2", "autoscale"
+  std::size_t replicas = 0;   // fixed size; 0 for the autoscale arm
+  bool feasible = false;
+  SimResult result;
+  double cost_replica_seconds = 0;
+};
+
+struct CapacityPlan {
+  std::vector<PlanArm> arms;  // sweep order: fixed min..max, then autoscale
+  // Index of the cheapest feasible arm in `arms`, or SIZE_MAX when the
+  // target is unattainable within the sweep bounds.
+  std::size_t best = SIZE_MAX;
+
+  bool attainable() const { return best != SIZE_MAX; }
+  const PlanArm* best_arm() const {
+    return attainable() ? &arms[best] : nullptr;
+  }
+  // Full plan as one JSON object (per-arm results + the verdict).
+  std::string to_json(const PlanTarget& target) const;
+};
+
+// Replays `trace` once per candidate configuration.  `base` supplies the
+// batching/cache/spawn knobs; the sweep overrides initial_replicas and
+// the autoscale block (fixed arms run with autoscaling disabled; the
+// autoscale arm runs base.autoscale with enabled=true and the target's
+// replica bounds).
+CapacityPlan plan_capacity(const SimFleetConfig& base,
+                           const ServiceModel& model,
+                           const std::vector<serve::TraceEvent>& trace,
+                           const PlanTarget& target);
+
+}  // namespace ppgnn::fleetsim

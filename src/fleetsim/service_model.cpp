@@ -1,0 +1,147 @@
+#include "fleetsim/service_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ppgnn::fleetsim {
+
+ServiceModel::ServiceModel(const ServiceModelParams& p) : p_(p) {
+  if (p_.cores < 1) p_.cores = 1;
+  if (p_.batch_overhead_us < 0 || p_.hit_us_per_row <= 0 ||
+      p_.miss_extra_us_per_row < 0) {
+    throw std::invalid_argument("ServiceModel: nonpositive cost");
+  }
+}
+
+ServiceModel ServiceModel::calibrated(double baseline_rps, double mean_batch,
+                                      double mean_dispatch_us, double hit_rate,
+                                      double cores, double miss_cost_ratio) {
+  if (baseline_rps <= 0 || mean_batch <= 0) {
+    throw std::invalid_argument(
+        "ServiceModel::calibrated: baseline_rps and mean_batch must be > 0");
+  }
+  hit_rate = std::clamp(hit_rate, 0.0, 1.0);
+  // At saturation one replica dispatches back to back, so the measured
+  // part rate pins the whole batch service time; the dispatch gauge is
+  // the per-batch share, the rest is per-row.
+  const double service_per_batch_us = mean_batch / baseline_rps * 1e6;
+  const double overhead_us =
+      std::min(std::max(0.0, mean_dispatch_us), 0.5 * service_per_batch_us);
+  const double per_row_us = (service_per_batch_us - overhead_us) / mean_batch;
+  // per_row = hit + (1-h)*miss_extra with miss_extra = ratio * hit.
+  const double hit_us =
+      per_row_us / (1.0 + (1.0 - hit_rate) * std::max(0.0, miss_cost_ratio));
+  ServiceModelParams p;
+  p.batch_overhead_us = overhead_us;
+  p.hit_us_per_row = std::max(1e-3, hit_us);
+  p.miss_extra_us_per_row = std::max(0.0, miss_cost_ratio) * p.hit_us_per_row;
+  p.cores = cores;
+  return ServiceModel(p);
+}
+
+ServiceModel ServiceModel::from_cost_model(const sim::CostModel& cm,
+                                           const sim::PpModelShape& shape,
+                                           double cores) {
+  const std::size_t row_bytes = shape.row_bytes();
+  constexpr std::size_t kRefBatch = 64;
+  // Inference is the forward third of the train FLOP model; amortize the
+  // per-batch kernel-launch share out by evaluating at a reference batch.
+  const double fwd_batch_s =
+      sim::pp_compute_per_batch(cm, shape, kRefBatch) / 3.0;
+  ServiceModelParams p;
+  p.hit_us_per_row =
+      1e6 * (cm.host_assembly_fused(1, row_bytes) +
+             fwd_batch_s / static_cast<double>(kRefBatch));
+  p.miss_extra_us_per_row = 1e6 * cm.ssd_random_read(1, row_bytes);
+  // Dispatch bookkeeping is sub-dominant and not in the cost model; a
+  // fixed small constant keeps tiny batches from looking free.
+  p.batch_overhead_us = 100;
+  p.cores = cores;
+  return ServiceModel(p);
+}
+
+double ServiceModel::batch_service_us(std::size_t batch, double hit_rate,
+                                      std::size_t active_replicas) const {
+  hit_rate = std::clamp(hit_rate, 0.0, 1.0);
+  const double rows = static_cast<double>(batch);
+  const double us =
+      p_.batch_overhead_us +
+      rows * (p_.hit_us_per_row +
+              (1.0 - hit_rate) * p_.miss_extra_us_per_row);
+  const double slowdown =
+      std::max(1.0, static_cast<double>(std::max<std::size_t>(
+                        active_replicas, 1)) /
+                        p_.cores);
+  return us * slowdown;
+}
+
+double ServiceModel::replica_capacity_rps(std::size_t batch,
+                                          double hit_rate) const {
+  const double us = batch_service_us(batch, hit_rate, 1);
+  return us > 0 ? static_cast<double>(batch) / (us * 1e-6) : 0.0;
+}
+
+double zipf_top_mass(std::size_t top, std::size_t num_nodes, double skew) {
+  if (num_nodes == 0) return 0.0;
+  top = std::min(top, num_nodes);
+  double head = 0, total = 0;
+  for (std::size_t r = 1; r <= num_nodes; ++r) {
+    const double w = std::pow(static_cast<double>(r), -skew);
+    total += w;
+    if (r <= top) head += w;
+  }
+  return total > 0 ? head / total : 0.0;
+}
+
+double steady_hit_rate(std::size_t capacity_rows, std::size_t num_nodes,
+                       double skew, std::size_t shards) {
+  if (capacity_rows == 0 || num_nodes == 0) return 0.0;
+  shards = std::max<std::size_t>(shards, 1);
+  // A shard sees every shards-th rank, so its top-C covers global ranks up
+  // to C * shards — sharding multiplies effective capacity.
+  const std::size_t reach = capacity_rows >= num_nodes / shards
+                                ? num_nodes
+                                : capacity_rows * shards;
+  return zipf_top_mass(reach, num_nodes, skew);
+}
+
+CacheModel::CacheModel(const CacheModelConfig& cfg, std::size_t warm_rows,
+                       std::size_t shards)
+    : cfg_(cfg),
+      shards_(std::max<std::size_t>(shards, 1)),
+      steady_(0),
+      resident_(static_cast<double>(
+          std::min(warm_rows, cfg.capacity_rows))) {
+  set_shards(shards_);
+}
+
+void CacheModel::set_shards(std::size_t shards) {
+  shards_ = std::max<std::size_t>(shards, 1);
+  steady_ = std::clamp(
+      cfg_.hit_scale *
+          steady_hit_rate(cfg_.capacity_rows, cfg_.num_nodes, cfg_.skew,
+                          shards_),
+      0.0, 1.0);
+}
+
+double CacheModel::hit_rate() const {
+  if (cfg_.capacity_rows == 0) return 0.0;
+  return steady_ * std::min(1.0, resident_ /
+                                     static_cast<double>(cfg_.capacity_rows));
+}
+
+void CacheModel::on_batch(std::size_t rows) {
+  if (cfg_.capacity_rows == 0) return;
+  const double misses = static_cast<double>(rows) * (1.0 - hit_rate());
+  resident_ = std::min(static_cast<double>(cfg_.capacity_rows),
+                       resident_ + misses);
+}
+
+double CacheModel::fill() const {
+  if (cfg_.capacity_rows == 0) return 0.0;
+  return std::min(1.0,
+                  resident_ / static_cast<double>(cfg_.capacity_rows));
+}
+
+}  // namespace ppgnn::fleetsim

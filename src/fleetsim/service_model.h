@@ -1,0 +1,129 @@
+// Per-replica service-time and cache-occupancy models for the fleet
+// simulator.
+//
+// The simulator replays real POLICY code (AutoscalePolicy, slack
+// arithmetic, ring routing, windowed gauges) but must model the
+// MECHANISM — how long a dispatched batch takes and how often a row hits
+// the replica's cache.  Two constructors for the service model:
+//
+//  * calibrated(): from a measured BENCH_serving.json leg — the
+//    machine-relative path the CI calibration gate uses.  The measured
+//    single-replica saturated throughput pins total service time per
+//    batch; the measured dispatch gauge splits off the per-batch
+//    overhead; the measured hit rate splits the per-row remainder into a
+//    hit cost and a miss surcharge (a miss re-reads and decodes the row:
+//    `miss_cost_ratio` times the hit cost, a first-order stand-in the
+//    calibration absorbs into the split).
+//
+//  * from_cost_model(): first principles via sim::CostModel — host gather
+//    bandwidth for resident rows, ssd_random_read for misses, a forward
+//    share of the PP-GNN FLOP model — for capacity planning on hardware
+//    nobody has benchmarked yet (the MLSYSIM use case).
+//
+// Replicas in this repo are threads in one process, so N active replicas
+// timeshare `cores` physical cores: batch service time scales by
+// max(1, active/cores).  That term is what makes the simulated autoscale
+// arm agree with measurement on a 1-core CI runner (where a spawn adds
+// cache capacity, not FLOPs) AND on multi-core boxes.
+//
+// The cache model is analytic, not a per-row LRU replay: a Zipf(s) stream
+// over n nodes sharded R ways gives a shard's cache of C rows a
+// steady-state hit rate of H(min(C*R, n), s) / H(n, s) (the popularity
+// mass of the ranks the shard's top-C covers — ring sharding thins ranks
+// uniformly, so R shards multiply effective capacity).  Warm-up scales
+// that by the fill fraction, which grows with modeled misses; spawned
+// replicas start at their warm_keys fill.  Analytic hit rates keep the
+// simulator O(1) per batch and — deliberately — seed-independent, which
+// is what makes spawn/retire sequences reproducible across seeds.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/cost_model.h"
+
+namespace ppgnn::fleetsim {
+
+struct ServiceModelParams {
+  double batch_overhead_us = 120;  // per-dispatch fixed cost
+  double hit_us_per_row = 4.0;     // gather + forward, cache-resident row
+  double miss_extra_us_per_row = 8.0;  // surcharge for a missed row
+  double cores = 1;                // physical cores the replicas timeshare
+};
+
+class ServiceModel {
+ public:
+  explicit ServiceModel(const ServiceModelParams& p);
+
+  // Machine-relative calibration (see header comment).  `baseline_rps` is
+  // the measured single-replica saturated part rate, `mean_batch` the
+  // measured mean dispatched batch size, `mean_dispatch_us` the measured
+  // batch-close -> compute-start gauge, `hit_rate` the measured aggregate
+  // cache hit rate of that run.
+  static ServiceModel calibrated(double baseline_rps, double mean_batch,
+                                 double mean_dispatch_us, double hit_rate,
+                                 double cores, double miss_cost_ratio = 2.0);
+
+  // First-principles construction from the training-side cost model.
+  static ServiceModel from_cost_model(const sim::CostModel& cm,
+                                      const sim::PpModelShape& shape,
+                                      double cores);
+
+  // Service time (microseconds) of one dispatched batch of `batch` rows at
+  // the replica's current `hit_rate`, with `active_replicas` sharing the
+  // core budget.
+  double batch_service_us(std::size_t batch, double hit_rate,
+                          std::size_t active_replicas) const;
+
+  // Part rate one replica sustains alone at `hit_rate` with batches of
+  // `batch` — the planner's quick feasibility screen.
+  double replica_capacity_rps(std::size_t batch, double hit_rate) const;
+
+  const ServiceModelParams& params() const { return p_; }
+
+ private:
+  ServiceModelParams p_;
+};
+
+// Popularity mass of the top `top` ranks of Zipf(skew) over `num_nodes`:
+// H(min(top, n), skew) / H(n, skew).
+double zipf_top_mass(std::size_t top, std::size_t num_nodes, double skew);
+
+// Steady-state hit rate of one shard's C-row cache when the key space is
+// ring-sharded `shards` ways (see header comment).
+double steady_hit_rate(std::size_t capacity_rows, std::size_t num_nodes,
+                       double skew, std::size_t shards);
+
+struct CacheModelConfig {
+  std::size_t capacity_rows = 0;  // 0 = uncached, hit rate is always 0
+  std::size_t num_nodes = 1;
+  double skew = 0.99;
+  // Multiplier on the analytic steady hit rate (measured / analytic from
+  // calibration; LRU under Zipf sits a little below the static-top-C
+  // optimum the formula assumes).  Clamped so hit rates stay in [0, 1].
+  double hit_scale = 1.0;
+};
+
+// One replica's cache occupancy.  Deterministic: fill grows by the
+// modeled miss count, never by sampled keys.
+class CacheModel {
+ public:
+  // `warm_rows` pre-filled at activation (FleetConfig.warm_keys for a
+  // dynamic spawn; capacity for a pre-warmed initial replica).
+  CacheModel(const CacheModelConfig& cfg, std::size_t warm_rows,
+             std::size_t shards);
+
+  double hit_rate() const;
+  // Folds one dispatched batch of `rows` in: misses fill the cache.
+  void on_batch(std::size_t rows);
+  // Membership changed: the shard count moves the steady-state target.
+  void set_shards(std::size_t shards);
+  double fill() const;  // resident / capacity in [0, 1]
+
+ private:
+  CacheModelConfig cfg_;
+  std::size_t shards_;
+  double steady_;    // cached steady_hit_rate * hit_scale
+  double resident_;  // modeled resident rows
+};
+
+}  // namespace ppgnn::fleetsim

@@ -1,0 +1,19 @@
+#include "serve/clock.h"
+
+namespace ppgnn::serve {
+
+namespace {
+class RealClock final : public Clock {
+ public:
+  std::chrono::steady_clock::time_point now() const override {
+    return std::chrono::steady_clock::now();
+  }
+};
+}  // namespace
+
+const Clock& real_clock() {
+  static const RealClock instance;
+  return instance;
+}
+
+}  // namespace ppgnn::serve

@@ -1,0 +1,83 @@
+// Injectable time source for the serving tier.
+//
+// Every *policy-visible* time read in the fleet — admission stamps, batch
+// window closes, windowed gauge bucketing, autoscale ticks, spawn/drain
+// event timestamps — goes through a Clock so the same code runs against
+// real time in production and against a manually-advanced SimClock in the
+// fleet simulator (src/fleetsim/).  That is the property the simulator's
+// fidelity rests on: AutoscalePolicy, ServerStats windows and the slack
+// arithmetic see bit-identical inputs whether time comes from the OS or
+// from the event loop.
+//
+// Deliberately NOT virtualized: blocking *mechanisms* — condition-variable
+// waits in MicroBatcher's dispatcher, thread sleeps in pacers, join
+// timeouts.  Those are how real threads yield the CPU, and a simulator has
+// no threads to park; fleetsim models dispatch timing itself instead of
+// running dispatcher threads under a fake clock.  Consequence: a real
+// MicroBatcher constructed over a SimClock still *runs*, but its batching
+// window degenerates (the wait deadline is in sim time, which the OS clock
+// has usually already passed), so only do that in tests that never sleep
+// on the window.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace ppgnn::serve {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual std::chrono::steady_clock::time_point now() const = 0;
+};
+
+// The process-wide passthrough to std::chrono::steady_clock.  Components
+// take `const Clock* clock = nullptr` and treat null as this, so existing
+// call sites keep their behavior without naming a clock.
+const Clock& real_clock();
+
+inline const Clock* clock_or_real(const Clock* clock) {
+  return clock ? clock : &real_clock();
+}
+
+// Manually-advanced clock for discrete-event simulation and tests.
+// Monotone by construction: advance() with a negative duration and set()
+// into the past are clamped to no-ops.  Reads/writes are a single relaxed
+// atomic so recorder threads in mixed real/sim tests never race; the
+// simulator itself is single-threaded and just calls advance().
+//
+// The epoch starts at steady_clock::time_point{} + `start`, NOT at the
+// real clock's current value — sim timestamps are offsets into the trace,
+// comparable across runs and machines.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(std::chrono::steady_clock::duration start =
+                        std::chrono::steady_clock::duration::zero())
+      : ticks_(start.count()) {}
+
+  std::chrono::steady_clock::time_point now() const override {
+    return std::chrono::steady_clock::time_point(
+        std::chrono::steady_clock::duration(
+            ticks_.load(std::memory_order_relaxed)));
+  }
+
+  void advance(std::chrono::steady_clock::duration d) {
+    if (d.count() > 0) ticks_.fetch_add(d.count(), std::memory_order_relaxed);
+  }
+
+  // Jump to an absolute point; never moves backwards.
+  void set(std::chrono::steady_clock::time_point t) {
+    const std::int64_t target = t.time_since_epoch().count();
+    std::int64_t cur = ticks_.load(std::memory_order_relaxed);
+    while (cur < target &&
+           !ticks_.compare_exchange_weak(cur, target,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<std::int64_t> ticks_;
+};
+
+}  // namespace ppgnn::serve

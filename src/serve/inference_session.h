@@ -92,8 +92,8 @@ void save_deployed_model(core::PpModel& model, const std::string& path,
 void load_deployed_model(core::PpModel& model, const std::string& path);
 
 // Recipe for stamping out identical replica sessions — at fleet
-// construction AND at any later scale-up, which is why this replaced the
-// build-once make_replica_sessions as the fleet's deployment surface.
+// construction AND at any later scale-up, which is why it is the fleet's
+// one deployment surface (the build-once shim it replaced is gone).
 //
 // make_model(ordinal) constructs a model shell (any init — it is
 // overwritten from the checkpoint at `checkpoint_path`, the same

@@ -38,6 +38,7 @@ MicroBatcher::MicroBatcher(InferenceSession& session,
   if (cfg_.max_batch_size == 0 || cfg_.queue_capacity == 0) {
     throw std::invalid_argument("MicroBatcher: zero batch size or capacity");
   }
+  cfg_.clock = clock_or_real(cfg_.clock);  // every now() below is injected
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
@@ -176,7 +177,7 @@ RejectReason MicroBatcher::try_submit_parts(
       // "server shut down" error reserved for a stopped fleet.
       if (draining_) return RejectReason::kDraining;
       if (stop_) throw std::runtime_error("MicroBatcher: stopped");
-      const auto now = std::chrono::steady_clock::now();
+      const auto now = cfg_.clock->now();
       if (cfg_.deadline_aware && state->deadline() < now) {
         // Already blown while (possibly) blocked for space: refusing here
         // is the cheapest shed there is — nothing was ever queued.
@@ -201,7 +202,7 @@ RejectReason MicroBatcher::try_submit_parts(
     } else {
       if (draining_) return RejectReason::kDraining;  // outranks stopped
       if (stop_) throw std::runtime_error("MicroBatcher: stopped");
-      const auto now = std::chrono::steady_clock::now();
+      const auto now = cfg_.clock->now();
       if (cfg_.deadline_aware && state->deadline() < now) {
         counters_.admission.rejected += n;
         reason = RejectReason::kDeadline;
@@ -260,7 +261,7 @@ RejectReason MicroBatcher::try_submit_parts(
   // callback that blocked on mu_ would deadlock the admission path.
   if (!victims.empty()) {
     cv_space_.notify_all();
-    finish_shed(victims, std::chrono::steady_clock::now());
+    finish_shed(victims, cfg_.clock->now());
   }
   if (reason == RejectReason::kNone) {
     if (stats_) {
@@ -350,7 +351,7 @@ std::vector<MicroBatcher::Pending> MicroBatcher::next_batch(
     }
     // Shedding may have emptied the queue while the window was open.
     if (queued_locked() == 0) continue;
-    const auto now = std::chrono::steady_clock::now();
+    const auto now = cfg_.clock->now();
     std::vector<Pending> batch;
     batch.reserve(std::min(queued_locked(), cfg_.max_batch_size));
     bool popped_low = false;
@@ -413,10 +414,10 @@ void MicroBatcher::dispatcher_loop() {
     }
     nodes.clear();
     for (const auto& p : batch) nodes.push_back(p.node);
-    const auto t_start = std::chrono::steady_clock::now();
+    const auto t_start = cfg_.clock->now();
     try {
       const Tensor logits = session_.infer_nodes(nodes);
-      const auto done = std::chrono::steady_clock::now();
+      const auto done = cfg_.clock->now();
       if (stats_) stats_->record_batch(batch.size());
       for (std::size_t i = 0; i < batch.size(); ++i) {
         Pending& p = batch[i];

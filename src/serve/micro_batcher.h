@@ -97,6 +97,11 @@ struct MicroBatchConfig {
   // deadline shed (blown deadlines still complete and are *counted* as
   // misses — the bench's comparison arm).
   bool deadline_aware = true;
+  // Time source for admission stamps, window closes and stage timings;
+  // null = the real steady clock (serve/clock.h).  The dispatcher's
+  // condition-variable waits stay real-time regardless — see clock.h for
+  // why a sim-clocked batcher dispatches eagerly.
+  const Clock* clock = nullptr;
 };
 
 struct BatchCounters {

@@ -50,8 +50,12 @@ void FleetManager::init(std::vector<std::unique_ptr<InferenceSession>> sessions,
     throw std::invalid_argument("FleetManager: no sessions");
   }
   cfg_ = cfg;
+  cfg_.clock = clock_or_real(cfg_.clock);
+  // One fleet-level knob moves all policy-visible time: the batchers
+  // inherit the fleet clock unless a caller pinned their own.
+  if (!cfg_.batch.clock) cfg_.batch.clock = cfg_.clock;
   precision_ = cfg.precision;
-  started_at_ = std::chrono::steady_clock::now();
+  started_at_ = cfg_.clock->now();
   router_ = make_router(cfg_.policy);
 
   auto m = std::make_shared<Membership>();
@@ -89,7 +93,7 @@ std::shared_ptr<FleetManager::ReplicaHandle> FleetManager::make_handle(
   auto h = std::make_shared<ReplicaHandle>();
   h->generation = next_generation_++;
   h->session = std::move(session);
-  h->stats = std::make_unique<ServerStats>(cfg_.stats_window);
+  h->stats = std::make_unique<ServerStats>(cfg_.stats_window, cfg_.clock);
   h->batcher = std::make_unique<MicroBatcher>(*h->session, cfg_.batch,
                                               h->stats.get());
   return h;
@@ -295,7 +299,7 @@ std::uint64_t FleetManager::scale_up() {
   } else {
     h->first_window_measured = true;  // no cache, nothing to measure
   }
-  h->activated_at = std::chrono::steady_clock::now();
+  h->activated_at = cfg_.clock->now();
   h->state.store(ReplicaState::kActive, std::memory_order_release);
 
   all_handles_.push_back(h);
@@ -422,7 +426,7 @@ void FleetManager::record_event(bool spawned, const ReplicaHandle& h,
                                 std::size_t replicas_after) {
   FleetEvent e;
   e.t_seconds = std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - started_at_)
+                    cfg_.clock->now() - started_at_)
                     .count();
   e.epoch = epoch;
   e.spawned = spawned;
@@ -510,7 +514,7 @@ FleetSignals FleetManager::signals() const {
   s.replicas = m->replicas.size();
   s.batch_capacity =
       std::max<std::size_t>(1, s.replicas * cfg_.batch.max_batch_size);
-  const auto now = std::chrono::steady_clock::now();
+  const auto now = cfg_.clock->now();
   AdmissionCounters pooled;
   double delay_sum = 0;
   std::size_t delay_n = 0;
@@ -537,7 +541,7 @@ WindowStats FleetManager::window_stats() const {
   WindowStats w;
   const auto m = std::atomic_load(&membership_);
   if (!m) return w;
-  const auto now = std::chrono::steady_clock::now();
+  const auto now = cfg_.clock->now();
   std::vector<double> samples;
   double delay_sum = 0;
   double span_seconds = 1.0;
@@ -601,7 +605,7 @@ void FleetManager::measure_first_windows() {
   std::vector<std::pair<std::uint64_t, double>> measured;
   {
     std::lock_guard<std::mutex> lk(admin_mu_);
-    const auto now = std::chrono::steady_clock::now();
+    const auto now = cfg_.clock->now();
     for (const auto& h : all_handles_) {
       if (!h->spawned_dynamic || h->first_window_measured) continue;
       if (h->state.load(std::memory_order_acquire) != ReplicaState::kActive) {
@@ -643,7 +647,7 @@ void FleetManager::controller_loop() {
     measure_first_windows();
     const FleetSignals s = signals();
     const ScaleAction action =
-        autoscaler_->on_tick(s, std::chrono::steady_clock::now());
+        autoscaler_->on_tick(s, cfg_.clock->now());
     // Policy owns the bounds; mechanism re-checks them only to stay safe
     // against a manual scale racing the controller between tick and act.
     try {

@@ -102,6 +102,11 @@ struct FleetConfig {
   std::size_t warm_keys = 512;
   // Span of the per-replica sliding-window gauges (autoscale signals).
   std::chrono::milliseconds stats_window{500};
+  // Time source for event timestamps, windowed gauges and autoscale ticks;
+  // null = the real steady clock.  Propagated into every replica's
+  // ServerStats and (unless batch.clock is set explicitly) MicroBatcher,
+  // so one knob moves the whole fleet's policy-visible time.
+  const Clock* clock = nullptr;
 };
 
 // Point-in-time view of one replica, for reporting.
@@ -318,22 +323,5 @@ class FleetManager {
 // refactor read better unchanged.
 using ReplicaSet = FleetManager;
 using ReplicaSetConfig = FleetConfig;
-
-// One-shot session-vector construction predates the FleetBuilder; the
-// builder is the deployment surface now (it is the recipe scale-ups spawn
-// from, shares int8 blocks fleet-wide, and is what FleetManager's dynamic
-// constructor takes), so new code should construct a FleetBuilder and call
-// build_n.  This shim remains only so pre-builder callers keep compiling —
-// deliberately the last definition in the serve tree.
-[[deprecated("construct a FleetBuilder and call build_n")]] inline std::
-    vector<std::unique_ptr<InferenceSession>>
-    make_replica_sessions(
-        std::size_t n, const std::string& checkpoint_path,
-        const FleetBuilder::MakeModel& make_model,
-        const FleetBuilder::MakeSource& make_source,
-        Precision precision = Precision::kFp32) {
-  return FleetBuilder(checkpoint_path, make_model, make_source, precision)
-      .build_n(n);
-}
 
 }  // namespace ppgnn::serve

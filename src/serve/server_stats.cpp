@@ -47,7 +47,8 @@ std::string StageGauges::to_json() const {
   return buf;
 }
 
-ServerStats::ServerStats(std::chrono::milliseconds window) {
+ServerStats::ServerStats(std::chrono::milliseconds window, const Clock* clock)
+    : clock_(clock_or_real(clock)) {
   if (window.count() <= 0) window = std::chrono::milliseconds(1000);
   window_ = window;
   // Bucket length must be a nonzero duration (it divides timestamps);
@@ -85,7 +86,7 @@ void ServerStats::prune_latency_window_locked(
 }
 
 void ServerStats::record(double latency_us) {
-  const auto now = std::chrono::steady_clock::now();
+  const auto now = clock_->now();
   std::lock_guard<std::mutex> lk(mu_);
   latencies_us_.push_back(latency_us);
   if (!any_) {
@@ -104,7 +105,7 @@ void ServerStats::record_batch(std::size_t batch_size) {
 }
 
 void ServerStats::record_queue_delay(double delay_us) {
-  const auto now = std::chrono::steady_clock::now();
+  const auto now = clock_->now();
   std::lock_guard<std::mutex> lk(mu_);
   Bucket& b = current_bucket_locked(now);
   b.queue_delay_sum_us += delay_us;
@@ -112,28 +113,28 @@ void ServerStats::record_queue_delay(double delay_us) {
 }
 
 void ServerStats::record_admitted() {
-  const auto now = std::chrono::steady_clock::now();
+  const auto now = clock_->now();
   std::lock_guard<std::mutex> lk(mu_);
   ++admission_.admitted;
   ++current_bucket_locked(now).admission.admitted;
 }
 
 void ServerStats::record_rejected() {
-  const auto now = std::chrono::steady_clock::now();
+  const auto now = clock_->now();
   std::lock_guard<std::mutex> lk(mu_);
   ++admission_.rejected;
   ++current_bucket_locked(now).admission.rejected;
 }
 
 void ServerStats::record_shed() {
-  const auto now = std::chrono::steady_clock::now();
+  const auto now = clock_->now();
   std::lock_guard<std::mutex> lk(mu_);
   ++admission_.shed;
   ++current_bucket_locked(now).admission.shed;
 }
 
 void ServerStats::record_deadline_miss() {
-  const auto now = std::chrono::steady_clock::now();
+  const auto now = clock_->now();
   std::lock_guard<std::mutex> lk(mu_);
   ++deadline_missed_;
   ++current_bucket_locked(now).deadline_missed;

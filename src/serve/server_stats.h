@@ -45,6 +45,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "serve/clock.h"
+
 namespace ppgnn::serve {
 
 struct LatencySummary {
@@ -138,8 +140,13 @@ class ServerStats {
  public:
   // `window` spans the sliding-window gauges (autoscale signals); the
   // cumulative counters and full latency sample are unaffected by it.
+  // `clock` stamps every recorded event and defaults to the real steady
+  // clock; under a SimClock the windowed gauges advance in sim time, so
+  // policy code reading them cannot diverge from the event loop (the
+  // clock-injection contract in serve/clock.h).
   explicit ServerStats(
-      std::chrono::milliseconds window = std::chrono::milliseconds(1000));
+      std::chrono::milliseconds window = std::chrono::milliseconds(1000),
+      const Clock* clock = nullptr);
 
   // Records one completed request's latency in microseconds.
   void record(double latency_us);
@@ -167,14 +174,18 @@ class ServerStats {
   StageGauges stages() const;
   std::size_t deadline_missed() const;
   // The sliding window as of `now` (events older than the window are
-  // excluded; bucket granularity is window/16).
-  WindowStats window(std::chrono::steady_clock::time_point now =
-                         std::chrono::steady_clock::now()) const;
+  // excluded; bucket granularity is window/16).  The no-argument overload
+  // reads the injected clock — never the global steady clock — so a
+  // sim-clocked recorder's window is evaluated at sim time.
+  WindowStats window() const { return window(clock_->now()); }
+  WindowStats window(std::chrono::steady_clock::time_point now) const;
   // Raw latency samples within the window — fleet-level window percentiles
   // must pool raw samples across replicas (percentiles don't average).
+  std::vector<double> windowed_latency_samples() const {
+    return windowed_latency_samples(clock_->now());
+  }
   std::vector<double> windowed_latency_samples(
-      std::chrono::steady_clock::time_point now =
-          std::chrono::steady_clock::now()) const;
+      std::chrono::steady_clock::time_point now) const;
   std::chrono::milliseconds window_span() const { return window_; }
   std::size_t batches() const;
   double mean_batch_size() const;
@@ -210,6 +221,7 @@ class ServerStats {
 
   static constexpr std::size_t kBuckets = 16;
 
+  const Clock* clock_;  // never null; defaults to &real_clock()
   mutable std::mutex mu_;
   std::vector<double> latencies_us_;
   std::size_t batches_ = 0;

@@ -1,0 +1,140 @@
+#include "serve/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ppgnn::serve {
+
+std::size_t trace_parts(const std::vector<TraceEvent>& trace) {
+  std::size_t n = 0;
+  for (const TraceEvent& e : trace) n += e.nodes.size();
+  return n;
+}
+
+double trace_span_seconds(const std::vector<TraceEvent>& trace) {
+  if (trace.size() < 2) return 0.0;
+  return static_cast<double>(trace.back().t_us - trace.front().t_us) * 1e-6;
+}
+
+double trace_mean_rps(const std::vector<TraceEvent>& trace) {
+  const double span = trace_span_seconds(trace);
+  if (span <= 0) return 0.0;
+  return static_cast<double>(trace.size()) / span;
+}
+
+void save_trace(const std::string& path,
+                const std::vector<TraceEvent>& trace) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("save_trace: cannot write " + path);
+  }
+  out << "ppgnn-trace v1\n";
+  out << "# t_us priority deadline_us tenant node[,node...]\n";
+  for (const TraceEvent& e : trace) {
+    out << e.t_us << ' ' << static_cast<unsigned>(e.priority) << ' '
+        << e.deadline_us << ' ' << e.tenant << ' ';
+    for (std::size_t i = 0; i < e.nodes.size(); ++i) {
+      if (i) out << ',';
+      out << e.nodes[i];
+    }
+    out << '\n';
+  }
+  if (!out) {
+    throw std::runtime_error("save_trace: short write to " + path);
+  }
+}
+
+std::vector<TraceEvent> load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_trace: cannot open " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != "ppgnn-trace v1") {
+    throw std::runtime_error("load_trace: " + path +
+                             " is not a ppgnn-trace v1 file");
+  }
+  std::vector<TraceEvent> trace;
+  std::size_t lineno = 1;
+  const auto bad = [&](const char* what) {
+    throw std::runtime_error("load_trace: " + path + ":" +
+                             std::to_string(lineno) + ": " + what);
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    TraceEvent e;
+    unsigned pri = 0;
+    char nodes_buf[1];
+    int consumed = 0;
+    if (std::sscanf(line.c_str(), "%" SCNu64 " %u %" SCNu64 " %" SCNu32 " %n",
+                    &e.t_us, &pri, &e.deadline_us, &e.tenant,
+                    &consumed) != 4 ||
+        consumed <= 0) {
+      (void)nodes_buf;
+      bad("malformed event line");
+    }
+    if (pri > 1) bad("priority out of range");
+    e.priority = pri == 0 ? Priority::kHigh : Priority::kLow;
+    const char* p = line.c_str() + consumed;
+    while (*p != '\0') {
+      char* end = nullptr;
+      const long long node = std::strtoll(p, &end, 10);
+      if (end == p) bad("malformed node list");
+      e.nodes.push_back(static_cast<std::int64_t>(node));
+      p = end;
+      if (*p == ',') ++p;
+    }
+    if (e.nodes.empty()) bad("event with no nodes");
+    if (!trace.empty() && e.t_us < trace.back().t_us) {
+      bad("arrivals out of order");
+    }
+    trace.push_back(std::move(e));
+  }
+  return trace;
+}
+
+void TraceRecorder::note(std::chrono::steady_clock::time_point now,
+                         const std::vector<std::int64_t>& nodes, Priority pri,
+                         std::uint64_t deadline_us, std::uint32_t tenant) {
+  TraceEvent e;
+  e.t_us = now <= t0_ ? 0
+                      : static_cast<std::uint64_t>(
+                            std::chrono::duration_cast<std::chrono::microseconds>(
+                                now - t0_)
+                                .count());
+  e.priority = pri;
+  e.deadline_us = deadline_us;
+  e.tenant = tenant;
+  e.nodes = nodes;
+  std::lock_guard<std::mutex> lk(mu_);
+  events_.push_back(std::move(e));
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    out = events_;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.t_us < b.t_us;
+                   });
+  return out;
+}
+
+void TraceRecorder::save(const std::string& path) const {
+  save_trace(path, snapshot());
+}
+
+}  // namespace ppgnn::serve

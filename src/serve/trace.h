@@ -1,0 +1,94 @@
+// Arrival traces: the exchange format between the live serving tier and
+// the fleet simulator (src/fleetsim/).
+//
+// A trace is a time-ordered list of request envelopes with timestamps
+// RELATIVE to the start of the run — recorded live by serve_cli
+// (--trace-out) from real client arrivals, or generated synthetically by
+// the diurnal/burst emitters in workload.h.  Relative time is what makes
+// a trace portable: replaying it never depends on the recording machine's
+// clock epoch, and two recordings of the same workload diff cleanly.
+//
+// On-disk format (one event per line, '#' comments and blank lines
+// ignored; written/parsed by save_trace/load_trace):
+//
+//   ppgnn-trace v1
+//   # t_us priority deadline_us tenant node[,node...]
+//   0 0 0 3 17,42,993
+//   812 1 250000 0 55
+//
+//   field        meaning
+//   -----        -------
+//   t_us         arrival offset from trace start, microseconds
+//   priority     0 = kHigh, 1 = kLow
+//   deadline_us  RELATIVE deadline budget (0 = none); replay converts to
+//                an absolute deadline at t_us + deadline_us
+//   tenant       caller id (serve_cli: client thread index) — capacity
+//                plans can slice per tenant
+//   nodes        comma-separated node ids of the envelope, no spaces
+//
+// Text, not binary: traces are artifacts humans diff and version; at the
+// rates this repo serves (~1e5 rps) an hour of trace is tens of MB, which
+// load_trace parses in well under a second.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/serve_api.h"
+
+namespace ppgnn::serve {
+
+struct TraceEvent {
+  std::uint64_t t_us = 0;  // arrival offset from trace start
+  Priority priority = Priority::kHigh;
+  std::uint64_t deadline_us = 0;  // relative budget; 0 = no deadline
+  std::uint32_t tenant = 0;
+  std::vector<std::int64_t> nodes;
+};
+
+// Total parts (node ids) across all envelopes.
+std::size_t trace_parts(const std::vector<TraceEvent>& trace);
+// Span from first to last arrival, seconds (0 for traces of < 2 events).
+double trace_span_seconds(const std::vector<TraceEvent>& trace);
+// Mean offered envelope rate over the span.
+double trace_mean_rps(const std::vector<TraceEvent>& trace);
+
+// Writes `trace` to `path` in the v1 format above.  Throws
+// std::runtime_error when the file cannot be written.
+void save_trace(const std::string& path, const std::vector<TraceEvent>& trace);
+
+// Parses a v1 trace.  Throws std::runtime_error on a missing file, a bad
+// header, or a malformed line (with its line number — a truncated trace
+// should fail loudly, not replay quietly short).  Events are returned in
+// file order; replay requires nondecreasing t_us, which load_trace
+// enforces too.
+std::vector<TraceEvent> load_trace(const std::string& path);
+
+// Thread-safe arrival recorder for live serving paths (serve_cli
+// --trace-out).  Clients call note() at submit time; events are kept in
+// memory and sorted by t_us on save (concurrent clients race on the
+// recording order, not on the timestamps).
+class TraceRecorder {
+ public:
+  // `t0` is the run's start; every note() stamps now - t0.
+  explicit TraceRecorder(std::chrono::steady_clock::time_point t0)
+      : t0_(t0) {}
+
+  void note(std::chrono::steady_clock::time_point now,
+            const std::vector<std::int64_t>& nodes, Priority pri,
+            std::uint64_t deadline_us, std::uint32_t tenant);
+
+  std::size_t size() const;
+  // Sorted snapshot of everything noted so far.
+  std::vector<TraceEvent> snapshot() const;
+  // snapshot() + save_trace().
+  void save(const std::string& path) const;
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace ppgnn::serve

@@ -1,6 +1,7 @@
 #include "serve/workload.h"
 
 #include <cmath>
+#include <functional>
 #include <numeric>
 #include <stdexcept>
 
@@ -65,6 +66,81 @@ std::vector<std::int64_t> zipf_hot_set(const ZipfWorkloadConfig& cfg,
   const auto perm = rank_to_node(cfg.num_nodes, cfg.seed);
   const std::size_t take = std::min(k, perm.size());
   return std::vector<std::int64_t>(perm.begin(), perm.begin() + take);
+}
+
+// Shared emitter: walks t over [0, span) integrating rate(t) and emits an
+// event each time the accumulated mass crosses a whole arrival.  The
+// integration step is fine enough (1ms) that the realized envelope tracks
+// rate(t) to well under a batching window.
+std::vector<TraceEvent> trace_from_rate(
+    const TraceMixConfig& mix, double span_seconds,
+    const std::function<double(double)>& rate) {
+  if (mix.num_nodes == 0) {
+    throw std::invalid_argument("trace_from_rate: num_nodes must be > 0");
+  }
+  if (mix.batch_nodes == 0) {
+    throw std::invalid_argument("trace_from_rate: batch_nodes must be > 0");
+  }
+  std::vector<double> weights(mix.num_nodes);
+  for (std::size_t r = 0; r < mix.num_nodes; ++r) {
+    weights[r] = std::pow(static_cast<double>(r + 1), -mix.skew);
+  }
+  const graph::AliasTable table(weights);
+  const auto perm = rank_to_node(mix.num_nodes, mix.seed);
+  Rng rng(mix.seed + 0xd1ca7e5ULL);
+
+  std::vector<TraceEvent> trace;
+  const double dt = 1e-3;  // integration step, seconds
+  double mass = 0;         // fractional arrivals accumulated
+  for (double t = 0; t < span_seconds; t += dt) {
+    mass += std::max(0.0, rate(t)) * dt;
+    while (mass >= 1.0) {
+      mass -= 1.0;
+      TraceEvent e;
+      // Arrivals within one step spread evenly by their remaining mass.
+      e.t_us = static_cast<std::uint64_t>(t * 1e6);
+      e.priority = rng.bernoulli(mix.low_frac) ? Priority::kLow
+                                               : Priority::kHigh;
+      e.deadline_us = mix.deadline_us;
+      e.tenant = mix.tenants > 1
+                     ? static_cast<std::uint32_t>(rng.uniform_int(mix.tenants))
+                     : 0;
+      e.nodes.reserve(mix.batch_nodes);
+      for (std::size_t i = 0; i < mix.batch_nodes; ++i) {
+        e.nodes.push_back(perm[table.sample(rng)]);
+      }
+      trace.push_back(std::move(e));
+    }
+  }
+  return trace;
+}
+
+double diurnal_rate_at(const DiurnalTraceConfig& cfg, double t_seconds) {
+  // One full sinusoidal day over the span, crest at peak_at * span.
+  const double phase =
+      2.0 * M_PI * (t_seconds / cfg.span_seconds - cfg.peak_at);
+  const double mid = 0.5 * (cfg.base_rps + cfg.peak_rps);
+  const double amp = 0.5 * (cfg.peak_rps - cfg.base_rps);
+  return mid + amp * std::cos(phase);
+}
+
+std::vector<TraceEvent> diurnal_trace(const DiurnalTraceConfig& cfg) {
+  return trace_from_rate(cfg.mix, cfg.span_seconds,
+                    [&cfg](double t) { return diurnal_rate_at(cfg, t); });
+}
+
+double burst_rate_at(const BurstTraceConfig& cfg, double t_seconds) {
+  const double within =
+      cfg.burst_every_seconds > 0
+          ? std::fmod(t_seconds, cfg.burst_every_seconds)
+          : cfg.burst_seconds;  // no period -> permanently bursting
+  const bool bursting = within < cfg.burst_seconds;
+  return cfg.base_rps * (bursting ? cfg.burst_mult : 1.0);
+}
+
+std::vector<TraceEvent> burst_trace(const BurstTraceConfig& cfg) {
+  return trace_from_rate(cfg.mix, cfg.span_seconds,
+                    [&cfg](double t) { return burst_rate_at(cfg, t); });
 }
 
 std::vector<std::int64_t> first_unique(const std::vector<std::int64_t>& stream,

@@ -9,12 +9,18 @@
 // uncorrelated with id order, as in real datasets — so nothing about the
 // stream is recoverable from id locality alone.  Both reuse
 // graph::AliasTable for O(1) draws.
+// The trace emitters below lift these streams into timestamped arrival
+// traces (serve/trace.h) with time-varying offered rate — the synthetic
+// inputs the fleet simulator replays: a diurnal day compressed to any
+// span, and a steady rate with periodic bursts.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "graph/csr.h"
+#include "serve/trace.h"
 
 namespace ppgnn::serve {
 
@@ -47,5 +53,65 @@ std::vector<std::int64_t> zipf_hot_set(const ZipfWorkloadConfig& cfg,
 std::vector<std::int64_t> first_unique(const std::vector<std::int64_t>& stream,
                                        std::size_t limit,
                                        std::size_t num_nodes);
+
+// ---------------------------------------------------------------------------
+// Synthetic arrival traces.
+//
+// Arrival TIMES are deterministic given the rate envelope alone: each
+// event lands where the integral of the instantaneous rate crosses the
+// next whole arrival (inverse-transform of the inhomogeneous intensity,
+// without Poisson jitter).  The seed draws only node ids, priorities and
+// deadlines.  Two consequences the simulator tests rely on: the offered
+// envelope is exactly reproducible across seeds (same arrival count at
+// every instant), and a load-oblivious fleet config replayed over two
+// seeds sees identical queue dynamics.
+
+struct TraceMixConfig {
+  std::size_t num_nodes = 0;     // node-id population (Zipf over it)
+  double skew = 0.99;            // Zipf exponent of the node draw
+  std::size_t batch_nodes = 1;   // nodes per envelope
+  double low_frac = 0.0;         // fraction of envelopes at Priority::kLow
+  // Relative deadline budget assigned to every envelope (0 = none).
+  std::uint64_t deadline_us = 0;
+  std::uint32_t tenants = 1;     // tenant ids drawn uniformly from [0, n)
+  std::uint64_t seed = 1;
+};
+
+// The generic emitter under both named shapes: walks the span integrating
+// `rate_rps(t)` and emits an event each time the accumulated mass crosses
+// a whole arrival.  Exposed so callers with their own envelope (e.g. the
+// fleet simulator's staged calibration ramp) share one integration and
+// one seed discipline with the named traces.
+std::vector<TraceEvent> trace_from_rate(
+    const TraceMixConfig& mix, double span_seconds,
+    const std::function<double(double)>& rate_rps);
+
+struct DiurnalTraceConfig {
+  TraceMixConfig mix;
+  double span_seconds = 3600;  // one simulated "day" compressed to this
+  double base_rps = 100;       // trough offered envelope rate
+  double peak_rps = 600;       // crest rate (sinusoidal day shape)
+  // Fraction of the span at which the crest lands (0.5 = midday).
+  double peak_at = 0.5;
+};
+
+// Offered envelope rate of the diurnal shape at time t — exposed so tests
+// can integrate it independently of the emitter.
+double diurnal_rate_at(const DiurnalTraceConfig& cfg, double t_seconds);
+
+std::vector<TraceEvent> diurnal_trace(const DiurnalTraceConfig& cfg);
+
+struct BurstTraceConfig {
+  TraceMixConfig mix;
+  double span_seconds = 600;
+  double base_rps = 100;
+  double burst_mult = 5.0;        // rate multiplier inside a burst
+  double burst_every_seconds = 60;
+  double burst_seconds = 5;
+};
+
+double burst_rate_at(const BurstTraceConfig& cfg, double t_seconds);
+
+std::vector<TraceEvent> burst_trace(const BurstTraceConfig& cfg);
 
 }  // namespace ppgnn::serve

@@ -1,0 +1,390 @@
+// The fleet simulator (src/fleetsim/): clock-injected gauges, trace
+// round trips, deterministic replay, the capacity planner's choice, and
+// the calibration parser.
+//
+// Determinism is the load-bearing property here: every test asserts
+// exact equality of counters, signatures or full result JSON — never a
+// timing — so the suite is bit-stable under ctest -j8, sanitizers, and
+// loaded CI runners.  That is only possible because the simulator runs
+// on a SimClock and models hit rates analytically; these tests are the
+// regression net around that design.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fleetsim/calibrate.h"
+#include "fleetsim/fleet_sim.h"
+#include "fleetsim/planner.h"
+#include "fleetsim/service_model.h"
+#include "serve/clock.h"
+#include "serve/server_stats.h"
+#include "serve/trace.h"
+#include "serve/workload.h"
+
+namespace ppgnn::fleetsim {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::string tmp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// --- ServerStats windowed gauges on an injected clock -------------------
+// The bugfix this PR rode in on: every windowed read must go through the
+// injected clock.  On a SimClock, events recorded "long ago" in sim time
+// must age out of the window without any real time passing — and events
+// must NOT age out while sim time stands still, however long the wall
+// clock runs.
+
+TEST(SimClockStats, WindowAgesInSimTimeOnly) {
+  serve::SimClock clock;
+  serve::ServerStats stats(500ms, &clock);
+  stats.record_admitted();
+  stats.record_rejected();
+  stats.record_queue_delay(100.0);
+
+  // Sim time frozen: the events stay in the window no matter what the
+  // wall clock does.
+  auto w = stats.window();
+  EXPECT_EQ(w.admission.admitted, 1u);
+  EXPECT_EQ(w.admission.rejected, 1u);
+  EXPECT_EQ(w.queue_delay_samples, 1u);
+
+  // Advance PAST the window in sim time alone: everything ages out.
+  clock.advance(2s);
+  w = stats.window();
+  EXPECT_EQ(w.admission.admitted, 0u);
+  EXPECT_EQ(w.admission.rejected, 0u);
+  EXPECT_EQ(w.queue_delay_samples, 0u);
+
+  // New events land in the advanced window.
+  stats.record_admitted();
+  w = stats.window();
+  EXPECT_EQ(w.admission.admitted, 1u);
+  EXPECT_EQ(stats.admission().admitted, 2u);  // cumulative unaffected
+}
+
+// --- Trace round trips --------------------------------------------------
+
+TEST(Trace, SaveLoadRoundTrip) {
+  std::vector<serve::TraceEvent> trace(3);
+  trace[0].t_us = 0;
+  trace[0].nodes = {17, 42, 993};
+  trace[0].tenant = 3;
+  trace[1].t_us = 812;
+  trace[1].priority = serve::Priority::kLow;
+  trace[1].deadline_us = 250000;
+  trace[1].nodes = {55};
+  trace[2].t_us = 812;  // ties are legal (concurrent arrivals)
+  trace[2].nodes = {7};
+  const auto path = tmp_path("roundtrip.trace");
+  serve::save_trace(path, trace);
+  const auto loaded = serve::load_trace(path);
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(loaded[i].t_us, trace[i].t_us);
+    EXPECT_EQ(loaded[i].priority, trace[i].priority);
+    EXPECT_EQ(loaded[i].deadline_us, trace[i].deadline_us);
+    EXPECT_EQ(loaded[i].tenant, trace[i].tenant);
+    EXPECT_EQ(loaded[i].nodes, trace[i].nodes);
+  }
+}
+
+TEST(Trace, RecorderSnapshotIsSortedAndReplayable) {
+  // The recorder's clients race on recording order; snapshot() must
+  // deliver a time-ordered trace that save/load round-trips.
+  const auto t0 = std::chrono::steady_clock::time_point{};
+  serve::TraceRecorder rec(t0);
+  rec.note(t0 + 900us, {5}, serve::Priority::kLow, 1000, 2);
+  rec.note(t0 + 100us, {1, 2}, serve::Priority::kHigh, 0, 0);
+  rec.note(t0 + 500us, {9}, serve::Priority::kHigh, 0, 1);
+  EXPECT_EQ(rec.size(), 3u);
+  const auto snap = rec.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].t_us, 100u);
+  EXPECT_EQ(snap[1].t_us, 500u);
+  EXPECT_EQ(snap[2].t_us, 900u);
+  EXPECT_EQ(snap[0].nodes, (std::vector<std::int64_t>{1, 2}));
+  EXPECT_EQ(snap[2].deadline_us, 1000u);
+
+  const auto path = tmp_path("recorded.trace");
+  rec.save(path);
+  const auto loaded = serve::load_trace(path);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded[1].tenant, 1u);
+
+  // And the loaded trace replays.
+  SimFleetConfig cfg;
+  const auto r = FleetSim(cfg, ServiceModel({})).run(loaded);
+  EXPECT_EQ(r.offered_parts, 4u);
+  EXPECT_EQ(r.answered, 4u);
+}
+
+// --- Synthetic envelopes ------------------------------------------------
+
+TEST(Trace, DiurnalArrivalsIntegrateTheEnvelope) {
+  serve::DiurnalTraceConfig cfg;
+  cfg.mix.num_nodes = 1000;
+  cfg.mix.seed = 7;
+  cfg.span_seconds = 120;
+  cfg.base_rps = 50;
+  cfg.peak_rps = 250;
+  const auto trace = serve::diurnal_trace(cfg);
+  // Total arrivals ~= integral of the rate; the emitter truncates the
+  // trailing fractional arrival, so allow a couple of events of slack.
+  double expect = 0;
+  const double dt = 1e-3;
+  for (double t = 0; t < cfg.span_seconds; t += dt) {
+    expect += serve::diurnal_rate_at(cfg, t) * dt;
+  }
+  EXPECT_NEAR(static_cast<double>(trace.size()), expect, 2.0);
+
+  // Arrival TIMES are seed-independent (the envelope is deterministic);
+  // only the node draws differ.
+  auto cfg2 = cfg;
+  cfg2.mix.seed = 8;
+  const auto trace2 = serve::diurnal_trace(cfg2);
+  ASSERT_EQ(trace2.size(), trace.size());
+  bool nodes_differ = false;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace2[i].t_us, trace[i].t_us);
+    nodes_differ = nodes_differ || trace2[i].nodes != trace[i].nodes;
+  }
+  EXPECT_TRUE(nodes_differ);
+}
+
+// --- Simulator determinism ----------------------------------------------
+
+SimFleetConfig autoscaling_fleet() {
+  SimFleetConfig cfg;
+  cfg.initial_replicas = 1;
+  cfg.policy = serve::RoutingPolicy::kRoundRobin;
+  cfg.batch.max_batch_size = 64;
+  cfg.batch.max_delay = 500us;
+  cfg.batch.shed_budget = 2000us;  // shedding on: the autoscale signal
+  cfg.autoscale.enabled = true;
+  cfg.autoscale.min_replicas = 1;
+  cfg.autoscale.max_replicas = 4;
+  cfg.cache.capacity_rows = 0;  // uncached: hit rate identically 0
+  cfg.timeline_every = 0ms;
+  return cfg;
+}
+
+// ~300 answered parts/s per replica on 4 modeled cores.
+ServiceModel test_model() {
+  return ServiceModel::calibrated(/*baseline_rps=*/300, /*mean_batch=*/16,
+                                  /*mean_dispatch_us=*/50, /*hit_rate=*/0,
+                                  /*cores=*/4);
+}
+
+TEST(FleetSim, SameInputsBitIdenticalResults) {
+  serve::DiurnalTraceConfig tc;
+  tc.mix.num_nodes = 1000;
+  tc.mix.seed = 3;
+  tc.span_seconds = 60;
+  tc.base_rps = 100;
+  tc.peak_rps = 700;
+  const auto trace = serve::diurnal_trace(tc);
+  const auto cfg = autoscaling_fleet();
+  const auto model = test_model();
+  const auto a = FleetSim(cfg, model).run(trace);
+  const auto b = FleetSim(cfg, model).run(trace);
+  // Full-result equality, wall time aside: counters, percentiles, events.
+  // sim_wall_seconds is how long the REPLAY took — the one legitimately
+  // nondeterministic field — so it is cut before comparing.
+  const auto strip_wall = [](std::string j) {
+    const auto at = j.find(",\"sim_wall_seconds\"");
+    EXPECT_NE(at, std::string::npos);
+    return j.substr(0, at);
+  };
+  EXPECT_GT(a.answered, 0u);
+  EXPECT_EQ(strip_wall(a.to_json()), strip_wall(b.to_json()));
+}
+
+// The satellite test: AutoscalePolicy driven by the simulated event loop
+// over a two-hour diurnal day.  The spawn/retire SEQUENCE and its times
+// must be identical across trace seeds — the envelope (not the node
+// draw) is what the policy reacts to — and across however many tests run
+// in parallel around this one (nothing here reads the wall clock).
+TEST(FleetSim, TwoHourDiurnalScalesDeterministicallyAcrossSeeds) {
+  std::vector<std::string> signatures;
+  std::vector<std::vector<double>> event_times;
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    serve::DiurnalTraceConfig tc;
+    tc.mix.num_nodes = 1000;
+    tc.mix.seed = seed;
+    tc.span_seconds = 7200;  // two hours of simulated day
+    tc.base_rps = 60;
+    tc.peak_rps = 600;       // 2x a replica's ~300/s: must scale up
+    const auto trace = serve::diurnal_trace(tc);
+    const auto r = FleetSim(autoscaling_fleet(), test_model()).run(trace);
+    // The fleet actually scaled: up into the midday peak, back down after.
+    EXPECT_GT(r.max_replicas_seen, 1u) << "seed " << seed;
+    const auto sig = r.event_signature();
+    EXPECT_NE(sig.find('u'), std::string::npos) << "seed " << seed;
+    EXPECT_NE(sig.find('d'), std::string::npos) << "seed " << seed;
+    signatures.push_back(sig);
+    std::vector<double> times;
+    for (const auto& e : r.events) times.push_back(e.t_seconds);
+    event_times.push_back(std::move(times));
+  }
+  EXPECT_EQ(signatures[0], signatures[1]);
+  EXPECT_EQ(signatures[0], signatures[2]);
+  EXPECT_EQ(event_times[0], event_times[1]);
+  EXPECT_EQ(event_times[0], event_times[2]);
+}
+
+// --- Capacity planner ---------------------------------------------------
+
+TEST(Planner, PicksTheCheapestFeasibleArm) {
+  serve::DiurnalTraceConfig tc;
+  tc.mix.num_nodes = 1000;
+  tc.mix.seed = 5;
+  tc.span_seconds = 60;
+  tc.base_rps = 150;
+  tc.peak_rps = 700;  // one ~300/s replica cannot hold the peak
+  const auto trace = serve::diurnal_trace(tc);
+
+  SimFleetConfig base = autoscaling_fleet();
+  PlanTarget target;
+  target.p99_ms = 10.0;
+  target.max_shed_rate = 0.01;
+  target.min_replicas = 1;
+  target.max_replicas = 4;
+  const auto plan = plan_capacity(base, test_model(), trace, target);
+  ASSERT_EQ(plan.arms.size(), 5u);  // fixed 1..4 + autoscale
+  ASSERT_TRUE(plan.attainable());
+  const PlanArm* best = plan.best_arm();
+  ASSERT_NE(best, nullptr);
+  EXPECT_TRUE(best->feasible);
+  // A single replica must NOT satisfy this trace (otherwise the test
+  // exercises nothing), and the winner is the cheapest feasible arm.
+  EXPECT_FALSE(plan.arms[0].feasible);
+  for (const auto& arm : plan.arms) {
+    if (arm.feasible) {
+      EXPECT_LE(best->cost_replica_seconds, arm.cost_replica_seconds);
+    }
+  }
+  // Fixed-arm feasibility is monotone in size: once an N meets the SLO,
+  // every larger fixed fleet does too.
+  bool seen_feasible = false;
+  for (const auto& arm : plan.arms) {
+    if (arm.replicas == 0) continue;  // the autoscale arm
+    if (seen_feasible) EXPECT_TRUE(arm.feasible) << arm.name;
+    seen_feasible = seen_feasible || arm.feasible;
+  }
+}
+
+// --- Calibration parsing and gating -------------------------------------
+
+TEST(Calibrate, ParsesBenchRecordsAndStripsInitialSpawns) {
+  const std::string json =
+      "[\n"
+      "  {\"section\":\"serving\",\"rps\":123}\n"
+      "  {\"section\":\"autoscale_trace\",\"fleet\":\"fixed-min(1)\","
+      "\"autoscale\":false,\"min_replicas\":1,\"max_replicas\":1,"
+      "\"offered_mean_rps\":1200,\"answered_rps\":900,"
+      "\"admitted_p99_us\":2000,\"shed_rate\":0.05,\"max_replicas_seen\":1,"
+      "\"replica_seconds\":6.0,"
+      "\"admission\":{\"admitted\":10,\"rejected\":1,\"shed\":0,"
+      "\"shed_rate\":0.09},"
+      "\"single_replica_rps\":1000,\"ramp_seconds\":6.0,\"mean_batch\":16,"
+      "\"cache_hit_rate\":0.6,\"cache_capacity_rows\":1000,\"nodes\":20000,"
+      "\"skew\":0.99,\"cores\":4,\"max_batch_size\":128,\"max_delay_us\":500,"
+      "\"shed_budget_ms\":2,\"stats_window_ms\":500,\"scale_up_shed\":0.10,"
+      "\"scale_down_idle\":0.90,\"sustain_ms\":300,\"idle_window_ms\":800,"
+      "\"cooldown_ms\":1000,\"tick_ms\":50,\"warm_keys\":512,"
+      "\"stages\":{\"admission_us\":100.0,\"dispatch_us\":80.0,"
+      "\"compute_us\":500.0,\"shed_wait_us\":0.0,\"shed_waits\":0},"
+      "\"events\":[{\"t\":0.00,\"action\":\"spawn\",\"generation\":0,"
+      "\"replicas_after\":1}],\"timeline\":[]}\n"
+      "  {\"section\":\"autoscale_trace\",\"fleet\":\"autoscale\","
+      "\"autoscale\":true,\"min_replicas\":1,\"max_replicas\":4,"
+      "\"answered_rps\":1100,\"admitted_p99_us\":3000,\"shed_rate\":0.02,"
+      "\"max_replicas_seen\":2,\"replica_seconds\":7.5,"
+      "\"events\":[{\"t\":0.00,\"action\":\"spawn\",\"generation\":0,"
+      "\"replicas_after\":1},{\"t\":2.1,\"action\":\"spawn\","
+      "\"generation\":1,\"replicas_after\":2},{\"t\":5.0,"
+      "\"action\":\"retire\",\"generation\":1,\"replicas_after\":1}],"
+      "\"timeline\":[]}\n"
+      "]\n";
+  const auto c = parse_bench_json(json);
+  EXPECT_DOUBLE_EQ(c.single_replica_rps, 1000);
+  EXPECT_DOUBLE_EQ(c.ramp_seconds, 6.0);
+  EXPECT_DOUBLE_EQ(c.mean_batch, 16);
+  EXPECT_DOUBLE_EQ(c.mean_dispatch_us, 80.0);  // stages.dispatch_us
+  EXPECT_DOUBLE_EQ(c.cache_hit_rate, 0.6);     // the fixed-min arm's
+  EXPECT_EQ(c.cache_capacity_rows, 1000u);
+  EXPECT_EQ(c.nodes, 20000u);
+  EXPECT_DOUBLE_EQ(c.cores, 4);
+  ASSERT_EQ(c.arms.size(), 2u);
+  EXPECT_EQ(c.arms[0].fleet, "fixed-min(1)");
+  EXPECT_FALSE(c.arms[0].autoscale);
+  EXPECT_DOUBLE_EQ(c.arms[0].answered_rps, 900);
+  // shed_rate must come from the TOP-LEVEL key, not the admission
+  // subobject's (first occurrence wins — the emission order guarantee).
+  EXPECT_DOUBLE_EQ(c.arms[0].shed_rate, 0.05);
+  // Initial spawns stripped: the fixed arm's dynamic sequence is empty,
+  // the autoscale arm keeps its genuine spawn + retire.
+  EXPECT_EQ(c.arms[0].event_signature, "");
+  EXPECT_TRUE(c.arms[1].autoscale);
+  EXPECT_EQ(c.arms[1].event_signature, "ud");
+
+  EXPECT_THROW(parse_bench_json("[{\"section\":\"serving\"}]"),
+               std::runtime_error);
+}
+
+TEST(Calibrate, EditDistance) {
+  EXPECT_EQ(edit_distance("", ""), 0u);
+  EXPECT_EQ(edit_distance("ud", "ud"), 0u);
+  EXPECT_EQ(edit_distance("ud", "uud"), 1u);
+  EXPECT_EQ(edit_distance("", "ud"), 2u);
+  EXPECT_EQ(edit_distance("uudd", "dduu"), 4u);
+}
+
+// --- Service / cache models ---------------------------------------------
+
+TEST(ServiceModel, CalibratedReproducesTheBaseline) {
+  // A model calibrated to X parts/s must simulate one replica sustaining
+  // ~X parts/s at the calibration hit rate: service time per mean batch
+  // == mean_batch / baseline.
+  const double baseline = 5000, mean_batch = 32, hit = 0.5;
+  const auto m = ServiceModel::calibrated(baseline, mean_batch, 100, hit, 1);
+  const double us =
+      m.batch_service_us(static_cast<std::size_t>(mean_batch), hit, 1);
+  EXPECT_NEAR(us, mean_batch / baseline * 1e6, 1e-6);
+  EXPECT_NEAR(m.replica_capacity_rps(static_cast<std::size_t>(mean_batch),
+                                     hit),
+              baseline, 1.0);
+  // Timesharing: 2 active replicas on 1 core run batches twice as long.
+  EXPECT_NEAR(m.batch_service_us(32, hit, 2), 2 * us, 1e-6);
+}
+
+TEST(CacheModel, AnalyticHitRateIsDeterministicAndSharded) {
+  // Steady hit rate grows with capacity and with shard count (ring
+  // sharding multiplies effective capacity), and never exceeds 1.
+  const double h1 = steady_hit_rate(100, 10000, 0.99, 1);
+  const double h2 = steady_hit_rate(200, 10000, 0.99, 1);
+  const double h1s2 = steady_hit_rate(100, 10000, 0.99, 2);
+  EXPECT_GT(h1, 0);
+  EXPECT_LT(h1, h2);
+  EXPECT_DOUBLE_EQ(h2, h1s2);  // C rows x 2 shards == 2C rows x 1 shard
+  EXPECT_LE(steady_hit_rate(10000, 10000, 0.99, 4), 1.0);
+
+  // Warm-up: a cold cache climbs toward steady as batches flow through.
+  CacheModelConfig cc;
+  cc.capacity_rows = 500;
+  cc.num_nodes = 10000;
+  CacheModel cold(cc, /*warm_rows=*/0, /*shards=*/1);
+  const double before = cold.hit_rate();
+  for (int i = 0; i < 50; ++i) cold.on_batch(64);
+  EXPECT_GT(cold.hit_rate(), before);
+  EXPECT_LE(cold.hit_rate(), steady_hit_rate(500, 10000, 0.99, 1) + 1e-9);
+}
+
+}  // namespace
+}  // namespace ppgnn::fleetsim

@@ -80,8 +80,7 @@ struct Fixture {
                           std::make_unique<MemorySource>(pre), delay));
   }
 
-  // The deployment recipe every fleet here is stamped from (the
-  // make_replica_sessions shim is deprecated).
+  // The deployment recipe every fleet here is stamped from.
   FleetBuilder builder(const std::string& ckpt,
                        Precision precision = Precision::kFp32) const {
     return FleetBuilder(
