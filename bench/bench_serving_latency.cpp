@@ -62,6 +62,16 @@
 //     this machine, deadline scaled to its batch service time), in the
 //     JSON as the "deadline_gate" record.
 //
+//  7. Cross-process overhead (src/rpc/).  The same closed-loop drive over
+//     two fleets of two replicas each: one in-process (PR 2's threads),
+//     one where each replica is a replica_server_cli child answering over
+//     a Unix socket in ppgnn-wire (docs/wire-protocol.md).  Both serve
+//     file-backed rows through the same LRU byte budget; the only change
+//     is the process boundary, so the throughput ratio IS the RPC tax
+//     (framing + codec + socket hops + one extra scheduler handoff).  The
+//     "cross_process" JSON row records both rates and the overhead ratio;
+//     the deploy gate is ratio <= 2x.
+//
 // Every row also prints as one JSON line ("json: {...}"); --json=PATH
 // additionally writes all records to PATH as a JSON array (the
 // BENCH_serving.json artifact CI uploads).  --quick shrinks streams for
@@ -75,6 +85,7 @@
 #include "serve/replica_set.h"
 #include "serve/router.h"
 #include "serve/server_stats.h"
+#include "rpc/remote_replica.h"
 #include "serve/testbed.h"
 #include "serve/workload.h"
 
@@ -245,7 +256,9 @@ struct SaturationPoint {
 
 // Closed-loop saturation: `clients` threads keep `window` requests in
 // flight each until the stream drains — the max-throughput measurement.
-SaturationPoint drive_closed(Fleet& fleet,
+// This overload drives a bare FleetManager (the cross-process arm of
+// section 7 has no in-process cache handles to report).
+SaturationPoint drive_closed(serve::FleetManager& set,
                              const std::vector<std::int64_t>& stream,
                              std::size_t clients, std::size_t window) {
   const auto t0 = std::chrono::steady_clock::now();
@@ -261,7 +274,7 @@ SaturationPoint drive_closed(Fleet& fleet,
           inflight.front().get();
           inflight.pop_front();
         }
-        inflight.push_back(fleet.set->submit(stream[i]));
+        inflight.push_back(set.submit(stream[i]));
       }
       while (!inflight.empty()) {
         inflight.front().get();
@@ -275,7 +288,14 @@ SaturationPoint drive_closed(Fleet& fleet,
           .count();
   SaturationPoint p;
   p.achieved_rps = static_cast<double>(stream.size()) / wall;
-  p.latency = fleet.set->aggregate_latency();
+  p.latency = set.aggregate_latency();
+  return p;
+}
+
+SaturationPoint drive_closed(Fleet& fleet,
+                             const std::vector<std::int64_t>& stream,
+                             std::size_t clients, std::size_t window) {
+  auto p = drive_closed(*fleet.set, stream, clients, window);
   p.hit_rate = fleet.hit_rate();
   return p;
 }
@@ -1051,6 +1071,89 @@ int main(int argc, char** argv) {
     emit(buf);
   }
 
+  // --- 7. Cross-process serving overhead (src/rpc/). ----------------------
+  header("7. in-process vs cross-process fleet (2 replicas, closed loop)");
+  {
+    // Same front (FleetManager), same closed-loop clients, same stream,
+    // same file+LRU serving stack per replica.  The in-process arm batches
+    // on threads in this process; the cross-process arm spawns two
+    // replica_server_cli children next to this binary and answers over
+    // Unix sockets in ppgnn-wire.  The ratio between the two rates is the
+    // whole RPC tax, and the deploy gate is <= 2x.
+    const auto xp_stream = make_stream(quick ? 20000 : 60000, 43);
+
+    auto local = make_fleet(tb, tb.store_dir(), ckpt, 2,
+                            serve::RoutingPolicy::kRoundRobin);
+    const auto in_proc = drive_closed(*local, xp_stream, clients, window);
+    local->set->stop();
+
+    // The children rebuild the same stack server-side: file store plus an
+    // LRU sized to this bench's byte budget (make_fleet's kCacheBudgetBytes)
+    // and the same micro-batcher shape make_fleet configures.
+    rpc::ReplicaSpawnConfig scfg;
+    scfg.socket_dir = dir;
+    scfg.log_path = dir + "/bench-replica.log";
+    scfg.server_args = {
+        "--checkpoint=" + ckpt,
+        "--store=" + tb.store_dir(),
+        "--nodes=" + std::to_string(kNodes),
+        "--model=" + tc.model,
+        "--hops=" + std::to_string(kHops),
+        "--feat-dim=" + std::to_string(kFeatDim),
+        "--hidden=" + std::to_string(tc.hidden),
+        "--classes=" + std::to_string(kClasses),
+        "--max-batch=128",
+        "--max-delay-us=500",
+        "--cache=lru",
+        "--cache-mb=" +
+            std::to_string(static_cast<double>(kCacheBudgetBytes) /
+                           (1024.0 * 1024.0)),
+    };
+    serve::FleetConfig fc;
+    fc.batch.max_batch_size = 128;
+    fc.batch.max_delay = std::chrono::microseconds(500);
+    serve::FleetManager remote(
+        [&scfg](std::size_t ordinal) {
+          std::string err;
+          auto rep = rpc::spawn_replica_process(scfg, ordinal, &err);
+          if (!rep) {
+            std::fprintf(stderr, "spawn replica %zu failed: %s\n", ordinal,
+                         err.c_str());
+          }
+          return rep;
+        },
+        2, fc);
+    const auto cross = drive_closed(remote, xp_stream, clients, window);
+    remote.stop();
+
+    const double ratio =
+        cross.achieved_rps > 0 ? in_proc.achieved_rps / cross.achieved_rps
+                               : 0.0;
+    const bool within_2x = ratio > 0 && ratio <= 2.0;
+    std::printf("%-14s %12s %10s %10s\n", "deployment", "achieved/s",
+                "p50(us)", "p99(us)");
+    std::printf("%-14s %12.0f %10.0f %10.0f\n", "in-process",
+                in_proc.achieved_rps, in_proc.latency.p50_us,
+                in_proc.latency.p99_us);
+    std::printf("%-14s %12.0f %10.0f %10.0f\n", "cross-process",
+                cross.achieved_rps, cross.latency.p50_us,
+                cross.latency.p99_us);
+    std::printf("cross-process gate: %.2fx of in-process throughput "
+                "(<= 2x) -> %s\n",
+                ratio, within_2x ? "OK" : "REGRESSION");
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"section\":\"cross_process\",\"replicas\":2,"
+                  "\"in_process_rps\":%.0f,\"cross_process_rps\":%.0f,"
+                  "\"overhead_ratio\":%.2f,\"ok\":%s,"
+                  "\"in_process_latency\":%s,\"cross_process_latency\":%s}",
+                  in_proc.achieved_rps, cross.achieved_rps, ratio,
+                  within_2x ? "true" : "false",
+                  in_proc.latency.to_json().c_str(),
+                  cross.latency.to_json().c_str());
+    emit(buf);
+  }
+
   std::printf(
       "\nExpected shape: (1) the cache-off p99 departs first as offered "
       "load approaches the store's service rate while ~60%% LRU hit rates "
@@ -1070,7 +1173,10 @@ int main(int argc, char** argv) {
       "still make it — more in-time answers at a lower admitted p99 under "
       "a uniform deadline, and under mixed deadlines slack-ordered "
       "eviction additionally beats FIFO's miss-per-admitted rate at "
-      "equal-or-better admission.\n");
+      "equal-or-better admission; (7) the socket hop prices in at well "
+      "under 2x — micro-batching amortizes the wire codec the same way it "
+      "amortizes store reads, so the cross-process fleet keeps most of the "
+      "in-process rate.\n");
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);

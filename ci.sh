@@ -23,6 +23,18 @@
 #                              tsan-autoscale CI leg runs this under the
 #                              race detector); the machine-relative gate
 #                              still calibrates this runner's own baseline
+#   SERVE_CROSSPROC=1          additionally smoke cross-process serving:
+#                              serve_cli --remote-replicas=2 spawns two
+#                              replica_server_cli processes behind the
+#                              socket RPC front (docs/wire-protocol.md),
+#                              kill -9s one mid-run, and the gate greps for
+#                              "zero lost" + the exact reap codes (137 for
+#                              the victim, 0 for the survivor's clean
+#                              drain).  A lost envelope hangs the client
+#                              drain loop, which the CI job timeout turns
+#                              into a failure.  The replica servers' output
+#                              lands in build/replica_server.log (uploaded
+#                              on failure by the crossproc CI leg).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -32,6 +44,7 @@ BENCH_JSON="${BENCH_JSON:-BENCH_serving.json}"
 SIM_JSON="${SIM_JSON:-SIM_calibration.json}"
 SERVE_PRECISION="${SERVE_PRECISION:-fp32}"
 SERVE_AUTOSCALE="${SERVE_AUTOSCALE:-0}"
+SERVE_CROSSPROC="${SERVE_CROSSPROC:-0}"
 
 CMAKE_FLAGS=(-DCMAKE_BUILD_TYPE="${BUILD_TYPE}")
 if [[ -n "${SANITIZE}" ]]; then
@@ -79,6 +92,27 @@ else
   fi
 fi
 ./build/serve_cli "${SMOKE_FLAGS[@]}"
+
+if [[ "${SERVE_CROSSPROC}" == "1" ]]; then
+  echo "== cross-process crash smoke (2 replica processes, kill -9 one) =="
+  # The full cross-process lifecycle under whatever sanitizer this leg
+  # builds with: fork/exec two replica_server_cli children, handshake,
+  # serve envelopes over ppgnn-wire, SIGKILL one mid-storm (the fleet only
+  # learns from the dead socket and re-routes), then SIGTERM-drain and
+  # reap the survivor.  gate=none: this run gates envelope accounting and
+  # process lifecycle, not throughput — the greps below require every
+  # envelope answered ("zero lost") and the exact reap codes (137 = the
+  # SIGKILLed victim, 0 = the survivor's clean drain).
+  CROSSPROC_OUT=build/crossproc_smoke.out
+  ./build/serve_cli --nodes=20000 --requests=20000 --remote-replicas=2 \
+    --kill-one-mid-run --source=file --cache=lru --batch-nodes=4 \
+    --gate=none --precision="${SERVE_PRECISION}" \
+    --serve-log=build/replica_server.log | tee "${CROSSPROC_OUT}"
+  grep -q "zero lost" "${CROSSPROC_OUT}"
+  grep -q "rc=137" "${CROSSPROC_OUT}"
+  grep -q "rc=0" "${CROSSPROC_OUT}"
+  echo "cross-process smoke OK (zero lost, victim reaped 137, survivor 0)"
+fi
 
 echo "== serve_cli API-v2 smoke (envelopes, deadlines, top-k) =="
 # The ServeRequest/ServeResponse path end to end: 4-node envelopes split

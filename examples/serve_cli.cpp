@@ -51,6 +51,20 @@
 //                         are not recorded; a gate retry re-records, so
 //                         the file always matches the final measured run.
 //
+// Cross-process serving (src/rpc/, docs/wire-protocol.md):
+//   --remote-replicas=N   serve the measured run through N
+//                         replica_server_cli PROCESSES (spawned next to
+//                         this binary, one Unix socket each) instead of
+//                         in-process replicas.  Calibration stays
+//                         in-process, so --gate=relative reports the
+//                         cross-process overhead directly.
+//   --kill-one-mid-run    crash smoke: kill -9 one replica process
+//                         mid-run and prove zero envelopes are lost (the
+//                         fleet re-routes against the survivors).  Needs
+//                         --remote-replicas >= 2.
+//   --serve-log=PATH      append the replica servers' stdout/stderr here
+//                         (CI uploads it when the smoke fails)
+//
 // Precision:
 //   --precision=fp32|int8 int8 deploys a quantized checkpoint (~4x less
 //                         weight data), quantizes every Linear per output
@@ -97,6 +111,7 @@
 #include <deque>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -104,6 +119,7 @@
 #include "core/pp_model.h"
 #include "loader/cache.h"
 #include "loader/storage.h"
+#include "rpc/remote_replica.h"
 #include "serve/feature_source.h"
 #include "serve/inference_session.h"
 #include "serve/replica_set.h"
@@ -154,12 +170,72 @@ struct Args {
   double scale_down_idle = 0.90;
   double ramp_seconds = 6.0;  // staged-trace wall time (2s per phase)
   std::string trace_out;      // record measured-run arrivals here ("" = off)
+  // Cross-process serving (src/rpc/).
+  std::size_t remote_replicas = 0;  // 0 = in-process replicas
+  bool kill_one_mid_run = false;    // crash smoke (needs remote >= 2)
+  std::string serve_log;            // replica servers' stdout/stderr
 };
+
+void usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "serve_cli: online PP-GNN inference serving under heavy-tailed load\n"
+      "\n"
+      "Workload / deployment:\n"
+      "  --nodes=N             graph size (default 100000)\n"
+      "  --requests=N          request stream length (default 200000)\n"
+      "  --clients=N           closed-loop client threads (default 4)\n"
+      "  --window=N            in-flight envelopes per client (default 512)\n"
+      "  --skew=S              Zipf skew of the stream (default 0.99)\n"
+      "  --model=SGC|SIGN      architecture (default SIGN)\n"
+      "  --hops=K --feat-dim=D --hidden=H --classes=C   model shape\n"
+      "  --train-epochs=N      deployment-prep training (default 2)\n"
+      "  --precision=fp32|int8 deployed checkpoint precision\n"
+      "  --source=memory|file  feature residency (file = FeatureFileStore)\n"
+      "  --cache=none|lru|static  row cache over the file store\n"
+      "  --cache-frac=F        cache budget as a fraction of the fp32\n"
+      "                        resident set (default 0.05)\n"
+      "\n"
+      "Fleet / admission:\n"
+      "  --replicas=N          fixed fleet size (default 1)\n"
+      "  --policy=round_robin|least_loaded|cache_affinity\n"
+      "  --max-batch=N --max-delay-us=U   micro-batcher knobs\n"
+      "  --shed-budget-ms=B    admission queue-delay budget (0 = block)\n"
+      "  --low-frac=F          fraction of traffic marked sheddable kLow\n"
+      "\n"
+      "Envelopes (serving API v2, the measured path):\n"
+      "  --batch-nodes=N       nodes per request envelope (default 1)\n"
+      "  --deadline-ms=D       per-request deadline (0 = none)\n"
+      "  --topk=K              top-k results instead of full logits\n"
+      "\n"
+      "Cross-process serving (src/rpc/, docs/wire-protocol.md):\n"
+      "  --remote-replicas=N   serve through N replica_server_cli\n"
+      "                        processes over Unix sockets (0 = in-process)\n"
+      "  --kill-one-mid-run    kill -9 one replica mid-run; prove zero\n"
+      "                        envelopes lost (needs --remote-replicas>=2)\n"
+      "  --serve-log=PATH      append replica server output here\n"
+      "\n"
+      "Autoscaling:\n"
+      "  --autoscale           staged 0.5x->2.5x->0.5x ramp, elastic fleet\n"
+      "  --min-replicas=N --max-replicas=N   bounds (default 1 / 4)\n"
+      "  --scale-up-shed=R --scale-down-idle=F   controller thresholds\n"
+      "  --ramp-seconds=S      ramp wall time (default 6)\n"
+      "\n"
+      "Gate / output:\n"
+      "  --gate=absolute|relative|none   PASS/FAIL criterion\n"
+      "  --min-rps=R           absolute-gate floor (default 10000)\n"
+      "  --trace-out=PATH      record arrivals for fleetsim_cli --trace\n"
+      "  --help                this text\n");
+}
 
 Args parse(int argc, char** argv) {
   Args a;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      std::exit(0);
+    }
     if (arg.rfind("--", 0) != 0) {
       std::fprintf(stderr, "bad arg: %s (use --key=value or --flag)\n",
                    arg.c_str());
@@ -215,7 +291,14 @@ Args parse(int argc, char** argv) {
     else if (k == "scale_down_idle") a.scale_down_idle = std::stod(v);
     else if (k == "ramp_seconds") a.ramp_seconds = std::stod(v);
     else if (k == "trace_out") a.trace_out = v;
-    else { std::fprintf(stderr, "unknown flag: --%s\n", k.c_str()); std::exit(2); }
+    else if (k == "remote_replicas") a.remote_replicas = std::stoul(v);
+    else if (k == "kill_one_mid_run") a.kill_one_mid_run = v != "0";
+    else if (k == "serve_log") a.serve_log = v;
+    else {
+      std::fprintf(stderr, "unknown flag: --%s\n", k.c_str());
+      usage(stderr);
+      std::exit(2);
+    }
     } catch (const std::exception&) {
       std::fprintf(stderr, "bad value for --%s: %s\n", k.c_str(), v.c_str());
       std::exit(2);
@@ -268,6 +351,24 @@ Args parse(int argc, char** argv) {
     std::fprintf(stderr,
                  "--batch-nodes/--deadline-ms/--topk drive the fixed-fleet "
                  "envelope path; drop --autoscale to use them\n");
+    std::exit(2);
+  }
+  if (a.remote_replicas > 0 && a.autoscale) {
+    std::fprintf(stderr,
+                 "--remote-replicas drives the fixed-fleet envelope path; "
+                 "drop --autoscale to use it\n");
+    std::exit(2);
+  }
+  if (a.remote_replicas > 0 && a.cache == "static") {
+    std::fprintf(stderr,
+                 "--cache=static is not available server-side; use "
+                 "--cache=lru with --remote-replicas\n");
+    std::exit(2);
+  }
+  if (a.kill_one_mid_run && a.remote_replicas < 2) {
+    std::fprintf(stderr,
+                 "--kill-one-mid-run needs --remote-replicas >= 2 (a "
+                 "survivor must be left to re-route onto)\n");
     std::exit(2);
   }
   if (a.autoscale) {
@@ -416,20 +517,83 @@ void finish_result(RunResult& r, serve::FleetManager& fleet,
   for (const auto* s : sf.stores) r.preads += s->preads();
 }
 
+// replica_server_cli flags that reproduce this run's per-replica serving
+// stack (model, store, batching, cache) in a child process.
+std::vector<std::string> remote_server_args(const Args& a,
+                                            const serve::ServingTestbed& tb,
+                                            std::size_t cache_budget_bytes) {
+  std::vector<std::string> v = {
+      "--checkpoint=" + tb.checkpoint(),
+      "--store=" + tb.store_dir(),
+      "--nodes=" + std::to_string(a.nodes),
+      "--model=" + a.model,
+      "--hops=" + std::to_string(a.hops),
+      "--feat-dim=" + std::to_string(a.feat_dim),
+      "--hidden=" + std::to_string(a.hidden),
+      "--classes=" + std::to_string(a.classes),
+      "--precision=" + a.precision,
+      "--max-batch=" + std::to_string(a.max_batch),
+      "--max-delay-us=" + std::to_string(a.max_delay_us)};
+  if (a.shed_budget_ms > 0) {
+    v.push_back("--shed-budget-ms=" + std::to_string(a.shed_budget_ms));
+  }
+  if (a.source == "file" && a.cache == "lru") {
+    v.push_back("--cache=lru");
+    v.push_back("--cache-mb=" +
+                std::to_string(static_cast<double>(cache_budget_bytes) /
+                               (1024.0 * 1024.0)));
+  }
+  return v;
+}
+
 // Closed-loop saturation run over a fixed fleet of `replicas` pipelines,
 // driven through the v2 envelope API: each client groups its stream shard
 // into --batch-nodes envelopes, stamps the --deadline-ms deadline at
 // submit time, and reaps merged responses from its own CompletionQueue.
 // Self-contained so the relative gate can run it twice (1-replica
 // calibration, then the real config).
+//
+// With `remote`, the same run is served by `replicas` replica_server_cli
+// PROCESSES (fork/exec'd next to this binary, one Unix socket each) behind
+// the identical FleetManager front — the measured delta against an
+// in-process run of the same shape IS the wire + process-boundary
+// overhead.  --kill-one-mid-run additionally SIGKILLs the first replica
+// once the storm is up; the run completing at all proves re-routing lost
+// nothing (a lost envelope would hang its client's drain loop forever).
 RunResult run_serving(const Args& a, const serve::ServingTestbed& tb,
                       std::size_t replicas,
                       const std::vector<std::int64_t>& stream,
-                      const std::string& trace_path = {}) {
+                      const std::string& trace_path = {},
+                      bool remote = false) {
   SourceFactory sf(a, tb);
-  serve::FleetManager fleet(
-      tb.fleet_builder([&sf](std::size_t i) { return sf(i); }), replicas,
-      fleet_config(a, /*with_autoscale=*/false));
+  std::vector<std::shared_ptr<rpc::RemoteReplica>> spawned;
+  std::mutex spawned_mu;
+  std::unique_ptr<serve::FleetManager> fleet_ptr;
+  if (remote) {
+    rpc::ReplicaSpawnConfig scfg;
+    scfg.socket_dir = tb.dir();
+    scfg.log_path = a.serve_log;
+    scfg.server_args = remote_server_args(a, tb, sf.budget_bytes);
+    fleet_ptr = std::make_unique<serve::FleetManager>(
+        [scfg, &spawned, &spawned_mu](std::size_t ordinal) {
+          std::string err;
+          auto r = rpc::spawn_replica_process(scfg, ordinal, &err);
+          if (!r) {
+            std::fprintf(stderr, "spawn replica %zu: %s\n", ordinal,
+                         err.c_str());
+            return std::shared_ptr<rpc::RemoteReplica>();
+          }
+          std::lock_guard<std::mutex> lk(spawned_mu);
+          spawned.push_back(r);
+          return r;
+        },
+        replicas, fleet_config(a, /*with_autoscale=*/false));
+  } else {
+    fleet_ptr = std::make_unique<serve::FleetManager>(
+        tb.fleet_builder([&sf](std::size_t i) { return sf(i); }), replicas,
+        fleet_config(a, /*with_autoscale=*/false));
+  }
+  serve::FleetManager& fleet = *fleet_ptr;
 
   const auto groups = serve::ServingTestbed::group_stream(stream,
                                                           a.batch_nodes);
@@ -504,7 +668,25 @@ RunResult run_serving(const Args& a, const serve::ServingTestbed& tb,
       n_total.fetch_add(hi > lo ? hi - lo : 0);
     });
   }
+  // Crash injection: once the storm is up, kill -9 the first replica.
+  // No SIGTERM, no drain — the fleet only learns from the dead socket.
+  std::shared_ptr<rpc::RemoteReplica> victim;
+  std::thread killer;
+  if (remote && a.kill_one_mid_run) {
+    {
+      std::lock_guard<std::mutex> lk(spawned_mu);
+      victim = spawned.front();
+    }
+    killer = std::thread([victim] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      std::printf("crash smoke: kill -9 replica pid %d\n",
+                  static_cast<int>(victim->pid()));
+      std::fflush(stdout);
+      victim->kill_now();
+    });
+  }
   for (auto& t : clients) t.join();
+  if (killer.joinable()) killer.join();
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -515,6 +697,23 @@ RunResult run_serving(const Args& a, const serve::ServingTestbed& tb,
   r.envelopes_missed = n_missed.load();
   r.envelopes_shed = n_shed.load();
   finish_result(r, fleet, sf, wall);
+  if (remote) {
+    // stop() already drained the children; retire() returns each child's
+    // stored exit code (0 = clean drain, 137 = the SIGKILLed victim).
+    std::lock_guard<std::mutex> lk(spawned_mu);
+    std::printf("cross-process: %zu replica process(es);", spawned.size());
+    for (const auto& rep : spawned) std::printf(" rc=%d", rep->retire());
+    std::printf("\n");
+    if (victim) {
+      const std::size_t answered =
+          r.envelopes_ok + r.envelopes_missed + r.envelopes_shed;
+      std::printf("crash smoke: %zu/%zu envelopes answered after the kill "
+                  "(%zu ok, %zu missed, %zu shed) — %s\n",
+                  answered, r.envelopes, r.envelopes_ok, r.envelopes_missed,
+                  r.envelopes_shed,
+                  answered == r.envelopes ? "zero lost" : "ENVELOPES LOST");
+    }
+  }
   if (rec) {
     rec->save(trace_path);
     std::printf("trace: %zu arrivals -> %s\n", rec->size(),
@@ -753,7 +952,9 @@ int main(int argc, char** argv) {
   tc.model = a.model;
   tc.train_epochs = a.train_epochs;
   tc.precision = prec;
-  tc.create_store = a.source == "file";
+  // Replica server processes always load features from the on-disk store
+  // (there is no sharing a memory source across a process boundary).
+  tc.create_store = a.source == "file" || a.remote_replicas > 0;
   tc.skew = a.skew;
   const serve::ServingTestbed tb(tc);
   std::printf("graph: %zu nodes, %zu edges; precompute: %zu hops in %.2fs "
@@ -774,9 +975,12 @@ int main(int argc, char** argv) {
                   : "");
   std::printf("serving: %zu replicas%s, policy=%s, shed_budget=%.1fms, "
               "source=%s cache=%s precision=%s\n",
-              a.autoscale ? a.min_replicas : a.replicas,
-              a.autoscale ? " (autoscaling)" : "", a.policy.c_str(),
-              a.shed_budget_ms, a.source.c_str(),
+              a.remote_replicas
+                  ? a.remote_replicas
+                  : (a.autoscale ? a.min_replicas : a.replicas),
+              a.remote_replicas ? " (cross-process)"
+                                : (a.autoscale ? " (autoscaling)" : ""),
+              a.policy.c_str(), a.shed_budget_ms, a.source.c_str(),
               a.source == "file" ? a.cache.c_str() : "n/a",
               serve::precision_name(prec));
   if (!a.autoscale) {
@@ -803,9 +1007,12 @@ int main(int argc, char** argv) {
     print_result("calibration: 1 replica", base);
   }
 
-  RunResult r = a.autoscale
-                    ? run_autoscale(a, tb, baseline_rps, a.trace_out)
-                    : run_serving(a, tb, a.replicas, stream, a.trace_out);
+  const bool remote = a.remote_replicas > 0;
+  const std::size_t fleet_size = remote ? a.remote_replicas : a.replicas;
+  RunResult r =
+      a.autoscale
+          ? run_autoscale(a, tb, baseline_rps, a.trace_out)
+          : run_serving(a, tb, fleet_size, stream, a.trace_out, remote);
   print_result("measured", r);
 
   // Accuracy column: at int8 the gate also bounds top-1 disagreement
@@ -858,14 +1065,16 @@ int main(int argc, char** argv) {
       baseline_rps = base.rps;
       print_result("calibration (retry): 1 replica", base);
     }
-    r = a.autoscale ? run_autoscale(a, tb, baseline_rps, a.trace_out)
-                    : run_serving(a, tb, a.replicas, stream, a.trace_out);
+    r = a.autoscale
+            ? run_autoscale(a, tb, baseline_rps, a.trace_out)
+            : run_serving(a, tb, fleet_size, stream, a.trace_out, remote);
     print_result("measured (retry)", r);
     ok = gate_ok(r);
   }
 
   std::printf("\njson: {\"requests\":%zu,\"replicas\":%zu,\"policy\":\"%s\","
               "\"precision\":\"%s\",\"autoscale\":%s,"
+              "\"remote_replicas\":%zu,\"crash_injected\":%s,"
               "\"batch_nodes\":%zu,\"deadline_ms\":%.1f,\"topk\":%zu,"
               "\"envelopes\":%zu,\"deadline_miss_rate\":%.4f,"
               "\"deadline_missed\":%zu,"
@@ -876,9 +1085,13 @@ int main(int argc, char** argv) {
               "\"cache_capacity_rows\":%zu,"
               "\"latency\":%s,\"admission\":%s,\"stages\":%s,"
               "\"mean_batch\":%.1f}\n",
-              stream.size(), a.autoscale ? a.min_replicas : a.replicas,
+              stream.size(),
+              remote ? a.remote_replicas
+                     : (a.autoscale ? a.min_replicas : a.replicas),
               a.policy.c_str(), serve::precision_name(prec),
-              a.autoscale ? "true" : "false", a.batch_nodes, a.deadline_ms,
+              a.autoscale ? "true" : "false", a.remote_replicas,
+              a.kill_one_mid_run ? "true" : "false", a.batch_nodes,
+              a.deadline_ms,
               a.topk, r.envelopes, r.deadline_miss_rate(), r.deadline_missed,
               r.max_replicas_seen,
               r.replica_seconds, r.idle_replica_seconds, r.rps, baseline_rps,

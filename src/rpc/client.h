@@ -1,0 +1,124 @@
+// RpcClient: the front's end of one replica connection.
+//
+// One background I/O thread multiplexes everything over a single stream
+// socket: call() serializes the request into an outbox and returns
+// immediately; the thread writes when the socket can take bytes, reads
+// whatever arrives, matches responses to pending calls by correlation id,
+// and invokes each call's completion exactly once — with the response, or
+// with a transport failure (connection lost, per-request timeout, client
+// shut down).  Exactly-once completion is the property the fleet's
+// crash-recovery leans on: a completion that never fires would strand an
+// envelope part forever, one that fires twice would double-finish it.
+//
+// Failure model:
+//  * A lost connection fails every in-flight call immediately (the server
+//    may or may not have processed them — the caller re-routes, which can
+//    recompute work but never duplicates a response).
+//  * The client then retries the connection with bounded exponential
+//    backoff (backoff_initial doubling to backoff_max, at most
+//    max_reconnect_attempts).  While disconnected, new calls fail fast so
+//    the fleet re-routes instead of queueing against a corpse.  After the
+//    last attempt the client is permanently dead.
+//  * A per-request timeout (a hang detector, not an SLO — deadlines travel
+//    inside the request) fails just that call; a late response to a
+//    forgotten id is dropped on the floor.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rpc/frame.h"
+#include "rpc/wire.h"
+
+namespace ppgnn::rpc {
+
+struct RpcClientConfig {
+  std::string address;  // unix:/path or tcp:host:port
+  // Whole budget for connect + Hello/HelloAck on handshake(): a replica
+  // process needs time to load its checkpoint before it listens.
+  std::chrono::milliseconds handshake_timeout{10000};
+  // One TCP/Unix connect attempt inside that budget (and per reconnect).
+  std::chrono::milliseconds connect_timeout{2000};
+  // Default per-call timeout when call() is given none.
+  std::chrono::milliseconds request_timeout{30000};
+  std::chrono::milliseconds backoff_initial{10};
+  std::chrono::milliseconds backoff_max{500};
+  int max_reconnect_attempts = 5;
+};
+
+class RpcClient {
+ public:
+  struct Result {
+    bool transport_ok = false;
+    WireResponse response;        // valid when transport_ok
+    std::string transport_error;  // set when !transport_ok
+  };
+  // Invoked exactly once per call(), on the I/O thread (or inline from
+  // call() when the transport is already down).  Keep it lean; it runs in
+  // the response path of every other in-flight call.
+  using Done = std::function<void(Result&&)>;
+
+  explicit RpcClient(RpcClientConfig cfg);
+  ~RpcClient();  // shutdown()
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  // Connects, exchanges Hello/HelloAck, starts the I/O thread.  Call once,
+  // before the first call(); false (with *err) leaves the client dead.
+  // Retries the connect inside handshake_timeout, so spawning the server
+  // process and handshaking can race.
+  bool handshake(WireHelloAck* ack, std::string* err);
+
+  // Enqueues one request.  `req.id` is overwritten with the client's own
+  // correlation id.  timeout <= 0 means config().request_timeout.
+  void call(WireRequest req, std::chrono::milliseconds timeout, Done done);
+
+  bool alive() const;          // connected and not shut down
+  std::size_t inflight() const;
+  const RpcClientConfig& config() const { return cfg_; }
+
+  // Fails all pending calls ("client shutdown"), stops the I/O thread.
+  // Idempotent.
+  void shutdown();
+
+ private:
+  struct Pending {
+    Done done;
+    std::chrono::steady_clock::time_point expires;
+  };
+
+  void io_loop();
+  // Closes the socket, fails all pending into `completions`, arms the
+  // reconnect timer (or marks the client dead).  Caller holds mu_.
+  void drop_connection_locked(
+      const std::string& why,
+      std::vector<std::pair<Done, Result>>* completions);
+  bool try_reconnect();  // I/O thread only, mu_ NOT held
+  void wake();
+
+  RpcClientConfig cfg_;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, Pending> pending_;
+  std::vector<std::uint8_t> outbox_;
+  std::size_t out_off_ = 0;
+  std::uint64_t next_id_ = 1;
+  int fd_ = -1;
+  bool connected_ = false;
+  bool dead_ = false;      // reconnect attempts exhausted or handshake failed
+  bool stopping_ = false;
+  int reconnect_attempts_ = 0;
+  std::chrono::milliseconds backoff_{0};
+  std::chrono::steady_clock::time_point next_reconnect_{};
+  int wake_pipe_[2] = {-1, -1};
+  std::thread io_;
+  FrameReader reader_;
+};
+
+}  // namespace ppgnn::rpc

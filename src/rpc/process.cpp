@@ -1,0 +1,107 @@
+#include "rpc/process.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+namespace ppgnn::rpc {
+
+std::unique_ptr<ChildProcess> ChildProcess::spawn(const SpawnSpec& spec,
+                                                  std::string* err) {
+  int log_fd = -1;
+  if (!spec.log_path.empty()) {
+    log_fd = ::open(spec.log_path.c_str(),
+                    O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC, 0644);
+    if (log_fd < 0) {
+      if (err) {
+        *err = "open(" + spec.log_path + "): " + std::strerror(errno);
+      }
+      return nullptr;
+    }
+  }
+  // argv must be built before fork: only async-signal-safe calls are legal
+  // between fork and exec in a multi-threaded parent.
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(spec.binary.c_str()));
+  for (const std::string& a : spec.args) {
+    argv.push_back(const_cast<char*>(a.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    if (log_fd >= 0) ::close(log_fd);
+    if (err) *err = std::string("fork: ") + std::strerror(errno);
+    return nullptr;
+  }
+  if (pid == 0) {
+    if (log_fd >= 0) {
+      ::dup2(log_fd, STDOUT_FILENO);
+      ::dup2(log_fd, STDERR_FILENO);
+    }
+    ::execv(spec.binary.c_str(), argv.data());
+    // Exec failed: 127 is the conventional "command not found" code.
+    ::_exit(127);
+  }
+  if (log_fd >= 0) ::close(log_fd);
+  return std::unique_ptr<ChildProcess>(new ChildProcess(pid));
+}
+
+ChildProcess::~ChildProcess() {
+  if (reaped_) return;
+  ::kill(pid_, SIGKILL);
+  int status = 0;
+  ::waitpid(pid_, &status, 0);
+}
+
+void ChildProcess::send_signal(int sig) const {
+  if (!reaped_) ::kill(pid_, sig);
+}
+
+bool ChildProcess::poll_exit(int* exit_code) {
+  if (!reaped_) {
+    int status = 0;
+    const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+    if (r == pid_) {
+      reaped_ = true;
+      if (WIFEXITED(status)) {
+        exit_code_ = WEXITSTATUS(status);
+      } else if (WIFSIGNALED(status)) {
+        exit_code_ = 128 + WTERMSIG(status);
+      }
+    } else if (r < 0 && errno == ECHILD) {
+      reaped_ = true;  // someone else reaped it; treat as gone
+    }
+  }
+  if (reaped_ && exit_code) *exit_code = exit_code_;
+  return reaped_;
+}
+
+bool ChildProcess::wait_exit(std::chrono::milliseconds timeout,
+                             int* exit_code) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!poll_exit(exit_code)) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return true;
+}
+
+bool ChildProcess::running() { return !poll_exit(nullptr); }
+
+std::string self_exe_dir() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return ".";
+  buf[n] = '\0';
+  std::string path(buf);
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? "." : path.substr(0, slash);
+}
+
+}  // namespace ppgnn::rpc

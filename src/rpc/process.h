@@ -1,0 +1,62 @@
+// Child-process lifecycle for replica servers: fork/exec with the child's
+// stdout/stderr redirected to a log file, signal delivery, and waitpid
+// reaping — the OS-level half of the fleet's Warming/Draining/Retired
+// states (the socket-level half is RpcClient's handshake and RemoteReplica's
+// drain).
+//
+// Every spawned child is reaped exactly once: wait_exit/poll_exit reap on
+// exit, and the destructor SIGKILLs + reaps anything still running so a
+// crashed front never leaves zombies behind.
+#pragma once
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ppgnn::rpc {
+
+struct SpawnSpec {
+  std::string binary;              // absolute or relative path to exec
+  std::vector<std::string> args;   // argv[1..]; argv[0] is `binary`
+  std::string log_path;            // child stdout+stderr appended here
+                                   // (empty = inherit the parent's)
+};
+
+class ChildProcess {
+ public:
+  // Forks and execs; null (with *err) when the fork or the log-file open
+  // fails.  An exec failure surfaces as an immediate child exit with code
+  // 127 — visible through wait_exit, and in the log.
+  static std::unique_ptr<ChildProcess> spawn(const SpawnSpec& spec,
+                                             std::string* err);
+  ~ChildProcess();
+
+  ChildProcess(const ChildProcess&) = delete;
+  ChildProcess& operator=(const ChildProcess&) = delete;
+
+  pid_t pid() const { return pid_; }
+  void send_signal(int sig) const;
+
+  // Non-blocking reap: true once the child has exited (idempotent —
+  // remembers the code), filling *exit_code with the wait status's exit
+  // code, or 128+signal for a signal death.
+  bool poll_exit(int* exit_code);
+  // Blocking reap with timeout; false if still running when it elapses.
+  bool wait_exit(std::chrono::milliseconds timeout, int* exit_code);
+  bool running();  // !reaped yet
+
+ private:
+  explicit ChildProcess(pid_t pid) : pid_(pid) {}
+  pid_t pid_;
+  bool reaped_ = false;
+  int exit_code_ = -1;
+};
+
+// Directory of the running executable (via /proc/self/exe) — how serving
+// binaries find replica_server_cli next to themselves in the build dir.
+std::string self_exe_dir();
+
+}  // namespace ppgnn::rpc

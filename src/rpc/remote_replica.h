@@ -1,0 +1,120 @@
+// RemoteReplica: a replica that lives in another process, presented to the
+// FleetManager through the same submit-parts contract a local MicroBatcher
+// satisfies.
+//
+// The translation is deliberately thin: a sub-batch of envelope slots
+// becomes ONE wire request (the slots' node ids, the envelope's priority,
+// the deadline converted to a remaining-budget — always requesting full
+// logits, because top-k conversion belongs to the front's RequestState),
+// and the response finishes each slot with its part status and row.  Two
+// outcomes do NOT finish parts and instead invoke the caller's fail
+// handler with the unfinished slots:
+//
+//  * transport failure (connection lost, timeout, client dead) — the
+//    crash-detector signal: the fleet removes this replica from the
+//    membership snapshot and re-routes the slots against the fresh one;
+//  * a kDraining envelope — the replica is shutting down gracefully
+//    (SIGTERM); same re-route, the fleet decides whether the replica also
+//    leaves the membership.
+//
+// Either the parts are finished exactly once here, or the fail handler is
+// invoked exactly once with all of them — never both, never neither; that
+// dichotomy is what keeps the fleet's one-response-per-envelope invariant
+// across kill -9.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rpc/client.h"
+#include "rpc/process.h"
+#include "serve/serve_api.h"
+#include "serve/server_stats.h"
+
+namespace ppgnn::rpc {
+
+struct RemoteReplicaConfig {
+  // Per-call hang detector (NOT the SLO — deadlines travel in-band).  For
+  // deadline'd requests the effective timeout is budget + 2s slack.
+  std::chrono::milliseconds request_timeout{30000};
+  // retire(): how long the SIGTERM'd child gets to drain before SIGKILL.
+  std::chrono::milliseconds drain_grace{10000};
+};
+
+class RemoteReplica {
+ public:
+  // `proc` may be null (a server someone else manages — tests, or replicas
+  // on other hosts); `client` must already be handshaken.
+  RemoteReplica(std::unique_ptr<ChildProcess> proc,
+                std::unique_ptr<RpcClient> client, WireHelloAck ack,
+                RemoteReplicaConfig cfg = {});
+  ~RemoteReplica();  // retire() if not already retired
+
+  RemoteReplica(const RemoteReplica&) = delete;
+  RemoteReplica& operator=(const RemoteReplica&) = delete;
+
+  // Invoked with the slots that were neither finished nor will be —
+  // re-route them.  May run on the client's I/O thread, or inline inside
+  // submit_parts when the transport is already down.
+  using FailHandler = std::function<void(std::vector<std::uint32_t>)>;
+
+  // Submits `slots` of `state` as one wire call.  `stats` (optional) gets
+  // the client-side view: admitted latency, sheds, deadline misses —
+  // feeding the same windowed signals the autoscaler reads for local
+  // replicas.
+  void submit_parts(const std::shared_ptr<serve::RequestState>& state,
+                    const std::uint32_t* slots, std::size_t n,
+                    serve::ServerStats* stats, FailHandler on_fail);
+
+  bool alive() const { return client_->alive(); }
+  std::size_t inflight() const { return client_->inflight(); }
+  const WireHelloAck& info() const { return ack_; }
+  pid_t pid() const { return proc_ ? proc_->pid() : -1; }
+
+  // Graceful drain: SIGTERM, wait for the child to flush + exit (SIGKILL
+  // past drain_grace), reap it, then shut the client down (stragglers fail
+  // into their fail handlers and re-route).  Idempotent.  Returns the
+  // child's exit code (0 = clean drain; -1 when there is no child).
+  int retire();
+  // Crash injection (tests) / last resort: SIGKILL, no drain.  The
+  // transport failure this provokes is the crash detector's input.
+  void kill_now();
+
+ private:
+  std::unique_ptr<ChildProcess> proc_;
+  std::unique_ptr<RpcClient> client_;
+  WireHelloAck ack_;
+  RemoteReplicaConfig cfg_;
+  std::mutex retire_mu_;
+  bool retired_ = false;
+  int exit_code_ = -1;
+};
+
+// --- Spawning a replica server process -----------------------------------
+
+struct ReplicaSpawnConfig {
+  // Path to replica_server_cli; empty = next to the running executable.
+  std::string server_binary;
+  // Directory for per-ordinal Unix sockets (replica-<ordinal>.sock).
+  std::string socket_dir = "/tmp";
+  // Child stdout/stderr appended here ("" = inherit — CI uploads this file
+  // when the cross-process smoke fails).
+  std::string log_path;
+  // Flags replica_server_cli needs beyond --socket: checkpoint, store,
+  // model shape, precision, batching knobs.
+  std::vector<std::string> server_args;
+  RpcClientConfig client;    // address is filled in per ordinal
+  RemoteReplicaConfig replica;
+};
+
+// fork/exec + connect + Hello handshake (the health check: a replica that
+// cannot serve never acks, and the spawn fails instead of publishing a
+// broken replica).  Null with *err on any failure; the child is killed and
+// reaped on a failed handshake.
+std::shared_ptr<RemoteReplica> spawn_replica_process(
+    const ReplicaSpawnConfig& cfg, std::size_t ordinal, std::string* err);
+
+}  // namespace ppgnn::rpc

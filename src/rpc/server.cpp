@@ -1,0 +1,342 @@
+#include "rpc/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "rpc/frame.h"
+#include "rpc/wire.h"
+
+namespace ppgnn::rpc {
+
+namespace {
+
+// One accepted connection.  The outbox is written by batcher dispatcher
+// threads (completion sinks) and flushed by the poll loop, hence the mutex;
+// `closed` makes a sink for a vanished client drop its response instead of
+// writing into a dead buffer.
+struct Conn {
+  explicit Conn(int f) : fd(f) {}
+  int fd;
+  FrameReader reader;
+  std::mutex mu;
+  std::vector<std::uint8_t> outbox;
+  std::size_t out_off = 0;
+  bool closed = false;
+
+  // Returns true when the outbox went idle->busy: only that edge needs a
+  // poll-loop wake (while bytes are queued the loop has POLLOUT armed or a
+  // wake byte pending), so a batch of completions costs one pipe write.
+  bool enqueue(MsgType type, const std::vector<std::uint8_t>& body) {
+    std::lock_guard<std::mutex> lk(mu);
+    if (closed) return false;
+    const bool was_idle = out_off >= outbox.size();
+    append_frame(outbox, type, body.data(), body.size());
+    return was_idle;
+  }
+  bool flushed() {
+    std::lock_guard<std::mutex> lk(mu);
+    return closed || out_off >= outbox.size();
+  }
+};
+
+serve::ServeStatus part_wire_status(serve::ServeStatus envelope,
+                                    bool has_result) {
+  if (!has_result) return envelope;
+  // A part that carries a result is either a clean answer or a late one;
+  // the envelope-level status may be worse because of OTHER parts.
+  return envelope == serve::ServeStatus::kDeadlineExceeded
+             ? serve::ServeStatus::kDeadlineExceeded
+             : serve::ServeStatus::kOk;
+}
+
+WireResponse to_wire(const serve::ServeResponse& resp, std::uint64_t wire_id,
+                     serve::ResultMode mode) {
+  WireResponse w;
+  w.id = wire_id;
+  w.status = resp.status;
+  w.mode = mode;
+  w.timings = resp.timings;
+  if (resp.error) {
+    try {
+      std::rethrow_exception(resp.error);
+    } catch (const std::exception& e) {
+      w.error = e.what();
+    } catch (...) {
+      w.error = "unknown backend error";
+    }
+  }
+  const std::size_t n =
+      mode == serve::ResultMode::kTopK ? resp.topk.size() : resp.logits.size();
+  w.parts.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    WirePart& p = w.parts[i];
+    if (mode == serve::ResultMode::kTopK) {
+      p.topk = resp.topk[i];
+      p.status = part_wire_status(resp.status, !p.topk.empty());
+    } else {
+      p.logits = resp.logits[i];
+      p.status = part_wire_status(resp.status, !p.logits.empty());
+    }
+  }
+  return w;
+}
+
+}  // namespace
+
+ReplicaServer::ReplicaServer(std::unique_ptr<serve::InferenceSession> session,
+                             const ReplicaServerConfig& cfg)
+    : session_(std::move(session)), cfg_(cfg) {
+  stats_ = std::make_unique<serve::ServerStats>();
+}
+
+ReplicaServer::~ReplicaServer() = default;
+
+int ReplicaServer::run(const volatile std::sig_atomic_t* stop) {
+  std::string err;
+  int listen_fd = listen_on(cfg_.address, &err);
+  if (listen_fd < 0) {
+    std::fprintf(stderr, "replica_server: %s\n", err.c_str());
+    return 1;
+  }
+  set_nonblocking(listen_fd);
+  int wake_pipe[2];
+  if (::pipe2(wake_pipe, O_CLOEXEC | O_NONBLOCK) != 0) {
+    ::close(listen_fd);
+    std::fprintf(stderr, "replica_server: pipe2 failed\n");
+    return 1;
+  }
+  const int wake_wfd = wake_pipe[1];
+  auto wake = [wake_wfd] {
+    const std::uint8_t b = 1;
+    [[maybe_unused]] const ssize_t w = ::write(wake_wfd, &b, 1);
+  };
+
+  std::map<int, std::shared_ptr<Conn>> conns;
+  std::atomic<std::size_t> inflight{0};
+  // HelloAck advertises the logits width; measured by running one real
+  // inference, which doubles as the health check the Warming handshake
+  // exists for — a replica that cannot answer node 0 never acks.
+  std::uint32_t classes = 0;
+
+  serve::MicroBatcher batcher(*session_, cfg_.batch, stats_.get());
+  bool draining = false;
+  std::chrono::steady_clock::time_point drain_deadline{};
+
+  auto handle_request = [&](const std::shared_ptr<Conn>& conn,
+                            const WireRequest& wreq) {
+    serve::ServeRequest sreq;
+    sreq.id = wreq.id;
+    sreq.nodes = wreq.nodes;
+    sreq.priority = wreq.priority;
+    sreq.mode = wreq.mode;
+    sreq.topk = wreq.topk;
+    sreq.deadline = budget_us_to_deadline(wreq.deadline_rel_us,
+                                          std::chrono::steady_clock::now());
+    const std::uint64_t wire_id = wreq.id;
+    const serve::ResultMode mode = wreq.mode;
+    inflight.fetch_add(1, std::memory_order_relaxed);
+    auto state = std::make_shared<serve::RequestState>(
+        std::move(sreq),
+        [conn, wire_id, mode, &inflight,
+         wake](serve::ServeResponse&& resp) {
+          const WireResponse w = to_wire(resp, wire_id, mode);
+          const auto body = encode_response(w);
+          const bool need_wake = conn->enqueue(MsgType::kResponse, body);
+          inflight.fetch_sub(1, std::memory_order_relaxed);
+          if (need_wake) wake();
+        });
+    const std::size_t parts = state->parts();
+    auto bounce = [&state, parts] {
+      for (std::uint32_t slot = 0; slot < parts; ++slot) {
+        state->finish_part(slot, serve::ServeStatus::kDraining, nullptr, 0,
+                           serve::StageTimings{});
+      }
+    };
+    if (draining) {
+      bounce();
+      return;
+    }
+    std::vector<std::uint32_t> slots(parts);
+    for (std::uint32_t i = 0; i < parts; ++i) slots[i] = i;
+    serve::RejectReason reason;
+    try {
+      reason = batcher.try_submit_parts(state, slots.data(), slots.size());
+    } catch (const std::runtime_error&) {
+      reason = serve::RejectReason::kDraining;  // stopped == terminal drain
+    }
+    if (reason == serve::RejectReason::kDraining) bounce();
+    // kOverload / kDeadline: the batcher resolved the parts itself.
+  };
+
+  auto close_conn = [&conns](int fd) {
+    const auto it = conns.find(fd);
+    if (it == conns.end()) return;
+    {
+      std::lock_guard<std::mutex> lk(it->second->mu);
+      it->second->closed = true;
+    }
+    ::close(fd);
+    conns.erase(it);
+  };
+
+  std::uint8_t buf[65536];
+  std::vector<pollfd> pfds;
+  for (;;) {
+    if (!draining && *stop) {
+      draining = true;
+      drain_deadline = std::chrono::steady_clock::now() + cfg_.drain_timeout;
+      if (listen_fd >= 0) {
+        ::close(listen_fd);
+        listen_fd = -1;
+      }
+      batcher.begin_drain();
+    }
+    if (draining) {
+      bool all_flushed = inflight.load(std::memory_order_relaxed) == 0;
+      for (const auto& [fd, conn] : conns) {
+        all_flushed = all_flushed && conn->flushed();
+      }
+      if (all_flushed || std::chrono::steady_clock::now() > drain_deadline) {
+        break;
+      }
+    }
+
+    pfds.clear();
+    pfds.push_back({wake_pipe[0], POLLIN, 0});
+    if (listen_fd >= 0) pfds.push_back({listen_fd, POLLIN, 0});
+    for (const auto& [fd, conn] : conns) {
+      short ev = POLLIN;
+      if (!conn->flushed()) ev |= POLLOUT;
+      pfds.push_back({fd, ev, 0});
+    }
+    ::poll(pfds.data(), pfds.size(), 50);
+
+    std::size_t idx = 0;
+    if (pfds[idx].revents & POLLIN) {
+      std::uint8_t drain_buf[64];
+      while (::read(wake_pipe[0], drain_buf, sizeof(drain_buf)) > 0) {
+      }
+    }
+    ++idx;
+    if (listen_fd >= 0) {
+      if (pfds[idx].revents & POLLIN) {
+        for (;;) {
+          const int cfd = ::accept4(listen_fd, nullptr, nullptr,
+                                    SOCK_CLOEXEC | SOCK_NONBLOCK);
+          if (cfd < 0) break;
+          conns.emplace(cfd, std::make_shared<Conn>(cfd));
+        }
+      }
+      ++idx;
+    }
+
+    std::vector<int> dead;
+    for (auto& [fd, conn] : conns) {
+      // pfds entries after the fixed ones mirror `conns` iteration order
+      // (std::map: stable, sorted by fd — unchanged since the poll above).
+      const pollfd& p = pfds[idx++];
+      if (p.revents & (POLLERR | POLLHUP)) {
+        dead.push_back(fd);
+        continue;
+      }
+      if (p.revents & POLLOUT) {
+        std::lock_guard<std::mutex> lk(conn->mu);
+        while (conn->out_off < conn->outbox.size()) {
+          const ssize_t w =
+              ::send(fd, conn->outbox.data() + conn->out_off,
+                     conn->outbox.size() - conn->out_off, MSG_NOSIGNAL);
+          if (w > 0) {
+            conn->out_off += static_cast<std::size_t>(w);
+            continue;
+          }
+          if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          if (w < 0 && errno == EINTR) continue;
+          dead.push_back(fd);
+          break;
+        }
+        if (conn->out_off >= conn->outbox.size()) {
+          conn->outbox.clear();
+          conn->out_off = 0;
+        }
+      }
+      if (p.revents & POLLIN) {
+        bool eof = false;
+        for (;;) {
+          const ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
+          if (r > 0) {
+            conn->reader.feed(buf, static_cast<std::size_t>(r));
+            continue;
+          }
+          if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          if (r < 0 && errno == EINTR) continue;
+          eof = true;
+          break;
+        }
+        MsgType type;
+        std::vector<std::uint8_t> body;
+        bool proto_err = false;
+        while (conn->reader.next(&type, &body)) {
+          if (type == MsgType::kHello) {
+            WireHello hello;
+            std::string herr;
+            if (!decode_hello(body.data(), body.size(), &hello, &herr)) {
+              proto_err = true;
+              break;
+            }
+            if (classes == 0) {
+              classes = static_cast<std::uint32_t>(
+                  session_->infer_one(0).size());
+            }
+            WireHelloAck ack;
+            ack.num_nodes = session_->num_nodes();
+            ack.classes = classes;
+            ack.precision = static_cast<std::uint8_t>(session_->precision());
+            conn->enqueue(MsgType::kHelloAck, encode_hello_ack(ack));
+          } else if (type == MsgType::kRequest) {
+            WireRequest wreq;
+            std::string rerr;
+            if (!decode_request(body.data(), body.size(), &wreq, &rerr)) {
+              proto_err = true;
+              break;
+            }
+            handle_request(conn, wreq);
+          } else {
+            proto_err = true;  // clients never send HelloAck/Response
+            break;
+          }
+        }
+        if (proto_err || conn->reader.failed() || eof) {
+          dead.push_back(fd);
+        }
+      }
+    }
+    for (const int fd : dead) close_conn(fd);
+  }
+
+  // Admitted work completes inside stop(); its responses were either
+  // flushed above (clean drain) or die with the connections (drain
+  // timeout — the client's transport error re-routes them).
+  batcher.stop();
+  for (auto& [fd, conn] : conns) {
+    std::lock_guard<std::mutex> lk(conn->mu);
+    conn->closed = true;
+    ::close(fd);
+  }
+  conns.clear();
+  if (listen_fd >= 0) ::close(listen_fd);
+  ::close(wake_pipe[0]);
+  ::close(wake_pipe[1]);
+  return 0;
+}
+
+}  // namespace ppgnn::rpc

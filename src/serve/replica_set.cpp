@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "rpc/remote_replica.h"
 #include "serve/feature_source.h"
 
 namespace ppgnn::serve {
@@ -44,11 +45,53 @@ FleetManager::FleetManager(
   init(std::move(sessions), cfg);
 }
 
-void FleetManager::init(std::vector<std::unique_ptr<InferenceSession>> sessions,
-                        const FleetConfig& cfg) {
-  if (sessions.empty()) {
-    throw std::invalid_argument("FleetManager: no sessions");
+FleetManager::FleetManager(RemoteSpawnFn spawn, std::size_t initial_replicas,
+                           const FleetConfig& cfg)
+    : remote_spawn_(std::move(spawn)) {
+  if (!remote_spawn_) {
+    throw std::invalid_argument("FleetManager: null remote spawn recipe");
   }
+  if (initial_replicas == 0) {
+    throw std::invalid_argument("FleetManager: zero initial replicas");
+  }
+  init_config(cfg);
+
+  auto m = std::make_shared<Membership>();
+  m->epoch = 0;
+  for (std::size_t i = 0; i < initial_replicas; ++i) {
+    auto remote = remote_spawn_(next_generation_);
+    if (!remote) {
+      // Retire the replicas already spawned before failing the build; the
+      // handles' remotes SIGTERM + reap in their destructors.
+      throw std::runtime_error(
+          "FleetManager: remote replica spawn failed (see server log)");
+    }
+    auto h = make_remote_handle(std::move(remote));
+    // Same loud config/deployment-mismatch failure as the local ctor; the
+    // server advertises its serving precision in the HelloAck.
+    if (static_cast<Precision>(h->remote->info().precision) !=
+        cfg_.precision) {
+      throw std::invalid_argument(
+          "FleetManager: remote replica precision disagrees with config");
+    }
+    h->state.store(ReplicaState::kActive, std::memory_order_release);
+    h->activated_at = started_at_;
+    h->first_window_measured = true;  // cache lives server-side
+    m->replicas.push_back(h);
+    all_handles_.push_back(h);
+    record_event(/*spawned=*/true, *h, m->epoch, m->replicas.size());
+  }
+  m->ring = ring_over(m->replicas);
+  std::atomic_store(&membership_,
+                    std::shared_ptr<const Membership>(std::move(m)));
+
+  if (cfg_.autoscale.enabled) {
+    autoscaler_ = std::make_unique<AutoscalePolicy>(cfg_.autoscale);
+    controller_ = std::thread([this] { controller_loop(); });
+  }
+}
+
+void FleetManager::init_config(const FleetConfig& cfg) {
   cfg_ = cfg;
   cfg_.clock = clock_or_real(cfg_.clock);
   // One fleet-level knob moves all policy-visible time: the batchers
@@ -57,6 +100,14 @@ void FleetManager::init(std::vector<std::unique_ptr<InferenceSession>> sessions,
   precision_ = cfg.precision;
   started_at_ = cfg_.clock->now();
   router_ = make_router(cfg_.policy);
+}
+
+void FleetManager::init(std::vector<std::unique_ptr<InferenceSession>> sessions,
+                        const FleetConfig& cfg) {
+  if (sessions.empty()) {
+    throw std::invalid_argument("FleetManager: no sessions");
+  }
+  init_config(cfg);
 
   auto m = std::make_shared<Membership>();
   m->epoch = 0;
@@ -99,6 +150,22 @@ std::shared_ptr<FleetManager::ReplicaHandle> FleetManager::make_handle(
   return h;
 }
 
+std::shared_ptr<FleetManager::ReplicaHandle> FleetManager::make_remote_handle(
+    std::shared_ptr<rpc::RemoteReplica> remote) {
+  auto h = std::make_shared<ReplicaHandle>();
+  h->generation = next_generation_++;
+  h->remote = std::move(remote);
+  // Stats are the CLIENT-side view (round-trip latency, wire-part
+  // verdicts), recorded by the bridge on completion — the same windowed
+  // signal surface the autoscaler reads for local replicas.
+  h->stats = std::make_unique<ServerStats>(cfg_.stats_window, cfg_.clock);
+  return h;
+}
+
+std::size_t FleetManager::depth_of(const ReplicaHandle& h) {
+  return h.batcher ? h.batcher->queue_depth() : h.remote->inflight();
+}
+
 HashRing FleetManager::ring_over(
     const std::vector<std::shared_ptr<ReplicaHandle>>& replicas) {
   std::vector<std::uint64_t> generations;
@@ -125,16 +192,43 @@ Admission FleetManager::try_submit(std::int64_t node, Priority pri) {
   for (;;) {
     const auto m = current();
     const QueueDepthFn depth = [&m](std::size_t i) {
-      return m->replicas[i]->batcher->queue_depth();
+      return depth_of(*m->replicas[i]);
     };
     RouteTargets targets;
     targets.count = m->replicas.size();
     targets.queue_depth = &depth;
     targets.ring = &m->ring;
     const std::size_t i = router_->route(node, targets);
-    ReplicaHandle& h = *m->replicas[i];
-    h.routed.fetch_add(1, std::memory_order_relaxed);
-    Admission a = h.batcher->try_submit(node, pri);
+    const auto& h = m->replicas[i];
+    h->routed.fetch_add(1, std::memory_order_relaxed);
+    if (h->remote) {
+      // Remote shim: a single-node envelope with a promise sink.  The wire
+      // has no synchronous admission verdict (the reject travels back as a
+      // kShed response), so the call is always "accepted" and a shed
+      // surfaces as RejectedError through the future — same terminal
+      // behavior as the throwing submit(), one hop later.
+      auto prom = std::make_shared<std::promise<std::vector<float>>>();
+      Admission a;
+      a.accepted = true;
+      a.result = prom->get_future();
+      ServeRequest req;
+      req.nodes = {node};
+      req.priority = pri;
+      auto state = std::make_shared<RequestState>(
+          std::move(req), [prom](ServeResponse&& r) {
+            if (r.status == ServeStatus::kOk) {
+              prom->set_value(std::move(r.logits[0]));
+            } else if (r.status == ServeStatus::kError && r.error) {
+              prom->set_exception(r.error);
+            } else {
+              prom->set_exception(std::make_exception_ptr(RejectedError(
+                  "rejected by remote replica admission control")));
+            }
+          });
+      submit_remote(h, state, {0});
+      return a;
+    }
+    Admission a = h->batcher->try_submit(node, pri);
     if (!a.accepted && a.reason == RejectReason::kDraining) continue;
     return a;
   }
@@ -194,7 +288,7 @@ void FleetManager::place_parts(const std::shared_ptr<RequestState>& state,
       // round_robin traffic would just multiply dispatch overhead without
       // a cache to aim at.
       const QueueDepthFn depth = [&m](std::size_t i) {
-        return m->replicas[i]->batcher->queue_depth();
+        return depth_of(*m->replicas[i]);
       };
       RouteTargets targets;
       targets.count = m->replicas.size();
@@ -205,8 +299,15 @@ void FleetManager::place_parts(const std::shared_ptr<RequestState>& state,
     }
     std::vector<std::uint32_t> bounced;
     for (SubBatch& g : groups) {
-      ReplicaHandle& h = *m->replicas[g.member];
-      h.routed.fetch_add(g.slots.size(), std::memory_order_relaxed);
+      const auto& hp = m->replicas[g.member];
+      hp->routed.fetch_add(g.slots.size(), std::memory_order_relaxed);
+      if (hp->remote) {
+        // Fire-and-forget over the wire; the bridge either finishes every
+        // slot or fails them back into place_parts (see submit_remote).
+        submit_remote(hp, state, std::move(g.slots));
+        continue;
+      }
+      ReplicaHandle& h = *hp;
       RejectReason reason;
       try {
         reason = h.batcher->try_submit_parts(state, g.slots.data(),
@@ -232,6 +333,53 @@ void FleetManager::place_parts(const std::shared_ptr<RequestState>& state,
   }
 }
 
+void FleetManager::submit_remote(const std::shared_ptr<ReplicaHandle>& h,
+                                 const std::shared_ptr<RequestState>& state,
+                                 std::vector<std::uint32_t> slots) {
+  // The bridge guarantees exactly one of: every slot finished, or the fail
+  // handler invoked once with all of them.  The fail handler runs the
+  // crash detector (transport loss and draining servers look identical
+  // from here: this replica cannot take the work) and re-routes against a
+  // snapshot that no longer contains it — the same terminating loop shape
+  // as a local draining bounce.  May run inline or on the client's I/O
+  // thread; place_parts is safe on both (one atomic load, no admin lock).
+  h->remote->submit_parts(
+      state, slots.data(), slots.size(), h->stats.get(),
+      [this, h, state](std::vector<std::uint32_t> failed) {
+        remove_dead_replica(h);
+        place_parts(state, std::move(failed));
+      });
+}
+
+void FleetManager::remove_dead_replica(const std::shared_ptr<ReplicaHandle>& h) {
+  // Pre-check OUTSIDE admin_mu_: when the scaler is retiring this replica
+  // it already unpublished it, and it may be blocking admin_mu_ held while
+  // waiting on the very I/O thread this runs on — skipping the lock here
+  // is what breaks that cycle (see the header).
+  if (h->state.load(std::memory_order_acquire) != ReplicaState::kActive) {
+    return;
+  }
+  std::lock_guard<std::mutex> lk(admin_mu_);
+  if (stopped_) return;
+  if (h->state.load(std::memory_order_acquire) != ReplicaState::kActive) {
+    return;  // lost the race to a scaler or another failed call
+  }
+  const auto m = std::atomic_load(&membership_);
+  auto next = std::make_shared<Membership>();
+  next->epoch = m->epoch + 1;
+  for (const auto& r : m->replicas) {
+    if (r != h) next->replicas.push_back(r);
+  }
+  if (next->replicas.size() == m->replicas.size()) return;  // already gone
+  next->ring = ring_over(next->replicas);
+  h->state.store(ReplicaState::kRetired, std::memory_order_release);
+  std::atomic_store(&membership_,
+                    std::shared_ptr<const Membership>(std::move(next)));
+  record_event(/*spawned=*/false, *h, m->epoch + 1, m->replicas.size() - 1);
+  // An empty membership (last replica died) is survivable: envelopes
+  // answer kDraining until a scale_up repopulates it.
+}
+
 ServeResponse FleetManager::infer_request(ServeRequest req) {
   CompletionQueue cq;
   submit(std::move(req), cq);
@@ -247,6 +395,7 @@ std::size_t FleetManager::warm_from_peers(ReplicaHandle& fresh,
                                           const Membership& current_members,
                                           const HashRing& next_ring) {
   if (cfg_.warm_keys == 0) return 0;
+  if (!fresh.session) return 0;  // remote: warms server-side
   auto* dst = dynamic_cast<CachedSource*>(&fresh.session->features());
   if (!dst) return 0;
   // The fresh replica occupies the last slot of the next membership; under
@@ -258,6 +407,7 @@ std::size_t FleetManager::warm_from_peers(ReplicaHandle& fresh,
   std::vector<std::pair<std::int64_t, std::vector<std::uint8_t>>> batch;
   std::unordered_set<std::int64_t> seen;
   for (const auto& peer : current_members.replicas) {
+    if (!peer->session) continue;
     auto* src = dynamic_cast<CachedSource*>(&peer->session->features());
     if (!src) continue;
     for (auto& [row, bytes] : src->export_hot_payloads(cfg_.warm_keys)) {
@@ -274,14 +424,26 @@ std::size_t FleetManager::warm_from_peers(ReplicaHandle& fresh,
 std::uint64_t FleetManager::scale_up() {
   std::lock_guard<std::mutex> lk(admin_mu_);
   if (stopped_) throw std::runtime_error("FleetManager: stopped");
-  if (!builder_) {
+  if (!builder_ && !remote_spawn_) {
     throw std::logic_error(
         "FleetManager: fixed fleet has no FleetBuilder to spawn from");
   }
   const auto m = std::atomic_load(&membership_);
   // Build off the submit path: traffic keeps flowing against the current
-  // snapshot while the new session loads shared weights and warms up.
-  auto h = make_handle(builder_->build(next_generation_));
+  // snapshot while the new session loads shared weights and warms up (for
+  // a remote replica: while the new server process loads its checkpoint —
+  // the spawn returns only after the Hello handshake proves it serves).
+  std::shared_ptr<ReplicaHandle> h;
+  if (builder_) {
+    h = make_handle(builder_->build(next_generation_));
+  } else {
+    auto remote = remote_spawn_(next_generation_);
+    if (!remote) {
+      throw std::runtime_error(
+          "FleetManager: remote replica spawn failed (see server log)");
+    }
+    h = make_remote_handle(std::move(remote));
+  }
   h->spawned_dynamic = true;
 
   auto next = std::make_shared<Membership>();
@@ -293,11 +455,16 @@ std::uint64_t FleetManager::scale_up() {
   // Warming -> Active: pre-fill the private cache from peers before the
   // first request can arrive, and snapshot the cache counters so the
   // first-window hit rate (warm-up's report card) has a baseline.
-  h->warmed_keys = warm_from_peers(*h, *m, next->ring);
-  if (auto* c = dynamic_cast<CachedSource*>(&h->session->features())) {
-    h->cache_at_activation = c->stats();
+  // (Remote replicas warm their caches server-side; nothing to seed here.)
+  if (h->session) {
+    h->warmed_keys = warm_from_peers(*h, *m, next->ring);
+    if (auto* c = dynamic_cast<CachedSource*>(&h->session->features())) {
+      h->cache_at_activation = c->stats();
+    } else {
+      h->first_window_measured = true;  // no cache, nothing to measure
+    }
   } else {
-    h->first_window_measured = true;  // no cache, nothing to measure
+    h->first_window_measured = true;
   }
   h->activated_at = cfg_.clock->now();
   h->state.store(ReplicaState::kActive, std::memory_order_release);
@@ -330,8 +497,17 @@ std::uint64_t FleetManager::scale_down() {
   // here, so the drain only has to bounce the stragglers already holding
   // the old snapshot.
   std::atomic_store(&membership_, std::shared_ptr<const Membership>(next));
-  victim->batcher->begin_drain();
-  victim->batcher->stop();  // admitted work completes; dispatcher joins
+  if (victim->batcher) {
+    victim->batcher->begin_drain();
+    victim->batcher->stop();  // admitted work completes; dispatcher joins
+  } else {
+    // Remote drain: SIGTERM, the server answers admitted work and bounces
+    // new arrivals kDraining, then exits and is reaped.  Stragglers that
+    // outlive the grace fail into submit_remote's handler and re-route
+    // (the Draining state set above makes remove_dead_replica skip the
+    // admin lock we are holding — that's the deadlock-avoidance contract).
+    victim->remote->retire();
+  }
   victim->state.store(ReplicaState::kRetired, std::memory_order_release);
   record_event(/*spawned=*/false, *victim, next->epoch,
                next->replicas.size());
@@ -366,7 +542,16 @@ void FleetManager::stop() {
     std::atomic_store(&membership_, std::shared_ptr<const Membership>(std::move(empty)));
   }
   for (auto& h : handles) {
-    h->batcher->stop();
+    if (h->batcher) {
+      h->batcher->stop();
+    } else if (h->remote) {
+      // Draining first: in-flight failures during retire() re-route via
+      // remove_dead_replica, which must see a non-Active state and skip
+      // the admin lock (the membership is already empty — re-routed work
+      // answers kDraining, honoring the completion contract).
+      h->state.store(ReplicaState::kDraining, std::memory_order_release);
+      h->remote->retire();
+    }
     h->state.store(ReplicaState::kRetired, std::memory_order_release);
   }
 }
@@ -390,8 +575,10 @@ ReplicaSnapshot FleetManager::snapshot_of(const ReplicaHandle& h) const {
   s.generation = h.generation;
   s.state = h.state.load(std::memory_order_acquire);
   s.routed = h.routed.load(std::memory_order_relaxed);
-  s.queue_depth = h.batcher->queue_depth();
-  s.batch = h.batcher->counters();
+  s.queue_depth = depth_of(h);
+  // Batch counters live with the batcher, which for a remote replica is in
+  // the server process — zeros here, by design.
+  s.batch = h.batcher ? h.batcher->counters() : BatchCounters{};
   s.admission = h.stats->admission();
   s.latency = h.stats->summary();
   return s;
@@ -409,6 +596,11 @@ const InferenceSession& FleetManager::replica_session(std::size_t i) const {
   const auto m = std::atomic_load(&membership_);
   if (!m || i >= m->replicas.size()) {
     throw std::out_of_range("FleetManager::replica_session");
+  }
+  if (!m->replicas[i]->session) {
+    throw std::logic_error(
+        "FleetManager::replica_session: remote replica has no in-process "
+        "session");
   }
   return *m->replicas[i]->session;
 }
@@ -498,6 +690,7 @@ double FleetManager::aggregate_mean_batch_size() const {
   std::lock_guard<std::mutex> lk(admin_mu_);
   std::size_t requests = 0, batches = 0;
   for (const auto& h : all_handles_) {
+    if (!h->batcher) continue;  // remote: batches happen server-side
     const BatchCounters c = h->batcher->counters();
     requests += c.requests;
     batches += c.batches;
@@ -528,7 +721,9 @@ FleetSignals FleetManager::signals() const {
     delay_n += w.queue_delay_samples;
     // Queued-only (in-service excluded): the idle decision must see work
     // *waiting*, not the batch every healthy replica keeps in service.
-    s.queue_depth += h->batcher->queued();
+    // A remote replica's queue is server-side; wire calls in flight are
+    // the closest client-visible proxy.
+    s.queue_depth += h->batcher ? h->batcher->queued() : h->remote->inflight();
   }
   s.shed_rate = pooled.shed_rate();
   if (delay_n > 0) {
@@ -587,7 +782,7 @@ std::size_t FleetManager::total_queue_depth() const {
   const auto m = std::atomic_load(&membership_);
   if (!m) return 0;
   std::size_t depth = 0;
-  for (const auto& h : m->replicas) depth += h->batcher->queue_depth();
+  for (const auto& h : m->replicas) depth += depth_of(*h);
   return depth;
 }
 
@@ -596,7 +791,7 @@ std::size_t FleetManager::idle_replicas() const {
   if (!m) return 0;
   std::size_t idle = 0;
   for (const auto& h : m->replicas) {
-    if (h->batcher->queue_depth() == 0) ++idle;
+    if (depth_of(*h) == 0) ++idle;
   }
   return idle;
 }
@@ -612,7 +807,9 @@ void FleetManager::measure_first_windows() {
         continue;
       }
       if (now - h->activated_at < cfg_.stats_window) continue;
-      auto* c = dynamic_cast<CachedSource*>(&h->session->features());
+      auto* c = h->session
+                    ? dynamic_cast<CachedSource*>(&h->session->features())
+                    : nullptr;
       h->first_window_measured = true;
       if (!c) continue;
       const FeatureCacheStats st = c->stats();

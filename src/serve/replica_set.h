@@ -62,6 +62,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -73,6 +74,13 @@
 #include "serve/router.h"
 #include "serve/serve_api.h"
 #include "serve/server_stats.h"
+
+// The cross-process bridge (src/rpc/remote_replica.h).  Forward-declared:
+// the serve layer's compile-time surface stays transport-free, and only
+// replica_set.cpp links the rpc types in.
+namespace ppgnn::rpc {
+class RemoteReplica;
+}
 
 namespace ppgnn::serve {
 
@@ -135,6 +143,13 @@ struct FleetEvent {
   double first_window_hit_rate = -1.0;
 };
 
+// Recipe for one replica living in another process: spawn (or connect to)
+// a replica server and return its handle, or null on failure.  `ordinal`
+// is the fleet's never-reused generation id — use it for unique socket
+// paths / log names.  See rpc::spawn_replica_process.
+using RemoteSpawnFn =
+    std::function<std::shared_ptr<rpc::RemoteReplica>(std::size_t ordinal)>;
+
 class FleetManager {
  public:
   // Dynamic fleet: `builder` is the recipe for the initial
@@ -146,6 +161,21 @@ class FleetManager {
   // be non-null and should hold identical weights unless the caller wants
   // a heterogeneous fleet on purpose.
   FleetManager(std::vector<std::unique_ptr<InferenceSession>> sessions,
+               const FleetConfig& cfg);
+  // Cross-process fleet: every replica is a separate server process (or a
+  // remote endpoint) reached through ppgnn-wire; `spawn` is the recipe for
+  // the initial replicas and every later scale-up, so autoscaling works.
+  // Same submit()/scale/stats surface, with three remote-specific edges:
+  //
+  //  * a replica whose transport fails (crash, kill -9, network) is
+  //    removed from the membership and its in-flight parts re-route
+  //    against the fresh snapshot — possibly recomputed, never lost and
+  //    never double-answered;
+  //  * scale_down/stop retire a process replica by SIGTERM (the server
+  //    drains: admitted work answers, new work bounces kDraining);
+  //  * per-replica batch counters live in the server process, so
+  //    aggregate_batches()/mean_batch_size() cover local replicas only.
+  FleetManager(RemoteSpawnFn spawn, std::size_t initial_replicas,
                const FleetConfig& cfg);
   ~FleetManager();  // stop()
 
@@ -244,9 +274,13 @@ class FleetManager {
   struct ReplicaHandle {
     std::uint64_t generation = 0;
     std::atomic<ReplicaState> state{ReplicaState::kWarming};
+    // Exactly one of {session+batcher, remote} is set: a local replica
+    // owns its pipeline, a remote one owns the bridge to its process.
+    // (shared_ptr so the incomplete rpc type needs no header here.)
     std::unique_ptr<InferenceSession> session;
     std::unique_ptr<ServerStats> stats;
     std::unique_ptr<MicroBatcher> batcher;
+    std::shared_ptr<rpc::RemoteReplica> remote;
     std::atomic<std::size_t> routed{0};
     // Warm-up measurement bookkeeping (dynamically spawned replicas only).
     bool spawned_dynamic = false;
@@ -262,6 +296,7 @@ class FleetManager {
     HashRing ring;  // over the replicas' generations, in vector order
   };
 
+  void init_config(const FleetConfig& cfg);
   void init(std::vector<std::unique_ptr<InferenceSession>> sessions,
             const FleetConfig& cfg);
   // Places envelope parts `slots` on replicas (ring split under
@@ -269,8 +304,25 @@ class FleetManager {
   // admitted or terminally resolved.
   void place_parts(const std::shared_ptr<RequestState>& state,
                    std::vector<std::uint32_t> slots);
+  // Ships one sub-batch to a remote replica; its fail path (transport
+  // loss, draining server) removes the replica and re-routes through
+  // place_parts.
+  void submit_remote(const std::shared_ptr<ReplicaHandle>& h,
+                     const std::shared_ptr<RequestState>& state,
+                     std::vector<std::uint32_t> slots);
+  // Crash detector's acting half: unpublish `h` (fresh epoch, fresh ring)
+  // so re-routes cannot pick it again.  No-op for replicas that are not
+  // Active — a draining/retiring replica is already unpublished by the
+  // scaler, and taking admin_mu_ for it from a client I/O thread could
+  // deadlock against the retirement that is joining that very thread.
+  void remove_dead_replica(const std::shared_ptr<ReplicaHandle>& h);
   std::shared_ptr<ReplicaHandle> make_handle(
       std::unique_ptr<InferenceSession> session);
+  std::shared_ptr<ReplicaHandle> make_remote_handle(
+      std::shared_ptr<rpc::RemoteReplica> remote);
+  // Routing load signal: local queue depth, or in-flight wire calls for a
+  // remote replica.
+  static std::size_t depth_of(const ReplicaHandle& h);
   static HashRing ring_over(
       const std::vector<std::shared_ptr<ReplicaHandle>>& replicas);
   // Loads the current snapshot; throws after stop().
@@ -291,6 +343,7 @@ class FleetManager {
   FleetConfig cfg_;
   Precision precision_ = Precision::kFp32;
   std::unique_ptr<FleetBuilder> builder_;  // null for fixed fleets
+  RemoteSpawnFn remote_spawn_;             // set only for remote fleets
   std::unique_ptr<Router> router_;
 
   // Swapped atomically via the std::atomic_load/atomic_store(shared_ptr*)
