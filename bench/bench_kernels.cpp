@@ -1,14 +1,28 @@
 // Kernel microbenchmarks (google-benchmark): the primitive costs that the
-// hardware cost model abstracts — GEMM, SpMM, fused vs per-row gather —
-// measured for real on this machine.  The per-row vs fused assembly gap is
-// the CPU-side ground truth behind the paper's Section 4.1 optimization.
+// hardware cost model abstracts — GEMM, SpMM, fused vs per-row gather, and
+// the INT8 serving GEMM per kernel-ladder arm — measured for real on this
+// machine.  The per-row vs fused assembly gap is the CPU-side ground truth
+// behind the paper's Section 4.1 optimization.
+//
+// --ladder-json=PATH bypasses google-benchmark and appends one
+// kernel_ladder record per supported ISA arm into the JSON array at PATH
+// (BENCH_serving.json in CI) — the per-ISA GEMM table the fleetsim
+// calibration and sim::CpuGemmSpec::measured() consume.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "graph/dataset.h"
 #include "graph/normalize.h"
 #include "graph/spmm.h"
 #include "loader/host_loader.h"
+#include "tensor/cpu_features.h"
 #include "tensor/ops.h"
+#include "tensor/quant.h"
 #include "tensor/rng.h"
 
 namespace {
@@ -28,6 +42,33 @@ void BM_Gemm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+// The serving testbed's first Linear at a saturated micro-batch — the
+// kernel ladder's acceptance shape (AVX2 >= 1.5x SSE2 here).
+constexpr std::size_t kLadderM = 255, kLadderK = 96, kLadderN = 32;
+
+void BM_GemmS8Ladder(benchmark::State& state) {
+  const Isa arm = static_cast<Isa>(state.range(0));
+  if (!isa_supported(arm)) {
+    state.SkipWithError("arm not supported on this host");
+    return;
+  }
+  Rng rng(5);
+  const Tensor x = Tensor::normal({kLadderM, kLadderK}, rng, 0.1f, 1.f);
+  const Tensor w = Tensor::normal({kLadderN, kLadderK}, rng, 0.f, 1.f);
+  const QuantizedActs xq = quantize_acts_per_row(x);
+  const QuantizedMatrix wq = quantize_per_row(w, arm);
+  Tensor c;
+  gemm_s8_nt(xq, wq, c);  // warm the packed layouts and the pool
+  for (auto _ : state) {
+    gemm_s8_nt(xq, wq, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetLabel(isa_name(arm));
+  state.SetItemsProcessed(state.iterations() * 2 * kLadderM * kLadderK *
+                          kLadderN);
+}
+BENCHMARK(BM_GemmS8Ladder)->DenseRange(0, static_cast<int>(kNumIsa) - 1);
 
 void BM_Spmm(benchmark::State& state) {
   const auto ds = graph::make_dataset(graph::DatasetName::kProductsSim, 0.25);
@@ -92,6 +133,115 @@ void BM_GatherRows(benchmark::State& state) {
 }
 BENCHMARK(BM_GatherRows)->Arg(64)->Arg(512);
 
+// Self-timed per-ISA GEMM table, appended into the JSON array at `path`
+// (created when absent).  Record shape matches bench_serving_latency's
+// kernel_ladder section so fleetsim::parse_bench_json reads either
+// producer; "source" tells them apart.
+int run_ladder_json(const std::string& path) {
+  const Isa dispatched = active_isa();
+  Rng rng(5);
+  const Tensor x = Tensor::normal({kLadderM, kLadderK}, rng, 0.1f, 1.f);
+  const Tensor w = Tensor::normal({kLadderN, kLadderK}, rng, 0.f, 1.f);
+  const QuantizedActs xq = quantize_acts_per_row(x);
+
+  std::vector<std::string> records;
+  double sse2_gops = 0;
+  for (std::size_t i = 0; i < kNumIsa; ++i) {
+    const Isa arm = static_cast<Isa>(i);
+    char buf[384];
+    if (!isa_supported(arm)) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"section\":\"kernel_ladder\","
+                    "\"source\":\"bench_kernels\",\"isa\":\"%s\","
+                    "\"supported\":false,\"active\":false}",
+                    isa_name(arm));
+      records.emplace_back(buf);
+      std::printf("%-12s unsupported\n", isa_name(arm));
+      continue;
+    }
+    const QuantizedMatrix wq = quantize_per_row(w, arm);
+    Tensor c;
+    gemm_s8_nt(xq, wq, c);  // warm
+    const int reps = 600;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) gemm_s8_nt(xq, wq, c);
+    const double sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const double gops = 2.0 * static_cast<double>(kLadderM) * kLadderK *
+                        kLadderN * reps / sec / 1e9;
+    if (arm == Isa::kSse2) sse2_gops = gops;
+    const double vs = sse2_gops > 0 ? gops / sse2_gops : 0.0;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"section\":\"kernel_ladder\","
+                  "\"source\":\"bench_kernels\",\"isa\":\"%s\","
+                  "\"supported\":true,\"gemm_m\":%zu,\"gemm_k\":%zu,"
+                  "\"gemm_n\":%zu,\"gemm_gops\":%.2f,"
+                  "\"gemm_speedup_vs_sse2\":%.2f,\"active\":%s}",
+                  isa_name(arm), kLadderM, kLadderK, kLadderN, gops, vs,
+                  arm == dispatched ? "true" : "false");
+    records.emplace_back(buf);
+    std::printf("%-12s %8.1f Gop/s (%.2fx sse2)%s\n", isa_name(arm), gops,
+                vs, arm == dispatched ? "  [dispatched]" : "");
+  }
+
+  // Splice into the existing array right before its closing bracket so
+  // the ladder table lands in the same artifact the serving bench wrote.
+  std::string content;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      content = ss.str();
+    }
+  }
+  const auto close = content.rfind(']');
+  std::ostringstream out;
+  if (close == std::string::npos) {
+    out << "[\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      out << "  " << records[i] << (i + 1 < records.size() ? "," : "")
+          << "\n";
+    }
+    out << "]\n";
+  } else {
+    std::string head = content.substr(0, close);
+    while (!head.empty() &&
+           (head.back() == '\n' || head.back() == ' ' ||
+            head.back() == '\t')) {
+      head.pop_back();
+    }
+    out << head;
+    const bool has_records = head.rfind('}') != std::string::npos;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      out << (i == 0 && !has_records ? "" : ",") << "\n  " << records[i];
+    }
+    out << "\n]" << content.substr(close + 1);
+  }
+  std::ofstream of(path);
+  if (!of) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  of << out.str();
+  std::printf("appended %zu kernel_ladder records to %s\n", records.size(),
+              path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--ladder-json=", 0) == 0) {
+      return run_ladder_json(arg.substr(14));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

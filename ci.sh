@@ -23,6 +23,15 @@
 #                              tsan-autoscale CI leg runs this under the
 #                              race detector); the machine-relative gate
 #                              still calibrates this runner's own baseline
+#   PPGNN_ISA=scalar|sse2|avx2|avx512vnni
+#                              force one arm of the INT8 GEMM kernel ladder
+#                              (docs/kernels.md) for the whole gate: ctest,
+#                              the serving smokes and the benches all run
+#                              with the dispatch pinned to that arm.  If the
+#                              runner's CPU cannot execute the requested arm
+#                              the leg is skipped (exit 0) rather than
+#                              failed — hosted runners do not all ship
+#                              AVX-512.  The isa-* CI legs set this.
 #   SERVE_CROSSPROC=1          additionally smoke cross-process serving:
 #                              serve_cli --remote-replicas=2 spawns two
 #                              replica_server_cli processes behind the
@@ -57,6 +66,20 @@ fi
 echo "== configure + build (${BUILD_TYPE}${SANITIZE:+, sanitize=${SANITIZE}}) =="
 cmake -B build -S . "${CMAKE_FLAGS[@]}"
 cmake --build build -j "$(nproc)"
+
+if [[ -n "${PPGNN_ISA:-}" ]]; then
+  echo "== kernel ladder leg: forcing PPGNN_ISA=${PPGNN_ISA} =="
+  # --require exits 3 when the CPU lacks the arm's instructions.  Skip the
+  # leg cleanly in that case: a forced-arm leg on a runner that cannot
+  # execute the arm proves nothing (resolve_isa would silently degrade the
+  # dispatch to a lower arm, so every assertion would test that arm
+  # instead).
+  if ! ./build/isa_probe_cli --require "${PPGNN_ISA}"; then
+    echo "runner CPU lacks ${PPGNN_ISA}; skipping this forced-arm leg"
+    exit 0
+  fi
+  export PPGNN_ISA
+fi
 
 echo "== tier-1 tests =="
 (cd build && ctest --output-on-failure -j "$(nproc)")
@@ -141,6 +164,16 @@ echo "== serving bench (writes ${BENCH_JSON}) =="
 # slack-vs-FIFO miss-rate comparison lands in the JSON artifact as the
 # machine-relative "deadline_gate" record.
 ./build/bench_serving_latency --quick --json="${BENCH_JSON}"
+
+# bench_kernels is only built when google-benchmark is installed; when it
+# is, append the self-timed per-ISA GEMM table (the 255x96x32 serving
+# shape) into the same artifact so the calibration below — and anyone
+# pulling BENCH_serving.json — sees what each kernel-ladder arm measures
+# on this runner, not just the arm that happened to dispatch.
+if [[ -x build/bench_kernels ]]; then
+  echo "== kernel ladder GEMM table (appends to ${BENCH_JSON}) =="
+  ./build/bench_kernels --ladder-json="${BENCH_JSON}"
+fi
 
 echo "== fleetsim calibration smoke (writes ${SIM_JSON}) =="
 # The simulator must reproduce the staged ramp this leg just measured:

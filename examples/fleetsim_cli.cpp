@@ -275,6 +275,11 @@ int run_calibration_mode(const Args& a) {
               calib.single_replica_rps, calib.mean_batch,
               100 * calib.cache_hit_rate, calib.arms.size(),
               calib.ramp_seconds);
+  if (const auto* k = calib.dispatched_kernel()) {
+    std::printf("kernel: %s arm, %.1f Gop/s measured (per-ISA table: %zu "
+                "rows)\n",
+                k->isa.c_str(), k->gemm_gops, calib.kernels.size());
+  }
   const fleetsim::CalibrationTolerance tol;
   const auto report = fleetsim::run_calibration(calib, tol);
   std::printf("%-14s %12s %12s %7s %12s %12s %7s %8s %8s %s\n", "arm",

@@ -983,6 +983,11 @@ int main(int argc, char** argv) {
               a.policy.c_str(), a.shed_budget_ms, a.source.c_str(),
               a.source == "file" ? a.cache.c_str() : "n/a",
               serve::precision_name(prec));
+  if (prec == serve::Precision::kInt8) {
+    std::printf("kernel: int8 GEMM arm=%s (best supported=%s; PPGNN_ISA "
+                "forces)\n",
+                isa_name(active_isa()), isa_name(best_supported_isa()));
+  }
   if (!a.autoscale) {
     std::printf("envelope: %zu node(s)/request, deadline=%s, results=%s\n",
                 a.batch_nodes,

@@ -52,12 +52,28 @@ std::string event_signature_of(const std::string& rec) {
 
 }  // namespace
 
+const MeasuredKernel* BenchCalibration::dispatched_kernel() const {
+  for (const MeasuredKernel& k : kernels) {
+    if (k.active) return &k;
+  }
+  return kernels.empty() ? nullptr : &kernels.back();
+}
+
 BenchCalibration parse_bench_json(const std::string& json) {
   BenchCalibration c;
   bool have_config = false;
   std::istringstream lines(json);
   std::string line;
   while (std::getline(lines, line)) {
+    if (line.find("\"section\":\"kernel_ladder\"") != std::string::npos) {
+      MeasuredKernel k;
+      k.isa = find_string(line, "isa");
+      k.gemm_gops = find_number(line, "gemm_gops", 0);
+      k.serve_rps = find_number(line, "serve_rps", 0);
+      k.active = line.find("\"active\":true") != std::string::npos;
+      c.kernels.push_back(std::move(k));
+      continue;
+    }
     if (line.find("\"section\":\"autoscale_trace\"") == std::string::npos) {
       continue;
     }
@@ -153,6 +169,10 @@ CalibrationReport run_calibration(const BenchCalibration& calib,
 
   CalibrationReport report;
   report.model = model.params();
+  if (const MeasuredKernel* k = calib.dispatched_kernel()) {
+    report.kernel_isa = k->isa;
+    report.kernel_gemm_gops = k->gemm_gops;
+  }
   // Measured-over-analytic hit correction: the analytic formula assumes a
   // static top-C cache at steady state; the measured run was an LRU from
   // cold.  The ratio folds both gaps into one scale.
@@ -245,6 +265,8 @@ std::string CalibrationReport::to_json(
      << ",\"hit_us_per_row\":" << model.hit_us_per_row
      << ",\"miss_extra_us_per_row\":" << model.miss_extra_us_per_row
      << ",\"cores\":" << model.cores << "}"
+     << ",\"kernel\":{\"isa\":\"" << kernel_isa
+     << "\",\"gemm_gops\":" << kernel_gemm_gops << "}"
      << ",\"cache_hit_scale\":" << cache_hit_scale
      << ",\"tolerance\":{\"rps\":[" << tol.rps_lo << "," << tol.rps_hi
      << "],\"p99\":[" << tol.p99_lo << "," << tol.p99_hi

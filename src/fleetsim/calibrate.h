@@ -48,6 +48,16 @@ struct MeasuredArm {
   std::string event_signature;  // 'u'/'d' per spawn/retire, in order
 };
 
+// One measured kernel_ladder record (bench section 8): the micro GEMM
+// rate of one ladder arm on the serving Linear shape, plus whether that
+// arm is the one the serving run actually dispatched to.
+struct MeasuredKernel {
+  std::string isa;         // "scalar" | "sse2" | "avx2" | "avx512vnni"
+  double gemm_gops = 0;    // 2*m*k*n / seconds / 1e9 on the bench shape
+  double serve_rps = 0;    // end-to-end int8 serving throughput, forced arm
+  bool active = false;     // the arm the unforced dispatch picks here
+};
+
 // Everything the bench emitted that the replay needs.
 struct BenchCalibration {
   double single_replica_rps = 0;
@@ -72,6 +82,11 @@ struct BenchCalibration {
   double tick_ms = 50;
   std::size_t warm_keys = 512;
   std::vector<MeasuredArm> arms;
+  // Per-ISA GEMM table (kernel_ladder records), possibly empty when the
+  // bench predates the ladder.  dispatched_kernel() picks the active row.
+  std::vector<MeasuredKernel> kernels;
+  // The table row the serving run dispatched to, or nullptr.
+  const MeasuredKernel* dispatched_kernel() const;
 };
 
 // Parses the autoscale_trace records out of a BENCH_serving.json payload
@@ -101,6 +116,13 @@ struct CalibrationReport {
   double cache_hit_scale = 1.0;
   std::vector<ArmCheck> arms;
   bool pass = false;
+  // The dispatched kernel-ladder arm and its measured GEMM rate, carried
+  // from the bench's kernel_ladder table (empty isa when the bench had
+  // none).  This is the sim::CpuGemmSpec::measured() input: the cost
+  // model's INT8 rate comes from this record, not a hard-coded constant,
+  // so first-principles capacity plans track the kernel the fleet runs.
+  std::string kernel_isa;
+  double kernel_gemm_gops = 0;
   std::string to_json(const CalibrationTolerance& tol) const;
 };
 

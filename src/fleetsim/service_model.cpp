@@ -45,10 +45,17 @@ ServiceModel ServiceModel::from_cost_model(const sim::CostModel& cm,
                                            double cores) {
   const std::size_t row_bytes = shape.row_bytes();
   constexpr std::size_t kRefBatch = 64;
-  // Inference is the forward third of the train FLOP model; amortize the
-  // per-batch kernel-launch share out by evaluating at a reference batch.
-  const double fwd_batch_s =
-      sim::pp_compute_per_batch(cm, shape, kRefBatch) / 3.0;
+  // Replicas in this repo serve on the CPU: the forward pass is the INT8
+  // kernel-ladder GEMM, so price it off the machine's CpuGemmSpec (which
+  // arm the dispatch picked — or a measured kernel_ladder table entry —
+  // see sim/hardware.h) rather than the GPU training numbers.  Forward
+  // FLOPs are the forward third of the train model; evaluating one fused
+  // GEMM of that op count at a reference batch amortizes the per-call
+  // floor the way the real batcher does.
+  const double fwd_ops = shape.train_flops(kRefBatch) / 3.0;
+  const std::size_t eq_k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(fwd_ops / (2.0 * kRefBatch)));
+  const double fwd_batch_s = cm.cpu_gemm_s8(kRefBatch, eq_k, 1);
   ServiceModelParams p;
   p.hit_us_per_row =
       1e6 * (cm.host_assembly_fused(1, row_bytes) +

@@ -16,8 +16,10 @@
 //    calibration absorbs into the split).
 //
 //  * from_cost_model(): first principles via sim::CostModel — host gather
-//    bandwidth for resident rows, ssd_random_read for misses, a forward
-//    share of the PP-GNN FLOP model — for capacity planning on hardware
+//    bandwidth for resident rows, ssd_random_read for misses, and the
+//    forward share priced at the machine's INT8 kernel-ladder rate
+//    (sim::CpuGemmSpec: the dispatched arm's default table entry or a
+//    measured kernel_ladder record) — for capacity planning on hardware
 //    nobody has benchmarked yet (the MLSYSIM use case).
 //
 // Replicas in this repo are threads in one process, so N active replicas

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 #include "nn/linear.h"
 #include "nn/serialize.h"
+#include "tensor/quant.h"
 
 namespace ppgnn::serve {
 
@@ -55,6 +57,17 @@ InferenceSession::InferenceSession(std::unique_ptr<core::PpModel> model,
         "InferenceSession: precision=fp32 but the model holds quantized "
         "weights and would serve the int8 path");
   }
+}
+
+Isa InferenceSession::kernel_isa() {
+  if (precision_ == Precision::kInt8) {
+    std::vector<nn::Linear*> linears;
+    model_->collect_linears(linears);
+    for (const auto* l : linears) {
+      if (l->is_quantized()) return gemm_dispatch_arm(*l->quantized_weight());
+    }
+  }
+  return active_isa();
 }
 
 Tensor InferenceSession::infer_nodes(const std::vector<std::int64_t>& nodes) {
@@ -143,6 +156,19 @@ std::unique_ptr<InferenceSession> FleetBuilder::build(std::size_t ordinal) {
       }
       load_deployed_model(*donor_, checkpoint_path_);
       core::quantize_int8(*donor_);
+      // One line per fleet, not per replica: which rung of the SIMD
+      // ladder every session built from this donor will run on (the
+      // packed layout is chosen here, at quantize time, and shared).
+      std::vector<nn::Linear*> linears;
+      donor_->collect_linears(linears);
+      Isa arm = active_isa();
+      for (const auto* l : linears) {
+        if (l->is_quantized()) {
+          arm = gemm_dispatch_arm(*l->quantized_weight());
+          break;
+        }
+      }
+      std::fprintf(stderr, "[fleet] int8 kernel ladder: %s\n", isa_name(arm));
     }
     core::share_quantized_weights(*model, *donor_);
   }

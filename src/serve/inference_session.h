@@ -28,6 +28,7 @@
 
 #include "core/pp_model.h"
 #include "serve/feature_source.h"
+#include "tensor/cpu_features.h"
 #include "tensor/tensor.h"
 
 namespace ppgnn::serve {
@@ -61,6 +62,12 @@ class InferenceSession {
   core::PpModel& model() { return *model_; }
   FeatureSource& features() { return *features_; }
   Precision precision() const { return precision_; }
+  // The INT8 GEMM kernel arm this session's weights dispatch to
+  // (tensor/cpu_features.h): the packed layout's arm for a quantized
+  // model, active_isa() otherwise (what quantizing now would pick).
+  // serve_cli and the fleet build log surface this so a deployment
+  // records which rung of the SIMD ladder it runs on.
+  Isa kernel_isa();
 
  private:
   std::unique_ptr<core::PpModel> model_;

@@ -55,6 +55,21 @@ double CostModel::gpu_gemm(std::size_t m, std::size_t k, std::size_t n) const {
          std::max(flops / m_.gpu.fp32_flops, bytes / m_.gpu.mem_bandwidth);
 }
 
+double CostModel::cpu_gemm_s8(std::size_t m, std::size_t k,
+                              std::size_t n) const {
+  const double ops = 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+                     static_cast<double>(n);
+  // Ladder kernels run in-process on the shared pool: no kernel launch,
+  // just the framework-call floor, plus streaming the packed weights once
+  // (small batches are memory-bound on the weight panel, not the MACs).
+  const double bytes = static_cast<double>(k) * n +
+                       static_cast<double>(m) * k +
+                       4.0 * static_cast<double>(m) * n;
+  return m_.host.per_call_overhead_s +
+         std::max(ops / m_.cpu_gemm.int8_ops,
+                  bytes / m_.host.mem_bandwidth);
+}
+
 double CostModel::gpu_spmm(std::size_t nnz, std::size_t feat_dim) const {
   // Per edge: read one source row + accumulate — bytes dominate.
   const double bytes = static_cast<double>(nnz) *

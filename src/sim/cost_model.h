@@ -36,6 +36,10 @@ class CostModel {
   // -- GPU-side kernels ----------------------------------------------------
   double gpu_gather(std::size_t rows, std::size_t row_bytes) const;
   double gpu_gemm(std::size_t m, std::size_t k, std::size_t n) const;
+  // Host INT8 serving GEMM at the machine's CpuGemmSpec rate (the
+  // dispatched or measured kernel-ladder arm) — what the serving-tier
+  // service model prices forwards with, instead of GPU numbers.
+  double cpu_gemm_s8(std::size_t m, std::size_t k, std::size_t n) const;
   // Edge-parallel SpMM / attention aggregation, bytes-bound.
   double gpu_spmm(std::size_t nnz, std::size_t feat_dim) const;
 

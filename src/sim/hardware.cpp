@@ -2,6 +2,40 @@
 
 namespace ppgnn::sim {
 
+double CpuGemmSpec::default_ops(Isa isa) {
+  // Single-core sustained int8 GEMM rates at the serving shapes
+  // (255x96 -> 32), one rung apart on the ladder: pmaddwd retires two
+  // k-steps per lane over scalar's one, AVX2 doubles the lanes, vpdpbusd
+  // doubles the k-steps again on twice-wide registers.  The absolute
+  // scalar anchor (~6 Gop/s at -O2) is the placeholder a measured
+  // kernel_ladder record replaces.
+  switch (isa) {
+    case Isa::kSse2:
+      return 25.0e9;
+    case Isa::kAvx2:
+      return 50.0e9;
+    case Isa::kAvx512Vnni:
+      return 150.0e9;
+    case Isa::kScalar:
+    default:
+      return 6.0e9;
+  }
+}
+
+CpuGemmSpec CpuGemmSpec::dispatched() {
+  CpuGemmSpec s;
+  s.isa = active_isa();
+  s.int8_ops = default_ops(s.isa);
+  return s;
+}
+
+CpuGemmSpec CpuGemmSpec::measured(Isa isa, double gemm_gops) {
+  CpuGemmSpec s;
+  s.isa = isa;
+  s.int8_ops = gemm_gops > 0 ? gemm_gops * 1e9 : default_ops(isa);
+  return s;
+}
+
 MachineSpec MachineSpec::paper_server() {
   MachineSpec m;
   // RTX A6000: 38.7 TFLOPS fp32 peak; dense GEMM sustains ~50%; GDDR6
@@ -56,6 +90,13 @@ MachineSpec MachineSpec::paper_server() {
   m.ssd.rand_read_iops = 2.0e5;
   m.ssd.request_latency_s = 80e-6;
   m.ssd.parallel_streams = 4;
+
+  // Xeon 6248R is Cascade Lake: AVX-512 VNNI on every core.  The fixed
+  // default-table entry — NOT the local CPUID probe — keeps
+  // paper_server() deterministic across build hosts; CpuGemmSpec::
+  // dispatched()/measured() are the host-tracking alternatives.
+  m.cpu_gemm.isa = Isa::kAvx512Vnni;
+  m.cpu_gemm.int8_ops = CpuGemmSpec::default_ops(Isa::kAvx512Vnni);
   return m;
 }
 

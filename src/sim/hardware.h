@@ -8,6 +8,8 @@
 
 #include <cstddef>
 
+#include "tensor/cpu_features.h"
+
 namespace ppgnn::sim {
 
 constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
@@ -44,6 +46,31 @@ struct LinkSpec {
   double latency_s = 0;  // per-transfer setup (DMA descriptor etc.)
 };
 
+// The host-side INT8 serving GEMM (tensor/quant.h kernel ladder).  The
+// serving tier in this repo runs inference on CPU, so fleetsim's
+// first-principles service model prices the forward pass off THIS spec —
+// which arm the runtime dispatch picked and how fast it multiplies —
+// instead of the GPU training numbers above.  `int8_ops` follows the GEMM
+// convention 2*m*k*n ops per multiply: gemm seconds = 2*m*k*n / int8_ops.
+struct CpuGemmSpec {
+  Isa isa = Isa::kScalar;
+  double int8_ops = 6.0e9;  // sustained ops/s at the serving shapes
+
+  // Provenance-documented defaults per ladder arm: single-core sustained
+  // rates on the 255x96x32 serving Linear (bench_kernels; a Cascade
+  // Lake-class core).  Placeholders until a measured table overrides them
+  // — the deliberately conservative scalar floor is what a non-x86 host
+  // models.
+  static double default_ops(Isa isa);
+  // The arm the runtime dispatch would pick on THIS host (active_isa():
+  // CPUID probe or PPGNN_ISA), with the default table's rate — what
+  // fleetsim_cli uses when no measured BENCH_serving.json is at hand.
+  static CpuGemmSpec dispatched();
+  // A measured table entry: `gemm_gops` as benched (bench_serving_latency
+  // kernel_ladder records, 2*m*k*n/seconds/1e9) — the calibrated path.
+  static CpuGemmSpec measured(Isa isa, double gemm_gops);
+};
+
 struct StorageSpec {
   double seq_read_bandwidth = 0;   // bytes/s, large sequential reads
   double rand_read_iops = 0;       // 4 KiB random read operations/s
@@ -60,6 +87,7 @@ struct MachineSpec {
   HostSpec host;
   LinkSpec pcie;       // host <-> one GPU
   StorageSpec ssd;
+  CpuGemmSpec cpu_gemm;  // host INT8 serving GEMM (see CpuGemmSpec)
   // All-reduce efficiency factor for data-parallel gradient sync over the
   // PCIe fabric (ring all-reduce without NVLink).
   double allreduce_efficiency = 0.7;

@@ -10,8 +10,129 @@
 #endif
 
 #include "tensor/parallel.h"
+#include "tensor/quant_kernels.h"
 
 namespace ppgnn {
+
+namespace detail {
+
+// Scalar oracle (and every SIMD arm's tail handler): exact int32 dot over
+// the int8 codes in ascending t, then the canonical epilogue sequence.
+// Lives in this base-flags TU so a wider arm's TU (-mavx2/-mavx512*)
+// cannot recontract the float math into FMAs — bit-identity depends on
+// every arm running the same IEEE operation sequence.
+void gemm_rows_scalar(const GemmRowArgs& a, std::size_t j0, std::size_t j1) {
+  const QuantizedMatrix& w = *a.w;
+  const std::size_t k = w.cols;
+  for (std::size_t j = j0; j < j1; ++j) {
+    std::int32_t acc = 0;
+    const std::int8_t* wr = w.row(j);
+    for (std::size_t t = 0; t < k; ++t) {
+      acc += static_cast<std::int32_t>(a.xr[t]) *
+             static_cast<std::int32_t>(wr[t]);
+    }
+    float y = w.scales[j] * (a.xs * static_cast<float>(acc) +
+                             a.xoff * static_cast<float>(w.row_sums[j]));
+    if (a.bias) y += a.bias[j];
+    a.crow[j] = y;
+  }
+}
+
+// pmaddwd over the pair-packed layout: one instruction retires two
+// k-steps for four outputs, accumulating in int32 lanes.  The per-lane
+// accumulation order (ascending kk) gives the same exact int32 sum as the
+// scalar ascending-t loop — integer addition is associative — and the
+// SIMD epilogue performs the identical per-lane IEEE sequence, so this
+// arm is the bit-exact SSE2 oracle the wider arms are tested against.
+void gemm_rows_sse2(const GemmRowArgs& a, std::size_t j0, std::size_t j1) {
+#if defined(__SSE2__)
+  const QuantizedMatrix& w = *a.w;
+  const std::size_t k2 = (w.cols + 1) / 2;
+  const __m128 xs4 = _mm_set1_ps(a.xs);
+  const __m128 xo4 = _mm_set1_ps(a.xoff);
+  std::size_t j = j0;
+  for (; j + 4 <= j1; j += 4) {
+    __m128i acc = _mm_setzero_si128();
+    const std::int16_t* wp = w.packed.data() + j * 2;
+    for (std::size_t kk = 0; kk < k2; ++kk) {
+      const __m128i xb = _mm_set1_epi32(a.xw[kk]);
+      const __m128i wv = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(wp + kk * w.rows * 2));
+      acc = _mm_add_epi32(acc, _mm_madd_epi16(xb, wv));
+    }
+    const __m128 accf = _mm_cvtepi32_ps(acc);
+    const __m128 rs4 = _mm_cvtepi32_ps(_mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(w.row_sums.data() + j)));
+    const __m128 ws4 = _mm_loadu_ps(w.scales.data() + j);
+    __m128 out = _mm_mul_ps(
+        ws4, _mm_add_ps(_mm_mul_ps(xs4, accf), _mm_mul_ps(xo4, rs4)));
+    if (a.bias) out = _mm_add_ps(out, _mm_loadu_ps(a.bias + j));
+    _mm_storeu_ps(a.crow + j, out);
+  }
+  if (j < j1) gemm_rows_scalar(a, j, j1);
+#else
+  gemm_rows_scalar(a, j0, j1);
+#endif
+}
+
+bool have_sse2_kernel() {
+#if defined(__SSE2__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::size_t packed_x_words(Isa arm, std::size_t k) {
+  switch (arm) {
+    case Isa::kSse2:
+    case Isa::kAvx2:
+      return (k + 1) / 2;
+    case Isa::kAvx512Vnni:
+      return (k + 3) / 4;
+    case Isa::kScalar:
+      break;
+  }
+  return 0;
+}
+
+void pack_x_row(Isa arm, const std::int8_t* xr, std::size_t k,
+                std::int32_t* xw) {
+  if (arm == Isa::kSse2 || arm == Isa::kAvx2) {
+    // Two sign-extended int16 codes per word; the padding half of an odd
+    // k is 0, which zeroes its pmaddwd product against any weight code.
+    const std::size_t k2 = (k + 1) / 2;
+    for (std::size_t kk = 0; kk < k2; ++kk) {
+      const auto a = static_cast<std::int16_t>(xr[2 * kk]);
+      const std::int16_t b = (2 * kk + 1 < k)
+                                 ? static_cast<std::int16_t>(xr[2 * kk + 1])
+                                 : std::int16_t{0};
+      xw[kk] = static_cast<std::int32_t>(static_cast<std::uint16_t>(a)) |
+               (static_cast<std::int32_t>(static_cast<std::uint16_t>(b))
+                << 16);
+    }
+  } else if (arm == Isa::kAvx512Vnni) {
+    // Four unsigned (code + 128) bytes per word for the u8 x s8
+    // vpdpbusd; padding bytes pair against zero-padded weight quads, so
+    // their value cannot matter — 128 (= code 0 biased) keeps them in the
+    // same documented form as real codes.
+    const std::size_t k4 = (k + 3) / 4;
+    for (std::size_t kq = 0; kq < k4; ++kq) {
+      std::uint32_t word = 0;
+      for (std::size_t p = 0; p < 4; ++p) {
+        const std::size_t t = 4 * kq + p;
+        const std::uint32_t byte =
+            t < k ? static_cast<std::uint8_t>(
+                        static_cast<std::int32_t>(xr[t]) + 128)
+                  : 128u;
+        word |= byte << (8 * p);
+      }
+      xw[kq] = static_cast<std::int32_t>(word);
+    }
+  }
+}
+
+}  // namespace detail
 
 namespace {
 
@@ -23,76 +144,118 @@ inline int round_code(float v) {
   return static_cast<int>(v + std::copysign(0.5f, v));
 }
 
-// Shared inner kernel of both GEMM variants: one output row of
-// C[j] = ws[j] * (xs * dot(x, w_j) + xoff * row_sum(w_j)) (+ bias[j]).
-// The symmetric variant passes xoff = 0 and the offset term vanishes.
+using RowKernel = void (*)(const detail::GemmRowArgs&, std::size_t,
+                           std::size_t);
+
+// The kernel that reads w's packed layout, degraded to scalar when this
+// host cannot execute the layout's arm (a matrix packed on or for a wider
+// machine still answers bit-identically — the scalar arm reads the raw
+// codes, which every matrix carries).
+RowKernel kernel_for(const QuantizedMatrix& w, Isa* arm_out) {
+  Isa arm = w.packed_for;
+  if (!isa_supported(arm)) arm = Isa::kScalar;
+  switch (arm) {
+    case Isa::kSse2:
+      if (!w.packed.empty()) {
+        *arm_out = arm;
+        return &detail::gemm_rows_sse2;
+      }
+      break;
+    case Isa::kAvx2:
+      if (!w.packed.empty()) {
+        *arm_out = arm;
+        return &detail::gemm_rows_avx2;
+      }
+      break;
+    case Isa::kAvx512Vnni:
+      if (!w.packed_quad.empty()) {
+        *arm_out = arm;
+        return &detail::gemm_rows_avx512vnni;
+      }
+      break;
+    case Isa::kScalar:
+      break;
+  }
+  *arm_out = Isa::kScalar;
+  return &detail::gemm_rows_scalar;
+}
+
+// Shared GEMM driver for both activation encodings.  Accumulate in int32
+// and dequantize once at the epilogue (both scales are constant over the
+// k-sum by construction: per-sample x per-output-channel).
 //
-// SIMD path (x86-64 baseline — SSE2 is architectural there): x codes are
-// pre-combined into int32 k-pairs, broadcast, and multiplied against the
-// pair-packed weights with pmaddwd, which retires two k-steps for four
-// outputs per instruction and accumulates in int32 lanes — the fixed
-// accumulation order is per-lane and identical for every row, so batched
-// inference stays bit-deterministic.  Elsewhere: plain int16 dot per
-// output.
-inline void gemm_s8_row(const std::int8_t* xr, float xs, float xoff,
-                        const QuantizedMatrix& w, const float* bias_p,
-                        std::int32_t* xp_scratch, float* crow) {
-  const std::size_t k = w.cols, n = w.rows;
-  const std::size_t k2 = (k + 1) / 2;
-  std::size_t j = 0;
-#if defined(__SSE2__)
-  for (std::size_t kk = 0; kk + 1 < k2; ++kk) {
-    const auto a = static_cast<std::int16_t>(xr[2 * kk]);
-    const auto b = static_cast<std::int16_t>(xr[2 * kk + 1]);
-    xp_scratch[kk] =
-        static_cast<std::int32_t>(static_cast<std::uint16_t>(a)) |
-        (static_cast<std::int32_t>(static_cast<std::uint16_t>(b)) << 16);
+// Iteration space: a 2-D grid of (output-row block) x (batch-row block)
+// tasks on the shared pool, j-major, so one worker sweeps consecutive
+// batch blocks against the same weight block — the replica's shared
+// weight slab streams through L2 once per batch instead of once per
+// sample, and a SMALL batch against a WIDE layer still fans out over
+// output blocks instead of serializing on one thread (m=1 used to pin the
+// whole dispatch to one worker).  Any partition is bit-identical: each
+// output's accumulation order is fixed inside the row kernels.
+template <typename ScaleFn, typename OffFn>
+void gemm_s8_impl(std::size_t m, std::size_t k, std::size_t n,
+                  const std::int8_t* xdata, ScaleFn xscale, OffFn xoff,
+                  const QuantizedMatrix& w, Tensor& c, const Tensor* bias) {
+  if (c.ndim() != 2 || c.rows() != m || c.cols() != n) {
+    c = Tensor({m, n});
   }
-  if (k2 > 0) {  // last pair: second element may be padding
-    const auto a = static_cast<std::int16_t>(xr[2 * (k2 - 1)]);
-    const std::int16_t b =
-        (2 * (k2 - 1) + 1 < k)
-            ? static_cast<std::int16_t>(xr[2 * (k2 - 1) + 1])
-            : std::int16_t{0};
-    xp_scratch[k2 - 1] =
-        static_cast<std::int32_t>(static_cast<std::uint16_t>(a)) |
-        (static_cast<std::int32_t>(static_cast<std::uint16_t>(b)) << 16);
+  if (m == 0 || n == 0) return;
+  const float* bias_p = bias ? bias->data() : nullptr;
+
+  Isa arm = Isa::kScalar;
+  const RowKernel kernel = kernel_for(w, &arm);
+  const std::size_t words = detail::packed_x_words(arm, k);
+
+  // Pack the whole batch's activation words once; every (jb, mb) task
+  // re-reads them, so packing per task would redo the work njb times.
+  std::vector<std::int32_t> xw(words * m);
+  if (words > 0) {
+    parallel_for(
+        m,
+        [&](std::size_t i0, std::size_t i1) {
+          for (std::size_t i = i0; i < i1; ++i) {
+            detail::pack_x_row(arm, xdata + i * k, k, xw.data() + i * words);
+          }
+        },
+        64);
   }
-  const __m128 xs4 = _mm_set1_ps(xs);
-  const __m128 xo4 = _mm_set1_ps(xoff);
-  for (; j + 4 <= n; j += 4) {
-    __m128i acc = _mm_setzero_si128();
-    const std::int16_t* wp = w.packed.data() + j * 2;
-    for (std::size_t kk = 0; kk < k2; ++kk) {
-      const __m128i xb = _mm_set1_epi32(xp_scratch[kk]);
-      const __m128i wv = _mm_loadu_si128(
-          reinterpret_cast<const __m128i*>(wp + kk * n * 2));
-      acc = _mm_add_epi32(acc, _mm_madd_epi16(xb, wv));
-    }
-    const __m128 accf = _mm_cvtepi32_ps(acc);
-    const __m128 rs4 = _mm_cvtepi32_ps(_mm_loadu_si128(
-        reinterpret_cast<const __m128i*>(w.row_sums.data() + j)));
-    const __m128 ws4 = _mm_loadu_ps(w.scales.data() + j);
-    __m128 out = _mm_mul_ps(
-        ws4, _mm_add_ps(_mm_mul_ps(xs4, accf), _mm_mul_ps(xo4, rs4)));
-    if (bias_p) out = _mm_add_ps(out, _mm_loadu_ps(bias_p + j));
-    _mm_storeu_ps(crow + j, out);
+
+  // 64 outputs x k codes of pair-pack is ~12 KB at the serving shape —
+  // comfortably L2-resident next to the activation words.  The batch
+  // block starts big (stream weights once) and halves until the grid can
+  // feed every pool thread.
+  const std::size_t kJBlock = 64;
+  const std::size_t njb = (n + kJBlock - 1) / kJBlock;
+  std::size_t mblock = 128;
+  const std::size_t threads = global_pool().size();
+  while (mblock > 16 && njb * ((m + mblock - 1) / mblock) < threads) {
+    mblock /= 2;
   }
-#else
-  (void)xp_scratch;
-#endif
-  for (; j < n; ++j) {  // tail outputs (and the non-SSE2 whole row)
-    std::int32_t acc = 0;
-    const std::int16_t* wr = w.row16(j);
-    for (std::size_t t = 0; t < k; ++t) {
-      acc += static_cast<std::int32_t>(xr[t]) *
-             static_cast<std::int32_t>(wr[t]);
-    }
-    float y = w.scales[j] * (xs * static_cast<float>(acc) +
-                             xoff * static_cast<float>(w.row_sums[j]));
-    if (bias_p) y += bias_p[j];
-    crow[j] = y;
-  }
+  const std::size_t nmb = (m + mblock - 1) / mblock;
+
+  parallel_for(
+      njb * nmb,
+      [&](std::size_t t0, std::size_t t1) {
+        for (std::size_t t = t0; t < t1; ++t) {
+          const std::size_t jb = t / nmb, mb = t % nmb;
+          const std::size_t j0 = jb * kJBlock;
+          const std::size_t j1 = std::min(n, j0 + kJBlock);
+          const std::size_t i0 = mb * mblock;
+          const std::size_t i1 = std::min(m, i0 + mblock);
+          detail::GemmRowArgs a;
+          a.w = &w;
+          a.bias = bias_p;
+          for (std::size_t i = i0; i < i1; ++i) {
+            a.xr = xdata + i * k;
+            a.xw = words ? xw.data() + i * words : nullptr;
+            a.xs = xscale(i);
+            a.xoff = xoff(i);
+            a.crow = c.row(i);
+            kernel(a, j0, j1);
+          }
+        }
+      },
+      1);
 }
 
 }  // namespace
@@ -130,6 +293,10 @@ void dequantize_row_s8(const std::int8_t* src, std::size_t n, float scale,
 }
 
 QuantizedMatrix quantize_per_row(const Tensor& m) {
+  return quantize_per_row(m, active_isa());
+}
+
+QuantizedMatrix quantize_per_row(const Tensor& m, Isa arm) {
   if (m.ndim() != 2) {
     throw std::invalid_argument("quantize_per_row: expected 2-D, got " +
                                 m.shape_str());
@@ -140,27 +307,36 @@ QuantizedMatrix quantize_per_row(const Tensor& m) {
   q.data.resize(q.rows * q.cols);
   q.scales.resize(q.rows);
   q.row_sums.resize(q.rows);
-  q.data16.resize(q.rows * q.cols);
   parallel_for(q.rows, [&](std::size_t i0, std::size_t i1) {
     for (std::size_t i = i0; i < i1; ++i) {
       quantize_row_s8(m.row(i), q.cols, q.row(i), &q.scales[i]);
       std::int32_t sum = 0;
       const std::int8_t* codes = q.row(i);
-      std::int16_t* wide = q.data16.data() + i * q.cols;
-      for (std::size_t t = 0; t < q.cols; ++t) {
-        sum += codes[t];
-        wide[t] = codes[t];
-      }
+      for (std::size_t t = 0; t < q.cols; ++t) sum += codes[t];
       q.row_sums[i] = sum;
     }
   });
-  // Pair-packed layout for the pmaddwd kernel (see quant.h); zero-padding
-  // the odd k element keeps the dot exact.
-  const std::size_t k2 = (q.cols + 1) / 2;
-  q.packed.assign(k2 * q.rows * 2, 0);
-  for (std::size_t j = 0; j < q.rows; ++j) {
-    for (std::size_t t = 0; t < q.cols; ++t) {
-      q.packed[((t / 2) * q.rows + j) * 2 + (t & 1)] = q.row16(j)[t];
+  // Build ONLY the layout the dispatched arm reads (quant.h): the scalar
+  // arm reads the raw codes and needs none.  Zero-padding the k remainder
+  // keeps every packed dot exact.
+  q.packed_for = arm;
+  if (arm == Isa::kSse2 || arm == Isa::kAvx2) {
+    const std::size_t k2 = (q.cols + 1) / 2;
+    q.packed.assign(k2 * q.rows * 2, 0);
+    for (std::size_t j = 0; j < q.rows; ++j) {
+      const std::int8_t* codes = q.row(j);
+      for (std::size_t t = 0; t < q.cols; ++t) {
+        q.packed[((t / 2) * q.rows + j) * 2 + (t & 1)] = codes[t];
+      }
+    }
+  } else if (arm == Isa::kAvx512Vnni) {
+    const std::size_t k4 = (q.cols + 3) / 4;
+    q.packed_quad.assign(k4 * q.rows * 4, 0);
+    for (std::size_t j = 0; j < q.rows; ++j) {
+      const std::int8_t* codes = q.row(j);
+      for (std::size_t t = 0; t < q.cols; ++t) {
+        q.packed_quad[((t / 4) * q.rows + j) * 4 + (t & 3)] = codes[t];
+      }
     }
   }
   return q;
@@ -228,22 +404,11 @@ void gemm_s8_nt(const QuantizedMatrix& x, const QuantizedMatrix& w, Tensor& c,
   if (bias && bias->size() != w.rows) {
     throw std::invalid_argument("gemm_s8_nt: bias length mismatch");
   }
-  const std::size_t m = x.rows, k = x.cols, n = w.rows;
-  if (c.ndim() != 2 || c.rows() != m || c.cols() != n) {
-    c = Tensor({m, n});
-  }
-  const float* bias_p = bias ? bias->data() : nullptr;
-  // Accumulate in int32 and dequantize once at the epilogue (both scales
-  // are constant over the k-sum by construction: per-sample x
-  // per-output-channel).  Symmetric codes mean a zero offset.
-  parallel_for(m, [&](std::size_t i0, std::size_t i1) {
-    std::vector<std::int32_t> xp((k + 1) / 2);
-    for (std::size_t i = i0; i < i1; ++i) {
-      gemm_s8_row(x.row(i), x.scales[i], 0.f, w, bias_p, xp.data(),
-                  c.row(i));
-    }
-  });
-  (void)n;
+  // Symmetric codes mean a zero offset.
+  gemm_s8_impl(
+      x.rows, x.cols, w.rows, x.data.data(),
+      [&](std::size_t i) { return x.scales[i]; },
+      [](std::size_t) { return 0.f; }, w, c, bias);
 }
 
 void gemm_s8_nt(const QuantizedActs& x, const QuantizedMatrix& w, Tensor& c,
@@ -258,22 +423,19 @@ void gemm_s8_nt(const QuantizedActs& x, const QuantizedMatrix& w, Tensor& c,
     throw std::invalid_argument(
         "gemm_s8_nt: weight matrix lacks row sums (quantize_per_row it)");
   }
-  const std::size_t m = x.rows, k = x.cols, n = w.rows;
-  if (c.ndim() != 2 || c.rows() != m || c.cols() != n) {
-    c = Tensor({m, n});
-  }
-  const float* bias_p = bias ? bias->data() : nullptr;
   // sum_k (xoff + q*xs) * (wq*ws) = ws*(xs*acc + xoff*sum_k(wq)): the
   // offset correction rides the precomputed weight-code row sums, so
   // asymmetric activations cost one extra FMA per output.
-  parallel_for(m, [&](std::size_t i0, std::size_t i1) {
-    std::vector<std::int32_t> xp((k + 1) / 2);
-    for (std::size_t i = i0; i < i1; ++i) {
-      gemm_s8_row(x.row(i), x.scales[i], x.offsets[i], w, bias_p, xp.data(),
-                  c.row(i));
-    }
-  });
-  (void)n;
+  gemm_s8_impl(
+      x.rows, x.cols, w.rows, x.data.data(),
+      [&](std::size_t i) { return x.scales[i]; },
+      [&](std::size_t i) { return x.offsets[i]; }, w, c, bias);
+}
+
+Isa gemm_dispatch_arm(const QuantizedMatrix& w) {
+  Isa arm = Isa::kScalar;
+  kernel_for(w, &arm);
+  return arm;
 }
 
 }  // namespace ppgnn

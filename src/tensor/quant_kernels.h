@@ -1,0 +1,83 @@
+// Internal interface between the INT8 GEMM dispatcher (quant.cpp) and the
+// per-arm kernels of the ladder (docs/kernels.md).  Not installed API —
+// tests and benches that need a specific arm go through the public
+// quantize_per_row(m, isa) / gemm_s8_nt dispatch instead.
+//
+// Contract every arm must meet (the bit-identity contract):
+//
+//  * the int32 accumulator for output j is EXACTLY sum_t x[t] * w[j][t]
+//    over the real k (padding in a packed layout must contribute zero);
+//  * the fp32 epilogue performs, per output, exactly this IEEE sequence:
+//        t1 = xs * float(acc); t2 = xoff * float(row_sum);
+//        y  = ws * (t1 + t2);  y += bias            (when bias present)
+//    with no fused multiply-add and no reassociation.  The wide arms use
+//    explicit mul/add intrinsics; scalar tails are OUT-OF-LINE in the
+//    base-flags translation unit (quant.cpp) so a -mavx512f TU cannot
+//    recontract them into FMAs.
+//
+// Given both, every arm is bit-identical to the scalar oracle for any
+// partition of the output range — which is what lets the dispatcher block
+// the iteration space freely for cache locality and parallelism.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ppgnn {
+
+enum class Isa : std::uint8_t;
+struct QuantizedMatrix;
+
+namespace detail {
+
+// One sample row of the batch against outputs [j0, j1) of w.
+struct GemmRowArgs {
+  const std::int8_t* xr = nullptr;   // k int8 activation codes
+  const std::int32_t* xw = nullptr;  // packed words (arm layout); null for
+                                     // the scalar arm
+  float xs = 0.f;                    // activation row scale
+  float xoff = 0.f;                  // activation row offset (0 = symmetric)
+  const QuantizedMatrix* w = nullptr;
+  const float* bias = nullptr;       // null = no bias
+  float* crow = nullptr;             // output row [n]
+};
+
+// Scalar oracle: exact int32 dot over the int8 codes, ascending t.  Also
+// the tail handler for every SIMD arm (leftover outputs after the widest
+// whole step) and the fallback when a matrix's packed layout has no
+// runnable kernel on this host.
+void gemm_rows_scalar(const GemmRowArgs& a, std::size_t j0, std::size_t j1);
+// pmaddwd over the pair-packed layout, 4 outputs per step.
+void gemm_rows_sse2(const GemmRowArgs& a, std::size_t j0, std::size_t j1);
+// Same pair-packed layout, vpmaddwd ymm: 8 outputs per step.  Falls back
+// to the sse2 kernel for the 4-wide remainder (identical layout, identical
+// per-output arithmetic).
+void gemm_rows_avx2(const GemmRowArgs& a, std::size_t j0, std::size_t j1);
+// vpdpbusd over the quad-packed layout, 16 outputs per step.  Activations
+// are biased to unsigned (x + 128) for the u8 x s8 instruction and the
+// exact bias term 128 * row_sum is subtracted in int32 before the
+// epilogue, so the accumulator still equals the scalar oracle's bit for
+// bit (valid while k * 32385 fits int32 — k < 2^16, far beyond any layer
+// here; the scalar oracle overflows around the same magnitude anyway).
+void gemm_rows_avx512vnni(const GemmRowArgs& a, std::size_t j0,
+                          std::size_t j1);
+
+// Which arms this binary contains (compile-time: architecture + the
+// per-TU -m flags CMake sets for the wide arms).
+bool have_sse2_kernel();
+bool have_avx2_kernel();
+bool have_avx512vnni_kernel();
+
+// Packed-activation words per sample row for `arm` at inner dim k:
+// (k+1)/2 int32 pair words for sse2/avx2, (k+3)/4 quad words for
+// avx512vnni, 0 for scalar.
+std::size_t packed_x_words(Isa arm, std::size_t k);
+// Packs one row of activation codes into the arm's word layout.  Pair
+// words hold two sign-extended int16 codes; quad words hold four unsigned
+// (code + 128) bytes.  Padding contributes zero against the zero-padded
+// weight layouts.
+void pack_x_row(Isa arm, const std::int8_t* xr, std::size_t k,
+                std::int32_t* xw);
+
+}  // namespace detail
+}  // namespace ppgnn

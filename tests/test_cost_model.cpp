@@ -170,5 +170,56 @@ TEST(MpCompute, LayerMismatchThrows) {
   EXPECT_THROW(mp_compute_per_batch(cm, model, b), std::invalid_argument);
 }
 
+// --- CPU INT8 serving GEMM spec (the kernel-ladder table) -------------------
+
+TEST(CpuGemmSpec, DefaultTableClimbsTheLadder) {
+  // Each arm strictly faster than the rung below — the ordering the
+  // bench's measured table must also exhibit for the acceptance gate.
+  EXPECT_LT(CpuGemmSpec::default_ops(Isa::kScalar),
+            CpuGemmSpec::default_ops(Isa::kSse2));
+  EXPECT_LT(CpuGemmSpec::default_ops(Isa::kSse2),
+            CpuGemmSpec::default_ops(Isa::kAvx2));
+  EXPECT_LT(CpuGemmSpec::default_ops(Isa::kAvx2),
+            CpuGemmSpec::default_ops(Isa::kAvx512Vnni));
+}
+
+TEST(CpuGemmSpec, MeasuredOverridesDefaultsAndGuardsZero) {
+  const CpuGemmSpec m = CpuGemmSpec::measured(Isa::kAvx2, 72.5);
+  EXPECT_EQ(m.isa, Isa::kAvx2);
+  EXPECT_DOUBLE_EQ(m.int8_ops, 72.5e9);
+  // A missing/zero measurement degrades to the arm's table default.
+  const CpuGemmSpec z = CpuGemmSpec::measured(Isa::kSse2, 0);
+  EXPECT_DOUBLE_EQ(z.int8_ops, CpuGemmSpec::default_ops(Isa::kSse2));
+}
+
+TEST(CpuGemmSpec, DispatchedTracksTheRuntimeProbe) {
+  const CpuGemmSpec d = CpuGemmSpec::dispatched();
+  EXPECT_EQ(d.isa, active_isa());
+  EXPECT_TRUE(isa_supported(d.isa));
+  EXPECT_DOUBLE_EQ(d.int8_ops, CpuGemmSpec::default_ops(d.isa));
+}
+
+TEST(CpuGemmSpec, PaperServerPinsVnniDeterministically) {
+  // Xeon 6248R (Cascade Lake) — fixed table entry, never the local probe,
+  // so the paper machine model is identical on every build host.
+  const MachineSpec m = MachineSpec::paper_server();
+  EXPECT_EQ(m.cpu_gemm.isa, Isa::kAvx512Vnni);
+  EXPECT_DOUBLE_EQ(m.cpu_gemm.int8_ops,
+                   CpuGemmSpec::default_ops(Isa::kAvx512Vnni));
+}
+
+TEST(CpuGemmSpec, FasterArmShrinksGemmAndServiceCost) {
+  MachineSpec slow = MachineSpec::paper_server();
+  slow.cpu_gemm = CpuGemmSpec::measured(Isa::kScalar, 6.0);
+  MachineSpec fast = slow;
+  fast.cpu_gemm = CpuGemmSpec::measured(Isa::kAvx512Vnni, 150.0);
+  const CostModel cm_slow(slow), cm_fast(fast);
+  // Big enough that the MACs dominate the per-call floor and bandwidth.
+  EXPECT_GT(cm_slow.cpu_gemm_s8(4096, 96, 512),
+            2.0 * cm_fast.cpu_gemm_s8(4096, 96, 512));
+  EXPECT_GT(cm_slow.cpu_gemm_s8(256, 96, 32),
+            cm_fast.cpu_gemm_s8(256, 96, 32));
+}
+
 }  // namespace
 }  // namespace ppgnn::sim

@@ -285,6 +285,10 @@ TEST(Calibrate, ParsesBenchRecordsAndStripsInitialSpawns) {
   const std::string json =
       "[\n"
       "  {\"section\":\"serving\",\"rps\":123}\n"
+      "  {\"section\":\"kernel_ladder\",\"isa\":\"sse2\",\"gemm_gops\":24.0,"
+      "\"serve_rps\":800,\"active\":false}\n"
+      "  {\"section\":\"kernel_ladder\",\"isa\":\"avx512vnni\","
+      "\"gemm_gops\":140.5,\"serve_rps\":1500,\"active\":true}\n"
       "  {\"section\":\"autoscale_trace\",\"fleet\":\"fixed-min(1)\","
       "\"autoscale\":false,\"min_replicas\":1,\"max_replicas\":1,"
       "\"offered_mean_rps\":1200,\"answered_rps\":900,"
@@ -333,9 +337,37 @@ TEST(Calibrate, ParsesBenchRecordsAndStripsInitialSpawns) {
   EXPECT_EQ(c.arms[0].event_signature, "");
   EXPECT_TRUE(c.arms[1].autoscale);
   EXPECT_EQ(c.arms[1].event_signature, "ud");
+  // The per-ISA GEMM table rides along; the active row is the dispatched
+  // kernel the cost model calibrates its INT8 rate from.
+  ASSERT_EQ(c.kernels.size(), 2u);
+  EXPECT_EQ(c.kernels[0].isa, "sse2");
+  EXPECT_DOUBLE_EQ(c.kernels[0].gemm_gops, 24.0);
+  EXPECT_FALSE(c.kernels[0].active);
+  ASSERT_NE(c.dispatched_kernel(), nullptr);
+  EXPECT_EQ(c.dispatched_kernel()->isa, "avx512vnni");
+  EXPECT_DOUBLE_EQ(c.dispatched_kernel()->gemm_gops, 140.5);
+  EXPECT_DOUBLE_EQ(c.dispatched_kernel()->serve_rps, 1500);
 
   EXPECT_THROW(parse_bench_json("[{\"section\":\"serving\"}]"),
                std::runtime_error);
+}
+
+TEST(ServiceModel, FromCostModelTracksTheKernelLadderArm) {
+  // A machine whose INT8 GEMM runs on a faster ladder arm must model a
+  // cheaper per-row forward — first-principles capacity plans follow the
+  // dispatched kernel instead of a hard-coded constant.
+  sim::MachineSpec slow = sim::MachineSpec::paper_server();
+  slow.cpu_gemm = sim::CpuGemmSpec::measured(Isa::kScalar, 6.0);
+  sim::MachineSpec fast = slow;
+  fast.cpu_gemm = sim::CpuGemmSpec::measured(Isa::kAvx512Vnni, 150.0);
+  sim::PpModelShape shape;
+  const auto m_slow =
+      ServiceModel::from_cost_model(sim::CostModel(slow), shape, 1);
+  const auto m_fast =
+      ServiceModel::from_cost_model(sim::CostModel(fast), shape, 1);
+  EXPECT_GT(m_slow.params().hit_us_per_row, m_fast.params().hit_us_per_row);
+  EXPECT_GT(m_fast.replica_capacity_rps(64, 1.0),
+            m_slow.replica_capacity_rps(64, 1.0));
 }
 
 TEST(Calibrate, EditDistance) {
