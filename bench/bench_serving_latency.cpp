@@ -1082,13 +1082,41 @@ int main(int argc, char** argv) {
     // on threads in this process; the cross-process arm spawns two
     // replica_server_cli children next to this binary and answers over
     // Unix sockets in ppgnn-wire.  The ratio between the two rates is the
-    // whole RPC tax, and the deploy gate is <= 2x.
-    const auto xp_stream = make_stream(quick ? 20000 : 60000, 43);
+    // whole RPC tax; with the pooled writev fast path the deploy gate is
+    // <= 1.5x (target 1.4x), and the record carries the transport counters
+    // that justify it: frames coalesced per writev, bytes per syscall,
+    // pool hit rate, allocations per frame.
+    // Not shrunk under --quick: this section's record is GATED, and on a
+    // small box the 20k-request window's pass-to-pass variance (the
+    // in-process arm alone swings tens of percent) is wider than the
+    // 1.4x-vs-1.5x margin being asserted.  The 60k window is the shortest
+    // that measures the tax instead of the scheduler.
+    const auto xp_stream = make_stream(60000, 43);
+    // Discarded steady-state warmup, identical for both arms.  The gate
+    // compares serving rates, not cold starts: by section 7 this process
+    // has six sections of warm page cache and allocator arenas behind it,
+    // while the cross arm's children are freshly exec'd (checkpoint load,
+    // cold LRU) — timing from the first request hands the in-process arm
+    // a head start that reads as transport tax.  A short untimed drive on
+    // the same fleet instance warms both arms to the state the ratio is
+    // meant to price.  Sized to cycle the whole key space once so the LRU
+    // reaches its steady hit rate, not a half-warm transient.
+    const auto warm_stream = make_stream(20000, 44);
 
-    auto local = make_fleet(tb, tb.store_dir(), ckpt, 2,
-                            serve::RoutingPolicy::kRoundRobin);
-    const auto in_proc = drive_closed(*local, xp_stream, clients, window);
-    local->set->stop();
+    // Each arm runs three times and keeps its fastest pass.  The gate is a
+    // RATIO of two absolute rates measured back to back on a shared host,
+    // so a scheduler hiccup landing on any single pass moves the ratio by
+    // more than the transport tax being measured; best-of-N strips that
+    // worst-case interference from both sides symmetrically.
+    SaturationPoint in_proc;
+    for (int pass = 0; pass < 3; ++pass) {
+      auto local = make_fleet(tb, tb.store_dir(), ckpt, 2,
+                              serve::RoutingPolicy::kRoundRobin);
+      drive_closed(*local, warm_stream, clients, window);
+      const auto p = drive_closed(*local, xp_stream, clients, window);
+      local->set->stop();
+      if (p.achieved_rps > in_proc.achieved_rps) in_proc = p;
+    }
 
     // The children rebuild the same stack server-side: file store plus an
     // LRU sized to this bench's byte budget (make_fleet's kCacheBudgetBytes)
@@ -1115,24 +1143,34 @@ int main(int argc, char** argv) {
     serve::FleetConfig fc;
     fc.batch.max_batch_size = 128;
     fc.batch.max_delay = std::chrono::microseconds(500);
-    serve::FleetManager remote(
-        [&scfg](std::size_t ordinal) {
-          std::string err;
-          auto rep = rpc::spawn_replica_process(scfg, ordinal, &err);
-          if (!rep) {
-            std::fprintf(stderr, "spawn replica %zu failed: %s\n", ordinal,
-                         err.c_str());
-          }
-          return rep;
-        },
-        2, fc);
-    const auto cross = drive_closed(remote, xp_stream, clients, window);
-    remote.stop();
+    SaturationPoint cross;
+    rpc::RpcStats xp_rpc;  // transport counters from the winning pass
+    for (int pass = 0; pass < 3; ++pass) {
+      serve::FleetManager remote(
+          [&scfg](std::size_t ordinal) {
+            std::string err;
+            auto rep = rpc::spawn_replica_process(scfg, ordinal, &err);
+            if (!rep) {
+              std::fprintf(stderr, "spawn replica %zu failed: %s\n", ordinal,
+                           err.c_str());
+            }
+            return rep;
+          },
+          2, fc);
+      drive_closed(remote, warm_stream, clients, window);
+      const auto p = drive_closed(remote, xp_stream, clients, window);
+      const rpc::RpcStats st = remote.aggregate_rpc_stats();
+      remote.stop();
+      if (p.achieved_rps > cross.achieved_rps) {
+        cross = p;
+        xp_rpc = st;
+      }
+    }
 
     const double ratio =
         cross.achieved_rps > 0 ? in_proc.achieved_rps / cross.achieved_rps
                                : 0.0;
-    const bool within_2x = ratio > 0 && ratio <= 2.0;
+    const bool within_gate = ratio > 0 && ratio <= 1.5;
     std::printf("%-14s %12s %10s %10s\n", "deployment", "achieved/s",
                 "p50(us)", "p99(us)");
     std::printf("%-14s %12.0f %10.0f %10.0f\n", "in-process",
@@ -1142,16 +1180,26 @@ int main(int argc, char** argv) {
                 cross.achieved_rps, cross.latency.p50_us,
                 cross.latency.p99_us);
     std::printf("cross-process gate: %.2fx of in-process throughput "
-                "(<= 2x) -> %s\n",
-                ratio, within_2x ? "OK" : "REGRESSION");
-    char buf[512];
+                "(<= 1.5x gated, 1.4x target) -> %s\n",
+                ratio, within_gate ? "OK" : "REGRESSION");
+    std::printf("rpc fast path: frames=%llu writev=%llu frames/writev=%.2f "
+                "bytes/syscall=%.0f pool-hit=%.1f%% allocs/frame=%.4f\n",
+                static_cast<unsigned long long>(xp_rpc.frames_sent),
+                static_cast<unsigned long long>(xp_rpc.writev_calls),
+                xp_rpc.frames_per_writev(), xp_rpc.bytes_per_syscall(),
+                100 * xp_rpc.pool_hit_rate(), xp_rpc.allocs_per_frame());
+    char buf[768];
     std::snprintf(buf, sizeof(buf),
                   "{\"section\":\"cross_process\",\"replicas\":2,"
                   "\"in_process_rps\":%.0f,\"cross_process_rps\":%.0f,"
                   "\"overhead_ratio\":%.2f,\"ok\":%s,"
+                  "\"frames_per_writev\":%.2f,\"bytes_per_syscall\":%.0f,"
+                  "\"pool_hit_rate\":%.4f,\"allocs_per_frame\":%.4f,"
                   "\"in_process_latency\":%s,\"cross_process_latency\":%s}",
                   in_proc.achieved_rps, cross.achieved_rps, ratio,
-                  within_2x ? "true" : "false",
+                  within_gate ? "true" : "false",
+                  xp_rpc.frames_per_writev(), xp_rpc.bytes_per_syscall(),
+                  xp_rpc.pool_hit_rate(), xp_rpc.allocs_per_frame(),
                   in_proc.latency.to_json().c_str(),
                   cross.latency.to_json().c_str());
     emit(buf);

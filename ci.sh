@@ -135,6 +135,9 @@ if [[ "${SERVE_CROSSPROC}" == "1" ]]; then
   grep -q "rc=137" "${CROSSPROC_OUT}"
   grep -q "rc=0" "${CROSSPROC_OUT}"
   echo "cross-process smoke OK (zero lost, victim reaped 137, survivor 0)"
+  # The transport fast-path evidence (frames/writev, pool hit rate,
+  # allocs/frame) as its own artifact next to the smoke output.
+  grep "rpc fast path" "${CROSSPROC_OUT}" > build/rpc_stats.txt || true
 fi
 
 echo "== serve_cli API-v2 smoke (envelopes, deadlines, top-k) =="
@@ -164,6 +167,27 @@ echo "== serving bench (writes ${BENCH_JSON}) =="
 # slack-vs-FIFO miss-rate comparison lands in the JSON artifact as the
 # machine-relative "deadline_gate" record.
 ./build/bench_serving_latency --quick --json="${BENCH_JSON}"
+
+if [[ "${SERVE_CROSSPROC}" == "1" ]]; then
+  echo "== cross-process overhead gate (<= 1.5x from ${BENCH_JSON}) =="
+  # Bench section 7 measured the same 2-replica fleet in-process and
+  # cross-process; its record's overhead_ratio is the whole RPC tax.  The
+  # bench already stamps ok=false past 1.5x — assert it here so the
+  # crossproc legs fail loudly on a fast-path regression instead of
+  # shipping a red field inside a green artifact.
+  XPROC_RECORD=$(grep '"section":"cross_process"' "${BENCH_JSON}" || true)
+  if [[ -z "${XPROC_RECORD}" ]]; then
+    echo "no cross_process record in ${BENCH_JSON}"
+    exit 1
+  fi
+  echo "${XPROC_RECORD}"
+  echo "${XPROC_RECORD}" | grep -q '"ok":true' || {
+    echo "cross-process overhead ratio exceeds the 1.5x gate"
+    exit 1
+  }
+  # Keep the bench's transport counters with the serve_cli line.
+  echo "${XPROC_RECORD}" >> build/rpc_stats.txt || true
+fi
 
 # bench_kernels is only built when google-benchmark is installed; when it
 # is, append the self-timed per-ISA GEMM table (the 255x96x32 serving

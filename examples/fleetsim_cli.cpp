@@ -280,6 +280,14 @@ int run_calibration_mode(const Args& a) {
                 "rows)\n",
                 k->isa.c_str(), k->gemm_gops, calib.kernels.size());
   }
+  if (calib.has_cross_process) {
+    // The record that prices sim::RpcSpec::measured() for cross-process
+    // plans: the bench's wire tax plus the fast-path coalescing evidence.
+    std::printf("cross-process: %.2fx wire tax, %.2f frames/writev, "
+                "pool-hit %.1f%%, %.4f allocs/frame\n",
+                calib.xp_overhead_ratio, calib.xp_frames_per_writev,
+                100 * calib.xp_pool_hit_rate, calib.xp_allocs_per_frame);
+  }
   const fleetsim::CalibrationTolerance tol;
   const auto report = fleetsim::run_calibration(calib, tol);
   std::printf("%-14s %12s %12s %7s %12s %12s %7s %8s %8s %s\n", "arm",

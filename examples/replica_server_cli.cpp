@@ -234,5 +234,17 @@ int main(int argc, char** argv) {
               "%zu batches)\n",
               ::getpid(), rc, st.admission().admitted, st.admission().shed,
               st.batches());
+  // Server-side half of the transport evidence; the front logs the client
+  // half.  This lands in the log artifact CI uploads on smoke failure.
+  const rpc::RpcStats& rs = server.rpc_stats();
+  if (rs.frames_sent > 0) {
+    std::printf("replica_server: rpc fast path frames=%llu writev=%llu "
+                "frames/writev=%.2f bytes/syscall=%.0f pool-hit=%.1f%% "
+                "allocs/frame=%.4f\n",
+                static_cast<unsigned long long>(rs.frames_sent),
+                static_cast<unsigned long long>(rs.writev_calls),
+                rs.frames_per_writev(), rs.bytes_per_syscall(),
+                100 * rs.pool_hit_rate(), rs.allocs_per_frame());
+  }
   return rc;
 }

@@ -411,6 +411,8 @@ struct RunResult {
   std::size_t cache_capacity_rows = 0;  // per-replica rows the byte budget holds
   bool any_cache = false;
   std::uint64_t preads = 0;  // syscalls into the file store (file source)
+  // Client-side transport counters, all-zero unless remote (rpc/buffer.h).
+  rpc::RpcStats rpc;
   std::vector<serve::ReplicaSnapshot> replicas;
   // Autoscale runs only.
   std::size_t max_replicas_seen = 0;
@@ -508,6 +510,7 @@ void finish_result(RunResult& r, serve::FleetManager& fleet,
   // controller retiring a replica between the size check and the access.
   r.replicas = fleet.fleet_snapshot();
   r.events = fleet.events();
+  r.rpc = fleet.aggregate_rpc_stats();
   fleet.stop();
   if (!sf.caches.empty()) {
     r.any_cache = true;
@@ -704,6 +707,15 @@ RunResult run_serving(const Args& a, const serve::ServingTestbed& tb,
     std::printf("cross-process: %zu replica process(es);", spawned.size());
     for (const auto& rep : spawned) std::printf(" rc=%d", rep->retire());
     std::printf("\n");
+    if (r.rpc.frames_sent > 0) {
+      std::printf("rpc fast path: frames=%llu writev=%llu "
+                  "frames/writev=%.2f bytes/syscall=%.0f pool-hit=%.1f%% "
+                  "allocs/frame=%.4f\n",
+                  static_cast<unsigned long long>(r.rpc.frames_sent),
+                  static_cast<unsigned long long>(r.rpc.writev_calls),
+                  r.rpc.frames_per_writev(), r.rpc.bytes_per_syscall(),
+                  100 * r.rpc.pool_hit_rate(), r.rpc.allocs_per_frame());
+    }
     if (victim) {
       const std::size_t answered =
           r.envelopes_ok + r.envelopes_missed + r.envelopes_shed;
@@ -903,6 +915,13 @@ void print_result(const char* label, const RunResult& r) {
         if (e.first_window_hit_rate >= 0) {
           std::printf(" (first-window hit %.1f%%)",
                       100 * e.first_window_hit_rate);
+        }
+      }
+      if (!e.spawned && e.handoff_keys > 0) {
+        std::printf(" handed off %zu rows", e.handoff_keys);
+        if (e.successor_first_window_hit_rate >= 0) {
+          std::printf(" (successor first-window hit %.1f%%)",
+                      100 * e.successor_first_window_hit_rate);
         }
       }
     }

@@ -74,6 +74,15 @@ BenchCalibration parse_bench_json(const std::string& json) {
       c.kernels.push_back(std::move(k));
       continue;
     }
+    if (line.find("\"section\":\"cross_process\"") != std::string::npos) {
+      c.has_cross_process = true;
+      c.xp_overhead_ratio = find_number(line, "overhead_ratio", 0);
+      c.xp_frames_per_writev = find_number(line, "frames_per_writev", 0);
+      c.xp_bytes_per_syscall = find_number(line, "bytes_per_syscall", 0);
+      c.xp_pool_hit_rate = find_number(line, "pool_hit_rate", 0);
+      c.xp_allocs_per_frame = find_number(line, "allocs_per_frame", 0);
+      continue;
+    }
     if (line.find("\"section\":\"autoscale_trace\"") == std::string::npos) {
       continue;
     }
@@ -173,6 +182,11 @@ CalibrationReport run_calibration(const BenchCalibration& calib,
     report.kernel_isa = k->isa;
     report.kernel_gemm_gops = k->gemm_gops;
   }
+  report.has_cross_process = calib.has_cross_process;
+  report.rpc_overhead_ratio = calib.xp_overhead_ratio;
+  report.rpc_frames_per_writev = calib.xp_frames_per_writev;
+  report.rpc_pool_hit_rate = calib.xp_pool_hit_rate;
+  report.rpc_allocs_per_frame = calib.xp_allocs_per_frame;
   // Measured-over-analytic hit correction: the analytic formula assumes a
   // static top-C cache at steady state; the measured run was an LRU from
   // cold.  The ratio folds both gaps into one scale.
@@ -266,8 +280,14 @@ std::string CalibrationReport::to_json(
      << ",\"miss_extra_us_per_row\":" << model.miss_extra_us_per_row
      << ",\"cores\":" << model.cores << "}"
      << ",\"kernel\":{\"isa\":\"" << kernel_isa
-     << "\",\"gemm_gops\":" << kernel_gemm_gops << "}"
-     << ",\"cache_hit_scale\":" << cache_hit_scale
+     << "\",\"gemm_gops\":" << kernel_gemm_gops << "}";
+  if (has_cross_process) {
+    os << ",\"cross_process\":{\"overhead_ratio\":" << rpc_overhead_ratio
+       << ",\"frames_per_writev\":" << rpc_frames_per_writev
+       << ",\"pool_hit_rate\":" << rpc_pool_hit_rate
+       << ",\"allocs_per_frame\":" << rpc_allocs_per_frame << "}";
+  }
+  os << ",\"cache_hit_scale\":" << cache_hit_scale
      << ",\"tolerance\":{\"rps\":[" << tol.rps_lo << "," << tol.rps_hi
      << "],\"p99\":[" << tol.p99_lo << "," << tol.p99_hi
      << "],\"max_event_edits\":" << tol.max_event_edits << "},\"arms\":[";

@@ -81,6 +81,15 @@ struct BenchCalibration {
   double cooldown_ms = 1000;
   double tick_ms = 50;
   std::size_t warm_keys = 512;
+  // Cross-process record (bench section 7), absent in older bench files:
+  // the wire tax and the writev fast-path counters that price
+  // sim::RpcSpec::measured() for cross-process capacity plans.
+  bool has_cross_process = false;
+  double xp_overhead_ratio = 0;     // in-process rps / cross-process rps
+  double xp_frames_per_writev = 0;  // coalescing factor the fast path hit
+  double xp_bytes_per_syscall = 0;
+  double xp_pool_hit_rate = 0;
+  double xp_allocs_per_frame = 0;
   std::vector<MeasuredArm> arms;
   // Per-ISA GEMM table (kernel_ladder records), possibly empty when the
   // bench predates the ladder.  dispatched_kernel() picks the active row.
@@ -123,6 +132,15 @@ struct CalibrationReport {
   // so first-principles capacity plans track the kernel the fleet runs.
   std::string kernel_isa;
   double kernel_gemm_gops = 0;
+  // Carried from the bench's cross_process record (informational — not
+  // folded into `pass`, so a loaded CI machine's wire-tax wobble cannot
+  // fail the calibration gate): the measured RPC overhead ratio and the
+  // coalescing factor sim::RpcSpec::measured() consumes.
+  bool has_cross_process = false;
+  double rpc_overhead_ratio = 0;
+  double rpc_frames_per_writev = 0;
+  double rpc_pool_hit_rate = 0;
+  double rpc_allocs_per_frame = 0;
   std::string to_json(const CalibrationTolerance& tol) const;
 };
 

@@ -1,0 +1,60 @@
+#include "rpc/buffer.h"
+
+#include <limits.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+
+#include <cerrno>
+
+namespace ppgnn::rpc {
+
+bool drain_writev(int fd, FrameQueue& q, FramePool& pool, RpcStats& stats) {
+  // sendmsg instead of writev for MSG_NOSIGNAL: a peer that vanished
+  // between poll and write must surface as EPIPE, not kill the process.
+  static const std::size_t kIovCap =
+      kMaxWriteIov < static_cast<std::size_t>(IOV_MAX)
+          ? kMaxWriteIov
+          : static_cast<std::size_t>(IOV_MAX);
+  iovec iov[kMaxWriteIov];
+  while (!q.empty()) {
+    std::size_t n = 0;
+    std::size_t queued = 0;
+    for (const auto& f : q) {
+      if (n == kIovCap) break;
+      iov[n].iov_base = const_cast<std::uint8_t*>(f->data.data() + f->off);
+      iov[n].iov_len = f->remaining();
+      queued += f->remaining();
+      ++n;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = n;
+    const ssize_t w = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    ++stats.writev_calls;
+    stats.bytes_sent += static_cast<std::uint64_t>(w);
+    std::size_t left = static_cast<std::size_t>(w);
+    while (left > 0) {
+      FrameBuffer& f = *q.front();
+      const std::size_t rem = f.remaining();
+      if (left < rem) {
+        f.off += left;
+        break;
+      }
+      left -= rem;
+      ++stats.frames_sent;
+      pool.release(std::move(q.front()));
+      q.pop_front();
+    }
+    // A short write means the socket buffer is full — poll again rather
+    // than burning a syscall that will return EAGAIN.
+    if (static_cast<std::size_t>(w) < queued) return true;
+  }
+  return true;
+}
+
+}  // namespace ppgnn::rpc

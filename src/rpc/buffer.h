@@ -1,0 +1,184 @@
+// Pooled frame buffers + vectored drain: the RPC transport fast path.
+//
+// Steady-state serving moves one wire frame per request/response.  Before
+// this pool the transport paid two heap allocations per frame (the
+// encoder's fresh std::vector, then the flat outbox growing to absorb it)
+// and one ::send syscall per poll wake.  The fast path removes both:
+//
+//   * FramePool recycles encode buffers.  acquire() pops a warm buffer off
+//     a free list with its capacity intact; the owner encodes a frame into
+//     it with the *_into encoders (wire.h) and queues it on a deque outbox;
+//     after the bytes reach the socket, release() returns the buffer for
+//     the next frame.  Once every buffer in rotation has grown to the
+//     workload's frame size, the transport allocates nothing per frame.
+//   * drain_writev() flushes the whole outbox with vectored writes
+//     (sendmsg — writev with MSG_NOSIGNAL), so a burst of frames completed
+//     in one dispatch round costs one syscall, not one per frame.
+//
+// Coalescing happens BELOW framing: the bytes entering the socket are
+// byte-for-byte what the per-frame path would have written (asserted by
+// test_rpc_fastpath), so docs/wire-protocol.md is untouched.
+//
+// Neither FramePool nor the deque outbox is thread-safe; the owner guards
+// both with the same mutex it already holds around its outbox (client mu_,
+// server per-connection mu).  RpcStats rides under that lock too.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace ppgnn::rpc {
+
+// One encoded ppgnn-wire frame (header + body) in a reusable buffer.
+// `off` tracks how much of it has already reached the socket — a short
+// write leaves a partially-drained frame at the head of the outbox.
+struct FrameBuffer {
+  std::vector<std::uint8_t> data;
+  std::size_t off = 0;
+
+  std::size_t remaining() const { return data.size() - off; }
+};
+
+// Transport counters.  Updated under the owner's outbox lock; snapshot by
+// copy.  The derived ratios are what the bench's cross_process record and
+// serve_cli --remote-replicas report: frames per vectored write (syscall
+// coalescing), bytes per syscall, pool hit rate, and allocations per frame
+// (which must go to ~0 at steady state).
+struct RpcStats {
+  std::uint64_t frames_enqueued = 0;  // frames queued for transmission
+  std::uint64_t frames_sent = 0;      // frames fully drained to the socket
+  std::uint64_t writev_calls = 0;     // vectored write syscalls that moved bytes
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t pool_hits = 0;        // acquire() served from the free list
+  std::uint64_t pool_misses = 0;      // acquire() had to allocate a buffer
+  // Heap allocations for frame storage: fresh buffers (pool misses) plus
+  // every time an encode outgrew a recycled buffer's capacity.
+  std::uint64_t buffer_allocs = 0;
+
+  double frames_per_writev() const {
+    return writev_calls ? static_cast<double>(frames_sent) /
+                              static_cast<double>(writev_calls)
+                        : 0.0;
+  }
+  double bytes_per_syscall() const {
+    return writev_calls ? static_cast<double>(bytes_sent) /
+                              static_cast<double>(writev_calls)
+                        : 0.0;
+  }
+  double pool_hit_rate() const {
+    const std::uint64_t total = pool_hits + pool_misses;
+    return total ? static_cast<double>(pool_hits) / static_cast<double>(total)
+                 : 0.0;
+  }
+  double allocs_per_frame() const {
+    return frames_enqueued ? static_cast<double>(buffer_allocs) /
+                                 static_cast<double>(frames_enqueued)
+                           : 0.0;
+  }
+
+  void merge(const RpcStats& o) {
+    frames_enqueued += o.frames_enqueued;
+    frames_sent += o.frames_sent;
+    writev_calls += o.writev_calls;
+    bytes_sent += o.bytes_sent;
+    pool_hits += o.pool_hits;
+    pool_misses += o.pool_misses;
+    buffer_allocs += o.buffer_allocs;
+  }
+};
+
+// Free list of FrameBuffers.  Not thread-safe (see header note).
+//
+// The free list is sized by a high-water mark, not a fixed cap: a deep
+// pipeline (a closed-loop client keeping hundreds of requests in flight)
+// legitimately has that many frames acquired-but-unsent at once, and a
+// fixed cap would drop most of them on release and then miss on the next
+// burst — allocs_per_frame would never reach zero.  Retaining up to the
+// peak outstanding count is exactly the working set needed for zero
+// steady-state allocations, and it is already the memory the workload
+// demonstrably used; `min_free` (the config knob) is only the floor.
+class FramePool {
+ public:
+  // Floor on retained buffers; covers a full dispatch round of
+  // completions plus slack even before any deep burst raises the mark.
+  static constexpr std::size_t kDefaultMaxFree = 64;
+  // Fresh buffers start at one typical request frame so the first encode
+  // into them usually does not grow.
+  static constexpr std::size_t kInitialCapacity = 512;
+
+  explicit FramePool(std::size_t min_free = kDefaultMaxFree)
+      : min_free_(min_free) {}
+
+  // A cleared buffer (size 0, capacity intact), from the free list when
+  // possible.  Counts the hit/miss and, on a miss, the allocation.
+  std::unique_ptr<FrameBuffer> acquire(RpcStats* stats) {
+    ++outstanding_;
+    if (outstanding_ > peak_outstanding_) peak_outstanding_ = outstanding_;
+    if (!free_.empty()) {
+      auto f = std::move(free_.back());
+      free_.pop_back();
+      f->data.clear();
+      f->off = 0;
+      ++stats->pool_hits;
+      return f;
+    }
+    ++stats->pool_misses;
+    ++stats->buffer_allocs;
+    auto f = std::make_unique<FrameBuffer>();
+    f->data.reserve(kInitialCapacity);
+    return f;
+  }
+
+  void release(std::unique_ptr<FrameBuffer> f) {
+    if (outstanding_ > 0) --outstanding_;
+    if (free_.size() < std::max(min_free_, peak_outstanding_)) {
+      free_.push_back(std::move(f));
+    }
+    // else: drop — the watermark is the memory bound, not every buffer.
+  }
+
+  std::size_t free_count() const { return free_.size(); }
+  std::size_t peak_outstanding() const { return peak_outstanding_; }
+
+ private:
+  std::vector<std::unique_ptr<FrameBuffer>> free_;
+  std::size_t min_free_;
+  std::size_t outstanding_ = 0;       // acquired, not yet released
+  std::size_t peak_outstanding_ = 0;  // high-water mark — free-list bound
+};
+
+// Encodes one frame into a pooled buffer via `encode(std::vector&)`
+// (one of the *_into encoders), charging any capacity growth as a heap
+// allocation so allocs_per_frame() stays honest.
+template <typename EncodeFn>
+std::unique_ptr<FrameBuffer> encode_pooled(FramePool& pool, RpcStats& stats,
+                                           EncodeFn&& encode) {
+  auto f = pool.acquire(&stats);
+  const std::size_t cap = f->data.capacity();
+  encode(f->data);
+  if (f->data.capacity() != cap) ++stats.buffer_allocs;
+  ++stats.frames_enqueued;
+  return f;
+}
+
+using FrameQueue = std::deque<std::unique_ptr<FrameBuffer>>;
+
+// Upper bound on frames per vectored write.  IOV_MAX is 1024 on Linux;
+// batching beyond a few dozen frames stops moving the syscall amortization
+// needle and only grows the stack-side iovec array, so the bound is the
+// smaller of the two (clamped against IOV_MAX at runtime in drain).
+inline constexpr std::size_t kMaxWriteIov = 64;
+
+// Flushes `q` to nonblocking `fd` with bounded vectored writes until the
+// queue empties or the socket stops taking bytes (EAGAIN — the caller keeps
+// POLLOUT armed).  Fully-written frames go back to `pool`; a short write
+// leaves the head frame partially drained.  False on a fatal socket error
+// (errno preserved for the caller's diagnostics).
+bool drain_writev(int fd, FrameQueue& q, FramePool& pool, RpcStats& stats);
+
+}  // namespace ppgnn::rpc

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <climits>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -97,7 +98,8 @@ bool hello_exchange(int fd, Clock::time_point deadline, WireHelloAck* ack,
 
 }  // namespace
 
-RpcClient::RpcClient(RpcClientConfig cfg) : cfg_(std::move(cfg)) {
+RpcClient::RpcClient(RpcClientConfig cfg)
+    : cfg_(std::move(cfg)), pool_(cfg_.frame_pool_buffers) {
   if (::pipe2(wake_pipe_, O_CLOEXEC | O_NONBLOCK) != 0) {
     throw std::runtime_error("RpcClient: pipe2 failed");
   }
@@ -138,7 +140,7 @@ bool RpcClient::handshake(WireHelloAck* ack, std::string* err) {
   return true;
 }
 
-void RpcClient::call(WireRequest req, std::chrono::milliseconds timeout,
+void RpcClient::call(WireRequest& req, std::chrono::milliseconds timeout,
                      Done done) {
   if (timeout.count() <= 0) timeout = cfg_.request_timeout;
   std::string why;
@@ -153,22 +155,39 @@ void RpcClient::call(WireRequest req, std::chrono::milliseconds timeout,
       // Fail fast while reconnecting: the fleet re-routes instead of
       // queueing work against a connection that may never come back.
       why = "rpc transport disconnected";
+    } else if (pending_count_ > kSlotMask) {
+      why = "rpc client overloaded (slot slab exhausted)";
     } else {
-      const std::uint64_t id = next_id_++;
+      std::uint32_t slot;
+      if (!free_slots_.empty()) {
+        slot = free_slots_.back();
+        free_slots_.pop_back();
+      } else {
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+      }
+      const std::uint64_t id = (next_seq_++ << kSlotBits) | slot;
       req.id = id;
-      Pending p;
+      Pending& p = slots_[slot];
+      p.id = id;
       p.done = std::move(done);
       p.expires = Clock::now() + timeout;
-      pending_.emplace(id, std::move(p));
+      ++pending_count_;
       // Wake the I/O thread only on the idle->busy edge: while the outbox
-      // already has bytes the poll loop has POLLOUT armed (or a wake byte
+      // already has frames the poll loop has POLLOUT armed (or a wake byte
       // pending) and will pick this frame up on its own.  A dispatcher
       // submitting a whole batch then costs one pipe write, not one per
       // envelope — on a busy box each elided wake is a context switch
-      // saved.
-      need_wake = out_off_ >= outbox_.size();
-      const auto body = encode_request(req);
-      append_frame(outbox_, MsgType::kRequest, body.data(), body.size());
+      // saved.  The second clause covers the deadline-driven sweep: a call
+      // expiring before everything already in flight must shorten the
+      // loop's sleep (with uniform timeouts it never fires).
+      need_wake = outbox_.empty() || p.expires < next_expiry_;
+      if (p.expires < next_expiry_) next_expiry_ = p.expires;
+      outbox_.push_back(encode_pooled(
+          pool_, stats_,
+          [&req](std::vector<std::uint8_t>& out) {
+            encode_request_into(req, out);
+          }));
     }
   }
   if (why.empty()) {
@@ -178,7 +197,7 @@ void RpcClient::call(WireRequest req, std::chrono::milliseconds timeout,
   Result r;
   r.transport_ok = false;
   r.transport_error = why;
-  done(std::move(r));
+  done(r);
 }
 
 bool RpcClient::alive() const {
@@ -188,7 +207,12 @@ bool RpcClient::alive() const {
 
 std::size_t RpcClient::inflight() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return pending_.size();
+  return pending_count_;
+}
+
+RpcStats RpcClient::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
 }
 
 void RpcClient::wake() {
@@ -204,16 +228,24 @@ void RpcClient::drop_connection_locked(
     fd_ = -1;
   }
   connected_ = false;
-  outbox_.clear();
-  out_off_ = 0;
+  while (!outbox_.empty()) {
+    pool_.release(std::move(outbox_.front()));
+    outbox_.pop_front();
+  }
   reader_ = FrameReader{};
-  for (auto& [id, p] : pending_) {
+  next_expiry_ = Clock::time_point::max();
+  for (Pending& p : slots_) {
+    if (p.id == 0) continue;
     Result r;
     r.transport_ok = false;
     r.transport_error = why;
     completions->emplace_back(std::move(p.done), std::move(r));
+    p.done = nullptr;
+    p.id = 0;
   }
-  pending_.clear();
+  free_slots_.clear();
+  slots_.clear();
+  pending_count_ = 0;
   if (reconnect_attempts_ >= cfg_.max_reconnect_attempts) {
     dead_ = true;
     return;
@@ -261,33 +293,40 @@ bool RpcClient::try_reconnect() {
 }
 
 void RpcClient::io_loop() {
-  // The per-request timeout is a hang detector with second-scale budgets,
-  // so it is swept on a coarse 10ms tick instead of scanning the whole
-  // pending map every loop iteration — at a few thousand requests in
-  // flight the per-iteration scan is the loop's dominant cost.
-  constexpr std::chrono::milliseconds kSweepInterval{10};
-  auto next_sweep = Clock::now() + kSweepInterval;
+  // The per-request timeout is a hang detector, so the loop sleeps exactly
+  // until the NEAREST in-flight expiry (next_expiry_, maintained
+  // incrementally by call()) instead of ticking on a fixed interval — and
+  // indefinitely when nothing is in flight, so an idle client costs zero
+  // wakeups.  The expired scan runs only when that instant actually
+  // arrives, never per iteration.
   std::vector<std::pair<Done, Result>> completions;
+  // Response decode scratch, reused across frames: decode_response refills
+  // the same parts/logits capacity every time, and the Done borrows it
+  // (moving out only what must outlive the callback), so the response path
+  // stops allocating once the scratch has seen the workload's widest frame.
+  Result scratch;
   std::uint8_t buf[65536];
   for (;;) {
     completions.clear();
     bool conn, reconnect_due = false;
     int fd;
     bool want_write;
-    std::chrono::milliseconds wait{1000};
+    std::chrono::milliseconds wait{-1};  // -1: block until an fd event
     {
       std::lock_guard<std::mutex> lk(mu_);
       if (stopping_) return;
       conn = connected_;
       fd = fd_;
-      want_write = out_off_ < outbox_.size();
+      want_write = !outbox_.empty();
       const auto now = Clock::now();
       auto cap = [&wait](Clock::time_point t, Clock::time_point now) {
-        const auto ms =
-            std::chrono::duration_cast<std::chrono::milliseconds>(t - now);
-        wait = std::clamp(ms, std::chrono::milliseconds(0), wait);
+        // ceil, not truncate: a poll returning one ms early would spin on
+        // a zero timeout until the deadline finally passes.
+        auto ms = std::chrono::ceil<std::chrono::milliseconds>(t - now);
+        if (ms.count() < 0) ms = std::chrono::milliseconds(0);
+        if (wait.count() < 0 || ms < wait) wait = ms;
       };
-      if (!pending_.empty()) cap(next_sweep, now);
+      if (next_expiry_ != Clock::time_point::max()) cap(next_expiry_, now);
       if (!conn && !dead_) {
         if (now >= next_reconnect_) {
           reconnect_due = true;
@@ -309,7 +348,11 @@ void RpcClient::io_loop() {
                  0};
       nfds = 2;
     }
-    ::poll(pfds, nfds, static_cast<int>(wait.count()));
+    const int poll_ms =
+        wait.count() < 0
+            ? -1
+            : static_cast<int>(std::min<std::int64_t>(wait.count(), INT_MAX));
+    ::poll(pfds, nfds, poll_ms);
     if (pfds[0].revents & POLLIN) {
       std::uint8_t drain[64];
       while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
@@ -325,22 +368,9 @@ void RpcClient::io_loop() {
       }
       if (!dropped && (pfds[1].revents & POLLOUT)) {
         std::lock_guard<std::mutex> lk(mu_);
-        while (out_off_ < outbox_.size()) {
-          const ssize_t w = ::send(fd, outbox_.data() + out_off_,
-                                   outbox_.size() - out_off_, MSG_NOSIGNAL);
-          if (w > 0) {
-            out_off_ += static_cast<std::size_t>(w);
-            continue;
-          }
-          if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-          if (w < 0 && errno == EINTR) continue;
+        if (!drain_writev(fd, outbox_, pool_, stats_)) {
           drop_connection_locked("rpc write failed", &completions);
           dropped = true;
-          break;
-        }
-        if (!dropped && out_off_ == outbox_.size()) {
-          outbox_.clear();
-          out_off_ = 0;
         }
       }
       if (!dropped && (pfds[1].revents & POLLIN)) {
@@ -359,28 +389,41 @@ void RpcClient::io_loop() {
           dropped = true;
           break;
         }
+        // Zero-copy decode: the body view aliases the reader's buffer,
+        // which only this thread feeds — valid until the next recv.
         MsgType type;
-        std::vector<std::uint8_t> body;
-        while (!dropped && reader_.next(&type, &body)) {
-          WireResponse resp;
+        const std::uint8_t* body = nullptr;
+        std::size_t body_len = 0;
+        while (!dropped && reader_.next_view(&type, &body, &body_len)) {
           std::string err;
           if (type != MsgType::kResponse ||
-              !decode_response(body.data(), body.size(), &resp, &err)) {
+              !decode_response(body, body_len, &scratch.response, &err)) {
             std::lock_guard<std::mutex> lk(mu_);
             drop_connection_locked(
                 err.empty() ? "rpc protocol violation" : err, &completions);
             dropped = true;
             break;
           }
-          std::lock_guard<std::mutex> lk(mu_);
-          const auto it = pending_.find(resp.id);
-          if (it == pending_.end()) continue;  // timed out earlier: drop
-          Result res;
-          res.transport_ok = true;
-          res.response = std::move(resp);
-          completions.emplace_back(std::move(it->second.done),
-                                   std::move(res));
-          pending_.erase(it);
+          Done done;
+          {
+            std::lock_guard<std::mutex> lk(mu_);
+            const std::uint64_t id = scratch.response.id;
+            const auto slot = static_cast<std::size_t>(id & kSlotMask);
+            // Slot empty or recycled for a newer call: a late response to
+            // a timed-out id — drop it.
+            if (slot >= slots_.size() || slots_[slot].id != id) continue;
+            Pending& p = slots_[slot];
+            done = std::move(p.done);
+            p.done = nullptr;
+            p.id = 0;
+            free_slots_.push_back(static_cast<std::uint32_t>(slot));
+            --pending_count_;
+          }
+          // Completed inline, mu_ released: the borrowed scratch is this
+          // thread's, and the callback may submit follow-up calls.
+          scratch.transport_ok = true;
+          scratch.transport_error.clear();
+          done(scratch);
         }
         if (!dropped && reader_.failed()) {
           std::lock_guard<std::mutex> lk(mu_);
@@ -389,25 +432,36 @@ void RpcClient::io_loop() {
       }
     }
 
-    // Per-request timeout sweep: the hang detector.  The connection stays
-    // up — a late response to the forgotten id is dropped on arrival.
-    if (const auto now = Clock::now(); now >= next_sweep) {
-      next_sweep = now + kSweepInterval;
+    // Per-request timeout sweep: the hang detector.  Runs only when the
+    // nearest tracked expiry has actually arrived (next_expiry_ may be
+    // stale-early after that call completed — then the scan finds nothing
+    // and just recomputes).  The connection stays up — a late response to
+    // the forgotten id is dropped on arrival.
+    if (const auto now = Clock::now(); true) {
       std::lock_guard<std::mutex> lk(mu_);
-      for (auto it = pending_.begin(); it != pending_.end();) {
-        if (it->second.expires <= now) {
-          Result r;
-          r.transport_ok = false;
-          r.transport_error = "rpc request timeout";
-          completions.emplace_back(std::move(it->second.done), std::move(r));
-          it = pending_.erase(it);
-        } else {
-          ++it;
+      if (now >= next_expiry_) {
+        auto nearest = Clock::time_point::max();
+        for (std::uint32_t s = 0; s < slots_.size(); ++s) {
+          Pending& p = slots_[s];
+          if (p.id == 0) continue;
+          if (p.expires <= now) {
+            Result r;
+            r.transport_ok = false;
+            r.transport_error = "rpc request timeout";
+            completions.emplace_back(std::move(p.done), std::move(r));
+            p.done = nullptr;
+            p.id = 0;
+            free_slots_.push_back(s);
+            --pending_count_;
+          } else {
+            nearest = std::min(nearest, p.expires);
+          }
         }
+        next_expiry_ = nearest;
       }
     }
 
-    for (auto& [done, result] : completions) done(std::move(result));
+    for (auto& [done, result] : completions) done(result);
   }
 }
 
@@ -425,20 +479,26 @@ void RpcClient::shutdown() {
   std::vector<std::pair<Done, Result>> completions;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    for (auto& [id, p] : pending_) {
+    for (Pending& p : slots_) {
+      if (p.id == 0) continue;
       Result r;
       r.transport_ok = false;
       r.transport_error = "rpc client shut down";
       completions.emplace_back(std::move(p.done), std::move(r));
+      p.done = nullptr;
+      p.id = 0;
     }
-    pending_.clear();
+    free_slots_.clear();
+    slots_.clear();
+    pending_count_ = 0;
+    next_expiry_ = Clock::time_point::max();
     if (fd_ >= 0) {
       ::close(fd_);
       fd_ = -1;
     }
     connected_ = false;
   }
-  for (auto& [done, result] : completions) done(std::move(result));
+  for (auto& [done, result] : completions) done(result);
   for (int& fd : wake_pipe_) {
     if (fd >= 0) {
       ::close(fd);

@@ -26,14 +26,14 @@
 
 #include <chrono>
 #include <cstdint>
-#include <functional>
-#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "rpc/buffer.h"
 #include "rpc/frame.h"
+#include "rpc/inplace_function.h"
 #include "rpc/wire.h"
 
 namespace ppgnn::rpc {
@@ -50,6 +50,12 @@ struct RpcClientConfig {
   std::chrono::milliseconds backoff_initial{10};
   std::chrono::milliseconds backoff_max{500};
   int max_reconnect_attempts = 5;
+  // FLOOR on encode buffers kept warm on the frame pool's free list
+  // (rpc/buffer.h).  The pool adapts upward to the high-water in-flight
+  // count on its own, so steady-state transport memory tracks what the
+  // workload actually keeps in flight; this knob only guarantees a warm
+  // minimum before the first burst.
+  std::size_t frame_pool_buffers = FramePool::kDefaultMaxFree;
 };
 
 class RpcClient {
@@ -61,8 +67,14 @@ class RpcClient {
   };
   // Invoked exactly once per call(), on the I/O thread (or inline from
   // call() when the transport is already down).  Keep it lean; it runs in
-  // the response path of every other in-flight call.
-  using Done = std::function<void(Result&&)>;
+  // the response path of every other in-flight call.  The Result is
+  // BORROWED — it may be the I/O thread's reusable decode scratch, valid
+  // only for the duration of the callback; move out whatever must outlive
+  // it (moved-from vectors simply re-grow on the next decode).  The
+  // capture lives inline in the wrapper (inplace_function.h) — one wire
+  // call costs zero closure allocations, and a capture that outgrows the
+  // budget is a compile error.
+  using Done = InplaceFunction<void(Result&), 192>;
 
   explicit RpcClient(RpcClientConfig cfg);
   ~RpcClient();  // shutdown()
@@ -77,22 +89,38 @@ class RpcClient {
   bool handshake(WireHelloAck* ack, std::string* err);
 
   // Enqueues one request.  `req.id` is overwritten with the client's own
-  // correlation id.  timeout <= 0 means config().request_timeout.
-  void call(WireRequest req, std::chrono::milliseconds timeout, Done done);
+  // correlation id.  timeout <= 0 means config().request_timeout.  The
+  // request is fully serialized before call() returns and never retained,
+  // so the caller may reuse `req` (capacity intact) for the next call —
+  // the alloc-free path for a per-thread request scratch.
+  void call(WireRequest& req, std::chrono::milliseconds timeout, Done done);
 
   bool alive() const;          // connected and not shut down
   std::size_t inflight() const;
   const RpcClientConfig& config() const { return cfg_; }
+  // Snapshot of the transport counters (frames per writev, pool hit rate,
+  // allocations per frame — rpc/buffer.h).  Thread-safe.
+  RpcStats stats() const;
 
   // Fails all pending calls ("client shutdown"), stops the I/O thread.
   // Idempotent.
   void shutdown();
 
  private:
+  // One in-flight call, living in a reusable slab slot (see slots_).  A
+  // zero id marks the slot free; the full wire id (sequence | slot) guards
+  // against a late response landing on a recycled slot.
   struct Pending {
     Done done;
     std::chrono::steady_clock::time_point expires;
+    std::uint64_t id = 0;
   };
+
+  // Wire ids encode their slab slot in the low bits, so matching a
+  // response to its call is one bounds-check + compare — no map, no
+  // per-call node allocation, no tree walk at 2k in flight.
+  static constexpr std::uint32_t kSlotBits = 20;
+  static constexpr std::uint64_t kSlotMask = (1u << kSlotBits) - 1;
 
   void io_loop();
   // Closes the socket, fails all pending into `completions`, arms the
@@ -105,10 +133,24 @@ class RpcClient {
 
   RpcClientConfig cfg_;
   mutable std::mutex mu_;
-  std::map<std::uint64_t, Pending> pending_;
-  std::vector<std::uint8_t> outbox_;
-  std::size_t out_off_ = 0;
-  std::uint64_t next_id_ = 1;
+  // Slab of in-flight calls: slots_[id & kSlotMask] is the call with that
+  // wire id.  Freed slots queue on free_slots_ for reuse; the slab only
+  // grows to the high-water in-flight count and never shrinks.
+  std::vector<Pending> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t pending_count_ = 0;
+  // Earliest expiry across in-flight calls (time_point::max() when none,
+  // or a stale-early lower bound after the nearest call completed — the
+  // sweep recomputes it).  The I/O loop sleeps exactly until this instant
+  // instead of ticking on a fixed interval.
+  std::chrono::steady_clock::time_point next_expiry_ =
+      std::chrono::steady_clock::time_point::max();
+  // Outbox: one pooled buffer per encoded frame, drained with vectored
+  // writes (drain_writev) — never re-copied into a flat buffer.
+  FrameQueue outbox_;
+  FramePool pool_;
+  RpcStats stats_;
+  std::uint64_t next_seq_ = 1;  // high bits of the wire id, never reused
   int fd_ = -1;
   bool connected_ = false;
   bool dead_ = false;      // reconnect attempts exhausted or handshake failed

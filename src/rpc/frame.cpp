@@ -190,6 +190,15 @@ void FrameReader::feed(const std::uint8_t* data, std::size_t n) {
 }
 
 bool FrameReader::next(MsgType* type, std::vector<std::uint8_t>* body) {
+  const std::uint8_t* p = nullptr;
+  std::size_t len = 0;
+  if (!next_view(type, &p, &len)) return false;
+  body->assign(p, p + len);
+  return true;
+}
+
+bool FrameReader::next_view(MsgType* type, const std::uint8_t** body,
+                            std::size_t* len) {
   if (failed_) return false;
   if (buf_.size() - off_ < kFrameHeaderBytes) return false;
   FrameHeader h;
@@ -199,10 +208,8 @@ bool FrameReader::next(MsgType* type, std::vector<std::uint8_t>* body) {
   }
   if (buf_.size() - off_ < kFrameHeaderBytes + h.body_len) return false;
   *type = h.type;
-  body->assign(buf_.begin() + static_cast<std::ptrdiff_t>(off_ +
-                                                          kFrameHeaderBytes),
-               buf_.begin() + static_cast<std::ptrdiff_t>(
-                                  off_ + kFrameHeaderBytes + h.body_len));
+  *body = buf_.data() + off_ + kFrameHeaderBytes;
+  *len = h.body_len;
   off_ += kFrameHeaderBytes + h.body_len;
   return true;
 }

@@ -54,6 +54,10 @@ class FrameReader {
   // holds less than one frame.  After a protocol violation failed() is set
   // and next() returns false forever.
   bool next(MsgType* type, std::vector<std::uint8_t>* body);
+  // Zero-copy variant: exposes the next frame's body in place.  The
+  // pointer aliases the reader's buffer and is invalidated by the next
+  // feed() (which may compact) — decode before feeding more bytes.
+  bool next_view(MsgType* type, const std::uint8_t** body, std::size_t* len);
   bool failed() const { return failed_; }
   const std::string& error() const { return error_; }
   std::size_t buffered() const { return buf_.size() - off_; }

@@ -1,0 +1,111 @@
+// InplaceFunction: a move-only callable wrapper whose capture lives inside
+// the wrapper itself — never on the heap.
+//
+// std::function heap-allocates any capture over ~16 bytes, and the RPC hot
+// path creates one completion closure per wire call (request state, slot
+// list, fail handler, timestamps — well past SSO).  At serving rates that
+// is a malloc/free pair per request for storage whose size is known at
+// compile time.  InplaceFunction trades generality for that allocation:
+// the capture must fit Cap bytes (enforced at compile time, so an outgrown
+// capture is a build error, not a silent heap fallback), and the wrapper
+// is move-only (captures own shared_ptrs and vectors; copying them per
+// call is exactly what the fast path is trying not to do).
+//
+// Invocation is non-const and the wrapper may be invoked at most as many
+// times as the caller's contract allows (the RPC Done contract is exactly
+// once); after a move the source is empty.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ppgnn::rpc {
+
+template <typename Sig, std::size_t Cap>
+class InplaceFunction;
+
+template <typename R, typename... Args, std::size_t Cap>
+class InplaceFunction<R(Args...), Cap> {
+ public:
+  InplaceFunction() = default;
+  InplaceFunction(std::nullptr_t) {}  // NOLINT: mirror std::function
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InplaceFunction> &&
+                !std::is_same_v<std::decay_t<F>, std::nullptr_t>>>
+  InplaceFunction(F&& f) {  // NOLINT: mirror std::function
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= Cap,
+                  "capture too large for this InplaceFunction — raise Cap");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned capture");
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    ops_ = &kOps<Fn>;
+  }
+
+  InplaceFunction(InplaceFunction&& o) noexcept { move_from(o); }
+  InplaceFunction& operator=(InplaceFunction&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      move_from(o);
+    }
+    return *this;
+  }
+  InplaceFunction& operator=(std::nullptr_t) {
+    destroy();
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { destroy(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* src, void* dst);  // move-construct dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr Ops kOps = {
+      [](void* p, Args&&... args) -> R {
+        return (*static_cast<Fn*>(p))(std::forward<Args>(args)...);
+      },
+      [](void* src, void* dst) {
+        Fn* s = static_cast<Fn*>(src);
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+  };
+
+  void move_from(InplaceFunction& o) noexcept {
+    if (o.ops_) {
+      o.ops_->relocate(o.buf_, buf_);
+      ops_ = o.ops_;
+      o.ops_ = nullptr;
+    }
+  }
+  void destroy() {
+    if (ops_) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Cap];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace ppgnn::rpc

@@ -2,6 +2,7 @@
 
 #include <signal.h>
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 #include <utility>
@@ -48,6 +49,29 @@ void record_part(serve::ServerStats* stats, const WirePart& part,
   }
 }
 
+// Slot ids for one wire call, stored inline in the completion closure.
+// Envelopes are nearly always a handful of nodes (single-node submits
+// dominate serving traffic), so the common case rides in the closure's own
+// allocation instead of paying a separate heap vector per call.
+struct SlotList {
+  static constexpr std::size_t kInline = 8;
+  std::uint32_t inl[kInline];
+  std::vector<std::uint32_t> heap;
+  std::uint32_t n = 0;
+
+  SlotList(const std::uint32_t* s, std::size_t count)
+      : n(static_cast<std::uint32_t>(count)) {
+    if (count <= kInline) {
+      std::copy(s, s + count, inl);
+    } else {
+      heap.assign(s, s + count);
+    }
+  }
+  std::size_t size() const { return n; }
+  const std::uint32_t* data() const { return heap.empty() ? inl : heap.data(); }
+  std::uint32_t operator[](std::size_t i) const { return data()[i]; }
+};
+
 }  // namespace
 
 RemoteReplica::RemoteReplica(std::unique_ptr<ChildProcess> proc,
@@ -67,15 +91,19 @@ void RemoteReplica::submit_parts(
   const auto now = std::chrono::steady_clock::now();
   const serve::ServeRequest& req = state->request();
 
-  WireRequest wreq;
+  // Request scratch: call() serializes before returning and never retains
+  // the request, so each submitting thread refills one WireRequest whose
+  // nodes capacity persists — no per-submit allocation for the wire side.
+  thread_local WireRequest wreq;
   wreq.priority = req.priority;
   // Always ship full logits: top-k truncation is the FRONT's RequestState
   // contract (its finish_part computes it), and keeping the replica
   // mode-agnostic means a re-routed part can land anywhere.
   wreq.mode = serve::ResultMode::kFullLogits;
   wreq.deadline_rel_us = deadline_to_budget_us(req.deadline, now);
+  wreq.nodes.clear();
   wreq.nodes.reserve(n);
-  std::vector<std::uint32_t> slot_vec(slots, slots + n);
+  SlotList slot_vec(slots, n);
   for (std::size_t i = 0; i < n; ++i) {
     wreq.nodes.push_back(req.nodes[slots[i]]);
   }
@@ -92,14 +120,16 @@ void RemoteReplica::submit_parts(
   client_->call(
       wreq, timeout,
       [state, slot_vec = std::move(slot_vec), stats,
-       on_fail = std::move(on_fail), now](RpcClient::Result&& res) {
+       on_fail = std::move(on_fail), now](RpcClient::Result& res) mutable {
         // Transport failure, a draining replica, or a malformed response
         // (part-count mismatch): nothing was finished — hand every slot
         // back for re-routing.
         if (!res.transport_ok ||
             res.response.status == serve::ServeStatus::kDraining ||
             res.response.parts.size() != slot_vec.size()) {
-          on_fail(slot_vec);
+          on_fail(state,
+                  std::vector<std::uint32_t>(
+                      slot_vec.data(), slot_vec.data() + slot_vec.size()));
           return;
         }
         const double latency_us =

@@ -23,13 +23,13 @@
 // across kill -9.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "rpc/client.h"
+#include "rpc/inplace_function.h"
 #include "rpc/process.h"
 #include "serve/serve_api.h"
 #include "serve/server_stats.h"
@@ -56,10 +56,16 @@ class RemoteReplica {
   RemoteReplica(const RemoteReplica&) = delete;
   RemoteReplica& operator=(const RemoteReplica&) = delete;
 
-  // Invoked with the slots that were neither finished nor will be —
-  // re-route them.  May run on the client's I/O thread, or inline inside
-  // submit_parts when the transport is already down.
-  using FailHandler = std::function<void(std::vector<std::uint32_t>)>;
+  // Invoked with the request state and the slots that were neither
+  // finished nor will be — re-route them.  May run on the client's I/O
+  // thread, or inline inside submit_parts when the transport is already
+  // down.  The state rides as a parameter (the bridge already holds it)
+  // so the handler's own capture stays small enough to live inline — no
+  // per-call closure allocation.
+  using FailHandler = InplaceFunction<
+      void(const std::shared_ptr<serve::RequestState>&,
+           std::vector<std::uint32_t>),
+      32>;
 
   // Submits `slots` of `state` as one wire call.  `stats` (optional) gets
   // the client-side view: admitted latency, sheds, deadline misses —
@@ -73,6 +79,10 @@ class RemoteReplica {
   std::size_t inflight() const { return client_->inflight(); }
   const WireHelloAck& info() const { return ack_; }
   pid_t pid() const { return proc_ ? proc_->pid() : -1; }
+  // Client-side transport counters (rpc/buffer.h): frames per writev,
+  // bytes per syscall, pool hit rate, allocations per frame.  Valid after
+  // retire() too — the fleet reports them post-run.
+  RpcStats rpc_stats() const { return client_->stats(); }
 
   // Graceful drain: SIGTERM, wait for the child to flush + exit (SIGKILL
   // past drain_grace), reap it, then shut the client down (stragglers fail

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fcntl.h>
+#include <iterator>
 #include <map>
 #include <mutex>
 #include <vector>
@@ -23,29 +24,37 @@ namespace {
 // One accepted connection.  The outbox is written by batcher dispatcher
 // threads (completion sinks) and flushed by the poll loop, hence the mutex;
 // `closed` makes a sink for a vanished client drop its response instead of
-// writing into a dead buffer.
+// writing into a dead buffer.  The frame pool and counters are per
+// connection and ride under the same mutex (a replica serves one front, so
+// per-conn pooling IS global pooling here).
 struct Conn {
-  explicit Conn(int f) : fd(f) {}
+  Conn(int f, std::size_t pool_buffers) : fd(f), pool(pool_buffers) {}
   int fd;
   FrameReader reader;
   std::mutex mu;
-  std::vector<std::uint8_t> outbox;
-  std::size_t out_off = 0;
+  FrameQueue outbox;
+  FramePool pool;
+  RpcStats stats;
   bool closed = false;
 
-  // Returns true when the outbox went idle->busy: only that edge needs a
-  // poll-loop wake (while bytes are queued the loop has POLLOUT armed or a
-  // wake byte pending), so a batch of completions costs one pipe write.
-  bool enqueue(MsgType type, const std::vector<std::uint8_t>& body) {
+  // Encodes one frame into a pooled buffer via `encode` (a *_into
+  // encoder).  Returns true when the outbox went idle->busy: only that
+  // edge needs a poll-loop wake (while frames are queued the loop has
+  // POLLOUT armed or a wake byte pending), so a dispatch round completing
+  // a whole batch of responses costs one pipe write — and the loop then
+  // flushes all of them in one vectored write.
+  template <typename EncodeFn>
+  bool enqueue(EncodeFn&& encode) {
     std::lock_guard<std::mutex> lk(mu);
     if (closed) return false;
-    const bool was_idle = out_off >= outbox.size();
-    append_frame(outbox, type, body.data(), body.size());
+    const bool was_idle = outbox.empty();
+    outbox.push_back(
+        encode_pooled(pool, stats, std::forward<EncodeFn>(encode)));
     return was_idle;
   }
   bool flushed() {
     std::lock_guard<std::mutex> lk(mu);
-    return closed || out_off >= outbox.size();
+    return closed || outbox.empty();
   }
 };
 
@@ -59,13 +68,18 @@ serve::ServeStatus part_wire_status(serve::ServeStatus envelope,
              : serve::ServeStatus::kOk;
 }
 
-WireResponse to_wire(const serve::ServeResponse& resp, std::uint64_t wire_id,
-                     serve::ResultMode mode) {
-  WireResponse w;
+// Fills `w` (a reusable scratch) from a finished ServeResponse.  The
+// per-part payloads are MOVED out of `resp` — it owns them and dies with
+// the completion sink — so building the wire shape costs zero allocations:
+// the scratch's parts array keeps its capacity and each moved-in vector
+// replaces (frees) the one left over from the previous response.
+void to_wire_into(serve::ServeResponse& resp, std::uint64_t wire_id,
+                  serve::ResultMode mode, WireResponse& w) {
   w.id = wire_id;
   w.status = resp.status;
   w.mode = mode;
   w.timings = resp.timings;
+  w.error.clear();
   if (resp.error) {
     try {
       std::rethrow_exception(resp.error);
@@ -81,14 +95,15 @@ WireResponse to_wire(const serve::ServeResponse& resp, std::uint64_t wire_id,
   for (std::size_t i = 0; i < n; ++i) {
     WirePart& p = w.parts[i];
     if (mode == serve::ResultMode::kTopK) {
-      p.topk = resp.topk[i];
+      p.logits.clear();
+      p.topk = std::move(resp.topk[i]);
       p.status = part_wire_status(resp.status, !p.topk.empty());
     } else {
-      p.logits = resp.logits[i];
+      p.topk.clear();
+      p.logits = std::move(resp.logits[i]);
       p.status = part_wire_status(resp.status, !p.logits.empty());
     }
   }
-  return w;
 }
 
 }  // namespace
@@ -133,10 +148,12 @@ int ReplicaServer::run(const volatile std::sig_atomic_t* stop) {
   std::chrono::steady_clock::time_point drain_deadline{};
 
   auto handle_request = [&](const std::shared_ptr<Conn>& conn,
-                            const WireRequest& wreq) {
+                            WireRequest& wreq) {
     serve::ServeRequest sreq;
     sreq.id = wreq.id;
-    sreq.nodes = wreq.nodes;
+    // The decoded nodes move straight into the serve envelope — the wire
+    // request is scratch and the ServeRequest needs ownership anyway.
+    sreq.nodes = std::move(wreq.nodes);
     sreq.priority = wreq.priority;
     sreq.mode = wreq.mode;
     sreq.topk = wreq.topk;
@@ -149,9 +166,16 @@ int ReplicaServer::run(const volatile std::sig_atomic_t* stop) {
         std::move(sreq),
         [conn, wire_id, mode, &inflight,
          wake](serve::ServeResponse&& resp) {
-          const WireResponse w = to_wire(resp, wire_id, mode);
-          const auto body = encode_response(w);
-          const bool need_wake = conn->enqueue(MsgType::kResponse, body);
+          // One wire-shape scratch per dispatcher thread: to_wire_into
+          // moves the payloads out of `resp` and reuses the scratch's
+          // parts capacity, so a completion allocates nothing on its way
+          // to the outbox (the pooled encode buffer is recycled too).
+          thread_local WireResponse w;
+          to_wire_into(resp, wire_id, mode, w);
+          const bool need_wake =
+              conn->enqueue([](std::vector<std::uint8_t>& out) {
+                encode_response_into(w, out);
+              });
           inflight.fetch_sub(1, std::memory_order_relaxed);
           if (need_wake) wake();
         });
@@ -166,11 +190,20 @@ int ReplicaServer::run(const volatile std::sig_atomic_t* stop) {
       bounce();
       return;
     }
-    std::vector<std::uint32_t> slots(parts);
+    // Slot ids are just 0..parts-1; envelopes are a handful of nodes, so a
+    // stack array covers them without a per-request allocation (heap only
+    // for pathological fan-out).
+    std::uint32_t stack_slots[256];
+    std::vector<std::uint32_t> heap_slots;
+    std::uint32_t* slots = stack_slots;
+    if (parts > std::size(stack_slots)) {
+      heap_slots.resize(parts);
+      slots = heap_slots.data();
+    }
     for (std::uint32_t i = 0; i < parts; ++i) slots[i] = i;
     serve::RejectReason reason;
     try {
-      reason = batcher.try_submit_parts(state, slots.data(), slots.size());
+      reason = batcher.try_submit_parts(state, slots, parts);
     } catch (const std::runtime_error&) {
       reason = serve::RejectReason::kDraining;  // stopped == terminal drain
     }
@@ -178,12 +211,13 @@ int ReplicaServer::run(const volatile std::sig_atomic_t* stop) {
     // kOverload / kDeadline: the batcher resolved the parts itself.
   };
 
-  auto close_conn = [&conns](int fd) {
+  auto close_conn = [&conns, this](int fd) {
     const auto it = conns.find(fd);
     if (it == conns.end()) return;
     {
       std::lock_guard<std::mutex> lk(it->second->mu);
       it->second->closed = true;
+      rpc_stats_.merge(it->second->stats);
     }
     ::close(fd);
     conns.erase(it);
@@ -191,6 +225,9 @@ int ReplicaServer::run(const volatile std::sig_atomic_t* stop) {
 
   std::uint8_t buf[65536];
   std::vector<pollfd> pfds;
+  // Request decode scratch: handle_request moves the nodes out, so across
+  // frames this only re-grows what each envelope actually ships.
+  WireRequest wreq;
   for (;;) {
     if (!draining && *stop) {
       draining = true;
@@ -234,39 +271,32 @@ int ReplicaServer::run(const volatile std::sig_atomic_t* stop) {
           const int cfd = ::accept4(listen_fd, nullptr, nullptr,
                                     SOCK_CLOEXEC | SOCK_NONBLOCK);
           if (cfd < 0) break;
-          conns.emplace(cfd, std::make_shared<Conn>(cfd));
+          conns.emplace(cfd,
+                        std::make_shared<Conn>(cfd, cfg_.frame_pool_buffers));
         }
       }
       ++idx;
     }
 
     std::vector<int> dead;
-    for (auto& [fd, conn] : conns) {
-      // pfds entries after the fixed ones mirror `conns` iteration order
-      // (std::map: stable, sorted by fd — unchanged since the poll above).
-      const pollfd& p = pfds[idx++];
+    // Walk the polled entries, not `conns`: the accept loop above may have
+    // grown the map since pfds was built, and std::map orders by fd — a
+    // freshly accepted low fd would shift every later entry off its pollfd.
+    // Connections accepted this iteration simply wait for the next poll.
+    for (; idx < pfds.size(); ++idx) {
+      const pollfd& p = pfds[idx];
+      const auto conn_it = conns.find(p.fd);
+      if (conn_it == conns.end()) continue;
+      const int fd = conn_it->first;
+      const std::shared_ptr<Conn>& conn = conn_it->second;
       if (p.revents & (POLLERR | POLLHUP)) {
         dead.push_back(fd);
         continue;
       }
       if (p.revents & POLLOUT) {
         std::lock_guard<std::mutex> lk(conn->mu);
-        while (conn->out_off < conn->outbox.size()) {
-          const ssize_t w =
-              ::send(fd, conn->outbox.data() + conn->out_off,
-                     conn->outbox.size() - conn->out_off, MSG_NOSIGNAL);
-          if (w > 0) {
-            conn->out_off += static_cast<std::size_t>(w);
-            continue;
-          }
-          if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-          if (w < 0 && errno == EINTR) continue;
+        if (!drain_writev(fd, conn->outbox, conn->pool, conn->stats)) {
           dead.push_back(fd);
-          break;
-        }
-        if (conn->out_off >= conn->outbox.size()) {
-          conn->outbox.clear();
-          conn->out_off = 0;
         }
       }
       if (p.revents & POLLIN) {
@@ -282,14 +312,17 @@ int ReplicaServer::run(const volatile std::sig_atomic_t* stop) {
           eof = true;
           break;
         }
+        // Zero-copy decode: the body view aliases the reader's buffer,
+        // which only this thread feeds — valid until the next recv.
         MsgType type;
-        std::vector<std::uint8_t> body;
+        const std::uint8_t* body = nullptr;
+        std::size_t body_len = 0;
         bool proto_err = false;
-        while (conn->reader.next(&type, &body)) {
+        while (conn->reader.next_view(&type, &body, &body_len)) {
           if (type == MsgType::kHello) {
             WireHello hello;
             std::string herr;
-            if (!decode_hello(body.data(), body.size(), &hello, &herr)) {
+            if (!decode_hello(body, body_len, &hello, &herr)) {
               proto_err = true;
               break;
             }
@@ -301,11 +334,12 @@ int ReplicaServer::run(const volatile std::sig_atomic_t* stop) {
             ack.num_nodes = session_->num_nodes();
             ack.classes = classes;
             ack.precision = static_cast<std::uint8_t>(session_->precision());
-            conn->enqueue(MsgType::kHelloAck, encode_hello_ack(ack));
+            conn->enqueue([&ack](std::vector<std::uint8_t>& out) {
+              encode_hello_ack_into(ack, out);
+            });
           } else if (type == MsgType::kRequest) {
-            WireRequest wreq;
             std::string rerr;
-            if (!decode_request(body.data(), body.size(), &wreq, &rerr)) {
+            if (!decode_request(body, body_len, &wreq, &rerr)) {
               proto_err = true;
               break;
             }
@@ -330,6 +364,7 @@ int ReplicaServer::run(const volatile std::sig_atomic_t* stop) {
   for (auto& [fd, conn] : conns) {
     std::lock_guard<std::mutex> lk(conn->mu);
     conn->closed = true;
+    rpc_stats_.merge(conn->stats);
     ::close(fd);
   }
   conns.clear();

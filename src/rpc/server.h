@@ -22,6 +22,7 @@
 #include <memory>
 #include <string>
 
+#include "rpc/buffer.h"
 #include "serve/inference_session.h"
 #include "serve/micro_batcher.h"
 #include "serve/server_stats.h"
@@ -34,6 +35,8 @@ struct ReplicaServerConfig {
   // How long run() waits for in-flight work to flush after the stop flag
   // rises before giving up on stragglers.
   std::chrono::milliseconds drain_timeout{10000};
+  // Encode buffers kept warm per connection (rpc/buffer.h free list).
+  std::size_t frame_pool_buffers = FramePool::kDefaultMaxFree;
 };
 
 class ReplicaServer {
@@ -53,12 +56,18 @@ class ReplicaServer {
 
   const serve::ServerStats& stats() const { return *stats_; }
   serve::InferenceSession& session() { return *session_; }
+  // Transport counters aggregated over all connections this server ran
+  // (closed ones fold in as they go).  Meaningful after run() returns;
+  // replica_server_cli prints them so the CI log artifact carries the
+  // server-side half of the fast-path evidence.
+  const RpcStats& rpc_stats() const { return rpc_stats_; }
 
  private:
   struct Impl;
   std::unique_ptr<serve::InferenceSession> session_;
   std::unique_ptr<serve::ServerStats> stats_;
   ReplicaServerConfig cfg_;
+  RpcStats rpc_stats_;
 };
 
 }  // namespace ppgnn::rpc

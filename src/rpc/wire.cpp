@@ -108,17 +108,94 @@ bool valid_status(std::uint8_t s) {
   return s <= static_cast<std::uint8_t>(serve::ServeStatus::kError);
 }
 
+// --- Body encoders ---------------------------------------------------------
+//
+// Shared by the vector-returning shims (body only) and the frame-appending
+// *_into encoders (placeholder header, body, patch) so the byte layout has
+// exactly one implementation per message.
+
+void hello_body_into(const WireHello& h, std::vector<std::uint8_t>& out) {
+  put_u32(out, h.magic);
+  put_u32(out, h.protocol);
+}
+
+void hello_ack_body_into(const WireHelloAck& a,
+                         std::vector<std::uint8_t>& out) {
+  put_u32(out, a.magic);
+  put_u32(out, a.protocol);
+  put_u64(out, a.num_nodes);
+  put_u32(out, a.classes);
+  out.push_back(a.precision);
+  out.push_back(0);
+  out.push_back(0);
+  out.push_back(0);  // reserved
+}
+
+void request_body_into(const WireRequest& r, std::vector<std::uint8_t>& out) {
+  put_u64(out, r.id);
+  out.push_back(static_cast<std::uint8_t>(r.priority));
+  out.push_back(static_cast<std::uint8_t>(r.mode));
+  put_u16(out, r.topk);
+  put_i64(out, r.deadline_rel_us);
+  put_u32(out, static_cast<std::uint32_t>(r.nodes.size()));
+  for (const std::int64_t n : r.nodes) put_i64(out, n);
+}
+
+void response_body_into(const WireResponse& r,
+                        std::vector<std::uint8_t>& out) {
+  put_u64(out, r.id);
+  out.push_back(static_cast<std::uint8_t>(r.status));
+  out.push_back(static_cast<std::uint8_t>(r.mode));
+  put_u16(out, 0);  // reserved
+  put_u32(out, static_cast<std::uint32_t>(r.parts.size()));
+  put_f64(out, r.timings.admission_wait_us);
+  put_f64(out, r.timings.dispatch_delay_us);
+  put_f64(out, r.timings.compute_us);
+  put_u32(out, static_cast<std::uint32_t>(r.error.size()));
+  out.insert(out.end(), r.error.begin(), r.error.end());
+  for (const WirePart& p : r.parts) {
+    out.push_back(static_cast<std::uint8_t>(p.status));
+    if (r.mode == serve::ResultMode::kTopK) {
+      put_u32(out, static_cast<std::uint32_t>(p.topk.size()));
+      for (const serve::TopKEntry& e : p.topk) {
+        put_u32(out, static_cast<std::uint32_t>(e.cls));
+        put_f32(out, e.score);
+      }
+    } else {
+      put_u32(out, static_cast<std::uint32_t>(p.logits.size()));
+      for (const float v : p.logits) put_f32(out, v);
+    }
+  }
+}
+
+// Frame-appending skeleton: write a placeholder header, append the body,
+// then patch body_len once it is known — one pass, no temporary vector.
+template <typename BodyFn>
+void frame_into(MsgType type, std::vector<std::uint8_t>& out, BodyFn&& body) {
+  const std::size_t hdr = out.size();
+  out.resize(hdr + kFrameHeaderBytes, 0);
+  body(out);
+  const std::size_t body_len = out.size() - hdr - kFrameHeaderBytes;
+  for (int i = 0; i < 4; ++i) {
+    out[hdr + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(body_len >> (8 * i));
+  }
+  out[hdr + 4] = static_cast<std::uint8_t>(type);
+  out[hdr + 5] = kWireVersion;
+  // bytes 6..7 (reserved) stay zero from the resize
+}
+
 }  // namespace
 
 void encode_frame_header(const FrameHeader& h,
                          std::uint8_t out[kFrameHeaderBytes]) {
-  std::vector<std::uint8_t> buf;
-  buf.reserve(kFrameHeaderBytes);
-  put_u32(buf, h.body_len);
-  buf.push_back(static_cast<std::uint8_t>(h.type));
-  buf.push_back(h.version);
-  put_u16(buf, 0);  // reserved
-  std::memcpy(out, buf.data(), kFrameHeaderBytes);
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<std::uint8_t>(h.body_len >> (8 * i));
+  }
+  out[4] = static_cast<std::uint8_t>(h.type);
+  out[5] = h.version;
+  out[6] = 0;
+  out[7] = 0;  // reserved
 }
 
 bool decode_frame_header(const std::uint8_t in[kFrameHeaderBytes],
@@ -161,9 +238,13 @@ void append_frame(std::vector<std::uint8_t>& out, MsgType type,
 std::vector<std::uint8_t> encode_hello(const WireHello& h) {
   std::vector<std::uint8_t> out;
   out.reserve(8);
-  put_u32(out, h.magic);
-  put_u32(out, h.protocol);
+  hello_body_into(h, out);
   return out;
+}
+
+void encode_hello_into(const WireHello& h, std::vector<std::uint8_t>& out) {
+  frame_into(MsgType::kHello, out,
+             [&h](std::vector<std::uint8_t>& o) { hello_body_into(h, o); });
 }
 
 bool decode_hello(const std::uint8_t* body, std::size_t len, WireHello* out,
@@ -182,15 +263,15 @@ bool decode_hello(const std::uint8_t* body, std::size_t len, WireHello* out,
 std::vector<std::uint8_t> encode_hello_ack(const WireHelloAck& a) {
   std::vector<std::uint8_t> out;
   out.reserve(24);
-  put_u32(out, a.magic);
-  put_u32(out, a.protocol);
-  put_u64(out, a.num_nodes);
-  put_u32(out, a.classes);
-  out.push_back(a.precision);
-  out.push_back(0);
-  out.push_back(0);
-  out.push_back(0);  // reserved
+  hello_ack_body_into(a, out);
   return out;
+}
+
+void encode_hello_ack_into(const WireHelloAck& a,
+                           std::vector<std::uint8_t>& out) {
+  frame_into(MsgType::kHelloAck, out, [&a](std::vector<std::uint8_t>& o) {
+    hello_ack_body_into(a, o);
+  });
 }
 
 bool decode_hello_ack(const std::uint8_t* body, std::size_t len,
@@ -217,14 +298,16 @@ bool decode_hello_ack(const std::uint8_t* body, std::size_t len,
 std::vector<std::uint8_t> encode_request(const WireRequest& r) {
   std::vector<std::uint8_t> out;
   out.reserve(24 + r.nodes.size() * 8);
-  put_u64(out, r.id);
-  out.push_back(static_cast<std::uint8_t>(r.priority));
-  out.push_back(static_cast<std::uint8_t>(r.mode));
-  put_u16(out, r.topk);
-  put_i64(out, r.deadline_rel_us);
-  put_u32(out, static_cast<std::uint32_t>(r.nodes.size()));
-  for (const std::int64_t n : r.nodes) put_i64(out, n);
+  request_body_into(r, out);
   return out;
+}
+
+void encode_request_into(const WireRequest& r,
+                         std::vector<std::uint8_t>& out) {
+  out.reserve(out.size() + kFrameHeaderBytes + 24 + r.nodes.size() * 8);
+  frame_into(MsgType::kRequest, out, [&r](std::vector<std::uint8_t>& o) {
+    request_body_into(r, o);
+  });
 }
 
 bool decode_request(const std::uint8_t* body, std::size_t len,
@@ -280,30 +363,15 @@ std::chrono::steady_clock::time_point budget_us_to_deadline(
 std::vector<std::uint8_t> encode_response(const WireResponse& r) {
   std::vector<std::uint8_t> out;
   out.reserve(64 + r.error.size());
-  put_u64(out, r.id);
-  out.push_back(static_cast<std::uint8_t>(r.status));
-  out.push_back(static_cast<std::uint8_t>(r.mode));
-  put_u16(out, 0);  // reserved
-  put_u32(out, static_cast<std::uint32_t>(r.parts.size()));
-  put_f64(out, r.timings.admission_wait_us);
-  put_f64(out, r.timings.dispatch_delay_us);
-  put_f64(out, r.timings.compute_us);
-  put_u32(out, static_cast<std::uint32_t>(r.error.size()));
-  out.insert(out.end(), r.error.begin(), r.error.end());
-  for (const WirePart& p : r.parts) {
-    out.push_back(static_cast<std::uint8_t>(p.status));
-    if (r.mode == serve::ResultMode::kTopK) {
-      put_u32(out, static_cast<std::uint32_t>(p.topk.size()));
-      for (const serve::TopKEntry& e : p.topk) {
-        put_u32(out, static_cast<std::uint32_t>(e.cls));
-        put_f32(out, e.score);
-      }
-    } else {
-      put_u32(out, static_cast<std::uint32_t>(p.logits.size()));
-      for (const float v : p.logits) put_f32(out, v);
-    }
-  }
+  response_body_into(r, out);
   return out;
+}
+
+void encode_response_into(const WireResponse& r,
+                          std::vector<std::uint8_t>& out) {
+  frame_into(MsgType::kResponse, out, [&r](std::vector<std::uint8_t>& o) {
+    response_body_into(r, o);
+  });
 }
 
 bool decode_response(const std::uint8_t* body, std::size_t len,
@@ -331,10 +399,13 @@ bool decode_response(const std::uint8_t* body, std::size_t len,
   out->error.assign(reinterpret_cast<const char*>(r.p), error_len);
   r.p += error_len;
   r.left -= error_len;
-  out->parts.clear();
-  out->parts.reserve(part_count);
+  // Decode INTO the caller's vectors (resize, not clear+push_back): a
+  // long-lived scratch WireResponse keeps its parts array and each part's
+  // logits/topk capacity across frames, so steady-state decode allocates
+  // only what the completion actually moves out.
+  out->parts.resize(part_count);
   for (std::uint32_t i = 0; i < part_count; ++i) {
-    WirePart p;
+    WirePart& p = out->parts[i];
     const std::uint8_t ps = r.u8();
     const std::uint32_t count = r.u32();
     if (!r.ok) return fail(err, "ppgnn-wire: truncated Response part");
@@ -347,16 +418,17 @@ bool decode_response(const std::uint8_t* body, std::size_t len,
       return fail(err, "ppgnn-wire: part values past end of frame");
     }
     if (out->mode == serve::ResultMode::kTopK) {
+      p.logits.clear();
       p.topk.resize(count);
       for (std::uint32_t j = 0; j < count; ++j) {
         p.topk[j].cls = static_cast<std::int32_t>(r.u32());
         p.topk[j].score = r.f32();
       }
     } else {
+      p.topk.clear();
       p.logits.resize(count);
       for (std::uint32_t j = 0; j < count; ++j) p.logits[j] = r.f32();
     }
-    out->parts.push_back(std::move(p));
   }
   if (!r.ok || r.left != 0) {
     return fail(err, "ppgnn-wire: Response length mismatch");

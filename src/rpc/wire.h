@@ -70,6 +70,14 @@ bool decode_frame_header(const std::uint8_t in[kFrameHeaderBytes],
 void append_frame(std::vector<std::uint8_t>& out, MsgType type,
                   const std::uint8_t* body, std::size_t body_len);
 
+// Append-style `*_into` encoders (declared per section below): each
+// appends one COMPLETE frame (header + body) to `out` without clearing it,
+// producing byte-for-byte what append_frame over the matching
+// vector-returning encoder would.  Encoding into a recycled FrameBuffer
+// (rpc/buffer.h) whose capacity already fits the frame touches the heap
+// zero times; the vector-returning body encoders stay as thin shims for
+// tests and one-shot callers.
+
 // --- Handshake ------------------------------------------------------------
 
 struct WireHello {
@@ -86,9 +94,12 @@ struct WireHelloAck {
 };
 
 std::vector<std::uint8_t> encode_hello(const WireHello& h);
+void encode_hello_into(const WireHello& h, std::vector<std::uint8_t>& out);
 bool decode_hello(const std::uint8_t* body, std::size_t len, WireHello* out,
                   std::string* err);
 std::vector<std::uint8_t> encode_hello_ack(const WireHelloAck& a);
+void encode_hello_ack_into(const WireHelloAck& a,
+                           std::vector<std::uint8_t>& out);
 bool decode_hello_ack(const std::uint8_t* body, std::size_t len,
                       WireHelloAck* out, std::string* err);
 
@@ -104,6 +115,7 @@ struct WireRequest {
 };
 
 std::vector<std::uint8_t> encode_request(const WireRequest& r);
+void encode_request_into(const WireRequest& r, std::vector<std::uint8_t>& out);
 bool decode_request(const std::uint8_t* body, std::size_t len,
                     WireRequest* out, std::string* err);
 
@@ -133,6 +145,8 @@ struct WireResponse {
 };
 
 std::vector<std::uint8_t> encode_response(const WireResponse& r);
+void encode_response_into(const WireResponse& r,
+                          std::vector<std::uint8_t>& out);
 bool decode_response(const std::uint8_t* body, std::size_t len,
                      WireResponse* out, std::string* err);
 

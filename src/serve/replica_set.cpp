@@ -345,9 +345,10 @@ void FleetManager::submit_remote(const std::shared_ptr<ReplicaHandle>& h,
   // thread; place_parts is safe on both (one atomic load, no admin lock).
   h->remote->submit_parts(
       state, slots.data(), slots.size(), h->stats.get(),
-      [this, h, state](std::vector<std::uint32_t> failed) {
+      [this, h](const std::shared_ptr<RequestState>& st,
+                std::vector<std::uint32_t> failed) {
         remove_dead_replica(h);
-        place_parts(state, std::move(failed));
+        place_parts(st, std::move(failed));
       });
 }
 
@@ -419,6 +420,44 @@ std::size_t FleetManager::warm_from_peers(ReplicaHandle& fresh,
     if (batch.size() >= cfg_.warm_keys) break;
   }
   return dst->admit_payloads(batch);
+}
+
+std::size_t FleetManager::handoff_to_successors(ReplicaHandle& victim,
+                                                const Membership& next) {
+  if (cfg_.warm_keys == 0) return 0;
+  if (!victim.session) return 0;  // remote: cache lives server-side
+  auto* src = dynamic_cast<CachedSource*>(&victim.session->features());
+  if (!src) return 0;
+  // The victim is already unpublished: `next`'s ring is live, so every hot
+  // row has exactly one new home.  Ship each row there (recency order —
+  // export_hot_payloads yields hottest first) so the successor's first
+  // window after the retirement starts warm instead of faulting the
+  // victim's working set back in through misses.
+  std::vector<std::vector<std::pair<std::int64_t, std::vector<std::uint8_t>>>>
+      batches(next.replicas.size());
+  for (auto& [row, bytes] : src->export_hot_payloads(cfg_.warm_keys)) {
+    const std::size_t dst_index = next.ring.lookup(row);
+    if (dst_index >= batches.size()) continue;
+    // Remote successors warm server-side; no client-side cache to seed.
+    if (!next.replicas[dst_index]->session) continue;
+    batches[dst_index].emplace_back(row, std::move(bytes));
+  }
+  PendingHandoffMeasure pending;
+  pending.victim_generation = victim.generation;
+  pending.handed_at = cfg_.clock->now();
+  std::size_t admitted = 0;
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    if (batches[i].empty()) continue;
+    auto* dst = dynamic_cast<CachedSource*>(
+        &next.replicas[i]->session->features());
+    if (!dst) continue;
+    admitted += dst->admit_payloads(batches[i]);
+    pending.successors.emplace_back(next.replicas[i], dst->stats());
+  }
+  if (!pending.successors.empty()) {
+    pending_handoffs_.push_back(std::move(pending));
+  }
+  return admitted;
 }
 
 std::uint64_t FleetManager::scale_up() {
@@ -497,6 +536,10 @@ std::uint64_t FleetManager::scale_down() {
   // here, so the drain only has to bounce the stragglers already holding
   // the old snapshot.
   std::atomic_store(&membership_, std::shared_ptr<const Membership>(next));
+  // Hand the victim's hot rows to their new ring homes while the cache is
+  // still intact — the inverse of spawn warm-up — so the survivors absorb
+  // the victim's traffic without a cold-miss spike.
+  victim->handoff_keys = handoff_to_successors(*victim, *next);
   if (victim->batcher) {
     victim->batcher->begin_drain();
     victim->batcher->stop();  // admitted work completes; dispatcher joins
@@ -625,6 +668,7 @@ void FleetManager::record_event(bool spawned, const ReplicaHandle& h,
   e.generation = h.generation;
   e.replicas_after = replicas_after;
   e.warmed_keys = h.warmed_keys;
+  e.handoff_keys = h.handoff_keys;
   std::lock_guard<std::mutex> lk(events_mu_);
   events_.push_back(e);
 }
@@ -834,6 +878,63 @@ void FleetManager::measure_first_windows() {
   }
 }
 
+void FleetManager::measure_handoff_windows() {
+  std::vector<std::pair<std::uint64_t, double>> measured;
+  {
+    std::lock_guard<std::mutex> lk(admin_mu_);
+    const auto now = cfg_.clock->now();
+    for (auto it = pending_handoffs_.begin();
+         it != pending_handoffs_.end();) {
+      if (now - it->handed_at < cfg_.stats_window) {
+        ++it;
+        continue;
+      }
+      // Pool the post-handoff access/hit deltas across every successor
+      // that received rows: the question is "did the victim's working set
+      // land warm?", and the answer lives in the successors' combined
+      // first window, not any single cache.
+      std::uint64_t accesses = 0, hits = 0;
+      for (const auto& [succ, at_handoff] : it->successors) {
+        auto* c = succ->session ? dynamic_cast<CachedSource*>(
+                                      &succ->session->features())
+                                : nullptr;
+        if (!c) continue;
+        const FeatureCacheStats st = c->stats();
+        accesses += st.accesses - at_handoff.accesses;
+        hits += st.hits - at_handoff.hits;
+      }
+      const double rate =
+          accesses > 0
+              ? static_cast<double>(hits) / static_cast<double>(accesses)
+              : 0.0;
+      measured.emplace_back(it->victim_generation, rate);
+      it = pending_handoffs_.erase(it);
+    }
+  }
+  if (measured.empty()) return;
+  std::lock_guard<std::mutex> lk(events_mu_);
+  for (const auto& [generation, rate] : measured) {
+    for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
+      if (!it->spawned && it->generation == generation) {
+        it->successor_first_window_hit_rate = rate;
+        break;
+      }
+    }
+  }
+}
+
+rpc::RpcStats FleetManager::aggregate_rpc_stats() const {
+  rpc::RpcStats total;
+  std::lock_guard<std::mutex> lk(admin_mu_);
+  std::unordered_set<std::uint64_t> seen;
+  for (const auto& h : all_handles_) {
+    if (!h->remote) continue;
+    if (!seen.insert(h->generation).second) continue;
+    total.merge(h->remote->rpc_stats());
+  }
+  return total;
+}
+
 void FleetManager::controller_loop() {
   std::unique_lock<std::mutex> lk(controller_mu_);
   while (!controller_stop_) {
@@ -842,6 +943,7 @@ void FleetManager::controller_loop() {
     if (controller_stop_) break;
     lk.unlock();
     measure_first_windows();
+    measure_handoff_windows();
     const FleetSignals s = signals();
     const ScaleAction action =
         autoscaler_->on_tick(s, cfg_.clock->now());

@@ -77,9 +77,11 @@
 
 // The cross-process bridge (src/rpc/remote_replica.h).  Forward-declared:
 // the serve layer's compile-time surface stays transport-free, and only
-// replica_set.cpp links the rpc types in.
+// replica_set.cpp links the rpc types in.  (RpcStats is declared-only too:
+// aggregate_rpc_stats() callers include rpc/buffer.h themselves.)
 namespace ppgnn::rpc {
 class RemoteReplica;
+struct RpcStats;
 }
 
 namespace ppgnn::serve {
@@ -141,6 +143,12 @@ struct FleetEvent {
   // stats-window of live traffic (cold spawns benchmark the warmup).
   // Negative until measured by the controller.
   double first_window_hit_rate = -1.0;
+  // Retire events: hot rows the Draining replica handed to its ring
+  // successors before retiring (the inverse of spawn warm-up), and the
+  // successors' pooled cache hit rate over the first stats-window after
+  // the handoff (negative until measured by the controller).
+  std::size_t handoff_keys = 0;
+  double successor_first_window_hit_rate = -1.0;
 };
 
 // Recipe for one replica living in another process: spawn (or connect to)
@@ -256,6 +264,11 @@ class FleetManager {
   // Dispatched batches and their mean size, summed across replicas.
   std::size_t aggregate_batches() const;
   double aggregate_mean_batch_size() const;
+  // Cross-process transport counters summed over every remote replica ever
+  // spawned (rpc/buffer.h; serve_cli --remote-replicas and bench section 7
+  // report the derived frames-per-writev / pool-hit-rate / allocs-per-frame
+  // ratios).  All-zero for fleets with no remote replicas.
+  rpc::RpcStats aggregate_rpc_stats() const;
 
   // Windowed autoscale signals, pooled across active replicas (what the
   // controller feeds the policy; exposed for status lines and tests).
@@ -288,6 +301,8 @@ class FleetManager {
     FeatureCacheStats cache_at_activation;
     std::chrono::steady_clock::time_point activated_at{};
     bool first_window_measured = false;
+    // Rows handed to ring successors at retirement (scale_down).
+    std::size_t handoff_keys = 0;
   };
 
   struct Membership {
@@ -333,11 +348,20 @@ class FleetManager {
   std::size_t warm_from_peers(ReplicaHandle& fresh,
                               const Membership& current_members,
                               const HashRing& next_ring);
+  // The inverse at retirement: exports `victim`'s hot rows and admits each
+  // into the cache of the ring successor `next` assigns it to; returns
+  // rows admitted and queues the successor first-window measurement.
+  // Caller holds admin_mu_.
+  std::size_t handoff_to_successors(ReplicaHandle& victim,
+                                    const Membership& next);
   void record_event(bool spawned, const ReplicaHandle& h,
                     std::uint64_t epoch, std::size_t replicas_after);
   // Fills first_window_hit_rate for spawned replicas one stats-window
   // after activation.  Controller-thread only.
   void measure_first_windows();
+  // Fills successor_first_window_hit_rate for retire events one
+  // stats-window after the handoff.  Controller-thread only.
+  void measure_handoff_windows();
   void controller_loop();
 
   FleetConfig cfg_;
@@ -364,6 +388,18 @@ class FleetManager {
   std::chrono::steady_clock::time_point started_at_;
   mutable std::mutex events_mu_;
   std::vector<FleetEvent> events_;
+
+  // One retirement handoff awaiting its successor first-window
+  // measurement: the successors' cache counters at handoff time, so the
+  // controller can compute the hit rate over ONLY the post-handoff window
+  // (the mirror of measure_first_windows' cache_at_activation delta).
+  struct PendingHandoffMeasure {
+    std::uint64_t victim_generation = 0;
+    std::chrono::steady_clock::time_point handed_at{};
+    std::vector<std::pair<std::shared_ptr<ReplicaHandle>, FeatureCacheStats>>
+        successors;
+  };
+  std::vector<PendingHandoffMeasure> pending_handoffs_;  // under admin_mu_
 
   std::unique_ptr<AutoscalePolicy> autoscaler_;  // null unless enabled
   std::thread controller_;

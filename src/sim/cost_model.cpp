@@ -70,6 +70,12 @@ double CostModel::cpu_gemm_s8(std::size_t m, std::size_t k,
                   bytes / m_.host.mem_bandwidth);
 }
 
+double CostModel::rpc_frame(std::size_t frame_bytes) const {
+  const double coalesce = std::max(1.0, m_.rpc.frames_per_syscall);
+  return m_.rpc.syscall_overhead_s / coalesce + m_.rpc.frame_overhead_s +
+         static_cast<double>(frame_bytes) / m_.rpc.bandwidth;
+}
+
 double CostModel::gpu_spmm(std::size_t nnz, std::size_t feat_dim) const {
   // Per edge: read one source row + accumulate — bytes dominate.
   const double bytes = static_cast<double>(nnz) *

@@ -43,6 +43,13 @@ class CostModel {
   // Edge-parallel SpMM / attention aggregation, bytes-bound.
   double gpu_spmm(std::size_t nnz, std::size_t feat_dim) const;
 
+  // -- Cross-process RPC ----------------------------------------------------
+  // One framed message (request or response) front <-> replica process:
+  // the per-syscall cost amortized over the machine's writev coalescing
+  // factor, plus per-frame encode/decode and byte streaming.  A round trip
+  // is two of these (request + response sizes).
+  double rpc_frame(std::size_t frame_bytes) const;
+
   // -- Storage --------------------------------------------------------------
   // Chunked sequential reads striped over parallel_streams files (GDS path).
   double ssd_chunk_read(std::size_t num_chunks, std::size_t chunk_bytes) const;

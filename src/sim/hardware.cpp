@@ -36,6 +36,12 @@ CpuGemmSpec CpuGemmSpec::measured(Isa isa, double gemm_gops) {
   return s;
 }
 
+RpcSpec RpcSpec::measured(double frames_per_writev) {
+  RpcSpec s;
+  if (frames_per_writev > 1.0) s.frames_per_syscall = frames_per_writev;
+  return s;
+}
+
 MachineSpec MachineSpec::paper_server() {
   MachineSpec m;
   // RTX A6000: 38.7 TFLOPS fp32 peak; dense GEMM sustains ~50%; GDDR6

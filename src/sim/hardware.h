@@ -71,6 +71,25 @@ struct CpuGemmSpec {
   static CpuGemmSpec measured(Isa isa, double gemm_gops);
 };
 
+// Cross-process RPC transport (src/rpc/): the cost of shipping one framed
+// request or response between a serving front and a replica process over a
+// local socket.  The writev fast path amortizes the per-syscall cost over
+// `frames_per_syscall` coalesced frames; per-frame encode/decode work and
+// byte streaming remain per frame.  Defaults model a Linux Unix-domain
+// socket; measured() takes the BENCH_serving.json cross_process record's
+// observed coalescing factor so fleetsim prices the fleet it actually ran.
+struct RpcSpec {
+  double syscall_overhead_s = 2.0e-6;   // sendmsg/recv pair, local socket
+  double frame_overhead_s = 0.5e-6;     // encode + decode + queue handling
+  double bandwidth = 4.0e9;             // bytes/s through the socket copy
+  double frames_per_syscall = 1.0;      // writev coalescing factor (>= 1)
+
+  // Calibrated from a cross_process bench record: the measured
+  // frames-per-writev ratio, with non-positive values degrading to the
+  // uncoalesced default — the same guard CpuGemmSpec::measured applies.
+  static RpcSpec measured(double frames_per_writev);
+};
+
 struct StorageSpec {
   double seq_read_bandwidth = 0;   // bytes/s, large sequential reads
   double rand_read_iops = 0;       // 4 KiB random read operations/s
@@ -88,6 +107,7 @@ struct MachineSpec {
   LinkSpec pcie;       // host <-> one GPU
   StorageSpec ssd;
   CpuGemmSpec cpu_gemm;  // host INT8 serving GEMM (see CpuGemmSpec)
+  RpcSpec rpc;           // front <-> replica-process wire cost (see RpcSpec)
   // All-reduce efficiency factor for data-parallel gradient sync over the
   // PCIe fabric (ring all-reduce without NVLink).
   double allreduce_efficiency = 0.7;

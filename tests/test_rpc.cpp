@@ -117,8 +117,8 @@ RpcClient::Result call_sync(RpcClient& client, WireRequest req,
                             std::chrono::milliseconds timeout =
                                 std::chrono::milliseconds(10000)) {
   std::promise<RpcClient::Result> done;
-  client.call(std::move(req), timeout,
-              [&done](RpcClient::Result&& r) { done.set_value(std::move(r)); });
+  client.call(req, timeout,
+              [&done](RpcClient::Result& r) { done.set_value(std::move(r)); });
   return done.get_future().get();
 }
 
