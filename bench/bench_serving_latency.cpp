@@ -72,6 +72,17 @@
 //     "cross_process" JSON row records both rates and the overhead ratio;
 //     the deploy gate is ratio <= 2x.
 //
+//  9. Tenant isolation (src/tenancy/).  Four equal contracts on one
+//     replica; both arms run tenant 0 at its full contracted quota's
+//     worth of ADMITTED load (arm A offers exactly quota, arm B blasts
+//     10x and the bucket clips it back to quota), tenants 1-3 at half
+//     quota throughout.  Load-matched arms isolate the enforcement
+//     claim — blasting past your contract gains you nothing and costs
+//     your neighbors nothing beyond what your contracted rate already
+//     does.  Gated in the "tenant_isolation" record: no victim is
+//     quota-refused, no victim's admitted p99 moves more than 10%, and
+//     the aggressor IS refused (the buckets demonstrably fired).
+//
 // Every row also prints as one JSON line ("json: {...}"); --json=PATH
 // additionally writes all records to PATH as a JSON array (the
 // BENCH_serving.json artifact CI uploads).  --quick shrinks streams for
@@ -88,12 +99,14 @@
 #include "rpc/remote_replica.h"
 #include "serve/testbed.h"
 #include "serve/workload.h"
+#include "tenancy/tenant.h"
 #include "tensor/cpu_features.h"
 #include "tensor/quant.h"
 #include "tensor/rng.h"
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <deque>
@@ -217,7 +230,8 @@ std::unique_ptr<Fleet> make_fleet(
     std::chrono::microseconds shed_budget = std::chrono::microseconds{0},
     serve::Precision precision = serve::Precision::kFp32,
     loader::RowCodec codec = loader::RowCodec::kFp32,
-    serve::AutoscaleConfig autoscale = {}, bool deadline_aware = true) {
+    serve::AutoscaleConfig autoscale = {}, bool deadline_aware = true,
+    const tenancy::TenantRegistry* tenants = nullptr) {
   auto f = std::make_unique<Fleet>();
   Fleet* fp = f.get();  // stable address for the builder's source factory
   serve::FleetBuilder builder(
@@ -246,6 +260,7 @@ std::unique_ptr<Fleet> make_fleet(
   fc.batch.shed_budget = shed_budget;
   fc.batch.deadline_aware = deadline_aware;
   fc.autoscale = autoscale;
+  fc.tenants = tenants;
   f->set = std::make_unique<serve::FleetManager>(std::move(builder),
                                                  replicas, fc);
   return f;
@@ -301,6 +316,109 @@ SaturationPoint drive_closed(Fleet& fleet,
   auto p = drive_closed(*fleet.set, stream, clients, window);
   p.hit_rate = fleet.hit_rate();
   return p;
+}
+
+// One tenant's offered rate in the multi-tenant isolation drive.
+struct TenantLoad {
+  std::uint32_t tenant = 0;
+  double rps = 0;
+};
+
+// Paced open loop of single-node v2 envelopes, each tenant on its own
+// arrival schedule, for `warmup + seconds` of wall time.  Every envelope
+// goes through FleetManager::submit — the path the tenancy front gate
+// (token buckets, priority ceiling, DWRR hand-off) actually guards — and
+// every submission produces exactly one response.
+//
+// Latency is measured CLIENT-SIDE (submit -> completion) and only over
+// kOk envelopes submitted after the warm-up cut: a freshly built fleet's
+// first fraction of a second serves through a cold row cache, and at
+// these offered rates that transient alone backs up the open loop enough
+// to own the lifetime p99.  The isolation gate compares steady states,
+// so the warm-up samples are discarded symmetrically in both arms.  The
+// returned rows are the fleet's cumulative per-tenant merge (admission
+// and refusal counters span warm-up too — refusal counts are what the
+// gate checks and warming changes none of them) with the latency columns
+// replaced by the steady-state client-side percentiles.
+std::vector<serve::TenantStat> drive_tenant_mix(
+    serve::FleetManager& fleet, const std::vector<std::int64_t>& stream,
+    const std::vector<TenantLoad>& loads, double seconds, double warmup) {
+  using Clock = std::chrono::steady_clock;
+  serve::CompletionQueue cq;
+  serve::ServeResponse resp;
+  std::size_t inflight = 0;
+  const auto t0 = Clock::now();
+  const auto warm_end =
+      t0 + std::chrono::duration_cast<Clock::duration>(
+               std::chrono::duration<double>(warmup));
+  const auto end =
+      warm_end + std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(seconds));
+  std::vector<Clock::time_point> next(loads.size(), t0);
+  std::vector<Clock::duration> interval(loads.size());
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    interval[i] = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(1.0 / loads[i].rps));
+  }
+  // Submission bookkeeping indexed by envelope id: which load slot it
+  // belongs to and when it left, so completions can be billed per tenant
+  // without trusting any server-side clock.
+  std::vector<std::uint32_t> sub_slot;
+  std::vector<Clock::time_point> sub_when;
+  std::vector<std::vector<double>> lat(loads.size());
+  const auto account = [&](const serve::ServeResponse& r) {
+    --inflight;
+    if (r.status != serve::ServeStatus::kOk) return;
+    if (sub_when[r.id] < warm_end) return;
+    const double us = std::chrono::duration<double, std::micro>(
+                          Clock::now() - sub_when[r.id])
+                          .count();
+    lat[sub_slot[r.id]].push_back(us);
+  };
+  std::size_t si = 0;
+  while (true) {
+    // Earliest-deadline tenant submits next; ties resolve to the lower
+    // index, which is deterministic across runs.
+    std::size_t k = 0;
+    for (std::size_t j = 1; j < loads.size(); ++j) {
+      if (next[j] < next[k]) k = j;
+    }
+    if (next[k] >= end) break;
+    std::this_thread::sleep_until(next[k]);
+    serve::ServeRequest req;
+    req.id = si;
+    req.nodes = {stream[si % stream.size()]};
+    req.tenant = loads[k].tenant;
+    sub_slot.push_back(static_cast<std::uint32_t>(k));
+    sub_when.push_back(Clock::now());
+    fleet.submit(std::move(req), cq);
+    ++inflight;
+    ++si;
+    next[k] += interval[k];
+    while (cq.poll(&resp)) account(resp);
+    while (inflight > 4096) {
+      if (cq.wait_for(&resp, std::chrono::milliseconds(100))) account(resp);
+    }
+  }
+  while (inflight > 0) {
+    if (cq.wait_for(&resp, std::chrono::milliseconds(100))) account(resp);
+  }
+  const auto pct = [](std::vector<double>& v, double q) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    return v[static_cast<std::size_t>(q * (static_cast<double>(v.size()) -
+                                           1.0))];
+  };
+  auto rows = fleet.aggregate_tenants();
+  for (auto& row : rows) {
+    for (std::size_t k = 0; k < loads.size(); ++k) {
+      if (loads[k].tenant != row.tenant) continue;
+      row.samples = lat[k].size();
+      row.p50_us = pct(lat[k], 0.50);
+      row.p99_us = pct(lat[k], 0.99);
+    }
+  }
+  return rows;
 }
 
 struct OverloadPoint {
@@ -1294,6 +1412,137 @@ int main(int argc, char** argv) {
                 isa_name(dispatched_arm));
   }
 
+  // --- 9. tenant isolation: a 10x-quota aggressor vs its neighbors. ------
+  header("9. tenant isolation (src/tenancy/): 10x-quota aggressor");
+  {
+    // Four equal contracts on one replica, each entitled to 1/8 of this
+    // machine's single-replica saturation (so all four within quota sit
+    // far from overload — isolation is measured, not masked by shedding).
+    // Arm A (fair): tenant 0 offers exactly its quota, tenants 1-3 offer
+    // half theirs.  Arm B (storm): tenant 0 blasts 10x its quota while
+    // tenants 1-3 keep arm A's rates.  The bucket clips the blast back to
+    // the contracted rate, so both arms carry the same ADMITTED workload
+    // (modulo the one-time burst, kept small below) — the comparison
+    // isolates enforcement, not the load increase tenant 0's contract
+    // already entitles it to.  The gated claim: the token buckets absorb
+    // the blast at the fleet front, so no victim is ever quota-refused
+    // and no victim's admitted p99 moves by more than 10% — and the
+    // aggressor IS refused, proving the gate was actually exercised
+    // rather than trivially idle.
+    const double quota = single_replica_rps / 8.0;
+    const double victim_rps = 0.5 * quota;
+    const double iso_seconds = quick ? 2.0 : 4.0;
+    // Each arm's first second is driven but discarded: it warms the
+    // fresh fleet's row cache so the measured window compares steady
+    // states (see drive_tenant_mix).
+    const double iso_warmup = 1.0;
+    const auto iso_stream = make_stream(20000, 53);
+
+    tenancy::TenantRegistry registry;
+    for (std::uint32_t t = 0; t < 4; ++t) {
+      tenancy::TenantContract c;
+      c.rate_per_s = quota;
+      // A quarter-second of quota: deep enough that pacing jitter never
+      // refuses an in-contract tenant, shallow enough that the storm
+      // arm's one-time burst admission stays marginal next to rate x
+      // seconds (keeping the two arms' admitted workloads comparable).
+      c.burst = quota / 4.0;
+      registry.set_contract(t, c);
+    }
+
+    const auto row_of = [](const std::vector<serve::TenantStat>& rows,
+                           std::uint32_t t) -> const serve::TenantStat* {
+      for (const auto& r : rows) {
+        if (r.tenant == t) return &r;
+      }
+      return nullptr;
+    };
+    const auto run_arm = [&](bool storm) {
+      auto fleet = make_fleet(tb, tb.store_dir(), ckpt, 1,
+                              serve::RoutingPolicy::kRoundRobin,
+                              std::chrono::microseconds{0},
+                              serve::Precision::kFp32,
+                              loader::RowCodec::kFp32, {}, true, &registry);
+      std::vector<TenantLoad> loads;
+      for (std::uint32_t t = 0; t < 4; ++t) {
+        const double rps =
+            t == 0 ? (storm ? 10.0 : 1.0) * quota : victim_rps;
+        loads.push_back({t, rps});
+      }
+      auto rows = drive_tenant_mix(*fleet->set, iso_stream, loads,
+                                   iso_seconds, iso_warmup);
+      fleet->set->stop();
+      return rows;
+    };
+
+    std::printf("contracts: 4 tenants x %.0f parts/s quota; victims offer "
+                "%.0f/s, tenant 0 offers %.0f/s fair vs %.0f/s storm "
+                "for %.0fs\n",
+                quota, victim_rps, quota, 10.0 * quota, iso_seconds);
+    std::vector<serve::TenantStat> fair, storm;
+    double worst_ratio = 0;
+    std::size_t victim_refused = 0, aggressor_refused = 0;
+    bool iso_ok = false;
+    // The ratio compares two back-to-back p99 measurements on a shared
+    // host; retries strip transient scheduler noise, same policy as the
+    // serve_cli gates (a real leak fails every time).
+    for (int attempt = 0; attempt < 3 && !iso_ok; ++attempt) {
+      if (attempt > 0) {
+        std::printf("isolation gate missed; retrying once (loaded-machine "
+                    "noise gets one second chance)\n");
+      }
+      fair = run_arm(false);
+      storm = run_arm(true);
+      worst_ratio = 0;
+      victim_refused = 0;
+      for (std::uint32_t t = 1; t < 4; ++t) {
+        const auto* f = row_of(fair, t);
+        const auto* s = row_of(storm, t);
+        if (!f || !s || f->p99_us <= 0) {
+          worst_ratio = 1e9;  // a missing victim row can never pass
+          continue;
+        }
+        worst_ratio = std::max(worst_ratio, s->p99_us / f->p99_us);
+        victim_refused += s->quota_refused;
+      }
+      const auto* ag = row_of(storm, 0);
+      aggressor_refused = ag ? ag->quota_refused : 0;
+      iso_ok = worst_ratio <= 1.10 && victim_refused == 0 &&
+               aggressor_refused > 0;
+    }
+
+    std::printf("%-8s %-6s %10s %10s %10s %10s\n", "arm", "tenant",
+                "admitted", "quota-ref", "p50(us)", "p99(us)");
+    for (const auto* rows : {&fair, &storm}) {
+      for (const auto& t : *rows) {
+        std::printf("%-8s %-6u %10zu %10zu %10.0f %10.0f\n",
+                    rows == &fair ? "fair" : "storm", t.tenant, t.admitted,
+                    t.quota_refused, t.p50_us, t.p99_us);
+      }
+    }
+    std::printf("isolation gate: worst victim p99 ratio %.3f (<= 1.10), "
+                "victim quota refusals %zu (== 0), aggressor refused %zu "
+                "(> 0) -> %s\n",
+                worst_ratio, victim_refused, aggressor_refused,
+                iso_ok ? "OK" : "REGRESSION");
+    std::string rows_json = "[";
+    for (std::size_t i = 0; i < storm.size(); ++i) {
+      if (i) rows_json += ",";
+      rows_json += storm[i].to_json();
+    }
+    rows_json += "]";
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"section\":\"tenant_isolation\",\"tenants\":4,"
+                  "\"quota_rps\":%.0f,\"aggressor_mult\":10,"
+                  "\"victim_p99_ratio\":%.3f,\"victim_quota_refused\":%zu,"
+                  "\"aggressor_quota_refused\":%zu,\"ok\":%s,"
+                  "\"storm\":",
+                  quota, worst_ratio, victim_refused, aggressor_refused,
+                  iso_ok ? "true" : "false");
+    emit(std::string(buf) + rows_json + "}");
+  }
+
   std::printf(
       "\nExpected shape: (1) the cache-off p99 departs first as offered "
       "load approaches the store's service rate while ~60%% LRU hit rates "
@@ -1319,7 +1568,11 @@ int main(int argc, char** argv) {
       "in-process rate; (8) GEMM throughput climbs the kernel ladder — "
       "each arm at least ~1.5x the rung below on the serving shape, with "
       "every arm bit-identical to scalar — while the end-to-end gain "
-      "compresses toward the store/cache share of the request.\n");
+      "compresses toward the store/cache share of the request; (9) the "
+      "token buckets absorb a 10x-quota aggressor at the fleet front — "
+      "its neighbors keep their admitted p99 within 10%% and are never "
+      "quota-refused, while the aggressor's excess answers "
+      "kQuotaExceeded without touching a replica.\n");
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);

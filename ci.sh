@@ -32,6 +32,15 @@
 #                              the leg is skipped (exit 0) rather than
 #                              failed — hosted runners do not all ship
 #                              AVX-512.  The isa-* CI legs set this.
+#   SERVE_TENANTS=N            run the API-v2 smoke multi-tenant: N tenants
+#                              with a 2,1,1,1 weight mix through the
+#                              registry/DWRR path (src/tenancy/), recorded
+#                              tenant ids riding the trace into the fleetsim
+#                              replay.  On crossproc legs the tenant id also
+#                              crosses the wire (protocol v2) and the
+#                              replica servers' per-tenant exit lines are
+#                              collected into build/tenant-stats.txt.
+#                              0 (default) keeps every smoke untenanted.
 #   SERVE_CROSSPROC=1          additionally smoke cross-process serving:
 #                              serve_cli --remote-replicas=2 spawns two
 #                              replica_server_cli processes behind the
@@ -54,6 +63,12 @@ SIM_JSON="${SIM_JSON:-SIM_calibration.json}"
 SERVE_PRECISION="${SERVE_PRECISION:-fp32}"
 SERVE_AUTOSCALE="${SERVE_AUTOSCALE:-0}"
 SERVE_CROSSPROC="${SERVE_CROSSPROC:-0}"
+SERVE_TENANTS="${SERVE_TENANTS:-0}"
+
+TENANT_FLAGS=()
+if [[ "${SERVE_TENANTS}" != "0" ]]; then
+  TENANT_FLAGS=(--tenants="${SERVE_TENANTS}" --tenant-mix=2,1,1,1)
+fi
 
 CMAKE_FLAGS=(-DCMAKE_BUILD_TYPE="${BUILD_TYPE}")
 if [[ -n "${SANITIZE}" ]]; then
@@ -130,6 +145,7 @@ if [[ "${SERVE_CROSSPROC}" == "1" ]]; then
   ./build/serve_cli --nodes=20000 --requests=20000 --remote-replicas=2 \
     --kill-one-mid-run --source=file --cache=lru --batch-nodes=4 \
     --gate=none --precision="${SERVE_PRECISION}" \
+    ${TENANT_FLAGS[@]+"${TENANT_FLAGS[@]}"} \
     --serve-log=build/replica_server.log | tee "${CROSSPROC_OUT}"
   grep -q "zero lost" "${CROSSPROC_OUT}"
   grep -q "rc=137" "${CROSSPROC_OUT}"
@@ -138,6 +154,21 @@ if [[ "${SERVE_CROSSPROC}" == "1" ]]; then
   # The transport fast-path evidence (frames/writev, pool hit rate,
   # allocs/frame) as its own artifact next to the smoke output.
   grep "rpc fast path" "${CROSSPROC_OUT}" > build/rpc_stats.txt || true
+  if [[ "${SERVE_TENANTS}" != "0" ]]; then
+    # Tenanted crossproc run: the tenant id crossed the wire on every v2
+    # request, so each replica server reports per-tenant slices at exit —
+    # the cross-process half of the per-tenant observability contract.
+    # The surviving server's lines land in the log (the SIGKILLed victim
+    # never reaches its exit report); require at least one.
+    grep "replica_server: tenant" build/replica_server.log \
+      > build/tenant-stats.txt || true
+    if ! [[ -s build/tenant-stats.txt ]]; then
+      echo "tenanted crossproc smoke produced no per-tenant server stats"
+      exit 1
+    fi
+    echo "per-tenant server stats collected:"
+    cat build/tenant-stats.txt
+  fi
 fi
 
 echo "== serve_cli API-v2 smoke (envelopes, deadlines, top-k) =="
@@ -152,6 +183,7 @@ echo "== serve_cli API-v2 smoke (envelopes, deadlines, top-k) =="
 ./build/serve_cli --nodes=20000 --requests=20000 --replicas=2 \
   --policy=cache_affinity --batch-nodes=4 --deadline-ms=50 --topk=3 \
   --shed-budget-ms=10 --gate=none --precision="${SERVE_PRECISION}" \
+  ${TENANT_FLAGS[@]+"${TENANT_FLAGS[@]}"} \
   --trace-out=build/ci_arrivals.trace
 
 echo "== trace round trip (recorded arrivals -> fleetsim replay) =="
@@ -167,6 +199,24 @@ echo "== serving bench (writes ${BENCH_JSON}) =="
 # slack-vs-FIFO miss-rate comparison lands in the JSON artifact as the
 # machine-relative "deadline_gate" record.
 ./build/bench_serving_latency --quick --json="${BENCH_JSON}"
+
+echo "== tenant isolation gate (from ${BENCH_JSON}) =="
+# Bench section 9 measured the multi-tenant isolation proof: one tenant
+# blasting 10x its quota must not move another tenant's admitted p99 more
+# than 10% nor cause it a single quota refusal.  The bench stamps ok=false
+# when the contract breaks (after one noise retry) — assert it here so
+# every leg fails loudly on an isolation regression instead of shipping a
+# red field inside a green artifact.
+ISO_RECORD=$(grep '"section":"tenant_isolation"' "${BENCH_JSON}" || true)
+if [[ -z "${ISO_RECORD}" ]]; then
+  echo "no tenant_isolation record in ${BENCH_JSON}"
+  exit 1
+fi
+echo "${ISO_RECORD}"
+echo "${ISO_RECORD}" | grep -q '"ok":true' || {
+  echo "tenant isolation gate failed: aggressor moved the victim's p99"
+  exit 1
+}
 
 if [[ "${SERVE_CROSSPROC}" == "1" ]]; then
   echo "== cross-process overhead gate (<= 1.5x from ${BENCH_JSON}) =="

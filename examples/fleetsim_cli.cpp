@@ -50,6 +50,7 @@
 #include "serve/router.h"
 #include "serve/trace.h"
 #include "serve/workload.h"
+#include "tenancy/tenant.h"
 
 using namespace ppgnn;
 
@@ -97,6 +98,13 @@ struct Args {
   bool autoscale_arm = true;
   std::size_t replicas = 0;    // > 0 = single-replay mode
   bool autoscale = false;      // replay mode: autoscaled instead of fixed
+  // Multi-tenant replay (src/tenancy/): same contracts the live front
+  // enforces, driven by the sim clock — "does tenant B's p99 survive
+  // tenant A at 10x quota" answered before anyone deploys.
+  std::size_t tenants = 1;    // synthetic traces: ids drawn from [0, N)
+  std::string tenant_mix;     // DWRR weights, tiled across tenants
+  double tenant_rate = 0.0;   // parts/s quota per tenant (0 = unmetered)
+  double tenant_burst = 0.0;  // bucket depth (0 = one second of quota)
   // Calibration.
   std::string calibrate;       // BENCH_serving.json path
   std::string out = "SIM_calibration.json";
@@ -161,6 +169,10 @@ Args parse(int argc, char** argv) {
     else if (k == "no_autoscale_arm") a.autoscale_arm = false;
     else if (k == "replicas") a.replicas = std::stoul(v);
     else if (k == "autoscale") a.autoscale = v != "0";
+    else if (k == "tenants") a.tenants = std::stoul(v);
+    else if (k == "tenant_mix") a.tenant_mix = v;
+    else if (k == "tenant_rate") a.tenant_rate = std::stod(v);
+    else if (k == "tenant_burst") a.tenant_burst = std::stod(v);
     else if (k == "calibrate") a.calibrate = v;
     else if (k == "out") a.out = v;
     else if (k == "json") a.json = v;
@@ -178,6 +190,12 @@ Args parse(int argc, char** argv) {
     std::fprintf(stderr, "need 1 <= min-replicas <= max-replicas\n");
     std::exit(2);
   }
+  if (a.tenants == 0 || a.tenant_rate < 0 || a.tenant_burst < 0) {
+    std::fprintf(stderr,
+                 "--tenants must be >= 1; --tenant-rate/--tenant-burst "
+                 "must be >= 0\n");
+    std::exit(2);
+  }
   return a;
 }
 
@@ -188,6 +206,7 @@ std::vector<serve::TraceEvent> make_trace(const Args& a) {
   mix.batch_nodes = a.batch_nodes;
   mix.low_frac = a.low_frac;
   mix.deadline_us = static_cast<std::uint64_t>(a.deadline_ms * 1000.0);
+  mix.tenants = static_cast<std::uint32_t>(a.tenants);
   mix.seed = a.seed;
   if (a.trace == "diurnal") {
     serve::DiurnalTraceConfig cfg;
@@ -313,6 +332,26 @@ int main(int argc, char** argv) {
   const Args a = parse(argc, argv);
   if (!a.calibrate.empty()) return run_calibration_mode(a);
 
+  // Tenant contracts: main-scope so the registry outlives every FleetSim
+  // below (SimFleetConfig holds a raw pointer).
+  tenancy::TenantRegistry registry;
+  const bool tenanted = a.tenants > 1 || a.tenant_rate > 0;
+  if (tenanted) {
+    std::vector<std::uint32_t> weights;
+    std::string werr;
+    if (!tenancy::parse_tenant_mix(a.tenant_mix, &weights, &werr)) {
+      std::fprintf(stderr, "bad --tenant-mix: %s\n", werr.c_str());
+      return 2;
+    }
+    for (std::uint32_t t = 0; t < a.tenants; ++t) {
+      tenancy::TenantContract c;
+      c.rate_per_s = a.tenant_rate;
+      c.burst = a.tenant_burst;
+      c.weight = weights.empty() ? 1 : weights[t % weights.size()];
+      registry.set_contract(t, c);
+    }
+  }
+
   const double cores =
       a.cores > 0 ? a.cores
                   : std::max(1u, std::thread::hardware_concurrency());
@@ -328,7 +367,8 @@ int main(int argc, char** argv) {
               trace.size(), serve::trace_parts(trace),
               serve::trace_span_seconds(trace), serve::trace_mean_rps(trace));
 
-  const auto base = make_fleet(a);
+  fleetsim::SimFleetConfig base = make_fleet(a);
+  if (tenanted) base.tenants = &registry;
   if (a.replicas > 0) {
     // Single-config replay.
     fleetsim::SimFleetConfig cfg = base;
@@ -344,6 +384,15 @@ int main(int argc, char** argv) {
                 r.span_seconds, r.sim_wall_seconds, r.answered,
                 r.answered_rps, r.admitted_latency.p99_us, 100 * r.shed_rate,
                 r.max_replicas_seen, r.replica_seconds);
+    if (!r.tenants.empty()) {
+      std::printf("%-8s %10s %10s %10s %10s %10s\n", "tenant", "admitted",
+                  "shed", "quota-ref", "p50(us)", "p99(us)");
+      for (const auto& t : r.tenants) {
+        std::printf("%-8u %10zu %10zu %10zu %10.0f %10.0f\n", t.tenant,
+                    t.admitted, t.rejected + t.shed, t.quota_refused,
+                    t.p50_us, t.p99_us);
+      }
+    }
     emit(r.to_json(), a.json);
     return 0;
   }

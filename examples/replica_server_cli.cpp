@@ -234,6 +234,21 @@ int main(int argc, char** argv) {
               "%zu batches)\n",
               ::getpid(), rc, st.admission().admitted, st.admission().shed,
               st.batches());
+  // Per-tenant breakdown (src/tenancy/): the wire carries the tenant id on
+  // v2 requests, so a remote replica can report the same slices a local
+  // one does.  Skipped when everything was the default tenant — the
+  // untenanted log shape is unchanged.  CI's crossproc leg greps these
+  // lines into tenant-stats.txt.
+  const auto tenant_rows = st.tenant_stats();
+  if (tenant_rows.size() > 1 ||
+      (tenant_rows.size() == 1 && tenant_rows[0].tenant != 0)) {
+    for (const auto& t : tenant_rows) {
+      std::printf("replica_server: tenant %u admitted=%zu shed=%zu "
+                  "samples=%zu p50_us=%.0f p99_us=%.0f\n",
+                  t.tenant, t.admitted, t.rejected + t.shed, t.samples,
+                  t.p50_us, t.p99_us);
+    }
+  }
   // Server-side half of the transport evidence; the front logs the client
   // half.  This lands in the log artifact CI uploads on smoke failure.
   const rpc::RpcStats& rs = server.rpc_stats();

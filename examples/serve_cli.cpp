@@ -43,6 +43,20 @@
 //   --topk=K              answer top-k (class, score) pairs instead of
 //                         full logits (0 = full logits)
 //
+// Multi-tenant serving (src/tenancy/, the v2 envelope path):
+//   --tenants=N           tenant population; each envelope is stamped with
+//                         a deterministic tenant id (envelope index mod N)
+//                         and the fleet front enforces per-tenant contracts
+//   --tenant-mix=W,W,..   DWRR fair-share weights, tiled across tenants
+//                         ("2,1" with 4 tenants -> weights 2,1,2,1)
+//   --tenant-rate=R       token-bucket quota, admitted parts/s per tenant
+//                         (0 = unmetered; refusals answer kQuotaExceeded
+//                         without touching a replica)
+//   --tenant-burst=B      bucket depth in parts (0 = one second of quota)
+//   The run prints a per-tenant table (admitted / shed / quota-refused /
+//   p50 / p99) from the same aggregate_tenants() merge the cross-process
+//   fleet uses, so isolation can be read off any run mode directly.
+//
 // Trace capture (feeds the fleet simulator, src/fleetsim/):
 //   --trace-out=PATH      record every measured-run arrival (offset,
 //                         priority, relative deadline, client id, nodes)
@@ -129,6 +143,7 @@
 #include "serve/testbed.h"
 #include "serve/trace.h"
 #include "serve/workload.h"
+#include "tenancy/tenant.h"
 
 using namespace ppgnn;
 
@@ -174,6 +189,11 @@ struct Args {
   std::size_t remote_replicas = 0;  // 0 = in-process replicas
   bool kill_one_mid_run = false;    // crash smoke (needs remote >= 2)
   std::string serve_log;            // replica servers' stdout/stderr
+  // Multi-tenant serving (src/tenancy/).
+  std::size_t tenants = 1;    // 1 = untenanted (everything tenant 0)
+  std::string tenant_mix;     // DWRR weights, comma-separated, tiled
+  double tenant_rate = 0.0;   // parts/s quota per tenant (0 = unmetered)
+  double tenant_burst = 0.0;  // bucket depth (0 = one second of quota)
 };
 
 void usage(std::FILE* to) {
@@ -214,6 +234,12 @@ void usage(std::FILE* to) {
       "  --kill-one-mid-run    kill -9 one replica mid-run; prove zero\n"
       "                        envelopes lost (needs --remote-replicas>=2)\n"
       "  --serve-log=PATH      append replica server output here\n"
+      "\n"
+      "Multi-tenant serving (src/tenancy/):\n"
+      "  --tenants=N           tenant population (1 = untenanted)\n"
+      "  --tenant-mix=W,W,..   DWRR weights, tiled across tenants\n"
+      "  --tenant-rate=R       admitted-parts/s quota (0 = unmetered)\n"
+      "  --tenant-burst=B      bucket depth in parts (0 = 1s of quota)\n"
       "\n"
       "Autoscaling:\n"
       "  --autoscale           staged 0.5x->2.5x->0.5x ramp, elastic fleet\n"
@@ -294,6 +320,10 @@ Args parse(int argc, char** argv) {
     else if (k == "remote_replicas") a.remote_replicas = std::stoul(v);
     else if (k == "kill_one_mid_run") a.kill_one_mid_run = v != "0";
     else if (k == "serve_log") a.serve_log = v;
+    else if (k == "tenants") a.tenants = std::stoul(v);
+    else if (k == "tenant_mix") a.tenant_mix = v;
+    else if (k == "tenant_rate") a.tenant_rate = std::stod(v);
+    else if (k == "tenant_burst") a.tenant_burst = std::stod(v);
     else {
       std::fprintf(stderr, "unknown flag: --%s\n", k.c_str());
       usage(stderr);
@@ -365,6 +395,28 @@ Args parse(int argc, char** argv) {
                  "--cache=lru with --remote-replicas\n");
     std::exit(2);
   }
+  if (a.tenants == 0) {
+    std::fprintf(stderr, "--tenants must be >= 1 (1 = untenanted)\n");
+    std::exit(2);
+  }
+  if (a.tenant_rate < 0 || a.tenant_burst < 0) {
+    std::fprintf(stderr, "--tenant-rate/--tenant-burst must be >= 0\n");
+    std::exit(2);
+  }
+  {
+    std::vector<std::uint32_t> w;
+    std::string err;
+    if (!tenancy::parse_tenant_mix(a.tenant_mix, &w, &err)) {
+      std::fprintf(stderr, "bad --tenant-mix: %s\n", err.c_str());
+      std::exit(2);
+    }
+  }
+  if (a.autoscale && a.tenants > 1) {
+    std::fprintf(stderr,
+                 "--tenants drives the fixed-fleet envelope path; drop "
+                 "--autoscale to use it\n");
+    std::exit(2);
+  }
   if (a.kill_one_mid_run && a.remote_replicas < 2) {
     std::fprintf(stderr,
                  "--kill-one-mid-run needs --remote-replicas >= 2 (a "
@@ -401,6 +453,10 @@ struct RunResult {
   std::size_t envelopes_ok = 0;
   std::size_t envelopes_missed = 0;  // status kDeadlineExceeded
   std::size_t envelopes_shed = 0;    // status kShed
+  std::size_t envelopes_quota = 0;   // status kQuotaExceeded
+  // Per-tenant slices (fleet merge + front quota ledger); empty untenanted.
+  std::vector<serve::TenantStat> tenants;
+  std::size_t quota_refused_parts = 0;  // front-gate refusals, in parts
   double deadline_miss_rate() const {
     return envelopes ? static_cast<double>(envelopes_missed) /
                            static_cast<double>(envelopes)
@@ -472,8 +528,11 @@ struct SourceFactory {
   }
 };
 
-serve::FleetConfig fleet_config(const Args& a, bool with_autoscale) {
+serve::FleetConfig fleet_config(const Args& a, bool with_autoscale,
+                                const tenancy::TenantRegistry* tenants =
+                                    nullptr) {
   serve::FleetConfig fc;
+  fc.tenants = tenants;
   serve::parse_policy(a.policy, &fc.policy);
   serve::parse_precision(a.precision, &fc.precision);
   fc.batch.max_batch_size = a.max_batch;
@@ -511,6 +570,8 @@ void finish_result(RunResult& r, serve::FleetManager& fleet,
   r.replicas = fleet.fleet_snapshot();
   r.events = fleet.events();
   r.rpc = fleet.aggregate_rpc_stats();
+  r.tenants = fleet.aggregate_tenants();
+  r.quota_refused_parts = fleet.quota_refused_total();
   fleet.stop();
   if (!sf.caches.empty()) {
     r.any_cache = true;
@@ -567,7 +628,8 @@ RunResult run_serving(const Args& a, const serve::ServingTestbed& tb,
                       std::size_t replicas,
                       const std::vector<std::int64_t>& stream,
                       const std::string& trace_path = {},
-                      bool remote = false) {
+                      bool remote = false,
+                      const tenancy::TenantRegistry* tenants = nullptr) {
   SourceFactory sf(a, tb);
   std::vector<std::shared_ptr<rpc::RemoteReplica>> spawned;
   std::mutex spawned_mu;
@@ -590,11 +652,11 @@ RunResult run_serving(const Args& a, const serve::ServingTestbed& tb,
           spawned.push_back(r);
           return r;
         },
-        replicas, fleet_config(a, /*with_autoscale=*/false));
+        replicas, fleet_config(a, /*with_autoscale=*/false, tenants));
   } else {
     fleet_ptr = std::make_unique<serve::FleetManager>(
         tb.fleet_builder([&sf](std::size_t i) { return sf(i); }), replicas,
-        fleet_config(a, /*with_autoscale=*/false));
+        fleet_config(a, /*with_autoscale=*/false, tenants));
   }
   serve::FleetManager& fleet = *fleet_ptr;
 
@@ -603,7 +665,8 @@ RunResult run_serving(const Args& a, const serve::ServingTestbed& tb,
   const auto deadline_budget =
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double, std::milli>(a.deadline_ms));
-  std::atomic<std::size_t> n_ok{0}, n_missed{0}, n_shed{0}, n_total{0};
+  std::atomic<std::size_t> n_ok{0}, n_missed{0}, n_shed{0}, n_quota{0},
+      n_total{0};
   const auto t0 = std::chrono::steady_clock::now();
   std::unique_ptr<serve::TraceRecorder> rec;
   if (!trace_path.empty()) rec = std::make_unique<serve::TraceRecorder>(t0);
@@ -620,7 +683,7 @@ RunResult run_serving(const Args& a, const serve::ServingTestbed& tb,
       // missed ones included), so reaping is just counting statuses — a
       // real retrying client would resubmit the kShed ones.
       serve::CompletionQueue cq;
-      std::size_t inflight = 0, ok = 0, missed = 0, shed = 0;
+      std::size_t inflight = 0, ok = 0, missed = 0, shed = 0, quota = 0;
       const auto count = [&](const serve::ServeResponse& resp) {
         --inflight;
         switch (resp.status) {
@@ -629,6 +692,12 @@ RunResult run_serving(const Args& a, const serve::ServingTestbed& tb,
             break;
           case serve::ServeStatus::kDeadlineExceeded:
             ++missed;
+            break;
+          case serve::ServeStatus::kQuotaExceeded:
+            // Contract refusal, not overload: a real client backs off to
+            // its quota instead of retrying (retry storms are the failure
+            // mode quotas exist to stop).
+            ++quota;
             break;
           default:
             ++shed;
@@ -644,6 +713,12 @@ RunResult run_serving(const Args& a, const serve::ServingTestbed& tb,
         serve::ServeRequest req;
         req.id = i;
         req.nodes = groups[i];
+        // Deterministic tenant assignment (envelope index mod population):
+        // reproducible across runs and identically recoverable from a
+        // recorded trace, unlike the old client-thread-index placeholder.
+        req.tenant = a.tenants > 1
+                         ? static_cast<std::uint32_t>(i % a.tenants)
+                         : 0;
         req.priority = (a.low_frac > 0 &&
                         static_cast<double>(i % 100) < a.low_frac * 100)
                            ? serve::Priority::kLow
@@ -655,8 +730,7 @@ RunResult run_serving(const Args& a, const serve::ServingTestbed& tb,
         }
         if (rec) {
           rec->note(std::chrono::steady_clock::now(), req.nodes,
-                    req.priority, deadline_budget_us,
-                    static_cast<std::uint32_t>(c));
+                    req.priority, deadline_budget_us, req.tenant);
         }
         fleet.submit(std::move(req), cq);
         ++inflight;
@@ -668,6 +742,7 @@ RunResult run_serving(const Args& a, const serve::ServingTestbed& tb,
       n_ok.fetch_add(ok);
       n_missed.fetch_add(missed);
       n_shed.fetch_add(shed);
+      n_quota.fetch_add(quota);
       n_total.fetch_add(hi > lo ? hi - lo : 0);
     });
   }
@@ -699,6 +774,7 @@ RunResult run_serving(const Args& a, const serve::ServingTestbed& tb,
   r.envelopes_ok = n_ok.load();
   r.envelopes_missed = n_missed.load();
   r.envelopes_shed = n_shed.load();
+  r.envelopes_quota = n_quota.load();
   finish_result(r, fleet, sf, wall);
   if (remote) {
     // stop() already drained the children; retire() returns each child's
@@ -717,8 +793,8 @@ RunResult run_serving(const Args& a, const serve::ServingTestbed& tb,
                   100 * r.rpc.pool_hit_rate(), r.rpc.allocs_per_frame());
     }
     if (victim) {
-      const std::size_t answered =
-          r.envelopes_ok + r.envelopes_missed + r.envelopes_shed;
+      const std::size_t answered = r.envelopes_ok + r.envelopes_missed +
+                                   r.envelopes_shed + r.envelopes_quota;
       std::printf("crash smoke: %zu/%zu envelopes answered after the kill "
                   "(%zu ok, %zu missed, %zu shed) — %s\n",
                   answered, r.envelopes, r.envelopes_ok, r.envelopes_missed,
@@ -928,6 +1004,21 @@ void print_result(const char* label, const RunResult& r) {
     std::printf("\nreplica-seconds: %.1f provisioned, %.1f idle\n",
                 r.replica_seconds, r.idle_replica_seconds);
   }
+  if (!r.tenants.empty()) {
+    std::printf("%-8s %10s %10s %10s %12s %10s %10s\n", "tenant", "admitted",
+                "shed", "quota-ref", "samples", "p50(us)", "p99(us)");
+    for (const auto& t : r.tenants) {
+      std::printf("%-8u %10zu %10zu %10zu %12zu %10.0f %10.0f\n", t.tenant,
+                  t.admitted, t.rejected + t.shed, t.quota_refused, t.samples,
+                  t.p50_us, t.p99_us);
+    }
+    if (r.quota_refused_parts > 0 || r.envelopes_quota > 0) {
+      std::printf("quota: %zu envelope(s) refused kQuotaExceeded "
+                  "(%zu parts) at the fleet front — contract enforcement, "
+                  "not overload; excluded from shed rate\n",
+                  r.envelopes_quota, r.quota_refused_parts);
+    }
+  }
   if (r.any_cache) {
     std::printf("cache: %.1f%% aggregate hit rate across replicas "
                 "(%zu rows per replica in budget)\n",
@@ -1017,6 +1108,27 @@ int main(int argc, char** argv) {
                            : "full logits");
   }
 
+  // --- Tenant contracts (src/tenancy/).  Built once here and passed by
+  // pointer so the registry outlives every fleet in the run; calibration
+  // stays untenanted (the machine baseline must not be quota-shaped).
+  tenancy::TenantRegistry registry;
+  const bool tenanted = a.tenants > 1 || a.tenant_rate > 0;
+  const tenancy::TenantRegistry* reg = tenanted ? &registry : nullptr;
+  if (tenanted) {
+    std::vector<std::uint32_t> weights;
+    std::string werr;
+    tenancy::parse_tenant_mix(a.tenant_mix, &weights, &werr);  // pre-checked
+    std::printf("tenants: %zu contract(s)\n", a.tenants);
+    for (std::uint32_t t = 0; t < a.tenants; ++t) {
+      tenancy::TenantContract c;
+      c.rate_per_s = a.tenant_rate;
+      c.burst = a.tenant_burst;
+      c.weight = weights.empty() ? 1 : weights[t % weights.size()];
+      registry.set_contract(t, c);
+      std::printf("  tenant %u: %s\n", t, tenancy::describe(c).c_str());
+    }
+  }
+
   const auto stream = tb.stream(a.requests);
 
   // --- Gate: absolute floor, machine-relative, or none.  Both gating
@@ -1036,7 +1148,7 @@ int main(int argc, char** argv) {
   RunResult r =
       a.autoscale
           ? run_autoscale(a, tb, baseline_rps, a.trace_out)
-          : run_serving(a, tb, fleet_size, stream, a.trace_out, remote);
+          : run_serving(a, tb, fleet_size, stream, a.trace_out, remote, reg);
   print_result("measured", r);
 
   // Accuracy column: at int8 the gate also bounds top-1 disagreement
@@ -1091,15 +1203,24 @@ int main(int argc, char** argv) {
     }
     r = a.autoscale
             ? run_autoscale(a, tb, baseline_rps, a.trace_out)
-            : run_serving(a, tb, fleet_size, stream, a.trace_out, remote);
+            : run_serving(a, tb, fleet_size, stream, a.trace_out, remote,
+                          reg);
     print_result("measured (retry)", r);
     ok = gate_ok(r);
   }
 
+  std::string tenants_json = "[";
+  for (std::size_t i = 0; i < r.tenants.size(); ++i) {
+    if (i) tenants_json += ",";
+    tenants_json += r.tenants[i].to_json();
+  }
+  tenants_json += "]";
   std::printf("\njson: {\"requests\":%zu,\"replicas\":%zu,\"policy\":\"%s\","
               "\"precision\":\"%s\",\"autoscale\":%s,"
               "\"remote_replicas\":%zu,\"crash_injected\":%s,"
               "\"batch_nodes\":%zu,\"deadline_ms\":%.1f,\"topk\":%zu,"
+              "\"tenants_n\":%zu,\"quota_refused\":%zu,"
+              "\"envelopes_quota\":%zu,\"tenants\":%s,"
               "\"envelopes\":%zu,\"deadline_miss_rate\":%.4f,"
               "\"deadline_missed\":%zu,"
               "\"max_replicas_seen\":%zu,\"replica_seconds\":%.1f,"
@@ -1116,7 +1237,9 @@ int main(int argc, char** argv) {
               a.autoscale ? "true" : "false", a.remote_replicas,
               a.kill_one_mid_run ? "true" : "false", a.batch_nodes,
               a.deadline_ms,
-              a.topk, r.envelopes, r.deadline_miss_rate(), r.deadline_missed,
+              a.topk, a.tenants, r.quota_refused_parts, r.envelopes_quota,
+              tenants_json.c_str(),
+              r.envelopes, r.deadline_miss_rate(), r.deadline_missed,
               r.max_replicas_seen,
               r.replica_seconds, r.idle_replica_seconds, r.rps, baseline_rps,
               acc.top1_agreement, acc.max_logit_err,

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <deque>
+#include <map>
 #include <memory>
 #include <queue>
 #include <sstream>
@@ -11,6 +12,8 @@
 
 #include "serve/clock.h"
 #include "serve/router.h"
+#include "tenancy/admission.h"
+#include "tenancy/fair_share.h"
 
 namespace ppgnn::fleetsim {
 
@@ -34,6 +37,36 @@ struct SimPart {
   std::int64_t node = 0;
   Tp enqueued{};
   Tp deadline = Tp::max();  // explicit; max() = none
+  std::uint32_t tenant = 0;
+};
+
+// One priority class's queue, mirroring MicroBatcher::ClassQueue: per-
+// tenant FIFO sub-queues drained by the REAL DwrrScheduler, so the sim's
+// batch composition is bit-identical with the threaded batcher's.
+struct SimClassQueue {
+  std::map<std::uint32_t, std::deque<SimPart>> by_tenant;
+  tenancy::DwrrScheduler sched;
+  std::size_t size = 0;
+  bool empty() const { return size == 0; }
+
+  void push(SimPart&& p) {
+    auto& dq = by_tenant[p.tenant];
+    if (dq.empty()) sched.arm(p.tenant);
+    dq.push_back(std::move(p));
+    ++size;
+  }
+  template <typename WeightFn>
+  SimPart pop(WeightFn&& weight_of) {
+    const std::uint32_t t = sched.next(weight_of);
+    const auto it = by_tenant.find(t);
+    SimPart p = std::move(it->second.front());
+    it->second.pop_front();
+    const bool now_empty = it->second.empty();
+    if (now_empty) by_tenant.erase(it);
+    sched.note_popped(t, now_empty);
+    --size;
+    return p;
+  }
 };
 
 // One replica: the REAL ServerStats recorder (on the sim clock) plus the
@@ -43,7 +76,7 @@ struct SimReplica {
   std::uint64_t generation = 0;
   std::unique_ptr<serve::ServerStats> stats;
   CacheModel cache;
-  std::deque<SimPart> queues[2];  // indexed by Priority (kHigh=0)
+  SimClassQueue queues[2];  // indexed by Priority (kHigh=0)
   // Earliest effective deadline among queued kLow parts (MicroBatcher's
   // low_next_expiry_): keeps the arrival sweep O(1) when nothing expired.
   Tp low_next_expiry = Tp::max();
@@ -64,12 +97,19 @@ struct SimReplica {
         stats(std::make_unique<serve::ServerStats>(window, clock)),
         cache(cache_cfg, warm_rows, shards) {}
 
-  std::size_t queued() const { return queues[0].size() + queues[1].size(); }
+  std::size_t queued() const { return queues[0].size + queues[1].size; }
   std::size_t queue_depth() const { return queued() + in_service; }
+  // Oldest arrival across every tenant sub-queue of both classes (each
+  // sub-queue is FIFO, so its front is its oldest) — mirrors the
+  // batcher's oldest_enqueued_locked.
   Tp oldest_enqueued() const {
-    if (queues[0].empty()) return queues[1].front().enqueued;
-    if (queues[1].empty()) return queues[0].front().enqueued;
-    return std::min(queues[0].front().enqueued, queues[1].front().enqueued);
+    Tp oldest = Tp::max();
+    for (const auto& cq : queues) {
+      for (const auto& [t, dq] : cq.by_tenant) {
+        oldest = std::min(oldest, dq.front().enqueued);
+      }
+    }
+    return oldest;
   }
 };
 
@@ -110,6 +150,12 @@ class Sim {
     router_ = serve::make_router(cfg_.policy);
     if (cfg_.autoscale.enabled) {
       policy_ = std::make_unique<serve::AutoscalePolicy>(cfg_.autoscale);
+    }
+    if (cfg_.tenants) {
+      // The REAL token-bucket gate, fed the sim clock's timestamps — the
+      // admit/refuse sequence is bit-identical with the live front's.
+      admission_ = std::make_unique<tenancy::TenantAdmission>(*cfg_.tenants,
+                                                             &clock_);
     }
   }
 
@@ -220,9 +266,34 @@ class Sim {
       push(us_to_tp(trace_[arrival_idx_].t_us), EvKind::kArrival,
            arrival_idx_);
     }
-    const Tp deadline = e.deadline_us > 0
-                            ? now + std::chrono::microseconds(e.deadline_us)
-                            : Tp::max();
+    Priority pri = e.priority;
+    Tp deadline = e.deadline_us > 0
+                      ? now + std::chrono::microseconds(e.deadline_us)
+                      : Tp::max();
+    // Tenant gate, same order as FleetManager::submit: ceiling clamp,
+    // default-deadline stamp, then the token bucket.  A refusal never
+    // reaches routing — the envelope dies at the front as kQuotaExceeded.
+    if (admission_) {
+      const auto snap = cfg_.tenants->snapshot();
+      const tenancy::TenantContract& c = snap->of(e.tenant);
+      if (c.priority_ceiling == Priority::kLow) pri = Priority::kLow;
+      if (deadline == Tp::max() && c.default_deadline_us > 0) {
+        deadline = now + std::chrono::microseconds(c.default_deadline_us);
+      }
+      // Same seconds formula as TenantAdmission::seconds_now(), so sim and
+      // live bucket refills agree to the bit.
+      const double now_s =
+          static_cast<double>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  now.time_since_epoch())
+                  .count()) /
+          1e6;
+      if (!admission_->try_admit(e.tenant, e.nodes.size(), now_s)) {
+        quota_refused_ += e.nodes.size();
+        quota_refused_by_[e.tenant] += e.nodes.size();
+        return;
+      }
+    }
     // Route exactly like FleetManager::place_parts.  The sim has no racing
     // scaler thread, so the snapshot is always current and the kDraining
     // bounce-and-retry path cannot trigger (membership never contains a
@@ -236,7 +307,7 @@ class Sim {
         std::vector<std::int64_t> nodes;
         nodes.reserve(g.slots.size());
         for (const std::uint32_t s : g.slots) nodes.push_back(e.nodes[s]);
-        admit_parts(members_[g.member], nodes, e.priority, deadline, now);
+        admit_parts(members_[g.member], nodes, pri, deadline, now, e.tenant);
       }
     } else {
       const serve::QueueDepthFn depth = [this](std::size_t i) {
@@ -247,7 +318,7 @@ class Sim {
       targets.queue_depth = &depth;
       targets.ring = &ring_;
       const std::size_t m = router_->route(e.nodes[0], targets);
-      admit_parts(members_[m], e.nodes, e.priority, deadline, now);
+      admit_parts(members_[m], e.nodes, pri, deadline, now, e.tenant);
     }
   }
 
@@ -257,7 +328,7 @@ class Sim {
   // the arrival process, so a full queue refuses instead (bounded-queue
   // admission).  Stats calls match the real ones call for call.
   void admit_parts(std::size_t ri, const std::vector<std::int64_t>& nodes,
-                   Priority pri, Tp deadline, Tp now) {
+                   Priority pri, Tp deadline, Tp now, std::uint32_t tenant) {
     SimReplica& r = reps_[ri];
     serve::ServerStats& st = *r.stats;
     const std::size_t n = nodes.size();
@@ -273,8 +344,11 @@ class Sim {
       if (r.queued() + n > cfg_.batch.queue_capacity) {
         rejected = true;  // the backpressure divergence documented above
       } else {
-        // Backpressure mode queues both classes in one FIFO.
-        enqueue_parts(r, r.queues[0], nodes, Priority::kHigh, deadline, now);
+        // Backpressure mode queues both classes in the kHigh class (one
+        // queue — within it DWRR still arbitrates tenants, like the real
+        // batcher's ClassQueue does).
+        enqueue_parts(r, r.queues[0], nodes, Priority::kHigh, deadline, now,
+                      tenant);
         admitted = true;
       }
     } else {
@@ -286,7 +360,7 @@ class Sim {
             after > cfg_.batch.queue_capacity
                 ? after - cfg_.batch.queue_capacity
                 : 0;
-        if (shortfall > 0 && shortfall <= low.size()) {
+        if (shortfall > 0 && shortfall <= low.size) {
           while (r.queued() + n > cfg_.batch.queue_capacity) {
             evict_one_low(r, &victims);
           }
@@ -297,28 +371,28 @@ class Sim {
         rejected = true;
       } else {
         enqueue_parts(r, r.queues[static_cast<std::size_t>(pri)], nodes, pri,
-                      deadline, now);
+                      deadline, now, tenant);
         admitted = true;
       }
     }
 
     finish_shed(r, victims, now);
     if (admitted) {
-      for (std::size_t i = 0; i < n; ++i) st.record_admitted();
+      for (std::size_t i = 0; i < n; ++i) st.record_admitted(tenant);
       maybe_dispatch(ri, now);
     } else if (rejected) {
       for (std::size_t i = 0; i < n; ++i) {
-        st.record_rejected();
+        st.record_rejected(tenant);
         if (deadline_refusal) st.record_deadline_miss();
       }
     }
   }
 
-  void enqueue_parts(SimReplica& r, std::deque<SimPart>& q,
+  void enqueue_parts(SimReplica& r, SimClassQueue& q,
                      const std::vector<std::int64_t>& nodes, Priority pri,
-                     Tp deadline, Tp now) {
+                     Tp deadline, Tp now, std::uint32_t tenant) {
     for (const std::int64_t node : nodes) {
-      q.push_back(SimPart{node, now, deadline});
+      q.push(SimPart{node, now, deadline, tenant});
     }
     if (pri == Priority::kLow) {
       const serve::SlackView v{
@@ -337,13 +411,15 @@ class Sim {
   void recompute_low_expiry(SimReplica& r) const {
     r.low_next_expiry = Tp::max();
     if (cfg_.batch.shed_budget.count() <= 0) return;
-    for (const SimPart& p :
-         r.queues[static_cast<std::size_t>(Priority::kLow)]) {
-      const serve::SlackView v{
-          p.enqueued, cfg_.batch.deadline_aware ? p.deadline : Tp::max()};
-      r.low_next_expiry = std::min(
-          r.low_next_expiry,
-          serve::effective_deadline(v, cfg_.batch.shed_budget));
+    for (const auto& [t, dq] :
+         r.queues[static_cast<std::size_t>(Priority::kLow)].by_tenant) {
+      for (const SimPart& p : dq) {
+        const serve::SlackView v{
+            p.enqueued, cfg_.batch.deadline_aware ? p.deadline : Tp::max()};
+        r.low_next_expiry = std::min(
+            r.low_next_expiry,
+            serve::effective_deadline(v, cfg_.batch.shed_budget));
+      }
     }
   }
 
@@ -351,44 +427,74 @@ class Sim {
                          std::vector<SimPart>* victims) {
     if (now < r.low_next_expiry) return;
     auto& low = r.queues[static_cast<std::size_t>(Priority::kLow)];
-    if (cfg_.batch.deadline_aware) {
-      for (auto it = low.begin(); it != low.end();) {
-        const serve::SlackView v{it->enqueued, it->deadline};
-        if (serve::effective_deadline(v, cfg_.batch.shed_budget) < now) {
-          victims->push_back(*it);
-          it = low.erase(it);
-        } else {
-          ++it;
+    for (auto ti = low.by_tenant.begin(); ti != low.by_tenant.end();) {
+      auto& dq = ti->second;
+      if (cfg_.batch.deadline_aware) {
+        for (auto it = dq.begin(); it != dq.end();) {
+          const serve::SlackView v{it->enqueued, it->deadline};
+          if (serve::effective_deadline(v, cfg_.batch.shed_budget) < now) {
+            victims->push_back(*it);
+            it = dq.erase(it);
+            --low.size;
+          } else {
+            ++it;
+          }
+        }
+      } else {
+        while (!dq.empty() &&
+               now - dq.front().enqueued > cfg_.batch.shed_budget) {
+          victims->push_back(dq.front());
+          dq.pop_front();
+          --low.size;
         }
       }
-    } else {
-      while (!low.empty() &&
-             now - low.front().enqueued > cfg_.batch.shed_budget) {
-        victims->push_back(low.front());
-        low.pop_front();
+      if (dq.empty()) {
+        low.sched.disarm(ti->first);
+        ti = low.by_tenant.erase(ti);
+      } else {
+        ++ti;
       }
     }
     recompute_low_expiry(r);
   }
 
+  // Globally least-slack victim across every tenant sub-queue — the exact
+  // discipline of MicroBatcher::evict_one_low_locked (without deadlines
+  // the views all carry max() and least_slack degenerates to globally
+  // oldest, the FIFO baseline).
   void evict_one_low(SimReplica& r, std::vector<SimPart>* victims) {
     auto& low = r.queues[static_cast<std::size_t>(Priority::kLow)];
-    std::size_t victim = 0;
-    if (cfg_.batch.deadline_aware) {
-      std::vector<serve::SlackView> views;
-      views.reserve(low.size());
-      for (const SimPart& p : low) views.push_back({p.enqueued, p.deadline});
-      victim = serve::least_slack_index(views, cfg_.batch.shed_budget);
+    std::vector<serve::SlackView> views;
+    std::vector<std::pair<std::uint32_t, std::size_t>> where;
+    views.reserve(low.size);
+    where.reserve(low.size);
+    for (const auto& [t, dq] : low.by_tenant) {
+      for (std::size_t i = 0; i < dq.size(); ++i) {
+        const SimPart& p = dq[i];
+        views.push_back(
+            {p.enqueued,
+             cfg_.batch.deadline_aware ? p.deadline : Tp::max()});
+        where.emplace_back(t, i);
+      }
     }
-    victims->push_back(low[victim]);
-    low.erase(low.begin() + static_cast<std::ptrdiff_t>(victim));
+    const std::size_t victim =
+        serve::least_slack_index(views, cfg_.batch.shed_budget);
+    const auto [vt, vpos] = where[victim];
+    auto& dq = low.by_tenant[vt];
+    victims->push_back(dq[vpos]);
+    dq.erase(dq.begin() + static_cast<std::ptrdiff_t>(vpos));
+    --low.size;
+    if (dq.empty()) {
+      low.sched.disarm(vt);
+      low.by_tenant.erase(vt);
+    }
     recompute_low_expiry(r);
   }
 
   void finish_shed(SimReplica& r, const std::vector<SimPart>& victims,
                    Tp now) {
     for (const SimPart& p : victims) {
-      r.stats->record_shed();
+      r.stats->record_shed(p.tenant);
       r.stats->record_shed_wait(
           std::chrono::duration<double, std::micro>(now - p.enqueued)
               .count());
@@ -424,11 +530,17 @@ class Sim {
     std::vector<SimPart> batch_parts;
     std::vector<SimPart> expired;
     bool popped_low = false;
+    // One registry snapshot per batch close, same as the real batcher's
+    // next_batch — weights flip atomically at batch granularity.
+    const auto tenant_snap =
+        cfg_.tenants ? cfg_.tenants->snapshot() : nullptr;
+    const auto weight_of = [&](std::uint32_t t) {
+      return tenant_snap ? tenant_snap->weight_of(t) : 1u;
+    };
     for (auto& queue : r.queues) {  // kHigh strictly first
       while (batch_parts.size() < cfg_.batch.max_batch_size &&
              !queue.empty()) {
-        SimPart p = queue.front();
-        queue.pop_front();
+        SimPart p = queue.pop(weight_of);
         popped_low = popped_low || &queue == &r.queues[1];
         if (cfg_.batch.deadline_aware && p.deadline < now) {
           expired.push_back(p);  // shed pre-compute, never burns a slot
@@ -485,7 +597,8 @@ class Sim {
           std::chrono::duration<double, std::micro>(now - t_pop).count();
       r.stats->record(
           std::chrono::duration<double, std::micro>(now - p.enqueued)
-              .count());
+              .count(),
+          p.tenant);
       // The modeled service time folds the dispatch gap into compute.
       r.stats->record_stages(admission_us, 0.0, compute_us);
       if (p.deadline < now) r.stats->record_deadline_miss();
@@ -635,10 +748,18 @@ class Sim {
       res.replica_seconds += std::max(0.0, alive);
       res.idle_replica_seconds += std::max(0.0, alive - r.busy_seconds);
     }
+    // Quota refusals happened at the sim's front, before any replica —
+    // fold them into the pool so the per-tenant slices carry them, while
+    // AdmissionCounters (and thus shed_rate, the autoscale signal) stay
+    // quota-blind exactly like the live front's.
+    for (const auto& [t, n] : quota_refused_by_) {
+      pool.record_quota_refused(t, n);
+    }
     const serve::AdmissionCounters adm = pool.admission();
     res.offered_parts = adm.offered();
     res.admitted = adm.admitted;
     res.rejected = adm.rejected;
+    res.quota_refused = quota_refused_;
     res.shed = adm.shed;
     res.shed_rate = adm.shed_rate();
     res.deadline_missed = pool.deadline_missed();
@@ -661,6 +782,13 @@ class Sim {
                          ? dispatched_rows_ /
                                static_cast<double>(batches_dispatched_)
                          : 0.0;
+    std::vector<serve::TenantStat> slices = pool.tenant_stats();
+    // Suppress the degenerate single-slice table for pre-tenancy runs
+    // (no registry, everything tenant 0) — their JSON stays as it was.
+    if (cfg_.tenants ||
+        !(slices.size() == 1 && slices[0].tenant == 0)) {
+      res.tenants = std::move(slices);
+    }
     res.events = std::move(events_);
     res.timeline = std::move(timeline_);
     res.sim_wall_seconds =
@@ -683,6 +811,10 @@ class Sim {
   std::vector<std::size_t> members_;  // active, in spawn order
   serve::HashRing ring_;
   std::uint64_t next_generation_ = 1;
+
+  std::unique_ptr<tenancy::TenantAdmission> admission_;
+  std::size_t quota_refused_ = 0;
+  std::map<std::uint32_t, std::size_t> quota_refused_by_;
 
   std::priority_queue<Ev, std::vector<Ev>, EvLater> heap_;
   std::uint64_t seq_ = 0;
@@ -724,7 +856,8 @@ std::string SimResult::event_signature() const {
 std::string SimResult::to_json() const {
   std::ostringstream os;
   os << "{\"offered_parts\":" << offered_parts << ",\"admitted\":" << admitted
-     << ",\"rejected\":" << rejected << ",\"shed\":" << shed
+     << ",\"rejected\":" << rejected
+     << ",\"quota_refused\":" << quota_refused << ",\"shed\":" << shed
      << ",\"answered\":" << answered
      << ",\"deadline_missed\":" << deadline_missed
      << ",\"shed_rate\":" << shed_rate << ",\"answered_rps\":" << answered_rps
@@ -735,8 +868,16 @@ std::string SimResult::to_json() const {
      << ",\"mean_hit_rate\":" << mean_hit_rate
      << ",\"mean_batch\":" << mean_batch
      << ",\"events\":\"" << event_signature() << "\""
-     << ",\"latency\":" << admitted_latency.to_json()
-     << ",\"sim_wall_seconds\":" << sim_wall_seconds << "}";
+     << ",\"latency\":" << admitted_latency.to_json();
+  if (!tenants.empty()) {
+    os << ",\"tenants\":[";
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      if (i) os << ",";
+      os << tenants[i].to_json();
+    }
+    os << "]";
+  }
+  os << ",\"sim_wall_seconds\":" << sim_wall_seconds << "}";
   return os.str();
 }
 

@@ -43,6 +43,7 @@
 #include "serve/router.h"
 #include "serve/server_stats.h"
 #include "serve/trace.h"
+#include "tenancy/tenant.h"
 
 namespace ppgnn::fleetsim {
 
@@ -69,6 +70,13 @@ struct SimFleetConfig {
   CacheModelConfig cache;
   // Timeline sampling period; 0 disables sampling.
   std::chrono::milliseconds timeline_every{1000};
+  // Tenant contracts: when set, arrivals pass the SAME TenantAdmission
+  // token buckets (driven by the sim clock) and DWRR batch composition the
+  // live fleet front runs, so a capacity plan can answer "does tenant B's
+  // p99 survive tenant A blasting 10x quota" before anyone deploys.  Must
+  // outlive the sim.  Null = pre-tenancy behavior (everything tenant 0,
+  // unmetered, weight 1).
+  const tenancy::TenantRegistry* tenants = nullptr;
 };
 
 struct SimEvent {
@@ -93,6 +101,7 @@ struct SimResult {
   std::size_t offered_parts = 0;
   std::size_t admitted = 0;
   std::size_t rejected = 0;
+  std::size_t quota_refused = 0;  // refused at the tenant quota gate
   std::size_t shed = 0;  // admitted, then dropped pre-compute
   std::size_t answered = 0;
   std::size_t deadline_missed = 0;
@@ -107,6 +116,11 @@ struct SimResult {
   double mean_batch = 0;
   std::vector<SimEvent> events;          // excludes the initial replicas
   std::vector<SimTimelinePoint> timeline;
+  // Per-tenant slices (tenant-id ascending), pooled across all replicas —
+  // the same TenantStat shape the live fleet's aggregate_tenants() emits,
+  // so sim and measured isolation numbers compare field for field.  Empty
+  // when the run saw only tenant 0 with no registry.
+  std::vector<serve::TenantStat> tenants;
   double sim_wall_seconds = 0;  // real time the replay took
 
   // Spawn/retire sequence as one character per event: 'u' / 'd'.  The

@@ -46,13 +46,19 @@ bool write_all(int fd, const std::uint8_t* p, std::size_t n,
   return true;
 }
 
-// Sends Hello, waits for HelloAck.  The FrameReader is local: handshake
-// bytes never mix with steady-state traffic.
-bool hello_exchange(int fd, Clock::time_point deadline, WireHelloAck* ack,
-                    std::string* err) {
+// Sends Hello (offering `offer`), waits for HelloAck, and checks the
+// negotiated version is sane: within what this binary speaks and never
+// above our offer.  The FrameReader is local: handshake bytes never mix
+// with steady-state traffic.
+bool hello_exchange(int fd, Clock::time_point deadline, std::uint32_t offer,
+                    WireHelloAck* ack, std::string* err) {
   std::vector<std::uint8_t> frame;
-  const auto hello = encode_hello(WireHello{});
-  append_frame(frame, MsgType::kHello, hello.data(), hello.size());
+  WireHello h;
+  h.protocol = offer;
+  const auto hello = encode_hello(h);
+  // Handshake frames pin frame-version 1 — negotiation hasn't happened yet.
+  append_frame(frame, MsgType::kHello, hello.data(), hello.size(),
+               /*version=*/1);
   if (!write_all(fd, frame.data(), frame.size(), deadline, err)) return false;
 
   FrameReader reader;
@@ -65,7 +71,12 @@ bool hello_exchange(int fd, Clock::time_point deadline, WireHelloAck* ack,
         if (err) *err = "handshake: expected HelloAck";
         return false;
       }
-      return decode_hello_ack(body.data(), body.size(), ack, err);
+      if (!decode_hello_ack(body.data(), body.size(), ack, err)) return false;
+      if (ack->protocol > offer) {
+        if (err) *err = "handshake: server acked above our offer";
+        return false;
+      }
+      return true;
     }
     if (reader.failed()) {
       if (err) *err = reader.error();
@@ -124,7 +135,7 @@ bool RpcClient::handshake(WireHelloAck* ack, std::string* err) {
     if (err) *err = last_err;
     return false;
   }
-  if (!hello_exchange(fd, deadline, ack, err)) {
+  if (!hello_exchange(fd, deadline, cfg_.protocol, ack, err)) {
     ::close(fd);
     std::lock_guard<std::mutex> lk(mu_);
     dead_ = true;
@@ -135,6 +146,7 @@ bool RpcClient::handshake(WireHelloAck* ack, std::string* err) {
     std::lock_guard<std::mutex> lk(mu_);
     fd_ = fd;
     connected_ = true;
+    protocol_ = static_cast<std::uint8_t>(ack->protocol);
   }
   io_ = std::thread([this] { io_loop(); });
   return true;
@@ -183,10 +195,11 @@ void RpcClient::call(WireRequest& req, std::chrono::milliseconds timeout,
       // loop's sleep (with uniform timeouts it never fires).
       need_wake = outbox_.empty() || p.expires < next_expiry_;
       if (p.expires < next_expiry_) next_expiry_ = p.expires;
+      const std::uint8_t proto = protocol_;
       outbox_.push_back(encode_pooled(
           pool_, stats_,
-          [&req](std::vector<std::uint8_t>& out) {
-            encode_request_into(req, out);
+          [&req, proto](std::vector<std::uint8_t>& out) {
+            encode_request_into(req, out, proto);
           }));
     }
   }
@@ -213,6 +226,11 @@ std::size_t RpcClient::inflight() const {
 RpcStats RpcClient::stats() const {
   std::lock_guard<std::mutex> lk(mu_);
   return stats_;
+}
+
+std::uint8_t RpcClient::protocol() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return protocol_;
 }
 
 void RpcClient::wake() {
@@ -261,8 +279,8 @@ bool RpcClient::try_reconnect() {
   WireHelloAck ack;
   int fd = connect_to(cfg_.address, cfg_.connect_timeout, &err);
   bool ok = fd >= 0;
-  if (ok && !hello_exchange(fd, Clock::now() + cfg_.connect_timeout, &ack,
-                            &err)) {
+  if (ok && !hello_exchange(fd, Clock::now() + cfg_.connect_timeout,
+                            cfg_.protocol, &ack, &err)) {
     ::close(fd);
     ok = false;
   }
@@ -279,6 +297,9 @@ bool RpcClient::try_reconnect() {
     reconnect_attempts_ = 0;
     backoff_ = std::chrono::milliseconds(0);
     reader_ = FrameReader{};
+    // Re-negotiated per connection: a rolling server upgrade between the
+    // drop and this reconnect may have changed the answer.
+    protocol_ = static_cast<std::uint8_t>(ack.protocol);
     return true;
   }
   if (reconnect_attempts_ >= cfg_.max_reconnect_attempts) {

@@ -17,12 +17,13 @@ namespace {
 // round trip (submit -> response), which is the number the front's clients
 // actually experience.
 void record_part(serve::ServerStats* stats, const WirePart& part,
-                 const serve::StageTimings& t, double latency_us) {
+                 const serve::StageTimings& t, double latency_us,
+                 std::uint32_t tenant) {
   if (!stats) return;
   switch (part.status) {
     case serve::ServeStatus::kOk:
-      stats->record_admitted();
-      stats->record(latency_us);
+      stats->record_admitted(tenant);
+      stats->record(latency_us, tenant);
       stats->record_queue_delay(t.admission_wait_us);
       stats->record_stages(t.admission_wait_us, t.dispatch_delay_us,
                           t.compute_us);
@@ -31,17 +32,17 @@ void record_part(serve::ServerStats* stats, const WirePart& part,
       stats->record_deadline_miss();
       if (!part.logits.empty() || !part.topk.empty()) {
         // Late answer: admitted, computed, just slow.
-        stats->record_admitted();
-        stats->record(latency_us);
+        stats->record_admitted(tenant);
+        stats->record(latency_us, tenant);
         stats->record_stages(t.admission_wait_us, t.dispatch_delay_us,
                             t.compute_us);
       } else {
-        stats->record_shed();
+        stats->record_shed(tenant);
         stats->record_shed_wait(t.admission_wait_us);
       }
       break;
     case serve::ServeStatus::kShed:
-      stats->record_shed();
+      stats->record_shed(tenant);
       stats->record_shed_wait(t.admission_wait_us);
       break;
     default:
@@ -96,6 +97,9 @@ void RemoteReplica::submit_parts(
   // nodes capacity persists — no per-submit allocation for the wire side.
   thread_local WireRequest wreq;
   wreq.priority = req.priority;
+  // The tenant travels with the parts (v2 wire); on a v1 connection the
+  // encoder drops it and the replica bills tenant 0.
+  wreq.tenant = req.tenant;
   // Always ship full logits: top-k truncation is the FRONT's RequestState
   // contract (its finish_part computes it), and keeping the replica
   // mode-agnostic means a re-routed part can land anywhere.
@@ -120,7 +124,8 @@ void RemoteReplica::submit_parts(
   client_->call(
       wreq, timeout,
       [state, slot_vec = std::move(slot_vec), stats,
-       on_fail = std::move(on_fail), now](RpcClient::Result& res) mutable {
+       on_fail = std::move(on_fail), now,
+       tenant = req.tenant](RpcClient::Result& res) mutable {
         // Transport failure, a draining replica, or a malformed response
         // (part-count mismatch): nothing was finished — hand every slot
         // back for re-routing.
@@ -144,7 +149,7 @@ void RemoteReplica::submit_parts(
                 res.response.error.empty() ? "remote replica backend error"
                                            : res.response.error));
           }
-          record_part(stats, part, res.response.timings, latency_us);
+          record_part(stats, part, res.response.timings, latency_us, tenant);
           state->finish_part(slot_vec[i], part.status,
                              part.logits.empty() ? nullptr
                                                  : part.logits.data(),

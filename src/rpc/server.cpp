@@ -36,6 +36,11 @@ struct Conn {
   FramePool pool;
   RpcStats stats;
   bool closed = false;
+  // Per-connection NEGOTIATED wire version: min(client offer, ours), set
+  // while handling the Hello and read by completion sinks when framing
+  // responses.  Both sides happen under `mu` (the sinks encode inside
+  // enqueue()), so a plain byte suffices.
+  std::uint8_t protocol = kWireVersion;
 
   // Encodes one frame into a pooled buffer via `encode` (a *_into
   // encoder).  Returns true when the outbox went idle->busy: only that
@@ -157,6 +162,7 @@ int ReplicaServer::run(const volatile std::sig_atomic_t* stop) {
     sreq.priority = wreq.priority;
     sreq.mode = wreq.mode;
     sreq.topk = wreq.topk;
+    sreq.tenant = wreq.tenant;
     sreq.deadline = budget_us_to_deadline(wreq.deadline_rel_us,
                                           std::chrono::steady_clock::now());
     const std::uint64_t wire_id = wreq.id;
@@ -172,9 +178,11 @@ int ReplicaServer::run(const volatile std::sig_atomic_t* stop) {
           // to the outbox (the pooled encode buffer is recycled too).
           thread_local WireResponse w;
           to_wire_into(resp, wire_id, mode, w);
+          // conn->protocol is read under conn->mu (enqueue runs the encode
+          // callback locked), matching the Hello handler's locked write.
           const bool need_wake =
-              conn->enqueue([](std::vector<std::uint8_t>& out) {
-                encode_response_into(w, out);
+              conn->enqueue([&conn](std::vector<std::uint8_t>& out) {
+                encode_response_into(w, out, conn->protocol);
               });
           inflight.fetch_sub(1, std::memory_order_relaxed);
           if (need_wake) wake();
@@ -317,8 +325,9 @@ int ReplicaServer::run(const volatile std::sig_atomic_t* stop) {
         MsgType type;
         const std::uint8_t* body = nullptr;
         std::size_t body_len = 0;
+        std::uint8_t fver = kWireVersion;
         bool proto_err = false;
-        while (conn->reader.next_view(&type, &body, &body_len)) {
+        while (conn->reader.next_view(&type, &body, &body_len, &fver)) {
           if (type == MsgType::kHello) {
             WireHello hello;
             std::string herr;
@@ -326,11 +335,20 @@ int ReplicaServer::run(const volatile std::sig_atomic_t* stop) {
               proto_err = true;
               break;
             }
+            // Negotiate: ack min(client offer, what we speak), and frame
+            // everything after the handshake at that version.
+            const std::uint8_t negotiated = static_cast<std::uint8_t>(
+                std::min<std::uint32_t>(hello.protocol, kWireVersion));
+            {
+              std::lock_guard<std::mutex> lk(conn->mu);
+              conn->protocol = negotiated;
+            }
             if (classes == 0) {
               classes = static_cast<std::uint32_t>(
                   session_->infer_one(0).size());
             }
             WireHelloAck ack;
+            ack.protocol = negotiated;
             ack.num_nodes = session_->num_nodes();
             ack.classes = classes;
             ack.precision = static_cast<std::uint8_t>(session_->precision());
@@ -339,7 +357,7 @@ int ReplicaServer::run(const volatile std::sig_atomic_t* stop) {
             });
           } else if (type == MsgType::kRequest) {
             std::string rerr;
-            if (!decode_request(body, body_len, &wreq, &rerr)) {
+            if (!decode_request(body, body_len, &wreq, &rerr, fver)) {
               proto_err = true;
               break;
             }

@@ -105,7 +105,10 @@ bool fail(std::string* err, const char* what) {
 }
 
 bool valid_status(std::uint8_t s) {
-  return s <= static_cast<std::uint8_t>(serve::ServeStatus::kError);
+  // kQuotaExceeded (5) is a v2 addition, but accepting it unconditionally
+  // is safe: a v1 peer never sends it, and rejecting by version would buy
+  // nothing but a second code path.
+  return s <= static_cast<std::uint8_t>(serve::ServeStatus::kQuotaExceeded);
 }
 
 // --- Body encoders ---------------------------------------------------------
@@ -131,12 +134,17 @@ void hello_ack_body_into(const WireHelloAck& a,
   out.push_back(0);  // reserved
 }
 
-void request_body_into(const WireRequest& r, std::vector<std::uint8_t>& out) {
+void request_body_into(const WireRequest& r, std::vector<std::uint8_t>& out,
+                       std::uint8_t protocol) {
   put_u64(out, r.id);
   out.push_back(static_cast<std::uint8_t>(r.priority));
   out.push_back(static_cast<std::uint8_t>(r.mode));
   put_u16(out, r.topk);
   put_i64(out, r.deadline_rel_us);
+  // v2 inserts the tenant id here; a v1 connection gets the v1 layout
+  // byte for byte (the tenant is simply dropped — default-tenant billing
+  // on the other end).
+  if (protocol >= 2) put_u32(out, r.tenant);
   put_u32(out, static_cast<std::uint32_t>(r.nodes.size()));
   for (const std::int64_t n : r.nodes) put_i64(out, n);
 }
@@ -170,8 +178,11 @@ void response_body_into(const WireResponse& r,
 
 // Frame-appending skeleton: write a placeholder header, append the body,
 // then patch body_len once it is known — one pass, no temporary vector.
+// `version` is the connection's negotiated wire version (handshake frames
+// pin it to 1 — see the negotiation note in wire.h).
 template <typename BodyFn>
-void frame_into(MsgType type, std::vector<std::uint8_t>& out, BodyFn&& body) {
+void frame_into(MsgType type, std::uint8_t version,
+                std::vector<std::uint8_t>& out, BodyFn&& body) {
   const std::size_t hdr = out.size();
   out.resize(hdr + kFrameHeaderBytes, 0);
   body(out);
@@ -181,7 +192,7 @@ void frame_into(MsgType type, std::vector<std::uint8_t>& out, BodyFn&& body) {
         static_cast<std::uint8_t>(body_len >> (8 * i));
   }
   out[hdr + 4] = static_cast<std::uint8_t>(type);
-  out[hdr + 5] = kWireVersion;
+  out[hdr + 5] = version;
   // bytes 6..7 (reserved) stay zero from the resize
 }
 
@@ -205,7 +216,7 @@ bool decode_frame_header(const std::uint8_t in[kFrameHeaderBytes],
   const std::uint8_t type = r.u8();
   out->version = r.u8();
   r.u16();  // reserved
-  if (out->version != kWireVersion) {
+  if (out->version < kMinWireVersion || out->version > kWireVersion) {
     return fail(err, "ppgnn-wire: unsupported version");
   }
   switch (type) {
@@ -225,10 +236,12 @@ bool decode_frame_header(const std::uint8_t in[kFrameHeaderBytes],
 }
 
 void append_frame(std::vector<std::uint8_t>& out, MsgType type,
-                  const std::uint8_t* body, std::size_t body_len) {
+                  const std::uint8_t* body, std::size_t body_len,
+                  std::uint8_t version) {
   FrameHeader h;
   h.body_len = static_cast<std::uint32_t>(body_len);
   h.type = type;
+  h.version = version;
   std::uint8_t hdr[kFrameHeaderBytes];
   encode_frame_header(h, hdr);
   out.insert(out.end(), hdr, hdr + kFrameHeaderBytes);
@@ -243,7 +256,8 @@ std::vector<std::uint8_t> encode_hello(const WireHello& h) {
 }
 
 void encode_hello_into(const WireHello& h, std::vector<std::uint8_t>& out) {
-  frame_into(MsgType::kHello, out,
+  // Handshake frames always travel at frame-version 1 (pre-negotiation).
+  frame_into(MsgType::kHello, /*version=*/1, out,
              [&h](std::vector<std::uint8_t>& o) { hello_body_into(h, o); });
 }
 
@@ -254,7 +268,9 @@ bool decode_hello(const std::uint8_t* body, std::size_t len, WireHello* out,
   out->protocol = r.u32();
   if (!r.ok || r.left != 0) return fail(err, "ppgnn-wire: bad Hello length");
   if (out->magic != kWireMagic) return fail(err, "ppgnn-wire: bad magic");
-  if (out->protocol != kWireVersion) {
+  // The offer may be anything >= 1 — the server clamps with min(), so a
+  // client from the future still negotiates down to what we speak.
+  if (out->protocol < kMinWireVersion) {
     return fail(err, "ppgnn-wire: unsupported protocol");
   }
   return true;
@@ -269,9 +285,11 @@ std::vector<std::uint8_t> encode_hello_ack(const WireHelloAck& a) {
 
 void encode_hello_ack_into(const WireHelloAck& a,
                            std::vector<std::uint8_t>& out) {
-  frame_into(MsgType::kHelloAck, out, [&a](std::vector<std::uint8_t>& o) {
-    hello_ack_body_into(a, o);
-  });
+  // Handshake frames always travel at frame-version 1 (pre-negotiation).
+  frame_into(MsgType::kHelloAck, /*version=*/1, out,
+             [&a](std::vector<std::uint8_t>& o) {
+               hello_ack_body_into(a, o);
+             });
 }
 
 bool decode_hello_ack(const std::uint8_t* body, std::size_t len,
@@ -289,35 +307,42 @@ bool decode_hello_ack(const std::uint8_t* body, std::size_t len,
     return fail(err, "ppgnn-wire: bad HelloAck length");
   }
   if (out->magic != kWireMagic) return fail(err, "ppgnn-wire: bad magic");
-  if (out->protocol != kWireVersion) {
+  // The ack carries the NEGOTIATED version, which must be one we speak.
+  if (out->protocol < kMinWireVersion || out->protocol > kWireVersion) {
     return fail(err, "ppgnn-wire: unsupported protocol");
   }
   return true;
 }
 
-std::vector<std::uint8_t> encode_request(const WireRequest& r) {
+std::vector<std::uint8_t> encode_request(const WireRequest& r,
+                                         std::uint8_t protocol) {
   std::vector<std::uint8_t> out;
-  out.reserve(24 + r.nodes.size() * 8);
-  request_body_into(r, out);
+  out.reserve(28 + r.nodes.size() * 8);
+  request_body_into(r, out, protocol);
   return out;
 }
 
-void encode_request_into(const WireRequest& r,
-                         std::vector<std::uint8_t>& out) {
-  out.reserve(out.size() + kFrameHeaderBytes + 24 + r.nodes.size() * 8);
-  frame_into(MsgType::kRequest, out, [&r](std::vector<std::uint8_t>& o) {
-    request_body_into(r, o);
-  });
+void encode_request_into(const WireRequest& r, std::vector<std::uint8_t>& out,
+                         std::uint8_t protocol) {
+  out.reserve(out.size() + kFrameHeaderBytes + 28 + r.nodes.size() * 8);
+  frame_into(MsgType::kRequest, protocol, out,
+             [&r, protocol](std::vector<std::uint8_t>& o) {
+               request_body_into(r, o, protocol);
+             });
 }
 
 bool decode_request(const std::uint8_t* body, std::size_t len,
-                    WireRequest* out, std::string* err) {
+                    WireRequest* out, std::string* err,
+                    std::uint8_t version) {
   Reader r{body, len};
   out->id = r.u64();
   const std::uint8_t pri = r.u8();
   const std::uint8_t mode = r.u8();
   out->topk = r.u16();
   out->deadline_rel_us = r.i64();
+  // v2 carries the tenant id between the deadline and the node count; a v1
+  // frame simply doesn't, and everything from a v1 peer bills to tenant 0.
+  out->tenant = version >= 2 ? r.u32() : 0;
   const std::uint32_t count = r.u32();
   if (!r.ok) return fail(err, "ppgnn-wire: truncated Request");
   if (pri > static_cast<std::uint8_t>(serve::Priority::kLow)) {
@@ -367,11 +392,10 @@ std::vector<std::uint8_t> encode_response(const WireResponse& r) {
   return out;
 }
 
-void encode_response_into(const WireResponse& r,
-                          std::vector<std::uint8_t>& out) {
-  frame_into(MsgType::kResponse, out, [&r](std::vector<std::uint8_t>& o) {
-    response_body_into(r, o);
-  });
+void encode_response_into(const WireResponse& r, std::vector<std::uint8_t>& out,
+                          std::uint8_t protocol) {
+  frame_into(MsgType::kResponse, protocol, out,
+             [&r](std::vector<std::uint8_t>& o) { response_body_into(r, o); });
 }
 
 bool decode_response(const std::uint8_t* body, std::size_t len,

@@ -1,4 +1,4 @@
-// ppgnn-wire v1: the binary codec that carries ServeRequest/ServeResponse
+// ppgnn-wire v2: the binary codec that carries ServeRequest/ServeResponse
 // envelopes across a process boundary.
 //
 // The serving API v2 envelope (serve/serve_api.h) was designed as a wire
@@ -22,6 +22,21 @@
 //   * decoders reject unknown versions, unknown message types, bodies over
 //     kMaxFrameBody, and any length field that disagrees with the actual
 //     byte count — a corrupt frame kills the connection, never the process.
+//
+// VERSION NEGOTIATION (v2).  v2 adds one field — the tenant id (u32) in
+// the Request body, between deadline_rel_us and the node count — and the
+// kQuotaExceeded status value (5).  The handshake negotiates per
+// connection:
+//   * Hello and HelloAck FRAMES always carry frame-header version 1, on
+//     both ends, forever: negotiation hasn't happened yet when they are
+//     sent, and a fixed pre-negotiation version is what lets any two
+//     versions complete a handshake.  The OFFER travels in the Hello
+//     body's `protocol` field.
+//   * The server acks min(client_protocol, kWireVersion); both sides then
+//     frame every post-handshake message at the negotiated version, and
+//     decode Request bodies per the frame's header version — a v1 client
+//     against a v2 server works unmodified (its requests simply carry
+//     tenant 0).
 #pragma once
 
 #include <chrono>
@@ -33,7 +48,11 @@
 
 namespace ppgnn::rpc {
 
-inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint8_t kWireVersion = 2;
+// Oldest version current binaries still decode (see the negotiation note
+// above); frame headers outside [kMinWireVersion, kWireVersion] are
+// rejected.
+inline constexpr std::uint8_t kMinWireVersion = 1;
 // Bytes "PPG1" on the wire (little-endian u32) — the handshake's sanity
 // check that both ends speak ppgnn-wire at all.
 inline constexpr std::uint32_t kWireMagic = 0x31475050u;
@@ -66,9 +85,11 @@ void encode_frame_header(const FrameHeader& h,
 bool decode_frame_header(const std::uint8_t in[kFrameHeaderBytes],
                          FrameHeader* out, std::string* err);
 
-// Appends a complete frame (header + body) to `out`.
+// Appends a complete frame (header + body) to `out`, framed at `version`
+// (the negotiated one; handshake frames pin 1).
 void append_frame(std::vector<std::uint8_t>& out, MsgType type,
-                  const std::uint8_t* body, std::size_t body_len);
+                  const std::uint8_t* body, std::size_t body_len,
+                  std::uint8_t version = kWireVersion);
 
 // Append-style `*_into` encoders (declared per section below): each
 // appends one COMPLETE frame (header + body) to `out` without clearing it,
@@ -82,11 +103,12 @@ void append_frame(std::vector<std::uint8_t>& out, MsgType type,
 
 struct WireHello {
   std::uint32_t magic = kWireMagic;
-  std::uint32_t protocol = kWireVersion;
+  std::uint32_t protocol = kWireVersion;  // the client's OFFER (highest)
 };
 
 struct WireHelloAck {
   std::uint32_t magic = kWireMagic;
+  // The NEGOTIATED version: min(client offer, server kWireVersion).
   std::uint32_t protocol = kWireVersion;
   std::uint64_t num_nodes = 0;  // rows this replica can answer for
   std::uint32_t classes = 0;    // logits row width
@@ -111,13 +133,22 @@ struct WireRequest {
   serve::ResultMode mode = serve::ResultMode::kFullLogits;
   std::uint16_t topk = 3;             // kTopK only
   std::int64_t deadline_rel_us = -1;  // remaining budget; -1 = none
+  std::uint32_t tenant = 0;           // v2+; v1 peers neither send nor see it
   std::vector<std::int64_t> nodes;    // >= 1
 };
 
-std::vector<std::uint8_t> encode_request(const WireRequest& r);
-void encode_request_into(const WireRequest& r, std::vector<std::uint8_t>& out);
+// `protocol` is the connection's NEGOTIATED version: at 1 the body omits
+// the tenant field (a v1 peer must receive exactly the v1 layout), at 2+
+// it carries it.  Likewise decode_request parses the body per `version` —
+// pass the frame header's version, which the negotiation guarantees
+// matches what the peer encoded.
+std::vector<std::uint8_t> encode_request(const WireRequest& r,
+                                         std::uint8_t protocol = kWireVersion);
+void encode_request_into(const WireRequest& r, std::vector<std::uint8_t>& out,
+                         std::uint8_t protocol = kWireVersion);
 bool decode_request(const std::uint8_t* body, std::size_t len,
-                    WireRequest* out, std::string* err);
+                    WireRequest* out, std::string* err,
+                    std::uint8_t version = kWireVersion);
 
 // Deadline translation (the one non-trivial conversion, see header note).
 std::int64_t deadline_to_budget_us(std::chrono::steady_clock::time_point d,
@@ -144,9 +175,14 @@ struct WireResponse {
   std::vector<WirePart> parts;  // one per request node, same order
 };
 
+// The Response body layout is identical in v1 and v2 (the tenant never
+// travels back — the client still holds it); `protocol` only sets the
+// frame header's version byte to the connection's negotiated value.  A v1
+// connection also never carries status kQuotaExceeded (quota refusals are
+// resolved at the fleet front and don't cross the wire at all).
 std::vector<std::uint8_t> encode_response(const WireResponse& r);
-void encode_response_into(const WireResponse& r,
-                          std::vector<std::uint8_t>& out);
+void encode_response_into(const WireResponse& r, std::vector<std::uint8_t>& out,
+                          std::uint8_t protocol = kWireVersion);
 bool decode_response(const std::uint8_t* body, std::size_t len,
                      WireResponse* out, std::string* err);
 

@@ -1,6 +1,7 @@
 #include "serve/micro_batcher.h"
 
 #include <algorithm>
+#include <cassert>
 #include <utility>
 
 namespace ppgnn::serve {
@@ -44,12 +45,40 @@ MicroBatcher::MicroBatcher(InferenceSession& session,
 
 MicroBatcher::~MicroBatcher() { stop(); }
 
+void MicroBatcher::push_locked(ClassQueue& cq, Pending&& p) {
+  auto& q = cq.by_tenant[p.tenant];
+  if (q.empty()) cq.sched.arm(p.tenant);
+  q.push_back(std::move(p));
+  ++cq.size;
+}
+
+template <typename WeightFn>
+MicroBatcher::Pending MicroBatcher::pop_next_locked(ClassQueue& cq,
+                                                    WeightFn&& weight_of) {
+  const std::uint32_t t = cq.sched.next(weight_of);
+  const auto it = cq.by_tenant.find(t);
+  assert(it != cq.by_tenant.end() && !it->second.empty());
+  Pending p = std::move(it->second.front());
+  it->second.pop_front();
+  const bool emptied = it->second.empty();
+  if (emptied) cq.by_tenant.erase(it);
+  cq.sched.note_popped(t, emptied);
+  --cq.size;
+  return p;
+}
+
 std::chrono::steady_clock::time_point MicroBatcher::oldest_enqueued_locked()
     const {
-  // kHigh dispatches first but either class can hold the oldest arrival.
-  if (queues_[0].empty()) return queues_[1].front().enqueued;
-  if (queues_[1].empty()) return queues_[0].front().enqueued;
-  return std::min(queues_[0].front().enqueued, queues_[1].front().enqueued);
+  // Sub-queues are FIFO per tenant, so the oldest part in a class is one
+  // of the tenant fronts; either class can hold the oldest arrival.
+  auto oldest = std::chrono::steady_clock::time_point::max();
+  for (const ClassQueue& cq : queues_) {
+    for (const auto& [tenant, q] : cq.by_tenant) {
+      (void)tenant;
+      if (!q.empty()) oldest = std::min(oldest, q.front().enqueued);
+    }
+  }
+  return oldest;
 }
 
 bool MicroBatcher::over_budget_locked(
@@ -62,13 +91,16 @@ void MicroBatcher::recompute_low_expiry_locked() {
   low_next_expiry_ = std::chrono::steady_clock::time_point::max();
   if (cfg_.shed_budget.count() <= 0) return;  // sweeps only shed with a budget
   const auto& low = queues_[static_cast<std::size_t>(Priority::kLow)];
-  for (const Pending& p : low) {
-    const SlackView v{p.enqueued,
-                      cfg_.deadline_aware
-                          ? p.deadline
-                          : std::chrono::steady_clock::time_point::max()};
-    low_next_expiry_ =
-        std::min(low_next_expiry_, effective_deadline(v, cfg_.shed_budget));
+  for (const auto& [tenant, q] : low.by_tenant) {
+    (void)tenant;
+    for (const Pending& p : q) {
+      const SlackView v{p.enqueued,
+                        cfg_.deadline_aware
+                            ? p.deadline
+                            : std::chrono::steady_clock::time_point::max()};
+      low_next_expiry_ =
+          std::min(low_next_expiry_, effective_deadline(v, cfg_.shed_budget));
+    }
   }
 }
 
@@ -76,24 +108,36 @@ void MicroBatcher::sweep_expired_low_locked(
     std::chrono::steady_clock::time_point now, std::vector<Pending>* victims) {
   if (now < low_next_expiry_) return;  // nothing can have expired yet
   auto& low = queues_[static_cast<std::size_t>(Priority::kLow)];
-  if (cfg_.deadline_aware) {
-    for (auto it = low.begin(); it != low.end();) {
-      const SlackView v{it->enqueued, it->deadline};
-      if (effective_deadline(v, cfg_.shed_budget) < now) {
+  for (auto qit = low.by_tenant.begin(); qit != low.by_tenant.end();) {
+    auto& q = qit->second;
+    if (cfg_.deadline_aware) {
+      for (auto it = q.begin(); it != q.end();) {
+        const SlackView v{it->enqueued, it->deadline};
+        if (effective_deadline(v, cfg_.shed_budget) < now) {
+          ++counters_.admission.shed;
+          --low.size;
+          victims->push_back(std::move(*it));
+          it = q.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    } else {
+      // FIFO baseline: within one tenant's sub-queue, age ordering equals
+      // expiry ordering, so only its front can be expired — the PR-2
+      // drop-head pass, per tenant.
+      while (!q.empty() && now - q.front().enqueued > cfg_.shed_budget) {
         ++counters_.admission.shed;
-        victims->push_back(std::move(*it));
-        it = low.erase(it);
-      } else {
-        ++it;
+        --low.size;
+        victims->push_back(std::move(q.front()));
+        q.pop_front();
       }
     }
-  } else {
-    // FIFO baseline: age ordering equals expiry ordering, so only the
-    // front can be expired — the PR-2 drop-head pass.
-    while (!low.empty() && now - low.front().enqueued > cfg_.shed_budget) {
-      ++counters_.admission.shed;
-      victims->push_back(std::move(low.front()));
-      low.pop_front();
+    if (q.empty()) {
+      low.sched.disarm(qit->first);
+      qit = low.by_tenant.erase(qit);
+    } else {
+      ++qit;
     }
   }
   recompute_low_expiry_locked();
@@ -101,21 +145,51 @@ void MicroBatcher::sweep_expired_low_locked(
 
 void MicroBatcher::evict_one_low_locked(std::vector<Pending>* victims) {
   auto& low = queues_[static_cast<std::size_t>(Priority::kLow)];
-  std::size_t victim = 0;  // FIFO baseline: the head
-  if (cfg_.deadline_aware) {
-    // Slack order: the entry nearest its effective deadline is the one
-    // least likely to be answered usefully — kill it, keep the ones with
-    // room to make it.  Decided by the same pure function the staged
-    // synthetic-clock tests replay, so the shipped policy cannot diverge
-    // from the verified one.
-    std::vector<SlackView> views;
-    views.reserve(low.size());
-    for (const Pending& p : low) views.push_back({p.enqueued, p.deadline});
-    victim = least_slack_index(views, cfg_.shed_budget);
+  assert(low.size > 0);
+  // Flatten every tenant sub-queue into one deterministic scan order
+  // (tenant ascending, then FIFO position) and pick the victim GLOBALLY.
+  // Picking from a single tenant's head — e.g. whichever tenant DWRR
+  // would visit next — would evict parts that still have slack while a
+  // doomed part sits in another tenant's queue; the slack policy must see
+  // the whole class, exactly as it did when the class was one flat FIFO.
+  std::vector<SlackView> views;
+  std::vector<std::pair<std::uint32_t, std::size_t>> where;  // tenant, pos
+  views.reserve(low.size);
+  where.reserve(low.size);
+  for (const auto& [tenant, q] : low.by_tenant) {
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      if (cfg_.deadline_aware) {
+        views.push_back({q[i].enqueued, q[i].deadline});
+      } else {
+        // FIFO baseline: order on age alone (no explicit deadlines) so
+        // least_slack_index degenerates to the globally oldest part.
+        views.push_back(
+            {q[i].enqueued, std::chrono::steady_clock::time_point::max()});
+      }
+      where.emplace_back(tenant, i);
+    }
   }
+  const std::size_t victim = least_slack_index(views, cfg_.shed_budget);
+  assert(victim < where.size());
+#ifndef NDEBUG
+  // The regression guard for the per-tenant refactor: the chosen victim's
+  // effective deadline is the class-wide minimum, not just its own
+  // tenant's.
+  for (const SlackView& v : views) {
+    assert(effective_deadline(views[victim], cfg_.shed_budget) <=
+           effective_deadline(v, cfg_.shed_budget));
+  }
+#endif
+  const auto [vt, vpos] = where[victim];
+  auto qit = low.by_tenant.find(vt);
   ++counters_.admission.shed;
-  victims->push_back(std::move(low[victim]));
-  low.erase(low.begin() + static_cast<std::ptrdiff_t>(victim));
+  --low.size;
+  victims->push_back(std::move(qit->second[vpos]));
+  qit->second.erase(qit->second.begin() + static_cast<std::ptrdiff_t>(vpos));
+  if (qit->second.empty()) {
+    low.sched.disarm(vt);
+    low.by_tenant.erase(qit);
+  }
   recompute_low_expiry_locked();
 }
 
@@ -130,7 +204,7 @@ void MicroBatcher::finish_shed(std::vector<Pending>& victims,
     t.admission_wait_us =
         std::chrono::duration<double, std::micro>(now - p.enqueued).count();
     if (stats_) {
-      stats_->record_shed();
+      stats_->record_shed(p.tenant);
       // The honest shed column: a shed part's queue wait was latency its
       // client paid — record it instead of reporting zeros.
       stats_->record_shed_wait(t.admission_wait_us);
@@ -151,6 +225,7 @@ RejectReason MicroBatcher::try_submit_parts(
   const bool shedding = cfg_.shed_budget.count() > 0;
   const auto& nodes = state->request().nodes;
   const Priority pri = state->priority();
+  const std::uint32_t tenant = state->request().tenant;
   std::vector<Pending> victims;
   RejectReason reason = RejectReason::kNone;
   if (n > cfg_.queue_capacity) {
@@ -184,18 +259,21 @@ RejectReason MicroBatcher::try_submit_parts(
         counters_.admission.rejected += n;
         reason = RejectReason::kDeadline;
       } else {
-        // One FIFO regardless of class (see Priority in serve_api.h): a
-        // strict-priority drain without a drop policy would let sustained
-        // kHigh load starve queued kLow forever.
-        auto& q = queues_[static_cast<std::size_t>(Priority::kHigh)];
+        // One class regardless of priority (see Priority in serve_api.h):
+        // a strict-priority drain without a drop policy would let
+        // sustained kHigh load starve queued kLow forever.  Within the
+        // class, parts still land in per-tenant FIFOs so DWRR fair share
+        // applies even in backpressure mode.
+        auto& cq = queues_[static_cast<std::size_t>(Priority::kHigh)];
         for (std::size_t i = 0; i < n; ++i) {
           Pending p;
           p.node = nodes[slots[i]];
           p.slot = slots[i];
+          p.tenant = tenant;
           p.state = state;
           p.enqueued = now;
           p.deadline = state->deadline();
-          q.push_back(std::move(p));
+          push_locked(cq, std::move(p));
         }
         counters_.admission.admitted += n;
       }
@@ -222,7 +300,7 @@ RejectReason MicroBatcher::try_submit_parts(
           const std::size_t after = queued_locked() + n;
           const std::size_t shortfall =
               after > cfg_.queue_capacity ? after - cfg_.queue_capacity : 0;
-          if (shortfall > 0 && shortfall <= low.size()) {
+          if (shortfall > 0 && shortfall <= low.size) {
             while (queued_locked() + n > cfg_.queue_capacity) {
               evict_one_low_locked(&victims);
             }
@@ -233,15 +311,15 @@ RejectReason MicroBatcher::try_submit_parts(
           counters_.admission.rejected += n;
           reason = RejectReason::kOverload;
         } else {
-          auto& q = queues_[static_cast<std::size_t>(pri)];
+          auto& cq = queues_[static_cast<std::size_t>(pri)];
           for (std::size_t i = 0; i < n; ++i) {
             Pending p;
             p.node = nodes[slots[i]];
             p.slot = slots[i];
+            p.tenant = tenant;
             p.state = state;
             p.enqueued = now;
             p.deadline = state->deadline();
-            q.push_back(std::move(p));
             if (pri == Priority::kLow) {
               const SlackView v{p.enqueued, cfg_.deadline_aware
                                                 ? p.deadline
@@ -250,6 +328,7 @@ RejectReason MicroBatcher::try_submit_parts(
               low_next_expiry_ = std::min(
                   low_next_expiry_, effective_deadline(v, cfg_.shed_budget));
             }
+            push_locked(cq, std::move(p));
           }
           counters_.admission.admitted += n;
         }
@@ -265,7 +344,7 @@ RejectReason MicroBatcher::try_submit_parts(
   }
   if (reason == RejectReason::kNone) {
     if (stats_) {
-      for (std::size_t i = 0; i < n; ++i) stats_->record_admitted();
+      for (std::size_t i = 0; i < n; ++i) stats_->record_admitted(tenant);
     }
     cv_arrival_.notify_one();
     return RejectReason::kNone;
@@ -275,7 +354,7 @@ RejectReason MicroBatcher::try_submit_parts(
   const bool deadline_refusal = reason == RejectReason::kDeadline;
   for (std::size_t i = 0; i < n; ++i) {
     if (stats_) {
-      stats_->record_rejected();
+      stats_->record_rejected(tenant);
       if (deadline_refusal) stats_->record_deadline_miss();
     }
     state->finish_part(slots[i],
@@ -355,17 +434,27 @@ std::vector<MicroBatcher::Pending> MicroBatcher::next_batch(
     std::vector<Pending> batch;
     batch.reserve(std::min(queued_locked(), cfg_.max_batch_size));
     bool popped_low = false;
+    // DWRR weights come from the registry snapshot as of this batch close
+    // — one atomic load per batch, never per part, and a contract flip
+    // mid-storm simply takes effect at the next batch boundary.
+    const auto tenant_snap = cfg_.tenants ? cfg_.tenants->snapshot() : nullptr;
+    const auto weight_of = [&](std::uint32_t t) {
+      return tenant_snap ? tenant_snap->weight_of(t) : 1u;
+    };
     // kHigh drains strictly first: under overload the sheddable class
     // waits, which is what makes its queue delay (and shedding) absorb the
-    // excess.  A part whose explicit deadline is already blown is moved to
-    // `expired` instead of the batch — shedding it here, BEFORE compute,
-    // is the deadline-aware half of the v2 contract: a blown request must
-    // not burn a batch slot on an answer nobody will read.
-    for (auto& queue : queues_) {
-      while (batch.size() < cfg_.max_batch_size && !queue.empty()) {
-        Pending p = std::move(queue.front());
-        queue.pop_front();
-        popped_low = popped_low || &queue == &queues_[1];
+    // excess.  Within a class, tenants are drained deficit-weighted
+    // round-robin (src/tenancy/fair_share.h) — a weight-2 tenant fills
+    // twice the batch slots of a weight-1 peer when both are backlogged,
+    // and a lone tenant degenerates to the old FIFO.  A part whose
+    // explicit deadline is already blown is moved to `expired` instead of
+    // the batch — shedding it here, BEFORE compute, is the deadline-aware
+    // half of the v2 contract: a blown request must not burn a batch slot
+    // on an answer nobody will read.
+    for (auto& cq : queues_) {
+      while (batch.size() < cfg_.max_batch_size && !cq.empty()) {
+        Pending p = pop_next_locked(cq, weight_of);
+        popped_low = popped_low || &cq == &queues_[1];
         if (cfg_.deadline_aware && p.deadline < now) {
           ++counters_.admission.shed;
           expired->push_back(std::move(p));
@@ -440,7 +529,8 @@ void MicroBatcher::dispatcher_loop() {
         if (stats_) {
           stats_->record(std::chrono::duration<double, std::micro>(
                              done - p.enqueued)
-                             .count());
+                             .count(),
+                         p.tenant);
           stats_->record_stages(t.admission_wait_us, t.dispatch_delay_us,
                                 t.compute_us);
           if (late) stats_->record_deadline_miss();

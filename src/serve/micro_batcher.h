@@ -62,6 +62,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -71,6 +72,8 @@
 #include "serve/inference_session.h"
 #include "serve/serve_api.h"
 #include "serve/server_stats.h"
+#include "tenancy/fair_share.h"
+#include "tenancy/tenant.h"
 
 namespace ppgnn::serve {
 
@@ -102,6 +105,14 @@ struct MicroBatchConfig {
   // condition-variable waits stay real-time regardless — see clock.h for
   // why a sim-clocked batcher dispatches eagerly.
   const Clock* clock = nullptr;
+  // Tenant contract table for fair-share batch composition (src/tenancy/).
+  // When set, each priority class drains its per-tenant sub-queues by
+  // deficit-weighted round-robin using the registry's weights; null (the
+  // default) leaves every tenant at weight 1, which for a single-tenant
+  // stream is exactly the old global FIFO.  Quota enforcement does NOT
+  // live here — that's the fleet front's TenantAdmission; the batcher only
+  // arbitrates order among already-admitted parts.
+  const tenancy::TenantRegistry* tenants = nullptr;
 };
 
 struct BatchCounters {
@@ -235,15 +246,29 @@ class MicroBatcher {
   std::size_t queued() const;
 
  private:
-  // One envelope part in the queue.  enqueued/deadline are duplicated out
-  // of the shared state so the shed policy never chases the pointer.
+  // One envelope part in the queue.  enqueued/deadline/tenant are
+  // duplicated out of the shared state so the shed policy never chases the
+  // pointer.
   struct Pending {
     std::int64_t node = 0;
     std::uint32_t slot = 0;
+    std::uint32_t tenant = 0;
     std::shared_ptr<RequestState> state;
     std::chrono::steady_clock::time_point enqueued{};
     std::chrono::steady_clock::time_point deadline =
         std::chrono::steady_clock::time_point::max();
+  };
+
+  // One priority class's admission queue: FIFO per tenant, tenants
+  // arbitrated by DWRR at pop time.  std::map keeps tenant iteration
+  // deterministic (sweeps, eviction scans, expiry recomputes all walk
+  // tenants in ascending id order — same order every run).  `size` is
+  // maintained on every push/pop/erase so queued_locked() stays O(1).
+  struct ClassQueue {
+    std::map<std::uint32_t, std::deque<Pending>> by_tenant;
+    tenancy::DwrrScheduler sched;
+    std::size_t size = 0;
+    bool empty() const { return size == 0; }
   };
 
   void dispatcher_loop();
@@ -255,8 +280,15 @@ class MicroBatcher {
                                   std::chrono::steady_clock::time_point* pop_time);
 
   std::size_t queued_locked() const {
-    return queues_[0].size() + queues_[1].size();
+    return queues_[0].size + queues_[1].size;
   }
+  // Appends `p` to its tenant's sub-queue in class `cq`, arming the tenant
+  // in the DWRR ring if its queue was empty.
+  static void push_locked(ClassQueue& cq, Pending&& p);
+  // Pops the next part per the class's DWRR order; `weight_of` maps tenant
+  // id -> weight.  Requires a non-empty class.
+  template <typename WeightFn>
+  Pending pop_next_locked(ClassQueue& cq, WeightFn&& weight_of);
   // Enqueue time of the oldest queued part (either class); only valid
   // when queued_locked() > 0.
   std::chrono::steady_clock::time_point oldest_enqueued_locked() const;
@@ -265,8 +297,9 @@ class MicroBatcher {
   // Cheap when nothing expired: gated on low_next_expiry_.
   void sweep_expired_low_locked(std::chrono::steady_clock::time_point now,
                                 std::vector<Pending>* victims);
-  // Removes the least-slack (deadline_aware) or front (FIFO) kLow part
-  // into *victims.  Requires a non-empty kLow queue.
+  // Removes the GLOBALLY least-slack (deadline_aware) or globally oldest
+  // (FIFO) kLow part — scanned across every tenant sub-queue, never just
+  // one tenant's head — into *victims.  Requires a non-empty kLow class.
   void evict_one_low_locked(std::vector<Pending>* victims);
   void recompute_low_expiry_locked();
   // Resolves shed parts (outside the lock) and records the stats — the
@@ -282,7 +315,7 @@ class MicroBatcher {
   mutable std::mutex mu_;
   std::condition_variable cv_arrival_;  // queue became non-empty / stop
   std::condition_variable cv_space_;    // queue has room again
-  std::deque<Pending> queues_[2];       // indexed by Priority
+  ClassQueue queues_[2];                // indexed by Priority
   // Earliest effective deadline among queued kLow parts; max() when none.
   // Lets the arrival path skip the expiry sweep in O(1) when nothing can
   // have expired yet.

@@ -100,6 +100,16 @@ void FleetManager::init_config(const FleetConfig& cfg) {
   precision_ = cfg.precision;
   started_at_ = cfg_.clock->now();
   router_ = make_router(cfg_.policy);
+  if (cfg_.tenants) {
+    // Tenancy: one registry knob wires the whole tier — the front gate
+    // charges quotas here, and every replica's batcher (local replicas
+    // inherit cfg_.batch) composes batches by the same registry's weights.
+    if (!cfg_.batch.tenants) cfg_.batch.tenants = cfg_.tenants;
+    admission_ =
+        std::make_unique<tenancy::TenantAdmission>(*cfg_.tenants, cfg_.clock);
+    front_stats_ =
+        std::make_unique<ServerStats>(cfg_.stats_window, cfg_.clock);
+  }
 }
 
 void FleetManager::init(std::vector<std::unique_ptr<InferenceSession>> sessions,
@@ -250,6 +260,31 @@ std::vector<float> FleetManager::infer_blocking(std::int64_t node) {
 void FleetManager::submit(ServeRequest req, CompletionQueue& cq) {
   if (req.nodes.empty()) {
     throw std::invalid_argument("FleetManager::submit: empty envelope");
+  }
+  if (admission_) {
+    // Tenancy front gate, in contract order: clamp the claimed priority to
+    // the tenant's ceiling, stamp the contract's default deadline onto
+    // deadline-free requests, then charge the token bucket.  A refusal is
+    // terminal HERE — the envelope answers kQuotaExceeded without ever
+    // being routed, so it can never surface as kDraining (nothing to
+    // re-route) nor pollute a replica's shed counters.
+    const auto snap = cfg_.tenants->snapshot();
+    const tenancy::TenantContract& c = snap->of(req.tenant);
+    if (c.priority_ceiling == Priority::kLow) req.priority = Priority::kLow;
+    if (!req.has_deadline() && c.default_deadline_us > 0) {
+      req.deadline =
+          cfg_.clock->now() + std::chrono::microseconds(c.default_deadline_us);
+    }
+    if (!admission_->try_admit(req.tenant, req.nodes.size())) {
+      front_stats_->record_quota_refused(req.tenant, 1);
+      auto state = std::make_shared<RequestState>(std::move(req), &cq);
+      const std::size_t parts = state->parts();
+      for (std::uint32_t slot = 0; slot < parts; ++slot) {
+        state->finish_part(slot, ServeStatus::kQuotaExceeded, nullptr, 0,
+                           StageTimings{});
+      }
+      return;
+    }
   }
   auto state = std::make_shared<RequestState>(std::move(req), &cq);
   std::vector<std::uint32_t> slots(state->parts());
@@ -721,6 +756,25 @@ std::size_t FleetManager::aggregate_deadline_missed() const {
     total += h->stats->deadline_missed();
   }
   return total;
+}
+
+std::vector<TenantStat> FleetManager::aggregate_tenants() const {
+  ServerStats pooled;
+  std::lock_guard<std::mutex> lk(admin_mu_);
+  for (const auto& h : all_handles_) {
+    pooled.merge_once(*h->stats, h->generation);
+  }
+  if (front_stats_) {
+    // The front recorder holds what no replica can: quota refusals happen
+    // before routing.  UINT64_MAX can never collide with a replica
+    // generation (next_generation_ counts up from zero).
+    pooled.merge_once(*front_stats_, UINT64_MAX);
+  }
+  return pooled.tenant_stats();
+}
+
+std::size_t FleetManager::quota_refused_total() const {
+  return front_stats_ ? front_stats_->quota_refused_total() : 0;
 }
 
 std::size_t FleetManager::aggregate_batches() const {

@@ -74,6 +74,8 @@
 #include "serve/router.h"
 #include "serve/serve_api.h"
 #include "serve/server_stats.h"
+#include "tenancy/admission.h"
+#include "tenancy/tenant.h"
 
 // The cross-process bridge (src/rpc/remote_replica.h).  Forward-declared:
 // the serve layer's compile-time surface stays transport-free, and only
@@ -117,6 +119,14 @@ struct FleetConfig {
   // ServerStats and (unless batch.clock is set explicitly) MicroBatcher,
   // so one knob moves the whole fleet's policy-visible time.
   const Clock* clock = nullptr;
+  // Tenant contract table (src/tenancy/).  When set, the v2 envelope
+  // submit() enforces contracts at the fleet front — priority ceiling
+  // clamp, default deadline stamp, token-bucket quota (refusals answer
+  // kQuotaExceeded without ever reaching a replica) — and every replica's
+  // MicroBatcher composes batches by DWRR weight (propagated via
+  // batch.tenants unless the caller set that explicitly).  Null keeps the
+  // untenanted behavior.  The registry must outlive the fleet.
+  const tenancy::TenantRegistry* tenants = nullptr;
 };
 
 // Point-in-time view of one replica, for reporting.
@@ -261,6 +271,13 @@ class FleetManager {
   // shed-wait column) and deadline misses, pooled over every generation.
   StageGauges aggregate_stages() const;
   std::size_t aggregate_deadline_missed() const;
+  // Per-tenant rows pooled over every generation PLUS the fleet front's
+  // quota ledger (quota refusals happen before any replica is chosen, so
+  // only the front recorder has them).  Rows sorted by tenant id.  Empty
+  // for untenanted fleets that never recorded per-tenant activity.
+  std::vector<TenantStat> aggregate_tenants() const;
+  // Envelopes refused by tenant token buckets (kQuotaExceeded), fleet-wide.
+  std::size_t quota_refused_total() const;
   // Dispatched batches and their mean size, summed across replicas.
   std::size_t aggregate_batches() const;
   double aggregate_mean_batch_size() const;
@@ -369,6 +386,12 @@ class FleetManager {
   std::unique_ptr<FleetBuilder> builder_;  // null for fixed fleets
   RemoteSpawnFn remote_spawn_;             // set only for remote fleets
   std::unique_ptr<Router> router_;
+  // Tenancy front gate (null unless cfg_.tenants): token buckets charged
+  // per v2 envelope, and the front-side recorder for quota refusals —
+  // refused envelopes never touch a replica, so their counters can only
+  // live here.  Folded into the aggregates under a reserved generation.
+  std::unique_ptr<tenancy::TenantAdmission> admission_;
+  std::unique_ptr<ServerStats> front_stats_;
 
   // Swapped atomically via the std::atomic_load/atomic_store(shared_ptr*)
   // free functions rather than std::atomic<std::shared_ptr>: identical

@@ -17,12 +17,23 @@ const char* serve_status_name(ServeStatus s) {
       return "deadline_exceeded";
     case ServeStatus::kError:
       return "error";
+    case ServeStatus::kQuotaExceeded:
+      return "quota_exceeded";
   }
   return "?";
 }
 
 ServeStatus worse_status(ServeStatus a, ServeStatus b) {
-  return static_cast<std::uint8_t>(a) >= static_cast<std::uint8_t>(b) ? a : b;
+  // Severity rank, decoupled from the enum's numeric (wire) order:
+  // kQuotaExceeded appended after kError for wire stability but ranks
+  // between kShed and kDeadlineExceeded in badness.
+  static constexpr std::uint8_t rank[] = {
+      /*kOk*/ 0, /*kDraining*/ 1, /*kShed*/ 2,
+      /*kDeadlineExceeded*/ 4, /*kError*/ 5, /*kQuotaExceeded*/ 3};
+  return rank[static_cast<std::uint8_t>(a)] >=
+                 rank[static_cast<std::uint8_t>(b)]
+             ? a
+             : b;
 }
 
 std::vector<TopKEntry> topk_of_row(const float* row, std::size_t n,

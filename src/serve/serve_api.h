@@ -60,17 +60,26 @@ enum class Priority : std::uint8_t { kHigh = 0, kLow = 1 };
 // missed the caller's deadline (shed before compute, or answered late — a
 // late answer still carries results, a pre-compute shed does not); kDraining
 // submitted to a fleet that is stopped or empty (re-route at a higher
-// level); kError a backend failure (bad node id etc.), `error` holds it.
+// level); kError a backend failure (bad node id etc.), `error` holds it;
+// kQuotaExceeded refused by the tenant's own token-bucket contract
+// (src/tenancy/) — DISTINCT from kShed: shed means the fleet is out of
+// capacity (scale up / back off briefly), quota-refused means the caller is
+// out of contract (immediate resubmit will be refused again until the
+// bucket refills).  New values append at the end: the numeric value is the
+// wire encoding (rpc/wire.h) and existing values must never renumber.
 enum class ServeStatus : std::uint8_t {
   kOk,
   kDraining,
   kShed,
   kDeadlineExceeded,
-  kError
+  kError,
+  kQuotaExceeded
 };
 const char* serve_status_name(ServeStatus s);
-// Envelope status merge: when parts disagree, the worst part wins
-// (kOk < kDraining < kShed < kDeadlineExceeded < kError).
+// Envelope status merge: when parts disagree, the worst part wins by
+// SEVERITY (kOk < kDraining < kShed < kQuotaExceeded < kDeadlineExceeded
+// < kError) — an explicit rank, no longer the enum's numeric order, since
+// kQuotaExceeded appended after kError for wire stability.
 ServeStatus worse_status(ServeStatus a, ServeStatus b);
 
 enum class ResultMode : std::uint8_t { kFullLogits, kTopK };
@@ -93,6 +102,10 @@ struct ServeRequest {
   // sub-batches (ring-consistent under cache_affinity) and merges.
   std::vector<std::int64_t> nodes;
   Priority priority = Priority::kHigh;
+  // Which tenant this request is billed to (src/tenancy/).  0 — the
+  // default tenant — keeps untenanted callers on the pre-tenancy behavior.
+  // Travels on the wire from protocol v2 and through traces/fleetsim.
+  std::uint32_t tenant = 0;
   // Absolute deadline; max() (the default) means none.  Use deadline_in()
   // for the common "now + budget" form.
   std::chrono::steady_clock::time_point deadline =

@@ -36,6 +36,18 @@ std::string AdmissionCounters::to_json() const {
   return buf;
 }
 
+std::string TenantStat::to_json() const {
+  char buf[352];
+  std::snprintf(buf, sizeof(buf),
+                "{\"tenant\":%u,\"admitted\":%zu,\"rejected\":%zu,"
+                "\"shed\":%zu,\"quota_refused\":%zu,\"samples\":%zu,"
+                "\"p50_us\":%.1f,\"p99_us\":%.1f,\"win_samples\":%zu,"
+                "\"win_p50_us\":%.1f,\"win_p99_us\":%.1f}",
+                tenant, admitted, rejected, shed, quota_refused, samples,
+                p50_us, p99_us, win_samples, win_p50_us, win_p99_us);
+  return buf;
+}
+
 std::string StageGauges::to_json() const {
   char buf[224];
   std::snprintf(buf, sizeof(buf),
@@ -80,21 +92,22 @@ void ServerStats::prune_latency_window_locked(
     std::chrono::steady_clock::time_point now) {
   const auto horizon = now - window_;
   while (!windowed_latencies_.empty() &&
-         windowed_latencies_.front().first < horizon) {
+         windowed_latencies_.front().when < horizon) {
     windowed_latencies_.pop_front();
   }
 }
 
-void ServerStats::record(double latency_us) {
+void ServerStats::record(double latency_us, std::uint32_t tenant) {
   const auto now = clock_->now();
   std::lock_guard<std::mutex> lk(mu_);
   latencies_us_.push_back(latency_us);
+  tenants_[tenant].latencies_us.push_back(latency_us);
   if (!any_) {
     first_done_ = now;
     any_ = true;
   }
   last_done_ = now;
-  windowed_latencies_.emplace_back(now, latency_us);
+  windowed_latencies_.push_back({now, latency_us, tenant});
   prune_latency_window_locked(now);
 }
 
@@ -112,25 +125,36 @@ void ServerStats::record_queue_delay(double delay_us) {
   ++b.queue_delay_count;
 }
 
-void ServerStats::record_admitted() {
+void ServerStats::record_admitted(std::uint32_t tenant) {
   const auto now = clock_->now();
   std::lock_guard<std::mutex> lk(mu_);
   ++admission_.admitted;
+  ++tenants_[tenant].admitted;
   ++current_bucket_locked(now).admission.admitted;
 }
 
-void ServerStats::record_rejected() {
+void ServerStats::record_rejected(std::uint32_t tenant) {
   const auto now = clock_->now();
   std::lock_guard<std::mutex> lk(mu_);
   ++admission_.rejected;
+  ++tenants_[tenant].rejected;
   ++current_bucket_locked(now).admission.rejected;
 }
 
-void ServerStats::record_shed() {
+void ServerStats::record_shed(std::uint32_t tenant) {
   const auto now = clock_->now();
   std::lock_guard<std::mutex> lk(mu_);
   ++admission_.shed;
+  ++tenants_[tenant].shed;
   ++current_bucket_locked(now).admission.shed;
+}
+
+void ServerStats::record_quota_refused(std::uint32_t tenant, std::size_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  quota_refused_ += n;
+  tenants_[tenant].quota_refused += n;
+  // No bucket update: quota refusals stay out of the windowed admission
+  // counters by design (the autoscaler must not see them as shed).
 }
 
 void ServerStats::record_deadline_miss() {
@@ -170,6 +194,45 @@ std::size_t ServerStats::deadline_missed() const {
   return deadline_missed_;
 }
 
+std::size_t ServerStats::quota_refused_total() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return quota_refused_;
+}
+
+std::vector<TenantStat> ServerStats::tenant_stats(
+    std::chrono::steady_clock::time_point now) const {
+  std::vector<TenantStat> rows;
+  std::map<std::uint32_t, std::vector<double>> windowed;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto horizon = now - window_;
+    for (const WindowedSample& s : windowed_latencies_) {
+      if (s.when >= horizon) windowed[s.tenant].push_back(s.latency_us);
+    }
+    rows.reserve(tenants_.size());
+    for (const auto& [id, slice] : tenants_) {
+      TenantStat t;
+      t.tenant = id;
+      t.admitted = slice.admitted;
+      t.rejected = slice.rejected;
+      t.shed = slice.shed;
+      t.quota_refused = slice.quota_refused;
+      t.samples = slice.latencies_us.size();
+      t.p50_us = percentile(slice.latencies_us, 50);
+      t.p99_us = percentile(slice.latencies_us, 99);
+      rows.push_back(t);
+    }
+  }
+  for (TenantStat& t : rows) {
+    const auto it = windowed.find(t.tenant);
+    if (it == windowed.end()) continue;
+    t.win_samples = it->second.size();
+    t.win_p50_us = percentile(it->second, 50);
+    t.win_p99_us = percentile(it->second, 99);
+  }
+  return rows;
+}
+
 WindowStats ServerStats::window(
     std::chrono::steady_clock::time_point now) const {
   WindowStats w;
@@ -194,8 +257,8 @@ WindowStats ServerStats::window(
           delay_sum / static_cast<double>(w.queue_delay_samples);
     }
     recent.reserve(windowed_latencies_.size());
-    for (const auto& [tp, us] : windowed_latencies_) {
-      if (tp >= horizon) recent.push_back(us);
+    for (const WindowedSample& s : windowed_latencies_) {
+      if (s.when >= horizon) recent.push_back(s.latency_us);
     }
   }
   w.latency.count = recent.size();
@@ -224,8 +287,8 @@ std::vector<double> ServerStats::windowed_latency_samples(
   std::lock_guard<std::mutex> lk(mu_);
   const auto horizon = now - window_;
   out.reserve(windowed_latencies_.size());
-  for (const auto& [tp, us] : windowed_latencies_) {
-    if (tp >= horizon) out.push_back(us);
+  for (const WindowedSample& s : windowed_latencies_) {
+    if (s.when >= horizon) out.push_back(s.latency_us);
   }
   return out;
 }
@@ -234,9 +297,10 @@ void ServerStats::merge(const ServerStats& other) {
   // Copy the source under its own lock, then fold in under ours, so the two
   // locks are never held together (no ordering to get wrong).
   std::vector<double> samples;
-  std::size_t batches, batched_requests, misses;
+  std::size_t batches, batched_requests, misses, quota_refused;
   AdmissionCounters adm;
   StageGauges stages;
+  std::map<std::uint32_t, TenantSlice> tenants;
   bool any;
   std::chrono::steady_clock::time_point first, last;
   {
@@ -246,7 +310,9 @@ void ServerStats::merge(const ServerStats& other) {
     batched_requests = other.batched_requests_;
     adm = other.admission_;
     misses = other.deadline_missed_;
+    quota_refused = other.quota_refused_;
     stages = other.stages_;
+    tenants = other.tenants_;
     any = other.any_;
     first = other.first_done_;
     last = other.last_done_;
@@ -259,6 +325,17 @@ void ServerStats::merge(const ServerStats& other) {
   admission_.rejected += adm.rejected;
   admission_.shed += adm.shed;
   deadline_missed_ += misses;
+  quota_refused_ += quota_refused;
+  for (const auto& [id, slice] : tenants) {
+    TenantSlice& mine = tenants_[id];
+    mine.admitted += slice.admitted;
+    mine.rejected += slice.rejected;
+    mine.shed += slice.shed;
+    mine.quota_refused += slice.quota_refused;
+    mine.latencies_us.insert(mine.latencies_us.end(),
+                             slice.latencies_us.begin(),
+                             slice.latencies_us.end());
+  }
   stages_.admission_sum_us += stages.admission_sum_us;
   stages_.dispatch_sum_us += stages.dispatch_sum_us;
   stages_.compute_sum_us += stages.compute_sum_us;
@@ -333,7 +410,9 @@ void ServerStats::reset() {
   batched_requests_ = 0;
   admission_ = AdmissionCounters{};
   deadline_missed_ = 0;
+  quota_refused_ = 0;
   stages_ = StageGauges{};
+  tenants_.clear();
   any_ = false;
   buckets_ = {};
   windowed_latencies_.clear();

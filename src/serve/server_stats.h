@@ -40,6 +40,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <string>
 #include <unordered_set>
@@ -123,6 +124,32 @@ struct StageGauges {
   std::string to_json() const;
 };
 
+// One tenant's slice of a recorder: the multi-tenant observability row
+// (src/tenancy/).  Counters are cumulative; the latency percentiles come
+// in two flavors — cumulative over every admitted completion (what the
+// bench isolation gate reads after a fleet merge) and windowed over the
+// recorder's sliding window (what the live status line prints).
+// `quota_refused` counts token-bucket refusals and is deliberately NOT
+// part of AdmissionCounters: quota refusals are the tenant's contract
+// working as intended, and must never inflate shed_rate (which would
+// spook the autoscaler into scaling for traffic the fleet will not serve).
+struct TenantStat {
+  std::uint32_t tenant = 0;
+  std::size_t admitted = 0;
+  std::size_t rejected = 0;
+  std::size_t shed = 0;
+  std::size_t quota_refused = 0;
+  std::size_t samples = 0;  // cumulative completions
+  double p50_us = 0;        // cumulative percentiles over `samples`
+  double p99_us = 0;
+  std::size_t win_samples = 0;  // completions inside the sliding window
+  double win_p50_us = 0;
+  double win_p99_us = 0;
+
+  // {"tenant":0,"admitted":...,"quota_refused":...,"p99_us":...,...}
+  std::string to_json() const;
+};
+
 // Point-in-time view of the sliding window: the autoscale signal set for
 // one replica (pool counters across replicas before computing fleet
 // rates).
@@ -148,17 +175,22 @@ class ServerStats {
       std::chrono::milliseconds window = std::chrono::milliseconds(1000),
       const Clock* clock = nullptr);
 
-  // Records one completed request's latency in microseconds.
-  void record(double latency_us);
+  // Records one completed request's latency in microseconds, billed to
+  // `tenant` (0 — the default tenant — if the caller doesn't say).
+  void record(double latency_us, std::uint32_t tenant = 0);
   // Records one dispatched micro-batch of the given size.
   void record_batch(std::size_t batch_size);
   // Records one request's queue delay (enqueue -> dispatch), the live
   // overload signal the autoscaler watches.  Windowed only.
   void record_queue_delay(double delay_us);
   // Admission verdicts (see AdmissionCounters).
-  void record_admitted();
-  void record_rejected();
-  void record_shed();
+  void record_admitted(std::uint32_t tenant = 0);
+  void record_rejected(std::uint32_t tenant = 0);
+  void record_shed(std::uint32_t tenant = 0);
+  // `n` requests refused by the tenant's token bucket (kQuotaExceeded).
+  // Tracked per tenant and as a cumulative total, OUTSIDE AdmissionCounters
+  // so shed_rate/reject_rate — the autoscale signals — stay quota-blind.
+  void record_quota_refused(std::uint32_t tenant, std::size_t n = 1);
   // One request missed its explicit deadline — shed pre-compute because it
   // was already blown, or answered after it.  Cumulative + windowed.
   void record_deadline_miss();
@@ -173,6 +205,15 @@ class ServerStats {
   AdmissionCounters admission() const;
   StageGauges stages() const;
   std::size_t deadline_missed() const;
+  std::size_t quota_refused_total() const;
+  // Per-tenant rows, tenant id ascending.  Windowed percentiles are
+  // evaluated at `now` (injected clock for the no-arg overload).  Only
+  // tenants with any recorded activity appear.
+  std::vector<TenantStat> tenant_stats() const {
+    return tenant_stats(clock_->now());
+  }
+  std::vector<TenantStat> tenant_stats(
+      std::chrono::steady_clock::time_point now) const;
   // The sliding window as of `now` (events older than the window are
   // excluded; bucket granularity is window/16).  The no-argument overload
   // reads the injected clock — never the global steady clock — so a
@@ -221,6 +262,24 @@ class ServerStats {
 
   static constexpr std::size_t kBuckets = 16;
 
+  // One tenant's cumulative slice.  The latency sample is duplicated per
+  // tenant (the global latencies_us_ stays the merge/summary source of
+  // truth) so fleet-level per-tenant percentiles pool RAW samples across
+  // replicas, same rule as the global ones.
+  struct TenantSlice {
+    std::size_t admitted = 0;
+    std::size_t rejected = 0;
+    std::size_t shed = 0;
+    std::size_t quota_refused = 0;
+    std::vector<double> latencies_us;
+  };
+
+  struct WindowedSample {
+    std::chrono::steady_clock::time_point when;
+    double latency_us;
+    std::uint32_t tenant;
+  };
+
   const Clock* clock_;  // never null; defaults to &real_clock()
   mutable std::mutex mu_;
   std::vector<double> latencies_us_;
@@ -228,7 +287,11 @@ class ServerStats {
   std::size_t batched_requests_ = 0;
   AdmissionCounters admission_;
   std::size_t deadline_missed_ = 0;
+  std::size_t quota_refused_ = 0;
   StageGauges stages_;
+  // std::map: tenant_stats() rows come out sorted by tenant id, and merge
+  // order can't perturb iteration (deterministic JSON across runs).
+  std::map<std::uint32_t, TenantSlice> tenants_;
   bool any_ = false;
   std::chrono::steady_clock::time_point first_done_;
   std::chrono::steady_clock::time_point last_done_;
@@ -236,8 +299,7 @@ class ServerStats {
   std::chrono::milliseconds window_;
   std::chrono::steady_clock::duration bucket_len_;
   std::array<Bucket, kBuckets> buckets_{};
-  std::deque<std::pair<std::chrono::steady_clock::time_point, double>>
-      windowed_latencies_;
+  std::deque<WindowedSample> windowed_latencies_;
   std::unordered_set<std::uint64_t> merged_generations_;
 };
 

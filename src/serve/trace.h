@@ -22,8 +22,10 @@
 //   priority     0 = kHigh, 1 = kLow
 //   deadline_us  RELATIVE deadline budget (0 = none); replay converts to
 //                an absolute deadline at t_us + deadline_us
-//   tenant       caller id (serve_cli: client thread index) — capacity
-//                plans can slice per tenant
+//   tenant       the envelope's real tenant id (ServeRequest.tenant, the
+//                same id the fleet front bills contracts against) —
+//                replays enforce the recorded tenant's quota and weight,
+//                and capacity plans slice per tenant
 //   nodes        comma-separated node ids of the envelope, no spaces
 //
 // Text, not binary: traces are artifacts humans diff and version; at the

@@ -1,0 +1,55 @@
+#include "tenancy/admission.h"
+
+#include <chrono>
+
+namespace ppgnn::tenancy {
+
+bool TenantAdmission::try_admit(TenantId tenant, std::size_t parts,
+                                double now_s) {
+  const auto snap = registry_.snapshot();
+  const TenantContract& c = snap->of(tenant);
+  if (c.rate_per_s <= 0) return true;  // unmetered: no bucket state at all
+
+  const double burst = c.effective_burst();
+  std::lock_guard<std::mutex> lk(mu_);
+  auto [it, fresh] = buckets_.try_emplace(tenant);
+  if (fresh) {
+    // New buckets start full: the first burst after a contract install is
+    // the tenant's to spend, not a refusal.
+    it->second.level = burst;
+    it->second.last_refill_s = now_s;
+  }
+  if (!it->second.try_take(now_s, c.rate_per_s, burst,
+                           static_cast<double>(parts))) {
+    refused_ += 1;
+    return false;
+  }
+  return true;
+}
+
+double TenantAdmission::level(TenantId tenant, double now_s) {
+  const auto snap = registry_.snapshot();
+  const TenantContract& c = snap->of(tenant);
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) return c.effective_burst();
+  TokenBucket b = it->second;  // refill a copy; level() must not mutate
+  b.try_take(now_s, c.rate_per_s, c.effective_burst(), 0.0);
+  return b.level;
+}
+
+std::uint64_t TenantAdmission::refused_total() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return refused_;
+}
+
+double TenantAdmission::seconds_now() const {
+  // Integer microseconds, then one divide: the same tick count always maps
+  // to the same double, which is what the bit-determinism tests lean on.
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      clock_.now().time_since_epoch())
+                      .count();
+  return static_cast<double>(us) / 1e6;
+}
+
+}  // namespace ppgnn::tenancy

@@ -1,0 +1,42 @@
+#include "tenancy/fair_share.h"
+
+namespace ppgnn::tenancy {
+
+void DwrrScheduler::arm(TenantId t) {
+  if (deficit_.count(t)) return;
+  ring_.push_back(t);
+  deficit_[t] = 0.0;
+}
+
+void DwrrScheduler::note_popped(TenantId t, bool now_empty) {
+  auto it = deficit_.find(t);
+  if (it == deficit_.end()) return;
+  it->second -= 1.0;
+  if (now_empty) disarm(t);
+}
+
+void DwrrScheduler::disarm(TenantId t) {
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    if (ring_[i] != t) continue;
+    ring_.erase(ring_.begin() + static_cast<std::ptrdiff_t>(i));
+    deficit_.erase(t);
+    if (i < cursor_) {
+      --cursor_;
+    } else if (i == cursor_) {
+      // The tenant under the cursor vanished: the next call starts a
+      // fresh visit on whoever slid into this position.
+      charged_ = false;
+      if (cursor_ >= ring_.size()) cursor_ = 0;
+    }
+    return;
+  }
+}
+
+void DwrrScheduler::clear() {
+  ring_.clear();
+  deficit_.clear();
+  cursor_ = 0;
+  charged_ = false;
+}
+
+}  // namespace ppgnn::tenancy

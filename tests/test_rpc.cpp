@@ -103,6 +103,7 @@ class LoopbackServer {
     return rc_;
   }
   const std::string& address() const { return address_; }
+  const ReplicaServer& server() const { return *server_; }
 
  private:
   std::string address_;
@@ -170,6 +171,63 @@ TEST(RpcLoopback, EchoesEnvelopesThroughRealBatcher) {
 
   client.shutdown();
   EXPECT_EQ(server.stop(), 0);  // clean drain
+}
+
+TEST(RpcLoopback, VersionNegotiationCarriesTenantOnV2AndDropsItOnV1) {
+  // The negotiation matrix of docs/wire-protocol.md, end to end over a
+  // real socket: a v2 client's tenant id survives to the server's
+  // per-tenant stats; a client pinned to a v1 offer negotiates down,
+  // frames v1 bodies, and its requests land on the default tenant — the
+  // old-peer compatibility the version bytes exist for.
+  LoopbackServer server(std::string("unix:") + testbed().dir() +
+                        "/negotiate.sock");
+
+  RpcClientConfig v2cfg;
+  v2cfg.address = server.address();
+  RpcClient v2(v2cfg);
+  WireHelloAck ack;
+  std::string err;
+  ASSERT_TRUE(v2.handshake(&ack, &err)) << err;
+  EXPECT_EQ(ack.protocol, static_cast<std::uint32_t>(kWireVersion));
+  EXPECT_EQ(v2.protocol(), kWireVersion);
+
+  WireRequest tagged;
+  tagged.nodes = {11};
+  tagged.tenant = 9;
+  auto res = call_sync(v2, tagged);
+  ASSERT_TRUE(res.transport_ok) << res.transport_error;
+  EXPECT_EQ(res.response.status, ServeStatus::kOk);
+
+  RpcClientConfig v1cfg;
+  v1cfg.address = server.address();
+  v1cfg.protocol = 1;  // a v1 peer: offers 1, expects ack 1
+  RpcClient v1(v1cfg);
+  ASSERT_TRUE(v1.handshake(&ack, &err)) << err;
+  EXPECT_EQ(ack.protocol, 1u);
+  EXPECT_EQ(v1.protocol(), 1);
+
+  WireRequest legacy;
+  legacy.nodes = {12};
+  legacy.tenant = 9;  // set but UNSENDABLE at v1 — must arrive as 0
+  res = call_sync(v1, legacy);
+  ASSERT_TRUE(res.transport_ok) << res.transport_error;
+  EXPECT_EQ(res.response.status, ServeStatus::kOk);
+
+  v2.shutdown();
+  v1.shutdown();
+  EXPECT_EQ(server.stop(), 0);
+
+  // Server-side ledger: exactly one part billed to tenant 9 (the v2
+  // call) and one to the default tenant (the v1 call's dropped id).
+  std::size_t t0 = 0, t9 = 0, other = 0;
+  for (const auto& row : server.server().stats().tenant_stats()) {
+    if (row.tenant == 0) t0 = row.admitted;
+    else if (row.tenant == 9) t9 = row.admitted;
+    else other += row.admitted;
+  }
+  EXPECT_EQ(t9, 1u);
+  EXPECT_EQ(t0, 1u);
+  EXPECT_EQ(other, 0u);
 }
 
 TEST(RpcClientTest, FailsFastWhenServerNeverExisted) {

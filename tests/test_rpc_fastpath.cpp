@@ -140,7 +140,9 @@ TEST(WireFuzz, HandshakeFramesAreByteIdentical) {
   Bytes ref_h;
   {
     const Bytes body = encode_hello(h);
-    append_frame(ref_h, MsgType::kHello, body.data(), body.size());
+    // Handshake frames pin frame version 1 (pre-negotiation).
+    append_frame(ref_h, MsgType::kHello, body.data(), body.size(),
+                 /*version=*/1);
   }
   Bytes into_h;
   encode_hello_into(h, into_h);
@@ -153,7 +155,8 @@ TEST(WireFuzz, HandshakeFramesAreByteIdentical) {
   Bytes ref_a;
   {
     const Bytes body = encode_hello_ack(a);
-    append_frame(ref_a, MsgType::kHelloAck, body.data(), body.size());
+    append_frame(ref_a, MsgType::kHelloAck, body.data(), body.size(),
+                 /*version=*/1);
   }
   Bytes into_a;
   encode_hello_ack_into(a, into_a);

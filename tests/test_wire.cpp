@@ -1,15 +1,20 @@
-// ppgnn-wire v1 codec (src/rpc/wire.h): frame headers, handshake bodies,
+// ppgnn-wire codec (src/rpc/wire.h): frame headers, handshake bodies,
 // Request/Response envelope encoding, deadline translation, and FrameReader
 // stream reassembly.
 //
-// Two kinds of tests keep the codec honest:
+// Three kinds of tests keep the codec honest:
 //  * round-trips — encode, decode, field-for-field equality across every
 //    status, both result modes, and the deadline edge cases;
-//  * the DOCUMENTED BYTE LAYOUT — the reference envelope from
+//  * the DOCUMENTED BYTE LAYOUTS — the reference envelope from
 //    docs/wire-protocol.md is encoded here and asserted byte-by-byte
-//    against the documented offsets, so the spec and the code cannot
-//    drift apart silently.  If one of these assertions fails, either the
-//    codec or the doc changed: fix whichever is wrong, in the same PR.
+//    against the documented offsets, at BOTH protocol versions, so the
+//    spec and the code cannot drift apart silently.  If one of these
+//    assertions fails, either the codec or the doc changed: fix whichever
+//    is wrong, in the same PR;
+//  * version negotiation — a v1 offer must still decode (old clients keep
+//    working), a future offer must decode too (the server clamps it with
+//    min(), it must not slam the door), and the tenant id must be exactly
+//    the field that appears at v2 and disappears at v1.
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -104,8 +109,9 @@ TEST(WireHandshake, HelloRejectsBadMagicProtocolLength) {
   EXPECT_FALSE(decode_hello(bad.data(), bad.size(), &out, &err));
   EXPECT_NE(err.find("magic"), std::string::npos) << err;
 
+  // An offer BELOW the floor is a peer we can never talk to.
   bad = body;
-  bad[4] = kWireVersion + 1;
+  bad[4] = kMinWireVersion - 1;
   EXPECT_FALSE(decode_hello(bad.data(), bad.size(), &out, &err));
   EXPECT_NE(err.find("protocol"), std::string::npos) << err;
 
@@ -114,6 +120,51 @@ TEST(WireHandshake, HelloRejectsBadMagicProtocolLength) {
   bad = body;
   bad.push_back(0);
   EXPECT_FALSE(decode_hello(bad.data(), bad.size(), &out, &err));
+}
+
+TEST(WireHandshake, HelloAcceptsFutureOffer) {
+  // The Hello carries the client's highest SUPPORTED version, not a
+  // demand: a v3 client offering 3 must decode fine so the server can ack
+  // min(3, kWireVersion) and keep talking.  Rejecting high offers would
+  // make every future version a breaking change.
+  WireHello h;
+  h.protocol = kWireVersion + 1;
+  const auto body = encode_hello(h);
+  WireHello out;
+  std::string err;
+  ASSERT_TRUE(decode_hello(body.data(), body.size(), &out, &err)) << err;
+  EXPECT_EQ(out.protocol, static_cast<std::uint32_t>(kWireVersion) + 1);
+}
+
+TEST(WireHandshake, HelloAckRejectsUnspeakableProtocol) {
+  // The ACK is different from the offer: it names the version BOTH sides
+  // will actually frame at, so an ack outside [kMinWireVersion,
+  // kWireVersion] means the server negotiated something this client
+  // cannot speak — a broken server, and the connection must die.
+  WireHelloAck a;
+  a.num_nodes = 7;
+  a.classes = 3;
+  WireHelloAck out;
+  std::string err;
+
+  a.protocol = kWireVersion + 1;
+  auto body = encode_hello_ack(a);
+  EXPECT_FALSE(decode_hello_ack(body.data(), body.size(), &out, &err));
+  EXPECT_NE(err.find("protocol"), std::string::npos) << err;
+
+  a.protocol = kMinWireVersion - 1;
+  body = encode_hello_ack(a);
+  EXPECT_FALSE(decode_hello_ack(body.data(), body.size(), &out, &err));
+
+  // Every version in the speakable window is fine — in particular v1,
+  // which is what a v2 server acks to a v1 client.
+  for (std::uint32_t p = kMinWireVersion; p <= kWireVersion; ++p) {
+    a.protocol = p;
+    body = encode_hello_ack(a);
+    ASSERT_TRUE(decode_hello_ack(body.data(), body.size(), &out, &err))
+        << "rejected ack protocol " << p << ": " << err;
+    EXPECT_EQ(out.protocol, p);
+  }
 }
 
 TEST(WireHandshake, HelloAckRoundTrip) {
@@ -156,12 +207,54 @@ WireRequest reference_request() {
   r.mode = ResultMode::kTopK;
   r.topk = 3;
   r.deadline_rel_us = 2500;
+  r.tenant = 42;
   r.nodes = {7, 1000};
   return r;
 }
 
-TEST(WireRequest_, DocumentedByteLayout) {
+TEST(WireRequest_, DocumentedByteLayoutV2) {
   const auto body = encode_request(reference_request());
+  ASSERT_EQ(body.size(), 44u);
+
+  const std::uint8_t expect[44] = {
+      // [0..7]  id 0x0123456789ABCDEF, little-endian
+      0xEF, 0xCD, 0xAB, 0x89, 0x67, 0x45, 0x23, 0x01,
+      // [8]    priority = kLow(1)   [9] mode = kTopK(1)
+      0x01, 0x01,
+      // [10..11] topk = 3
+      0x03, 0x00,
+      // [12..19] deadline_rel_us = 2500 (0x9C4)
+      0xC4, 0x09, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      // [20..23] tenant = 42 (v2's one addition)
+      0x2A, 0x00, 0x00, 0x00,
+      // [24..27] node count = 2
+      0x02, 0x00, 0x00, 0x00,
+      // [28..35] node 7
+      0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      // [36..43] node 1000 (0x3E8)
+      0xE8, 0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00};
+  for (std::size_t i = 0; i < sizeof(expect); ++i) {
+    EXPECT_EQ(body[i], expect[i]) << "body byte " << i;
+  }
+
+  // The frame header for this body, as documented: body_len 0x2C, type
+  // kRequest (0x10), version 2, reserved zero.
+  std::vector<std::uint8_t> frame;
+  append_frame(frame, MsgType::kRequest, body.data(), body.size());
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + body.size());
+  const std::uint8_t hdr[kFrameHeaderBytes] = {0x2C, 0x00, 0x00, 0x00,
+                                               0x10, 0x02, 0x00, 0x00};
+  for (std::size_t i = 0; i < kFrameHeaderBytes; ++i) {
+    EXPECT_EQ(frame[i], hdr[i]) << "header byte " << i;
+  }
+}
+
+TEST(WireRequest_, DocumentedByteLayoutV1) {
+  // The same envelope on a connection negotiated down to v1: the tenant
+  // field vanishes (a v1 peer must receive EXACTLY the v1 layout — 40
+  // bytes, node count at [20..23]) and the frame header says version 1.
+  // This is the regression that keeps old replicas decodable forever.
+  const auto body = encode_request(reference_request(), /*protocol=*/1);
   ASSERT_EQ(body.size(), 40u);
 
   const std::uint8_t expect[40] = {
@@ -173,7 +266,7 @@ TEST(WireRequest_, DocumentedByteLayout) {
       0x03, 0x00,
       // [12..19] deadline_rel_us = 2500 (0x9C4)
       0xC4, 0x09, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
-      // [20..23] node count = 2
+      // [20..23] node count = 2 (no tenant field at v1)
       0x02, 0x00, 0x00, 0x00,
       // [24..31] node 7
       0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
@@ -183,16 +276,26 @@ TEST(WireRequest_, DocumentedByteLayout) {
     EXPECT_EQ(body[i], expect[i]) << "body byte " << i;
   }
 
-  // The frame header for this body, as documented: body_len 0x28, type
-  // kRequest (0x10), version 1, reserved zero.
   std::vector<std::uint8_t> frame;
-  append_frame(frame, MsgType::kRequest, body.data(), body.size());
+  append_frame(frame, MsgType::kRequest, body.data(), body.size(),
+               /*version=*/1);
   ASSERT_EQ(frame.size(), kFrameHeaderBytes + body.size());
   const std::uint8_t hdr[kFrameHeaderBytes] = {0x28, 0x00, 0x00, 0x00,
                                                0x10, 0x01, 0x00, 0x00};
   for (std::size_t i = 0; i < kFrameHeaderBytes; ++i) {
     EXPECT_EQ(frame[i], hdr[i]) << "header byte " << i;
   }
+
+  // Decoded per the v1 frame version, the envelope comes back whole with
+  // tenant 0 — exactly what the fleet front sees from a v1 client.
+  WireRequest out;
+  std::string err;
+  ASSERT_TRUE(
+      decode_request(body.data(), body.size(), &out, &err, /*version=*/1))
+      << err;
+  EXPECT_EQ(out.id, 0x0123456789ABCDEFull);
+  EXPECT_EQ(out.tenant, 0u);
+  EXPECT_EQ(out.nodes, (std::vector<std::int64_t>{7, 1000}));
 }
 
 TEST(WireRequest_, RoundTrip) {
@@ -203,6 +306,7 @@ TEST(WireRequest_, RoundTrip) {
     r.priority = Priority::kHigh;
     r.mode = ResultMode::kFullLogits;
     r.deadline_rel_us = deadline;
+    r.tenant = 0xDEADBEEFu;  // full u32 range must survive the trip
     r.nodes = {0, -3, (std::int64_t{1} << 40), 999999};
     const auto body = encode_request(r);
 
@@ -213,6 +317,7 @@ TEST(WireRequest_, RoundTrip) {
     EXPECT_EQ(out.priority, r.priority);
     EXPECT_EQ(out.mode, r.mode);
     EXPECT_EQ(out.deadline_rel_us, deadline);
+    EXPECT_EQ(out.tenant, 0xDEADBEEFu);
     EXPECT_EQ(out.nodes, r.nodes);
   }
 
@@ -223,6 +328,23 @@ TEST(WireRequest_, RoundTrip) {
   EXPECT_EQ(out.priority, Priority::kLow);
   EXPECT_EQ(out.mode, ResultMode::kTopK);
   EXPECT_EQ(out.topk, 3);
+  EXPECT_EQ(out.tenant, 42u);
+}
+
+TEST(WireRequest_, VersionMismatchIsCaughtByLengthCheck) {
+  // The negotiation guarantees encoder and decoder agree on the version,
+  // but a corrupt frame header could lie.  The length check catches it:
+  // a v2 body read as v1 (or vice versa) is off by the 4 tenant bytes and
+  // must be rejected, never silently misparsed with nodes shifted by one
+  // field.
+  const auto v2 = encode_request(reference_request());
+  const auto v1 = encode_request(reference_request(), /*protocol=*/1);
+  WireRequest out;
+  std::string err;
+  EXPECT_FALSE(decode_request(v2.data(), v2.size(), &out, &err,
+                              /*version=*/1));
+  EXPECT_FALSE(decode_request(v1.data(), v1.size(), &out, &err,
+                              /*version=*/2));
 }
 
 TEST(WireRequest_, RejectsEveryTruncation) {
@@ -263,7 +385,7 @@ TEST(WireRequest_, RejectsCorruptFields) {
   EXPECT_EQ(err, "ppgnn-wire: empty envelope");
 
   bad = body;
-  bad[20] = 3;  // claims 3 nodes, payload holds 2
+  bad[24] = 3;  // claims 3 nodes, payload holds 2 (count is at 24 in v2)
   EXPECT_FALSE(decode_request(bad.data(), bad.size(), &out, &err));
   EXPECT_EQ(err, "ppgnn-wire: node count disagrees with body length");
 
@@ -365,7 +487,8 @@ TEST(WireResponse_, RoundTripFullLogitsAllStatuses) {
   r.timings.compute_us = 100.0;
   for (const ServeStatus s :
        {ServeStatus::kOk, ServeStatus::kDraining, ServeStatus::kShed,
-        ServeStatus::kDeadlineExceeded, ServeStatus::kError}) {
+        ServeStatus::kDeadlineExceeded, ServeStatus::kError,
+        ServeStatus::kQuotaExceeded}) {
     WirePart p;
     p.status = s;
     if (s == ServeStatus::kOk) p.logits = {0.5f, -1.25f, 3.0f};
@@ -431,7 +554,7 @@ TEST(WireResponse_, RejectsCorruptFields) {
   std::string err;
 
   auto bad = body;
-  bad[8] = 5;  // envelope status past kError
+  bad[8] = 6;  // envelope status past kQuotaExceeded
   EXPECT_FALSE(decode_response(bad.data(), bad.size(), &out, &err));
   EXPECT_EQ(err, "ppgnn-wire: bad status");
 
@@ -446,7 +569,7 @@ TEST(WireResponse_, RejectsCorruptFields) {
   EXPECT_EQ(err, "ppgnn-wire: error text past end of frame");
 
   bad = body;
-  bad[44] = 5;  // part status past kError
+  bad[44] = 6;  // part status past kQuotaExceeded
   EXPECT_FALSE(decode_response(bad.data(), bad.size(), &out, &err));
   EXPECT_EQ(err, "ppgnn-wire: bad part status");
 
